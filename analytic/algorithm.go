@@ -1,0 +1,100 @@
+package analytic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Algorithm identifies one of the checkpoint algorithms of Section 3 of
+// the paper. The analytic model evaluates each algorithm from a small set
+// of structural properties (does it copy segments, lock them, need LSN
+// checks, abort transactions, quiesce the system).
+type Algorithm int
+
+// The paper's checkpoint algorithms. Values parallel the engine's
+// internal enumeration; mmdb.Algorithm aliases this type.
+const (
+	// FuzzyCopy is FUZZYCOPY: fuzzy checkpointing through a main-memory
+	// I/O buffer with LSN synchronization against the log.
+	FuzzyCopy Algorithm = iota + 1
+	// FastFuzzy is FASTFUZZY: direct fuzzy flushes, requiring a stable
+	// log tail (Section 4).
+	FastFuzzy
+	// TwoColorFlush is 2CFLUSH: Pu's black/white algorithm, flushing
+	// segments while locked.
+	TwoColorFlush
+	// TwoColorCopy is 2CCOPY: Pu's algorithm, copying under the lock and
+	// flushing after release.
+	TwoColorCopy
+	// COUFlush is COUFLUSH: copy-on-update with locked direct flushes.
+	COUFlush
+	// COUCopy is COUCOPY: copy-on-update flushing through a buffer.
+	COUCopy
+)
+
+// Algorithms lists the algorithms in the paper's presentation order.
+var Algorithms = []Algorithm{FuzzyCopy, FastFuzzy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy}
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case FuzzyCopy:
+		return "FUZZYCOPY"
+	case FastFuzzy:
+		return "FASTFUZZY"
+	case TwoColorFlush:
+		return "2CFLUSH"
+	case TwoColorCopy:
+		return "2CCOPY"
+	case COUFlush:
+		return "COUFLUSH"
+	case COUCopy:
+		return "COUCOPY"
+	default:
+		return fmt.Sprintf("analytic.Algorithm(%d)", int(a))
+	}
+}
+
+// Parse resolves a case-insensitive paper name to an Algorithm.
+func Parse(name string) (Algorithm, error) {
+	for _, a := range Algorithms {
+		if strings.EqualFold(name, a.String()) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("analytic: unknown algorithm %q", name)
+}
+
+// Valid reports whether a names a known algorithm.
+func (a Algorithm) Valid() bool { return a >= FuzzyCopy && a <= COUCopy }
+
+// TwoColor reports whether the algorithm aborts transactions under the
+// black/white rule.
+func (a Algorithm) TwoColor() bool { return a == TwoColorFlush || a == TwoColorCopy }
+
+// CopyOnUpdate reports whether transactions preserve old segment versions.
+func (a Algorithm) CopyOnUpdate() bool { return a == COUFlush || a == COUCopy }
+
+// Fuzzy reports whether the backup produced is fuzzy.
+func (a Algorithm) Fuzzy() bool { return a == FuzzyCopy || a == FastFuzzy }
+
+// CopiesSegments reports whether the checkpointer moves each flushed
+// segment through a main-memory buffer (the S_seg data-movement cost).
+func (a Algorithm) CopiesSegments() bool {
+	return a == FuzzyCopy || a == TwoColorCopy || a == COUCopy
+}
+
+// UsesLSN reports whether the algorithm synchronizes with the log through
+// log sequence numbers (dropped when the log tail is stable).
+func (a Algorithm) UsesLSN() bool {
+	return a == FuzzyCopy || a == TwoColorFlush || a == TwoColorCopy
+}
+
+// LocksSegments reports whether the checkpointer locks each segment as it
+// processes it (two-color and COU algorithms; fuzzy checkpoints need
+// "little or no synchronization").
+func (a Algorithm) LocksSegments() bool { return a.TwoColor() || a.CopyOnUpdate() }
+
+// RequiresStableTail reports whether the algorithm is only correct with a
+// stable log tail.
+func (a Algorithm) RequiresStableTail() bool { return a == FastFuzzy }

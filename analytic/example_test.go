@@ -1,0 +1,42 @@
+package analytic_test
+
+import (
+	"fmt"
+	"log"
+
+	"mmdb/analytic"
+)
+
+// ExampleEvaluate reproduces one Figure 4a point: COUCOPY at the paper's
+// defaults with checkpoints taken as quickly as possible.
+func ExampleEvaluate() {
+	p := analytic.DefaultParams()
+	r, err := analytic.Evaluate(p, analytic.Options{Algorithm: analytic.COUCopy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint duration: %.1f s\n", r.DurationSeconds)
+	fmt.Printf("overhead: %.0f instructions/txn\n", r.OverheadPerTxn)
+	fmt.Printf("recovery: %.1f s\n", r.RecoverySeconds)
+	// Output:
+	// checkpoint duration: 89.4 s
+	// overhead: 3534 instructions/txn
+	// recovery: 93.2 s
+}
+
+// ExampleFigure4a regenerates the headline comparison.
+func ExampleFigure4a() {
+	fig, err := analytic.Figure4a(analytic.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		fmt.Printf("%-10s %6.0f instr/txn\n", s.Name, s.Points[0].Result.OverheadPerTxn)
+	}
+	// Output:
+	// FUZZYCOPY    3513 instr/txn
+	// 2CFLUSH     15039 instr/txn
+	// 2CCOPY      18078 instr/txn
+	// COUFLUSH     3311 instr/txn
+	// COUCOPY      3534 instr/txn
+}

@@ -1,0 +1,214 @@
+package analytic
+
+import "fmt"
+
+// Point is one evaluated operating point within a figure series.
+type Point struct {
+	// X is the swept quantity (interval, load, or segment size); its
+	// meaning is the figure's XLabel.
+	X      float64
+	Result *Result
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduction of one of the paper's figures: a set of series
+// of model evaluations.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// paperAlgorithms are the five algorithms of Figures 4a–4d (FASTFUZZY only
+// appears in Figure 4e, which assumes a stable log tail).
+var paperAlgorithms = []Algorithm{FuzzyCopy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy}
+
+// Figure4a evaluates processor overhead and recovery time for every
+// algorithm with checkpoints taken as quickly as possible (no time between
+// checkpoints) at the default parameters.
+func Figure4a(p Params) (*Figure, error) {
+	fig := &Figure{
+		ID:     "4a",
+		Title:  "Processor Overhead and Recovery Time",
+		XLabel: "algorithm",
+	}
+	for i, alg := range paperAlgorithms {
+		res, err := Evaluate(p, Options{Algorithm: alg})
+		if err != nil {
+			return nil, fmt.Errorf("figure 4a: %v: %w", alg, err)
+		}
+		fig.Series = append(fig.Series, Series{
+			Name:   alg.String(),
+			Points: []Point{{X: float64(i), Result: res}},
+		})
+	}
+	return fig, nil
+}
+
+// DefaultIntervalFactors are the checkpoint-duration multipliers swept by
+// Figure4b, applied to each configuration's minimum duration.
+var DefaultIntervalFactors = []float64{1, 1.25, 1.5, 2, 3, 4, 6, 8, 10}
+
+// Figure4b traces the processor-overhead / recovery-time trade-off for
+// 2CCOPY and COUCOPY as the checkpoint duration grows from its minimum
+// (the solid curves), and repeats the experiment with the backup-disk
+// bandwidth doubled (the dotted curves).
+func Figure4b(p Params, factors []float64) (*Figure, error) {
+	if len(factors) == 0 {
+		factors = DefaultIntervalFactors
+	}
+	fig := &Figure{
+		ID:     "4b",
+		Title:  "Processor Overhead / Recovery Time Trade-off",
+		XLabel: "checkpoint interval (s)",
+	}
+	for _, bw := range []struct {
+		label string
+		mult  float64
+	}{{"1x-bandwidth", 1}, {"2x-bandwidth", 2}} {
+		pp := p
+		pp.NDisks = p.NDisks * bw.mult
+		for _, alg := range []Algorithm{TwoColorCopy, COUCopy} {
+			s := Series{Name: alg.String() + "/" + bw.label}
+			dmin := minDuration(pp, Options{Algorithm: alg})
+			for _, f := range factors {
+				res, err := Evaluate(pp, Options{Algorithm: alg, IntervalSeconds: dmin * f})
+				if err != nil {
+					return nil, fmt.Errorf("figure 4b: %v at %.1fx: %w", alg, f, err)
+				}
+				s.Points = append(s.Points, Point{X: res.DurationSeconds, Result: res})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// DefaultLoadSweep is the transaction arrival-rate sweep of Figure4c
+// (transactions/second).
+var DefaultLoadSweep = []float64{50, 100, 200, 500, 1000, 2000, 4000}
+
+// Figure4c evaluates per-transaction processor overhead as the transaction
+// load varies, with checkpoints taken as quickly as possible.
+func Figure4c(p Params, lambdas []float64) (*Figure, error) {
+	if len(lambdas) == 0 {
+		lambdas = DefaultLoadSweep
+	}
+	fig := &Figure{
+		ID:     "4c",
+		Title:  "Effect of Varying Transaction Load",
+		XLabel: "transactions/second",
+	}
+	for _, alg := range paperAlgorithms {
+		s := Series{Name: alg.String()}
+		for _, lam := range lambdas {
+			pp := p
+			pp.Lambda = lam
+			res, err := Evaluate(pp, Options{Algorithm: alg})
+			if err != nil {
+				return nil, fmt.Errorf("figure 4c: %v at λ=%v: %w", alg, lam, err)
+			}
+			s.Points = append(s.Points, Point{X: lam, Result: res})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// DefaultSegmentSweep is the segment-size sweep of Figure4d (words).
+var DefaultSegmentSweep = []float64{1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Figure4dFixedInterval is the constant checkpoint interval of the
+// figure's dotted curves (seconds).
+const Figure4dFixedInterval = 300
+
+// Figure4d evaluates the effect of segment size for 2CCOPY, 2CFLUSH and
+// COUCOPY, both with checkpoints run as fast as possible ("asap" series,
+// the paper's solid curves) and with the interval held at 300 seconds
+// ("fixed300", the dotted curves).
+func Figure4d(p Params, segSizes []float64) (*Figure, error) {
+	if len(segSizes) == 0 {
+		segSizes = DefaultSegmentSweep
+	}
+	fig := &Figure{
+		ID:     "4d",
+		Title:  "Effect of Varying Segment Size",
+		XLabel: "segment size (words)",
+	}
+	for _, alg := range []Algorithm{TwoColorFlush, TwoColorCopy, COUCopy} {
+		for _, mode := range []struct {
+			label    string
+			interval float64
+		}{{"asap", 0}, {"fixed300", Figure4dFixedInterval}} {
+			s := Series{Name: alg.String() + "/" + mode.label}
+			for _, seg := range segSizes {
+				pp := p
+				pp.SSeg = seg
+				res, err := Evaluate(pp, Options{Algorithm: alg, IntervalSeconds: mode.interval})
+				if err != nil {
+					return nil, fmt.Errorf("figure 4d: %v S_seg=%v: %w", alg, seg, err)
+				}
+				s.Points = append(s.Points, Point{X: seg, Result: res})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// Figure4e evaluates processor overhead assuming a stable log tail, which
+// admits the FASTFUZZY algorithm and removes LSN synchronization from the
+// others. Checkpoints run as fast as possible.
+func Figure4e(p Params) (*Figure, error) {
+	fig := &Figure{
+		ID:     "4e",
+		Title:  "Processor Overhead with Stable Log Tail",
+		XLabel: "algorithm",
+	}
+	algs := []Algorithm{FuzzyCopy, FastFuzzy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy}
+	for i, alg := range algs {
+		res, err := Evaluate(p, Options{Algorithm: alg, StableTail: true})
+		if err != nil {
+			return nil, fmt.Errorf("figure 4e: %v: %w", alg, err)
+		}
+		fig.Series = append(fig.Series, Series{
+			Name:   alg.String(),
+			Points: []Point{{X: float64(i), Result: res}},
+		})
+	}
+	return fig, nil
+}
+
+// PRestartCurve evaluates the checkpoint-induced restart probability of a
+// two-color algorithm across checkpoint-interval multipliers (Section 4
+// computes p_restart as a function of the checkpoint algorithm).
+func PRestartCurve(p Params, alg Algorithm, factors []float64) (*Figure, error) {
+	if !alg.TwoColor() {
+		return nil, fmt.Errorf("analytic: p_restart is only nonzero for two-color algorithms, not %v", alg)
+	}
+	if len(factors) == 0 {
+		factors = DefaultIntervalFactors
+	}
+	fig := &Figure{
+		ID:     "prestart",
+		Title:  "Checkpoint-Induced Restart Probability",
+		XLabel: "checkpoint interval (s)",
+	}
+	s := Series{Name: alg.String()}
+	dmin := minDuration(p, Options{Algorithm: alg})
+	for _, f := range factors {
+		res, err := Evaluate(p, Options{Algorithm: alg, IntervalSeconds: dmin * f})
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, Point{X: res.DurationSeconds, Result: res})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}

@@ -1,0 +1,189 @@
+package analytic
+
+import "testing"
+
+func TestFigure4aStructure(t *testing.T) {
+	fig, err := Figure4a(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "4a" || len(fig.Series) != 5 {
+		t.Fatalf("figure 4a: id=%q series=%d", fig.ID, len(fig.Series))
+	}
+	wantOrder := []string{"FUZZYCOPY", "2CFLUSH", "2CCOPY", "COUFLUSH", "COUCOPY"}
+	for i, s := range fig.Series {
+		if s.Name != wantOrder[i] {
+			t.Errorf("series %d = %q, want %q", i, s.Name, wantOrder[i])
+		}
+		if len(s.Points) != 1 || s.Points[0].Result == nil {
+			t.Errorf("series %q malformed", s.Name)
+		}
+	}
+}
+
+func TestFigure4bStructure(t *testing.T) {
+	fig, err := Figure4b(DefaultParams(), []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 { // {2CCOPY, COUCOPY} × {1x, 2x}
+		t.Fatalf("figure 4b series = %d, want 4", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %q has %d points, want 2", s.Name, len(s.Points))
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].X <= s.Points[i-1].X {
+				t.Errorf("series %q X not increasing", s.Name)
+			}
+		}
+	}
+	// Default factor set used when none given.
+	fig2, err := Figure4b(DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig2.Series[0].Points) != len(DefaultIntervalFactors) {
+		t.Errorf("default factors not applied")
+	}
+}
+
+func TestFigure4cStructure(t *testing.T) {
+	lambdas := []float64{100, 1000}
+	fig, err := Figure4c(DefaultParams(), lambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("figure 4c series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != len(lambdas) {
+			t.Errorf("series %q has %d points", s.Name, len(s.Points))
+		}
+		for i, pt := range s.Points {
+			if pt.X != lambdas[i] {
+				t.Errorf("series %q point %d X=%v, want %v", s.Name, i, pt.X, lambdas[i])
+			}
+			if pt.Result.Params.Lambda != lambdas[i] {
+				t.Errorf("series %q point %d evaluated at λ=%v", s.Name, i, pt.Result.Params.Lambda)
+			}
+		}
+	}
+}
+
+func TestFigure4dStructure(t *testing.T) {
+	fig, err := Figure4d(DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 { // 3 algorithms × {asap, fixed300}
+		t.Fatalf("figure 4d series = %d, want 6", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != len(DefaultSegmentSweep) {
+			t.Errorf("series %q has %d points", s.Name, len(s.Points))
+		}
+		for i, pt := range s.Points {
+			if pt.Result.Params.SSeg != DefaultSegmentSweep[i] {
+				t.Errorf("series %q point %d evaluated at S_seg=%v", s.Name, i, pt.Result.Params.SSeg)
+			}
+		}
+	}
+}
+
+func TestFigure4eStructure(t *testing.T) {
+	fig, err := Figure4e(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 { // all algorithms including FASTFUZZY
+		t.Fatalf("figure 4e series = %d, want 6", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if !s.Points[0].Result.Options.StableTail {
+			t.Errorf("series %q not evaluated with a stable tail", s.Name)
+		}
+	}
+}
+
+func TestPRestartCurve(t *testing.T) {
+	fig, err := PRestartCurve(DefaultParams(), TwoColorFlush, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fig.Series[0].Points
+	if len(pts) != len(DefaultIntervalFactors) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Result.PRestart >= pts[i-1].Result.PRestart {
+			t.Errorf("p_restart not decreasing with interval at point %d", i)
+		}
+	}
+	if _, err := PRestartCurve(DefaultParams(), FuzzyCopy, nil); err == nil {
+		t.Error("p_restart curve for a non-aborting algorithm accepted")
+	}
+}
+
+func TestFigureErrorsPropagate(t *testing.T) {
+	bad := DefaultParams()
+	bad.NDisks = 0
+	if _, err := Figure4a(bad); err == nil {
+		t.Error("figure 4a with invalid params accepted")
+	}
+	if _, err := Figure4b(bad, nil); err == nil {
+		t.Error("figure 4b with invalid params accepted")
+	}
+	if _, err := Figure4c(bad, nil); err == nil {
+		t.Error("figure 4c with invalid params accepted")
+	}
+	if _, err := Figure4d(bad, nil); err == nil {
+		t.Error("figure 4d with invalid params accepted")
+	}
+	if _, err := Figure4e(bad); err == nil {
+		t.Error("figure 4e with invalid params accepted")
+	}
+}
+
+func TestMustEvaluatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEvaluate did not panic on invalid input")
+		}
+	}()
+	bad := DefaultParams()
+	bad.NDisks = 0
+	MustEvaluate(bad, Options{Algorithm: FuzzyCopy})
+}
+
+func TestMeasuredOverheadValidation(t *testing.T) {
+	p := DefaultParams()
+	if _, _, _, err := MeasuredOverhead(p, Counts{}); err == nil {
+		t.Error("zero committed transactions accepted")
+	}
+	if _, _, _, err := MeasuredOverhead(p, Counts{TxnsCommitted: 1}); err == nil {
+		t.Error("missing algorithm accepted")
+	}
+	bad := p
+	bad.NDisks = 0
+	if _, _, _, err := MeasuredOverhead(bad, Counts{TxnsCommitted: 1, Algorithm: FuzzyCopy}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// A hand-built count set prices as expected: 10 flushes × C_io over
+	// 10 txns = 1000 instr/txn async.
+	per, sync, async, err := MeasuredOverhead(p, Counts{
+		TxnsCommitted:   10,
+		SegmentsFlushed: 10,
+		Algorithm:       FastFuzzy,
+		StableTail:      true,
+		Full:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync != 0 || async != p.CIO || per != p.CIO {
+		t.Errorf("priced %f/%f/%f, want 0/%f/%f", sync, async, per, p.CIO, p.CIO)
+	}
+}

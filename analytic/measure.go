@@ -1,0 +1,77 @@
+package analytic
+
+import "errors"
+
+// Counts are activity totals measured on a live engine run (package mmdb's
+// Stats provides them). MeasuredOverhead prices them with the model's
+// basic-operation costs, which lets a real-engine experiment report the
+// same "instructions per transaction" metric as Figure 4a without
+// depending on wall-clock speed (the paper's point: CPU operations, not
+// I/O time, are the cost that matters).
+type Counts struct {
+	// TxnsCommitted divides the totals into a per-transaction figure.
+	TxnsCommitted uint64
+	// ColorAborts counts attempts aborted by the two-color rule.
+	ColorAborts uint64
+	// RecordsWritten counts logged updates (for LSN/timestamp upkeep).
+	RecordsWritten uint64
+	// SegmentsFlushed counts backup segment writes; LSNWaits the
+	// write-ahead checks; CheckpointerCopies the checkpointer's buffer
+	// copies; COUCopies the updaters' old-version copies.
+	SegmentsFlushed    uint64
+	LSNWaits           uint64
+	CheckpointerCopies uint64
+	COUCopies          uint64
+	// Checkpoints and SegmentsTotal size the per-sweep costs (dirty-bit
+	// scans, segment locking).
+	Checkpoints   uint64
+	SegmentsTotal uint64
+	// SegmentWords is the segment size in words (engine bytes / 4).
+	SegmentWords float64
+	// Algorithm prices algorithm-specific terms (locking sweeps, LSN
+	// upkeep); Full disables the dirty-scan term.
+	Algorithm Algorithm
+	// Full marks full checkpoints (no dirty-bit scan).
+	Full bool
+	// StableTail disables LSN upkeep pricing.
+	StableTail bool
+}
+
+// MeasuredOverhead prices measured counts in instructions per committed
+// transaction, split into the synchronous and asynchronous components the
+// paper's model uses.
+func MeasuredOverhead(p Params, c Counts) (perTxn, sync, async float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, 0, err
+	}
+	if c.TxnsCommitted == 0 {
+		return 0, 0, 0, errors.New("analytic: no committed transactions to amortize over")
+	}
+	if !c.Algorithm.Valid() {
+		return 0, 0, 0, errors.New("analytic: counts carry no algorithm")
+	}
+	n := float64(c.TxnsCommitted)
+
+	// Synchronous: LSN/timestamp upkeep, COU copies, aborted attempts.
+	lsnActive := c.Algorithm.UsesLSN() && !c.StableTail
+	if lsnActive || c.Algorithm.CopyOnUpdate() {
+		sync += float64(c.RecordsWritten) * p.CLSN / n
+	}
+	sync += float64(c.COUCopies) * (p.CAlloc + c.SegmentWords + 2*p.CLock) / n
+	sync += float64(c.ColorAborts) * (p.AbortWorkFraction*p.CTrans + p.CRestart) / n
+
+	// Asynchronous: checkpointer flushes, copies, LSN checks, locking
+	// sweeps, dirty scans, fixed costs.
+	async += float64(c.SegmentsFlushed) * p.CIO / n
+	async += float64(c.LSNWaits) * p.CLSN / n
+	async += float64(c.CheckpointerCopies) * (c.SegmentWords + p.CAlloc) / n
+	if c.Algorithm.LocksSegments() {
+		async += float64(c.Checkpoints) * float64(c.SegmentsTotal) * 2 * p.CLock / n
+	}
+	if !c.Full {
+		async += float64(c.Checkpoints) * float64(c.SegmentsTotal) * p.CDirtyCheck / n
+	}
+	async += float64(c.Checkpoints) * p.CCkptFixed / n
+
+	return sync + async, sync, async, nil
+}

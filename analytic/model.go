@@ -1,0 +1,364 @@
+// Package analytic reconstructs the analytic performance model of Salem &
+// Garcia-Molina, "Checkpointing Memory-Resident Databases" (Section 4 and
+// the companion report [Sale87a]).
+//
+// The model produces the paper's two metrics for each checkpoint
+// algorithm: processor overhead per transaction (instructions) and
+// recovery time from a system failure (seconds). Synchronous overhead is
+// work done on behalf of a particular transaction (LSN maintenance,
+// copy-on-update copies, rerunning two-color aborts); asynchronous
+// overhead is the checkpointer's own work, divided by the number of
+// transactions that run during one checkpoint interval.
+//
+// Derivations (DESIGN.md §5):
+//
+//   - Distinct segments dirtied in time h, with uniform record updates at
+//     rate u over N_seg segments: N_seg·(1 − e^(−u·h/N_seg)).
+//   - A partial checkpoint into one ping-pong copy must flush the segments
+//     dirtied over the last two intervals (the previous checkpoint wrote
+//     the other copy), so its work is dirty(2D).
+//   - The minimum duration solves D = W(D)/flushRate (a fixed point).
+//   - A two-color transaction aborts iff its N_ru uniform updates straddle
+//     the black/white boundary: p(f) = 1 − f^N − (1−f)^N at black fraction
+//     f. The sweep makes f linear in time, so the time-average over an
+//     active checkpoint is 1 − 2/(N+1), scaled by the checkpointer's duty
+//     cycle. Expected wasted attempts per commit: p/(1−p).
+//   - A copy-on-update transaction copies a segment when it is the first
+//     to update it after checkpoint begin and before the sweep cursor
+//     passes it; integrating over the sweep gives
+//     N_seg·(1 − (1 − e^(−x))/x) copies per checkpoint, x = u·A/N_seg.
+//   - Recovery reads the whole backup copy plus the log accumulated since
+//     the last completed checkpoint began (expectation 1.5·D).
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Result reports the model's outputs for one operating point.
+type Result struct {
+	Algorithm Algorithm
+	Params    Params
+	Options   Options
+
+	// DurationSeconds is the checkpoint interval D actually used
+	// (requested interval clamped up to the minimum); MinDurationSeconds
+	// is the as-fast-as-possible duration; ActiveSeconds is the portion of
+	// the interval during which the checkpointer is writing; DutyCycle is
+	// their ratio.
+	DurationSeconds    float64
+	MinDurationSeconds float64
+	ActiveSeconds      float64
+	DutyCycle          float64
+
+	// SegmentsPerCheckpoint is the expected flush count W per checkpoint;
+	// TxnsPerInterval is λ·D.
+	SegmentsPerCheckpoint float64
+	TxnsPerInterval       float64
+
+	// OverheadPerTxn = SyncOverheadPerTxn + AsyncOverheadPerTxn, in
+	// instructions — the paper's processor overhead metric (Figure 4a).
+	OverheadPerTxn      float64
+	SyncOverheadPerTxn  float64
+	AsyncOverheadPerTxn float64
+
+	// Overhead components (instructions per transaction).
+	LSNMaintPerTxn    float64 // LSN/timestamp upkeep by transactions
+	COUCopyPerTxn     float64 // copy-on-update old-version copies
+	RestartCostPerTxn float64 // rerunning two-color aborts
+	FlushCostPerTxn   float64 // checkpointer I/O initiation + LSN checks
+	CopyCostPerTxn    float64 // checkpointer segment copies
+	LockCostPerTxn    float64 // checkpointer segment locking
+	ScanCostPerTxn    float64 // dirty-bit scan + fixed per-checkpoint cost
+
+	// PRestart is the probability a transaction attempt is aborted by the
+	// two-color rule; RestartsPerCommit = p/(1−p) wasted attempts.
+	PRestart          float64
+	RestartsPerCommit float64
+
+	// COUCopiesPerCkpt is the expected number of old-version copies made
+	// per checkpoint; COUOldBufferWords is the expected peak number of
+	// words of old copies live at once (copies are released as the sweep
+	// cursor passes them): N_seg·max_x (1−x)(1−e^(−x·u·A/N_seg))·S_seg —
+	// the quantitative form of the paper's warning that the snapshot
+	// buffer "could grow to be as large as the database itself".
+	COUCopiesPerCkpt  float64
+	COUOldBufferWords float64
+
+	// RecoverySeconds = BackupReadSeconds + LogReadSeconds (Figure 4a's
+	// second panel); LogWordsPerSecond is the log growth rate including
+	// two-color abort bulk.
+	RecoverySeconds   float64
+	BackupReadSeconds float64
+	LogReadSeconds    float64
+	LogWordsPerSecond float64
+}
+
+// dirtySegments returns the expected number of distinct segments dirtied
+// in h seconds.
+func dirtySegments(p Params, h float64) float64 {
+	n := p.NumSegments()
+	if h <= 0 {
+		return 0
+	}
+	return n * (1 - math.Exp(-p.UpdateRate()*h/n))
+}
+
+// checkpointWork returns the expected number of segments one checkpoint
+// writes, at steady-state interval d.
+func checkpointWork(p Params, o Options, d float64) float64 {
+	if o.Full {
+		return p.NumSegments()
+	}
+	// Partial + ping-pong: everything dirtied since this copy's previous
+	// checkpoint, two intervals ago.
+	return dirtySegments(p, 2*d)
+}
+
+// minDuration solves the fixed point D = W(D)/flushRate by bisection,
+// floored at MinCheckpointSeconds.
+func minDuration(p Params, o Options) float64 {
+	rate := p.FlushRate()
+	f := func(d float64) float64 { return checkpointWork(p, o, d)/rate - d }
+	// The fixed point, if positive, lies below the full-database sweep
+	// time; bracket [ε, hi].
+	hi := p.NumSegments()/rate + 1
+	lo := 1e-9
+	if f(hi) > 0 {
+		// Should not happen (work is bounded by NumSegments); fall back.
+		return math.Max(hi, p.MinCheckpointSeconds)
+	}
+	if f(lo) <= 0 {
+		// Even infinitesimal intervals keep up: the disks outpace the
+		// dirty rate, so only the floor binds.
+		return p.MinCheckpointSeconds
+	}
+	for i := 0; i < 200 && hi-lo > 1e-9*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Max(hi, p.MinCheckpointSeconds)
+}
+
+// wastedAttemptsIntegral numerically evaluates ∫₀¹ p(f)/(1−p(f)) df with
+// p(f) = 1 − f^N − (1−f)^N, i.e. ∫₀¹ 1/(f^N + (1−f)^N) df − 1: the
+// expected wasted attempts per commit when a restarted transaction re-runs
+// at the same boundary position (correlated retries, duty cycle 1).
+func wastedAttemptsIntegral(n float64) float64 {
+	// Simpson's rule; the integrand is smooth and bounded by 2^(N−1).
+	const steps = 2000
+	g := func(f float64) float64 {
+		return 1 / (math.Pow(f, n) + math.Pow(1-f, n))
+	}
+	h := 1.0 / steps
+	sum := g(0) + g(1)
+	for i := 1; i < steps; i++ {
+		f := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * g(f)
+		} else {
+			sum += 2 * g(f)
+		}
+	}
+	return sum*h/3 - 1
+}
+
+// oneMinusExp returns 1 − e^(−x) with care for tiny x.
+func oneMinusExp(x float64) float64 {
+	if x < 1e-8 {
+		return x
+	}
+	return 1 - math.Exp(-x)
+}
+
+// oldCopyFraction returns 1 − (1 − e^(−x))/x, the probability integrated
+// over the sweep that a segment receives an update before the cursor
+// reaches it, where x = u·A/N_seg.
+func oldCopyFraction(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x < 1e-6 {
+		return x / 2 // series expansion avoids cancellation
+	}
+	return 1 - (1-math.Exp(-x))/x
+}
+
+// Evaluate runs the model for one algorithm and operating point.
+func Evaluate(p Params, o Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+
+	r := &Result{Algorithm: o.Algorithm, Params: p, Options: o}
+	rate := p.FlushRate()
+
+	r.MinDurationSeconds = minDuration(p, o)
+	d := r.MinDurationSeconds
+	if o.IntervalSeconds > d {
+		d = o.IntervalSeconds
+	}
+	r.DurationSeconds = d
+	w := checkpointWork(p, o, d)
+	r.SegmentsPerCheckpoint = w
+	r.ActiveSeconds = w / rate
+	if r.ActiveSeconds > d {
+		// Numerical slack at the fixed point.
+		r.ActiveSeconds = d
+	}
+	r.DutyCycle = r.ActiveSeconds / d
+	r.TxnsPerInterval = p.Lambda * d
+
+	alg := o.Algorithm
+	lsnActive := alg.UsesLSN() && !o.StableTail
+
+	// --- Synchronous overhead -------------------------------------------
+
+	// LSN (or COU timestamp) maintenance per update.
+	if lsnActive || alg.CopyOnUpdate() {
+		r.LSNMaintPerTxn = p.NRU * p.CLSN
+	}
+
+	// Copy-on-update old-version preservation.
+	if alg.CopyOnUpdate() {
+		x := p.UpdateRate() * r.ActiveSeconds / p.NumSegments()
+		r.COUCopiesPerCkpt = p.NumSegments() * oldCopyFraction(x)
+		perCopy := p.CAlloc + p.SSeg + 2*p.CLock // allocate, move S_seg words, re-latch
+		r.COUCopyPerTxn = r.COUCopiesPerCkpt / r.TxnsPerInterval * perCopy
+		// Peak live buffer: at cursor fraction c, a segment ahead of the
+		// cursor holds an old copy iff it was updated during [0, c·A];
+		// live(c) = N·(1−c)·(1−e^(−x·c)). Maximize by sampling.
+		peak := 0.0
+		for i := 1; i < 200; i++ {
+			c := float64(i) / 200
+			if v := (1 - c) * oneMinusExp(x*c); v > peak {
+				peak = v
+			}
+		}
+		r.COUOldBufferWords = p.NumSegments() * peak * p.SSeg
+	}
+
+	// Two-color restarts.
+	if alg.TwoColor() {
+		switch o.Retry {
+		case IndependentRetries:
+			// Every attempt samples the boundary independently:
+			// p = duty · ∫₀¹ (1 − f^N − (1−f)^N) df = duty · (1 − 2/(N+1)).
+			pMix := 1 - 2/(p.NRU+1)
+			r.PRestart = r.DutyCycle * pMix
+			if r.PRestart >= 1 {
+				return nil, fmt.Errorf("analytic: restart probability %v ≥ 1; system cannot keep up", r.PRestart)
+			}
+			r.RestartsPerCommit = r.PRestart / (1 - r.PRestart)
+		case CorrelatedRetries:
+			// Immediate retries re-sample the same boundary: a transaction
+			// arriving at black fraction f makes 1/(1−p(f)) attempts, so
+			// wasted attempts per commit integrate to
+			// duty · ∫₀¹ p(f)/(1−p(f)) df, and the attempt-weighted abort
+			// probability is wasted/(1+wasted).
+			r.RestartsPerCommit = r.DutyCycle * wastedAttemptsIntegral(p.NRU)
+			r.PRestart = r.RestartsPerCommit / (1 + r.RestartsPerCommit)
+		default:
+			return nil, fmt.Errorf("analytic: unknown retry model %v", o.Retry)
+		}
+		perAttempt := p.AbortWorkFraction*p.CTrans + p.CRestart
+		if lsnActive {
+			perAttempt += p.AbortWorkFraction * p.NRU * p.CLSN
+		}
+		r.RestartCostPerTxn = r.RestartsPerCommit * perAttempt
+	}
+
+	r.SyncOverheadPerTxn = r.LSNMaintPerTxn + r.COUCopyPerTxn + r.RestartCostPerTxn
+
+	// --- Asynchronous (checkpointer) overhead ---------------------------
+
+	// Per flushed segment: I/O initiation, plus an LSN check.
+	perFlush := p.CIO
+	if lsnActive {
+		perFlush += p.CLSN
+	}
+	asyncPerCkpt := w * perFlush
+
+	// Checkpointer segment copies. Under COU, segments whose old version
+	// was preserved by an updater are flushed from that buffer at no extra
+	// movement cost; only untouched dirty segments are copied by COUCOPY.
+	copiedSegs := 0.0
+	switch {
+	case alg == FuzzyCopy || alg == TwoColorCopy:
+		copiedSegs = w
+	case alg == COUCopy:
+		x := p.UpdateRate() * r.ActiveSeconds / p.NumSegments()
+		copiedSegs = w * (1 - oldCopyFraction(x))
+	}
+	copyCost := copiedSegs * (p.SSeg + p.CAlloc)
+	asyncPerCkpt += copyCost
+
+	// Segment locking: the two-color and COU checkpointers lock and unlock
+	// every segment in the database each sweep (clean segments are locked,
+	// inspected, and released).
+	lockCost := 0.0
+	if alg.LocksSegments() {
+		lockCost = 2 * p.CLock * p.NumSegments()
+	}
+	asyncPerCkpt += lockCost
+
+	// Dirty-bit scan (partial checkpoints) and fixed per-checkpoint cost.
+	scanCost := p.CCkptFixed
+	if !o.Full {
+		scanCost += p.CDirtyCheck * p.NumSegments()
+	}
+	asyncPerCkpt += scanCost
+
+	r.AsyncOverheadPerTxn = asyncPerCkpt / r.TxnsPerInterval
+	r.FlushCostPerTxn = w * perFlush / r.TxnsPerInterval
+	r.CopyCostPerTxn = copyCost / r.TxnsPerInterval
+	r.LockCostPerTxn = lockCost / r.TxnsPerInterval
+	r.ScanCostPerTxn = scanCost / r.TxnsPerInterval
+
+	r.OverheadPerTxn = r.SyncOverheadPerTxn + r.AsyncOverheadPerTxn
+
+	// --- Recovery time ---------------------------------------------------
+
+	// Read the whole backup copy back into memory.
+	r.BackupReadSeconds = p.NumSegments() * p.SegmentIOTime() / p.NDisks
+
+	// Log volume: committed transactions plus the dead redo of two-color
+	// aborts (the paper's "added log bulk"). Logical logging replaces the
+	// after image with a small operand.
+	redoWords := p.SRec + p.LogHeaderWords
+	if o.LogicalLogging {
+		redoWords = p.LogicalOperandWords + p.LogHeaderWords
+	}
+	logRate := p.Lambda * (p.NRU*redoWords + p.CommitRecWords)
+	if alg.TwoColor() {
+		perAborted := p.AbortWorkFraction*p.NRU*redoWords + p.CommitRecWords
+		logRate += p.Lambda * r.RestartsPerCommit * perAborted
+	}
+	r.LogWordsPerSecond = logRate
+
+	// Expected log span to replay: the last completed checkpoint began
+	// between D and 2D ago (uniform failure instant) → 1.5·D on average.
+	logSpan := 1.5 * d
+	r.LogReadSeconds = p.TSeek + logRate*logSpan*p.TTrans/p.NDisks
+	r.RecoverySeconds = r.BackupReadSeconds + r.LogReadSeconds
+
+	return r, nil
+}
+
+// MustEvaluate is Evaluate for static configurations known to be valid;
+// it panics on error. Used by the figure generators.
+func MustEvaluate(p Params, o Options) *Result {
+	r, err := Evaluate(p, o)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

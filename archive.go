@@ -1,0 +1,44 @@
+package mmdb
+
+import (
+	"io"
+
+	"mmdb/internal/inspect"
+)
+
+// Archive writes a self-contained dump of the database directory's most
+// recent complete checkpoint, plus exactly the log suffix its recovery
+// needs, to w. The database must not be open. (Section 2.7 of the paper:
+// dumping the backup database is easy in an MMDBMS because the
+// checkpointer's disk layout is predictable.)
+//
+// It returns the number of segments and log bytes archived.
+func Archive(dir string, w io.Writer) (segments int, logBytes int64, err error) {
+	return inspect.Archive(dir, w)
+}
+
+// ArchiveRestoreInfo summarizes a RestoreArchive.
+type ArchiveRestoreInfo struct {
+	// CheckpointID and Algorithm identify the restored checkpoint.
+	CheckpointID uint64
+	Algorithm    string
+	// Segments and LogBytes are the restored volumes.
+	Segments int
+	LogBytes int64
+}
+
+// RestoreArchive materializes an archive produced by Archive as a
+// recoverable database directory at dir, which must not already hold a
+// database. Open the result with Recover or OpenOrRecover.
+func RestoreArchive(src io.Reader, dir string) (*ArchiveRestoreInfo, error) {
+	info, err := inspect.RestoreArchive(src, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &ArchiveRestoreInfo{
+		CheckpointID: info.Checkpoint.ID,
+		Algorithm:    info.Checkpoint.Algorithm,
+		Segments:     info.Segments,
+		LogBytes:     info.LogBytes,
+	}, nil
+}

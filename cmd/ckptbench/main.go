@@ -1,0 +1,192 @@
+// Command ckptbench drives the real mmdb engine under the paper's load
+// model: concurrent writers issue transactions of uniform record updates
+// while the configured checkpoint algorithm maintains the backup database.
+// At the end it optionally crashes the engine and times recovery, then
+// reports throughput, checkpoint activity, the measured restart
+// probability, and the run priced in the paper's instructions-per-
+// transaction metric.
+//
+// Example:
+//
+//	ckptbench -alg 2CCOPY -records 65536 -txns 20000 -writers 4 -crash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmdb"
+	"mmdb/analytic"
+	"mmdb/workload"
+)
+
+var (
+	algName  = flag.String("alg", "COUCOPY", "checkpoint algorithm")
+	records  = flag.Int("records", 1<<16, "number of records")
+	recBytes = flag.Int("recbytes", 128, "record size in bytes")
+	segBytes = flag.Int("segbytes", 0, "segment size in bytes (0 = 256 records)")
+	txns     = flag.Int("txns", 20000, "transactions to run")
+	updates  = flag.Int("updates", 5, "updates per transaction (the paper's N_ru)")
+	writers  = flag.Int("writers", 4, "concurrent writer goroutines")
+	interval = flag.Duration("interval", 0, "checkpoint interval (0 = back-to-back)")
+	full     = flag.Bool("full", false, "full checkpoints")
+	stable   = flag.Bool("stable", false, "stable log tail")
+	syncCmt  = flag.Bool("sync", false, "synchronous commit")
+	zipfS    = flag.Float64("zipf", 0, "Zipf skew (>1 enables skewed access; 0 = uniform, the paper's model)")
+	tps      = flag.Float64("tps", 0, "target transaction arrival rate (Poisson, split across writers; 0 = unpaced)")
+	crash    = flag.Bool("crash", false, "crash at the end and time recovery")
+	dirFlag  = flag.String("dir", "", "database directory (default: a temp dir)")
+	seed     = flag.Int64("seed", 1, "workload seed")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ckptbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	alg, err := mmdb.ParseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	dir := *dirFlag
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "ckptbench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	cfg := mmdb.Config{
+		Dir:                 filepath.Clean(dir),
+		NumRecords:          *records,
+		RecordBytes:         *recBytes,
+		SegmentBytes:        *segBytes,
+		Algorithm:           alg,
+		FullCheckpoints:     *full,
+		StableLogTail:       *stable || alg == mmdb.FastFuzzy,
+		SyncCommit:          *syncCmt,
+		GroupCommitInterval: 2 * time.Millisecond,
+		CheckpointInterval:  *interval,
+		AutoCheckpoint:      true,
+	}
+	db, err := mmdb.Open(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("engine: %v\n", db)
+	fmt.Printf("load: %d txns × %d updates, %d writers, %s access\n\n",
+		*txns, *updates, *writers, map[bool]string{true: "zipf", false: "uniform"}[*zipfS > 1])
+
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	perWriter := *txns / *writers
+	for w := 0; w < *writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var gen workload.Generator
+			var gerr error
+			if *zipfS > 1 {
+				gen, gerr = workload.NewZipf(*records, *updates, *recBytes, *zipfS, *seed+int64(w))
+			} else {
+				gen, gerr = workload.NewUniform(*records, *updates, *recBytes, *seed+int64(w))
+			}
+			if gerr != nil {
+				fmt.Fprintln(os.Stderr, "ckptbench:", gerr)
+				return
+			}
+			var pacer *workload.Pacer
+			if *tps > 0 {
+				pacer, gerr = workload.NewPacer(*tps/float64(*writers), true, *seed+100+int64(w))
+				if gerr != nil {
+					fmt.Fprintln(os.Stderr, "ckptbench:", gerr)
+					return
+				}
+			}
+			for i := 0; i < perWriter; i++ {
+				if pacer != nil {
+					pacer.Wait()
+				}
+				spec := gen.Next()
+				err := db.Exec(func(tx *mmdb.Txn) error {
+					for _, u := range spec.Updates {
+						if err := tx.Write(u.Record, u.Value); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ckptbench: txn:", err)
+					return
+				}
+				done.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	db.StopCheckpointLoop()
+
+	st := db.Stats()
+	fmt.Printf("committed %d txns in %v (%.0f txn/s)\n", done.Load(), elapsed.Round(time.Millisecond),
+		float64(done.Load())/elapsed.Seconds())
+	fmt.Printf("checkpoints: %d completed, %d segments flushed (%.1f MB), %d skipped clean\n",
+		st.Checkpoints, st.SegmentsFlushed, float64(st.BytesFlushed)/1e6, st.SegmentsSkipped)
+	fmt.Printf("last checkpoint: %v; avg %v\n",
+		st.LastCheckpointTime.Round(time.Microsecond), avgCkpt(st).Round(time.Microsecond))
+	fmt.Printf("two-color: %d restarts of %d attempts (measured p_restart = %.4f)\n",
+		st.ColorRestarts, st.TxnsBegun, st.PRestart())
+	fmt.Printf("copy-on-update: %d old-version copies (%.1f MB), peak %d live\n",
+		st.COUCopies, float64(st.COUCopyBytes)/1e6, st.COUPeakOld)
+	fmt.Printf("log: %d appends, %d flushes, %.1f MB; locks: %d acquired, %d waits, %d timeouts\n",
+		st.LogAppends, st.LogFlushes, float64(st.LogBytes)/1e6, st.LockAcquires, st.LockWaits, st.LockTimeouts)
+
+	// Price the run in the paper's metric.
+	perTxn, syncC, asyncC, err := analytic.MeasuredOverhead(analytic.DefaultParams(), db.MeasuredCounts())
+	if err == nil {
+		fmt.Printf("modeled checkpointing overhead: %.0f instructions/txn (sync %.0f + async %.0f)\n",
+			perTxn, syncC, asyncC)
+	}
+
+	if !*crash {
+		return db.Close()
+	}
+
+	fmt.Println("\ncrashing...")
+	if err := db.Crash(); err != nil {
+		return err
+	}
+	rstart := time.Now()
+	db2, rep, err := mmdb.Recover(cfg)
+	if err != nil {
+		return err
+	}
+	defer db2.Close()
+	fmt.Printf("recovered in %v: checkpoint %d (copy %d, %s), %d segments loaded (%.1f MB), "+
+		"%d log records scanned (%.1f MB), %d txns replayed, %d updates applied, %d discarded\n",
+		time.Since(rstart).Round(time.Millisecond), rep.CheckpointID, rep.UsedCopy,
+		rep.CheckpointAlgorithm, rep.SegmentsLoaded, float64(rep.BackupBytesRead)/1e6,
+		rep.RecordsScanned, float64(rep.LogBytesRead)/1e6,
+		rep.TxnsReplayed, rep.UpdatesApplied, rep.UpdatesDiscarded)
+	return nil
+}
+
+func avgCkpt(st mmdb.Stats) time.Duration {
+	if st.Checkpoints == 0 {
+		return 0
+	}
+	return st.TotalCheckpointTime / time.Duration(st.Checkpoints)
+}

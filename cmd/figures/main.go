@@ -1,0 +1,356 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Salem & Garcia-Molina, "Checkpointing Memory-Resident
+// Databases", Section 4) from the reconstructed analytic model, optionally
+// cross-checked against the discrete-event simulator.
+//
+// Usage:
+//
+//	figures [-fig 4a|4b|4c|4d|4e|prestart|tables|all] [-sim] [-csv]
+//
+// With -sim, Figures 4a/4c/4e also print the simulator's measurements next
+// to the model's. With -csv, series are emitted as CSV instead of aligned
+// text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"mmdb/analytic"
+	"mmdb/sim"
+)
+
+var (
+	figFlag = flag.String("fig", "all", "figure to print: 4a, 4b, 4c, 4d, 4e, prestart, tables, or all")
+	simFlag = flag.Bool("sim", false, "cross-check figures 4a/4c/4e against the discrete-event simulator")
+	csvFlag = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	seed    = flag.Int64("seed", 1, "simulator seed")
+)
+
+func main() {
+	flag.Parse()
+	p := analytic.DefaultParams()
+	which := strings.ToLower(*figFlag)
+	all := which == "all"
+	ran := false
+
+	run := func(id string, fn func(analytic.Params) error) {
+		if !all && which != id {
+			return
+		}
+		ran = true
+		if err := fn(p); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("tables", printTables)
+	run("4a", printFigure4a)
+	run("4b", printFigure4b)
+	run("4c", printFigure4c)
+	run("4d", printFigure4d)
+	run("4e", printFigure4e)
+	run("prestart", printPRestart)
+	run("extensions", printExtensions)
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *figFlag)
+		os.Exit(2)
+	}
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func emit(header []string, rows [][]string) {
+	if *csvFlag {
+		fmt.Println(strings.Join(header, ","))
+		for _, r := range rows {
+			fmt.Println(strings.Join(r, ","))
+		}
+		return
+	}
+	w := newTab()
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+}
+
+func printTables(p analytic.Params) error {
+	fmt.Println("== Tables 2a-2d: model parameters (paper defaults) ==")
+	emit([]string{"symbol", "parameter", "value", "units"}, [][]string{
+		{"C_lock", "(un)locking overhead", fmt.Sprintf("%.0f", p.CLock), "instructions"},
+		{"C_alloc", "buffer (de)allocation overhead", fmt.Sprintf("%.0f", p.CAlloc), "instructions"},
+		{"C_io", "I/O overhead", fmt.Sprintf("%.0f", p.CIO), "instructions"},
+		{"C_lsn", "maintain LSNs", fmt.Sprintf("%.0f", p.CLSN), "instructions"},
+		{"T_seek", "I/O delay time", fmt.Sprintf("%.2f", p.TSeek), "seconds"},
+		{"T_trans", "transfer time constant", fmt.Sprintf("%.0f", p.TTrans*1e6), "µs/word"},
+		{"N_bdisks", "number of disks", fmt.Sprintf("%.0f", p.NDisks), "disks"},
+		{"S_db", "database size", fmt.Sprintf("%.0f", p.SDB/(1<<20)), "Mwords"},
+		{"S_rec", "record size", fmt.Sprintf("%.0f", p.SRec), "words"},
+		{"S_seg", "segment size", fmt.Sprintf("%.0f", p.SSeg), "words"},
+		{"lambda", "arrival rate", fmt.Sprintf("%.0f", p.Lambda), "txns/second"},
+		{"N_ru", "number of updates", fmt.Sprintf("%.0f", p.NRU), "records/txn"},
+		{"C_trans", "transaction processor cost", fmt.Sprintf("%.0f", p.CTrans), "instructions"},
+	})
+	fmt.Printf("\nderived: N_seg=%.0f segments, u=%.0f updates/s, t_seg=%.4fs, flush rate=%.1f seg/s\n",
+		p.NumSegments(), p.UpdateRate(), p.SegmentIOTime(), p.FlushRate())
+	return nil
+}
+
+func simFor(p analytic.Params, o analytic.Options) (*sim.Result, error) {
+	return sim.Run(sim.Config{Params: p, Options: o, Seed: *seed})
+}
+
+func printFigure4a(p analytic.Params) error {
+	fig, err := analytic.Figure4a(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 4a: Processor Overhead and Recovery Time (checkpoints ASAP, defaults) ==")
+	header := []string{"algorithm", "overhead(instr/txn)", "sync", "async", "recovery(s)", "p_restart", "D(s)"}
+	if *simFlag {
+		header = append(header, "sim:overhead", "sim:recovery", "sim:p_restart")
+	}
+	var rows [][]string
+	for _, s := range fig.Series {
+		r := s.Points[0].Result
+		row := []string{
+			s.Name,
+			fmt.Sprintf("%.0f", r.OverheadPerTxn),
+			fmt.Sprintf("%.0f", r.SyncOverheadPerTxn),
+			fmt.Sprintf("%.0f", r.AsyncOverheadPerTxn),
+			fmt.Sprintf("%.1f", r.RecoverySeconds),
+			fmt.Sprintf("%.3f", r.PRestart),
+			fmt.Sprintf("%.1f", r.DurationSeconds),
+		}
+		if *simFlag {
+			sr, err := simFor(p, r.Options)
+			if err != nil {
+				return err
+			}
+			row = append(row,
+				fmt.Sprintf("%.0f", sr.OverheadPerTxn),
+				fmt.Sprintf("%.1f", sr.RecoverySeconds),
+				fmt.Sprintf("%.3f", sr.PRestart))
+		}
+		rows = append(rows, row)
+	}
+	emit(header, rows)
+	return nil
+}
+
+func printFigure4b(p analytic.Params) error {
+	fig, err := analytic.Figure4b(p, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 4b: Processor Overhead / Recovery Time Trade-off (vary interval; 1x and 2x bandwidth) ==")
+	var rows [][]string
+	for _, s := range fig.Series {
+		for _, pt := range s.Points {
+			rows = append(rows, []string{
+				s.Name,
+				fmt.Sprintf("%.1f", pt.X),
+				fmt.Sprintf("%.0f", pt.Result.OverheadPerTxn),
+				fmt.Sprintf("%.1f", pt.Result.RecoverySeconds),
+				fmt.Sprintf("%.3f", pt.Result.PRestart),
+			})
+		}
+	}
+	emit([]string{"series", "interval(s)", "overhead(instr/txn)", "recovery(s)", "p_restart"}, rows)
+	return nil
+}
+
+func printFigure4c(p analytic.Params) error {
+	fig, err := analytic.Figure4c(p, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 4c: Effect of Varying Transaction Load (overhead/txn vs lambda, checkpoints ASAP) ==")
+	// Pivot: one row per load, one column per algorithm.
+	header := []string{"lambda"}
+	for _, s := range fig.Series {
+		header = append(header, s.Name)
+	}
+	if len(fig.Series) == 0 {
+		return nil
+	}
+	var rows [][]string
+	for i, pt := range fig.Series[0].Points {
+		row := []string{fmt.Sprintf("%.0f", pt.X)}
+		for _, s := range fig.Series {
+			row = append(row, fmt.Sprintf("%.0f", s.Points[i].Result.OverheadPerTxn))
+		}
+		rows = append(rows, row)
+	}
+	emit(header, rows)
+	if *simFlag {
+		fmt.Println("\n-- simulator cross-check (COUCOPY and 2CFLUSH) --")
+		var srows [][]string
+		for _, lam := range analytic.DefaultLoadSweep {
+			pp := p
+			pp.Lambda = lam
+			row := []string{fmt.Sprintf("%.0f", lam)}
+			for _, alg := range []analytic.Algorithm{analytic.COUCopy, analytic.TwoColorFlush} {
+				sr, err := simFor(pp, analytic.Options{Algorithm: alg})
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%.0f", sr.OverheadPerTxn))
+			}
+			srows = append(srows, row)
+		}
+		emit([]string{"lambda", "sim:COUCOPY", "sim:2CFLUSH"}, srows)
+	}
+	return nil
+}
+
+func printFigure4d(p analytic.Params) error {
+	fig, err := analytic.Figure4d(p, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 4d: Effect of Varying Segment Size (solid=ASAP, dotted=fixed 300s interval) ==")
+	names := make([]string, 0, len(fig.Series))
+	pts := map[string][]analytic.Point{}
+	for _, s := range fig.Series {
+		names = append(names, s.Name)
+		pts[s.Name] = s.Points
+	}
+	sort.Strings(names)
+	header := append([]string{"S_seg(words)"}, names...)
+	var rows [][]string
+	for i, seg := range analytic.DefaultSegmentSweep {
+		row := []string{fmt.Sprintf("%.0f", seg)}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.0f", pts[n][i].Result.OverheadPerTxn))
+		}
+		rows = append(rows, row)
+	}
+	emit(header, rows)
+	return nil
+}
+
+func printFigure4e(p analytic.Params) error {
+	fig, err := analytic.Figure4e(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 4e: Processor Overhead with Stable Log Tail (checkpoints ASAP) ==")
+	header := []string{"algorithm", "overhead(instr/txn)", "sync", "async"}
+	if *simFlag {
+		header = append(header, "sim:overhead")
+	}
+	var rows [][]string
+	for _, s := range fig.Series {
+		r := s.Points[0].Result
+		row := []string{
+			s.Name,
+			fmt.Sprintf("%.0f", r.OverheadPerTxn),
+			fmt.Sprintf("%.0f", r.SyncOverheadPerTxn),
+			fmt.Sprintf("%.0f", r.AsyncOverheadPerTxn),
+		}
+		if *simFlag {
+			sr, err := simFor(p, r.Options)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.0f", sr.OverheadPerTxn))
+		}
+		rows = append(rows, row)
+	}
+	emit(header, rows)
+	return nil
+}
+
+func printPRestart(p analytic.Params) error {
+	fmt.Println("== p_restart: checkpoint-induced restart probability (Section 4) ==")
+	var rows [][]string
+	for _, alg := range []analytic.Algorithm{analytic.TwoColorFlush, analytic.TwoColorCopy} {
+		fig, err := analytic.PRestartCurve(p, alg, nil)
+		if err != nil {
+			return err
+		}
+		for _, pt := range fig.Series[0].Points {
+			rows = append(rows, []string{
+				alg.String(),
+				fmt.Sprintf("%.1f", pt.X),
+				fmt.Sprintf("%.3f", pt.Result.DutyCycle),
+				fmt.Sprintf("%.3f", pt.Result.PRestart),
+				fmt.Sprintf("%.2f", pt.Result.RestartsPerCommit),
+			})
+		}
+	}
+	emit([]string{"algorithm", "interval(s)", "duty", "p_restart", "reruns/commit"}, rows)
+	// The correlated-retry extension.
+	ind, err := analytic.Evaluate(p, analytic.Options{Algorithm: analytic.TwoColorCopy})
+	if err != nil {
+		return err
+	}
+	cor, err := analytic.Evaluate(p, analytic.Options{Algorithm: analytic.TwoColorCopy, Retry: analytic.CorrelatedRetries})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nretry-model extension (2CCOPY, ASAP): independent p=%.3f (%.2f reruns) vs correlated p=%.3f (%.2f reruns)\n",
+		ind.PRestart, ind.RestartsPerCommit, cor.PRestart, cor.RestartsPerCommit)
+	return nil
+}
+
+// printExtensions reports the beyond-the-paper experiments: logical
+// logging's log-volume/recovery effect, the COU old-copy buffer peak, and
+// skewed-access checkpoint work (simulated at a scaled operating point).
+func printExtensions(p analytic.Params) error {
+	fmt.Println("== Extensions beyond the paper ==")
+
+	phys := analytic.MustEvaluate(p, analytic.Options{Algorithm: analytic.COUCopy})
+	logi := analytic.MustEvaluate(p, analytic.Options{Algorithm: analytic.COUCopy, LogicalLogging: true})
+	fmt.Println("\n-- logical (operation) logging, COUCOPY at defaults --")
+	emit([]string{"logging", "log words/s", "log read (s)", "recovery (s)", "overhead (instr/txn)"}, [][]string{
+		{"physical", fmt.Sprintf("%.0f", phys.LogWordsPerSecond), fmt.Sprintf("%.2f", phys.LogReadSeconds),
+			fmt.Sprintf("%.1f", phys.RecoverySeconds), fmt.Sprintf("%.0f", phys.OverheadPerTxn)},
+		{"logical", fmt.Sprintf("%.0f", logi.LogWordsPerSecond), fmt.Sprintf("%.2f", logi.LogReadSeconds),
+			fmt.Sprintf("%.1f", logi.RecoverySeconds), fmt.Sprintf("%.0f", logi.OverheadPerTxn)},
+	})
+
+	fmt.Printf("\n-- COU old-copy buffer (model): %.0f copies/ckpt peak ≈ %.1f Mwords (%.1f%% of the database) --\n",
+		phys.COUCopiesPerCkpt, phys.COUOldBufferWords/1e6, 100*phys.COUOldBufferWords/p.SDB)
+
+	// Skew: simulated at a scaled operating point (full scale runs too).
+	sp := p
+	sp.SDB = 4096 * 512
+	sp.SSeg = 4096
+	sp.Lambda = 200
+	fmt.Println("\n-- skewed access (simulator, scaled: 512 segments, lambda=200, FUZZYCOPY) --")
+	rows := [][]string{}
+	for _, skew := range []float64{0, 1.2, 1.5} {
+		res, err := sim.Run(sim.Config{
+			Params:  sp,
+			Options: analytic.Options{Algorithm: analytic.FuzzyCopy},
+			Seed:    *seed,
+			Skew:    skew,
+		})
+		if err != nil {
+			return err
+		}
+		label := "uniform (paper)"
+		if skew > 0 {
+			label = fmt.Sprintf("zipf s=%.1f", skew)
+		}
+		rows = append(rows, []string{label,
+			fmt.Sprintf("%.0f", res.SegmentsPerCheckpoint),
+			fmt.Sprintf("%.2f", res.MeanDurationSeconds),
+			fmt.Sprintf("%.0f", res.OverheadPerTxn)})
+	}
+	emit([]string{"access pattern", "segs/ckpt", "duration (s)", "overhead (instr/txn)"}, rows)
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command testbed runs the paper's Section 5 testbed: the live engine
+// under a paced load with checkpoint I/O throttled by the Table 2b disk
+// model, measured side by side with the analytic model's prediction at
+// the same scaled parameters.
+//
+// Example:
+//
+//	testbed -algs COUCOPY,2CCOPY -lambda 500 -txns 4000 -speedup 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"mmdb"
+	"mmdb/internal/testbed"
+)
+
+var (
+	algsFlag = flag.String("algs", "FUZZYCOPY,FASTFUZZY,2CFLUSH,2CCOPY,COUFLUSH,COUCOPY", "comma-separated algorithms")
+	records  = flag.Int("records", 1<<14, "records")
+	recBytes = flag.Int("recbytes", 128, "record bytes")
+	segBytes = flag.Int("segbytes", 0, "segment bytes (0 = 256 records)")
+	lambda   = flag.Float64("lambda", 500, "target transactions/second")
+	updates  = flag.Int("updates", 5, "updates per transaction (N_ru)")
+	txns     = flag.Int("txns", 2000, "transactions per cell")
+	writers  = flag.Int("writers", 4, "concurrent writers")
+	speedup  = flag.Float64("speedup", 1, "disk-model speedup")
+	seed     = flag.Int64("seed", 1, "workload seed")
+)
+
+func main() {
+	flag.Parse()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tTPS\tp_restart\tmodel p\tactive ckpt (s)\tmodel active\tsegs/ckpt\tmodel segs\tinstr/txn\tmodel instr")
+	for _, name := range strings.Split(*algsFlag, ",") {
+		alg, err := mmdb.ParseAlgorithm(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "testbed:", err)
+			os.Exit(2)
+		}
+		res, err := testbed.Run(testbed.Scenario{
+			Algorithm:     alg,
+			Records:       *records,
+			RecordBytes:   *recBytes,
+			SegmentBytes:  *segBytes,
+			Lambda:        *lambda,
+			UpdatesPerTxn: *updates,
+			Txns:          *txns,
+			Writers:       *writers,
+			Speedup:       *speedup,
+			Seed:          *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "testbed: %v: %v\n", alg, err)
+			os.Exit(1)
+		}
+		m, p := res.Measured, res.Predicted
+		fmt.Fprintf(w, "%v\t%.0f\t%.3f\t%.3f\t%.4f\t%.4f\t%.1f\t%.1f\t%.0f\t%.0f\n",
+			alg, m.TPS, m.PRestart, p.PRestart,
+			m.ActiveCheckpointSecs, p.ActiveSeconds,
+			m.SegmentsPerCkpt, p.SegmentsPerCheckpoint,
+			m.OverheadPerTxn, p.OverheadPerTxn)
+	}
+	w.Flush()
+	fmt.Println("\n(measured on the live engine with throttled checkpoint I/O; 'model' = analytic prediction at the scaled parameters)")
+}

@@ -1,0 +1,172 @@
+package mmdb
+
+import (
+	"fmt"
+	"time"
+
+	"mmdb/analytic"
+	"mmdb/internal/engine"
+	"mmdb/internal/simdisk"
+	"mmdb/internal/storage"
+)
+
+// Algorithm selects a checkpoint algorithm; it is shared with the
+// analytic model and simulator packages.
+type Algorithm = analytic.Algorithm
+
+// The six checkpoint algorithms (see the package documentation).
+const (
+	FuzzyCopy     = analytic.FuzzyCopy
+	FastFuzzy     = analytic.FastFuzzy
+	TwoColorFlush = analytic.TwoColorFlush
+	TwoColorCopy  = analytic.TwoColorCopy
+	COUFlush      = analytic.COUFlush
+	COUCopy       = analytic.COUCopy
+)
+
+// Algorithms lists every algorithm in the paper's presentation order.
+var Algorithms = analytic.Algorithms
+
+// ParseAlgorithm resolves a case-insensitive paper name ("COUCOPY",
+// "2cflush", ...) to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) { return analytic.Parse(name) }
+
+// Config describes a database. Dir, NumRecords, RecordBytes and Algorithm
+// are required; everything else has sensible defaults.
+type Config struct {
+	// Dir is the directory holding the redo log and the two backup
+	// database copies.
+	Dir string
+
+	// NumRecords is the number of fixed-size records.
+	NumRecords int
+	// RecordBytes is the record size (the paper's S_rec).
+	RecordBytes int
+	// SegmentBytes is the checkpoint transfer unit (the paper's S_seg); it
+	// must be a multiple of RecordBytes. Default: 256 records per segment.
+	SegmentBytes int
+
+	// Algorithm selects the checkpoint algorithm.
+	Algorithm Algorithm
+	// FullCheckpoints writes every segment each checkpoint instead of only
+	// those dirtied since the target copy's previous checkpoint.
+	FullCheckpoints bool
+	// StableLogTail simulates stable RAM holding the unflushed log: every
+	// commit is durable immediately and FASTFUZZY becomes legal.
+	StableLogTail bool
+
+	// SyncCommit makes Commit wait for log durability. Default is the
+	// paper's asynchronous group commit: commits return once logged in
+	// memory, and durability follows within GroupCommitInterval (or at the
+	// next checkpoint's write-ahead flush).
+	SyncCommit bool
+	// GroupCommitInterval is the background log-flush period. Zero
+	// disables the background flusher.
+	GroupCommitInterval time.Duration
+	// SyncOnFlush fsyncs the log file on each flush.
+	SyncOnFlush bool
+
+	// CheckpointInterval is the begin-to-begin checkpoint period for the
+	// checkpoint loop; zero checkpoints back-to-back.
+	CheckpointInterval time.Duration
+	// AutoCheckpoint starts the checkpoint loop on Open/Recover.
+	AutoCheckpoint bool
+	// CheckpointDirtyFraction, when in (0,1], makes the checkpoint loop
+	// start early once that fraction of segments is dirty for the next
+	// backup copy, bounding checkpoint size under bursty loads while
+	// CheckpointInterval bounds the recovery log span.
+	CheckpointDirtyFraction float64
+
+	// LockTimeout bounds lock waits (deadlock resolution); expired waits
+	// abort the transaction with ErrDeadlock.
+	LockTimeout time.Duration
+
+	// Operations registers custom logical operations for Txn.ApplyOp
+	// (codes must not collide with the built-ins). Recovery replays
+	// logical records, so pass the same map when reopening the database.
+	Operations map[OpCode]OpFunc
+
+	// DisableLogCompaction keeps the whole log on disk instead of dropping
+	// the head no recovery can need after each checkpoint.
+	DisableLogCompaction bool
+
+	// ThrottleCheckpointIO paces checkpoint segment writes as if they went
+	// to the paper's disk bank (Table 2b: 30 ms seek, 3 µs/word, 20
+	// disks), with the modeled delays divided by ThrottleSpeedup. It lets
+	// experiments reproduce the paper's checkpoint-duration arithmetic on
+	// local files. Zero speedup with throttling enabled means 1 (real
+	// modeled time).
+	ThrottleCheckpointIO bool
+	ThrottleSpeedup      float64
+}
+
+// DefaultRecordsPerSegment sizes segments when SegmentBytes is zero.
+const DefaultRecordsPerSegment = 256
+
+// withDefaults fills defaulted fields.
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = c.RecordBytes * DefaultRecordsPerSegment
+	}
+	return c
+}
+
+// engineAlgorithm maps the public algorithm enumeration to the engine's.
+func engineAlgorithm(a Algorithm) (engine.Algorithm, error) {
+	switch a {
+	case FuzzyCopy:
+		return engine.FuzzyCopy, nil
+	case FastFuzzy:
+		return engine.FastFuzzy, nil
+	case TwoColorFlush:
+		return engine.TwoColorFlush, nil
+	case TwoColorCopy:
+		return engine.TwoColorCopy, nil
+	case COUFlush:
+		return engine.COUFlush, nil
+	case COUCopy:
+		return engine.COUCopy, nil
+	default:
+		return 0, fmt.Errorf("mmdb: unknown algorithm %v", a)
+	}
+}
+
+// engineParams converts the public configuration to engine parameters.
+func (c Config) engineParams() (engine.Params, error) {
+	c = c.withDefaults()
+	alg, err := engineAlgorithm(c.Algorithm)
+	if err != nil {
+		return engine.Params{}, err
+	}
+	p := engine.Params{
+		Dir: c.Dir,
+		Storage: storage.Config{
+			NumRecords:   c.NumRecords,
+			RecordBytes:  c.RecordBytes,
+			SegmentBytes: c.SegmentBytes,
+		},
+		Algorithm:               alg,
+		Full:                    c.FullCheckpoints,
+		StableTail:              c.StableLogTail,
+		SyncCommit:              c.SyncCommit,
+		LogFlushInterval:        c.GroupCommitInterval,
+		CheckpointInterval:      c.CheckpointInterval,
+		AutoCheckpoint:          c.AutoCheckpoint,
+		LockTimeout:             c.LockTimeout,
+		SyncOnFlush:             c.SyncOnFlush,
+		Operations:              c.Operations,
+		DisableLogCompaction:    c.DisableLogCompaction,
+		CheckpointDirtyFraction: c.CheckpointDirtyFraction,
+	}
+	if c.ThrottleCheckpointIO {
+		speedup := c.ThrottleSpeedup
+		if speedup == 0 {
+			speedup = 1
+		}
+		p.CheckpointThrottle = &engine.Throttle{Disks: simdisk.Default(), Speedup: speedup}
+	}
+	if err := p.Validate(); err != nil {
+		return engine.Params{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,70 @@
+package mmdb_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mmdb"
+)
+
+// Example walks the full lifecycle: open, transact, checkpoint, crash,
+// recover.
+func Example() {
+	dir, err := os.MkdirTemp("", "mmdb-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := mmdb.Config{
+		Dir:         dir,
+		NumRecords:  1024,
+		RecordBytes: 64,
+		Algorithm:   mmdb.COUCopy,
+		SyncCommit:  true,
+	}
+	db, err := mmdb.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A transaction: read-modify-write with automatic retry on checkpoint
+	// conflicts.
+	err = db.Exec(func(tx *mmdb.Txn) error {
+		return tx.Write(7, []byte("durable"))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	// Logical logging: the log carries an 8-byte delta, not a record image.
+	err = db.Exec(func(tx *mmdb.Txn) error {
+		return tx.ApplyOp(8, mmdb.OpAdd64, mmdb.Add64Operand(41))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate a system failure, then recover.
+	if err := db.Crash(); err != nil {
+		log.Fatal(err)
+	}
+	db2, rep, err := mmdb.Recover(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db2.Close()
+
+	v7, _ := db2.ReadRecord(7)
+	v8, _ := db2.ReadRecord(8)
+	fmt.Printf("recovered from checkpoint %d\n", rep.CheckpointID)
+	fmt.Printf("record 7: %s\n", v7[:7])
+	fmt.Printf("record 8: %d\n", v8[0])
+	// Output:
+	// recovered from checkpoint 1
+	// record 7: durable
+	// record 8: 41
+}

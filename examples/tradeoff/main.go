@@ -1,0 +1,105 @@
+// Tradeoff: a live-engine miniature of Figure 4b. For a range of
+// checkpoint intervals, the example runs the same transaction load, then
+// crashes and recovers, reporting the two sides of the trade-off the paper
+// tunes with the checkpoint duration:
+//
+//   - checkpointer work during normal processing (segments flushed,
+//     checkpoint count) — which falls as the interval grows, and
+//   - recovery work (log records scanned, updates replayed) — which grows
+//     with it, because a longer interval leaves more log to replay.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"mmdb"
+	"mmdb/workload"
+)
+
+const (
+	records  = 16384
+	txns     = 3000
+	perTxn   = 5
+	recBytes = 64
+)
+
+func main() {
+	intervals := []time.Duration{
+		0, // back-to-back: minimum recovery work, maximum checkpoint work
+		20 * time.Millisecond,
+		100 * time.Millisecond,
+		500 * time.Millisecond,
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "interval\tckpts\tsegs flushed\tlog replayed (records)\tupdates reapplied\trecovery")
+	for _, iv := range intervals {
+		row, err := runAt(iv)
+		if err != nil {
+			log.Fatalf("interval %v: %v", iv, err)
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+	fmt.Println("\nlonger intervals: less checkpoint work, more log to replay at recovery (Figure 4b's trade-off)")
+}
+
+func runAt(interval time.Duration) (string, error) {
+	dir, err := os.MkdirTemp("", "mmdb-tradeoff-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := mmdb.Config{
+		Dir:                dir,
+		NumRecords:         records,
+		RecordBytes:        recBytes,
+		Algorithm:          mmdb.COUCopy,
+		SyncCommit:         true,
+		AutoCheckpoint:     true,
+		CheckpointInterval: interval,
+	}
+	db, err := mmdb.Open(cfg)
+	if err != nil {
+		return "", err
+	}
+
+	gen, err := workload.NewUniform(records, perTxn, recBytes, 7)
+	if err != nil {
+		return "", err
+	}
+	for i := 0; i < txns; i++ {
+		spec := gen.Next()
+		err := db.Exec(func(tx *mmdb.Txn) error {
+			for _, u := range spec.Updates {
+				if err := tx.Write(u.Record, u.Value); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+	}
+	st := db.Stats()
+	if err := db.Crash(); err != nil {
+		return "", err
+	}
+
+	start := time.Now()
+	db2, rep, err := mmdb.Recover(cfg)
+	if err != nil {
+		return "", err
+	}
+	rtime := time.Since(start)
+	defer db2.Close()
+
+	return fmt.Sprintf("%v\t%d\t%d\t%d\t%d\t%v",
+		interval, st.Checkpoints, st.SegmentsFlushed,
+		rep.RecordsScanned, rep.UpdatesApplied, rtime.Round(time.Microsecond)), nil
+}

@@ -1,0 +1,75 @@
+package index
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func benchKeys(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, rng.Uint64())
+		keys[i] = k
+	}
+	return keys
+}
+
+func BenchmarkTTreeInsert(b *testing.B) {
+	keys := benchKeys(b.N, 1)
+	tr := New(DefaultOrder)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i], uint64(i))
+	}
+}
+
+func BenchmarkTTreeGet(b *testing.B) {
+	const n = 1 << 16
+	keys := benchKeys(n, 2)
+	tr := New(DefaultOrder)
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.Get(keys[i%n]); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkTTreeDelete(b *testing.B) {
+	keys := benchKeys(b.N, 3)
+	tr := New(DefaultOrder)
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Delete(keys[i])
+	}
+}
+
+func BenchmarkTTreeAscend(b *testing.B) {
+	const n = 1 << 16
+	keys := benchKeys(n, 4)
+	tr := New(DefaultOrder)
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Ascend(nil, func([]byte, uint64) bool {
+			count++
+			return true
+		})
+		if count != tr.Len() {
+			b.Fatalf("visited %d", count)
+		}
+	}
+	b.ReportMetric(float64(n), "entries/scan")
+}

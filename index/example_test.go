@@ -1,0 +1,27 @@
+package index_test
+
+import (
+	"fmt"
+
+	"mmdb/index"
+)
+
+// Example shows ordered insertion, lookup, and range iteration.
+func Example() {
+	tree := index.New(0)
+	for i, name := range []string{"cherry", "apple", "banana", "damson"} {
+		tree.Insert([]byte(name), uint64(i))
+	}
+	if rid, ok := tree.Get([]byte("banana")); ok {
+		fmt.Println("banana ->", rid)
+	}
+	tree.Delete([]byte("cherry"))
+	tree.Ascend([]byte("b"), func(key []byte, rid uint64) bool {
+		fmt.Printf("%s (record %d)\n", key, rid)
+		return true
+	})
+	// Output:
+	// banana -> 2
+	// banana (record 2)
+	// damson (record 3)
+}

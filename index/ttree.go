@@ -1,0 +1,530 @@
+// Package index implements a T-tree, the classic main-memory database
+// index of Lehman & Carey cited in the paper's introduction ([Lehm85a]:
+// index structures designed for memory-resident data). A T-tree is an
+// AVL-balanced binary tree whose nodes each hold a small sorted array of
+// entries, combining the storage efficiency of arrays with the update
+// locality of trees.
+//
+// The index maps ordered byte-string keys to record IDs. It is a volatile
+// structure: main-memory databases do not checkpoint their indexes — they
+// rebuild them from the recovered primary data after a failure (the
+// approach of [Lehm87a]), which is what mmdb/kvstore does on recovery.
+//
+// The tree is not safe for concurrent use; callers serialize access.
+package index
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// DefaultOrder is the default maximum number of entries per node.
+const DefaultOrder = 32
+
+// minInternalFill is the entry count deletions try to maintain in
+// internal nodes by borrowing from a subtree. Unlike the original
+// T-tree's special rotations, this implementation lets a rotation
+// transiently promote a sparser leaf to an internal node — an occupancy
+// matter only; ordering and balance are unaffected.
+const minInternalFill = 2
+
+type entry struct {
+	key []byte
+	val uint64
+}
+
+type node struct {
+	parent, left, right *node
+	height              int // AVL height: leaves are 1
+	items               []entry
+}
+
+func (n *node) min() []byte { return n.items[0].key }
+func (n *node) max() []byte { return n.items[len(n.items)-1].key }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (n *node) balance() int { return height(n.left) - height(n.right) }
+
+func (n *node) recalc() {
+	lh, rh := height(n.left), height(n.right)
+	if lh > rh {
+		n.height = lh + 1
+	} else {
+		n.height = rh + 1
+	}
+}
+
+func (n *node) isLeaf() bool { return n.left == nil && n.right == nil }
+
+// search returns the index of key in n.items and whether it is present
+// (binary search).
+func (n *node) search(key []byte) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(n.items[mid].key, key) {
+		case -1:
+			lo = mid + 1
+		case 1:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// insertAt places e into n.items at position i.
+func (n *node) insertAt(i int, e entry) {
+	n.items = append(n.items, entry{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = e
+}
+
+// removeAt deletes the entry at position i and returns it.
+func (n *node) removeAt(i int) entry {
+	e := n.items[i]
+	copy(n.items[i:], n.items[i+1:])
+	n.items = n.items[:len(n.items)-1]
+	return e
+}
+
+// TTree is an ordered index from byte-string keys to uint64 values.
+// The zero value is not usable; construct with New.
+type TTree struct {
+	root  *node
+	order int
+	size  int
+}
+
+// New returns an empty T-tree holding up to order entries per node
+// (DefaultOrder if order <= 0; a minimum of 2 is enforced).
+func New(order int) *TTree {
+	if order <= 0 {
+		order = DefaultOrder
+	}
+	if order < 2 {
+		order = 2
+	}
+	return &TTree{order: order}
+}
+
+// Len returns the number of entries.
+func (t *TTree) Len() int { return t.size }
+
+// Height returns the tree height (0 when empty).
+func (t *TTree) Height() int { return height(t.root) }
+
+// Order returns the per-node capacity.
+func (t *TTree) Order() int { return t.order }
+
+// Get returns the value stored under key.
+func (t *TTree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case bytes.Compare(key, n.min()) < 0:
+			n = n.left
+		case bytes.Compare(key, n.max()) > 0:
+			n = n.right
+		default:
+			if i, ok := n.search(key); ok {
+				return n.items[i].val, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Insert stores val under key, replacing any existing value; it reports
+// whether a value was replaced. The key bytes are copied.
+func (t *TTree) Insert(key []byte, val uint64) (replaced bool) {
+	if t.root == nil {
+		t.root = &node{height: 1, items: []entry{{key: cloneKey(key), val: val}}}
+		t.size = 1
+		return false
+	}
+	n := t.root
+	for {
+		switch {
+		case bytes.Compare(key, n.min()) < 0:
+			if n.left == nil {
+				// Fell off the tree: key belongs before this node.
+				if len(n.items) < t.order {
+					n.insertAt(0, entry{key: cloneKey(key), val: val})
+				} else {
+					t.attachChild(n, &n.left, entry{key: cloneKey(key), val: val})
+				}
+				t.size++
+				return false
+			}
+			n = n.left
+		case bytes.Compare(key, n.max()) > 0:
+			if n.right == nil {
+				if len(n.items) < t.order {
+					n.insertAt(len(n.items), entry{key: cloneKey(key), val: val})
+				} else {
+					t.attachChild(n, &n.right, entry{key: cloneKey(key), val: val})
+				}
+				t.size++
+				return false
+			}
+			n = n.right
+		default:
+			// n is the bounding node.
+			i, ok := n.search(key)
+			if ok {
+				n.items[i].val = val
+				return true
+			}
+			if len(n.items) < t.order {
+				n.insertAt(i, entry{key: cloneKey(key), val: val})
+				t.size++
+				return false
+			}
+			// Full bounding node: push out its minimum to the left
+			// subtree (every left-subtree key is below the old minimum,
+			// so the spill becomes that subtree's maximum).
+			spill := n.removeAt(0)
+			n.insertAt(i-1, entry{key: cloneKey(key), val: val})
+			t.insertSpill(n, spill)
+			t.size++
+			return false
+		}
+	}
+}
+
+// attachChild creates a new child of parent at slot (which must be nil)
+// holding e, then rebalances.
+func (t *TTree) attachChild(parent *node, slot **node, e entry) {
+	child := &node{parent: parent, height: 1, items: []entry{e}}
+	*slot = child
+	t.rebalanceFrom(parent)
+}
+
+// insertSpill inserts the entry pushed out of full node n's low end: it
+// becomes the maximum of n's left subtree.
+func (t *TTree) insertSpill(n *node, spill entry) {
+	if n.left == nil {
+		t.attachChild(n, &n.left, spill)
+		return
+	}
+	// Rightmost node of the left subtree.
+	g := n.left
+	for g.right != nil {
+		g = g.right
+	}
+	if len(g.items) < t.order {
+		g.insertAt(len(g.items), spill)
+		return
+	}
+	t.attachChild(g, &g.right, spill)
+}
+
+// Delete removes key and reports whether it was present.
+func (t *TTree) Delete(key []byte) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case bytes.Compare(key, n.min()) < 0:
+			n = n.left
+		case bytes.Compare(key, n.max()) > 0:
+			n = n.right
+		default:
+			i, ok := n.search(key)
+			if !ok {
+				return false
+			}
+			n.removeAt(i)
+			t.size--
+			t.repair(n)
+			return true
+		}
+	}
+	return false
+}
+
+// repair restores node-occupancy and tree-shape invariants after a
+// removal from n.
+func (t *TTree) repair(n *node) {
+	if !n.isLeaf() && len(n.items) < minInternalFill {
+		// Borrow the closest entry from a subtree: the maximum of the
+		// left subtree (greatest lower bound) or the minimum of the right
+		// subtree (least upper bound).
+		if n.left != nil {
+			g := n.left
+			for g.right != nil {
+				g = g.right
+			}
+			n.insertAt(0, g.removeAt(len(g.items)-1))
+			t.repair(g)
+			return
+		}
+		g := n.right
+		for g.left != nil {
+			g = g.left
+		}
+		n.insertAt(len(n.items), g.removeAt(0))
+		t.repair(g)
+		return
+	}
+	if len(n.items) == 0 {
+		t.unlink(n)
+	}
+}
+
+// unlink removes the (empty, at-most-one-child) node n from the tree and
+// rebalances. A node emptied by repair is a leaf or has exactly one
+// child: internal nodes with two children always refill via repair.
+func (t *TTree) unlink(n *node) {
+	child := n.left
+	if child == nil {
+		child = n.right
+	}
+	if child != nil {
+		child.parent = n.parent
+	}
+	switch {
+	case n.parent == nil:
+		t.root = child
+	case n.parent.left == n:
+		n.parent.left = child
+	default:
+		n.parent.right = child
+	}
+	if n.parent != nil {
+		t.rebalanceFrom(n.parent)
+	}
+}
+
+// rebalanceFrom recomputes heights and applies AVL rotations from n to
+// the root.
+func (t *TTree) rebalanceFrom(n *node) {
+	for n != nil {
+		n.recalc()
+		switch b := n.balance(); {
+		case b > 1:
+			if n.left.balance() < 0 {
+				t.rotateLeft(n.left)
+			}
+			n = t.rotateRight(n)
+		case b < -1:
+			if n.right.balance() > 0 {
+				t.rotateRight(n.right)
+			}
+			n = t.rotateLeft(n)
+		}
+		n = n.parent
+	}
+}
+
+// rotateRight rotates the subtree rooted at n right and returns the new
+// subtree root.
+func (t *TTree) rotateRight(n *node) *node {
+	l := n.left
+	t.replaceChild(n, l)
+	n.left = l.right
+	if n.left != nil {
+		n.left.parent = n
+	}
+	l.right = n
+	n.parent = l
+	n.recalc()
+	l.recalc()
+	return l
+}
+
+// rotateLeft rotates the subtree rooted at n left and returns the new
+// subtree root.
+func (t *TTree) rotateLeft(n *node) *node {
+	r := n.right
+	t.replaceChild(n, r)
+	n.right = r.left
+	if n.right != nil {
+		n.right.parent = n
+	}
+	r.left = n
+	n.parent = r
+	n.recalc()
+	r.recalc()
+	return r
+}
+
+// replaceChild points n's parent at repl instead of n.
+func (t *TTree) replaceChild(n, repl *node) {
+	repl.parent = n.parent
+	switch {
+	case n.parent == nil:
+		t.root = repl
+	case n.parent.left == n:
+		n.parent.left = repl
+	default:
+		n.parent.right = repl
+	}
+}
+
+// Min returns the smallest key and its value.
+func (t *TTree) Min() (key []byte, val uint64, ok bool) {
+	n := t.root
+	if n == nil {
+		return nil, 0, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return cloneKey(n.min()), n.items[0].val, true
+}
+
+// Max returns the largest key and its value.
+func (t *TTree) Max() (key []byte, val uint64, ok bool) {
+	n := t.root
+	if n == nil {
+		return nil, 0, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return cloneKey(n.max()), n.items[len(n.items)-1].val, true
+}
+
+// Ascend calls fn for each entry with key >= from (every entry when from
+// is nil) in ascending key order, stopping when fn returns false. fn must
+// not modify the tree; the key slice is only valid during the call.
+func (t *TTree) Ascend(from []byte, fn func(key []byte, val uint64) bool) {
+	t.ascend(t.root, from, fn)
+}
+
+func (t *TTree) ascend(n *node, from []byte, fn func([]byte, uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	// The left subtree holds only keys below n.min; skip it when the
+	// lower bound already excludes them.
+	if from == nil || bytes.Compare(from, n.min()) < 0 {
+		if !t.ascend(n.left, from, fn) {
+			return false
+		}
+	}
+	start := 0
+	if from != nil {
+		start, _ = n.search(from)
+	}
+	for i := start; i < len(n.items); i++ {
+		if !fn(n.items[i].key, n.items[i].val) {
+			return false
+		}
+	}
+	// The right subtree holds only keys above n.max, all of which are at
+	// or above any lower bound that reached this node.
+	return t.ascend(n.right, from, fn)
+}
+
+// Descend calls fn for each entry with key <= from (every entry when from
+// is nil) in descending key order, stopping when fn returns false. fn
+// must not modify the tree; the key slice is only valid during the call.
+func (t *TTree) Descend(from []byte, fn func(key []byte, val uint64) bool) {
+	t.descend(t.root, from, fn)
+}
+
+func (t *TTree) descend(n *node, from []byte, fn func([]byte, uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	// The right subtree holds only keys above n.max; skip it when the
+	// upper bound already excludes them.
+	if from == nil || bytes.Compare(from, n.max()) > 0 {
+		if !t.descend(n.right, from, fn) {
+			return false
+		}
+	}
+	end := len(n.items)
+	if from != nil {
+		i, ok := n.search(from)
+		if ok {
+			end = i + 1
+		} else {
+			end = i
+		}
+	}
+	for i := end - 1; i >= 0; i-- {
+		if !fn(n.items[i].key, n.items[i].val) {
+			return false
+		}
+	}
+	// The left subtree holds only keys below n.min, all of which are at
+	// or below any upper bound that reached this node.
+	return t.descend(n.left, from, fn)
+}
+
+// CheckInvariants validates the tree's structural invariants: AVL
+// balance, correct heights, parent links, per-node ordering, node-range
+// ordering (left < min, max < right), capacity bounds, internal-node
+// minimum fill, and the entry count. It exists for tests.
+func (t *TTree) CheckInvariants() error {
+	count := 0
+	var last []byte
+	haveLast := false
+	var check func(n *node, parent *node) (int, error)
+	check = func(n, parent *node) (int, error) {
+		if n == nil {
+			return 0, nil
+		}
+		if n.parent != parent {
+			return 0, fmt.Errorf("index: bad parent pointer at node %q", n.min())
+		}
+		if len(n.items) == 0 {
+			return 0, fmt.Errorf("index: empty node in tree")
+		}
+		if len(n.items) > t.order {
+			return 0, fmt.Errorf("index: node over capacity: %d > %d", len(n.items), t.order)
+		}
+		lh, err := check(n.left, n)
+		if err != nil {
+			return 0, err
+		}
+		for i, e := range n.items {
+			if haveLast && bytes.Compare(last, e.key) >= 0 {
+				return 0, fmt.Errorf("index: order violation at %q (item %d)", e.key, i)
+			}
+			last = e.key
+			haveLast = true
+			count++
+		}
+		rh, err := check(n.right, n)
+		if err != nil {
+			return 0, err
+		}
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		h++
+		if n.height != h {
+			return 0, fmt.Errorf("index: stale height %d, want %d", n.height, h)
+		}
+		if lh-rh > 1 || rh-lh > 1 {
+			return 0, fmt.Errorf("index: AVL violation: balance %d", lh-rh)
+		}
+		return h, nil
+	}
+	if _, err := check(t.root, nil); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("index: size %d, counted %d", t.size, count)
+	}
+	return nil
+}
+
+func cloneKey(k []byte) []byte {
+	out := make([]byte, len(k))
+	copy(out, k)
+	return out
+}

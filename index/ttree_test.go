@@ -1,0 +1,407 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(i))
+	return b
+}
+
+func mustInvariants(t *testing.T, tr *TTree) {
+	t.Helper()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0)
+	if tr.Order() != DefaultOrder {
+		t.Errorf("default order = %d", tr.Order())
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Error("empty tree has size/height")
+	}
+	if _, ok := tr.Get(key(1)); ok {
+		t.Error("Get on empty tree")
+	}
+	if tr.Delete(key(1)) {
+		t.Error("Delete on empty tree")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree")
+	}
+	n := 0
+	tr.Ascend(nil, func([]byte, uint64) bool { n++; return true })
+	if n != 0 {
+		t.Error("Ascend visited entries in empty tree")
+	}
+	mustInvariants(t, tr)
+}
+
+func TestInsertGetBasic(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		if replaced := tr.Insert(key(i), uint64(i*10)); replaced {
+			t.Fatalf("fresh insert %d reported replace", i)
+		}
+		mustInvariants(t, tr)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != uint64(i*10) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(key(100)); ok {
+		t.Error("Get of absent key succeeded")
+	}
+	// Replace updates in place.
+	if !tr.Insert(key(50), 999) {
+		t.Error("replace not reported")
+	}
+	if v, _ := tr.Get(key(50)); v != 999 {
+		t.Errorf("replaced value = %d", v)
+	}
+	if tr.Len() != 100 {
+		t.Error("replace changed size")
+	}
+}
+
+func TestInsertOrderIndependence(t *testing.T) {
+	orders := [][]int{
+		ascending(200), descending(200), shuffled(200, 1), shuffled(200, 2),
+	}
+	for oi, order := range orders {
+		tr := New(4)
+		for _, i := range order {
+			tr.Insert(key(i), uint64(i))
+		}
+		mustInvariants(t, tr)
+		var got []int
+		tr.Ascend(nil, func(k []byte, v uint64) bool {
+			got = append(got, int(binary.BigEndian.Uint64(k)))
+			return true
+		})
+		if len(got) != 200 || !sort.IntsAreSorted(got) {
+			t.Fatalf("order %d: ascend output wrong (%d entries)", oi, len(got))
+		}
+	}
+}
+
+func ascending(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func descending(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - 1 - i
+	}
+	return out
+}
+
+func shuffled(n int, seed int64) []int {
+	out := ascending(n)
+	rand.New(rand.NewSource(seed)).Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New(8)
+	const n = 8192
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	mustInvariants(t, tr)
+	// 8192 entries at 8/node = 1024 nodes; AVL height ≤ 1.44·log2(1024)+1 ≈ 15.
+	if h := tr.Height(); h > 16 {
+		t.Errorf("height %d for %d nodes; not balanced", h, n/8)
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 64; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	for i := 0; i < 64; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+		mustInvariants(t, tr)
+	}
+	if tr.Len() != 32 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 64; i++ {
+		_, ok := tr.Get(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	if tr.Delete(key(0)) {
+		t.Error("double delete succeeded")
+	}
+	// Drain entirely.
+	for i := 1; i < 64; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("drain Delete(%d) failed", i)
+		}
+		mustInvariants(t, tr)
+	}
+	if tr.Len() != 0 || tr.root != nil {
+		t.Error("tree not empty after drain")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New(4)
+	for _, i := range shuffled(100, 3) {
+		tr.Insert(key(i), uint64(i))
+	}
+	if k, v, ok := tr.Min(); !ok || !bytes.Equal(k, key(0)) || v != 0 {
+		t.Errorf("Min = %v %d %v", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || !bytes.Equal(k, key(99)) || v != 99 {
+		t.Errorf("Max = %v %d %v", k, v, ok)
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i += 2 { // even keys only
+		tr.Insert(key(i), uint64(i))
+	}
+	collect := func(from []byte, limit int) []int {
+		var out []int
+		tr.Ascend(from, func(k []byte, v uint64) bool {
+			out = append(out, int(binary.BigEndian.Uint64(k)))
+			return limit <= 0 || len(out) < limit
+		})
+		return out
+	}
+	got := collect(key(10), 5)
+	want := []int{10, 12, 14, 16, 18}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("from exact key: got %v", got)
+		}
+	}
+	// From a key between entries.
+	got = collect(key(11), 3)
+	want = []int{12, 14, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("from between keys: got %v", got)
+		}
+	}
+	// Past the end.
+	if got := collect(key(1000), 0); len(got) != 0 {
+		t.Errorf("from past end: %v", got)
+	}
+	// Full scan count.
+	if got := collect(nil, 0); len(got) != 50 {
+		t.Errorf("full scan found %d", len(got))
+	}
+}
+
+func TestDescend(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i += 2 {
+		tr.Insert(key(i), uint64(i))
+	}
+	collect := func(from []byte, limit int) []int {
+		var out []int
+		tr.Descend(from, func(k []byte, v uint64) bool {
+			out = append(out, int(binary.BigEndian.Uint64(k)))
+			return limit <= 0 || len(out) < limit
+		})
+		return out
+	}
+	got := collect(nil, 4)
+	want := []int{98, 96, 94, 92}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("descend from max: %v", got)
+		}
+	}
+	// Inclusive exact upper bound.
+	got = collect(key(10), 3)
+	want = []int{10, 8, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("descend from exact key: %v", got)
+		}
+	}
+	// Between keys.
+	got = collect(key(11), 3)
+	want = []int{10, 8, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("descend from between keys: %v", got)
+		}
+	}
+	// Below the minimum: nothing.
+	if got := collect([]byte{0}, 0); len(got) != 0 {
+		t.Fatalf("descend below min: %v", got)
+	}
+	// Full reverse equals reversed full forward.
+	fwd := collect(nil, 0)
+	// (collect uses Descend; build forward separately.)
+	var asc []int
+	tr.Ascend(nil, func(k []byte, _ uint64) bool {
+		asc = append(asc, int(binary.BigEndian.Uint64(k)))
+		return true
+	})
+	if len(fwd) != len(asc) {
+		t.Fatalf("lengths differ: %d vs %d", len(fwd), len(asc))
+	}
+	for i := range asc {
+		if fwd[i] != asc[len(asc)-1-i] {
+			t.Fatal("descend is not reversed ascend")
+		}
+	}
+}
+
+func TestKeysAreCopied(t *testing.T) {
+	tr := New(4)
+	k := []byte("mutable")
+	tr.Insert(k, 1)
+	k[0] = 'X'
+	if _, ok := tr.Get([]byte("mutable")); !ok {
+		t.Error("tree affected by caller mutating the key slice")
+	}
+}
+
+func TestVariableLengthKeys(t *testing.T) {
+	tr := New(4)
+	keys := []string{"", "a", "aa", "ab", "b", "ba", "z", "zz", "zzz"}
+	for i, k := range keys {
+		tr.Insert([]byte(k), uint64(i))
+	}
+	mustInvariants(t, tr)
+	var got []string
+	tr.Ascend(nil, func(k []byte, _ uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if !sort.StringsAreSorted(got) || len(got) != len(keys) {
+		t.Errorf("ascend order: %q", got)
+	}
+}
+
+// TestRandomizedAgainstOracle runs random insert/delete/get/scan mixes
+// against a map+sort oracle, checking invariants throughout.
+func TestRandomizedAgainstOracle(t *testing.T) {
+	for _, order := range []int{2, 3, 8, 32} {
+		order := order
+		t.Run(fmt.Sprintf("order-%d", order), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(order)))
+			tr := New(order)
+			oracle := map[string]uint64{}
+			const keySpace = 500
+			for step := 0; step < 4000; step++ {
+				k := key(rng.Intn(keySpace))
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // insert
+					v := rng.Uint64()
+					replaced := tr.Insert(k, v)
+					_, existed := oracle[string(k)]
+					if replaced != existed {
+						t.Fatalf("step %d: replaced=%v existed=%v", step, replaced, existed)
+					}
+					oracle[string(k)] = v
+				case 4, 5, 6: // delete
+					deleted := tr.Delete(k)
+					_, existed := oracle[string(k)]
+					if deleted != existed {
+						t.Fatalf("step %d: deleted=%v existed=%v", step, deleted, existed)
+					}
+					delete(oracle, string(k))
+				default: // get
+					v, ok := tr.Get(k)
+					want, existed := oracle[string(k)]
+					if ok != existed || (ok && v != want) {
+						t.Fatalf("step %d: get mismatch", step)
+					}
+				}
+				if step%200 == 0 {
+					mustInvariants(t, tr)
+					if tr.Len() != len(oracle) {
+						t.Fatalf("step %d: size %d, oracle %d", step, tr.Len(), len(oracle))
+					}
+				}
+			}
+			mustInvariants(t, tr)
+			// Final full-order comparison.
+			want := make([]string, 0, len(oracle))
+			for k := range oracle {
+				want = append(want, k)
+			}
+			sort.Strings(want)
+			i := 0
+			tr.Ascend(nil, func(k []byte, v uint64) bool {
+				if i >= len(want) || string(k) != want[i] || v != oracle[want[i]] {
+					t.Fatalf("scan mismatch at %d", i)
+				}
+				i++
+				return true
+			})
+			if i != len(want) {
+				t.Fatalf("scan visited %d of %d", i, len(want))
+			}
+		})
+	}
+}
+
+// TestInsertDeleteQuick is a testing/quick property: for any operation
+// sequence encoded as bytes, the tree matches a map oracle.
+func TestInsertDeleteQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := New(3)
+		oracle := map[string]uint64{}
+		for _, op := range ops {
+			k := key(int(op % 64))
+			if op&0x8000 != 0 {
+				tr.Delete(k)
+				delete(oracle, string(k))
+			} else {
+				tr.Insert(k, uint64(op))
+				oracle[string(k)] = uint64(op)
+			}
+		}
+		if tr.CheckInvariants() != nil || tr.Len() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			got, ok := tr.Get([]byte(k))
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

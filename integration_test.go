@@ -1,0 +1,328 @@
+package mmdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"mmdb/analytic"
+	"mmdb/workload"
+)
+
+// TestApplyOpPublicAPI covers the logical-logging surface of the public
+// API, including recovery of a delta-only workload.
+func TestApplyOpPublicAPI(t *testing.T) {
+	cfg := testConfig(t, COUCopy)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Exec(func(tx *Txn) error {
+		if err := tx.ApplyOp(1, OpAdd64, Add64Operand(40)); err != nil {
+			return err
+		}
+		if err := tx.ApplyOp(1, OpAdd64, Add64Operand(2)); err != nil {
+			return err
+		}
+		return tx.ApplyOp(2, OpStoreAt, StoreAtOperand(4, []byte("tag")))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.ReadRecord(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(v); got != 42 {
+		t.Errorf("record 1 = %d, want 42", got)
+	}
+	if st := db.Stats(); st.LogicalOps != 3 {
+		t.Errorf("LogicalOps = %d", st.LogicalOps)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(func(tx *Txn) error {
+		return tx.ApplyOp(1, OpAdd64, Add64Operand(-2))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	db2, rep, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if rep.LogicalReplayed == 0 {
+		t.Error("no logical records replayed")
+	}
+	v, err = db2.ReadRecord(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(v); got != 40 {
+		t.Errorf("recovered record 1 = %d, want 40", got)
+	}
+	v2, err := db2.ReadRecord(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v2[4:7]) != "tag" {
+		t.Errorf("recovered record 2 = %q", v2[4:7])
+	}
+}
+
+func TestApplyOpRejectedOutsideCOU(t *testing.T) {
+	db, err := Open(testConfig(t, FuzzyCopy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.ApplyOp(0, OpAdd64, Add64Operand(1)); !errors.Is(err, ErrLogicalLoggingUnsupported) {
+		t.Errorf("err = %v, want ErrLogicalLoggingUnsupported", err)
+	}
+}
+
+func TestCustomOperationThroughConfig(t *testing.T) {
+	cfg := testConfig(t, COUFlush)
+	negate := func(rec, operand []byte) error {
+		v := int64(binary.LittleEndian.Uint64(rec))
+		binary.LittleEndian.PutUint64(rec, uint64(-v))
+		return nil
+	}
+	cfg.Operations = map[OpCode]OpFunc{OpCode(77): negate}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(func(tx *Txn) error {
+		if err := tx.ApplyOp(3, OpAdd64, Add64Operand(9)); err != nil {
+			return err
+		}
+		return tx.ApplyOp(3, OpCode(77), nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	db2, _, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v, err := db2.ReadRecord(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(binary.LittleEndian.Uint64(v)); got != -9 {
+		t.Errorf("recovered record 3 = %d, want -9", got)
+	}
+}
+
+// TestLiveEngineAllAlgorithms runs the paper's load model on the real
+// engine under every algorithm with back-to-back checkpoints and asserts
+// the robust (scheduling-independent) parts of Figure 4a: only two-color
+// algorithms restart transactions, only copying algorithms move segments,
+// FASTFUZZY is the cheapest by construction, and the measured-counter
+// pricing returns sane values. (The statistical p_restart magnitude is
+// asserted deterministically in the engine tests via fault-injection
+// pauses, and demonstrated at scale by cmd/ckptbench and
+// examples/inventory — on a loaded single-CPU machine the sweep-overlap
+// statistics here are too noisy for a hard threshold.)
+func TestLiveEngineAllAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-engine sweep")
+	}
+	const txns = 1200
+	overhead := map[Algorithm]float64{}
+	restarts := map[Algorithm]float64{}
+	stats := map[Algorithm]Stats{}
+	for _, alg := range Algorithms {
+		cfg := testConfig(t, alg)
+		cfg.NumRecords = 16384
+		cfg.AutoCheckpoint = true
+		db, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Concurrent writers keep transactions in flight throughout the
+		// checkpoint sweeps, so the two-color boundary is actually
+		// exercised (a serial committer can dodge every sweep).
+		const writers = 4
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				gen, err := workload.NewUniform(cfg.NumRecords, 5, cfg.RecordBytes, int64(alg)*10+int64(w))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < txns/writers; i++ {
+					spec := gen.Next()
+					err := db.Exec(func(tx *Txn) error {
+						for _, u := range spec.Updates {
+							if err := tx.Write(u.Record, u.Value); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						t.Errorf("%v txn: %v", alg, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		db.StopCheckpointLoop()
+		if t.Failed() {
+			db.Close()
+			return
+		}
+		per, syncC, asyncC, err := analytic.MeasuredOverhead(analytic.DefaultParams(), db.MeasuredCounts())
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if per <= 0 || syncC < 0 || asyncC <= 0 || per != syncC+asyncC {
+			t.Errorf("%v: implausible measured overhead %f = %f + %f", alg, per, syncC, asyncC)
+		}
+		overhead[alg] = per
+		restarts[alg] = db.Stats().PRestart()
+		stats[alg] = db.Stats()
+		db.Close()
+	}
+
+	// Only two-color algorithms ever restart transactions.
+	for _, alg := range []Algorithm{FuzzyCopy, FastFuzzy, COUFlush, COUCopy} {
+		if restarts[alg] != 0 {
+			t.Errorf("%v restarted transactions (p=%.3f)", alg, restarts[alg])
+		}
+	}
+	// Every algorithm committed the full workload and checkpointed.
+	for alg, st := range stats {
+		if st.TxnsCommitted != txns {
+			t.Errorf("%v committed %d of %d", alg, st.TxnsCommitted, txns)
+		}
+		if st.Checkpoints == 0 || st.SegmentsFlushed == 0 {
+			t.Errorf("%v: no checkpoint activity: %+v", alg, st)
+		}
+	}
+	// Copy accounting matches the algorithm's structure.
+	for _, alg := range Algorithms {
+		copies := stats[alg].CheckpointerCopies
+		if alg.CopiesSegments() && copies == 0 {
+			t.Errorf("%v made no checkpointer copies", alg)
+		}
+		if !alg.CopiesSegments() && alg != COUFlush && copies != 0 {
+			t.Errorf("%v made %d checkpointer copies", alg, copies)
+		}
+	}
+	if stats[COUFlush].COUCopies == 0 && stats[COUCopy].COUCopies == 0 {
+		t.Log("note: no COU old-version copies were triggered this run (short sweep overlap)")
+	}
+	// FASTFUZZY does strictly less work than FUZZYCOPY per flushed segment.
+	if overhead[FastFuzzy] >= overhead[FuzzyCopy] {
+		t.Errorf("live engine: FASTFUZZY (%.0f) should be below FUZZYCOPY (%.0f)",
+			overhead[FastFuzzy], overhead[FuzzyCopy])
+	}
+	// If the scheduler produced restarts, the Figure 4a ordering holds.
+	for _, tc := range []Algorithm{TwoColorFlush, TwoColorCopy} {
+		if restarts[tc] > 0.05 && overhead[tc] < overhead[COUFlush] {
+			t.Errorf("live engine: %v (%.0f, p=%.2f) should exceed COUFLUSH (%.0f) once restarts occur",
+				tc, overhead[tc], restarts[tc], overhead[COUFlush])
+		}
+	}
+}
+
+// TestArchiveRestorePublicAPI round-trips a database through the archive
+// format at the public surface.
+func TestArchiveRestorePublicAPI(t *testing.T) {
+	cfg := testConfig(t, COUCopy)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(func(tx *Txn) error { return tx.Write(9, []byte("archived")) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(func(tx *Txn) error { return tx.Write(10, []byte("tail")) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	segs, logBytes, err := Archive(cfg.Dir, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs == 0 || logBytes == 0 {
+		t.Fatalf("archived %d segs, %d log bytes", segs, logBytes)
+	}
+
+	cfg2 := cfg
+	cfg2.Dir = t.TempDir()
+	info, err := RestoreArchive(&buf, cfg2.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CheckpointID != 1 || info.Algorithm != "COUCOPY" {
+		t.Errorf("restore info = %+v", info)
+	}
+	db2, rep, err := Recover(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if rep.CheckpointID != 1 {
+		t.Errorf("recovered checkpoint %d", rep.CheckpointID)
+	}
+	v9, _ := db2.ReadRecord(9)
+	v10, _ := db2.ReadRecord(10)
+	if string(v9[:8]) != "archived" || string(v10[:4]) != "tail" {
+		t.Errorf("restored values: %q %q", v9[:8], v10[:4])
+	}
+}
+
+// TestLogCompactionVisibleInStats checks the public stats surface the
+// compaction feature added.
+func TestLogCompactionVisibleInStats(t *testing.T) {
+	cfg := testConfig(t, FuzzyCopy)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 20; i++ {
+			if err := db.Exec(func(tx *Txn) error {
+				return tx.Write(uint64(i), []byte{byte(round)})
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.LogCompactions == 0 || st.LogBytesCompacted == 0 {
+		t.Errorf("no compaction visible in stats: %+v", st)
+	}
+}

@@ -1,0 +1,282 @@
+package backup
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const (
+	testSegs     = 16
+	testSegBytes = 128
+)
+
+func openTest(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, testSegs, testSegBytes)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func segImage(fill byte) []byte {
+	return bytes.Repeat([]byte{fill}, testSegBytes)
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(t.TempDir(), 0, 128); err == nil {
+		t.Error("zero segments should fail")
+	}
+	if _, err := Open(t.TempDir(), 4, 0); err == nil {
+		t.Error("zero segment size should fail")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	img := segImage(0x5A)
+	if err := s.WriteSegment(0, 3, 1, img); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, testSegBytes)
+	wb, err := s.ReadSegment(0, 3, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb != 1 {
+		t.Errorf("writtenBy = %d, want 1", wb)
+	}
+	if !bytes.Equal(got, img) {
+		t.Error("read-back mismatch")
+	}
+}
+
+func TestUnwrittenSlotsReadAsZero(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	got := segImage(0xFF)
+	wb, err := s.ReadSegment(1, 7, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb != 0 {
+		t.Errorf("unwritten slot writtenBy = %d, want 0", wb)
+	}
+	if !bytes.Equal(got, make([]byte, testSegBytes)) {
+		t.Error("unwritten slot should read back as zeros")
+	}
+}
+
+func TestCheckpointIDZeroRejected(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	if err := s.WriteSegment(0, 0, 0, segImage(1)); err == nil {
+		t.Error("checkpoint ID 0 must be rejected (reserved for unwritten)")
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	img := segImage(1)
+	if err := s.WriteSegment(2, 0, 1, img); err == nil {
+		t.Error("copy out of range accepted")
+	}
+	if err := s.WriteSegment(0, testSegs, 1, img); err == nil {
+		t.Error("segment out of range accepted")
+	}
+	if err := s.WriteSegment(0, 0, 1, img[:10]); err == nil {
+		t.Error("short segment accepted")
+	}
+	buf := make([]byte, testSegBytes)
+	if _, err := s.ReadSegment(-1, 0, buf); err == nil {
+		t.Error("negative copy accepted")
+	}
+	if _, err := s.ReadSegment(0, -1, buf); err == nil {
+		t.Error("negative segment accepted")
+	}
+	if _, err := s.ReadSegment(0, 0, buf[:5]); err == nil {
+		t.Error("short read buffer accepted")
+	}
+}
+
+func TestPingPongTargets(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+
+	if got := s.NextTarget(); got != 0 {
+		t.Errorf("first target = %d, want 0", got)
+	}
+	if _, _, err := s.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("Latest on empty store: %v, want ErrNoCheckpoint", err)
+	}
+
+	// Checkpoint 1 → copy 0.
+	if err := s.BeginCheckpoint(0, CheckpointInfo{ID: 1, Algorithm: "FUZZYCOPY"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSegment(0, 0, 1, segImage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishCheckpoint(0, 100, 1, testSegBytes); err != nil {
+		t.Fatal(err)
+	}
+	copyIdx, info, err := s.Latest()
+	if err != nil || copyIdx != 0 || info.ID != 1 {
+		t.Fatalf("Latest = %d/%+v/%v, want copy 0 id 1", copyIdx, info, err)
+	}
+	if got := s.NextTarget(); got != 1 {
+		t.Errorf("target after ckpt 1 = %d, want 1", got)
+	}
+
+	// Checkpoint 2 → copy 1.
+	if err := s.BeginCheckpoint(1, CheckpointInfo{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishCheckpoint(1, 200, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	copyIdx, info, _ = s.Latest()
+	if copyIdx != 1 || info.ID != 2 {
+		t.Errorf("Latest after ckpt 2 = copy %d id %d, want copy 1 id 2", copyIdx, info.ID)
+	}
+	if got := s.NextTarget(); got != 0 {
+		t.Errorf("target after ckpt 2 = %d, want 0 (ping-pong)", got)
+	}
+}
+
+func TestIncompleteCheckpointIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	if err := s.BeginCheckpoint(0, CheckpointInfo{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishCheckpoint(0, 10, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint 2 begins on copy 1 but never finishes (simulated crash).
+	if err := s.BeginCheckpoint(1, CheckpointInfo{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openTest(t, dir)
+	defer s2.Close()
+	copyIdx, info, err := s2.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copyIdx != 0 || info.ID != 1 {
+		t.Errorf("after crash Latest = copy %d id %d, want the complete copy 0 id 1", copyIdx, info.ID)
+	}
+	// The incomplete copy is the next target again.
+	if got := s2.NextTarget(); got != 1 {
+		t.Errorf("NextTarget = %d, want 1 (retry incomplete copy)", got)
+	}
+}
+
+func TestTornWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	if err := s.WriteSegment(0, 2, 1, segImage(0x77)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Corrupt one byte in the middle of slot 2 of copy 0.
+	path := filepath.Join(dir, "backup0.db")
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(2)*(testSegBytes+slotTrailerBytes) + 10
+	if _, err := f.WriteAt([]byte{0x00}, off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTest(t, dir)
+	defer s2.Close()
+	buf := make([]byte, testSegBytes)
+	if _, err := s2.ReadSegment(0, 2, buf); !errors.Is(err, ErrBadSegment) {
+		t.Errorf("corrupted slot read err = %v, want ErrBadSegment", err)
+	}
+}
+
+func TestGeometryMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	s.Close()
+	if _, err := Open(dir, testSegs+1, testSegBytes); err == nil {
+		t.Error("segment-count mismatch accepted")
+	}
+	if _, err := Open(dir, testSegs, testSegBytes*2); err == nil {
+		t.Error("segment-size mismatch accepted")
+	}
+}
+
+func TestReadAllAndVerify(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.WriteSegment(0, i*3, 4, segImage(byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []int
+	err := s.ReadAll(0, func(idx int, wb uint64, data []byte) error {
+		if wb != 0 {
+			seen = append(seen, idx)
+			if data[0] == 0 {
+				t.Errorf("segment %d content zeroed", idx)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 {
+		t.Errorf("ReadAll saw %d written slots, want 5", len(seen))
+	}
+	n, err := s.Verify(0)
+	if err != nil || n != 5 {
+		t.Errorf("Verify = %d/%v, want 5/nil", n, err)
+	}
+	if st := s.Stats(); st.SegmentWrites != 5 {
+		t.Errorf("SegmentWrites = %d, want 5", st.SegmentWrites)
+	}
+}
+
+func TestMetaSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	if err := s.BeginCheckpoint(0, CheckpointInfo{
+		ID: 7, Algorithm: "COUCOPY", Full: true, BeginLSN: 11, ScanStartLSN: 5, Timestamp: 99,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishCheckpoint(0, 321, 3, 384); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openTest(t, dir)
+	defer s2.Close()
+	_, info, err := s2.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CheckpointInfo{
+		ID: 7, Complete: true, Algorithm: "COUCOPY", Full: true,
+		BeginLSN: 11, ScanStartLSN: 5, EndLSN: 321, Timestamp: 99,
+		SegmentsWritten: 3, BytesWritten: 384,
+	}
+	if info != want {
+		t.Errorf("reloaded info = %+v, want %+v", info, want)
+	}
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Algorithm selects a checkpoint algorithm from Section 3 of the paper.
+type Algorithm uint8
+
+// The five checkpoint algorithms compared by the paper, plus FASTFUZZY
+// (introduced in Section 4 for systems with a stable log tail).
+const (
+	// FuzzyCopy (the paper's FUZZYCOPY) copies each segment into an I/O
+	// buffer and flushes the buffer once the log is durable past the
+	// segment's last update, so the write-ahead rule holds without any
+	// transaction synchronization.
+	FuzzyCopy Algorithm = iota + 1
+	// FastFuzzy (FASTFUZZY) flushes segments directly from the database,
+	// with no buffer copy and no LSN checks. It is only safe with a
+	// stable log tail (Section 4).
+	FastFuzzy
+	// TwoColorFlush (2CFLUSH) is Pu's black/white algorithm with the
+	// segment flushed to the backup disks while its lock is held.
+	TwoColorFlush
+	// TwoColorCopy (2CCOPY) is Pu's algorithm with the segment copied to a
+	// buffer under the lock and flushed after the lock is released.
+	TwoColorCopy
+	// COUFlush (COUFLUSH) is copy-on-update checkpointing with untouched
+	// dirty segments flushed while latched.
+	COUFlush
+	// COUCopy (COUCOPY) is copy-on-update checkpointing with untouched
+	// dirty segments copied to a buffer and flushed after unlatching.
+	COUCopy
+)
+
+// Algorithms lists every algorithm in presentation order.
+var Algorithms = []Algorithm{FuzzyCopy, FastFuzzy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy}
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case FuzzyCopy:
+		return "FUZZYCOPY"
+	case FastFuzzy:
+		return "FASTFUZZY"
+	case TwoColorFlush:
+		return "2CFLUSH"
+	case TwoColorCopy:
+		return "2CCOPY"
+	case COUFlush:
+		return "COUFLUSH"
+	case COUCopy:
+		return "COUCOPY"
+	default:
+		return fmt.Sprintf("engine.Algorithm(%d)", uint8(a))
+	}
+}
+
+// ParseAlgorithm resolves a (case-insensitive) paper name to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms {
+		if strings.EqualFold(s, a.String()) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown checkpoint algorithm %q (want one of FUZZYCOPY, FASTFUZZY, 2CFLUSH, 2CCOPY, COUFLUSH, COUCOPY)", s)
+}
+
+// Valid reports whether a names a known algorithm.
+func (a Algorithm) Valid() bool { return a >= FuzzyCopy && a <= COUCopy }
+
+// TwoColor reports whether the algorithm is a black/white locking
+// algorithm, which aborts transactions that touch both colors.
+func (a Algorithm) TwoColor() bool { return a == TwoColorFlush || a == TwoColorCopy }
+
+// CopyOnUpdate reports whether the algorithm requires transactions to
+// preserve pre-checkpoint segment versions while a checkpoint runs.
+func (a Algorithm) CopyOnUpdate() bool { return a == COUFlush || a == COUCopy }
+
+// Fuzzy reports whether the algorithm produces fuzzy (not
+// transaction-consistent) backups.
+func (a Algorithm) Fuzzy() bool { return a == FuzzyCopy || a == FastFuzzy }
+
+// CopiesSegments reports whether the checkpointer copies segments into a
+// buffer before flushing (the source of the S_seg data-movement cost).
+func (a Algorithm) CopiesSegments() bool {
+	return a == FuzzyCopy || a == TwoColorCopy || a == COUCopy
+}
+
+// UsesLSN reports whether the algorithm must check log sequence numbers
+// before flushing a segment to preserve the write-ahead rule. COU
+// algorithms never need LSNs (every update they flush predates the
+// checkpoint's begin marker, whose log tail flush made it durable), and
+// FASTFUZZY relies on a stable tail instead.
+func (a Algorithm) UsesLSN() bool {
+	return a == FuzzyCopy || a == TwoColorFlush || a == TwoColorCopy
+}
+
+// RequiresStableTail reports whether the algorithm is only correct with a
+// stable log tail.
+func (a Algorithm) RequiresStableTail() bool { return a == FastFuzzy }
+
+// RequiresQuiesce reports whether checkpoint begin must quiesce
+// transaction processing.
+func (a Algorithm) RequiresQuiesce() bool { return a.CopyOnUpdate() }

@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mmdb/internal/backup"
+	"mmdb/internal/wal"
+)
+
+// checkpointerOwner is the lock-manager owner ID reserved for the
+// checkpointer (transaction IDs start at 1).
+const checkpointerOwner uint64 = 0
+
+// CheckpointResult summarizes one completed checkpoint.
+type CheckpointResult struct {
+	ID              uint64
+	Algorithm       Algorithm
+	TargetCopy      int
+	Full            bool
+	SegmentsFlushed int
+	SegmentsSkipped int
+	BytesFlushed    int64
+	Duration        time.Duration
+	BeginLSN        wal.LSN
+	EndLSN          wal.LSN
+}
+
+// Checkpoint runs one checkpoint to completion using the engine's
+// configured algorithm and returns its summary. Checkpoints are
+// serialized; concurrent calls queue.
+func (e *Engine) Checkpoint() (*CheckpointResult, error) {
+	if e.stopped.Load() {
+		return nil, ErrStopped
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	if e.stopped.Load() {
+		return nil, ErrStopped
+	}
+
+	started := time.Now()
+	e.ctr.ckptMu.Lock()
+	if !e.ctr.lastBegin.IsZero() {
+		e.ctr.lastInterval = started.Sub(e.ctr.lastBegin)
+	}
+	e.ctr.lastBegin = started
+	e.ctr.ckptMu.Unlock()
+
+	alg := e.params.Algorithm
+	id := e.ckptSeq
+	target := e.bstore.NextTarget()
+	run := &ckptRun{id: id, alg: alg, target: target}
+	run.curSeg.Store(-1)
+
+	var beginLSN, scanStart wal.LSN
+	var err error
+	if alg.RequiresQuiesce() {
+		// Copy-on-update begin (Figure 3.3): quiesce transaction
+		// processing, stamp the checkpoint, log the begin-checkpoint
+		// record, and flush the log tail. The run is published before the
+		// gate reopens so every post-begin updater sees it.
+		e.quiesce()
+		run.tau = e.nextTimestamp()
+		beginLSN, _, err = e.log.Append(&wal.Record{
+			Type:         wal.TypeBeginCheckpoint,
+			CheckpointID: id,
+			Timestamp:    run.tau,
+			TargetCopy:   uint8(target),
+			Algorithm:    uint8(alg),
+		})
+		if err == nil {
+			err = e.log.Flush()
+		}
+		scanStart = beginLSN
+		if err == nil {
+			e.cur.Store(run)
+		}
+		e.unquiesce()
+	} else {
+		run.tau = e.nextTimestamp()
+		// The active-transaction list and the marker's log position must
+		// be consistent: both are produced under txnMu, which first-update
+		// logging also holds (see Txn.Write).
+		e.txnMu.Lock()
+		active := e.activeTxnListLocked()
+		beginLSN, _, err = e.log.Append(&wal.Record{
+			Type:         wal.TypeBeginCheckpoint,
+			CheckpointID: id,
+			Timestamp:    run.tau,
+			TargetCopy:   uint8(target),
+			Algorithm:    uint8(alg),
+			ActiveTxns:   active,
+		})
+		e.txnMu.Unlock()
+		scanStart = beginLSN
+		for _, at := range active {
+			if at.FirstLSN != wal.NilLSN && at.FirstLSN < scanStart {
+				scanStart = at.FirstLSN
+			}
+		}
+		if err == nil {
+			e.cur.Store(run)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return nil, ErrStopped
+		}
+		return nil, fmt.Errorf("engine: checkpoint %d begin: %w", id, err)
+	}
+	e.ckptSeq++
+
+	if err := e.bstore.BeginCheckpoint(target, backup.CheckpointInfo{
+		ID:           id,
+		Algorithm:    alg.String(),
+		Full:         e.params.Full,
+		BeginLSN:     beginLSN,
+		ScanStartLSN: scanStart,
+		Timestamp:    run.tau,
+	}); err != nil {
+		e.cur.Store(nil)
+		return nil, err
+	}
+
+	var flushed, skipped int
+	var bytes int64
+	switch {
+	case alg.Fuzzy():
+		flushed, skipped, bytes, err = e.sweepFuzzy(run)
+	case alg.TwoColor():
+		flushed, skipped, bytes, err = e.sweepTwoColor(run)
+	case alg.CopyOnUpdate():
+		flushed, skipped, bytes, err = e.sweepCOU(run)
+	default:
+		err = fmt.Errorf("engine: unknown algorithm %v", alg)
+	}
+
+	e.cur.Store(nil)
+	if alg.CopyOnUpdate() {
+		e.dropOldCopies()
+	}
+	if err != nil {
+		// The target copy stays marked incomplete; recovery falls back to
+		// the other ping-pong copy.
+		return nil, fmt.Errorf("engine: checkpoint %d: %w", id, err)
+	}
+
+	_, endLSN, err := e.log.Append(&wal.Record{
+		Type:         wal.TypeEndCheckpoint,
+		CheckpointID: id,
+		TargetCopy:   uint8(target),
+	})
+	if err == nil {
+		err = e.log.Flush()
+	}
+	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return nil, ErrStopped
+		}
+		return nil, fmt.Errorf("engine: checkpoint %d end marker: %w", id, err)
+	}
+	if err := e.bstore.FinishCheckpoint(target, endLSN, flushed, bytes); err != nil {
+		return nil, err
+	}
+
+	if !e.params.DisableLogCompaction {
+		e.compactLog()
+	}
+
+	dur := time.Since(started)
+	e.ctr.checkpoints.Add(1)
+	e.ctr.ckptMu.Lock()
+	e.ctr.ckptLastTime = dur
+	e.ctr.ckptTotalTime += dur
+	e.ctr.ckptMu.Unlock()
+
+	return &CheckpointResult{
+		ID:              id,
+		Algorithm:       alg,
+		TargetCopy:      target,
+		Full:            e.params.Full,
+		SegmentsFlushed: flushed,
+		SegmentsSkipped: skipped,
+		BytesFlushed:    bytes,
+		Duration:        dur,
+		BeginLSN:        beginLSN,
+		EndLSN:          endLSN,
+	}, nil
+}
+
+// flushSegment writes one segment image to the target backup copy and
+// updates the flush counters, pacing with the configured disk model.
+func (e *Engine) flushSegment(run *ckptRun, idx int, data []byte) error {
+	if err := e.bstore.WriteSegment(run.target, idx, run.id, data); err != nil {
+		return err
+	}
+	e.ctr.segmentsFlushed.Add(1)
+	e.ctr.bytesFlushed.Add(uint64(len(data)))
+	if th := e.params.CheckpointThrottle; th != nil {
+		time.Sleep(th.delayPerSegment(len(data)))
+	}
+	return nil
+}
+
+// waitLSN blocks until the log is durable past lsn — the write-ahead check
+// the paper charges C_lsn for.
+func (e *Engine) waitLSN(lsn wal.LSN) error {
+	if lsn == wal.NilLSN {
+		return nil
+	}
+	e.ctr.lsnWaits.Add(1)
+	return e.log.WaitDurable(lsn)
+}
+
+// segmentDone runs the fault-injection hook, if any, after a segment has
+// been processed.
+func (e *Engine) segmentDone(run *ckptRun, idx int) error {
+	if e.params.SegmentHook == nil {
+		return nil
+	}
+	return e.params.SegmentHook(run.id, idx)
+}
+
+// compactLog drops the log head that no recovery can need: records before
+// the redo-scan start of every complete checkpoint. Failure is non-fatal
+// (the uncompacted log is merely larger); it is recorded in the stats.
+// Caller holds ckptMu, so no checkpoint races the metadata reads.
+func (e *Engine) compactLog() {
+	keep := wal.NilLSN
+	for c := 0; c < 2; c++ {
+		ci := e.bstore.CopyInfo(c)
+		if ci.Complete && ci.ScanStartLSN < keep {
+			keep = ci.ScanStartLSN
+		}
+	}
+	if keep == wal.NilLSN || keep == 0 {
+		return
+	}
+	freed, err := e.log.Compact(keep)
+	if err != nil {
+		e.ctr.compactErrors.Add(1)
+		return
+	}
+	if freed > 0 {
+		e.ctr.compactions.Add(1)
+		e.ctr.compactBytes.Add(uint64(freed))
+	}
+}
+
+// dropOldCopies releases any copy-on-update old versions left attached to
+// segments (created in the race window just behind the checkpointer's
+// cursor; see sweepCOU).
+func (e *Engine) dropOldCopies() {
+	n := e.store.NumSegments()
+	for i := 0; i < n; i++ {
+		seg := e.store.Seg(i)
+		seg.Lock()
+		if seg.Old != nil {
+			seg.Old = nil
+			e.ctr.bumpCOULive(-1)
+		}
+		seg.Unlock()
+	}
+}

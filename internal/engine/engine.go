@@ -1,0 +1,451 @@
+// Package engine implements the paper's MMDBMS core: shadow-copy
+// transactions with redo-only logging over a memory-resident segmented
+// database, the six asynchronous checkpoint algorithms of Section 3, and
+// crash recovery from the ping-pong backup plus the log (Section 3.3).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmdb/internal/backup"
+	"mmdb/internal/lockmgr"
+	"mmdb/internal/storage"
+	"mmdb/internal/wal"
+)
+
+// Errors returned by engine operations.
+var (
+	// ErrCheckpointConflict aborts a transaction that touched both white
+	// and black records while a two-color checkpoint was in progress. The
+	// transaction must be restarted (Section 3.2.1).
+	ErrCheckpointConflict = errors.New("engine: transaction touched both checkpoint colors; restart required")
+	// ErrTxnDone reports use of a finished (committed or aborted)
+	// transaction.
+	ErrTxnDone = errors.New("engine: transaction already finished")
+	// ErrStopped reports use of a closed or crashed engine.
+	ErrStopped = errors.New("engine: engine is stopped")
+	// ErrDeadlock aborts a transaction whose lock wait timed out.
+	ErrDeadlock = errors.New("engine: lock wait timed out; transaction aborted")
+	// ErrExistingDatabase is returned by Open when the directory already
+	// holds a recoverable database (use Recover).
+	ErrExistingDatabase = errors.New("engine: directory contains a recoverable database; use Recover")
+)
+
+// logFileName is the log file inside Params.Dir.
+const logFileName = "redo.log"
+
+// ckptRun is the state of an in-progress checkpoint, published to
+// transactions through an atomic pointer. Transactions consult it for the
+// two-color rule and the copy-on-update trigger.
+type ckptRun struct {
+	id     uint64
+	alg    Algorithm
+	target int
+	tau    uint64 // τ(CH): the checkpoint's begin timestamp (COU)
+	// curSeg is the highest segment index the checkpointer has secured
+	// (copied or flushed); updaters of segments at or below it need not
+	// preserve old versions. -1 until the first segment is done.
+	curSeg atomic.Int64
+}
+
+// Engine is a memory-resident database with asynchronous checkpointing.
+type Engine struct {
+	params Params
+	store  *storage.Store
+	log    *wal.Log
+	locks  *lockmgr.Manager
+	bstore *backup.Store
+
+	clock   atomic.Uint64 // logical timestamps (transactions, checkpoints)
+	txnSeq  atomic.Uint64
+	ckptSeq uint64 // next checkpoint ID; guarded by ckptMu
+
+	// Transaction registry and quiesce gate.
+	txnMu      sync.Mutex
+	txnCond    *sync.Cond
+	activeTxns map[uint64]*Txn
+	gateClosed bool
+
+	// cur is the in-progress checkpoint, nil when idle.
+	cur atomic.Pointer[ckptRun]
+	// ckptMu serializes checkpoints (and the backup metadata).
+	ckptMu sync.Mutex
+
+	// Continuous checkpoint loop.
+	loopStop chan struct{}
+	loopDone chan struct{}
+
+	stopped atomic.Bool
+
+	// Logical operation registry (built-ins plus Params.Operations plus
+	// RegisterOperation).
+	opsMu sync.RWMutex
+	ops   map[OpCode]OpFunc
+
+	ctr counters
+}
+
+// Open creates or opens the database described by p. A pre-existing
+// database directory must be opened with Recover instead; Open fails if a
+// complete checkpoint already exists, to prevent silently ignoring
+// recoverable state.
+func Open(p Params) (*Engine, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := storage.New(p.Storage)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := backup.Open(p.Dir, st.NumSegments(), p.Storage.SegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := bs.Latest(); err == nil {
+		bs.Close()
+		return nil, ErrExistingDatabase
+	}
+	if has, err := wal.HasRecords(filepath.Join(p.Dir, logFileName)); err != nil {
+		bs.Close()
+		return nil, err
+	} else if has {
+		// A crash before the first checkpoint leaves durable log records
+		// but no complete backup; that state is recoverable too.
+		bs.Close()
+		return nil, ErrExistingDatabase
+	}
+	lg, err := wal.Open(filepath.Join(p.Dir, logFileName), wal.Options{
+		StableTail:    p.StableTail,
+		SyncOnFlush:   p.SyncOnFlush,
+		FlushInterval: p.LogFlushInterval,
+	})
+	if err != nil {
+		bs.Close()
+		return nil, err
+	}
+	e := newEngine(p, st, lg, bs, 1, 1)
+	e.start()
+	return e, nil
+}
+
+// newEngine assembles an engine around already-initialized components.
+func newEngine(p Params, st *storage.Store, lg *wal.Log, bs *backup.Store, nextCkptID, clock0 uint64) *Engine {
+	e := &Engine{
+		params:     p,
+		store:      st,
+		log:        lg,
+		locks:      lockmgr.New(),
+		bstore:     bs,
+		ckptSeq:    nextCkptID,
+		activeTxns: make(map[uint64]*Txn),
+		ops:        builtinOps(),
+	}
+	for code, fn := range p.Operations {
+		// Params-supplied operations silently skip built-in collisions;
+		// Validate rejected them already.
+		e.ops[code] = fn
+	}
+	e.clock.Store(clock0)
+	e.txnCond = sync.NewCond(&e.txnMu)
+	return e
+}
+
+// start launches background services (the continuous checkpoint loop, if
+// configured).
+func (e *Engine) start() {
+	if e.params.AutoCheckpoint {
+		e.StartCheckpointLoop()
+	}
+}
+
+// Params returns the engine's configuration.
+func (e *Engine) Params() Params { return e.params }
+
+// NumSegments returns the database segment count.
+func (e *Engine) NumSegments() int { return e.store.NumSegments() }
+
+// NumRecords returns the database record count.
+func (e *Engine) NumRecords() int { return e.store.Config().NumRecords }
+
+// RecordBytes returns the record size in bytes.
+func (e *Engine) RecordBytes() int { return e.store.Config().RecordBytes }
+
+// ReadRecord copies the committed value of record rid into dst (at least
+// RecordBytes long) without transactional isolation: it sees the latest
+// installed value. Intended for verification, statistics, and read-only
+// tooling; use a Txn for isolated reads.
+func (e *Engine) ReadRecord(rid uint64, dst []byte) error {
+	if e.stopped.Load() {
+		return ErrStopped
+	}
+	return e.store.ReadRecord(rid, dst)
+}
+
+// nextTimestamp draws a fresh logical timestamp.
+func (e *Engine) nextTimestamp() uint64 { return e.clock.Add(1) }
+
+// segKey namespaces a segment index into the lock manager's key space,
+// away from record IDs.
+func segKey(segIdx int) uint64 { return 1<<63 | uint64(segIdx) }
+
+// recKey namespaces a record ID into the lock manager's key space.
+func recKey(rid uint64) uint64 { return rid }
+
+// Begin starts a transaction. It blocks while a copy-on-update checkpoint
+// is quiescing the system (Section 3.2.2: "delaying the start of new
+// transactions until all currently executing transactions have
+// completed").
+func (e *Engine) Begin() (*Txn, error) {
+	if e.stopped.Load() {
+		return nil, ErrStopped
+	}
+	e.txnMu.Lock()
+	for e.gateClosed {
+		e.txnCond.Wait()
+		if e.stopped.Load() {
+			e.txnMu.Unlock()
+			return nil, ErrStopped
+		}
+	}
+	tx := &Txn{
+		e:        e,
+		id:       e.txnSeq.Add(1),
+		ts:       e.nextTimestamp(),
+		firstLSN: wal.NilLSN,
+		writes:   make(map[uint64][]byte),
+	}
+	e.activeTxns[tx.id] = tx
+	e.txnMu.Unlock()
+	e.ctr.txnsBegun.Add(1)
+	return tx, nil
+}
+
+// finishTxn removes tx from the active registry and wakes the quiesce
+// gate. It must run only after the transaction's installs are complete,
+// so that a begin-checkpoint marker's active-transaction list is a
+// superset of the transactions whose effects may be partially reflected
+// in a fuzzy checkpoint.
+func (e *Engine) finishTxn(tx *Txn) {
+	e.txnMu.Lock()
+	delete(e.activeTxns, tx.id)
+	e.txnCond.Broadcast()
+	e.txnMu.Unlock()
+}
+
+// quiesce closes the transaction gate and waits for every active
+// transaction to finish. The caller must later call unquiesce.
+func (e *Engine) quiesce() {
+	e.txnMu.Lock()
+	e.gateClosed = true
+	for len(e.activeTxns) > 0 {
+		e.txnCond.Wait()
+	}
+	e.txnMu.Unlock()
+}
+
+// unquiesce reopens the transaction gate.
+func (e *Engine) unquiesce() {
+	e.txnMu.Lock()
+	e.gateClosed = false
+	e.txnCond.Broadcast()
+	e.txnMu.Unlock()
+}
+
+// activeTxnList snapshots the active-transaction list for a
+// begin-checkpoint marker. The caller must hold no engine locks.
+func (e *Engine) activeTxnList() []wal.ActiveTxn {
+	e.txnMu.Lock()
+	defer e.txnMu.Unlock()
+	return e.activeTxnListLocked()
+}
+
+func (e *Engine) activeTxnListLocked() []wal.ActiveTxn {
+	list := make([]wal.ActiveTxn, 0, len(e.activeTxns))
+	for id, tx := range e.activeTxns {
+		list = append(list, wal.ActiveTxn{TxnID: id, FirstLSN: tx.firstLSN})
+	}
+	return list
+}
+
+// Exec runs fn inside a transaction, retrying automatically when the
+// two-color rule or a deadlock timeout aborts it. Any other error from fn
+// aborts the transaction and is returned.
+func (e *Engine) Exec(fn func(tx *Txn) error) error {
+	for {
+		tx, err := e.Begin()
+		if err != nil {
+			return err
+		}
+		err = fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrCheckpointConflict), errors.Is(err, ErrDeadlock):
+			continue // restart, as the paper's aborted transactions do
+		default:
+			return err
+		}
+	}
+}
+
+// StartCheckpointLoop starts the continuous checkpoint loop, which begins
+// a checkpoint every CheckpointInterval (back-to-back when zero). It is a
+// no-op if the loop is already running.
+func (e *Engine) StartCheckpointLoop() {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	if e.loopStop != nil || e.stopped.Load() {
+		return
+	}
+	e.loopStop = make(chan struct{})
+	e.loopDone = make(chan struct{})
+	go e.checkpointLoop(e.loopStop, e.loopDone)
+}
+
+// StopCheckpointLoop stops the continuous checkpoint loop, waiting for an
+// in-progress checkpoint to finish.
+func (e *Engine) StopCheckpointLoop() {
+	e.ckptMu.Lock()
+	stop, done := e.loopStop, e.loopDone
+	e.loopStop, e.loopDone = nil, nil
+	e.ckptMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (e *Engine) checkpointLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		began := time.Now()
+		if _, err := e.Checkpoint(); err != nil {
+			// A stopped engine ends the loop; other errors are recorded
+			// and the loop retries after the interval.
+			if e.stopped.Load() {
+				return
+			}
+		}
+		deadline := began.Add(e.params.CheckpointInterval)
+		if !e.waitForNextCheckpoint(stop, deadline) {
+			return
+		}
+	}
+}
+
+// waitForNextCheckpoint sleeps until the interval deadline, the dirty
+// threshold (if configured), or a stop signal; it reports whether the
+// loop should continue.
+func (e *Engine) waitForNextCheckpoint(stop <-chan struct{}, deadline time.Time) bool {
+	frac := e.params.CheckpointDirtyFraction
+	threshold := 0
+	if frac > 0 {
+		threshold = int(frac * float64(e.store.NumSegments()))
+		if threshold < 1 {
+			threshold = 1
+		}
+	}
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return true
+		}
+		if threshold > 0 && e.DirtySegments(e.bstore.NextTarget()) >= threshold {
+			return true
+		}
+		poll := remaining
+		if threshold > 0 {
+			if p := e.params.CheckpointInterval / 20; p > 0 && p < poll {
+				poll = p
+			}
+			if poll > 50*time.Millisecond {
+				poll = 50 * time.Millisecond
+			}
+		}
+		select {
+		case <-stop:
+			return false
+		case <-time.After(poll):
+		}
+	}
+}
+
+// DirtySegments counts the segments currently dirty for backup copy
+// copyIdx — the work the next checkpoint into that copy would flush.
+func (e *Engine) DirtySegments(copyIdx int) int {
+	if copyIdx < 0 || copyIdx >= storage.NumBackupCopies {
+		return 0
+	}
+	n := 0
+	for i := 0; i < e.store.NumSegments(); i++ {
+		seg := e.store.Seg(i)
+		seg.RLock()
+		if seg.Dirty[copyIdx] {
+			n++
+		}
+		seg.RUnlock()
+	}
+	return n
+}
+
+// Close stops checkpointing, flushes the log, and closes the files. Active
+// transactions fail when they next touch the log. Close does not take a
+// final checkpoint; recovery replays the log tail written since the last
+// one.
+func (e *Engine) Close() error {
+	if e.stopped.Swap(true) {
+		return nil
+	}
+	e.StopCheckpointLoop()
+	e.unquiesce() // wake any Begin waiters so they observe the stop
+	e.locks.Shutdown()
+	err := e.log.Close()
+	if cerr := e.bstore.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash simulates a system failure (Section 2.7): volatile state — the
+// primary database and the unflushed log tail (unless stable) — is lost.
+// The on-disk backup copies and the durable log remain for Recover.
+func (e *Engine) Crash() error {
+	if e.stopped.Swap(true) {
+		return ErrStopped
+	}
+	e.StopCheckpointLoop()
+	e.unquiesce()
+	e.locks.Shutdown()
+	err := e.log.Crash()
+	if cerr := e.bstore.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Dir returns the engine's on-disk directory.
+func (e *Engine) Dir() string { return e.params.Dir }
+
+// String implements fmt.Stringer.
+func (e *Engine) String() string {
+	return fmt.Sprintf("engine.Engine{%v, %d records × %dB, %d segments × %dB}",
+		e.params.Algorithm, e.store.Config().NumRecords, e.store.Config().RecordBytes,
+		e.store.NumSegments(), e.store.Config().SegmentBytes)
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mmdb/internal/wal"
+)
+
+// Logical (operation) logging — Section 3.2 of the paper: "Another
+// advantage of consistent backups is that they permit the use of logical
+// logging." A logical redo record carries an operation code and operand
+// instead of the record's after image, which can be far smaller (8 bytes
+// of delta versus a whole record).
+//
+// Operation replay is not idempotent, so it is only sound when the backup
+// copy is the exact database state at a known log position. Copy-on-update
+// checkpoints provide that: the backup is the transaction-consistent state
+// at the begin-checkpoint marker, and recovery replays exactly the
+// operations logged after it. Fuzzy backups can already contain a logged
+// operation's effect (double apply), and a two-color backup's
+// serialization point is not a log position (a transaction serialized
+// before the checkpoint may commit after the marker), so the engine
+// rejects logical updates under those algorithms.
+
+// OpCode identifies a registered logical operation.
+type OpCode uint16
+
+// Built-in operations.
+const (
+	// OpAdd64 adds a two's-complement little-endian 64-bit delta (the
+	// 8-byte operand) to the little-endian uint64 at offset 0 of the
+	// record. The canonical increment/decrement/transfer operation.
+	OpAdd64 OpCode = 1
+	// OpStoreAt overwrites part of a record: the operand is a 2-byte
+	// little-endian offset followed by the bytes to store there.
+	OpStoreAt OpCode = 2
+)
+
+// OpFunc applies an operation: it mutates rec (a full record image) in
+// place according to operand.
+type OpFunc func(rec, operand []byte) error
+
+// Errors of the logical-logging path.
+var (
+	// ErrLogicalLoggingUnsupported rejects logical updates under
+	// algorithms whose backups cannot soundly replay operations.
+	ErrLogicalLoggingUnsupported = errors.New("engine: logical logging requires a copy-on-update checkpoint algorithm (COUFLUSH or COUCOPY)")
+	// ErrUnknownOperation reports an unregistered operation code.
+	ErrUnknownOperation = errors.New("engine: unknown logical operation code")
+)
+
+// builtinOps returns the always-available operation table.
+func builtinOps() map[OpCode]OpFunc {
+	return map[OpCode]OpFunc{
+		OpAdd64:   applyAdd64,
+		OpStoreAt: applyStoreAt,
+	}
+}
+
+func applyAdd64(rec, operand []byte) error {
+	if len(operand) != 8 {
+		return fmt.Errorf("engine: OpAdd64 operand must be 8 bytes, got %d", len(operand))
+	}
+	if len(rec) < 8 {
+		return fmt.Errorf("engine: OpAdd64 needs a record of at least 8 bytes, got %d", len(rec))
+	}
+	cur := binary.LittleEndian.Uint64(rec)
+	delta := binary.LittleEndian.Uint64(operand)
+	binary.LittleEndian.PutUint64(rec, cur+delta) // two's complement: works for negatives
+	return nil
+}
+
+func applyStoreAt(rec, operand []byte) error {
+	if len(operand) < 2 {
+		return fmt.Errorf("engine: OpStoreAt operand too short (%d bytes)", len(operand))
+	}
+	off := int(binary.LittleEndian.Uint16(operand))
+	data := operand[2:]
+	if off+len(data) > len(rec) {
+		return fmt.Errorf("engine: OpStoreAt writes [%d,%d) beyond record size %d", off, off+len(data), len(rec))
+	}
+	copy(rec[off:], data)
+	return nil
+}
+
+// Add64Operand encodes a delta for OpAdd64.
+func Add64Operand(delta int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(delta))
+	return b
+}
+
+// StoreAtOperand encodes an offset+bytes operand for OpStoreAt.
+func StoreAtOperand(offset int, data []byte) []byte {
+	b := make([]byte, 2+len(data))
+	binary.LittleEndian.PutUint16(b, uint16(offset))
+	copy(b[2:], data)
+	return b
+}
+
+// RegisterOperation adds a custom logical operation. It must be called
+// before any transaction uses the code, and the same registrations must
+// be in place (via Params.Operations) when the database is recovered.
+// Built-in codes cannot be replaced.
+func (e *Engine) RegisterOperation(code OpCode, fn OpFunc) error {
+	if fn == nil {
+		return errors.New("engine: nil operation")
+	}
+	e.opsMu.Lock()
+	defer e.opsMu.Unlock()
+	if _, exists := e.ops[code]; exists {
+		return fmt.Errorf("engine: operation code %d already registered", code)
+	}
+	e.ops[code] = fn
+	return nil
+}
+
+// lookupOp resolves an operation code.
+func (e *Engine) lookupOp(code OpCode) (OpFunc, error) {
+	e.opsMu.RLock()
+	fn := e.ops[code]
+	e.opsMu.RUnlock()
+	if fn == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownOperation, code)
+	}
+	return fn, nil
+}
+
+// ApplyOp stages a logical update of record rid: the operation is applied
+// to the transaction's view of the record immediately (so the transaction
+// reads its own result), but the log carries only the operation and
+// operand. Requires a copy-on-update checkpoint algorithm (see the package
+// comment above).
+func (tx *Txn) ApplyOp(rid uint64, code OpCode, operand []byte) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	e := tx.e
+	if !e.params.Algorithm.CopyOnUpdate() {
+		tx.abortInternal()
+		return ErrLogicalLoggingUnsupported
+	}
+	fn, err := e.lookupOp(code)
+	if err != nil {
+		tx.abortInternal()
+		return err
+	}
+	if _, _, err := tx.access(rid, true); err != nil {
+		return err
+	}
+
+	// Compute the post-operation image against the transaction's view.
+	rb := e.store.Config().RecordBytes
+	img, ok := tx.writes[rid]
+	if !ok {
+		img = make([]byte, rb)
+		seg, _, off, lerr := e.store.Locate(rid)
+		if lerr != nil {
+			tx.abortInternal()
+			return lerr
+		}
+		seg.RLock()
+		copy(img, seg.Data[off:off+rb])
+		seg.RUnlock()
+	}
+	if err := fn(img, operand); err != nil {
+		tx.abortInternal()
+		return err
+	}
+
+	op := append([]byte(nil), operand...)
+	rec := &wal.Record{Type: wal.TypeLogicalUpdate, TxnID: tx.id, RecordID: rid, OpCode: uint16(code), Data: op}
+	if tx.firstLSN == wal.NilLSN {
+		e.txnMu.Lock()
+		start, _, aerr := e.log.Append(rec)
+		if aerr == nil {
+			tx.firstLSN = start
+		}
+		e.txnMu.Unlock()
+		err = aerr
+	} else {
+		_, _, err = e.log.Append(rec)
+	}
+	if err != nil {
+		tx.abortInternal()
+		if errors.Is(err, wal.ErrClosed) {
+			return ErrStopped
+		}
+		return err
+	}
+	tx.writes[rid] = img
+	e.ctr.recordsWritten.Add(1)
+	e.ctr.logicalOps.Add(1)
+	return nil
+}

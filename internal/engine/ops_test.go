@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinOpsApply(t *testing.T) {
+	rec := make([]byte, 32)
+	binary.LittleEndian.PutUint64(rec, 100)
+	if err := applyAdd64(rec, Add64Operand(42)); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(rec); got != 142 {
+		t.Errorf("after +42: %d", got)
+	}
+	if err := applyAdd64(rec, Add64Operand(-200)); err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(binary.LittleEndian.Uint64(rec)); got != -58 {
+		t.Errorf("after -200: %d", got)
+	}
+
+	if err := applyStoreAt(rec, StoreAtOperand(10, []byte("xyz"))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec[10:13], []byte("xyz")) {
+		t.Error("OpStoreAt content missing")
+	}
+
+	// Error paths.
+	if err := applyAdd64(rec, []byte{1, 2}); err == nil {
+		t.Error("short Add64 operand accepted")
+	}
+	if err := applyAdd64(make([]byte, 4), Add64Operand(1)); err == nil {
+		t.Error("short record accepted by Add64")
+	}
+	if err := applyStoreAt(rec, StoreAtOperand(30, []byte("long"))); err == nil {
+		t.Error("out-of-bounds StoreAt accepted")
+	}
+	if err := applyStoreAt(rec, []byte{1}); err == nil {
+		t.Error("short StoreAt operand accepted")
+	}
+}
+
+// TestAdd64TwosComplementQuick: applying +d then −d is the identity for
+// arbitrary starting values and deltas.
+func TestAdd64TwosComplementQuick(t *testing.T) {
+	f := func(start uint64, delta int64) bool {
+		rec := make([]byte, 8)
+		binary.LittleEndian.PutUint64(rec, start)
+		if applyAdd64(rec, Add64Operand(delta)) != nil {
+			return false
+		}
+		if applyAdd64(rec, Add64Operand(-delta)) != nil {
+			return false
+		}
+		return binary.LittleEndian.Uint64(rec) == start
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyOpRequiresCOU(t *testing.T) {
+	for _, alg := range []Algorithm{FuzzyCopy, TwoColorFlush} {
+		e := mustOpen(t, testParams(t, alg))
+		tx, err := e.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = tx.ApplyOp(1, OpAdd64, Add64Operand(1))
+		if !errors.Is(err, ErrLogicalLoggingUnsupported) {
+			t.Errorf("%v: ApplyOp err = %v, want ErrLogicalLoggingUnsupported", alg, err)
+		}
+		e.Close()
+	}
+}
+
+func TestApplyOpVisibleInTxnAndAfterCommit(t *testing.T) {
+	e := mustOpen(t, testParams(t, COUCopy))
+	defer e.Close()
+	if err := e.Exec(func(tx *Txn) error { return tx.Write(5, encVal(10)) }); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Exec(func(tx *Txn) error {
+		if err := tx.ApplyOp(5, OpAdd64, Add64Operand(7)); err != nil {
+			return err
+		}
+		v, err := tx.Read(5)
+		if err != nil {
+			return err
+		}
+		if decVal(v) != 17 {
+			t.Errorf("own logical result = %d, want 17", decVal(v))
+		}
+		// Stack another op on the buffered image.
+		return tx.ApplyOp(5, OpAdd64, Add64Operand(3))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := readVal(t, e, 5); v != 20 {
+		t.Errorf("committed value = %d, want 20", v)
+	}
+	if st := e.Stats(); st.LogicalOps != 2 {
+		t.Errorf("LogicalOps = %d, want 2", st.LogicalOps)
+	}
+}
+
+func TestApplyOpAbortDiscards(t *testing.T) {
+	e := mustOpen(t, testParams(t, COUFlush))
+	defer e.Close()
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.ApplyOp(3, OpAdd64, Add64Operand(5)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if v := readVal(t, e, 3); v != 0 {
+		t.Errorf("aborted logical op applied: %d", v)
+	}
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	e := mustOpen(t, testParams(t, COUCopy))
+	defer e.Close()
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.ApplyOp(1, OpCode(999), nil); !errors.Is(err, ErrUnknownOperation) {
+		t.Errorf("unknown op err = %v", err)
+	}
+}
+
+func TestRegisterOperation(t *testing.T) {
+	e := mustOpen(t, testParams(t, COUCopy))
+	defer e.Close()
+	// Built-in collision rejected.
+	if err := e.RegisterOperation(OpAdd64, func(rec, op []byte) error { return nil }); err == nil {
+		t.Error("built-in collision accepted")
+	}
+	if err := e.RegisterOperation(OpCode(100), nil); err == nil {
+		t.Error("nil op accepted")
+	}
+	// Custom op: set every byte to the operand's first byte.
+	fill := func(rec, op []byte) error {
+		for i := range rec {
+			rec[i] = op[0]
+		}
+		return nil
+	}
+	if err := e.RegisterOperation(OpCode(100), fill); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterOperation(OpCode(100), fill); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := e.Exec(func(tx *Txn) error { return tx.ApplyOp(2, OpCode(100), []byte{0xAA}) }); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, e.RecordBytes())
+	if err := e.ReadRecord(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAA || buf[31] != 0xAA {
+		t.Error("custom op not applied")
+	}
+}
+
+// TestLogicalCrashRecovery is the logical-logging oracle: balances updated
+// only through OpAdd64 deltas, interleaved with COU checkpoints (including
+// one paused mid-sweep with updates landing behind and ahead of the
+// cursor), crash, recover, compare.
+func TestLogicalCrashRecovery(t *testing.T) {
+	for _, alg := range []Algorithm{COUFlush, COUCopy} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			p := testParams(t, alg)
+			e := mustOpen(t, p)
+			rng := rand.New(rand.NewSource(int64(alg) * 7))
+			oracle := make(map[uint64]uint64)
+
+			spin := func(n int) {
+				for i := 0; i < n; i++ {
+					rid := uint64(rng.Intn(e.NumRecords()))
+					delta := int64(rng.Intn(1000) - 500)
+					err := e.Exec(func(tx *Txn) error {
+						return tx.ApplyOp(rid, OpAdd64, Add64Operand(delta))
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					oracle[rid] += uint64(delta)
+				}
+			}
+
+			spin(60)
+			if _, err := e.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			spin(60)
+			if _, err := e.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			spin(60) // tail: replayed as operations
+			if err := e.Crash(); err != nil {
+				t.Fatal(err)
+			}
+
+			e2, rep, err := Recover(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e2.Close()
+			if rep.LogicalReplayed == 0 {
+				t.Error("no logical records replayed")
+			}
+			buf := make([]byte, e2.RecordBytes())
+			for rid, want := range oracle {
+				if err := e2.ReadRecord(rid, buf); err != nil {
+					t.Fatal(err)
+				}
+				if got := binary.LittleEndian.Uint64(buf); got != want {
+					t.Fatalf("record %d = %d, want %d (double or lost apply)", rid, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLogicalWithConcurrentCheckpointLoop stresses exact-replay soundness:
+// logical deltas race a back-to-back COU checkpoint loop, then crash.
+func TestLogicalWithConcurrentCheckpointLoop(t *testing.T) {
+	p := testParams(t, COUCopy)
+	p.AutoCheckpoint = true
+	e := mustOpen(t, p)
+	rng := rand.New(rand.NewSource(77))
+	oracle := make(map[uint64]uint64)
+	for i := 0; i < 300; i++ {
+		rid := uint64(rng.Intn(e.NumRecords()))
+		delta := int64(rng.Intn(100))
+		err := e.Exec(func(tx *Txn) error {
+			return tx.ApplyOp(rid, OpAdd64, Add64Operand(delta))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[rid] += uint64(delta)
+	}
+	if err := e.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := Recover(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	buf := make([]byte, e2.RecordBytes())
+	for rid, want := range oracle {
+		if err := e2.ReadRecord(rid, buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint64(buf); got != want {
+			t.Fatalf("record %d = %d, want %d", rid, got, want)
+		}
+	}
+}
+
+// TestRecoveryNeedsOperations: replaying a custom logical op without its
+// registration fails loudly instead of corrupting data.
+func TestRecoveryNeedsOperations(t *testing.T) {
+	p := testParams(t, COUCopy)
+	double := func(rec, op []byte) error {
+		v := binary.LittleEndian.Uint64(rec)
+		binary.LittleEndian.PutUint64(rec, v*2)
+		return nil
+	}
+	p.Operations = map[OpCode]OpFunc{OpCode(50): double}
+	e := mustOpen(t, p)
+	if err := e.Exec(func(tx *Txn) error { return tx.Write(1, encVal(21)) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(func(tx *Txn) error { return tx.ApplyOp(1, OpCode(50), nil) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	missing := p
+	missing.Operations = nil
+	if _, _, err := Recover(missing); !errors.Is(err, ErrUnknownOperation) {
+		t.Fatalf("recovery without op registration: %v, want ErrUnknownOperation", err)
+	}
+	e2, _, err := Recover(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if v := readVal(t, e2, 1); v != 42 {
+		t.Errorf("record 1 = %d, want 42", v)
+	}
+}
+
+// TestParamsRejectBadOperations validates the Params-level checks.
+func TestParamsRejectBadOperations(t *testing.T) {
+	p := testParams(t, COUCopy)
+	p.Operations = map[OpCode]OpFunc{OpAdd64: func(rec, op []byte) error { return nil }}
+	if _, err := Open(p); err == nil {
+		t.Error("built-in collision in Params accepted")
+	}
+	p = testParams(t, COUCopy)
+	p.Operations = map[OpCode]OpFunc{OpCode(60): nil}
+	if _, err := Open(p); err == nil {
+		t.Error("nil op in Params accepted")
+	}
+}
+
+// TestMixedPhysicalAndLogical interleaves Write and ApplyOp on the same
+// record within and across transactions.
+func TestMixedPhysicalAndLogical(t *testing.T) {
+	p := testParams(t, COUFlush)
+	e := mustOpen(t, p)
+	err := e.Exec(func(tx *Txn) error {
+		if err := tx.Write(9, encVal(100)); err != nil {
+			return err
+		}
+		return tx.ApplyOp(9, OpAdd64, Add64Operand(-30)) // applies to the buffered 100
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := readVal(t, e, 9); v != 70 {
+		t.Fatalf("mixed txn result = %d, want 70", v)
+	}
+	if err := e.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := Recover(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if v := readVal(t, e2, 9); v != 70 {
+		t.Errorf("recovered mixed result = %d, want 70", v)
+	}
+}

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mmdb/internal/simdisk"
+	"mmdb/internal/storage"
+)
+
+// Throttle paces checkpoint segment writes with the paper's disk model
+// (Table 2b): each flushed segment costs IOTime(S_seg)/N_disks of wall
+// time, divided by Speedup. It lets a laptop-scale engine reproduce the
+// paper's checkpoint-duration arithmetic at a manageable time scale.
+type Throttle struct {
+	// Disks is the simulated disk bank.
+	Disks simdisk.Model
+	// Speedup divides the modeled delays (e.g. 1000 runs the modeled
+	// schedule a thousand times faster). Must be >= 1.
+	Speedup float64
+}
+
+// delayPerSegment returns the wall-clock pacing delay for one flushed
+// segment of segBytes.
+func (th *Throttle) delayPerSegment(segBytes int) time.Duration {
+	words := segBytes / simdisk.WordBytes
+	d := th.Disks.BulkTime(1, words)
+	return time.Duration(float64(d) / th.Speedup)
+}
+
+// validate checks the throttle configuration.
+func (th *Throttle) validate() error {
+	if err := th.Disks.Validate(); err != nil {
+		return err
+	}
+	if th.Speedup < 1 {
+		return fmt.Errorf("engine: throttle speedup %v, want >= 1", th.Speedup)
+	}
+	return nil
+}
+
+// Params configures an Engine.
+type Params struct {
+	// Dir is the directory holding the log file and the two backup
+	// database copies.
+	Dir string
+
+	// Storage is the database geometry.
+	Storage storage.Config
+
+	// Algorithm selects the checkpoint algorithm.
+	Algorithm Algorithm
+
+	// Full selects full checkpoints: every segment is written each
+	// checkpoint. The default is partial checkpoints, which flush only the
+	// segments dirtied since the previous checkpoint of the same ping-pong
+	// copy (see DESIGN.md §6.1).
+	Full bool
+
+	// StableTail simulates stable RAM holding the log tail (Section 4).
+	// Required by FASTFUZZY.
+	StableTail bool
+
+	// SyncCommit makes Commit wait until the transaction's log records are
+	// durable. The paper's MMDBMS avoids synchronous commit I/O; the
+	// default is asynchronous group commit.
+	SyncCommit bool
+
+	// LogFlushInterval is the group-commit period for the background log
+	// flusher. Zero disables it (the tail is then flushed by checkpointer
+	// LSN waits, synchronous commits, and Close).
+	LogFlushInterval time.Duration
+
+	// CheckpointInterval is the paper's checkpoint duration: the time from
+	// the beginning of one checkpoint to the beginning of the next when
+	// the engine checkpoints continuously (Run). Zero means back-to-back,
+	// as fast as possible.
+	CheckpointInterval time.Duration
+
+	// AutoCheckpoint starts the continuous checkpoint loop on Open.
+	AutoCheckpoint bool
+
+	// CheckpointDirtyFraction, when in (0,1], makes the checkpoint loop
+	// cut its wait short as soon as that fraction of segments is dirty
+	// for the next target copy — bounding both recovery log span (via
+	// CheckpointInterval) and checkpoint size (via the dirty threshold).
+	CheckpointDirtyFraction float64
+
+	// LockTimeout bounds lock waits; expiry aborts the waiting transaction
+	// (deadlock resolution). Zero uses DefaultLockTimeout.
+	LockTimeout time.Duration
+
+	// SyncOnFlush fsyncs the log on every flush. Off by default: the
+	// in-process crash simulation defines durability by the flushed
+	// watermark, and the paper's engine would batch syncs anyway.
+	SyncOnFlush bool
+
+	// Operations registers custom logical operations (codes above the
+	// built-in range) for Txn.ApplyOp. Recovery needs the same map to
+	// replay logical records, so pass it to Recover as well.
+	Operations map[OpCode]OpFunc
+
+	// CheckpointThrottle, when non-nil, paces checkpoint segment writes
+	// with a simulated disk model (see Throttle).
+	CheckpointThrottle *Throttle
+
+	// DisableLogCompaction keeps the full log on disk. By default the
+	// engine compacts the log head after each checkpoint, dropping records
+	// older than any complete checkpoint's redo-scan start (no recovery
+	// can need them).
+	DisableLogCompaction bool
+
+	// SegmentHook, if set, runs after the checkpointer finishes each
+	// segment; returning an error aborts the checkpoint with that error.
+	// It exists for fault injection in tests (e.g., crashing mid-
+	// checkpoint to exercise ping-pong recovery).
+	SegmentHook func(checkpointID uint64, segIdx int) error
+}
+
+// DefaultLockTimeout is the lock-wait bound used when Params.LockTimeout
+// is zero.
+const DefaultLockTimeout = 2 * time.Second
+
+// withDefaults returns p with zero values replaced by defaults.
+func (p Params) withDefaults() Params {
+	if p.LockTimeout == 0 {
+		p.LockTimeout = DefaultLockTimeout
+	}
+	return p
+}
+
+// Validate checks the parameter set for consistency.
+func (p Params) Validate() error {
+	if p.Dir == "" {
+		return errors.New("engine: Dir must be set")
+	}
+	if err := p.Storage.Validate(); err != nil {
+		return err
+	}
+	if !p.Algorithm.Valid() {
+		return fmt.Errorf("engine: invalid algorithm %v", p.Algorithm)
+	}
+	if p.Algorithm.RequiresStableTail() && !p.StableTail {
+		return fmt.Errorf("engine: %v requires StableTail (it flushes segments without LSN checks and would otherwise violate the write-ahead rule)", p.Algorithm)
+	}
+	if p.CheckpointInterval < 0 {
+		return errors.New("engine: negative CheckpointInterval")
+	}
+	if p.CheckpointDirtyFraction < 0 || p.CheckpointDirtyFraction > 1 {
+		return errors.New("engine: CheckpointDirtyFraction must be in [0,1]")
+	}
+	if p.CheckpointThrottle != nil {
+		if err := p.CheckpointThrottle.validate(); err != nil {
+			return err
+		}
+	}
+	builtin := builtinOps()
+	for code, fn := range p.Operations {
+		if fn == nil {
+			return fmt.Errorf("engine: nil operation for code %d", code)
+		}
+		if _, taken := builtin[code]; taken {
+			return fmt.Errorf("engine: operation code %d collides with a built-in", code)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mmdb/internal/backup"
+	"mmdb/internal/storage"
+	"mmdb/internal/wal"
+)
+
+// RecoveryReport describes what system-failure recovery did: which backup
+// copy it loaded, how much log it scanned, and how much redo it applied.
+// The byte volumes feed recovery-time estimates under a disk model (the
+// paper takes recovery time to be backup read time plus log read time).
+type RecoveryReport struct {
+	// UsedCheckpoint is false when no complete checkpoint existed and the
+	// database was rebuilt from the initial (zero) state plus the log.
+	UsedCheckpoint bool
+	// UsedCopy is the ping-pong copy recovered from.
+	UsedCopy int
+	// CheckpointID and CheckpointAlgorithm identify the checkpoint.
+	CheckpointID        uint64
+	CheckpointAlgorithm string
+	// ScanStartLSN is where the forward redo scan began; for fuzzy
+	// checkpoints it precedes the begin-checkpoint marker when
+	// transactions were active at checkpoint begin.
+	ScanStartLSN wal.LSN
+	// LogEndLSN is the end of the intact log prefix.
+	LogEndLSN wal.LSN
+	// SegmentsLoaded counts backup slots actually written (the rest of the
+	// database is its initial zero state).
+	SegmentsLoaded int
+	// BackupBytesRead and LogBytesRead are the I/O volumes that dominate
+	// recovery time.
+	BackupBytesRead int64
+	LogBytesRead    int64
+	// RecordsScanned counts log records examined; TxnsReplayed counts
+	// committed transactions whose updates were applied; UpdatesApplied
+	// and UpdatesDiscarded split redo records by commit status (discarded
+	// updates belong to uncommitted or aborted transactions — redo-only
+	// logging simply ignores them).
+	RecordsScanned   int
+	TxnsReplayed     int
+	UpdatesApplied   int
+	UpdatesDiscarded int
+	// LogicalReplayed counts the subset of UpdatesApplied that were
+	// logical (operation) records.
+	LogicalReplayed int
+	// Elapsed is the wall-clock recovery duration in this process.
+	Elapsed time.Duration
+}
+
+// Recover rebuilds the primary database from the backup store and the log
+// (Section 3.3): it reads the most recent complete backup copy into main
+// memory, then scans the log forward from the checkpoint's scan-start
+// position, applying the after-images of committed transactions in log
+// order. It returns a running engine.
+func Recover(p Params) (*Engine, *RecoveryReport, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	started := time.Now()
+
+	st, err := storage.New(p.Storage)
+	if err != nil {
+		return nil, nil, err
+	}
+	bs, err := backup.Open(p.Dir, st.NumSegments(), p.Storage.SegmentBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			bs.Close()
+		}
+	}()
+
+	rep := &RecoveryReport{}
+	copyIdx, info, err := bs.Latest()
+	switch {
+	case err == nil:
+		rep.UsedCheckpoint = true
+		rep.UsedCopy = copyIdx
+		rep.CheckpointID = info.ID
+		rep.CheckpointAlgorithm = info.Algorithm
+		rep.ScanStartLSN = info.ScanStartLSN
+	case errors.Is(err, backup.ErrNoCheckpoint):
+		// Crash before the first checkpoint completed: recover from the
+		// initial zero database plus the whole log.
+		rep.ScanStartLSN = 0
+	default:
+		return nil, nil, err
+	}
+
+	// Load the backup copy into primary memory.
+	writtenBy := make([]uint64, st.NumSegments())
+	if rep.UsedCheckpoint {
+		err = bs.ReadAll(copyIdx, func(idx int, wb uint64, data []byte) error {
+			writtenBy[idx] = wb
+			if wb == 0 {
+				return nil
+			}
+			rep.SegmentsLoaded++
+			rep.BackupBytesRead += int64(len(data))
+			return st.LoadSegment(idx, data)
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: recovery: load backup copy %d: %w", copyIdx, err)
+		}
+	}
+
+	// Scan the log. Pass 1 finds committed transactions; pass 2 applies
+	// their after-images in log order (record-level X locks held to commit
+	// make per-record log order match commit order, so last-in-log wins).
+	logPath := filepath.Join(p.Dir, logFileName)
+	reader, err := wal.OpenReader(logPath)
+	if err != nil {
+		if os.IsNotExist(err) && !rep.UsedCheckpoint {
+			return nil, nil, errors.New("engine: recovery: no log and no checkpoint; nothing to recover (use Open for a new database)")
+		}
+		return nil, nil, err
+	}
+	// Walk the whole surviving log once: find the intact end and the
+	// highest transaction ID ever used. The re-opened engine must issue
+	// IDs above every ID still visible in the log — otherwise a new
+	// committed transaction could share an ID with an old aborted one,
+	// and a later recovery would replay the aborted redo records as
+	// committed.
+	var maxTxnID uint64
+	validEnd := reader.Base()
+	err = reader.Scan(reader.Base(), func(e wal.Entry) error {
+		validEnd = e.Next
+		if e.Rec.TxnID > maxTxnID {
+			maxTxnID = e.Rec.TxnID
+		}
+		return nil
+	})
+	if err != nil {
+		reader.Close()
+		return nil, nil, fmt.Errorf("engine: recovery: locate log end: %w", err)
+	}
+	rep.LogEndLSN = validEnd
+
+	if rep.UsedCheckpoint {
+		// Fidelity cross-check of the paper's backward scan: the
+		// begin-checkpoint marker for the recovered checkpoint must exist
+		// in the durable log and agree with the backup metadata.
+		marker, merr := reader.FindCheckpoint(validEnd, info.ID)
+		if merr != nil {
+			reader.Close()
+			return nil, nil, fmt.Errorf("engine: recovery: %w", merr)
+		}
+		if marker.LSN != info.BeginLSN || marker.ScanStart != info.ScanStartLSN {
+			reader.Close()
+			return nil, nil, fmt.Errorf("engine: recovery: marker/metadata mismatch: marker at %d (scan %d), metadata says %d (scan %d)",
+				marker.LSN, marker.ScanStart, info.BeginLSN, info.ScanStartLSN)
+		}
+	}
+
+	committed := make(map[uint64]bool)
+	err = reader.Scan(rep.ScanStartLSN, func(e wal.Entry) error {
+		rep.RecordsScanned++
+		rep.LogBytesRead += int64(e.Next - e.LSN)
+		if e.Rec.Type == wal.TypeCommit {
+			committed[e.Rec.TxnID] = true
+		}
+		return nil
+	})
+	if err != nil {
+		reader.Close()
+		return nil, nil, fmt.Errorf("engine: recovery: commit scan: %w", err)
+	}
+	rep.TxnsReplayed = len(committed)
+
+	// Operation registry for logical redo (built-ins plus custom ops the
+	// caller supplied; they must match the writing engine's).
+	ops := builtinOps()
+	for code, fn := range p.Operations {
+		ops[code] = fn
+	}
+
+	touched := make([]bool, st.NumSegments())
+	truncateAt := reader.FileOffset(validEnd)
+	recBuf := make([]byte, p.Storage.RecordBytes)
+	err = reader.Scan(rep.ScanStartLSN, func(e wal.Entry) error {
+		switch e.Rec.Type {
+		case wal.TypeUpdate:
+			if !committed[e.Rec.TxnID] {
+				rep.UpdatesDiscarded++
+				return nil
+			}
+			if aerr := st.WriteRecordRaw(e.Rec.RecordID, e.Rec.Data); aerr != nil {
+				return fmt.Errorf("apply update of record %d: %w", e.Rec.RecordID, aerr)
+			}
+		case wal.TypeLogicalUpdate:
+			if !committed[e.Rec.TxnID] {
+				rep.UpdatesDiscarded++
+				return nil
+			}
+			fn := ops[OpCode(e.Rec.OpCode)]
+			if fn == nil {
+				return fmt.Errorf("replay logical update of record %d: %w (code %d); pass the operation in Params.Operations",
+					e.Rec.RecordID, ErrUnknownOperation, e.Rec.OpCode)
+			}
+			if aerr := st.ReadRecord(e.Rec.RecordID, recBuf); aerr != nil {
+				return fmt.Errorf("replay logical update of record %d: %w", e.Rec.RecordID, aerr)
+			}
+			if aerr := fn(recBuf, e.Rec.Data); aerr != nil {
+				return fmt.Errorf("replay logical update of record %d: %w", e.Rec.RecordID, aerr)
+			}
+			if aerr := st.WriteRecordRaw(e.Rec.RecordID, recBuf); aerr != nil {
+				return fmt.Errorf("replay logical update of record %d: %w", e.Rec.RecordID, aerr)
+			}
+			rep.LogicalReplayed++
+		default:
+			return nil
+		}
+		touched[st.SegmentIndexOf(e.Rec.RecordID)] = true
+		rep.UpdatesApplied++
+		return nil
+	})
+	reader.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: recovery: redo: %w", err)
+	}
+
+	// Discard the torn tail so the re-opened log appends cleanly.
+	if err := os.Truncate(logPath, truncateAt); err != nil {
+		return nil, nil, fmt.Errorf("engine: recovery: truncate torn tail: %w", err)
+	}
+	lg, err := wal.Open(logPath, wal.Options{
+		StableTail:    p.StableTail,
+		SyncOnFlush:   p.SyncOnFlush,
+		FlushInterval: p.LogFlushInterval,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Reconstruct per-segment checkpoint bookkeeping.
+	nextCkpt := uint64(1)
+	for c := 0; c < storage.NumBackupCopies; c++ {
+		if ci := bs.CopyInfo(c); ci.ID >= nextCkpt {
+			nextCkpt = ci.ID + 1
+		}
+	}
+	clock0 := info.Timestamp + 1
+	if !rep.UsedCheckpoint {
+		clock0 = 1
+	}
+	e := newEngine(p, st, lg, bs, nextCkpt, clock0)
+	e.txnSeq.Store(maxTxnID)
+	other := 1 - copyIdx
+	for i := 0; i < st.NumSegments(); i++ {
+		seg := st.Seg(i)
+		if touched[i] {
+			// Replayed content is durable (it came from the log), so
+			// flushing it to either copy needs no further LSN wait.
+			seg.LastLSN = validEnd
+		}
+		if rep.UsedCheckpoint {
+			seg.Dirty[copyIdx] = touched[i]
+			// The other (older) copy may be stale for any segment that was
+			// ever written into the recovered copy; be conservative.
+			seg.Dirty[other] = touched[i] || writtenBy[i] != 0
+		} else {
+			seg.Dirty[0] = touched[i]
+			seg.Dirty[1] = touched[i]
+		}
+	}
+	rep.Elapsed = time.Since(started)
+	ok = true
+	e.start()
+	return e, rep, nil
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counters holds the engine's atomic activity counters.
+type counters struct {
+	txnsBegun      atomic.Uint64
+	txnsCommitted  atomic.Uint64
+	txnsAborted    atomic.Uint64 // all aborts, including restarts
+	colorRestarts  atomic.Uint64 // aborts caused by the two-color rule
+	lockAborts     atomic.Uint64 // aborts caused by lock timeouts
+	recordsRead    atomic.Uint64
+	recordsWritten atomic.Uint64
+	logicalOps     atomic.Uint64
+
+	couCopies    atomic.Uint64 // old-version copies made by updaters
+	couCopyBytes atomic.Uint64
+	couLive      atomic.Int64 // old copies currently held
+	couPeak      atomic.Int64 // high-water mark of old copies
+
+	checkpoints      atomic.Uint64
+	segmentsFlushed  atomic.Uint64
+	segmentsSkipped  atomic.Uint64 // clean segments skipped by partial checkpoints
+	bytesFlushed     atomic.Uint64
+	checkpointerCopy atomic.Uint64 // segment copies made by the checkpointer
+	lsnWaits         atomic.Uint64
+	compactions      atomic.Uint64
+	compactBytes     atomic.Uint64
+	compactErrors    atomic.Uint64
+
+	ckptMu        sync.Mutex
+	ckptTotalTime time.Duration
+	ckptLastTime  time.Duration
+	lastInterval  time.Duration
+	lastBegin     time.Time
+}
+
+// bumpCOULive tracks the live old-copy count and its peak (the paper notes
+// the COU snapshot buffer can potentially grow as large as the database).
+func (c *counters) bumpCOULive(delta int64) {
+	n := c.couLive.Add(delta)
+	for {
+		peak := c.couPeak.Load()
+		if n <= peak || c.couPeak.CompareAndSwap(peak, n) {
+			return
+		}
+	}
+}
+
+// Stats is a consistent-enough snapshot of engine activity. Counter pairs
+// are read independently and may be skewed by in-flight operations.
+type Stats struct {
+	// Transactions.
+	TxnsBegun     uint64
+	TxnsCommitted uint64
+	TxnsAborted   uint64
+	// ColorRestarts counts transactions aborted for violating the
+	// two-color constraint; ColorRestarts/TxnsBegun estimates the paper's
+	// p_restart.
+	ColorRestarts  uint64
+	LockAborts     uint64
+	RecordsRead    uint64
+	RecordsWritten uint64
+	// LogicalOps counts updates staged through Txn.ApplyOp (operation
+	// logging) rather than physical after images.
+	LogicalOps uint64
+
+	// Copy-on-update activity.
+	COUCopies    uint64
+	COUCopyBytes uint64
+	COULiveOld   int64
+	COUPeakOld   int64
+
+	// Checkpointing.
+	Checkpoints         uint64
+	SegmentsFlushed     uint64
+	SegmentsSkipped     uint64
+	BytesFlushed        uint64
+	CheckpointerCopies  uint64
+	LSNWaits            uint64
+	LastCheckpointTime  time.Duration
+	TotalCheckpointTime time.Duration
+	LastInterval        time.Duration
+	// Log head compaction.
+	LogCompactions     uint64
+	LogBytesCompacted  uint64
+	LogCompactFailures uint64
+
+	// Substrate counters.
+	LockAcquires uint64
+	LockReleases uint64
+	LockWaits    uint64
+	LockTimeouts uint64
+	LogAppends   uint64
+	LogFlushes   uint64
+	LogBytes     uint64
+}
+
+// PRestart estimates the checkpoint-induced restart probability: the
+// fraction of transaction attempts aborted by the two-color rule.
+func (s Stats) PRestart() float64 {
+	if s.TxnsBegun == 0 {
+		return 0
+	}
+	return float64(s.ColorRestarts) / float64(s.TxnsBegun)
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	c := &e.ctr
+	c.ckptMu.Lock()
+	lastT, totalT, lastI := c.ckptLastTime, c.ckptTotalTime, c.lastInterval
+	c.ckptMu.Unlock()
+	ls := e.locks.Stats()
+	ws := e.log.Stats()
+	return Stats{
+		TxnsBegun:      c.txnsBegun.Load(),
+		TxnsCommitted:  c.txnsCommitted.Load(),
+		TxnsAborted:    c.txnsAborted.Load(),
+		ColorRestarts:  c.colorRestarts.Load(),
+		LockAborts:     c.lockAborts.Load(),
+		RecordsRead:    c.recordsRead.Load(),
+		RecordsWritten: c.recordsWritten.Load(),
+		LogicalOps:     c.logicalOps.Load(),
+
+		COUCopies:    c.couCopies.Load(),
+		COUCopyBytes: c.couCopyBytes.Load(),
+		COULiveOld:   c.couLive.Load(),
+		COUPeakOld:   c.couPeak.Load(),
+
+		Checkpoints:         c.checkpoints.Load(),
+		SegmentsFlushed:     c.segmentsFlushed.Load(),
+		SegmentsSkipped:     c.segmentsSkipped.Load(),
+		BytesFlushed:        c.bytesFlushed.Load(),
+		CheckpointerCopies:  c.checkpointerCopy.Load(),
+		LSNWaits:            c.lsnWaits.Load(),
+		LastCheckpointTime:  lastT,
+		TotalCheckpointTime: totalT,
+		LastInterval:        lastI,
+		LogCompactions:      c.compactions.Load(),
+		LogBytesCompacted:   c.compactBytes.Load(),
+		LogCompactFailures:  c.compactErrors.Load(),
+
+		LockAcquires: ls.Acquires,
+		LockReleases: ls.Releases,
+		LockWaits:    ls.Waits,
+		LockTimeouts: ls.Timeouts,
+		LogAppends:   ws.Appends,
+		LogFlushes:   ws.Flushes,
+		LogBytes:     ws.BytesFlushed,
+	}
+}

@@ -1,0 +1,232 @@
+package inspect
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"mmdb/internal/backup"
+	"mmdb/internal/wal"
+)
+
+// Archival dump and restore — the paper's Section 2.7 observes that
+// "dumping of the backup database (e.g., to tape) may be easier [in a
+// MMDBMS] because of the more predictable disk access patterns". An
+// archive is a self-contained snapshot of the most recent complete
+// checkpoint plus exactly the log suffix its recovery needs; restoring it
+// into an empty directory yields a recoverable database equal to the
+// source at archive time.
+//
+// Format (little-endian):
+//
+//	magic "MMDBARC1"
+//	u32 header length, JSON archiveHeader
+//	per written segment: u32 index, segment bytes (length from geometry)
+//	u32 0xFFFFFFFF end-of-segments sentinel
+//	u64 log suffix length, raw log bytes [ScanStartLSN, log valid end)
+const archiveMagic = "MMDBARC1"
+
+const segSentinel = ^uint32(0)
+
+type archiveHeader struct {
+	Geometry     Geometry              `json:"geometry"`
+	Checkpoint   backup.CheckpointInfo `json:"checkpoint"`
+	LogStart     wal.LSN               `json:"log_start"`
+	LogEnd       wal.LSN               `json:"log_end"`
+	SegmentCount int                   `json:"segment_count"`
+}
+
+// ErrNotArchive reports a stream that is not an mmdb archive.
+var ErrNotArchive = errors.New("inspect: not an mmdb archive")
+
+// Archive writes a self-contained dump of dir's most recent complete
+// checkpoint and the log suffix recovery needs. It returns the number of
+// segments and log bytes written.
+func Archive(dir string, w io.Writer) (segments int, logBytes int64, err error) {
+	geo, err := ProbeGeometry(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	bs, err := backup.Open(dir, geo.NumSegments, geo.SegmentBytes)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer bs.Close()
+	copyIdx, info, err := bs.Latest()
+	if err != nil {
+		return 0, 0, fmt.Errorf("inspect: archive: %w", err)
+	}
+
+	r, err := wal.OpenReader(filepath.Join(dir, logFileName))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer r.Close()
+	validEnd, err := r.ValidEnd(info.ScanStartLSN)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Count written segments first (the header carries the count).
+	written := 0
+	err = bs.ReadAll(copyIdx, func(_ int, wb uint64, _ []byte) error {
+		if wb != 0 {
+			written++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	hdr := archiveHeader{
+		Geometry:     geo,
+		Checkpoint:   info,
+		LogStart:     info.ScanStartLSN,
+		LogEnd:       validEnd,
+		SegmentCount: written,
+	}
+	raw, err := json.Marshal(&hdr)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := io.WriteString(w, archiveMagic); err != nil {
+		return 0, 0, err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(raw))); err != nil {
+		return 0, 0, err
+	}
+	if _, err := w.Write(raw); err != nil {
+		return 0, 0, err
+	}
+
+	err = bs.ReadAll(copyIdx, func(idx int, wb uint64, data []byte) error {
+		if wb == 0 {
+			return nil
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(idx)); err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+		segments++
+		return nil
+	})
+	if err != nil {
+		return segments, 0, err
+	}
+	if err := binary.Write(w, binary.LittleEndian, segSentinel); err != nil {
+		return segments, 0, err
+	}
+
+	logBytes = int64(validEnd - info.ScanStartLSN)
+	if err := binary.Write(w, binary.LittleEndian, uint64(logBytes)); err != nil {
+		return segments, 0, err
+	}
+	sec, err := r.SectionReader(info.ScanStartLSN, validEnd)
+	if err != nil {
+		return segments, 0, err
+	}
+	if n, err := io.Copy(w, sec); err != nil {
+		return segments, n, err
+	}
+	return segments, logBytes, nil
+}
+
+// RestoreArchive reads an archive and materializes a recoverable database
+// directory at dir (which must not already hold one).
+func RestoreArchive(src io.Reader, dir string) (*RestoreInfo, error) {
+	magic := make([]byte, len(archiveMagic))
+	if _, err := io.ReadFull(src, magic); err != nil || string(magic) != archiveMagic {
+		return nil, ErrNotArchive
+	}
+	var hlen uint32
+	if err := binary.Read(src, binary.LittleEndian, &hlen); err != nil {
+		return nil, ErrNotArchive
+	}
+	if hlen > 1<<20 {
+		return nil, ErrNotArchive
+	}
+	raw := make([]byte, hlen)
+	if _, err := io.ReadFull(src, raw); err != nil {
+		return nil, ErrNotArchive
+	}
+	var hdr archiveHeader
+	if err := json.Unmarshal(raw, &hdr); err != nil {
+		return nil, fmt.Errorf("inspect: restore: corrupt header: %w", err)
+	}
+	if hdr.Geometry.NumSegments <= 0 || hdr.Geometry.SegmentBytes <= 0 || !hdr.Checkpoint.Complete {
+		return nil, errors.New("inspect: restore: implausible archive header")
+	}
+
+	bs, err := backup.Open(dir, hdr.Geometry.NumSegments, hdr.Geometry.SegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer bs.Close()
+	if _, _, err := bs.Latest(); err == nil {
+		return nil, errors.New("inspect: restore: directory already holds a database")
+	}
+
+	target := 0
+	if err := bs.BeginCheckpoint(target, hdr.Checkpoint); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, hdr.Geometry.SegmentBytes)
+	restored := 0
+	for {
+		var idx uint32
+		if err := binary.Read(src, binary.LittleEndian, &idx); err != nil {
+			return nil, fmt.Errorf("inspect: restore: truncated segment stream: %w", err)
+		}
+		if idx == segSentinel {
+			break
+		}
+		if _, err := io.ReadFull(src, buf); err != nil {
+			return nil, fmt.Errorf("inspect: restore: segment %d: %w", idx, err)
+		}
+		if err := bs.WriteSegment(target, int(idx), hdr.Checkpoint.ID, buf); err != nil {
+			return nil, err
+		}
+		restored++
+	}
+	if restored != hdr.SegmentCount {
+		return nil, fmt.Errorf("inspect: restore: %d segments, header says %d", restored, hdr.SegmentCount)
+	}
+
+	var logLen uint64
+	if err := binary.Read(src, binary.LittleEndian, &logLen); err != nil {
+		return nil, fmt.Errorf("inspect: restore: missing log: %w", err)
+	}
+	if wal.LSN(logLen) != hdr.LogEnd-hdr.LogStart {
+		return nil, errors.New("inspect: restore: log length disagrees with header")
+	}
+	n, err := wal.CreateAt(filepath.Join(dir, logFileName), hdr.LogStart,
+		io.LimitReader(src, int64(logLen)))
+	if err != nil {
+		return nil, err
+	}
+	if n != int64(logLen) {
+		return nil, fmt.Errorf("inspect: restore: log truncated: %d of %d bytes", n, logLen)
+	}
+	if err := bs.FinishCheckpoint(target, hdr.Checkpoint.EndLSN,
+		hdr.Checkpoint.SegmentsWritten, hdr.Checkpoint.BytesWritten); err != nil {
+		return nil, err
+	}
+	return &RestoreInfo{
+		Checkpoint: hdr.Checkpoint,
+		Segments:   restored,
+		LogBytes:   int64(logLen),
+	}, nil
+}
+
+// RestoreInfo summarizes a RestoreArchive.
+type RestoreInfo struct {
+	Checkpoint backup.CheckpointInfo
+	Segments   int
+	LogBytes   int64
+}

@@ -1,0 +1,161 @@
+package inspect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"mmdb/internal/engine"
+	"mmdb/internal/storage"
+)
+
+func TestArchiveRestoreRoundTrip(t *testing.T) {
+	dir, cfg := buildDatabase(t)
+
+	var buf bytes.Buffer
+	segs, logBytes, err := Archive(dir, &buf)
+	if err != nil {
+		t.Fatalf("Archive: %v", err)
+	}
+	if segs == 0 || logBytes == 0 {
+		t.Fatalf("archive wrote %d segments, %d log bytes", segs, logBytes)
+	}
+
+	restoreDir := t.TempDir()
+	info, err := RestoreArchive(bytes.NewReader(buf.Bytes()), restoreDir)
+	if err != nil {
+		t.Fatalf("RestoreArchive: %v", err)
+	}
+	if info.Segments != segs || info.LogBytes != logBytes {
+		t.Errorf("restore info %+v, archived %d/%d", info, segs, logBytes)
+	}
+
+	// The restored directory recovers to the same state as the original.
+	want := recoverAll(t, dir, cfg)
+	got := recoverAll(t, restoreDir, cfg)
+	if !bytes.Equal(want, got) {
+		t.Error("restored database state differs from the original")
+	}
+}
+
+// recoverAll recovers the directory and returns the full database image.
+func recoverAll(t *testing.T, dir string, cfg storage.Config) []byte {
+	t.Helper()
+	e, _, err := engine.Recover(engine.Params{
+		Dir: dir, Storage: cfg, Algorithm: engine.COUCopy,
+	})
+	if err != nil {
+		t.Fatalf("recover %s: %v", dir, err)
+	}
+	defer e.Close()
+	out := make([]byte, 0, cfg.NumRecords*cfg.RecordBytes)
+	buf := make([]byte, cfg.RecordBytes)
+	for rid := 0; rid < cfg.NumRecords; rid++ {
+		if err := e.ReadRecord(uint64(rid), buf); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, buf...)
+	}
+	return out
+}
+
+func TestArchiveRequiresCheckpoint(t *testing.T) {
+	// A directory without a complete checkpoint cannot be archived.
+	dir := t.TempDir()
+	cfg := storage.Config{NumRecords: 256, RecordBytes: 32, SegmentBytes: 256}
+	e, err := engine.Open(engine.Params{Dir: dir, Storage: cfg, Algorithm: engine.FuzzyCopy, SyncCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(func(tx *engine.Txn) error { return tx.Write(0, []byte("x")) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, _, err := Archive(dir, &buf); err == nil {
+		t.Error("archived a directory with no complete checkpoint")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := RestoreArchive(strings.NewReader("not an archive at all"), t.TempDir()); !errors.Is(err, ErrNotArchive) {
+		t.Errorf("garbage restore err = %v, want ErrNotArchive", err)
+	}
+	if _, err := RestoreArchive(strings.NewReader(archiveMagic), t.TempDir()); !errors.Is(err, ErrNotArchive) {
+		t.Errorf("truncated restore err = %v, want ErrNotArchive", err)
+	}
+}
+
+func TestRestoreRejectsOccupiedDirectory(t *testing.T) {
+	dir, _ := buildDatabase(t)
+	var buf bytes.Buffer
+	if _, _, err := Archive(dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring over the source (which holds a database) must fail.
+	if _, err := RestoreArchive(bytes.NewReader(buf.Bytes()), dir); err == nil {
+		t.Error("restore over an existing database accepted")
+	}
+}
+
+func TestRestoreDetectsTruncatedSegments(t *testing.T) {
+	dir, _ := buildDatabase(t)
+	var buf bytes.Buffer
+	if _, _, err := Archive(dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-40] // drop the tail
+	if _, err := RestoreArchive(bytes.NewReader(cut), t.TempDir()); err == nil {
+		t.Error("truncated archive accepted")
+	}
+}
+
+func TestRestoredDatabaseKeepsWorking(t *testing.T) {
+	dir, cfg := buildDatabase(t)
+	var buf bytes.Buffer
+	if _, _, err := Archive(dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	restoreDir := t.TempDir()
+	if _, err := RestoreArchive(bytes.NewReader(buf.Bytes()), restoreDir); err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := engine.Recover(engine.Params{
+		Dir: restoreDir, Storage: cfg, Algorithm: engine.COUCopy, SyncCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New transactions and checkpoints work in the restored world.
+	if err := e.Exec(func(tx *engine.Txn) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], 777)
+		return tx.Write(100, b[:])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := engine.Recover(engine.Params{
+		Dir: restoreDir, Storage: cfg, Algorithm: engine.COUCopy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	b := make([]byte, cfg.RecordBytes)
+	if err := e2.ReadRecord(100, b); err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(b) != 777 {
+		t.Error("post-restore write lost")
+	}
+}

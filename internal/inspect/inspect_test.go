@@ -1,0 +1,177 @@
+package inspect
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mmdb/internal/engine"
+	"mmdb/internal/storage"
+	"mmdb/internal/wal"
+)
+
+// buildDatabase creates a small database directory with committed
+// transactions, a checkpoint, a post-checkpoint tail, and a crash.
+func buildDatabase(t *testing.T) (string, storage.Config) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := storage.Config{NumRecords: 256, RecordBytes: 32, SegmentBytes: 256}
+	e, err := engine.Open(engine.Params{
+		Dir:        dir,
+		Storage:    cfg,
+		Algorithm:  engine.COUCopy,
+		SyncCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(v uint64) []byte {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, v)
+		return b
+	}
+	for i := 0; i < 20; i++ {
+		i := i
+		if err := e.Exec(func(tx *engine.Txn) error {
+			return tx.Write(uint64(i), val(uint64(i+1)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(func(tx *engine.Txn) error {
+		return tx.ApplyOp(5, engine.OpAdd64, engine.Add64Operand(100))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, cfg
+}
+
+func TestProbeGeometry(t *testing.T) {
+	dir, cfg := buildDatabase(t)
+	geo, err := ProbeGeometry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.NumSegments != cfg.NumSegments() || geo.SegmentBytes != cfg.SegmentBytes {
+		t.Errorf("probe = %+v, want %d×%d", geo, cfg.NumSegments(), cfg.SegmentBytes)
+	}
+	if _, err := ProbeGeometry(t.TempDir()); err == nil {
+		t.Error("probe of empty dir succeeded")
+	}
+}
+
+func TestInfo(t *testing.T) {
+	dir, _ := buildDatabase(t)
+	di, err := Info(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !di.HasRecoverySource || di.RecoveryCheckpoint.ID != 1 {
+		t.Errorf("recovery source = %+v", di)
+	}
+	if di.Copies[0].Algorithm != "COUCOPY" || !di.Copies[0].Complete {
+		t.Errorf("copy 0 info = %+v", di.Copies[0])
+	}
+	if di.Log == nil {
+		t.Fatal("log info missing")
+	}
+	if di.Log.Counts[wal.TypeCommit] == 0 || di.Log.Counts[wal.TypeLogicalUpdate] == 0 {
+		t.Errorf("log counts = %v", di.Log.Counts)
+	}
+	if di.Log.TornBytes != 0 {
+		t.Errorf("unexpected torn bytes: %d", di.Log.TornBytes)
+	}
+}
+
+func TestVerifyCleanAndCorrupt(t *testing.T) {
+	dir, _ := buildDatabase(t)
+	res, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CopySegments[0] == 0 {
+		t.Error("no written segments found in copy 0")
+	}
+
+	// Corrupt a byte inside the first written slot of copy 0.
+	f, err := os.OpenFile(filepath.Join(dir, "backup0.db"), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xEE}, 5); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Verify(dir); err == nil {
+		t.Error("corruption not detected")
+	}
+}
+
+func TestIterateLog(t *testing.T) {
+	dir, _ := buildDatabase(t)
+	var types []wal.RecordType
+	n, err := IterateLog(dir, 0, 0, func(e wal.Entry) error {
+		types = append(types, e.Rec.Type)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(types) || n == 0 {
+		t.Fatalf("iterated %d records", n)
+	}
+	// Limit honored.
+	n2, err := IterateLog(dir, 0, 3, func(wal.Entry) error { return nil })
+	if err != nil || n2 != 3 {
+		t.Errorf("limit: n=%d err=%v", n2, err)
+	}
+	// Callback error propagates.
+	boom := errors.New("boom")
+	if _, err := IterateLog(dir, 0, 0, func(wal.Entry) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("callback error = %v", err)
+	}
+}
+
+func TestDryRunLeavesDirectoryIntact(t *testing.T) {
+	dir, cfg := buildDatabase(t)
+	before, err := os.ReadFile(filepath.Join(dir, "redo.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DryRun(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CheckpointID != 1 || rep.LogicalReplayed != 1 {
+		t.Errorf("dry run report = %+v", rep)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "redo.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Error("dry run modified the original log")
+	}
+	// The original directory is still recoverable for real.
+	e, _, err := engine.Recover(engine.Params{
+		Dir: dir, Storage: cfg, Algorithm: engine.COUCopy,
+	})
+	if err != nil {
+		t.Fatalf("real recovery after dry run: %v", err)
+	}
+	e.Close()
+
+	bad := cfg
+	bad.SegmentBytes = 100 // invalid geometry
+	if _, err := DryRun(dir, bad, nil); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}

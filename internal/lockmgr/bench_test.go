@@ -1,0 +1,81 @@
+package lockmgr
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkUncontendedLockUnlock measures the fast path the paper prices
+// at C_lock per operation.
+func BenchmarkUncontendedLockUnlock(b *testing.B) {
+	m := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Lock(1, uint64(i%1024), X, time.Second); err != nil {
+			b.Fatal(err)
+		}
+		m.Unlock(1, uint64(i%1024))
+	}
+}
+
+// BenchmarkSharedHolders measures S acquisition with other S holders
+// present (the checkpointer's common case on clean segments).
+func BenchmarkSharedHolders(b *testing.B) {
+	m := New()
+	for owner := uint64(2); owner < 6; owner++ {
+		if err := m.Lock(owner, 7, S, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Lock(1, 7, S, time.Second); err != nil {
+			b.Fatal(err)
+		}
+		m.Unlock(1, 7)
+	}
+}
+
+// BenchmarkReleaseAll measures the strict-2PL commit release of a
+// transaction holding the paper's N_ru record locks plus intent locks.
+func BenchmarkReleaseAll(b *testing.B) {
+	m := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := uint64(0); k < 5; k++ {
+			if err := m.Lock(1, k, X, time.Second); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Lock(1, 1<<63|k, IX, time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if n := m.ReleaseAll(1); n != 10 {
+			b.Fatalf("released %d", n)
+		}
+	}
+}
+
+// BenchmarkContendedHandoff measures lock handoff between two goroutines
+// ping-ponging an exclusive lock.
+func BenchmarkContendedHandoff(b *testing.B) {
+	m := New()
+	var wg sync.WaitGroup
+	iters := b.N
+	b.ResetTimer()
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(owner uint64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := m.Lock(owner, 3, X, 30*time.Second); err != nil {
+					b.Error(err)
+					return
+				}
+				m.Unlock(owner, 3)
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+}

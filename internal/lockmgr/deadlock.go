@@ -1,0 +1,131 @@
+package lockmgr
+
+import "errors"
+
+// Deadlock detection. The timeout in Lock is a complete (if slow)
+// resolution mechanism; the detector below catches most deadlocks
+// instantly, at the moment the closing edge of a waits-for cycle would be
+// created. When a lock request must wait, the manager records a
+// waits-for edge (requester → key) and walks the graph: requester waits
+// for the holders of its key, each of which may itself be waiting for the
+// holders of another key, and so on. If the walk returns to the
+// requester, granting the wait can never make progress and the request
+// fails with ErrDeadlockDetected — the engine aborts that transaction,
+// releasing its locks.
+//
+// The walk takes the detector's registry mutex plus shard mutexes one at
+// a time, never holding two shards at once, so it cannot itself deadlock
+// with the lock paths. Races with concurrent grants can only produce
+// stale edges, which err on the side of reporting a deadlock — a safe
+// outcome, since the victim simply retries.
+
+// ErrDeadlockDetected reports that a lock request would close a waits-for
+// cycle. The requester must abort (its locks are part of the cycle).
+var ErrDeadlockDetected = errors.New("lockmgr: deadlock detected (waits-for cycle)")
+
+// noteWaiting registers that owner is about to wait for key, then checks
+// for a waits-for cycle through owner. It returns ErrDeadlockDetected if
+// granting could never happen; the caller must then not enqueue. On nil,
+// the caller enqueues and must call clearWaiting when the wait ends.
+func (m *Manager) noteWaiting(owner, key uint64) error {
+	m.waitMu.Lock()
+	m.waitingFor[owner] = key
+	m.waitMu.Unlock()
+
+	if m.cycleFrom(owner) {
+		m.clearWaiting(owner)
+		m.count(&m.deadlocks)
+		return ErrDeadlockDetected
+	}
+	return nil
+}
+
+// clearWaiting removes owner's waits-for edge.
+func (m *Manager) clearWaiting(owner uint64) {
+	m.waitMu.Lock()
+	delete(m.waitingFor, owner)
+	m.waitMu.Unlock()
+}
+
+// blockersOf returns the owners that currently prevent owner from
+// acquiring key: incompatible holders, plus incompatible queued waiters
+// ahead of it (FIFO order means they block too).
+func (m *Manager) blockersOf(owner, key uint64) []uint64 {
+	sh := m.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.locks[key]
+	if ls == nil {
+		return nil
+	}
+	w := m.waitModeLocked(ls, owner)
+	if w == nil {
+		// The owner is no longer queued on this key (granted or timed out
+		// between the waits-for snapshot and this read): the edge is
+		// stale, so it blocks on nothing.
+		return nil
+	}
+	mode := w.mode
+	var out []uint64
+	for h, hm := range ls.holders {
+		if h != owner && !compatible[hm][mode] {
+			out = append(out, h)
+		}
+	}
+	for _, q := range ls.queue {
+		if q.owner == owner {
+			break
+		}
+		if !compatible[q.mode][mode] {
+			out = append(out, q.owner)
+		}
+	}
+	return out
+}
+
+// waitModeLocked finds owner's queued waiter on ls, if any. Caller holds
+// the shard mutex.
+func (m *Manager) waitModeLocked(ls *lockState, owner uint64) *waiter {
+	for _, w := range ls.queue {
+		if w.owner == owner {
+			return w
+		}
+	}
+	return nil
+}
+
+// cycleFrom reports whether the waits-for graph contains a cycle through
+// start.
+func (m *Manager) cycleFrom(start uint64) bool {
+	// Snapshot the wait edges once; holder sets are read per key during
+	// the walk.
+	m.waitMu.Lock()
+	waits := make(map[uint64]uint64, len(m.waitingFor))
+	for o, k := range m.waitingFor {
+		waits[o] = k
+	}
+	m.waitMu.Unlock()
+
+	visited := make(map[uint64]bool)
+	var walk func(owner uint64) bool
+	walk = func(owner uint64) bool {
+		key, waiting := waits[owner]
+		if !waiting {
+			return false
+		}
+		for _, blocker := range m.blockersOf(owner, key) {
+			if blocker == start {
+				return true
+			}
+			if visited[blocker] {
+				continue
+			}
+			visited[blocker] = true
+			if walk(blocker) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(start)
+}

@@ -1,0 +1,213 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTwoPartyDeadlockDetected: the classic A→1,B→2 then A→2,B→1 cycle is
+// refused immediately, well before any timeout.
+func TestTwoPartyDeadlockDetected(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 101, X, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, 102, X, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	got1 := make(chan error, 1)
+	go func() { got1 <- m.Lock(1, 102, X, time.Minute) }()
+	// Wait until owner 1 is queued on key 102.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m.waitMu.Lock()
+		_, waiting := m.waitingFor[1]
+		m.waitMu.Unlock()
+		if waiting {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("owner 1 never started waiting")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	err := m.Lock(2, 101, X, time.Minute)
+	if !errors.Is(err, ErrDeadlockDetected) {
+		t.Fatalf("closing edge err = %v, want ErrDeadlockDetected", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("detection took %v; should be immediate", elapsed)
+	}
+	if m.Stats().Deadlocks != 1 {
+		t.Errorf("Deadlocks = %d, want 1", m.Stats().Deadlocks)
+	}
+
+	// The victim (owner 2) releases its locks; owner 1 proceeds.
+	m.ReleaseAll(2)
+	if err := <-got1; err != nil {
+		t.Fatalf("survivor not granted: %v", err)
+	}
+}
+
+// TestThreePartyDeadlockDetected builds a three-transaction cycle.
+func TestThreePartyDeadlockDetected(t *testing.T) {
+	m := New()
+	for o := uint64(1); o <= 3; o++ {
+		if err := m.Lock(o, 200+o, X, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1 waits for 2's key, 2 waits for 3's key.
+	errs := make(chan error, 2)
+	go func() { errs <- m.Lock(1, 202, X, time.Minute) }()
+	go func() { errs <- m.Lock(2, 203, X, time.Minute) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m.waitMu.Lock()
+		n := len(m.waitingFor)
+		m.waitMu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// 3 → 1's key closes the cycle.
+	if err := m.Lock(3, 201, X, time.Minute); !errors.Is(err, ErrDeadlockDetected) {
+		t.Fatalf("err = %v, want ErrDeadlockDetected", err)
+	}
+	// Victim 3 releases; the chain drains.
+	m.ReleaseAll(3)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	m.ReleaseAll(1)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpgradeUpgradeDeadlockDetected: two S holders both upgrading to X is
+// the textbook undetectable-by-FIFO deadlock; the detector must catch it.
+func TestUpgradeUpgradeDeadlockDetected(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 5, S, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, 5, S, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	got1 := make(chan error, 1)
+	go func() { got1 <- m.Lock(1, 5, X, time.Minute) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m.waitMu.Lock()
+		_, waiting := m.waitingFor[1]
+		m.waitMu.Unlock()
+		if waiting {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("upgrade never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Lock(2, 5, X, time.Minute); !errors.Is(err, ErrDeadlockDetected) {
+		t.Fatalf("second upgrade err = %v, want ErrDeadlockDetected", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-got1; err != nil {
+		t.Fatalf("first upgrade: %v", err)
+	}
+}
+
+// TestNoFalsePositiveOnChains: a straight-line wait chain (no cycle) is
+// not reported as a deadlock.
+func TestNoFalsePositiveOnChains(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 50, X, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	done3 := make(chan error, 1)
+	go func() { done2 <- m.Lock(2, 50, X, time.Minute) }()
+	time.Sleep(10 * time.Millisecond)
+	go func() { done3 <- m.Lock(3, 50, X, time.Minute) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case err := <-done2:
+		t.Fatalf("chained waiter 2 returned early: %v", err)
+	case err := <-done3:
+		t.Fatalf("chained waiter 3 returned early: %v", err)
+	default:
+	}
+	m.Unlock(1, 50)
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+	m.Unlock(2, 50)
+	if err := <-done3; err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Deadlocks != 0 {
+		t.Errorf("false positives: %d", m.Stats().Deadlocks)
+	}
+}
+
+// TestDeadlockStress runs transfer-style opposite-order lockers and
+// requires the system to keep making progress, resolving every deadlock
+// via detection (not timeouts — the generous timeout would fail the test
+// by stalling it).
+func TestDeadlockStress(t *testing.T) {
+	m := New()
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(owner uint64) {
+			defer wg.Done()
+			a, b := uint64(900), uint64(901)
+			if owner%2 == 0 {
+				a, b = b, a
+			}
+			for i := 0; i < 100; i++ {
+			retry:
+				if err := m.Lock(owner, a, X, 30*time.Second); err != nil {
+					if errors.Is(err, ErrDeadlockDetected) {
+						m.ReleaseAll(owner)
+						goto retry
+					}
+					t.Errorf("lock a: %v", err)
+					return
+				}
+				if err := m.Lock(owner, b, X, 30*time.Second); err != nil {
+					if errors.Is(err, ErrDeadlockDetected) {
+						m.ReleaseAll(owner)
+						goto retry
+					}
+					t.Errorf("lock b: %v", err)
+					return
+				}
+				committed.Add(1)
+				m.ReleaseAll(owner)
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	if committed.Load() != 600 {
+		t.Errorf("committed %d of 600", committed.Load())
+	}
+	st := m.Stats()
+	if st.Timeouts != 0 {
+		t.Errorf("%d waits resolved by timeout; the detector should have caught them", st.Timeouts)
+	}
+	t.Logf("deadlocks detected: %d", st.Deadlocks)
+}

@@ -1,0 +1,465 @@
+// Package lockmgr implements the lock manager used for synchronization
+// between transactions and the checkpointer (Section 2.1 of Salem &
+// Garcia-Molina charges C_lock per lock or unlock operation; Section 3.2
+// describes the locking the consistent checkpoint algorithms require).
+//
+// The manager supports multi-granularity modes: transactions take
+// shared/exclusive locks on records and intention locks (IS/IX) on the
+// records' segments, while a two-color checkpointer takes a shared lock on
+// a whole segment, which conflicts with in-flight writers of that segment
+// exactly as Pu's algorithm requires. Waits are FIFO with a timeout, which
+// doubles as the deadlock resolution mechanism.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes, in the usual multi-granularity hierarchy.
+const (
+	// IS is intention-shared: the holder reads finer-grained items below.
+	IS Mode = iota
+	// IX is intention-exclusive: the holder writes finer items below.
+	IX
+	// S is shared.
+	S
+	// X is exclusive.
+	X
+	numModes
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("lockmgr.Mode(%d)", uint8(m))
+	}
+}
+
+// compatible[a][b] reports whether modes a and b may be held concurrently
+// by different transactions.
+var compatible = [numModes][numModes]bool{
+	IS: {IS: true, IX: true, S: true, X: false},
+	IX: {IS: true, IX: true, S: false, X: false},
+	S:  {IS: true, IX: false, S: true, X: false},
+	X:  {IS: false, IX: false, S: false, X: false},
+}
+
+// covers reports whether holding mode a subsumes a request for mode b.
+func covers(a, b Mode) bool {
+	if a == b || a == X {
+		return true
+	}
+	switch a {
+	case S:
+		return b == IS
+	case IX:
+		return b == IS
+	}
+	return false
+}
+
+// sup returns the least mode covering both a and b (S+IX escalates to X;
+// there is no SIX mode in this manager).
+func sup(a, b Mode) Mode {
+	if covers(a, b) {
+		return a
+	}
+	if covers(b, a) {
+		return b
+	}
+	return X
+}
+
+// ErrTimeout reports that a lock wait exceeded its deadline. The engine
+// treats it as a deadlock victim signal and aborts the transaction.
+var ErrTimeout = errors.New("lockmgr: lock wait timed out (possible deadlock)")
+
+// ErrShutdown reports that the manager was shut down while waiting.
+var ErrShutdown = errors.New("lockmgr: manager shut down")
+
+type waiter struct {
+	owner   uint64
+	mode    Mode
+	upgrade bool
+	ready   chan error // buffered(1): receives nil on grant
+}
+
+type lockState struct {
+	holders map[uint64]Mode
+	queue   []*waiter
+}
+
+// empty reports whether the lock state can be garbage collected.
+func (ls *lockState) empty() bool { return len(ls.holders) == 0 && len(ls.queue) == 0 }
+
+// compatibleWithHolders reports whether owner may acquire mode given the
+// current holders (ignoring owner's own holding).
+func (ls *lockState) compatibleWithHolders(owner uint64, mode Mode) bool {
+	for h, hm := range ls.holders {
+		if h == owner {
+			continue
+		}
+		if !compatible[hm][mode] {
+			return false
+		}
+	}
+	return true
+}
+
+const numShards = 64
+
+type shard struct {
+	mu       sync.Mutex
+	locks    map[uint64]*lockState
+	holdings map[uint64]map[uint64]Mode // owner -> key -> mode
+	shutdown bool
+}
+
+// Manager is a sharded lock table.
+type Manager struct {
+	shards [numShards]shard
+
+	// Counters for the paper's C_lock accounting; guarded by statMu.
+	statMu    sync.Mutex
+	acquires  uint64
+	releases  uint64
+	waits     uint64
+	timeouts  uint64
+	deadlocks uint64
+
+	// Waits-for registry for deadlock detection; guarded by waitMu.
+	waitMu     sync.Mutex
+	waitingFor map[uint64]uint64 // owner → key it waits for
+}
+
+// New returns an empty lock manager.
+func New() *Manager {
+	m := &Manager{waitingFor: make(map[uint64]uint64)}
+	for i := range m.shards {
+		m.shards[i].locks = make(map[uint64]*lockState)
+		m.shards[i].holdings = make(map[uint64]map[uint64]Mode)
+	}
+	return m
+}
+
+func (m *Manager) shardOf(key uint64) *shard {
+	// Fibonacci hashing spreads sequential keys across shards.
+	return &m.shards[(key*0x9E3779B97F4A7C15)>>(64-6)]
+}
+
+// Stats is a snapshot of manager activity.
+type Stats struct {
+	Acquires uint64
+	Releases uint64
+	Waits    uint64
+	Timeouts uint64
+	// Deadlocks counts requests refused by the waits-for cycle detector.
+	Deadlocks uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
+	return Stats{Acquires: m.acquires, Releases: m.releases, Waits: m.waits,
+		Timeouts: m.timeouts, Deadlocks: m.deadlocks}
+}
+
+func (m *Manager) count(field *uint64) {
+	m.statMu.Lock()
+	*field++
+	m.statMu.Unlock()
+}
+
+// Lock acquires key in mode for owner, waiting up to timeout. A request
+// already covered by the owner's current holding returns immediately; a
+// stronger request upgrades (upgrades jump the queue, which keeps the
+// common S→X record upgrade from deadlocking against queued requests).
+// timeout <= 0 means wait forever.
+func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) error {
+	sh := m.shardOf(key)
+	sh.mu.Lock()
+	if sh.shutdown {
+		sh.mu.Unlock()
+		return ErrShutdown
+	}
+	ls := sh.locks[key]
+	if ls == nil {
+		ls = &lockState{holders: make(map[uint64]Mode)}
+		sh.locks[key] = ls
+	}
+
+	held, isHolder := ls.holders[owner]
+	if isHolder && covers(held, mode) {
+		sh.mu.Unlock()
+		return nil
+	}
+	want := mode
+	if isHolder {
+		want = sup(held, mode)
+	}
+
+	// Immediate grant: compatible with other holders, and either the queue
+	// is empty or this is an upgrade (upgrades may bypass the queue; a
+	// queued waiter is by definition not yet a holder, so the bypass
+	// cannot violate compatibility once holders are checked).
+	if ls.compatibleWithHolders(owner, want) && (len(ls.queue) == 0 || isHolder) {
+		ls.holders[owner] = want
+		m.recordHolding(sh, owner, key, want)
+		sh.mu.Unlock()
+		m.count(&m.acquires)
+		return nil
+	}
+
+	w := &waiter{owner: owner, mode: want, upgrade: isHolder, ready: make(chan error, 1)}
+	if isHolder {
+		// Upgrades go to the front of the queue.
+		ls.queue = append([]*waiter{w}, ls.queue...)
+	} else {
+		ls.queue = append(ls.queue, w)
+	}
+	sh.mu.Unlock()
+	m.count(&m.waits)
+
+	// The wait is registered in the waits-for graph; if it closes a
+	// cycle, fail now instead of stalling until the timeout.
+	if derr := m.noteWaiting(owner, key); derr != nil {
+		if m.dequeue(sh, key, ls, w) {
+			return derr
+		}
+		// A racing grant beat the detector; take it.
+		if err := <-w.ready; err != nil {
+			return err
+		}
+		m.count(&m.acquires)
+		return nil
+	}
+	defer m.clearWaiting(owner)
+
+	var timer *time.Timer
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		timeoutC = timer.C
+		defer timer.Stop()
+	}
+
+	select {
+	case err := <-w.ready:
+		if err != nil {
+			return err
+		}
+		m.count(&m.acquires)
+		return nil
+	case <-timeoutC:
+		// Remove ourselves from the queue; a concurrent grant may have
+		// raced with the timer, in which case the grant wins.
+		if !m.dequeue(sh, key, ls, w) {
+			if err := <-w.ready; err != nil {
+				return err
+			}
+			m.count(&m.acquires)
+			return nil
+		}
+		m.count(&m.timeouts)
+		return ErrTimeout
+	}
+}
+
+// dequeue removes waiter w from key's queue and re-runs grant processing
+// (w's departure may unblock waiters behind it). It reports whether w was
+// still queued; false means a grant raced and w.ready holds the outcome.
+func (m *Manager) dequeue(sh *shard, key uint64, ls *lockState, w *waiter) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			m.grantLocked(sh, key, ls)
+			if ls.empty() {
+				delete(sh.locks, key)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// TryLock attempts a non-blocking acquisition and reports success. The
+// two-color checkpointer uses it to "find a white segment that is not
+// exclusively locked" before falling back to a blocking wait (Figure 3.1).
+func (m *Manager) TryLock(owner, key uint64, mode Mode) bool {
+	sh := m.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.shutdown {
+		return false
+	}
+	ls := sh.locks[key]
+	if ls == nil {
+		ls = &lockState{holders: make(map[uint64]Mode)}
+		sh.locks[key] = ls
+	}
+	held, isHolder := ls.holders[owner]
+	if isHolder && covers(held, mode) {
+		return true
+	}
+	want := mode
+	if isHolder {
+		want = sup(held, mode)
+	}
+	if ls.compatibleWithHolders(owner, want) && (len(ls.queue) == 0 || isHolder) {
+		ls.holders[owner] = want
+		m.recordHolding(sh, owner, key, want)
+		m.statMu.Lock()
+		m.acquires++
+		m.statMu.Unlock()
+		return true
+	}
+	if ls.empty() {
+		delete(sh.locks, key)
+	}
+	return false
+}
+
+// recordHolding updates the owner->keys index. Caller holds sh.mu.
+func (m *Manager) recordHolding(sh *shard, owner, key uint64, mode Mode) {
+	hk := sh.holdings[owner]
+	if hk == nil {
+		hk = make(map[uint64]Mode)
+		sh.holdings[owner] = hk
+	}
+	hk[key] = mode
+}
+
+// grantLocked promotes queued waiters in FIFO order while they are
+// compatible. Caller holds sh.mu.
+func (m *Manager) grantLocked(sh *shard, key uint64, ls *lockState) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		held, isHolder := ls.holders[w.owner]
+		want := w.mode
+		if isHolder {
+			want = sup(held, w.mode)
+		}
+		if !ls.compatibleWithHolders(w.owner, want) {
+			return
+		}
+		ls.holders[w.owner] = want
+		m.recordHolding(sh, w.owner, key, want)
+		ls.queue = ls.queue[1:]
+		// Drop the owner's waits-for edge at grant time, not when its
+		// goroutine wakes — a stale edge would read as a phantom cycle to
+		// the deadlock detector. (waitMu nests strictly inside sh.mu here;
+		// the detector never holds waitMu while taking a shard lock.)
+		m.clearWaiting(w.owner)
+		w.ready <- nil
+	}
+}
+
+// Unlock releases owner's lock on key. Releasing a lock that is not held
+// is a no-op (idempotent release simplifies abort paths).
+func (m *Manager) Unlock(owner, key uint64) {
+	sh := m.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.locks[key]
+	if ls == nil {
+		return
+	}
+	if _, ok := ls.holders[owner]; !ok {
+		return
+	}
+	delete(ls.holders, owner)
+	if hk := sh.holdings[owner]; hk != nil {
+		delete(hk, key)
+		if len(hk) == 0 {
+			delete(sh.holdings, owner)
+		}
+	}
+	m.statMu.Lock()
+	m.releases++
+	m.statMu.Unlock()
+	m.grantLocked(sh, key, ls)
+	if ls.empty() {
+		delete(sh.locks, key)
+	}
+}
+
+// ReleaseAll releases every lock owner holds (commit/abort lock release
+// under strict two-phase locking). It returns the number released.
+func (m *Manager) ReleaseAll(owner uint64) int {
+	released := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		keys := make([]uint64, 0, len(sh.holdings[owner]))
+		for key := range sh.holdings[owner] {
+			keys = append(keys, key)
+		}
+		for _, key := range keys {
+			ls := sh.locks[key]
+			if ls == nil {
+				continue
+			}
+			delete(ls.holders, owner)
+			released++
+			m.grantLocked(sh, key, ls)
+			if ls.empty() {
+				delete(sh.locks, key)
+			}
+		}
+		delete(sh.holdings, owner)
+		sh.mu.Unlock()
+	}
+	if released > 0 {
+		m.statMu.Lock()
+		m.releases += uint64(released)
+		m.statMu.Unlock()
+	}
+	return released
+}
+
+// HeldMode returns the mode owner holds on key and whether it holds one.
+func (m *Manager) HeldMode(owner, key uint64) (Mode, bool) {
+	sh := m.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.locks[key]
+	if ls == nil {
+		return 0, false
+	}
+	mode, ok := ls.holders[owner]
+	return mode, ok
+}
+
+// Shutdown fails all current and future waiters with ErrShutdown.
+func (m *Manager) Shutdown() {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.shutdown = true
+		for _, ls := range sh.locks {
+			for _, w := range ls.queue {
+				w.ready <- ErrShutdown
+			}
+			ls.queue = nil
+		}
+		sh.mu.Unlock()
+	}
+}

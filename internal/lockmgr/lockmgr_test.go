@@ -1,0 +1,332 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Rows/columns: IS, IX, S, X — the standard multi-granularity matrix.
+	want := map[[2]Mode]bool{
+		{IS, IS}: true, {IS, IX}: true, {IS, S}: true, {IS, X}: false,
+		{IX, IS}: true, {IX, IX}: true, {IX, S}: false, {IX, X}: false,
+		{S, IS}: true, {S, IX}: false, {S, S}: true, {S, X}: false,
+		{X, IS}: false, {X, IX}: false, {X, S}: false, {X, X}: false,
+	}
+	for pair, ok := range want {
+		if compatible[pair[0]][pair[1]] != ok {
+			t.Errorf("compatible[%v][%v] = %v, want %v", pair[0], pair[1], !ok, ok)
+		}
+	}
+}
+
+func TestCoversAndSup(t *testing.T) {
+	if !covers(X, S) || !covers(X, IS) || !covers(X, IX) || !covers(X, X) {
+		t.Error("X should cover everything")
+	}
+	if !covers(S, IS) || covers(S, IX) || covers(S, X) {
+		t.Error("S covers IS only (besides itself)")
+	}
+	if !covers(IX, IS) || covers(IX, S) {
+		t.Error("IX covers IS only (besides itself)")
+	}
+	if got := sup(S, IX); got != X {
+		t.Errorf("sup(S, IX) = %v, want X (no SIX mode)", got)
+	}
+	if got := sup(IS, S); got != S {
+		t.Errorf("sup(IS, S) = %v, want S", got)
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 100, S, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, 100, S, time.Second); err != nil {
+		t.Fatalf("second shared lock blocked: %v", err)
+	}
+	if !m.TryLock(3, 100, IS) {
+		t.Error("IS should coexist with S")
+	}
+	if m.TryLock(4, 100, X) {
+		t.Error("X should conflict with S holders")
+	}
+}
+
+func TestExclusiveBlocksAndReleases(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 5, X, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- m.Lock(2, 5, X, 5*time.Second) }()
+	select {
+	case err := <-acquired:
+		t.Fatalf("second X acquired while first held: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.Unlock(1, 5)
+	if err := <-acquired; err != nil {
+		t.Fatalf("waiter not granted after release: %v", err)
+	}
+	if mode, ok := m.HeldMode(2, 5); !ok || mode != X {
+		t.Errorf("holder 2 mode = %v/%v, want X/true", mode, ok)
+	}
+}
+
+func TestTimeoutIsDeadlockVictim(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 9, X, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := m.Lock(2, 9, S, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("timed out after %v, expected ≥30ms", elapsed)
+	}
+	// The timed-out waiter must be gone: a later release grants nothing to
+	// it, and the key state stays clean.
+	m.Unlock(1, 9)
+	if !m.TryLock(3, 9, X) {
+		t.Error("key not free after timeout and release")
+	}
+	if m.Stats().Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1", m.Stats().Timeouts)
+	}
+}
+
+func TestUpgradeSharedToExclusive(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 7, S, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade with no other holders is immediate.
+	if err := m.Lock(1, 7, X, time.Second); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	if mode, _ := m.HeldMode(1, 7); mode != X {
+		t.Errorf("mode after upgrade = %v, want X", mode)
+	}
+
+	// Upgrade while another S holder exists must wait for it.
+	m2 := New()
+	if err := m2.Lock(1, 7, S, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Lock(2, 7, S, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	upgraded := make(chan error, 1)
+	go func() { upgraded <- m2.Lock(1, 7, X, 5*time.Second) }()
+	select {
+	case err := <-upgraded:
+		t.Fatalf("upgrade granted despite other S holder: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	m2.Unlock(2, 7)
+	if err := <-upgraded; err != nil {
+		t.Fatalf("upgrade after release: %v", err)
+	}
+}
+
+func TestUpgradeJumpsQueue(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 3, S, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Owner 2 queues for X behind owner 1's S.
+	got2 := make(chan error, 1)
+	go func() { got2 <- m.Lock(2, 3, X, 5*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	// Owner 1 upgrades; as a holder it bypasses the queue instead of
+	// deadlocking behind owner 2.
+	if err := m.Lock(1, 3, X, time.Second); err != nil {
+		t.Fatalf("holder upgrade should jump the queue: %v", err)
+	}
+	m.Unlock(1, 3)
+	if err := <-got2; err != nil {
+		t.Fatalf("queued X eventually granted: %v", err)
+	}
+}
+
+func TestReacquireHeldIsNoop(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 11, X, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, 11, S, time.Second); err != nil {
+		t.Fatalf("weaker re-request should be covered: %v", err)
+	}
+	if got := m.Stats().Acquires; got != 1 {
+		t.Errorf("Acquires = %d, want 1 (covered request is free)", got)
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	m := New()
+	for k := uint64(0); k < 20; k++ {
+		if err := m.Lock(1, k, X, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.ReleaseAll(1); n != 20 {
+		t.Errorf("ReleaseAll released %d, want 20", n)
+	}
+	for k := uint64(0); k < 20; k++ {
+		if !m.TryLock(2, k, X) {
+			t.Errorf("key %d still locked after ReleaseAll", k)
+		}
+	}
+	if n := m.ReleaseAll(1); n != 0 {
+		t.Errorf("second ReleaseAll released %d, want 0", n)
+	}
+}
+
+func TestReleaseAllWakesWaiters(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 42, X, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, 42, S, 5*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(1)
+	if err := <-got; err != nil {
+		t.Fatalf("waiter not woken by ReleaseAll: %v", err)
+	}
+}
+
+func TestFIFOPreventsWriterStarvation(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 8, S, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Writer queues.
+	wgot := make(chan error, 1)
+	go func() { wgot <- m.Lock(2, 8, X, 5*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	// A new reader must NOT jump past the queued writer.
+	if m.TryLock(3, 8, S) {
+		t.Fatal("reader bypassed queued writer")
+	}
+	m.Unlock(1, 8)
+	if err := <-wgot; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+}
+
+func TestShutdownFailsWaiters(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 2, X, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, 2, X, 30*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Shutdown()
+	if err := <-got; !errors.Is(err, ErrShutdown) {
+		t.Fatalf("waiter err = %v, want ErrShutdown", err)
+	}
+	if err := m.Lock(3, 99, S, time.Second); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("post-shutdown lock err = %v, want ErrShutdown", err)
+	}
+	if m.TryLock(3, 98, S) {
+		t.Error("TryLock should fail after shutdown")
+	}
+}
+
+// TestMutualExclusionStress hammers one key with X locks from many
+// goroutines and checks the critical section is exclusive.
+func TestMutualExclusionStress(t *testing.T) {
+	m := New()
+	var inside atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	const goroutines = 16
+	const iters = 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(owner uint64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := m.Lock(owner, 1, X, 30*time.Second); err != nil {
+					t.Errorf("lock: %v", err)
+					return
+				}
+				if inside.Add(1) != 1 {
+					violations.Add(1)
+				}
+				inside.Add(-1)
+				m.Unlock(owner, 1)
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Errorf("%d mutual-exclusion violations", v)
+	}
+}
+
+// TestReadersWritersStress mixes S and X lockers across many keys and
+// verifies no writer overlaps a reader on the same key.
+func TestReadersWritersStress(t *testing.T) {
+	m := New()
+	const keys = 8
+	var readers, writers [keys]atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(owner uint64) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				k := uint64((int(owner) + i) % keys)
+				if owner%3 == 0 {
+					if err := m.Lock(owner, k, X, 30*time.Second); err != nil {
+						t.Errorf("x lock: %v", err)
+						return
+					}
+					if readers[k].Load() != 0 || writers[k].Add(1) != 1 {
+						violations.Add(1)
+					}
+					writers[k].Add(-1)
+					m.Unlock(owner, k)
+				} else {
+					if err := m.Lock(owner, k, S, 30*time.Second); err != nil {
+						t.Errorf("s lock: %v", err)
+						return
+					}
+					readers[k].Add(1)
+					if writers[k].Load() != 0 {
+						violations.Add(1)
+					}
+					readers[k].Add(-1)
+					m.Unlock(owner, k)
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Errorf("%d reader/writer violations", v)
+	}
+}
+
+func TestUnlockUnheldIsNoop(t *testing.T) {
+	m := New()
+	m.Unlock(1, 55) // no state at all
+	if err := m.Lock(1, 55, S, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m.Unlock(2, 55) // different owner
+	if mode, ok := m.HeldMode(1, 55); !ok || mode != S {
+		t.Error("unlock by non-holder disturbed the lock")
+	}
+}

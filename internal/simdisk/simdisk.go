@@ -1,0 +1,140 @@
+// Package simdisk models the secondary-storage subsystem of the paper's
+// MMDBMS: a bank of N identical disks whose transfer bandwidth scales
+// linearly with N (Section 2.2 of Salem & Garcia-Molina, "Checkpointing
+// Memory-Resident Databases").
+//
+// A disk transfers d words in T_seek + T_trans*d seconds. The model
+// deliberately ignores bus contention and reference locality, as the paper
+// does; checkpointer I/O in an MMDB is sequential and well behaved.
+package simdisk
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// WordBytes is the size of one model "word". The paper's bandwidth
+// arithmetic (Section 2.3) uses four bytes per word.
+const WordBytes = 4
+
+// Model describes a bank of backup disks.
+type Model struct {
+	// Seek is the per-I/O delay time (the paper's T_seek).
+	Seek time.Duration
+	// TransferPerWord is the per-word transfer time (the paper's T_trans).
+	TransferPerWord time.Duration
+	// Disks is the number of devices in the bank (the paper's N_bdisks).
+	// Aggregate bandwidth scales linearly with Disks.
+	Disks int
+}
+
+// Default returns the paper's Table 2b configuration: a 30 ms I/O delay,
+// 3 µs/word transfer time, and 20 disks.
+func Default() Model {
+	return Model{
+		Seek:            30 * time.Millisecond,
+		TransferPerWord: 3 * time.Microsecond,
+		Disks:           20,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.Disks <= 0 {
+		return fmt.Errorf("simdisk: number of disks must be positive, got %d", m.Disks)
+	}
+	if m.Seek < 0 {
+		return errors.New("simdisk: negative seek time")
+	}
+	if m.TransferPerWord <= 0 {
+		return errors.New("simdisk: transfer time must be positive")
+	}
+	return nil
+}
+
+// IOTime returns the service time of a single request transferring the
+// given number of words on one device: T_seek + T_trans*words.
+func (m Model) IOTime(words int) time.Duration {
+	if words < 0 {
+		words = 0
+	}
+	return m.Seek + time.Duration(words)*m.TransferPerWord
+}
+
+// IOTimeSeconds is IOTime expressed in seconds, the unit used by the
+// analytic model.
+func (m Model) IOTimeSeconds(words int) float64 {
+	return m.IOTime(words).Seconds()
+}
+
+// BulkTime returns the time to execute numIOs independent requests, each
+// transferring words words, spread across the bank. Following Section 2.3,
+// the time for a series of I/O operations is inversely proportional to the
+// number of disks available.
+func (m Model) BulkTime(numIOs, words int) time.Duration {
+	if numIOs <= 0 {
+		return 0
+	}
+	total := time.Duration(numIOs) * m.IOTime(words)
+	return total / time.Duration(m.Disks)
+}
+
+// BulkTimeSeconds is BulkTime in seconds.
+func (m Model) BulkTimeSeconds(numIOs, words int) float64 {
+	return m.BulkTime(numIOs, words).Seconds()
+}
+
+// SequentialReadTime returns the time to stream totalWords off the bank
+// with one request per run of runWords words. It is used for recovery-time
+// estimates (reading the backup copy and the log back into memory).
+func (m Model) SequentialReadTime(totalWords, runWords int) time.Duration {
+	if totalWords <= 0 {
+		return 0
+	}
+	if runWords <= 0 {
+		runWords = totalWords
+	}
+	runs := (totalWords + runWords - 1) / runWords
+	return m.BulkTime(runs, runWords)
+}
+
+// BandwidthWordsPerSec returns the aggregate streaming bandwidth of the
+// bank, in words per second, for transfers of runWords per request.
+func (m Model) BandwidthWordsPerSec(runWords int) float64 {
+	t := m.IOTimeSeconds(runWords)
+	if t <= 0 {
+		return 0
+	}
+	return float64(runWords) * float64(m.Disks) / t
+}
+
+// BandwidthBytesPerSec is BandwidthWordsPerSec scaled to bytes.
+func (m Model) BandwidthBytesPerSec(runWords int) float64 {
+	return m.BandwidthWordsPerSec(runWords) * WordBytes
+}
+
+// ServiceRate returns the completion rate, in requests per second, the
+// bank sustains for requests of words words. The paper treats disks as
+// simple servers, so a bank of N disks completes N requests every IOTime.
+func (m Model) ServiceRate(words int) float64 {
+	t := m.IOTimeSeconds(words)
+	if t <= 0 {
+		return 0
+	}
+	return float64(m.Disks) / t
+}
+
+// Scale returns a copy of the model with the disk count multiplied by
+// factor (used for the doubled-bandwidth experiment of Figure 4b).
+func (m Model) Scale(factor int) Model {
+	scaled := m
+	scaled.Disks = m.Disks * factor
+	return scaled
+}
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	return fmt.Sprintf("simdisk.Model{seek=%v, transfer=%v/word, disks=%d}",
+		m.Seek, m.TransferPerWord, m.Disks)
+}

@@ -1,0 +1,107 @@
+package simdisk
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDefaultMatchesPaperTable2b(t *testing.T) {
+	m := Default()
+	if m.Seek != 30*time.Millisecond {
+		t.Errorf("Seek = %v, want 30ms", m.Seek)
+	}
+	if m.TransferPerWord != 3*time.Microsecond {
+		t.Errorf("TransferPerWord = %v, want 3µs", m.TransferPerWord)
+	}
+	if m.Disks != 20 {
+		t.Errorf("Disks = %d, want 20", m.Disks)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{Seek: time.Millisecond, TransferPerWord: time.Microsecond, Disks: 0},
+		{Seek: -time.Millisecond, TransferPerWord: time.Microsecond, Disks: 1},
+		{Seek: time.Millisecond, TransferPerWord: 0, Disks: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted: %v", i, m)
+		}
+	}
+}
+
+func TestIOTime(t *testing.T) {
+	m := Default()
+	// An 8192-word segment: 30ms + 8192·3µs = 54.576ms.
+	got := m.IOTime(8192)
+	want := 30*time.Millisecond + 8192*3*time.Microsecond
+	if got != want {
+		t.Errorf("IOTime(8192) = %v, want %v", got, want)
+	}
+	if m.IOTime(-5) != m.Seek {
+		t.Error("negative word count should cost a bare seek")
+	}
+	if s := m.IOTimeSeconds(8192); math.Abs(s-0.054576) > 1e-12 {
+		t.Errorf("IOTimeSeconds = %v", s)
+	}
+}
+
+func TestBulkTimeScalesWithDisks(t *testing.T) {
+	m := Default()
+	one := m.BulkTime(100, 8192)
+	double := m.Scale(2).BulkTime(100, 8192)
+	if double*2 != one {
+		t.Errorf("doubling disks should halve bulk time: %v vs %v", one, double)
+	}
+	if m.BulkTime(0, 8192) != 0 {
+		t.Error("zero I/Os should take no time")
+	}
+}
+
+func TestSequentialReadTime(t *testing.T) {
+	m := Default()
+	// Whole-database read: 32768 runs of 8192 words.
+	total := 32768 * 8192
+	got := m.SequentialReadTime(total, 8192).Seconds()
+	want := 32768 * 0.054576 / 20
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("SequentialReadTime = %v, want %v", got, want)
+	}
+	if m.SequentialReadTime(0, 8192) != 0 {
+		t.Error("empty read should take no time")
+	}
+	// runWords <= 0 means a single run.
+	if m.SequentialReadTime(100, 0) != m.BulkTime(1, 100) {
+		t.Error("zero runWords should mean one run")
+	}
+}
+
+func TestBandwidthAndServiceRate(t *testing.T) {
+	m := Default()
+	// 8192-word runs: 8192·20/0.054576 ≈ 3.0 Mwords/s ≈ 12 MB/s, in line
+	// with the paper's Section 2.3 estimate that a 1 GB database can be
+	// checkpointed in about 100 seconds at ten megabytes per second.
+	bw := m.BandwidthBytesPerSec(8192)
+	if bw < 10e6 || bw > 14e6 {
+		t.Errorf("bandwidth = %.1f MB/s, want ≈12", bw/1e6)
+	}
+	sr := m.ServiceRate(8192)
+	if math.Abs(sr-20/0.054576) > 0.01 {
+		t.Errorf("ServiceRate = %v", sr)
+	}
+	var zero Model
+	if zero.ServiceRate(10) != 0 || zero.BandwidthWordsPerSec(10) != 0 {
+		t.Error("degenerate model should report zero rates")
+	}
+}
+
+func TestString(t *testing.T) {
+	if Default().String() == "" {
+		t.Error("empty String()")
+	}
+}

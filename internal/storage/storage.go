@@ -1,0 +1,227 @@
+// Package storage implements the primary (memory-resident) database of the
+// paper: S_db words of data grouped into fixed-size records, which are in
+// turn grouped into segments, the unit of transfer to the backup disks
+// (Section 2.4 of Salem & Garcia-Molina, "Checkpointing Memory-Resident
+// Databases").
+//
+// Each segment carries the per-segment state the checkpoint algorithms
+// need: a short-term latch, the LSN of its most recent installed update
+// (for the write-ahead check), one dirty bit per ping-pong backup copy
+// (for partial checkpoints), a paint mark (for the two-color algorithms),
+// and a timestamp plus old-copy pointer (for copy-on-update).
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"mmdb/internal/wal"
+)
+
+// NumBackupCopies is the number of ping-pong backup database copies
+// (Section 2.6: two backups, alternately updated).
+const NumBackupCopies = 2
+
+// Config describes the database geometry. All sizes are in bytes; the
+// analytic model's word-based parameters convert at 4 bytes/word.
+type Config struct {
+	// NumRecords is the number of fixed-size records in the database.
+	NumRecords int
+	// RecordBytes is the record size (the paper's S_rec, in bytes).
+	RecordBytes int
+	// SegmentBytes is the segment size (the paper's S_seg, in bytes). It
+	// must be a multiple of RecordBytes.
+	SegmentBytes int
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.NumRecords <= 0 {
+		return fmt.Errorf("storage: NumRecords must be positive, got %d", c.NumRecords)
+	}
+	if c.RecordBytes <= 0 {
+		return fmt.Errorf("storage: RecordBytes must be positive, got %d", c.RecordBytes)
+	}
+	if c.SegmentBytes <= 0 {
+		return fmt.Errorf("storage: SegmentBytes must be positive, got %d", c.SegmentBytes)
+	}
+	if c.SegmentBytes%c.RecordBytes != 0 {
+		return fmt.Errorf("storage: SegmentBytes (%d) must be a multiple of RecordBytes (%d)",
+			c.SegmentBytes, c.RecordBytes)
+	}
+	return nil
+}
+
+// RecordsPerSegment returns how many records fit in one segment.
+func (c Config) RecordsPerSegment() int { return c.SegmentBytes / c.RecordBytes }
+
+// NumSegments returns the number of segments needed to hold NumRecords.
+// The final segment may be partially used but is full-sized on disk.
+func (c Config) NumSegments() int {
+	per := c.RecordsPerSegment()
+	return (c.NumRecords + per - 1) / per
+}
+
+// DatabaseBytes returns the total segment-aligned database size.
+func (c Config) DatabaseBytes() int { return c.NumSegments() * c.SegmentBytes }
+
+// OldCopy is the pre-checkpoint version of a segment preserved by a
+// copy-on-update transaction (Figure 3.2 of the paper). The checkpointer
+// flushes the old copy instead of the live segment, keeping the backup
+// transaction-consistent as of the checkpoint's begin timestamp.
+type OldCopy struct {
+	// Data is the segment image as of the copy.
+	Data []byte
+	// Dirty snapshots the segment's per-copy dirty bits at copy time, so
+	// a partial checkpoint can still skip segments that were clean for its
+	// target backup copy when the checkpoint began.
+	Dirty [NumBackupCopies]bool
+	// TS is the segment timestamp at copy time (the τ(S) value the old
+	// copy preserves).
+	TS uint64
+}
+
+// Segment is one unit of checkpoint transfer plus its bookkeeping state.
+// The embedded RWMutex is a short-term latch guarding Data and all the
+// bookkeeping fields; transactions hold it only while installing a record
+// and checkpointers only while copying or flushing, never across waits.
+type Segment struct {
+	sync.RWMutex
+
+	// Data is the live segment image. Guarded by the latch.
+	Data []byte
+
+	// LastLSN is the end LSN of the most recent update installed into this
+	// segment, wal.NilLSN if never updated. The write-ahead rule permits
+	// flushing the segment to the backup disks only once the log is
+	// durable past LastLSN. Guarded by the latch.
+	LastLSN wal.LSN
+
+	// Dirty holds one dirty bit per ping-pong backup copy: Dirty[c] is set
+	// when an update is installed and cleared when the segment's current
+	// contents reach backup copy c. Partial checkpoints flush exactly the
+	// segments dirty for their target copy. Guarded by the latch.
+	Dirty [NumBackupCopies]bool
+
+	// Paint is the two-color paint mark: the ID of the checkpoint that
+	// most recently processed ("painted black") this segment. During
+	// checkpoint k a segment is black iff Paint == k, white otherwise.
+	// Guarded by the latch.
+	Paint uint64
+
+	// TS is the timestamp of the most recent transaction to update the
+	// segment (the paper's τ(S), used by copy-on-update). Guarded by the
+	// latch.
+	TS uint64
+
+	// Old points at the copy-on-update old version, if a transaction has
+	// preserved one during the current checkpoint. Guarded by the latch.
+	Old *OldCopy
+}
+
+// Snapshot copies the segment image into dst (which must be SegmentBytes
+// long) and returns the segment's LastLSN. Caller must hold the latch (in
+// at least shared mode).
+func (s *Segment) Snapshot(dst []byte) wal.LSN {
+	copy(dst, s.Data)
+	return s.LastLSN
+}
+
+// TakeOld detaches and returns the old copy, or nil. Caller must hold the
+// latch exclusively.
+func (s *Segment) TakeOld() *OldCopy {
+	o := s.Old
+	s.Old = nil
+	return o
+}
+
+// Store is the memory-resident primary database.
+type Store struct {
+	cfg  Config
+	slab []byte
+	segs []Segment
+}
+
+// New allocates a zero-filled database with the given geometry.
+func New(cfg Config) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.NumSegments()
+	st := &Store{
+		cfg:  cfg,
+		slab: make([]byte, cfg.DatabaseBytes()),
+		segs: make([]Segment, n),
+	}
+	for i := range st.segs {
+		st.segs[i].Data = st.slab[i*cfg.SegmentBytes : (i+1)*cfg.SegmentBytes]
+		st.segs[i].LastLSN = wal.NilLSN
+	}
+	return st, nil
+}
+
+// Config returns the store geometry.
+func (s *Store) Config() Config { return s.cfg }
+
+// NumSegments returns the segment count.
+func (s *Store) NumSegments() int { return len(s.segs) }
+
+// Seg returns segment i.
+func (s *Store) Seg(i int) *Segment { return &s.segs[i] }
+
+// SegmentIndexOf returns the index of the segment containing record rid.
+func (s *Store) SegmentIndexOf(rid uint64) int {
+	return int(rid) / s.cfg.RecordsPerSegment()
+}
+
+// Locate resolves a record ID to its segment and intra-segment offset.
+func (s *Store) Locate(rid uint64) (seg *Segment, segIdx, offset int, err error) {
+	if rid >= uint64(s.cfg.NumRecords) {
+		return nil, 0, 0, fmt.Errorf("storage: record %d out of range [0,%d)", rid, s.cfg.NumRecords)
+	}
+	per := s.cfg.RecordsPerSegment()
+	segIdx = int(rid) / per
+	offset = (int(rid) % per) * s.cfg.RecordBytes
+	return &s.segs[segIdx], segIdx, offset, nil
+}
+
+// ReadRecord copies record rid into dst (of at least RecordBytes) under
+// the segment latch.
+func (s *Store) ReadRecord(rid uint64, dst []byte) error {
+	seg, _, off, err := s.Locate(rid)
+	if err != nil {
+		return err
+	}
+	seg.RLock()
+	copy(dst[:s.cfg.RecordBytes], seg.Data[off:off+s.cfg.RecordBytes])
+	seg.RUnlock()
+	return nil
+}
+
+// LoadSegment overwrites segment i with data during recovery. Not latched:
+// recovery is single-threaded and precedes transaction processing.
+func (s *Store) LoadSegment(i int, data []byte) error {
+	if i < 0 || i >= len(s.segs) {
+		return fmt.Errorf("storage: segment %d out of range [0,%d)", i, len(s.segs))
+	}
+	if len(data) != s.cfg.SegmentBytes {
+		return fmt.Errorf("storage: segment %d load size %d, want %d", i, len(data), s.cfg.SegmentBytes)
+	}
+	copy(s.segs[i].Data, data)
+	return nil
+}
+
+// WriteRecordRaw installs record data without logging or bookkeeping. It
+// is the recovery manager's redo-apply primitive ("new values of modified
+// records are written in place in primary memory") and is also not latched.
+func (s *Store) WriteRecordRaw(rid uint64, data []byte) error {
+	seg, _, off, err := s.Locate(rid)
+	if err != nil {
+		return err
+	}
+	n := copy(seg.Data[off:off+s.cfg.RecordBytes], data)
+	for ; n < s.cfg.RecordBytes; n++ {
+		seg.Data[off+n] = 0
+	}
+	return nil
+}

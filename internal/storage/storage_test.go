@@ -1,0 +1,222 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mmdb/internal/wal"
+)
+
+func validConfig() Config {
+	return Config{NumRecords: 1000, RecordBytes: 32, SegmentBytes: 256}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", validConfig(), true},
+		{"zero records", Config{NumRecords: 0, RecordBytes: 32, SegmentBytes: 256}, false},
+		{"zero record size", Config{NumRecords: 10, RecordBytes: 0, SegmentBytes: 256}, false},
+		{"zero segment size", Config{NumRecords: 10, RecordBytes: 32, SegmentBytes: 0}, false},
+		{"segment not multiple", Config{NumRecords: 10, RecordBytes: 32, SegmentBytes: 100}, false},
+		{"record equals segment", Config{NumRecords: 10, RecordBytes: 64, SegmentBytes: 64}, true},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestGeometryDerivations(t *testing.T) {
+	cfg := validConfig()
+	if got := cfg.RecordsPerSegment(); got != 8 {
+		t.Errorf("RecordsPerSegment = %d, want 8", got)
+	}
+	// 1000 records / 8 per segment = 125 segments exactly.
+	if got := cfg.NumSegments(); got != 125 {
+		t.Errorf("NumSegments = %d, want 125", got)
+	}
+	if got := cfg.DatabaseBytes(); got != 125*256 {
+		t.Errorf("DatabaseBytes = %d, want %d", got, 125*256)
+	}
+	// Non-exact division rounds up.
+	cfg.NumRecords = 1001
+	if got := cfg.NumSegments(); got != 126 {
+		t.Errorf("NumSegments (1001 records) = %d, want 126", got)
+	}
+}
+
+func TestLocateAndReadWrite(t *testing.T) {
+	st, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, segIdx, off, err := st.Locate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segIdx != 1 || off != 32 {
+		t.Errorf("Locate(9) = seg %d off %d, want seg 1 off 32", segIdx, off)
+	}
+	if seg != st.Seg(1) {
+		t.Error("Locate returned wrong segment pointer")
+	}
+	if st.SegmentIndexOf(9) != 1 {
+		t.Errorf("SegmentIndexOf(9) = %d, want 1", st.SegmentIndexOf(9))
+	}
+
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	if err := st.WriteRecordRaw(9, payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 32)
+	if err := st.ReadRecord(9, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("read back %q, want %q", got, payload)
+	}
+
+	// Short write zero-pads.
+	if err := st.WriteRecordRaw(9, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ReadRecord(9, got); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 32)
+	copy(want, "xy")
+	if !bytes.Equal(got, want) {
+		t.Errorf("short write read back %q, want %q", got, want)
+	}
+
+	if _, _, _, err := st.Locate(uint64(validConfig().NumRecords)); err == nil {
+		t.Error("Locate past end should fail")
+	}
+	if err := st.WriteRecordRaw(1<<40, payload); err == nil {
+		t.Error("WriteRecordRaw out of range should fail")
+	}
+}
+
+func TestSegmentSnapshotAndOld(t *testing.T) {
+	st, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := st.Seg(0)
+	seg.Lock()
+	copy(seg.Data, "segment-zero-content")
+	seg.LastLSN = 77
+	buf := make([]byte, len(seg.Data))
+	lsn := seg.Snapshot(buf)
+	seg.Unlock()
+	if lsn != 77 {
+		t.Errorf("Snapshot LSN = %d, want 77", lsn)
+	}
+	if !bytes.Equal(buf[:20], []byte("segment-zero-content")) {
+		t.Error("Snapshot content mismatch")
+	}
+
+	seg.Lock()
+	seg.Old = &OldCopy{Data: buf, TS: 5}
+	old := seg.TakeOld()
+	if old == nil || old.TS != 5 {
+		t.Errorf("TakeOld = %+v, want TS 5", old)
+	}
+	if seg.TakeOld() != nil {
+		t.Error("second TakeOld should return nil")
+	}
+	seg.Unlock()
+}
+
+func TestNewSegmentsInitialized(t *testing.T) {
+	st, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < st.NumSegments(); i++ {
+		seg := st.Seg(i)
+		if seg.LastLSN != wal.NilLSN {
+			t.Fatalf("segment %d LastLSN = %d, want NilLSN", i, seg.LastLSN)
+		}
+		if seg.Dirty[0] || seg.Dirty[1] {
+			t.Fatalf("segment %d born dirty", i)
+		}
+		if len(seg.Data) != 256 {
+			t.Fatalf("segment %d data length %d", i, len(seg.Data))
+		}
+	}
+}
+
+func TestLoadSegment(t *testing.T) {
+	st, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := bytes.Repeat([]byte{0xAB}, 256)
+	if err := st.LoadSegment(3, img); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 32)
+	if err := st.ReadRecord(3*8, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img[:32]) {
+		t.Error("LoadSegment content not visible through ReadRecord")
+	}
+	if err := st.LoadSegment(3, img[:10]); err == nil {
+		t.Error("LoadSegment with wrong size should fail")
+	}
+	if err := st.LoadSegment(-1, img); err == nil {
+		t.Error("LoadSegment out of range should fail")
+	}
+}
+
+// TestWriteReadQuick property-tests that writes to distinct records never
+// interfere: writing record A then reading record B≠A returns B's prior
+// content.
+func TestWriteReadQuick(t *testing.T) {
+	cfg := validConfig()
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make(map[uint64][]byte)
+	f := func(ridRaw uint64, data []byte) bool {
+		rid := ridRaw % uint64(cfg.NumRecords)
+		if len(data) > cfg.RecordBytes {
+			data = data[:cfg.RecordBytes]
+		}
+		if err := st.WriteRecordRaw(rid, data); err != nil {
+			return false
+		}
+		img := make([]byte, cfg.RecordBytes)
+		copy(img, data)
+		oracle[rid] = img
+		// Check a few oracle entries, including the one just written.
+		for k, want := range oracle {
+			got := make([]byte, cfg.RecordBytes)
+			if err := st.ReadRecord(k, got); err != nil {
+				return false
+			}
+			if !bytes.Equal(got, want) {
+				return false
+			}
+			break
+		}
+		got := make([]byte, cfg.RecordBytes)
+		if err := st.ReadRecord(rid, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, img)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

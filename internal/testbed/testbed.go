@@ -1,0 +1,263 @@
+// Package testbed runs the paper's Section 5 promise: "a testbed with
+// which we will be able to experimentally evaluate the algorithms
+// presented here ... as well as to verify the processor overhead and
+// recovery time models". It drives the real engine under a paced version
+// of the paper's load model with checkpoint I/O throttled by the Table 2b
+// disk model (scaled), measures checkpoint durations, restart
+// probabilities and priced CPU overhead, and evaluates the analytic model
+// at the equivalent scaled parameters for side-by-side comparison.
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"mmdb"
+	"mmdb/analytic"
+	"mmdb/internal/simdisk"
+	"mmdb/workload"
+)
+
+// Scenario describes one testbed cell: a scaled-down paper operating
+// point mapped onto the live engine.
+type Scenario struct {
+	// Algorithm under test.
+	Algorithm mmdb.Algorithm
+	// Database geometry (bytes). SegmentBytes 0 defaults to 256 records.
+	Records      int
+	RecordBytes  int
+	SegmentBytes int
+	// Load: target arrival rate (transactions/second of wall time),
+	// updates per transaction, total transactions, and concurrent writers.
+	Lambda        float64
+	UpdatesPerTxn int
+	Txns          int
+	Writers       int
+	// Speedup divides the Table 2b disk-model delays used both to
+	// throttle the engine's checkpoint writes and to scale the analytic
+	// prediction, so modeled seconds equal wall seconds.
+	Speedup float64
+	// Seed controls the workload.
+	Seed int64
+	// Dir is the database directory (a temp dir when empty).
+	Dir string
+}
+
+// withDefaults fills zero fields.
+func (s Scenario) withDefaults() Scenario {
+	if s.RecordBytes == 0 {
+		s.RecordBytes = 128
+	}
+	if s.SegmentBytes == 0 {
+		s.SegmentBytes = s.RecordBytes * 256
+	}
+	if s.Records == 0 {
+		s.Records = 1 << 14
+	}
+	if s.Lambda == 0 {
+		s.Lambda = 500
+	}
+	if s.UpdatesPerTxn == 0 {
+		s.UpdatesPerTxn = 5
+	}
+	if s.Txns == 0 {
+		s.Txns = 2000
+	}
+	if s.Writers == 0 {
+		s.Writers = 4
+	}
+	if s.Speedup == 0 {
+		// Unscaled Table 2b timings: ~2.7 ms per flushed segment, which
+		// dwarfs the local fsync fixed costs, keeps the scaled system deep
+		// in the paper's bandwidth-limited regime, and makes the modeled
+		// active time directly comparable to the measured one.
+		s.Speedup = 1
+	}
+	return s
+}
+
+// Measured holds live-engine measurements.
+type Measured struct {
+	WallSeconds     float64
+	TPS             float64
+	PRestart        float64
+	Checkpoints     uint64
+	SegmentsPerCkpt float64
+	// MeanCheckpointSecs is the raw mean checkpoint duration;
+	// FixedCheckpointSecs is the calibrated per-checkpoint fixed cost
+	// (metadata writes, file syncs) measured with one empty checkpoint,
+	// and ActiveCheckpointSecs = mean − fixed is the throttle-governed
+	// part comparable to the model's active time.
+	MeanCheckpointSecs   float64
+	FixedCheckpointSecs  float64
+	ActiveCheckpointSecs float64
+	OverheadPerTxn       float64 // priced with Table 2a costs
+	COUCopies            uint64
+}
+
+// Result pairs measurements with the model's prediction at the scaled
+// parameters.
+type Result struct {
+	Scenario  Scenario
+	Measured  Measured
+	Predicted *analytic.Result
+}
+
+// ModelParams maps the scenario onto analytic parameters: sizes in words,
+// the disk model divided by Speedup (so predicted seconds are wall
+// seconds), and the instruction costs from Table 2a unchanged.
+func (s Scenario) ModelParams() analytic.Params {
+	p := analytic.DefaultParams()
+	p.SDB = float64(s.Records*s.RecordBytes) / simdisk.WordBytes
+	p.SRec = float64(s.RecordBytes) / simdisk.WordBytes
+	p.SSeg = float64(s.SegmentBytes) / simdisk.WordBytes
+	p.Lambda = s.Lambda
+	p.NRU = float64(s.UpdatesPerTxn)
+	p.TSeek /= s.Speedup
+	p.TTrans /= s.Speedup
+	p.MinCheckpointSeconds = 1e-3
+	return p
+}
+
+// Run executes one scenario.
+func Run(s Scenario) (*Result, error) {
+	s = s.withDefaults()
+	if s.Writers < 1 || s.Txns < s.Writers {
+		return nil, errors.New("testbed: need at least one writer and one transaction per writer")
+	}
+	dir := s.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "mmdb-testbed-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	cfg := mmdb.Config{
+		Dir:                  dir,
+		NumRecords:           s.Records,
+		RecordBytes:          s.RecordBytes,
+		SegmentBytes:         s.SegmentBytes,
+		Algorithm:            s.Algorithm,
+		StableLogTail:        s.Algorithm == mmdb.FastFuzzy,
+		GroupCommitInterval:  2 * time.Millisecond,
+		AutoCheckpoint:       true,
+		ThrottleCheckpointIO: true,
+		ThrottleSpeedup:      s.Speedup,
+	}
+	// The checkpoint loop starts with Open; stop it for calibration.
+	cfg.AutoCheckpoint = false
+	db, err := mmdb.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	// Calibration: an empty partial checkpoint measures the fixed
+	// per-checkpoint cost of this machine (metadata writes and syncs),
+	// which the Table 2b throttle does not model.
+	calib, err := db.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	fixed := calib.Duration.Seconds()
+	base := db.Stats()
+	db.StartCheckpointLoop()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, s.Writers)
+	start := time.Now()
+	perWriter := s.Txns / s.Writers
+	for w := 0; w < s.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen, err := workload.NewUniform(s.Records, s.UpdatesPerTxn, s.RecordBytes, s.Seed+int64(w))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			pacer, err := workload.NewPacer(s.Lambda/float64(s.Writers), true, s.Seed+100+int64(w))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < perWriter; i++ {
+				pacer.Wait()
+				spec := gen.Next()
+				err := db.Exec(func(tx *mmdb.Txn) error {
+					for _, u := range spec.Updates {
+						if err := tx.Write(u.Record, u.Value); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	db.StopCheckpointLoop()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	st := db.Stats()
+	ckpts := st.Checkpoints - base.Checkpoints
+	m := Measured{
+		WallSeconds:         wall,
+		TPS:                 float64(st.TxnsCommitted) / wall,
+		PRestart:            st.PRestart(),
+		Checkpoints:         ckpts,
+		COUCopies:           st.COUCopies,
+		FixedCheckpointSecs: fixed,
+	}
+	if ckpts > 0 {
+		m.SegmentsPerCkpt = float64(st.SegmentsFlushed-base.SegmentsFlushed) / float64(ckpts)
+		m.MeanCheckpointSecs = (st.TotalCheckpointTime - base.TotalCheckpointTime).Seconds() / float64(ckpts)
+		m.ActiveCheckpointSecs = m.MeanCheckpointSecs - fixed
+		if m.ActiveCheckpointSecs < 0 {
+			m.ActiveCheckpointSecs = 0
+		}
+	}
+	per, _, _, err := analytic.MeasuredOverhead(analytic.DefaultParams(), db.MeasuredCounts())
+	if err == nil {
+		m.OverheadPerTxn = per
+	}
+
+	// Evaluate the model at the operating point the engine actually
+	// reached: the achieved arrival rate (pacing sheds backlog when the
+	// machine cannot hold the target) and the observed checkpoint
+	// interval (which includes local fixed costs — metadata writes and
+	// syncs — that the disk-model throttle does not cover).
+	params := s.ModelParams()
+	if m.TPS > 0 {
+		params.Lambda = m.TPS
+	}
+	// The live engine re-runs an aborted transaction immediately with the
+	// same records, so the correlated-retry model is the right comparison
+	// (and even it is optimistic: identical record sets re-conflict at a
+	// near-static boundary more than fresh draws would).
+	pred, err := analytic.Evaluate(params, analytic.Options{
+		Algorithm:       s.Algorithm,
+		StableTail:      cfg.StableLogTail,
+		IntervalSeconds: m.MeanCheckpointSecs,
+		Retry:           analytic.CorrelatedRetries,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("testbed: model: %w", err)
+	}
+	return &Result{Scenario: s, Measured: m, Predicted: pred}, nil
+}

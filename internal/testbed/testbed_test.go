@@ -1,0 +1,86 @@
+package testbed
+
+import (
+	"testing"
+
+	"mmdb"
+)
+
+func TestScenarioDefaults(t *testing.T) {
+	s := Scenario{}.withDefaults()
+	if s.Records == 0 || s.RecordBytes == 0 || s.SegmentBytes == 0 ||
+		s.Lambda == 0 || s.UpdatesPerTxn == 0 || s.Txns == 0 || s.Writers == 0 || s.Speedup == 0 {
+		t.Errorf("defaults not filled: %+v", s)
+	}
+}
+
+func TestModelParamsMapping(t *testing.T) {
+	s := Scenario{
+		Records: 1 << 14, RecordBytes: 128, SegmentBytes: 32768,
+		Lambda: 500, UpdatesPerTxn: 5, Speedup: 10,
+	}
+	p := s.ModelParams()
+	if p.SDB != float64(1<<14*128)/4 {
+		t.Errorf("SDB = %v", p.SDB)
+	}
+	if p.SSeg != 8192 || p.SRec != 32 {
+		t.Errorf("SSeg/SRec = %v/%v", p.SSeg, p.SRec)
+	}
+	if p.TSeek != 0.003 {
+		t.Errorf("TSeek = %v (speedup not applied)", p.TSeek)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("mapped params invalid: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Scenario{Algorithm: mmdb.FuzzyCopy, Txns: 2, Writers: 4}); err == nil {
+		t.Error("txns < writers accepted")
+	}
+}
+
+// TestRunAgreesLoosely executes a short scenario and requires the live
+// measurements to land within a loose factor of the model's prediction —
+// the smoke-test version of the paper's model-verification goal.
+func TestRunAgreesLoosely(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock testbed run")
+	}
+	res, err := Run(Scenario{
+		Algorithm:   mmdb.COUCopy,
+		Records:     1 << 13, // 32 segments
+		RecordBytes: 128,
+		Lambda:      400,
+		Txns:        600,
+		Writers:     2,
+		Speedup:     2,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, p := res.Measured, res.Predicted
+	if m.Checkpoints == 0 || m.TPS <= 0 {
+		t.Fatalf("no activity: %+v", m)
+	}
+	if p == nil || p.OverheadPerTxn <= 0 {
+		t.Fatal("no prediction")
+	}
+	within := func(name string, got, want, factor float64) {
+		if want == 0 {
+			return
+		}
+		if got > want*factor || got < want/factor {
+			t.Errorf("%s: measured %.4f vs model %.4f (beyond %.1fx)", name, got, want, factor)
+		}
+	}
+	within("segments/ckpt", m.SegmentsPerCkpt, p.SegmentsPerCheckpoint, 3)
+	within("active ckpt secs", m.ActiveCheckpointSecs, p.ActiveSeconds, 3)
+	within("instr/txn", m.OverheadPerTxn, p.OverheadPerTxn, 3)
+	if m.PRestart != 0 {
+		t.Errorf("COUCOPY restarted transactions: %v", m.PRestart)
+	}
+	t.Logf("measured: %+v", m)
+	t.Logf("model: active=%.4fs segs=%.1f instr=%.0f", p.ActiveSeconds, p.SegmentsPerCheckpoint, p.OverheadPerTxn)
+}

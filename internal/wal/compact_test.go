@@ -1,0 +1,216 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestCompactDropsHead(t *testing.T) {
+	path := tempLogPath(t)
+	l := mustOpen(t, path, Options{})
+	var bounds []LSN
+	for i := 0; i < 10; i++ {
+		start, _, err := l.Append(&Record{Type: TypeUpdate, TxnID: uint64(i), RecordID: 1, Data: []byte("abcdef")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, start)
+	}
+	keep := bounds[4]
+	freed, err := l.Compact(keep)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if freed != int64(keep) {
+		t.Errorf("freed %d bytes, want %d", freed, keep)
+	}
+	if l.Base() != keep {
+		t.Errorf("Base = %d, want %d", l.Base(), keep)
+	}
+
+	// Appends continue with unchanged LSNs.
+	postStart, _, err := l.Append(&Record{Type: TypeCommit, TxnID: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Base() != keep {
+		t.Errorf("reader Base = %d, want %d", r.Base(), keep)
+	}
+	var got []uint64
+	if err := r.Scan(keep, func(e Entry) error {
+		got = append(got, e.Rec.TxnID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{4, 5, 6, 7, 8, 9, 99}
+	if len(got) != len(want) {
+		t.Fatalf("surviving records = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("surviving records = %v, want %v", got, want)
+		}
+	}
+	// LSNs are stable: the first surviving record is still at keep.
+	if got[0] != 4 {
+		t.Error("record renumbered by compaction")
+	}
+	// Reading before the base fails loudly, not silently.
+	err = r.Scan(bounds[0], func(Entry) error { return nil })
+	if !errors.Is(err, ErrCompacted) {
+		t.Errorf("scan before base: %v, want ErrCompacted", err)
+	}
+	_ = postStart
+}
+
+func TestCompactIsIdempotentAndBounded(t *testing.T) {
+	l := mustOpen(t, tempLogPath(t), Options{})
+	mid, _, err := l.Append(&Record{Type: TypeCommit, TxnID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, end, err := l.Append(&Record{Type: TypeCommit, TxnID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Compact(mid); err != nil {
+		t.Fatal(err)
+	}
+	// Same point again: no-op.
+	freed, err := l.Compact(mid)
+	if err != nil || freed != 0 {
+		t.Errorf("re-compact freed %d, err %v; want 0, nil", freed, err)
+	}
+	// Beyond the end: error.
+	if _, err := l.Compact(end + 100); err == nil {
+		t.Error("compact beyond end accepted")
+	}
+	// Not a record boundary: rejected by the probe.
+	if _, err := l.Compact(mid + 1); err == nil {
+		t.Error("mid-record compact point accepted")
+	}
+	// Compact to the exact end empties the log (legal).
+	if _, err := l.Compact(end); err != nil {
+		t.Errorf("compact to end: %v", err)
+	}
+	if l.Base() != end {
+		t.Errorf("Base = %d, want %d", l.Base(), end)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactedLogSurvivesReopenAndCrash(t *testing.T) {
+	path := tempLogPath(t)
+	l := mustOpen(t, path, Options{})
+	var keep LSN
+	for i := 0; i < 6; i++ {
+		start, _, err := l.Append(&Record{Type: TypeCommit, TxnID: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			keep = start
+		}
+	}
+	if _, err := l.Compact(keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen, append, crash: the durable watermark math must respect the
+	// rebased file offsets.
+	l2 := mustOpen(t, path, Options{})
+	if l2.Base() != keep {
+		t.Fatalf("reopened Base = %d, want %d", l2.Base(), keep)
+	}
+	_, end7, err := l2.Append(&Record{Type: TypeCommit, TxnID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l2.Append(&Record{Type: TypeCommit, TxnID: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != end7 {
+		t.Errorf("post-crash end = %d, want %d", r.Size(), end7)
+	}
+	n := 0
+	if err := r.Scan(keep, func(Entry) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // txns 3..6 plus 7 minus... 3,4,5,7 = records 3,4,5 then 7
+		// Records with txn IDs 3,4,5 survived the compaction window start
+		// at keep (txn 3), and txn 7 was flushed: 4 records total.
+		t.Errorf("scan found %d records, want 4", n)
+	}
+}
+
+func TestHasRecords(t *testing.T) {
+	path := tempLogPath(t)
+	if has, err := HasRecords(path); err != nil || has {
+		t.Errorf("missing file: has=%v err=%v", has, err)
+	}
+	l := mustOpen(t, path, Options{})
+	if has, err := HasRecords(path); err != nil || has {
+		t.Errorf("header-only file: has=%v err=%v", has, err)
+	}
+	if _, _, err := l.Append(&Record{Type: TypeCommit, TxnID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if has, err := HasRecords(path); err != nil || !has {
+		t.Errorf("file with records: has=%v err=%v", has, err)
+	}
+}
+
+func TestHeaderCorruptionDetected(t *testing.T) {
+	path := tempLogPath(t)
+	l := mustOpen(t, path, Options{})
+	if _, _, err := l.Append(&Record{Type: TypeCommit, TxnID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 9); err != nil { // corrupt the base field
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenReader(path); err == nil {
+		t.Error("corrupt header accepted by reader")
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Error("corrupt header accepted by writer")
+	}
+}

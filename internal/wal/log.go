@@ -1,0 +1,486 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Log file header. LSNs are logical positions that survive head
+// compaction: a record at LSN x lives at file offset
+// fileHeaderSize + (x − base), where base is recorded in the header.
+// Compact rewrites the file with a larger base, dropping the dead prefix
+// that no recovery can need, without renumbering any LSN.
+const (
+	fileMagic      = "MMDBWAL1"
+	fileHeaderSize = 24 // magic(8) + base(8) + crc(4) + reserved(4)
+)
+
+// encodeHeader builds a file header for the given base LSN.
+func encodeHeader(base LSN) []byte {
+	h := make([]byte, fileHeaderSize)
+	copy(h, fileMagic)
+	binary.LittleEndian.PutUint64(h[8:], uint64(base))
+	binary.LittleEndian.PutUint32(h[16:], crc32.Checksum(h[:16], crcTable))
+	return h
+}
+
+// decodeHeader validates a file header and returns its base LSN.
+func decodeHeader(h []byte) (LSN, error) {
+	if len(h) < fileHeaderSize || string(h[:8]) != fileMagic {
+		return 0, errors.New("wal: bad log file header")
+	}
+	if crc32.Checksum(h[:16], crcTable) != binary.LittleEndian.Uint32(h[16:]) {
+		return 0, errors.New("wal: log file header checksum mismatch")
+	}
+	return LSN(binary.LittleEndian.Uint64(h[8:])), nil
+}
+
+// Options configures a Log.
+type Options struct {
+	// StableTail simulates the paper's stable-RAM log tail (Section 4):
+	// every append is durable immediately, so neither transactions nor the
+	// checkpointer ever wait for a log flush. A crash preserves the tail.
+	StableTail bool
+
+	// SyncOnFlush issues an fsync after each flush. The in-process crash
+	// simulation (Crash) does not require it for correctness — durability
+	// is defined by the flushed watermark — but a production deployment
+	// would enable it.
+	SyncOnFlush bool
+
+	// FlushInterval, when positive, starts a background group-commit
+	// flusher that flushes the tail at this period. Zero leaves flushing
+	// to explicit Flush/WaitDurable calls.
+	FlushInterval time.Duration
+}
+
+// Log is an append-only redo log backed by a single file.
+//
+// Appends accumulate in an in-memory tail and become durable when the tail
+// is flushed (or immediately, with a stable tail). The durable watermark is
+// an LSN: every record that ends at or before the watermark survives a
+// crash. The watermark is what the checkpointer's log-sequence-number
+// checks compare against to preserve the write-ahead rule: a segment image
+// may be written to the backup database only when the log is durable past
+// the segment's last update.
+type Log struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	opts      Options
+	base      LSN    // LSN at file offset fileHeaderSize (head compaction)
+	tail      []byte // appended but unflushed bytes
+	tailStart LSN    // LSN of tail[0]
+	nextLSN   LSN    // LSN of the next append
+	flushed   atomic.Uint64
+	closed    bool
+	crashed   bool
+
+	flushCond *sync.Cond
+
+	stopFlusher chan struct{}
+	flusherDone chan struct{}
+
+	// Stats counters (atomic; safe to read concurrently).
+	appends      atomic.Uint64
+	flushes      atomic.Uint64
+	bytesFlushed atomic.Uint64
+}
+
+// ErrClosed is returned by operations on a closed or crashed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Open creates or opens the log file at path for appending. An existing
+// file is opened positioned at its end (recovery must have validated it
+// first; see Reader).
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	var base LSN
+	if fi.Size() == 0 {
+		if _, err := f.WriteAt(encodeHeader(0), 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: write header: %w", err)
+		}
+	} else {
+		hdr := make([]byte, fileHeaderSize)
+		if _, err := f.ReadAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: read header: %w", err)
+		}
+		base, err = decodeHeader(hdr)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	end := base
+	if fi.Size() > fileHeaderSize {
+		end = base + LSN(fi.Size()-fileHeaderSize)
+	}
+	l := &Log{
+		f:         f,
+		path:      path,
+		opts:      opts,
+		base:      base,
+		tailStart: end,
+		nextLSN:   end,
+	}
+	l.flushed.Store(uint64(end))
+	l.flushCond = sync.NewCond(&l.mu)
+	if opts.FlushInterval > 0 {
+		l.stopFlusher = make(chan struct{})
+		l.flusherDone = make(chan struct{})
+		go l.flushLoop(l.stopFlusher, l.flusherDone)
+	}
+	return l, nil
+}
+
+func (l *Log) flushLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(l.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// Best effort: a failed background flush surfaces on the next
+			// explicit Flush or WaitDurable.
+			_ = l.Flush()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Append encodes r at the log tail and returns its start and end LSNs.
+// The record is durable once DurableLSN() >= end.
+func (l *Log) Append(r *Record) (start, end LSN, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, 0, ErrClosed
+	}
+	start = l.nextLSN
+	l.tail, err = appendEncoded(l.tail, r)
+	if err != nil {
+		return 0, 0, err
+	}
+	l.nextLSN = l.tailStart + LSN(len(l.tail))
+	l.appends.Add(1)
+	return start, l.nextLSN, nil
+}
+
+// NextLSN returns the LSN the next append will receive (i.e., the current
+// logical end of the log).
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// DurableLSN returns the durability watermark: every record ending at or
+// before it survives a crash. With a stable tail this is the logical end
+// of the log.
+func (l *Log) DurableLSN() LSN {
+	if l.opts.StableTail {
+		return l.NextLSN()
+	}
+	return LSN(l.flushed.Load())
+}
+
+// Durable reports whether the record ending at end is durable.
+func (l *Log) Durable(end LSN) bool {
+	return end <= l.DurableLSN()
+}
+
+// Flush writes the tail to the log file, advancing the durable watermark.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Log) flushLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if len(l.tail) == 0 {
+		return nil
+	}
+	n, err := l.f.WriteAt(l.tail, fileHeaderSize+int64(l.tailStart-l.base))
+	if err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if n != len(l.tail) {
+		return fmt.Errorf("wal: flush: short write %d of %d", n, len(l.tail))
+	}
+	if l.opts.SyncOnFlush {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.bytesFlushed.Add(uint64(len(l.tail)))
+	l.flushes.Add(1)
+	l.tailStart = l.nextLSN
+	l.tail = l.tail[:0]
+	l.flushed.Store(uint64(l.tailStart))
+	l.flushCond.Broadcast()
+	return nil
+}
+
+// WaitDurable blocks until the record ending at end is durable, flushing
+// the tail if necessary. This is the synchronization point for the
+// checkpointer's LSN checks and for synchronous commits.
+func (l *Log) WaitDurable(end LSN) error {
+	if l.opts.StableTail {
+		return nil
+	}
+	if LSN(l.flushed.Load()) >= end {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for LSN(l.flushed.Load()) < end {
+		if l.closed {
+			return ErrClosed
+		}
+		// Flush inline rather than waiting on the group-commit timer; the
+		// paper's checkpointer "can determine when it is safe to flush the
+		// segment copy by using log sequence numbers", and forcing the log
+		// here preserves write-ahead without unbounded waits.
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TailLen returns the number of unflushed bytes (exported for tests and
+// stats: with a stable tail this is the amount of stable RAM in use).
+func (l *Log) TailLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.tail)
+}
+
+// Stats is a snapshot of log activity counters.
+type Stats struct {
+	Appends      uint64
+	Flushes      uint64
+	BytesFlushed uint64
+	DurableLSN   LSN
+	EndLSN       LSN
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	end := l.nextLSN
+	l.mu.Unlock()
+	return Stats{
+		Appends:      l.appends.Load(),
+		Flushes:      l.flushes.Load(),
+		BytesFlushed: l.bytesFlushed.Load(),
+		DurableLSN:   l.DurableLSN(),
+		EndLSN:       end,
+	}
+}
+
+// Crash simulates a system failure (Section 2.7): the volatile tail is
+// lost and the file is truncated to the durable watermark. With a stable
+// tail the unflushed records survive — they are written out first, since
+// the log file stands in for the stable RAM. The log is unusable
+// afterwards; recovery re-opens the file with a Reader.
+func (l *Log) Crash() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.stopFlusherLocked()
+	var err error
+	if l.opts.StableTail {
+		err = l.flushLocked()
+	} else {
+		// Discard the volatile tail and cut the file back to the durable
+		// watermark so no partially-flushed bytes are visible.
+		l.tail = nil
+		err = l.f.Truncate(fileHeaderSize + int64(LSN(l.flushed.Load())-l.base))
+	}
+	l.closed = true
+	l.crashed = true
+	l.flushCond.Broadcast()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.stopFlusherLocked()
+	err := l.flushLocked()
+	if l.opts.SyncOnFlush {
+		// flushLocked already synced; nothing more to do.
+	} else if serr := l.f.Sync(); err == nil && serr != nil {
+		err = fmt.Errorf("wal: close sync: %w", serr)
+	}
+	l.closed = true
+	l.flushCond.Broadcast()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Base returns the oldest LSN still present in the log file (records
+// before it have been compacted away).
+func (l *Log) Base() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Compact drops every record before keepFrom by rewriting the log file
+// with a rebased header; no LSN changes. keepFrom must be a record
+// boundary at or before the current log end — the engine passes the
+// oldest redo-scan start any complete checkpoint could need. Returns the
+// number of bytes freed.
+func (l *Log) Compact(keepFrom LSN) (freed int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if keepFrom <= l.base {
+		return 0, nil
+	}
+	if keepFrom > l.nextLSN {
+		return 0, fmt.Errorf("wal: compact point %d beyond log end %d", keepFrom, l.nextLSN)
+	}
+	if err := l.flushLocked(); err != nil {
+		return 0, err
+	}
+
+	tmpPath := l.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("wal: compact: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after the rename succeeds
+	cleanup := func(e error) (int64, error) {
+		tmp.Close()
+		return 0, e
+	}
+	if _, err := tmp.Write(encodeHeader(keepFrom)); err != nil {
+		return cleanup(fmt.Errorf("wal: compact header: %w", err))
+	}
+	src := io.NewSectionReader(l.f, fileHeaderSize+int64(keepFrom-l.base), int64(l.nextLSN-keepFrom))
+	if _, err := io.Copy(tmp, src); err != nil {
+		return cleanup(fmt.Errorf("wal: compact copy: %w", err))
+	}
+	// Safety: the first retained frame must decode (keepFrom was a record
+	// boundary) unless the log is now empty.
+	if l.nextLSN > keepFrom {
+		probe := make([]byte, headerSize)
+		if _, err := tmp.ReadAt(probe, fileHeaderSize); err != nil {
+			return cleanup(fmt.Errorf("wal: compact verify: %w", err))
+		}
+		plen := int(binary.LittleEndian.Uint32(probe))
+		if plen <= 0 || plen > MaxPayload || LSN(headerSize+plen+trailerSize) > l.nextLSN-keepFrom {
+			return cleanup(fmt.Errorf("wal: compact point %d is not a record boundary", keepFrom))
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("wal: compact sync: %w", err))
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		return cleanup(fmt.Errorf("wal: compact rename: %w", err))
+	}
+	if d, err := os.Open(filepath.Dir(l.path)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	old := l.f
+	l.f = tmp
+	_ = old.Close()
+	freed = int64(keepFrom - l.base)
+	l.base = keepFrom
+	return freed, nil
+}
+
+// CreateAt writes a fresh log file at path whose records start at LSN
+// base with the given raw contents (which must be a valid record chain
+// beginning at a record boundary). It returns the number of content bytes
+// written. Used to restore archived logs.
+func CreateAt(path string, base LSN, contents io.Reader) (int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("wal: create: %w", err)
+	}
+	if _, err := f.Write(encodeHeader(base)); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: create header: %w", err)
+	}
+	var n int64
+	if contents != nil {
+		n, err = io.Copy(f, contents)
+		if err != nil {
+			f.Close()
+			return n, fmt.Errorf("wal: create contents: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return n, fmt.Errorf("wal: create sync: %w", err)
+	}
+	return n, f.Close()
+}
+
+// HasRecords reports whether the log file at path contains any records
+// (an empty or header-only file does not).
+func HasRecords(path string) (bool, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	return fi.Size() > fileHeaderSize, nil
+}
+
+// stopFlusherLocked stops the background flusher. Must hold l.mu; releases
+// and reacquires it while waiting for the goroutine to exit.
+func (l *Log) stopFlusherLocked() {
+	if l.stopFlusher == nil {
+		return
+	}
+	ch := l.stopFlusher
+	done := l.flusherDone
+	l.stopFlusher = nil
+	close(ch)
+	l.mu.Unlock()
+	<-done
+	l.mu.Lock()
+}

@@ -1,0 +1,303 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Reader scans a closed log file. It supports the two access patterns of
+// the paper's recovery procedure (Section 3.3): a backward scan to locate
+// the most recent begin-checkpoint marker, and a forward scan that replays
+// redo records.
+type Reader struct {
+	f    *os.File
+	base LSN // LSN at file offset fileHeaderSize
+	end  LSN // LSN just past the last byte in the file
+}
+
+// ErrCompacted reports an attempt to read records that head compaction
+// has dropped from the log file.
+var ErrCompacted = errors.New("wal: requested LSN predates the compacted log head")
+
+// OpenReader opens the log file at path for scanning.
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open reader: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat reader: %w", err)
+	}
+	r := &Reader{f: f}
+	if fi.Size() == 0 {
+		// A log that was never opened for writing: empty, base 0.
+		return r, nil
+	}
+	hdr := make([]byte, fileHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: read header: %w", err)
+	}
+	base, err := decodeHeader(hdr)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.base = base
+	r.end = base
+	if fi.Size() > fileHeaderSize {
+		r.end = base + LSN(fi.Size()-fileHeaderSize)
+	}
+	return r, nil
+}
+
+// Close releases the reader.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Size returns the end LSN of the durable log.
+func (r *Reader) Size() LSN { return r.end }
+
+// Base returns the oldest LSN present in the file.
+func (r *Reader) Base() LSN { return r.base }
+
+// FileOffset translates an LSN into a byte offset in the log file (used
+// by recovery to truncate a torn tail).
+func (r *Reader) FileOffset(lsn LSN) int64 {
+	return fileHeaderSize + int64(lsn-r.base)
+}
+
+// SectionReader returns a reader over the raw log bytes [from, to),
+// used for archiving an intact log suffix.
+func (r *Reader) SectionReader(from, to LSN) (*io.SectionReader, error) {
+	if from < r.base {
+		return nil, fmt.Errorf("%w: from %d < base %d", ErrCompacted, from, r.base)
+	}
+	if to < from || to > r.end {
+		return nil, fmt.Errorf("wal: section [%d,%d) outside log [%d,%d)", from, to, r.base, r.end)
+	}
+	return io.NewSectionReader(r.f, r.FileOffset(from), int64(to-from)), nil
+}
+
+// readAt reads and decodes the record starting at lsn. It returns the
+// record and the LSN of the following record.
+func (r *Reader) readAt(lsn LSN) (*Record, LSN, error) {
+	if lsn < r.base {
+		return nil, 0, fmt.Errorf("%w: lsn %d < base %d", ErrCompacted, lsn, r.base)
+	}
+	if lsn >= r.end {
+		return nil, 0, io.EOF
+	}
+	var hdr [headerSize]byte
+	if _, err := r.f.ReadAt(hdr[:], r.FileOffset(lsn)); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, ErrCorrupt
+		}
+		return nil, 0, err
+	}
+	plen := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	if plen <= 0 || plen > MaxPayload {
+		return nil, 0, ErrCorrupt
+	}
+	total := headerSize + plen + trailerSize
+	if lsn+LSN(total) > r.end {
+		return nil, 0, ErrCorrupt
+	}
+	buf := make([]byte, total)
+	if _, err := r.f.ReadAt(buf, r.FileOffset(lsn)); err != nil {
+		return nil, 0, err
+	}
+	rec, n, err := decodeFrom(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec, lsn + LSN(n), nil
+}
+
+// Entry pairs a decoded record with its position in the log.
+type Entry struct {
+	LSN  LSN
+	Next LSN
+	Rec  *Record
+}
+
+// Scan invokes fn for each valid record from start in log order. Scanning
+// stops at the first torn or corrupt record (the tail lost in a crash) or
+// at end of file; neither is an error. fn may stop the scan early by
+// returning a non-nil error, which Scan returns unchanged.
+func (r *Reader) Scan(start LSN, fn func(Entry) error) error {
+	lsn := start
+	for {
+		rec, next, err := r.readAt(lsn)
+		if errors.Is(err, io.EOF) || errors.Is(err, ErrCorrupt) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(Entry{LSN: lsn, Next: next, Rec: rec}); err != nil {
+			return err
+		}
+		lsn = next
+	}
+}
+
+// readBackFrom decodes the record that ends exactly at end, using the
+// trailing length copy in the frame.
+func (r *Reader) readBackFrom(end LSN) (Entry, error) {
+	if end < r.base+headerSize+trailerSize {
+		return Entry{}, ErrCorrupt
+	}
+	var tb [trailerSize]byte
+	if _, err := r.f.ReadAt(tb[:], r.FileOffset(end)-trailerSize); err != nil {
+		return Entry{}, err
+	}
+	plen := int(uint32(tb[0]) | uint32(tb[1])<<8 | uint32(tb[2])<<16 | uint32(tb[3])<<24)
+	if plen <= 0 || plen > MaxPayload {
+		return Entry{}, ErrCorrupt
+	}
+	total := LSN(headerSize + plen + trailerSize)
+	if end < r.base+total {
+		return Entry{}, ErrCorrupt
+	}
+	start := end - total
+	rec, next, err := r.readAt(start)
+	if err != nil {
+		return Entry{}, err
+	}
+	if next != end {
+		return Entry{}, ErrCorrupt
+	}
+	return Entry{LSN: start, Next: end, Rec: rec}, nil
+}
+
+// ScanBackward invokes fn for each valid record strictly before end, in
+// reverse log order, starting with the record that ends at end. The log
+// must be intact over the scanned range (backward scans run over the
+// durable prefix located by ValidEnd). fn stops the scan by returning a
+// non-nil error, which is returned unchanged.
+func (r *Reader) ScanBackward(end LSN, fn func(Entry) error) error {
+	at := end
+	for at > r.base {
+		e, err := r.readBackFrom(at)
+		if err != nil {
+			return err
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+		at = e.LSN
+	}
+	return nil
+}
+
+// ValidEnd scans forward from start and returns the LSN just past the last
+// valid record — the end of the intact log prefix. Recovery uses it to
+// bound the backward scan and to position the re-opened log for appends.
+func (r *Reader) ValidEnd(start LSN) (LSN, error) {
+	end := start
+	err := r.Scan(start, func(e Entry) error {
+		end = e.Next
+		return nil
+	})
+	return end, err
+}
+
+// CheckpointMarker describes a begin-checkpoint record found in the log.
+type CheckpointMarker struct {
+	LSN          LSN
+	CheckpointID uint64
+	Timestamp    uint64
+	TargetCopy   uint8
+	Algorithm    uint8
+	ActiveTxns   []ActiveTxn
+	// ScanStart is the LSN at which a forward redo scan must begin: the
+	// marker itself, or the first LSN of the oldest transaction that was
+	// active when the checkpoint began, whichever is smaller.
+	ScanStart LSN
+}
+
+// scanStart computes the redo scan start for a marker entry.
+func scanStart(e Entry) LSN {
+	s := e.LSN
+	for _, at := range e.Rec.ActiveTxns {
+		if at.FirstLSN != NilLSN && at.FirstLSN < s {
+			s = at.FirstLSN
+		}
+	}
+	return s
+}
+
+// FindCheckpoint scans backward from end for the begin-checkpoint marker
+// of the checkpoint with the given ID. This implements the paper's
+// backward scan: "the log must be scanned backwards until the
+// begin-checkpoint marker of the most recently completed checkpoint is
+// found". The ID of that checkpoint comes from the backup metadata (or
+// from end-checkpoint markers; see FindLastCompleted).
+func (r *Reader) FindCheckpoint(end LSN, checkpointID uint64) (*CheckpointMarker, error) {
+	var found *CheckpointMarker
+	stop := errors.New("stop")
+	err := r.ScanBackward(end, func(e Entry) error {
+		if e.Rec.Type == TypeBeginCheckpoint && e.Rec.CheckpointID == checkpointID {
+			found = &CheckpointMarker{
+				LSN:          e.LSN,
+				CheckpointID: e.Rec.CheckpointID,
+				Timestamp:    e.Rec.Timestamp,
+				TargetCopy:   e.Rec.TargetCopy,
+				Algorithm:    e.Rec.Algorithm,
+				ActiveTxns:   e.Rec.ActiveTxns,
+				ScanStart:    scanStart(e),
+			}
+			return stop
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, stop) {
+		return nil, err
+	}
+	if found == nil {
+		return nil, fmt.Errorf("wal: begin-checkpoint marker for checkpoint %d not found", checkpointID)
+	}
+	return found, nil
+}
+
+// FindLastCompleted scans backward from end for the most recent checkpoint
+// that has both its end-checkpoint and begin-checkpoint markers in the
+// log. It implements the paper's alternative to explicit backup metadata:
+// "placing explicit end-checkpoint markers in the log during normal
+// operation".
+func (r *Reader) FindLastCompleted(end LSN) (*CheckpointMarker, error) {
+	var found *CheckpointMarker
+	completed := make(map[uint64]bool)
+	stop := errors.New("stop")
+	err := r.ScanBackward(end, func(e Entry) error {
+		switch e.Rec.Type {
+		case TypeEndCheckpoint:
+			completed[e.Rec.CheckpointID] = true
+		case TypeBeginCheckpoint:
+			if completed[e.Rec.CheckpointID] {
+				found = &CheckpointMarker{
+					LSN:          e.LSN,
+					CheckpointID: e.Rec.CheckpointID,
+					Timestamp:    e.Rec.Timestamp,
+					TargetCopy:   e.Rec.TargetCopy,
+					Algorithm:    e.Rec.Algorithm,
+					ActiveTxns:   e.Rec.ActiveTxns,
+					ScanStart:    scanStart(e),
+				}
+				return stop
+			}
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, stop) {
+		return nil, err
+	}
+	if found == nil {
+		return nil, errors.New("wal: no completed checkpoint in log")
+	}
+	return found, nil
+}

@@ -1,0 +1,139 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+
+	"mmdb"
+)
+
+// Batch stages multiple Put/Delete operations to be applied as one atomic
+// mmdb transaction: after a crash either all of the batch's effects are
+// recovered or none are.
+type Batch struct {
+	s   *Store
+	ops []batchOp
+}
+
+type batchOp struct {
+	key    []byte
+	val    []byte
+	delete bool
+}
+
+// Put stages an insert or replace.
+func (b *Batch) Put(key, val []byte) error {
+	if err := b.s.capacityCheck(key, val); err != nil {
+		return err
+	}
+	b.ops = append(b.ops, batchOp{
+		key: append([]byte(nil), key...),
+		val: append([]byte(nil), val...),
+	})
+	return nil
+}
+
+// Delete stages a removal (absent keys are ignored at apply time).
+func (b *Batch) Delete(key []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), delete: true})
+	return nil
+}
+
+// Len returns the number of staged operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Update builds a batch with fn and applies it atomically. An error from
+// fn (or from the underlying transaction) applies nothing.
+func (s *Store) Update(fn func(b *Batch) error) error {
+	b := &Batch{s: s}
+	if err := fn(b); err != nil {
+		return err
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Resolve each key to its final effect (later operations win), then
+	// assign record slots: existing keys keep theirs, fresh inserts draw
+	// from the free list. Slots freed by this batch's deletes become
+	// available only after the batch — reusing them inside the batch
+	// would write the same record twice in one transaction with an
+	// order-dependent outcome.
+	final := map[string]batchOp{}
+	var order []string
+	for _, op := range b.ops {
+		k := string(op.key)
+		if _, seen := final[k]; !seen {
+			order = append(order, k)
+		}
+		final[k] = op
+	}
+	sort.Strings(order) // deterministic slot assignment
+
+	type plannedOp struct {
+		op    batchOp
+		rid   uint64
+		fresh bool // newly allocated slot (index insert on success)
+		drop  bool // existing key deleted (index delete on success)
+	}
+	var plan []plannedOp
+	freeTop := len(s.free)
+	for _, k := range order {
+		op := final[k]
+		rid, exists := s.idx.Get(op.key)
+		switch {
+		case op.delete && !exists:
+			continue
+		case op.delete:
+			plan = append(plan, plannedOp{op: op, rid: rid, drop: true})
+		case exists:
+			plan = append(plan, plannedOp{op: op, rid: rid})
+		default:
+			if freeTop == 0 {
+				return fmt.Errorf("%w (batch needs more free slots; slots it deletes free up only afterwards)", ErrFull)
+			}
+			freeTop--
+			plan = append(plan, plannedOp{op: op, rid: s.free[freeTop], fresh: true})
+		}
+	}
+
+	// One transaction applies every record image.
+	rec := make([]byte, s.db.RecordBytes())
+	err := s.db.Exec(func(tx *mmdb.Txn) error {
+		for _, p := range plan {
+			if p.op.delete {
+				if err := tx.Write(p.rid, nil); err != nil {
+					return err
+				}
+				continue
+			}
+			encode(rec, p.op.key, p.op.val)
+			if err := tx.Write(p.rid, rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Commit the in-memory view.
+	s.free = s.free[:freeTop]
+	for _, p := range plan {
+		switch {
+		case p.drop:
+			s.idx.Delete(p.op.key)
+			s.free = append(s.free, p.rid)
+		case p.fresh:
+			s.idx.Insert(p.op.key, p.rid)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestBatchBasics(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+	if err := s.Put([]byte("old"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Update(func(b *Batch) error {
+		if err := b.Put([]byte("a"), []byte("A")); err != nil {
+			return err
+		}
+		if err := b.Put([]byte("b"), []byte("B")); err != nil {
+			return err
+		}
+		if err := b.Put([]byte("old"), []byte("2")); err != nil { // replace
+			return err
+		}
+		if err := b.Delete([]byte("missing")); err != nil { // no-op
+			return err
+		}
+		if b.Len() != 4 {
+			t.Errorf("Len = %d", b.Len())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{"a": "A", "b": "B", "old": "2"} {
+		v, ok, err := s.Get([]byte(k))
+		if err != nil || !ok || string(v) != want {
+			t.Errorf("Get(%q) = %q %v %v", k, v, ok, err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestBatchLastOperationWins(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+	err := s.Update(func(b *Batch) error {
+		_ = b.Put([]byte("k"), []byte("first"))
+		_ = b.Delete([]byte("k"))
+		return b.Put([]byte("k"), []byte("last"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := s.Get([]byte("k"))
+	if !ok || string(v) != "last" {
+		t.Errorf("final value = %q %v", v, ok)
+	}
+	// And the other way: ending in delete.
+	err = s.Update(func(b *Batch) error {
+		_ = b.Put([]byte("k"), []byte("again"))
+		return b.Delete([]byte("k"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get([]byte("k")); ok {
+		t.Error("key survived final delete")
+	}
+}
+
+func TestBatchErrorAppliesNothing(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+	boom := errors.New("boom")
+	err := s.Update(func(b *Batch) error {
+		_ = b.Put([]byte("x"), []byte("1"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok, _ := s.Get([]byte("x")); ok {
+		t.Error("failed batch applied a put")
+	}
+	// Validation failures surface immediately.
+	err = s.Update(func(b *Batch) error { return b.Put(nil, nil) })
+	if !errors.Is(err, ErrEmptyKey) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBatchFullStore(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.NumRecords = 4
+	s := mustOpen(t, cfg)
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if err := s.Put([]byte{byte('a' + i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One slot left: a batch needing two fresh slots fails entirely, even
+	// though it also deletes (freed slots are post-batch).
+	err := s.Update(func(b *Batch) error {
+		_ = b.Delete([]byte("a"))
+		_ = b.Put([]byte("x"), nil)
+		return b.Put([]byte("y"), nil)
+	})
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if _, ok, _ := s.Get([]byte("a")); !ok {
+		t.Error("failed batch deleted a key")
+	}
+	// A batch that fits succeeds.
+	err = s.Update(func(b *Batch) error {
+		_ = b.Delete([]byte("a"))
+		return b.Put([]byte("x"), nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Free() != 1 {
+		t.Errorf("Len/Free = %d/%d", s.Len(), s.Free())
+	}
+}
+
+// TestBatchCrashAtomicity: a committed batch is fully recovered; the
+// store state after crash+reopen matches key-by-key.
+func TestBatchCrashAtomicity(t *testing.T) {
+	cfg := testConfig(t)
+	s := mustOpen(t, cfg)
+	if err := s.Put([]byte("seed"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Update(func(b *Batch) error {
+		for i := 0; i < 10; i++ {
+			if err := b.Put([]byte(fmt.Sprintf("batch-%02d", i)), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return b.Delete([]byte("seed"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 10 {
+		t.Fatalf("recovered Len = %d, want 10 (batch must be all-or-nothing)", s2.Len())
+	}
+	if _, ok, _ := s2.Get([]byte("seed")); ok {
+		t.Error("batched delete lost")
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok, _ := s2.Get([]byte(fmt.Sprintf("batch-%02d", i))); !ok {
+			t.Errorf("batched put %d lost", i)
+		}
+	}
+}
+
+func TestEmptyBatchIsNoop(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+	before := s.Stats().TxnsCommitted
+	if err := s.Update(func(b *Batch) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().TxnsCommitted != before {
+		t.Error("empty batch ran a transaction")
+	}
+}

@@ -1,0 +1,293 @@
+// Package kvstore is an ordered key-value store built on the mmdb engine:
+// the adoption layer a downstream user reaches for when records addressed
+// by integer ID are too raw.
+//
+// Keys map to fixed-size mmdb records through a T-tree index (package
+// index). Following main-memory database practice ([Lehm87a], cited by
+// the paper), the index is volatile: it is never checkpointed or logged,
+// and is rebuilt from the recovered primary data when the store opens.
+// Every Put and Delete is a single mmdb transaction, so each operation is
+// atomic across crashes, and the store inherits the engine's checkpoint
+// algorithm, durability mode, and recovery machinery unchanged.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mmdb"
+	"mmdb/index"
+)
+
+// Record layout within one mmdb record:
+//
+//	[1 flag][2 key length][2 value length][key][value]
+//
+// flag 0 = free, 1 = used. A zeroed record is a free slot, which is what
+// deletion writes — so the initial (all-zero) database is all free slots.
+const (
+	flagFree = 0
+	flagUsed = 1
+	hdrBytes = 5
+)
+
+// Errors returned by the store.
+var (
+	// ErrFull reports that every record slot is occupied.
+	ErrFull = errors.New("kvstore: store is full")
+	// ErrKeyTooLarge and ErrValueTooLarge report an entry that cannot fit
+	// in one record.
+	ErrKeyTooLarge   = errors.New("kvstore: key too large")
+	ErrValueTooLarge = errors.New("kvstore: key+value too large for the record size")
+	// ErrEmptyKey rejects zero-length keys.
+	ErrEmptyKey = errors.New("kvstore: empty key")
+)
+
+// Store is an ordered, crash-recoverable key-value store.
+type Store struct {
+	db *mmdb.DB
+
+	mu   sync.RWMutex
+	idx  *index.TTree
+	free []uint64 // free record slots (LIFO)
+}
+
+// MaxKeyBytes is the largest supported key.
+const MaxKeyBytes = 1 << 16 / 2 // bounded well below the u16 length field
+
+// Open opens (or recovers) the key-value store described by cfg and
+// rebuilds its index from the primary data. The recovery report is nil
+// for a fresh store.
+func Open(cfg mmdb.Config) (*Store, *mmdb.RecoveryReport, error) {
+	db, rep, err := mmdb.OpenOrRecover(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{db: db}
+	if err := s.rebuild(); err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return s, rep, nil
+}
+
+// rebuild scans every record and reconstructs the index and free list —
+// the post-recovery index build of a main-memory database.
+func (s *Store) rebuild() error {
+	s.idx = index.New(0)
+	s.free = s.free[:0]
+	n := s.db.NumRecords()
+	// Free slots are pushed in descending ID order so allocation hands
+	// out ascending IDs, keeping early segments hot.
+	for rid := n - 1; rid >= 0; rid-- {
+		rec, err := s.db.ReadRecord(uint64(rid))
+		if err != nil {
+			return err
+		}
+		key, _, used, err := decode(rec)
+		if err != nil {
+			return fmt.Errorf("kvstore: rebuild: record %d: %w", rid, err)
+		}
+		if !used {
+			s.free = append(s.free, uint64(rid))
+			continue
+		}
+		s.idx.Insert(key, uint64(rid))
+	}
+	return nil
+}
+
+func encode(dst []byte, key, val []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	dst[0] = flagUsed
+	binary.LittleEndian.PutUint16(dst[1:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(dst[3:], uint16(len(val)))
+	copy(dst[hdrBytes:], key)
+	copy(dst[hdrBytes+len(key):], val)
+}
+
+func decode(rec []byte) (key, val []byte, used bool, err error) {
+	if len(rec) < hdrBytes {
+		return nil, nil, false, errors.New("record too small")
+	}
+	switch rec[0] {
+	case flagFree:
+		return nil, nil, false, nil
+	case flagUsed:
+	default:
+		return nil, nil, false, fmt.Errorf("bad flag %d", rec[0])
+	}
+	kl := int(binary.LittleEndian.Uint16(rec[1:]))
+	vl := int(binary.LittleEndian.Uint16(rec[3:]))
+	if hdrBytes+kl+vl > len(rec) || kl == 0 {
+		return nil, nil, false, fmt.Errorf("bad lengths %d/%d", kl, vl)
+	}
+	return rec[hdrBytes : hdrBytes+kl], rec[hdrBytes+kl : hdrBytes+kl+vl], true, nil
+}
+
+// capacity checks that key/val fit one record.
+func (s *Store) capacityCheck(key, val []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if len(key) > MaxKeyBytes {
+		return ErrKeyTooLarge
+	}
+	if hdrBytes+len(key)+len(val) > s.db.RecordBytes() {
+		return ErrValueTooLarge
+	}
+	return nil
+}
+
+// Put stores val under key (inserting or replacing) as one atomic,
+// durable transaction.
+func (s *Store) Put(key, val []byte) error {
+	if err := s.capacityCheck(key, val); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rid, exists := s.idx.Get(key)
+	if !exists {
+		if len(s.free) == 0 {
+			return ErrFull
+		}
+		rid = s.free[len(s.free)-1]
+	}
+	rec := make([]byte, s.db.RecordBytes())
+	encode(rec, key, val)
+	if err := s.db.Exec(func(tx *mmdb.Txn) error {
+		return tx.Write(rid, rec)
+	}); err != nil {
+		return err
+	}
+	if !exists {
+		s.free = s.free[:len(s.free)-1]
+		s.idx.Insert(key, rid)
+	}
+	return nil
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rid, ok := s.idx.Get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	rec, err := s.db.ReadRecord(rid)
+	if err != nil {
+		return nil, false, err
+	}
+	_, val, used, err := decode(rec)
+	if err != nil || !used {
+		return nil, false, fmt.Errorf("kvstore: index points at invalid record %d: %v", rid, err)
+	}
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true, nil
+}
+
+// Delete removes key, reporting whether it was present. The slot is
+// zeroed in one atomic transaction and returned to the free list.
+func (s *Store) Delete(key []byte) (bool, error) {
+	if len(key) == 0 {
+		return false, ErrEmptyKey
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rid, ok := s.idx.Get(key)
+	if !ok {
+		return false, nil
+	}
+	if err := s.db.Exec(func(tx *mmdb.Txn) error {
+		return tx.Write(rid, nil) // zero record = free slot
+	}); err != nil {
+		return false, err
+	}
+	s.idx.Delete(key)
+	s.free = append(s.free, rid)
+	return true, nil
+}
+
+// Scan calls fn for each entry with key >= from (all entries when from is
+// nil) in ascending key order until fn returns false. The key and value
+// slices are only valid during the call. Mutating the store from fn
+// deadlocks.
+func (s *Store) Scan(from []byte, fn func(key, val []byte) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var scanErr error
+	s.idx.Ascend(from, func(key []byte, rid uint64) bool {
+		rec, err := s.db.ReadRecord(rid)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		k, v, used, err := decode(rec)
+		if err != nil || !used {
+			scanErr = fmt.Errorf("kvstore: scan: invalid record %d: %v", rid, err)
+			return false
+		}
+		return fn(k, v)
+	})
+	return scanErr
+}
+
+// ScanReverse calls fn for each entry with key <= from (all entries when
+// from is nil) in descending key order until fn returns false.
+func (s *Store) ScanReverse(from []byte, fn func(key, val []byte) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var scanErr error
+	s.idx.Descend(from, func(key []byte, rid uint64) bool {
+		rec, err := s.db.ReadRecord(rid)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		k, v, used, err := decode(rec)
+		if err != nil || !used {
+			scanErr = fmt.Errorf("kvstore: scan: invalid record %d: %v", rid, err)
+			return false
+		}
+		return fn(k, v)
+	})
+	return scanErr
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Len()
+}
+
+// Free returns the number of free record slots.
+func (s *Store) Free() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.free)
+}
+
+// Checkpoint forces one checkpoint of the underlying database.
+func (s *Store) Checkpoint() (*mmdb.CheckpointResult, error) { return s.db.Checkpoint() }
+
+// Stats exposes the underlying engine counters.
+func (s *Store) Stats() mmdb.Stats { return s.db.Stats() }
+
+// DB exposes the underlying database (e.g., for raw record access or the
+// checkpoint loop controls).
+func (s *Store) DB() *mmdb.DB { return s.db }
+
+// Close closes the underlying database.
+func (s *Store) Close() error { return s.db.Close() }
+
+// Crash simulates a system failure of the underlying database (the index
+// is volatile and simply discarded); reopen with Open.
+func (s *Store) Crash() error { return s.db.Crash() }

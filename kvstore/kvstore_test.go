@@ -1,0 +1,484 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mmdb"
+)
+
+func testConfig(t *testing.T) mmdb.Config {
+	t.Helper()
+	return mmdb.Config{
+		Dir:         t.TempDir(),
+		NumRecords:  512,
+		RecordBytes: 64,
+		Algorithm:   mmdb.COUCopy,
+		SyncCommit:  true,
+	}
+}
+
+func mustOpen(t *testing.T, cfg mmdb.Config) *Store {
+	t.Helper()
+	s, _, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+
+	if err := s.Put([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("beta"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get([]byte("alpha"))
+	if err != nil || !ok || string(v) != "one" {
+		t.Fatalf("Get alpha = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := s.Get([]byte("gamma")); ok {
+		t.Error("absent key found")
+	}
+	// Replace.
+	if err := s.Put([]byte("alpha"), []byte("uno")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = s.Get([]byte("alpha"))
+	if string(v) != "uno" {
+		t.Errorf("replaced value = %q", v)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	// Delete.
+	deleted, err := s.Delete([]byte("alpha"))
+	if err != nil || !deleted {
+		t.Fatalf("Delete = %v %v", deleted, err)
+	}
+	if deleted, _ := s.Delete([]byte("alpha")); deleted {
+		t.Error("double delete")
+	}
+	if _, ok, _ := s.Get([]byte("alpha")); ok {
+		t.Error("deleted key still visible")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after delete = %d", s.Len())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+	if err := s.Put(nil, []byte("x")); !errors.Is(err, ErrEmptyKey) {
+		t.Errorf("empty key: %v", err)
+	}
+	big := bytes.Repeat([]byte("k"), 64)
+	if err := s.Put(big, nil); !errors.Is(err, ErrValueTooLarge) {
+		t.Errorf("oversized entry: %v", err)
+	}
+	if err := s.Put([]byte("k"), bytes.Repeat([]byte("v"), 60)); !errors.Is(err, ErrValueTooLarge) {
+		t.Errorf("oversized value: %v", err)
+	}
+	if _, err := s.Delete(nil); !errors.Is(err, ErrEmptyKey) {
+		t.Errorf("delete empty key: %v", err)
+	}
+	// Exactly-fitting entry works (64 - 5 header = 59).
+	if err := s.Put([]byte("kk"), bytes.Repeat([]byte("v"), 57)); err != nil {
+		t.Errorf("exact fit rejected: %v", err)
+	}
+}
+
+func TestFullStore(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.NumRecords = 8
+	s := mustOpen(t, cfg)
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put([]byte("overflow"), []byte("v")); !errors.Is(err, ErrFull) {
+		t.Fatalf("overflow err = %v", err)
+	}
+	// Replacing an existing key still works at capacity.
+	if err := s.Put([]byte("k03"), []byte("w")); err != nil {
+		t.Errorf("replace at capacity: %v", err)
+	}
+	// Deleting frees a slot.
+	if _, err := s.Delete([]byte("k00")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("reborn"), []byte("v")); err != nil {
+		t.Errorf("put after delete: %v", err)
+	}
+	if s.Free() != 0 {
+		t.Errorf("Free = %d", s.Free())
+	}
+}
+
+func TestScanOrderAndBounds(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+	keys := []string{"ant", "bee", "cat", "dog", "eel", "fox"}
+	for i, k := range keys {
+		if err := s.Put([]byte(k), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	if err := s.Scan(nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(got) || len(got) != len(keys) {
+		t.Errorf("scan = %v", got)
+	}
+	got = nil
+	if err := s.Scan([]byte("cow"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return len(got) < 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "dog" || got[1] != "eel" {
+		t.Errorf("bounded scan = %v", got)
+	}
+}
+
+func TestScanReverse(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+	keys := []string{"ant", "bee", "cat", "dog"}
+	for i, k := range keys {
+		if err := s.Put([]byte(k), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	if err := s.ScanReverse(nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"dog", "cat", "bee", "ant"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reverse scan = %v", got)
+		}
+	}
+	got = nil
+	if err := s.ScanReverse([]byte("cow"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return len(got) < 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "cat" || got[1] != "bee" {
+		t.Fatalf("bounded reverse scan = %v", got)
+	}
+}
+
+// TestKVRandomizedSoak drives put/delete/batch/scan/crash cycles against
+// a map oracle — the key-value layer's version of the engine soak.
+func TestKVRandomizedSoak(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.NumRecords = 256
+	s := mustOpen(t, cfg)
+	rng := rand.New(rand.NewSource(99))
+	oracle := map[string]string{}
+	keyOf := func() string { return fmt.Sprintf("k%03d", rng.Intn(300)) }
+
+	steps := 600
+	if testing.Short() {
+		steps = 150
+	}
+	for step := 0; step < steps; step++ {
+		switch r := rng.Intn(100); {
+		case r < 45: // put
+			k, v := keyOf(), fmt.Sprintf("v%d", rng.Int63())
+			err := s.Put([]byte(k), []byte(v))
+			if errors.Is(err, ErrFull) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d put: %v", step, err)
+			}
+			oracle[k] = v
+		case r < 60: // delete
+			k := keyOf()
+			if _, err := s.Delete([]byte(k)); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			delete(oracle, k)
+		case r < 72: // batch
+			type kv struct{ k, v string }
+			var puts []kv
+			var dels []string
+			err := s.Update(func(b *Batch) error {
+				for j := 0; j < 1+rng.Intn(4); j++ {
+					if rng.Intn(3) == 0 {
+						k := keyOf()
+						if err := b.Delete([]byte(k)); err != nil {
+							return err
+						}
+						dels = append(dels, k)
+					} else {
+						k, v := keyOf(), fmt.Sprintf("b%d", rng.Int63())
+						if err := b.Put([]byte(k), []byte(v)); err != nil {
+							return err
+						}
+						puts = append(puts, kv{k, v})
+					}
+				}
+				return nil
+			})
+			if errors.Is(err, ErrFull) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d batch: %v", step, err)
+			}
+			// Batches apply last-op-wins per key; our puts/dels lists
+			// preserve call order within each kind but not across kinds,
+			// so replay deletes-then-puts only when the key sets are
+			// disjoint and otherwise resync from the store (which is the
+			// batch-order authority).
+			disjoint := true
+			putKeys := map[string]bool{}
+			for _, p := range puts {
+				putKeys[p.k] = true
+			}
+			for _, d := range dels {
+				if putKeys[d] {
+					disjoint = false
+					break
+				}
+			}
+			if disjoint {
+				for _, d := range dels {
+					delete(oracle, d)
+				}
+				for _, p := range puts {
+					oracle[p.k] = p.v
+				}
+			} else {
+				touched := map[string]bool{}
+				for _, p := range puts {
+					touched[p.k] = true
+				}
+				for _, d := range dels {
+					touched[d] = true
+				}
+				for k := range touched {
+					v, ok, err := s.Get([]byte(k))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok {
+						oracle[k] = string(v)
+					} else {
+						delete(oracle, k)
+					}
+				}
+			}
+		case r < 92: // get
+			k := keyOf()
+			v, ok, err := s.Get([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, exists := oracle[k]
+			if ok != exists || (ok && string(v) != want) {
+				t.Fatalf("step %d: Get(%q) = %q/%v, want %q/%v", step, k, v, ok, want, exists)
+			}
+		default: // crash + reopen
+			if err := s.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			var err error
+			s, _, err = Open(cfg)
+			if err != nil {
+				t.Fatalf("step %d reopen: %v", step, err)
+			}
+			if s.Len() != len(oracle) {
+				t.Fatalf("step %d: Len %d, oracle %d", step, s.Len(), len(oracle))
+			}
+		}
+	}
+	// Final full comparison.
+	if s.Len() != len(oracle) {
+		t.Fatalf("final Len %d, oracle %d", s.Len(), len(oracle))
+	}
+	for k, want := range oracle {
+		v, ok, err := s.Get([]byte(k))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("final Get(%q) = %q/%v/%v", k, v, ok, err)
+		}
+	}
+	s.Close()
+}
+
+// TestCrashRecoveryRebuildsIndex is the package's central property: after
+// a crash, Open rebuilds the volatile index from the recovered records
+// and the store equals the committed history.
+func TestCrashRecoveryRebuildsIndex(t *testing.T) {
+	cfg := testConfig(t)
+	s := mustOpen(t, cfg)
+	rng := rand.New(rand.NewSource(5))
+	oracle := map[string]string{}
+
+	mutate := func(n int) {
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("key-%03d", rng.Intn(200))
+			if rng.Intn(4) == 0 {
+				if _, err := s.Delete([]byte(k)); err != nil {
+					t.Fatal(err)
+				}
+				delete(oracle, k)
+			} else {
+				v := fmt.Sprintf("val-%d", rng.Int63())
+				if err := s.Put([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				oracle[k] = v
+			}
+		}
+	}
+	verify := func() {
+		if s.Len() != len(oracle) {
+			t.Fatalf("Len = %d, oracle %d", s.Len(), len(oracle))
+		}
+		for k, want := range oracle {
+			v, ok, err := s.Get([]byte(k))
+			if err != nil || !ok || string(v) != want {
+				t.Fatalf("Get(%q) = %q %v %v, want %q", k, v, ok, err, want)
+			}
+		}
+		// Scan agrees with a sorted oracle.
+		want := make([]string, 0, len(oracle))
+		for k := range oracle {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		i := 0
+		if err := s.Scan(nil, func(k, v []byte) bool {
+			if i >= len(want) || string(k) != want[i] || string(v) != oracle[want[i]] {
+				t.Fatalf("scan mismatch at %d: %q", i, k)
+			}
+			i++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i != len(want) {
+			t.Fatalf("scan visited %d of %d", i, len(want))
+		}
+	}
+
+	for cycle := 0; cycle < 3; cycle++ {
+		mutate(120)
+		if cycle == 1 {
+			if _, err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		verify()
+		if err := s.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		var rep *mmdb.RecoveryReport
+		var err error
+		s, rep, err = Open(cfg)
+		if err != nil {
+			t.Fatalf("cycle %d reopen: %v", cycle, err)
+		}
+		if rep == nil {
+			t.Fatal("expected a recovery report on reopen")
+		}
+		verify()
+	}
+	s.Close()
+}
+
+func TestGracefulReopen(t *testing.T) {
+	cfg := testConfig(t)
+	s := mustOpen(t, cfg)
+	if err := s.Put([]byte("persist"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, ok, err := s2.Get([]byte("persist"))
+	if err != nil || !ok || string(v) != "yes" {
+		t.Fatalf("after reopen: %q %v %v", v, ok, err)
+	}
+}
+
+func TestGetCopiesValue(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+	if err := s.Put([]byte("k"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := s.Get([]byte("k"))
+	v[0] = 'X'
+	v2, _, _ := s.Get([]byte("k"))
+	if string(v2) != "value" {
+		t.Error("store corrupted through returned value")
+	}
+}
+
+func TestBinaryKeysAndValues(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+	key := []byte{0x00, 0xFF, 0x10, 0x00}
+	val := []byte{0x00, 0x01, 0x02, 0x00, 0xFF}
+	if err := s.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, val) {
+		t.Fatalf("binary round trip: %v %v %v", got, ok, err)
+	}
+	// Empty value is legal.
+	if err := s.Put([]byte("emptyval"), nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ = s.Get([]byte("emptyval"))
+	if !ok || len(got) != 0 {
+		t.Errorf("empty value round trip: %v %v", got, ok)
+	}
+}
+
+func TestStatsAndDBPassthrough(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+	if err := s.Put([]byte("a"), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().TxnsCommitted == 0 {
+		t.Error("no transactions recorded")
+	}
+	if s.DB() == nil || s.DB().NumRecords() != 512 {
+		t.Error("DB passthrough broken")
+	}
+}

@@ -1,0 +1,29 @@
+package sim_test
+
+import (
+	"fmt"
+	"log"
+
+	"mmdb/analytic"
+	"mmdb/sim"
+)
+
+// ExampleCompare runs the discrete-event simulator and the analytic model
+// at the same (scaled) operating point and prints both, the repository's
+// standard cross-validation.
+func ExampleCompare() {
+	p := analytic.DefaultParams()
+	p.SDB = 4096 * 512 // scale the database down for a quick run
+	p.SSeg = 4096
+	p.Lambda = 200
+	simRes, anaRes, err := sim.Compare(p, analytic.Options{Algorithm: analytic.COUCopy}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := func(a, b float64) bool { return a > 0.8*b && a < 1.25*b }
+	fmt.Println("durations agree:", agree(simRes.MeanDurationSeconds, anaRes.DurationSeconds))
+	fmt.Println("overheads agree:", agree(simRes.OverheadPerTxn, anaRes.OverheadPerTxn))
+	// Output:
+	// durations agree: true
+	// overheads agree: true
+}

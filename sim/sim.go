@@ -1,0 +1,491 @@
+// Package sim is a discrete-event simulator for the paper's MMDBMS
+// checkpointing system — the "testbed" the authors describe as future work
+// in Section 5. It executes the system model of Section 2 on a virtual
+// clock: Poisson transaction arrivals update uniform random records while
+// a checkpointer sweeps the segments at the disk bank's service rate.
+//
+// Unlike the analytic model (package analytic), which computes expectations
+// in closed form, the simulator tracks every segment's dirty bits, the
+// two-color boundary, and copy-on-update old versions explicitly, and
+// measures the same outputs: processor overhead per transaction, restart
+// probability, checkpoint duration, and recovery time. Agreement between
+// the two is a consistency check on both (see sim tests and EXPERIMENTS.md).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mmdb/analytic"
+)
+
+// Config configures a simulation run.
+type Config struct {
+	// Params and Options have the same meaning as in package analytic.
+	Params  analytic.Params
+	Options analytic.Options
+	// Seed seeds the random source (arrivals, record choices).
+	Seed int64
+	// Checkpoints is the number of measured checkpoint intervals
+	// (default 5).
+	Checkpoints int
+	// Warmup is the number of leading checkpoint intervals discarded
+	// while the dirty-segment population reaches steady state (default 2).
+	Warmup int
+	// Skew, when > 1, draws updated segments from a Zipf distribution
+	// with that exponent instead of uniformly — an extension beyond the
+	// paper's uniform load model. Skew concentrates dirtiness in few
+	// segments, which shrinks partial-checkpoint work. Segment identities
+	// are permuted so the hot set is not one contiguous run.
+	Skew float64
+}
+
+// Result reports measured quantities over the measurement window.
+type Result struct {
+	Config Config
+
+	// Checkpoint geometry (means over measured checkpoints).
+	MeanDurationSeconds   float64
+	MeanActiveSeconds     float64
+	DutyCycle             float64
+	SegmentsPerCheckpoint float64
+
+	// Transactions.
+	TxnsCommitted    int
+	TxnAttempts      int
+	ColorAborts      int
+	PRestart         float64 // ColorAborts / TxnAttempts
+	COUCopies        int
+	COUCopiesPerCkpt float64
+	// COUPeakOldSegments is the high-water mark of simultaneously live
+	// old-version copies — the paper's warning that the COU snapshot
+	// buffer "could grow to be as large as the database itself" —
+	// and COUPeakOldWords is that peak in words of buffer memory.
+	COUPeakOldSegments int
+	COUPeakOldWords    float64
+
+	// Processor overhead, instructions per committed transaction.
+	OverheadPerTxn      float64
+	SyncOverheadPerTxn  float64
+	AsyncOverheadPerTxn float64
+
+	// Log and recovery (recovery uses the paper's I/O-bound formula with
+	// the measured duration and log rate).
+	LogWordsPerSecond float64
+	RecoverySeconds   float64
+	BackupReadSeconds float64
+	LogReadSeconds    float64
+}
+
+type segment struct {
+	dirty [2]bool
+	// epochUpdated is the checkpoint ID of the last update, used to
+	// detect "updated since this checkpoint began" without per-checkpoint
+	// resets.
+	epochUpdated uint64
+	// hasOld marks a preserved COU old version for the current
+	// checkpoint; oldDirty snapshots the dirty bits at preservation time.
+	hasOld   bool
+	oldDirty [2]bool
+}
+
+// sim carries the evolving simulation state.
+type sim struct {
+	cfg  Config
+	p    analytic.Params
+	o    analytic.Options
+	rng  *rand.Rand
+	segs []segment
+	nseg int
+	nru  int
+	// zipf and perm implement skewed segment selection (nil when uniform).
+	zipf *rand.Zipf
+	perm []int
+
+	now         float64
+	nextArrival float64
+	// retries holds scheduled re-executions of two-color-aborted
+	// transactions (independent-retry model); a min-heap of times.
+	retries retryHeap
+	// dEst is the estimated steady-state interval, used to spread
+	// independent retries across the boundary sweep.
+	dEst float64
+
+	// Checkpoint-in-progress state.
+	ckptID   uint64
+	active   bool
+	boundary int // segments [0,boundary) processed (black)
+	target   int
+
+	// Accumulators (whole run; measurement window handled by snapshots).
+	committed   int
+	attempts    int
+	colorAborts int
+	couCopies   int
+	couLiveOld  int
+	couPeakOld  int
+	syncInstr   float64
+	asyncInstr  float64
+	logWords    float64
+}
+
+type snapshot struct {
+	committed, attempts, colorAborts, couCopies int
+	syncInstr, asyncInstr, logWords             float64
+	now                                         float64
+}
+
+func (s *sim) snap() snapshot {
+	return snapshot{
+		committed: s.committed, attempts: s.attempts, colorAborts: s.colorAborts,
+		couCopies: s.couCopies, syncInstr: s.syncInstr, asyncInstr: s.asyncInstr,
+		logWords: s.logWords, now: s.now,
+	}
+}
+
+// Run executes the simulation and reports measured metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Checkpoints == 0 {
+		cfg.Checkpoints = 5
+	}
+	if cfg.Checkpoints < 1 {
+		return nil, errors.New("sim: Checkpoints must be positive")
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 2
+	}
+	if cfg.Warmup < 0 {
+		return nil, errors.New("sim: negative Warmup")
+	}
+	nseg := int(cfg.Params.NumSegments())
+	if nseg < 1 {
+		return nil, errors.New("sim: database smaller than one segment")
+	}
+	if float64(nseg) != cfg.Params.NumSegments() {
+		return nil, fmt.Errorf("sim: S_db (%v) must be a whole number of segments of S_seg (%v)",
+			cfg.Params.SDB, cfg.Params.SSeg)
+	}
+
+	s := &sim{
+		cfg:  cfg,
+		p:    cfg.Params,
+		o:    cfg.Options,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		segs: make([]segment, nseg),
+		nseg: nseg,
+		nru:  int(math.Round(cfg.Params.NRU)),
+	}
+	if s.nru < 1 {
+		s.nru = 1
+	}
+	if cfg.Skew != 0 {
+		if cfg.Skew <= 1 {
+			return nil, errors.New("sim: Skew must be > 1 (or 0 for uniform)")
+		}
+		s.zipf = rand.NewZipf(s.rng, cfg.Skew, 1, uint64(nseg-1))
+		s.perm = s.rng.Perm(nseg)
+	}
+	s.scheduleArrival()
+
+	// Lead-in: run plain transaction processing for one would-be interval
+	// so the first checkpoint sees a realistic dirty population.
+	leadIn := s.p.MinCheckpointSeconds
+	if est := analyticDuration(s.p, s.o); est > leadIn {
+		leadIn = est
+	}
+	s.dEst = leadIn
+	s.processEventsUntil(leadIn)
+	s.now = leadIn
+
+	var durations, actives, flushed []float64
+	var mark snapshot
+	total := cfg.Warmup + cfg.Checkpoints
+	for k := 0; k < total; k++ {
+		if k == cfg.Warmup {
+			mark = s.snap()
+		}
+		d, a, w := s.runCheckpoint(uint64(k + 1))
+		if k >= cfg.Warmup {
+			durations = append(durations, d)
+			actives = append(actives, a)
+			flushed = append(flushed, w)
+		}
+	}
+	end := s.snap()
+
+	res := &Result{Config: cfg}
+	res.MeanDurationSeconds = mean(durations)
+	res.MeanActiveSeconds = mean(actives)
+	if res.MeanDurationSeconds > 0 {
+		res.DutyCycle = res.MeanActiveSeconds / res.MeanDurationSeconds
+	}
+	res.SegmentsPerCheckpoint = mean(flushed)
+	res.TxnsCommitted = end.committed - mark.committed
+	res.TxnAttempts = end.attempts - mark.attempts
+	res.ColorAborts = end.colorAborts - mark.colorAborts
+	res.COUCopies = end.couCopies - mark.couCopies
+	res.COUCopiesPerCkpt = float64(res.COUCopies) / float64(cfg.Checkpoints)
+	if res.TxnAttempts > 0 {
+		res.PRestart = float64(res.ColorAborts) / float64(res.TxnAttempts)
+	}
+	res.COUPeakOldSegments = s.couPeakOld
+	res.COUPeakOldWords = float64(s.couPeakOld) * s.p.SSeg
+	if res.TxnsCommitted > 0 {
+		res.SyncOverheadPerTxn = (end.syncInstr - mark.syncInstr) / float64(res.TxnsCommitted)
+		res.AsyncOverheadPerTxn = (end.asyncInstr - mark.asyncInstr) / float64(res.TxnsCommitted)
+		res.OverheadPerTxn = res.SyncOverheadPerTxn + res.AsyncOverheadPerTxn
+	}
+	elapsed := end.now - mark.now
+	if elapsed > 0 {
+		res.LogWordsPerSecond = (end.logWords - mark.logWords) / elapsed
+	}
+
+	// Recovery time, as in the analytic model: read the backup copy plus
+	// the expected 1.5·D of log at the measured log rate.
+	res.BackupReadSeconds = float64(s.nseg) * s.p.SegmentIOTime() / s.p.NDisks
+	res.LogReadSeconds = s.p.TSeek + res.LogWordsPerSecond*1.5*res.MeanDurationSeconds*s.p.TTrans/s.p.NDisks
+	res.RecoverySeconds = res.BackupReadSeconds + res.LogReadSeconds
+	return res, nil
+}
+
+// analyticDuration estimates the steady-state interval for the lead-in.
+func analyticDuration(p analytic.Params, o analytic.Options) float64 {
+	r, err := analytic.Evaluate(p, o)
+	if err != nil {
+		return p.MinCheckpointSeconds
+	}
+	return r.DurationSeconds
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// retryHeap is a min-heap of scheduled retry times.
+type retryHeap []float64
+
+func (h retryHeap) Len() int            { return len(h) }
+func (h retryHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h retryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *retryHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *retryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// pickSegment draws the segment of one record update: uniform (the
+// paper's load model) or Zipf-skewed (the extension).
+func (s *sim) pickSegment() int {
+	if s.zipf == nil {
+		return s.rng.Intn(s.nseg)
+	}
+	return s.perm[int(s.zipf.Uint64())]
+}
+
+func (s *sim) scheduleArrival() {
+	s.nextArrival = s.now + s.rng.ExpFloat64()/s.p.Lambda
+}
+
+// processEventsUntil runs every transaction event (fresh arrival or
+// scheduled retry) with a timestamp before t. It does not move s.now —
+// the caller owns the clock.
+func (s *sim) processEventsUntil(t float64) {
+	for {
+		at := s.nextArrival
+		isRetry := false
+		if len(s.retries) > 0 && s.retries[0] < at {
+			at = s.retries[0]
+			isRetry = true
+		}
+		if at >= t {
+			return
+		}
+		if isRetry {
+			heap.Pop(&s.retries)
+		} else {
+			s.nextArrival = at + s.rng.ExpFloat64()/s.p.Lambda
+		}
+		s.runTxn(at)
+	}
+}
+
+// runTxn executes one transaction attempt at virtual time t. Two-color
+// aborts are re-executed according to the configured retry model:
+// immediately (correlated — the boundary has not moved) or after a delay
+// that re-samples the boundary position (independent, the default).
+func (s *sim) runTxn(t float64) {
+	lsnActive := s.o.Algorithm.UsesLSN() && !s.o.StableTail
+	perUpdateWords := s.p.SRec + s.p.LogHeaderWords
+	if s.o.LogicalLogging {
+		perUpdateWords = s.p.LogicalOperandWords + s.p.LogHeaderWords
+	}
+	for {
+		s.attempts++
+		segIdx := make([]int, s.nru)
+		for i := range segIdx {
+			segIdx[i] = s.pickSegment()
+		}
+		if s.active && s.o.Algorithm.TwoColor() {
+			sawBlack, sawWhite := false, false
+			for _, idx := range segIdx {
+				if idx < s.boundary {
+					sawBlack = true
+				} else {
+					sawWhite = true
+				}
+			}
+			if sawBlack && sawWhite {
+				// Aborted at its first mixed access: partial work, restart
+				// bookkeeping, and dead redo weight in the log.
+				s.colorAborts++
+				cost := s.p.AbortWorkFraction*s.p.CTrans + s.p.CRestart
+				if lsnActive {
+					cost += s.p.AbortWorkFraction * s.p.NRU * s.p.CLSN
+				}
+				s.syncInstr += cost
+				s.logWords += s.p.AbortWorkFraction*s.p.NRU*perUpdateWords + s.p.CommitRecWords
+				if s.o.Retry == analytic.CorrelatedRetries {
+					continue // immediate rerun at the same boundary
+				}
+				heap.Push(&s.retries, t+s.rng.Float64()*s.dEst)
+				return
+			}
+		}
+
+		// The attempt commits: install updates.
+		for _, idx := range segIdx {
+			seg := &s.segs[idx]
+			if s.active && s.o.Algorithm.CopyOnUpdate() &&
+				idx >= s.boundary && seg.epochUpdated != s.ckptID && !seg.hasOld {
+				// First post-begin update of a not-yet-dumped segment:
+				// preserve the old version (Figure 3.2).
+				seg.hasOld = true
+				seg.oldDirty = seg.dirty
+				s.couCopies++
+				s.couLiveOld++
+				if s.couLiveOld > s.couPeakOld {
+					s.couPeakOld = s.couLiveOld
+				}
+				s.syncInstr += s.p.CAlloc + s.p.SSeg + 2*s.p.CLock
+			}
+			seg.dirty[0], seg.dirty[1] = true, true
+			if s.active {
+				seg.epochUpdated = s.ckptID
+			}
+		}
+		if lsnActive || s.o.Algorithm.CopyOnUpdate() {
+			s.syncInstr += s.p.NRU * s.p.CLSN // LSN / timestamp upkeep
+		}
+		s.logWords += s.p.NRU*perUpdateWords + s.p.CommitRecWords
+		s.committed++
+		return
+	}
+}
+
+// runCheckpoint simulates one checkpoint cycle and returns its duration,
+// active time, and flushed segment count.
+func (s *sim) runCheckpoint(id uint64) (duration, activeTime, flushedSegs float64) {
+	start := s.now
+	s.ckptID = id
+	s.target = int((id - 1) % 2)
+	s.boundary = 0
+	s.active = true
+
+	lsnActive := s.o.Algorithm.UsesLSN() && !s.o.StableTail
+	perFlushInstr := s.p.CIO
+	if lsnActive {
+		perFlushInstr += s.p.CLSN
+	}
+	flushTime := s.p.SegmentIOTime() / s.p.NDisks
+	flushed := 0
+
+	for i := 0; i < s.nseg; i++ {
+		seg := &s.segs[i]
+		var needFlush, fromOld bool
+		if seg.hasOld {
+			needFlush = s.o.Full || seg.oldDirty[s.target]
+			fromOld = true
+			seg.hasOld = false
+			s.couLiveOld--
+		} else {
+			needFlush = s.o.Full || seg.dirty[s.target]
+			if needFlush {
+				seg.dirty[s.target] = false
+			}
+		}
+		if needFlush {
+			flushed++
+			s.asyncInstr += perFlushInstr
+			switch {
+			case s.o.Algorithm == analytic.FuzzyCopy || s.o.Algorithm == analytic.TwoColorCopy:
+				s.asyncInstr += s.p.SSeg + s.p.CAlloc
+			case s.o.Algorithm == analytic.COUCopy && !fromOld:
+				s.asyncInstr += s.p.SSeg + s.p.CAlloc
+			}
+			s.now += flushTime
+		}
+		s.boundary = i + 1
+		s.processEventsUntil(s.now)
+	}
+
+	// Per-sweep segment locking, dirty scan, and fixed costs.
+	if s.o.Algorithm.LocksSegments() {
+		s.asyncInstr += 2 * s.p.CLock * float64(s.nseg)
+	}
+	if !s.o.Full {
+		s.asyncInstr += s.p.CDirtyCheck * float64(s.nseg)
+	}
+	s.asyncInstr += s.p.CCkptFixed
+
+	s.active = false
+	activeTime = s.now - start
+
+	// Idle until the configured interval (or the minimum floor) elapses.
+	duration = activeTime
+	if s.o.IntervalSeconds > duration {
+		duration = s.o.IntervalSeconds
+	}
+	if s.p.MinCheckpointSeconds > duration {
+		duration = s.p.MinCheckpointSeconds
+	}
+	endAt := start + duration
+	s.processEventsUntil(endAt)
+	s.now = endAt
+	// Refine the retry-spread horizon with the observed duration.
+	s.dEst = duration
+	return duration, activeTime, float64(flushed)
+}
+
+// Compare evaluates both the simulator and the analytic model at the same
+// operating point and returns them side by side (used by cmd/figures and
+// the agreement tests).
+func Compare(p analytic.Params, o analytic.Options, seed int64) (*Result, *analytic.Result, error) {
+	simRes, err := Run(Config{Params: p, Options: o, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	anaRes, err := analytic.Evaluate(p, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return simRes, anaRes, nil
+}

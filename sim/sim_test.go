@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mmdb/analytic"
+)
+
+// smallParams shrinks the database so simulation runs are quick while
+// keeping the same qualitative regime (bandwidth-limited checkpoints).
+func smallParams() analytic.Params {
+	p := analytic.DefaultParams()
+	p.SDB = 4096 * 512 // 512 segments
+	p.SSeg = 4096
+	p.Lambda = 200
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := smallParams()
+	if _, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.Algorithm(0)}}); err == nil {
+		t.Error("invalid algorithm accepted")
+	}
+	bad := p
+	bad.NDisks = 0
+	if _, err := Run(Config{Params: bad, Options: analytic.Options{Algorithm: analytic.FuzzyCopy}}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.FuzzyCopy}, Checkpoints: -1}); err == nil {
+		t.Error("negative checkpoint count accepted")
+	}
+	frac := p
+	frac.SDB = p.SSeg * 10.5
+	if _, err := Run(Config{Params: frac, Options: analytic.Options{Algorithm: analytic.FuzzyCopy}}); err == nil {
+		t.Error("fractional segment count accepted")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	p := smallParams()
+	o := analytic.Options{Algorithm: analytic.TwoColorCopy}
+	a, err := Run(Config{Params: p, Options: o, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Params: p, Options: o, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OverheadPerTxn != b.OverheadPerTxn || a.TxnsCommitted != b.TxnsCommitted ||
+		a.ColorAborts != b.ColorAborts {
+		t.Error("same seed produced different results")
+	}
+	c, err := Run(Config{Params: p, Options: o, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TxnsCommitted == c.TxnsCommitted && a.OverheadPerTxn == c.OverheadPerTxn {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+// within reports whether got is within frac of want.
+func within(got, want, frac float64) bool {
+	if want == 0 {
+		return math.Abs(got) < 1e-9
+	}
+	return math.Abs(got-want)/math.Abs(want) <= frac
+}
+
+// TestAgreesWithAnalyticModel runs every algorithm at the same (scaled)
+// operating point through both the simulator and the analytic model and
+// requires the headline outputs to agree within tolerance. This is the
+// central cross-validation of the reproduction.
+func TestAgreesWithAnalyticModel(t *testing.T) {
+	p := smallParams()
+	for _, alg := range analytic.Algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			o := analytic.Options{Algorithm: alg}
+			if alg.RequiresStableTail() {
+				o.StableTail = true
+			}
+			simRes, anaRes, err := Compare(p, o, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !within(simRes.MeanDurationSeconds, anaRes.DurationSeconds, 0.15) {
+				t.Errorf("duration: sim %.2fs vs model %.2fs", simRes.MeanDurationSeconds, anaRes.DurationSeconds)
+			}
+			if !within(simRes.SegmentsPerCheckpoint, anaRes.SegmentsPerCheckpoint, 0.15) {
+				t.Errorf("segments/ckpt: sim %.0f vs model %.0f", simRes.SegmentsPerCheckpoint, anaRes.SegmentsPerCheckpoint)
+			}
+			if !within(simRes.OverheadPerTxn, anaRes.OverheadPerTxn, 0.25) {
+				t.Errorf("overhead/txn: sim %.0f vs model %.0f", simRes.OverheadPerTxn, anaRes.OverheadPerTxn)
+			}
+			if !within(simRes.RecoverySeconds, anaRes.RecoverySeconds, 0.15) {
+				t.Errorf("recovery: sim %.1fs vs model %.1fs", simRes.RecoverySeconds, anaRes.RecoverySeconds)
+			}
+			if alg.TwoColor() {
+				if math.Abs(simRes.PRestart-anaRes.PRestart) > 0.07 {
+					t.Errorf("p_restart: sim %.3f vs model %.3f", simRes.PRestart, anaRes.PRestart)
+				}
+			} else if simRes.ColorAborts != 0 {
+				t.Errorf("%v aborted %d transactions; only two-color algorithms abort", alg, simRes.ColorAborts)
+			}
+			if alg.CopyOnUpdate() {
+				if !within(simRes.COUCopiesPerCkpt, anaRes.COUCopiesPerCkpt, 0.25) {
+					t.Errorf("COU copies/ckpt: sim %.0f vs model %.0f", simRes.COUCopiesPerCkpt, anaRes.COUCopiesPerCkpt)
+				}
+			} else if simRes.COUCopies != 0 {
+				t.Errorf("%v made COU copies", alg)
+			}
+		})
+	}
+}
+
+// TestSimFigure4aOrdering reruns Figure 4a's qualitative ordering on the
+// simulator alone.
+func TestSimFigure4aOrdering(t *testing.T) {
+	p := smallParams()
+	// Use the paper's load so checkpoint work amortizes over many
+	// transactions, as in Figure 4a's regime.
+	p.Lambda = 1000
+	overhead := map[analytic.Algorithm]float64{}
+	for _, alg := range []analytic.Algorithm{
+		analytic.FuzzyCopy, analytic.TwoColorFlush, analytic.TwoColorCopy,
+		analytic.COUFlush, analytic.COUCopy,
+	} {
+		res, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: alg}, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		overhead[alg] = res.OverheadPerTxn
+	}
+	for _, tc := range []analytic.Algorithm{analytic.TwoColorFlush, analytic.TwoColorCopy} {
+		for _, other := range []analytic.Algorithm{analytic.FuzzyCopy, analytic.COUFlush, analytic.COUCopy} {
+			if overhead[tc] < 2*overhead[other] {
+				t.Errorf("%v (%.0f) should cost well above %v (%.0f)", tc, overhead[tc], other, overhead[other])
+			}
+		}
+	}
+	if overhead[analytic.COUCopy] > 1.4*overhead[analytic.FuzzyCopy] {
+		t.Errorf("COUCOPY (%.0f) should cost about the same as FUZZYCOPY (%.0f)",
+			overhead[analytic.COUCopy], overhead[analytic.FuzzyCopy])
+	}
+}
+
+// TestCorrelatedRetriesAgreeWithModel cross-validates the correlated
+// (immediate-rerun) retry extension between simulator and analytic model.
+func TestCorrelatedRetriesAgreeWithModel(t *testing.T) {
+	p := smallParams()
+	o := analytic.Options{Algorithm: analytic.TwoColorCopy, Retry: analytic.CorrelatedRetries}
+	simRes, anaRes, err := Compare(p, o, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simRes.PRestart-anaRes.PRestart) > 0.07 {
+		t.Errorf("p_restart: sim %.3f vs model %.3f", simRes.PRestart, anaRes.PRestart)
+	}
+	if !within(simRes.OverheadPerTxn, anaRes.OverheadPerTxn, 0.3) {
+		t.Errorf("overhead: sim %.0f vs model %.0f", simRes.OverheadPerTxn, anaRes.OverheadPerTxn)
+	}
+	// And the extension finding: correlated costs more than independent.
+	indep, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.TwoColorCopy}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.PRestart <= indep.PRestart {
+		t.Errorf("correlated p_restart %.3f not above independent %.3f",
+			simRes.PRestart, indep.PRestart)
+	}
+}
+
+// TestLongerIntervalLowersOverhead checks the Figure 4b direction on the
+// simulator.
+func TestLongerIntervalLowersOverhead(t *testing.T) {
+	p := smallParams()
+	for _, alg := range []analytic.Algorithm{analytic.TwoColorCopy, analytic.COUCopy} {
+		asap, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: alg}, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relaxed, err := Run(Config{
+			Params:  p,
+			Options: analytic.Options{Algorithm: alg, IntervalSeconds: 3 * asap.MeanDurationSeconds},
+			Seed:    2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relaxed.OverheadPerTxn >= asap.OverheadPerTxn {
+			t.Errorf("%v: 3× interval overhead %.0f not below ASAP %.0f",
+				alg, relaxed.OverheadPerTxn, asap.OverheadPerTxn)
+		}
+		if relaxed.RecoverySeconds <= asap.RecoverySeconds {
+			t.Errorf("%v: 3× interval recovery %.1f not above ASAP %.1f",
+				alg, relaxed.RecoverySeconds, asap.RecoverySeconds)
+		}
+		if alg.TwoColor() && relaxed.PRestart >= asap.PRestart {
+			t.Errorf("%v: p_restart should fall with duty cycle", alg)
+		}
+	}
+}
+
+// TestStableTailRemovesFastFuzzyCost checks the Figure 4e headline on the
+// simulator.
+func TestStableTailRemovesFastFuzzyCost(t *testing.T) {
+	p := smallParams()
+	ff, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.FastFuzzy, StableTail: true}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.FuzzyCopy, StableTail: true}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.OverheadPerTxn > 0.3*fc.OverheadPerTxn {
+		t.Errorf("FASTFUZZY (%.0f) should be far below FUZZYCOPY (%.0f)",
+			ff.OverheadPerTxn, fc.OverheadPerTxn)
+	}
+}
+
+// TestFullCheckpointsFlushEverything checks the full-checkpoint path.
+func TestFullCheckpointsFlushEverything(t *testing.T) {
+	p := smallParams()
+	res, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.FuzzyCopy, Full: true}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsPerCheckpoint != p.NumSegments() {
+		t.Errorf("full checkpoint flushed %.0f segments, want %v", res.SegmentsPerCheckpoint, p.NumSegments())
+	}
+}
+
+// TestSkewShrinksCheckpointWork: Zipf-concentrated updates dirty far fewer
+// distinct segments, so partial checkpoints write less and finish sooner —
+// the benefit the paper's uniform-load assumption hides.
+func TestSkewShrinksCheckpointWork(t *testing.T) {
+	p := smallParams()
+	uniform, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.FuzzyCopy}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.FuzzyCopy}, Seed: 8, Skew: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.SegmentsPerCheckpoint >= 0.7*uniform.SegmentsPerCheckpoint {
+		t.Errorf("skewed work %.0f segments/ckpt, want well below uniform %.0f",
+			skewed.SegmentsPerCheckpoint, uniform.SegmentsPerCheckpoint)
+	}
+	if skewed.MeanDurationSeconds >= uniform.MeanDurationSeconds {
+		t.Error("skewed checkpoints should finish sooner")
+	}
+	if _, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.FuzzyCopy}, Skew: 0.5}); err == nil {
+		t.Error("skew ≤ 1 accepted")
+	}
+}
+
+// TestCOUPeakBufferTracked: the simulator measures the old-copy buffer's
+// high-water mark, which should agree in rough magnitude with the model's
+// per-checkpoint copy count and be zero for non-COU algorithms.
+func TestCOUPeakBufferTracked(t *testing.T) {
+	p := smallParams()
+	res, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.COUCopy}, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.COUPeakOldSegments <= 0 {
+		t.Fatal("no COU peak recorded")
+	}
+	if res.COUPeakOldWords != float64(res.COUPeakOldSegments)*p.SSeg {
+		t.Error("peak words inconsistent with peak segments")
+	}
+	// The peak cannot exceed the copies made in one checkpoint by much
+	// (copies are consumed as the cursor passes them).
+	if float64(res.COUPeakOldSegments) > 1.5*res.COUCopiesPerCkpt+5 {
+		t.Errorf("peak %d vs %f copies/ckpt", res.COUPeakOldSegments, res.COUCopiesPerCkpt)
+	}
+	// And it should agree with the model's closed-form peak.
+	ana, err := analytic.Evaluate(p, analytic.Options{Algorithm: analytic.COUCopy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPeakSegs := ana.COUOldBufferWords / p.SSeg
+	if !within(float64(res.COUPeakOldSegments), modelPeakSegs, 0.35) {
+		t.Errorf("sim peak %d vs model peak %.0f segments", res.COUPeakOldSegments, modelPeakSegs)
+	}
+	fz, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.FuzzyCopy}, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fz.COUPeakOldSegments != 0 {
+		t.Error("fuzzy run tracked COU buffer")
+	}
+}
+
+// TestMinFloorBindsAtTrivialLoad checks the interval floor at negligible
+// update rates.
+func TestMinFloorBindsAtTrivialLoad(t *testing.T) {
+	p := smallParams()
+	p.Lambda = 1
+	res, err := Run(Config{Params: p, Options: analytic.Options{Algorithm: analytic.FuzzyCopy}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(res.MeanDurationSeconds, p.MinCheckpointSeconds, 0.3) {
+		t.Errorf("duration %.2fs, want ≈ floor %.2fs", res.MeanDurationSeconds, p.MinCheckpointSeconds)
+	}
+}

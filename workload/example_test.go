@@ -1,0 +1,40 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"mmdb/workload"
+)
+
+// ExampleUniform generates the paper's load model: transactions of N_ru
+// distinct uniform record updates.
+func ExampleUniform() {
+	gen, err := workload.NewUniform(1000, 5, 32, 42)
+	if err != nil {
+		panic(err)
+	}
+	txn := gen.Next()
+	fmt.Println("updates per transaction:", len(txn.Updates))
+	distinct := map[uint64]bool{}
+	for _, u := range txn.Updates {
+		distinct[u.Record] = true
+	}
+	fmt.Println("records distinct:", len(distinct) == len(txn.Updates))
+	// Output:
+	// updates per transaction: 5
+	// records distinct: true
+}
+
+// ExampleBank shows the invariant-checked transfer workload.
+func ExampleBank() {
+	bank, err := workload.NewBank(8, 32, 100, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("expected total:", bank.ExpectedTotal())
+	from, to, amount := bank.RandomTransfer()
+	fmt.Println("transfer distinct accounts:", from != to, "amount in range:", amount > 0 && amount <= 100)
+	// Output:
+	// expected total: 800
+	// transfer distinct accounts: true amount in range: true
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Pacer shapes a transaction stream to a target arrival rate, matching the
+// paper's load model (transactions "arrive at the system at the rate of λ
+// transactions per second"). Poisson mode draws exponential inter-arrival
+// gaps; uniform mode spaces arrivals evenly.
+type Pacer struct {
+	ratePerSec float64
+	poisson    bool
+	rng        *rand.Rand
+	next       time.Time
+	now        func() time.Time
+	sleep      func(time.Duration)
+}
+
+// NewPacer returns a pacer for ratePerSec arrivals per second. poisson
+// selects exponential inter-arrival times (the paper's implied arrival
+// process); otherwise arrivals are evenly spaced.
+func NewPacer(ratePerSec float64, poisson bool, seed int64) (*Pacer, error) {
+	if ratePerSec <= 0 {
+		return nil, errors.New("workload: pacer rate must be positive")
+	}
+	return &Pacer{
+		ratePerSec: ratePerSec,
+		poisson:    poisson,
+		rng:        rand.New(rand.NewSource(seed)),
+		now:        time.Now,
+		sleep:      time.Sleep,
+	}, nil
+}
+
+// gap returns the next inter-arrival time.
+func (p *Pacer) gap() time.Duration {
+	if p.poisson {
+		return time.Duration(p.rng.ExpFloat64() / p.ratePerSec * float64(time.Second))
+	}
+	return time.Duration(float64(time.Second) / p.ratePerSec)
+}
+
+// Wait blocks until the next arrival instant and returns it. A pacer that
+// has fallen behind (the caller is slower than the target rate) returns
+// immediately without accumulating unbounded debt: the schedule restarts
+// from now once the backlog exceeds one second.
+func (p *Pacer) Wait() time.Time {
+	now := p.now()
+	if p.next.IsZero() {
+		p.next = now
+	}
+	if d := p.next.Sub(now); d > 0 {
+		p.sleep(d)
+	} else if -d > time.Second {
+		// Too far behind: shed the backlog rather than bursting.
+		p.next = now
+	}
+	at := p.next
+	p.next = p.next.Add(p.gap())
+	return at
+}
+
+// TxnClass describes one class in a multi-class load: a generator plus a
+// relative weight.
+type TxnClass struct {
+	Weight float64
+	Gen    Generator
+}
+
+// Mixed draws transactions from several classes with probability
+// proportional to their weights — a relaxation of the paper's
+// "all transactions are identical" assumption (Section 2.5).
+type Mixed struct {
+	classes []TxnClass
+	total   float64
+	rng     *rand.Rand
+}
+
+// NewMixed builds a mixed generator from at least one weighted class.
+func NewMixed(seed int64, classes ...TxnClass) (*Mixed, error) {
+	if len(classes) == 0 {
+		return nil, errors.New("workload: mixed load needs at least one class")
+	}
+	total := 0.0
+	for i, c := range classes {
+		if c.Weight <= 0 {
+			return nil, errors.New("workload: class weights must be positive")
+		}
+		if c.Gen == nil {
+			return nil, errors.New("workload: nil generator in class")
+		}
+		total += c.Weight
+		_ = i
+	}
+	return &Mixed{
+		classes: classes,
+		total:   total,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Next implements Generator.
+func (m *Mixed) Next() TxnSpec {
+	x := m.rng.Float64() * m.total
+	for _, c := range m.classes {
+		x -= c.Weight
+		if x < 0 {
+			return c.Gen.Next()
+		}
+	}
+	return m.classes[len(m.classes)-1].Gen.Next()
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Pacer without real sleeping.
+type fakeClock struct {
+	t     time.Time
+	slept time.Duration
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+func (c *fakeClock) sleep(d time.Duration) {
+	c.slept += d
+	c.t = c.t.Add(d)
+}
+
+func pacerWithClock(t *testing.T, rate float64, poisson bool) (*Pacer, *fakeClock) {
+	t.Helper()
+	p, err := NewPacer(rate, poisson, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	p.now = c.now
+	p.sleep = c.sleep
+	return p, c
+}
+
+func TestPacerValidation(t *testing.T) {
+	if _, err := NewPacer(0, false, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewPacer(-5, true, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestUniformPacerSpacing(t *testing.T) {
+	p, c := pacerWithClock(t, 100, false) // 10ms apart
+	var times []time.Time
+	for i := 0; i < 5; i++ {
+		times = append(times, p.Wait())
+	}
+	for i := 1; i < len(times); i++ {
+		if gap := times[i].Sub(times[i-1]); gap != 10*time.Millisecond {
+			t.Errorf("gap %d = %v, want 10ms", i, gap)
+		}
+	}
+	if c.slept == 0 {
+		t.Error("pacer never slept")
+	}
+}
+
+func TestPoissonPacerMeanRate(t *testing.T) {
+	p, _ := pacerWithClock(t, 1000, true)
+	start := p.Wait()
+	var last time.Time
+	const n = 2000
+	for i := 0; i < n; i++ {
+		last = p.Wait()
+	}
+	mean := last.Sub(start).Seconds() / n
+	if mean < 0.0008 || mean > 0.0012 {
+		t.Errorf("mean inter-arrival %.5fs, want ≈0.001s", mean)
+	}
+}
+
+func TestPacerShedsBacklog(t *testing.T) {
+	p, c := pacerWithClock(t, 1000, false)
+	p.Wait()
+	// The caller stalls for 5 seconds: the pacer must not burst 5000
+	// arrivals to catch up.
+	c.t = c.t.Add(5 * time.Second)
+	before := c.slept
+	for i := 0; i < 10; i++ {
+		p.Wait()
+	}
+	if c.slept-before > 50*time.Millisecond {
+		t.Errorf("pacer slept %v while behind schedule", c.slept-before)
+	}
+	// After shedding, pacing resumes.
+	p.Wait()
+	if c.slept == before {
+		t.Error("pacer never resumed pacing after shedding backlog")
+	}
+}
+
+func TestMixedGenerator(t *testing.T) {
+	small, err := NewUniform(100, 1, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewUniform(100, 8, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMixed(7, TxnClass{Weight: 3, Gen: small}, TxnClass{Weight: 1, Gen: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[len(m.Next().Updates)]++
+	}
+	if counts[1]+counts[8] != n {
+		t.Fatalf("unexpected transaction sizes: %v", counts)
+	}
+	frac := float64(counts[1]) / n
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("small-class fraction %.3f, want ≈0.75", frac)
+	}
+}
+
+func TestMixedValidation(t *testing.T) {
+	if _, err := NewMixed(1); err == nil {
+		t.Error("empty class list accepted")
+	}
+	g, _ := NewUniform(10, 1, 8, 1)
+	if _, err := NewMixed(1, TxnClass{Weight: 0, Gen: g}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewMixed(1, TxnClass{Weight: 1, Gen: nil}); err == nil {
+		t.Error("nil generator accepted")
+	}
+}

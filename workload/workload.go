@@ -1,0 +1,250 @@
+// Package workload generates transaction loads for driving the database
+// engine and benchmarks. The Uniform generator reproduces the paper's load
+// model (Section 2.5: identical transactions updating N_ru distinct
+// records chosen uniformly); Zipf adds the skewed-access extension, and
+// Bank provides an invariant-checked transfer workload for recovery
+// demonstrations.
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Update is one record update: a record ID and its new image.
+type Update struct {
+	Record uint64
+	Value  []byte
+}
+
+// TxnSpec describes one generated transaction.
+type TxnSpec struct {
+	Updates []Update
+}
+
+// Generator produces transaction specifications.
+type Generator interface {
+	// Next returns the next transaction. The returned spec (including the
+	// value slices) is invalidated by the following call.
+	Next() TxnSpec
+}
+
+// Uniform is the paper's load model: each transaction updates a fixed
+// number of distinct records drawn uniformly from the database.
+type Uniform struct {
+	numRecords    int
+	updatesPerTxn int
+	recordBytes   int
+	rng           *rand.Rand
+	seq           uint64
+	spec          TxnSpec
+}
+
+// NewUniform returns a uniform generator over numRecords records, writing
+// updatesPerTxn distinct records of recordBytes each per transaction.
+func NewUniform(numRecords, updatesPerTxn, recordBytes int, seed int64) (*Uniform, error) {
+	if numRecords <= 0 || updatesPerTxn <= 0 || recordBytes <= 0 {
+		return nil, fmt.Errorf("workload: invalid uniform spec %d/%d/%d", numRecords, updatesPerTxn, recordBytes)
+	}
+	if updatesPerTxn > numRecords {
+		return nil, errors.New("workload: more distinct updates per transaction than records")
+	}
+	u := &Uniform{
+		numRecords:    numRecords,
+		updatesPerTxn: updatesPerTxn,
+		recordBytes:   recordBytes,
+		rng:           rand.New(rand.NewSource(seed)),
+	}
+	u.initSpec()
+	return u, nil
+}
+
+func (u *Uniform) initSpec() {
+	u.spec.Updates = make([]Update, u.updatesPerTxn)
+	for i := range u.spec.Updates {
+		u.spec.Updates[i].Value = make([]byte, u.recordBytes)
+	}
+}
+
+// Next implements Generator: distinct uniform records with a fresh value
+// stamped from a sequence number (so every write is distinguishable).
+func (u *Uniform) Next() TxnSpec {
+	chosen := make(map[uint64]bool, u.updatesPerTxn)
+	for i := range u.spec.Updates {
+		var rid uint64
+		for {
+			rid = uint64(u.rng.Intn(u.numRecords))
+			if !chosen[rid] {
+				break
+			}
+		}
+		chosen[rid] = true
+		u.seq++
+		u.spec.Updates[i].Record = rid
+		binary.LittleEndian.PutUint64(u.spec.Updates[i].Value, u.seq)
+	}
+	return u.spec
+}
+
+// Zipf generates skewed record updates (an extension beyond the paper's
+// uniform assumption; skew concentrates dirtiness in few segments, which
+// favours partial checkpoints).
+type Zipf struct {
+	updatesPerTxn int
+	recordBytes   int
+	rng           *rand.Rand
+	zipf          *rand.Zipf
+	seq           uint64
+	spec          TxnSpec
+}
+
+// NewZipf returns a Zipf-skewed generator; s > 1 controls the skew (larger
+// is more skewed).
+func NewZipf(numRecords, updatesPerTxn, recordBytes int, s float64, seed int64) (*Zipf, error) {
+	if numRecords <= 0 || updatesPerTxn <= 0 || recordBytes <= 0 {
+		return nil, fmt.Errorf("workload: invalid zipf spec %d/%d/%d", numRecords, updatesPerTxn, recordBytes)
+	}
+	if s <= 1 {
+		return nil, errors.New("workload: zipf skew must be > 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := &Zipf{
+		updatesPerTxn: updatesPerTxn,
+		recordBytes:   recordBytes,
+		rng:           rng,
+		zipf:          rand.NewZipf(rng, s, 1, uint64(numRecords-1)),
+	}
+	z.spec.Updates = make([]Update, updatesPerTxn)
+	for i := range z.spec.Updates {
+		z.spec.Updates[i].Value = make([]byte, recordBytes)
+	}
+	return z, nil
+}
+
+// Next implements Generator. Records need not be distinct (hot records
+// repeat by design).
+func (z *Zipf) Next() TxnSpec {
+	for i := range z.spec.Updates {
+		z.seq++
+		z.spec.Updates[i].Record = z.zipf.Uint64()
+		binary.LittleEndian.PutUint64(z.spec.Updates[i].Value, z.seq)
+	}
+	return z.spec
+}
+
+// Txn is the transactional surface the Bank helper needs; engine and
+// public-API transactions satisfy it.
+type Txn interface {
+	Read(rid uint64) ([]byte, error)
+	Write(rid uint64, data []byte) error
+}
+
+// Bank is a transfer workload over fixed-balance accounts. The sum of all
+// balances is invariant under Transfer, which makes torn recovery
+// immediately visible: if a crash could break transaction atomicity, the
+// total would drift.
+type Bank struct {
+	numAccounts    int
+	recordBytes    int
+	initialBalance int64
+	rng            *rand.Rand
+}
+
+// NewBank describes numAccounts accounts, each initialized (by InitTxn) to
+// initialBalance, stored in records of recordBytes (≥ 8).
+func NewBank(numAccounts int, recordBytes int, initialBalance int64, seed int64) (*Bank, error) {
+	if numAccounts < 2 {
+		return nil, errors.New("workload: bank needs at least 2 accounts")
+	}
+	if recordBytes < 8 {
+		return nil, errors.New("workload: bank records must hold an int64 balance")
+	}
+	if initialBalance < 0 {
+		return nil, errors.New("workload: negative initial balance")
+	}
+	return &Bank{
+		numAccounts:    numAccounts,
+		recordBytes:    recordBytes,
+		initialBalance: initialBalance,
+		rng:            rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// NumAccounts returns the account count.
+func (b *Bank) NumAccounts() int { return b.numAccounts }
+
+// ExpectedTotal returns the invariant total balance.
+func (b *Bank) ExpectedTotal() int64 {
+	return b.initialBalance * int64(b.numAccounts)
+}
+
+// InitTxn writes every account's initial balance inside tx.
+func (b *Bank) InitTxn(tx Txn) error {
+	buf := make([]byte, b.recordBytes)
+	for a := 0; a < b.numAccounts; a++ {
+		binary.LittleEndian.PutUint64(buf, uint64(b.initialBalance))
+		if err := tx.Write(uint64(a), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Balance decodes an account record.
+func Balance(rec []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(rec))
+}
+
+// RandomTransfer picks a random (from, to, amount) triple.
+func (b *Bank) RandomTransfer() (from, to uint64, amount int64) {
+	from = uint64(b.rng.Intn(b.numAccounts))
+	to = uint64(b.rng.Intn(b.numAccounts - 1))
+	if to >= from {
+		to++
+	}
+	amount = 1 + int64(b.rng.Intn(100))
+	return from, to, amount
+}
+
+// Transfer moves up to amount from one account to another inside tx,
+// never overdrawing (an insufficient balance moves what is available).
+func (b *Bank) Transfer(tx Txn, from, to uint64, amount int64) error {
+	fr, err := tx.Read(from)
+	if err != nil {
+		return err
+	}
+	tr, err := tx.Read(to)
+	if err != nil {
+		return err
+	}
+	fb, tb := Balance(fr), Balance(tr)
+	if amount > fb {
+		amount = fb
+	}
+	fb -= amount
+	tb += amount
+	fbuf := make([]byte, b.recordBytes)
+	tbuf := make([]byte, b.recordBytes)
+	binary.LittleEndian.PutUint64(fbuf, uint64(fb))
+	binary.LittleEndian.PutUint64(tbuf, uint64(tb))
+	if err := tx.Write(from, fbuf); err != nil {
+		return err
+	}
+	return tx.Write(to, tbuf)
+}
+
+// Total sums every account balance through read (a point-in-time check;
+// run it when no transfers are in flight).
+func (b *Bank) Total(read func(rid uint64) ([]byte, error)) (int64, error) {
+	var total int64
+	for a := 0; a < b.numAccounts; a++ {
+		rec, err := read(uint64(a))
+		if err != nil {
+			return 0, err
+		}
+		total += Balance(rec)
+	}
+	return total, nil
+}

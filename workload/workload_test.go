@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := NewUniform(0, 1, 8, 1); err == nil {
+		t.Error("zero records accepted")
+	}
+	if _, err := NewUniform(10, 0, 8, 1); err == nil {
+		t.Error("zero updates accepted")
+	}
+	if _, err := NewUniform(10, 1, 0, 1); err == nil {
+		t.Error("zero record size accepted")
+	}
+	if _, err := NewUniform(3, 4, 8, 1); err == nil {
+		t.Error("more updates than records accepted")
+	}
+}
+
+func TestUniformDistinctRecordsAndFreshValues(t *testing.T) {
+	g, err := NewUniform(100, 5, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 50; i++ {
+		spec := g.Next()
+		if len(spec.Updates) != 5 {
+			t.Fatalf("txn %d has %d updates", i, len(spec.Updates))
+		}
+		inTxn := map[uint64]bool{}
+		for _, u := range spec.Updates {
+			if u.Record >= 100 {
+				t.Fatalf("record %d out of range", u.Record)
+			}
+			if inTxn[u.Record] {
+				t.Fatalf("txn %d repeats record %d", i, u.Record)
+			}
+			inTxn[u.Record] = true
+			v := binary.LittleEndian.Uint64(u.Value)
+			if seen[v] {
+				t.Fatalf("value %d repeated", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	if _, err := NewZipf(100, 5, 16, 1.0, 1); err == nil {
+		t.Error("skew ≤ 1 accepted")
+	}
+	g, err := NewZipf(1000, 1, 16, 1.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Updates[0].Record]++
+	}
+	// Record 0 should be by far the hottest under Zipf.
+	if counts[0] < n/10 {
+		t.Errorf("record 0 hit %d of %d times; distribution not skewed", counts[0], n)
+	}
+	for rid := range counts {
+		if rid >= 1000 {
+			t.Errorf("record %d out of range", rid)
+		}
+	}
+}
+
+// mapTxn is an in-memory Txn for exercising Bank without the engine.
+type mapTxn map[uint64][]byte
+
+func (m mapTxn) Read(rid uint64) ([]byte, error) {
+	v, ok := m[rid]
+	if !ok {
+		return nil, errors.New("missing record")
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+func (m mapTxn) Write(rid uint64, data []byte) error {
+	v := make([]byte, len(data))
+	copy(v, data)
+	m[rid] = v
+	return nil
+}
+
+func TestBankValidation(t *testing.T) {
+	if _, err := NewBank(1, 8, 10, 1); err == nil {
+		t.Error("single account accepted")
+	}
+	if _, err := NewBank(2, 4, 10, 1); err == nil {
+		t.Error("record too small accepted")
+	}
+	if _, err := NewBank(2, 8, -1, 1); err == nil {
+		t.Error("negative balance accepted")
+	}
+}
+
+func TestBankTransfersPreserveTotal(t *testing.T) {
+	b, err := NewBank(16, 32, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mapTxn{}
+	if err := b.InitTxn(m); err != nil {
+		t.Fatal(err)
+	}
+	want := b.ExpectedTotal()
+	if got, _ := b.Total(m.Read); got != want {
+		t.Fatalf("initial total %d, want %d", got, want)
+	}
+	for i := 0; i < 500; i++ {
+		from, to, amt := b.RandomTransfer()
+		if from == to {
+			t.Fatal("transfer to self")
+		}
+		if err := b.Transfer(m, from, to, amt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := b.Total(m.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("total after transfers = %d, want %d", got, want)
+	}
+	// No account overdrawn.
+	for a := 0; a < b.NumAccounts(); a++ {
+		rec, _ := m.Read(uint64(a))
+		if Balance(rec) < 0 {
+			t.Errorf("account %d overdrawn: %d", a, Balance(rec))
+		}
+	}
+}
+
+func TestBankNeverOverdraws(t *testing.T) {
+	b, err := NewBank(2, 8, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mapTxn{}
+	if err := b.InitTxn(m); err != nil {
+		t.Fatal(err)
+	}
+	// Ask for more than the balance: it moves only what exists.
+	if err := b.Transfer(m, 0, 1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	r0, _ := m.Read(0)
+	r1, _ := m.Read(1)
+	if Balance(r0) != 0 || Balance(r1) != 20 {
+		t.Errorf("balances = %d/%d, want 0/20", Balance(r0), Balance(r1))
+	}
+}
+
+// TestBankTransferQuick property-tests the invariant over arbitrary
+// transfer sequences.
+func TestBankTransferQuick(t *testing.T) {
+	b, err := NewBank(8, 8, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mapTxn{}
+	if err := b.InitTxn(m); err != nil {
+		t.Fatal(err)
+	}
+	f := func(fromRaw, toRaw uint8, amt int16) bool {
+		from := uint64(fromRaw) % 8
+		to := uint64(toRaw) % 8
+		if from == to {
+			return true
+		}
+		a := int64(amt)
+		if a < 0 {
+			a = -a
+		}
+		if err := b.Transfer(m, from, to, a); err != nil {
+			return false
+		}
+		total, err := b.Total(m.Read)
+		return err == nil && total == b.ExpectedTotal()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
