@@ -1,0 +1,44 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; `make lint` is the full static-analysis gate.
+
+GO ?= go
+MMDBLINT := bin/mmdblint
+
+.PHONY: all build test race vet mmdblint lint fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race gate CI requires: the concurrent core under the race detector.
+race:
+	$(GO) test -race ./internal/... ./kvstore/...
+
+vet:
+	$(GO) vet ./...
+
+# mmdblint is the repo's own go/analysis suite (lockcheck, detcheck,
+# errcheckwal, lsncheck); it runs as a go vet tool.
+mmdblint:
+	$(GO) build -o $(MMDBLINT) ./cmd/mmdblint
+
+lint: vet mmdblint
+	$(GO) vet -vettool=$(abspath $(MMDBLINT)) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it)"; \
+	fi
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -rf bin

@@ -174,14 +174,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer db2.Close()
 	fmt.Printf("recovered in %v: checkpoint %d (copy %d, %s), %d segments loaded (%.1f MB), "+
 		"%d log records scanned (%.1f MB), %d txns replayed, %d updates applied, %d discarded\n",
 		time.Since(rstart).Round(time.Millisecond), rep.CheckpointID, rep.UsedCopy,
 		rep.CheckpointAlgorithm, rep.SegmentsLoaded, float64(rep.BackupBytesRead)/1e6,
 		rep.RecordsScanned, float64(rep.LogBytesRead)/1e6,
 		rep.TxnsReplayed, rep.UpdatesApplied, rep.UpdatesDiscarded)
-	return nil
+	return db2.Close()
 }
 
 func avgCkpt(st mmdb.Stats) time.Duration {

@@ -95,7 +95,10 @@ func archive(dir, out string) error {
 	if err != nil {
 		return err
 	}
-	fi, _ := os.Stat(out)
+	fi, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("archived %d segments and %.1f MB of log to %s (%.1f MB total)\n",
 		segs, float64(logBytes)/1e6, out, float64(fi.Size())/1e6)
 	return nil
@@ -154,14 +157,16 @@ func info(dir string) error {
 	} else {
 		fmt.Fprintf(w, "recovery would use:\tno complete checkpoint — full log replay\n")
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 
 	if di.Log == nil {
 		fmt.Println("log: missing")
 		return nil
 	}
 	fmt.Printf("log: base LSN %d, valid end %d (%.1f MB live)\n",
-		di.Log.Base, di.Log.ValidEnd, float64(di.Log.ValidEnd-di.Log.Base)/1e6)
+		di.Log.Base, di.Log.ValidEnd, float64(di.Log.ValidEnd.Sub(di.Log.Base))/1e6)
 	if di.Log.TornBytes > 0 {
 		fmt.Printf("log: %d torn trailing bytes (discarded by recovery)\n", di.Log.TornBytes)
 	}

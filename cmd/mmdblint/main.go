@@ -1,0 +1,34 @@
+// Command mmdblint is the repository's invariant-checking vet tool. It
+// bundles the custom analyzers from lint/... behind go vet's vet-tool
+// protocol:
+//
+//	go build -o bin/mmdblint ./cmd/mmdblint
+//	go vet -vettool=bin/mmdblint ./...
+//
+// or via the Makefile: make lint. Individual analyzers can be selected
+// with their flags, e.g. go vet -vettool=bin/mmdblint -lockcheck ./...
+//
+// Analyzers:
+//
+//	lockcheck    guarded_by-annotated fields accessed only under their mutex
+//	detcheck     determinism of sim, analytic, and internal/simdisk
+//	errcheckwal  no discarded errors from wal/storage/backup/engine calls
+//	lsncheck     LSN ordering/arithmetic through typed helpers only
+package main
+
+import (
+	"mmdb/lint/analysis/unitchecker"
+	"mmdb/lint/detcheck"
+	"mmdb/lint/errcheckwal"
+	"mmdb/lint/lockcheck"
+	"mmdb/lint/lsncheck"
+)
+
+func main() {
+	unitchecker.Main(
+		lockcheck.Analyzer,
+		detcheck.Analyzer,
+		errcheckwal.Analyzer,
+		lsncheck.Analyzer,
+	)
+}

@@ -168,7 +168,11 @@ func logicalPhase() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db2.Close()
+	defer func() {
+		if err := db2.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	total, err := bank.Total(db2.ReadRecord)
 	if err != nil {
 		log.Fatal(err)

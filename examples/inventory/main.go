@@ -42,7 +42,7 @@ func main() {
 	fmt.Println("\n(the two-color rows pay for rerun orders; COU rows buy consistency with old-version copies)")
 }
 
-func runAlgorithm(alg mmdb.Algorithm) (string, error) {
+func runAlgorithm(alg mmdb.Algorithm) (row string, err error) {
 	dir, err := os.MkdirTemp("", "mmdb-inventory-*")
 	if err != nil {
 		return "", err
@@ -63,7 +63,11 @@ func runAlgorithm(alg mmdb.Algorithm) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	defer db.Close()
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			row, err = "", cerr
+		}
+	}()
 
 	// Stock every product.
 	const batch = 1024

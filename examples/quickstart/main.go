@@ -74,7 +74,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db2.Close()
+	defer func() {
+		if err := db2.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	fmt.Printf("recovered from checkpoint %d: %d segments loaded, %d updates replayed\n",
 		rep.CheckpointID, rep.SegmentsLoaded, rep.UpdatesApplied)
 

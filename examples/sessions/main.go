@@ -76,7 +76,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer store2.Close()
+	defer func() {
+		if err := store2.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	fmt.Printf("recovered (checkpoint %d, %d updates replayed); index rebuilt with %d sessions:\n",
 		rep.CheckpointID, rep.UpdatesApplied, store2.Len())
 	if err := store2.Scan(nil, func(k, v []byte) bool {

@@ -97,7 +97,9 @@ func runAt(interval time.Duration) (string, error) {
 		return "", err
 	}
 	rtime := time.Since(start)
-	defer db2.Close()
+	if err := db2.Close(); err != nil {
+		return "", err
+	}
 
 	return fmt.Sprintf("%v\t%d\t%d\t%d\t%d\t%v",
 		interval, st.Checkpoints, st.SegmentsFlushed,

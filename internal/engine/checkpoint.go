@@ -96,9 +96,10 @@ func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 		e.txnMu.Unlock()
 		scanStart = beginLSN
 		for _, at := range active {
-			if at.FirstLSN != wal.NilLSN && at.FirstLSN < scanStart {
-				scanStart = at.FirstLSN
-			}
+			// MinLSN treats NilLSN (a transaction that has logged nothing
+			// yet) as +infinity, so only real first-update positions pull
+			// the scan start back.
+			scanStart = wal.MinLSN(scanStart, at.FirstLSN)
 		}
 		if err == nil {
 			e.cur.Store(run)
@@ -231,8 +232,8 @@ func (e *Engine) compactLog() {
 	keep := wal.NilLSN
 	for c := 0; c < 2; c++ {
 		ci := e.bstore.CopyInfo(c)
-		if ci.Complete && ci.ScanStartLSN < keep {
-			keep = ci.ScanStartLSN
+		if ci.Complete {
+			keep = wal.MinLSN(keep, ci.ScanStartLSN)
 		}
 	}
 	if keep == wal.NilLSN || keep == 0 {

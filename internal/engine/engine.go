@@ -61,14 +61,17 @@ type Engine struct {
 	locks  *lockmgr.Manager
 	bstore *backup.Store
 
-	clock   atomic.Uint64 // logical timestamps (transactions, checkpoints)
-	txnSeq  atomic.Uint64
-	ckptSeq uint64 // next checkpoint ID; guarded by ckptMu
+	clock  atomic.Uint64 // logical timestamps (transactions, checkpoints)
+	txnSeq atomic.Uint64
+	// ckptSeq is the next checkpoint ID. guarded_by:ckptMu
+	ckptSeq uint64
 
 	// Transaction registry and quiesce gate.
-	txnMu      sync.Mutex
-	txnCond    *sync.Cond
+	txnMu   sync.Mutex
+	txnCond *sync.Cond
+	// activeTxns is the registry of in-flight transactions. guarded_by:txnMu
 	activeTxns map[uint64]*Txn
+	// gateClosed blocks Begin while a quiesce is in progress. guarded_by:txnMu
 	gateClosed bool
 
 	// cur is the in-progress checkpoint, nil when idle.
@@ -76,16 +79,18 @@ type Engine struct {
 	// ckptMu serializes checkpoints (and the backup metadata).
 	ckptMu sync.Mutex
 
-	// Continuous checkpoint loop.
+	// Continuous checkpoint loop channels. guarded_by:ckptMu
 	loopStop chan struct{}
+	// guarded_by:ckptMu
 	loopDone chan struct{}
 
 	stopped atomic.Bool
 
-	// Logical operation registry (built-ins plus Params.Operations plus
-	// RegisterOperation).
+	// opsMu guards the logical operation registry (built-ins plus
+	// Params.Operations plus RegisterOperation).
 	opsMu sync.RWMutex
-	ops   map[OpCode]OpFunc
+	// guarded_by:opsMu
+	ops map[OpCode]OpFunc
 
 	ctr counters
 }
@@ -108,17 +113,14 @@ func Open(p Params) (*Engine, error) {
 		return nil, err
 	}
 	if _, _, err := bs.Latest(); err == nil {
-		bs.Close()
-		return nil, ErrExistingDatabase
+		return nil, errors.Join(ErrExistingDatabase, bs.Close())
 	}
 	if has, err := wal.HasRecords(filepath.Join(p.Dir, logFileName)); err != nil {
-		bs.Close()
-		return nil, err
+		return nil, errors.Join(err, bs.Close())
 	} else if has {
 		// A crash before the first checkpoint leaves durable log records
 		// but no complete backup; that state is recoverable too.
-		bs.Close()
-		return nil, ErrExistingDatabase
+		return nil, errors.Join(ErrExistingDatabase, bs.Close())
 	}
 	lg, err := wal.Open(filepath.Join(p.Dir, logFileName), wal.Options{
 		StableTail:    p.StableTail,
@@ -126,8 +128,7 @@ func Open(p Params) (*Engine, error) {
 		FlushInterval: p.LogFlushInterval,
 	})
 	if err != nil {
-		bs.Close()
-		return nil, err
+		return nil, errors.Join(err, bs.Close())
 	}
 	e := newEngine(p, st, lg, bs, 1, 1)
 	e.start()
@@ -149,7 +150,7 @@ func newEngine(p Params, st *storage.Store, lg *wal.Log, bs *backup.Store, nextC
 	for code, fn := range p.Operations {
 		// Params-supplied operations silently skip built-in collisions;
 		// Validate rejected them already.
-		e.ops[code] = fn
+		e.ops[code] = fn //nolint:lockcheck // e is not shared until newEngine returns
 	}
 	e.clock.Store(clock0)
 	e.txnCond = sync.NewCond(&e.txnMu)
@@ -265,6 +266,7 @@ func (e *Engine) activeTxnList() []wal.ActiveTxn {
 	return e.activeTxnListLocked()
 }
 
+// lockcheck:held e.txnMu
 func (e *Engine) activeTxnListLocked() []wal.ActiveTxn {
 	list := make([]wal.ActiveTxn, 0, len(e.activeTxns))
 	for id, tx := range e.activeTxns {

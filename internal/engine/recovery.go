@@ -77,7 +77,7 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 	ok := false
 	defer func() {
 		if !ok {
-			bs.Close()
+			bs.Close() //nolint:errcheckwal // best-effort cleanup; the recovery error takes precedence
 		}
 	}()
 
@@ -142,8 +142,7 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 		return nil
 	})
 	if err != nil {
-		reader.Close()
-		return nil, nil, fmt.Errorf("engine: recovery: locate log end: %w", err)
+		return nil, nil, errors.Join(fmt.Errorf("engine: recovery: locate log end: %w", err), reader.Close())
 	}
 	rep.LogEndLSN = validEnd
 
@@ -153,28 +152,27 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 		// in the durable log and agree with the backup metadata.
 		marker, merr := reader.FindCheckpoint(validEnd, info.ID)
 		if merr != nil {
-			reader.Close()
-			return nil, nil, fmt.Errorf("engine: recovery: %w", merr)
+			return nil, nil, errors.Join(fmt.Errorf("engine: recovery: %w", merr), reader.Close())
 		}
 		if marker.LSN != info.BeginLSN || marker.ScanStart != info.ScanStartLSN {
-			reader.Close()
-			return nil, nil, fmt.Errorf("engine: recovery: marker/metadata mismatch: marker at %d (scan %d), metadata says %d (scan %d)",
-				marker.LSN, marker.ScanStart, info.BeginLSN, info.ScanStartLSN)
+			return nil, nil, errors.Join(
+				fmt.Errorf("engine: recovery: marker/metadata mismatch: marker at %d (scan %d), metadata says %d (scan %d)",
+					marker.LSN, marker.ScanStart, info.BeginLSN, info.ScanStartLSN),
+				reader.Close())
 		}
 	}
 
 	committed := make(map[uint64]bool)
 	err = reader.Scan(rep.ScanStartLSN, func(e wal.Entry) error {
 		rep.RecordsScanned++
-		rep.LogBytesRead += int64(e.Next - e.LSN)
+		rep.LogBytesRead += e.Next.Sub(e.LSN)
 		if e.Rec.Type == wal.TypeCommit {
 			committed[e.Rec.TxnID] = true
 		}
 		return nil
 	})
 	if err != nil {
-		reader.Close()
-		return nil, nil, fmt.Errorf("engine: recovery: commit scan: %w", err)
+		return nil, nil, errors.Join(fmt.Errorf("engine: recovery: commit scan: %w", err), reader.Close())
 	}
 	rep.TxnsReplayed = len(committed)
 
@@ -225,9 +223,12 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 		rep.UpdatesApplied++
 		return nil
 	})
-	reader.Close()
+	cerr := reader.Close()
 	if err != nil {
-		return nil, nil, fmt.Errorf("engine: recovery: redo: %w", err)
+		return nil, nil, errors.Join(fmt.Errorf("engine: recovery: redo: %w", err), cerr)
+	}
+	if cerr != nil {
+		return nil, nil, fmt.Errorf("engine: recovery: close log reader: %w", cerr)
 	}
 
 	// Discard the torn tail so the re-opened log appends cleanly.
@@ -259,6 +260,9 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 	other := 1 - copyIdx
 	for i := 0; i < st.NumSegments(); i++ {
 		seg := st.Seg(i)
+		// Recovery is single-threaded here (the engine has not started),
+		// so the latch is uncontended; held for the guarded_by invariant.
+		seg.Lock()
 		if touched[i] {
 			// Replayed content is durable (it came from the log), so
 			// flushing it to either copy needs no further LSN wait.
@@ -273,6 +277,7 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 			seg.Dirty[0] = touched[i]
 			seg.Dirty[1] = touched[i]
 		}
+		seg.Unlock()
 	}
 	rep.Elapsed = time.Since(started)
 	ok = true

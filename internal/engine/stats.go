@@ -32,11 +32,16 @@ type counters struct {
 	compactBytes     atomic.Uint64
 	compactErrors    atomic.Uint64
 
-	ckptMu        sync.Mutex
+	// ckptMu guards the checkpoint timing aggregates below.
+	ckptMu sync.Mutex
+	// guarded_by:ckptMu
 	ckptTotalTime time.Duration
-	ckptLastTime  time.Duration
-	lastInterval  time.Duration
-	lastBegin     time.Time
+	// guarded_by:ckptMu
+	ckptLastTime time.Duration
+	// guarded_by:ckptMu
+	lastInterval time.Duration
+	// guarded_by:ckptMu
+	lastBegin time.Time
 }
 
 // bumpCOULive tracks the live old-copy count and its peak (the paper notes

@@ -82,7 +82,7 @@ func (e *Engine) sweepTwoColor(run *ckptRun) (flushed, skipped int, bytes int64,
 				e.locks.Unlock(checkpointerOwner, segKey(i))
 				return werr
 			}
-			ferr := e.flushSegment(run, i, seg.Data)
+			ferr := e.flushSegment(run, i, seg.Data) //nolint:lockcheck // stable: the lock-manager S lock excludes writers (see comment above)
 			e.locks.Unlock(checkpointerOwner, segKey(i))
 			if ferr != nil {
 				return ferr

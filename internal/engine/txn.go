@@ -264,9 +264,7 @@ func (tx *Txn) install(commitEnd wal.LSN) {
 		}
 		copy(seg.Data[off:off+rb], img)
 		seg.TS = tx.ts
-		if seg.LastLSN == wal.NilLSN || commitEnd > seg.LastLSN {
-			seg.LastLSN = commitEnd
-		}
+		seg.LastLSN = wal.MaxLSN(seg.LastLSN, commitEnd)
 		seg.Dirty[0] = true
 		seg.Dirty[1] = true
 		seg.Unlock()
@@ -293,7 +291,8 @@ func (tx *Txn) abortInternal() {
 		// Best effort: a failed append means the engine is stopping, and
 		// redo-only recovery ignores the transaction anyway (no commit
 		// record).
-		_, _, _ = e.log.Append(&wal.Record{Type: wal.TypeAbort, TxnID: tx.id})
+		_, _, _ = e.log.Append(&wal.Record{Type: wal.TypeAbort, TxnID: tx.id}) //nolint:errcheckwal // see above
+
 	}
 	e.locks.ReleaseAll(tx.id)
 	e.finishTxn(tx)

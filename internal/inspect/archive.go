@@ -54,7 +54,7 @@ func Archive(dir string, w io.Writer) (segments int, logBytes int64, err error) 
 	if err != nil {
 		return 0, 0, err
 	}
-	defer bs.Close()
+	defer bs.Close() //nolint:errcheckwal // read-only inspection handle
 	copyIdx, info, err := bs.Latest()
 	if err != nil {
 		return 0, 0, fmt.Errorf("inspect: archive: %w", err)
@@ -64,7 +64,7 @@ func Archive(dir string, w io.Writer) (segments int, logBytes int64, err error) 
 	if err != nil {
 		return 0, 0, err
 	}
-	defer r.Close()
+	defer r.Close() //nolint:errcheckwal // read-only inspection handle
 	validEnd, err := r.ValidEnd(info.ScanStartLSN)
 	if err != nil {
 		return 0, 0, err
@@ -123,7 +123,7 @@ func Archive(dir string, w io.Writer) (segments int, logBytes int64, err error) 
 		return segments, 0, err
 	}
 
-	logBytes = int64(validEnd - info.ScanStartLSN)
+	logBytes = validEnd.Sub(info.ScanStartLSN)
 	if err := binary.Write(w, binary.LittleEndian, uint64(logBytes)); err != nil {
 		return segments, 0, err
 	}
@@ -139,7 +139,7 @@ func Archive(dir string, w io.Writer) (segments int, logBytes int64, err error) 
 
 // RestoreArchive reads an archive and materializes a recoverable database
 // directory at dir (which must not already hold one).
-func RestoreArchive(src io.Reader, dir string) (*RestoreInfo, error) {
+func RestoreArchive(src io.Reader, dir string) (ri *RestoreInfo, err error) {
 	magic := make([]byte, len(archiveMagic))
 	if _, err := io.ReadFull(src, magic); err != nil || string(magic) != archiveMagic {
 		return nil, ErrNotArchive
@@ -167,7 +167,13 @@ func RestoreArchive(src io.Reader, dir string) (*RestoreInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer bs.Close()
+	// The restore writes through bs, so its close error is part of the
+	// result: a restore that cannot persist its metadata did not succeed.
+	defer func() {
+		if cerr := bs.Close(); cerr != nil {
+			ri, err = nil, errors.Join(err, cerr)
+		}
+	}()
 	if _, _, err := bs.Latest(); err == nil {
 		return nil, errors.New("inspect: restore: directory already holds a database")
 	}
@@ -202,7 +208,7 @@ func RestoreArchive(src io.Reader, dir string) (*RestoreInfo, error) {
 	if err := binary.Read(src, binary.LittleEndian, &logLen); err != nil {
 		return nil, fmt.Errorf("inspect: restore: missing log: %w", err)
 	}
-	if wal.LSN(logLen) != hdr.LogEnd-hdr.LogStart {
+	if int64(logLen) != hdr.LogEnd.Sub(hdr.LogStart) {
 		return nil, errors.New("inspect: restore: log length disagrees with header")
 	}
 	n, err := wal.CreateAt(filepath.Join(dir, logFileName), hdr.LogStart,

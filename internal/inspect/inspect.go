@@ -84,7 +84,7 @@ func Info(dir string) (*DirInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer bs.Close()
+	defer bs.Close() //nolint:errcheckwal // read-only inspection handle
 
 	di := &DirInfo{Geometry: geo}
 	for c := 0; c < storage.NumBackupCopies; c++ {
@@ -113,7 +113,7 @@ func scanLog(dir string) (*LogInfo, error) {
 		}
 		return nil, err
 	}
-	defer r.Close()
+	defer r.Close() //nolint:errcheckwal // read-only inspection handle
 	li := &LogInfo{
 		Base:    r.Base(),
 		FileEnd: r.Size(),
@@ -128,7 +128,7 @@ func scanLog(dir string) (*LogInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	li.TornBytes = int64(li.FileEnd - li.ValidEnd)
+	li.TornBytes = li.FileEnd.Sub(li.ValidEnd)
 	return li, nil
 }
 
@@ -152,7 +152,7 @@ func Verify(dir string) (*VerifyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer bs.Close()
+	defer bs.Close() //nolint:errcheckwal // read-only inspection handle
 	res := &VerifyResult{}
 	for c := 0; c < storage.NumBackupCopies; c++ {
 		n, err := bs.Verify(c)
@@ -178,8 +178,8 @@ func IterateLog(dir string, from wal.LSN, limit int, fn func(wal.Entry) error) (
 	if err != nil {
 		return 0, err
 	}
-	defer r.Close()
-	if from < r.Base() {
+	defer r.Close() //nolint:errcheckwal // read-only inspection handle
+	if from.Before(r.Base()) {
 		from = r.Base()
 	}
 	n := 0

@@ -34,7 +34,7 @@ func (m *Manager) noteWaiting(owner, key uint64) error {
 
 	if m.cycleFrom(owner) {
 		m.clearWaiting(owner)
-		m.count(&m.deadlocks)
+		m.deadlocks.Add(1)
 		return ErrDeadlockDetected
 	}
 	return nil

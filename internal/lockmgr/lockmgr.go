@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -124,9 +125,12 @@ func (ls *lockState) compatibleWithHolders(owner uint64, mode Mode) bool {
 const numShards = 64
 
 type shard struct {
-	mu       sync.Mutex
-	locks    map[uint64]*lockState
-	holdings map[uint64]map[uint64]Mode // owner -> key -> mode
+	mu sync.Mutex
+	// locks is the lock table of this shard. guarded_by:mu
+	locks map[uint64]*lockState
+	// holdings maps owner -> key -> mode. guarded_by:mu
+	holdings map[uint64]map[uint64]Mode
+	// shutdown fails new requests once set. guarded_by:mu
 	shutdown bool
 }
 
@@ -134,25 +138,25 @@ type shard struct {
 type Manager struct {
 	shards [numShards]shard
 
-	// Counters for the paper's C_lock accounting; guarded by statMu.
-	statMu    sync.Mutex
-	acquires  uint64
-	releases  uint64
-	waits     uint64
-	timeouts  uint64
-	deadlocks uint64
+	// Counters for the paper's C_lock accounting.
+	acquires  atomic.Uint64
+	releases  atomic.Uint64
+	waits     atomic.Uint64
+	timeouts  atomic.Uint64
+	deadlocks atomic.Uint64
 
-	// Waits-for registry for deadlock detection; guarded by waitMu.
-	waitMu     sync.Mutex
-	waitingFor map[uint64]uint64 // owner → key it waits for
+	waitMu sync.Mutex
+	// waitingFor is the waits-for registry for deadlock detection,
+	// mapping owner → key it waits for. guarded_by:waitMu
+	waitingFor map[uint64]uint64
 }
 
 // New returns an empty lock manager.
 func New() *Manager {
 	m := &Manager{waitingFor: make(map[uint64]uint64)}
 	for i := range m.shards {
-		m.shards[i].locks = make(map[uint64]*lockState)
-		m.shards[i].holdings = make(map[uint64]map[uint64]Mode)
+		m.shards[i].locks = make(map[uint64]*lockState)         //nolint:lockcheck // not shared until New returns
+		m.shards[i].holdings = make(map[uint64]map[uint64]Mode) //nolint:lockcheck // not shared until New returns
 	}
 	return m
 }
@@ -174,16 +178,8 @@ type Stats struct {
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
-	m.statMu.Lock()
-	defer m.statMu.Unlock()
-	return Stats{Acquires: m.acquires, Releases: m.releases, Waits: m.waits,
-		Timeouts: m.timeouts, Deadlocks: m.deadlocks}
-}
-
-func (m *Manager) count(field *uint64) {
-	m.statMu.Lock()
-	*field++
-	m.statMu.Unlock()
+	return Stats{Acquires: m.acquires.Load(), Releases: m.releases.Load(),
+		Waits: m.waits.Load(), Timeouts: m.timeouts.Load(), Deadlocks: m.deadlocks.Load()}
 }
 
 // Lock acquires key in mode for owner, waiting up to timeout. A request
@@ -222,7 +218,7 @@ func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) erro
 		ls.holders[owner] = want
 		m.recordHolding(sh, owner, key, want)
 		sh.mu.Unlock()
-		m.count(&m.acquires)
+		m.acquires.Add(1)
 		return nil
 	}
 
@@ -234,7 +230,7 @@ func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) erro
 		ls.queue = append(ls.queue, w)
 	}
 	sh.mu.Unlock()
-	m.count(&m.waits)
+	m.waits.Add(1)
 
 	// The wait is registered in the waits-for graph; if it closes a
 	// cycle, fail now instead of stalling until the timeout.
@@ -246,7 +242,7 @@ func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) erro
 		if err := <-w.ready; err != nil {
 			return err
 		}
-		m.count(&m.acquires)
+		m.acquires.Add(1)
 		return nil
 	}
 	defer m.clearWaiting(owner)
@@ -264,7 +260,7 @@ func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) erro
 		if err != nil {
 			return err
 		}
-		m.count(&m.acquires)
+		m.acquires.Add(1)
 		return nil
 	case <-timeoutC:
 		// Remove ourselves from the queue; a concurrent grant may have
@@ -273,10 +269,10 @@ func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) erro
 			if err := <-w.ready; err != nil {
 				return err
 			}
-			m.count(&m.acquires)
+			m.acquires.Add(1)
 			return nil
 		}
-		m.count(&m.timeouts)
+		m.timeouts.Add(1)
 		return ErrTimeout
 	}
 }
@@ -326,9 +322,7 @@ func (m *Manager) TryLock(owner, key uint64, mode Mode) bool {
 	if ls.compatibleWithHolders(owner, want) && (len(ls.queue) == 0 || isHolder) {
 		ls.holders[owner] = want
 		m.recordHolding(sh, owner, key, want)
-		m.statMu.Lock()
-		m.acquires++
-		m.statMu.Unlock()
+		m.acquires.Add(1)
 		return true
 	}
 	if ls.empty() {
@@ -338,6 +332,7 @@ func (m *Manager) TryLock(owner, key uint64, mode Mode) bool {
 }
 
 // recordHolding updates the owner->keys index. Caller holds sh.mu.
+// lockcheck:held sh.mu
 func (m *Manager) recordHolding(sh *shard, owner, key uint64, mode Mode) {
 	hk := sh.holdings[owner]
 	if hk == nil {
@@ -349,6 +344,7 @@ func (m *Manager) recordHolding(sh *shard, owner, key uint64, mode Mode) {
 
 // grantLocked promotes queued waiters in FIFO order while they are
 // compatible. Caller holds sh.mu.
+// lockcheck:held sh.mu
 func (m *Manager) grantLocked(sh *shard, key uint64, ls *lockState) {
 	for len(ls.queue) > 0 {
 		w := ls.queue[0]
@@ -392,9 +388,7 @@ func (m *Manager) Unlock(owner, key uint64) {
 			delete(sh.holdings, owner)
 		}
 	}
-	m.statMu.Lock()
-	m.releases++
-	m.statMu.Unlock()
+	m.releases.Add(1)
 	m.grantLocked(sh, key, ls)
 	if ls.empty() {
 		delete(sh.locks, key)
@@ -428,9 +422,7 @@ func (m *Manager) ReleaseAll(owner uint64) int {
 		sh.mu.Unlock()
 	}
 	if released > 0 {
-		m.statMu.Lock()
-		m.releases += uint64(released)
-		m.statMu.Unlock()
+		m.releases.Add(uint64(released))
 	}
 	return released
 }

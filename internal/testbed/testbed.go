@@ -123,7 +123,7 @@ func (s Scenario) ModelParams() analytic.Params {
 }
 
 // Run executes one scenario.
-func Run(s Scenario) (*Result, error) {
+func Run(s Scenario) (res *Result, err error) {
 	s = s.withDefaults()
 	if s.Writers < 1 || s.Txns < s.Writers {
 		return nil, errors.New("testbed: need at least one writer and one transaction per writer")
@@ -156,7 +156,11 @@ func Run(s Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer db.Close()
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			res, err = nil, cerr
+		}
+	}()
 
 	// Calibration: an empty partial checkpoint measures the fixed
 	// per-checkpoint cost of this machine (metadata writes and syncs),

@@ -72,21 +72,32 @@ type Options struct {
 // may be written to the backup database only when the log is durable past
 // the segment's last update.
 type Log struct {
-	mu        sync.Mutex
-	f         *os.File
-	path      string
-	opts      Options
-	base      LSN    // LSN at file offset fileHeaderSize (head compaction)
-	tail      []byte // appended but unflushed bytes
-	tailStart LSN    // LSN of tail[0]
-	nextLSN   LSN    // LSN of the next append
-	flushed   atomic.Uint64
-	closed    bool
-	crashed   bool
+	mu sync.Mutex
+	// f is the log file handle. guarded_by:mu
+	f    *os.File
+	path string
+	opts Options
+	// base is the LSN at file offset fileHeaderSize (head compaction).
+	// guarded_by:mu
+	base LSN
+	// tail holds appended but unflushed bytes. guarded_by:mu
+	tail []byte
+	// tailStart is the LSN of tail[0]. guarded_by:mu
+	tailStart LSN
+	// nextLSN is the LSN of the next append. guarded_by:mu
+	nextLSN LSN
+	flushed atomic.Uint64
+	// closed and crashed record terminal states. guarded_by:mu
+	closed bool
+	// guarded_by:mu
+	crashed bool
 
 	flushCond *sync.Cond
 
+	// stopFlusher and flusherDone control the group-commit goroutine.
+	// guarded_by:mu
 	stopFlusher chan struct{}
+	// guarded_by:mu
 	flusherDone chan struct{}
 
 	// Stats counters (atomic; safe to read concurrently).
@@ -144,9 +155,10 @@ func Open(path string, opts Options) (*Log, error) {
 	l.flushed.Store(uint64(end))
 	l.flushCond = sync.NewCond(&l.mu)
 	if opts.FlushInterval > 0 {
-		l.stopFlusher = make(chan struct{})
-		l.flusherDone = make(chan struct{})
-		go l.flushLoop(l.stopFlusher, l.flusherDone)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		l.stopFlusher, l.flusherDone = stop, done //nolint:lockcheck // l is not shared until Open returns
+		go l.flushLoop(stop, done)
 	}
 	return l, nil
 }
@@ -160,7 +172,7 @@ func (l *Log) flushLoop(stop <-chan struct{}, done chan<- struct{}) {
 		case <-t.C:
 			// Best effort: a failed background flush surfaces on the next
 			// explicit Flush or WaitDurable.
-			_ = l.Flush()
+			_ = l.Flush() //nolint:errcheckwal // see above
 		case <-stop:
 			return
 		}
@@ -215,6 +227,7 @@ func (l *Log) Flush() error {
 	return l.flushLocked()
 }
 
+// lockcheck:held l.mu
 func (l *Log) flushLocked() error {
 	if l.closed {
 		return ErrClosed
@@ -472,6 +485,7 @@ func HasRecords(path string) (bool, error) {
 
 // stopFlusherLocked stops the background flusher. Must hold l.mu; releases
 // and reacquires it while waiting for the goroutine to exit.
+// lockcheck:held l.mu
 func (l *Log) stopFlusherLocked() {
 	if l.stopFlusher == nil {
 		return

@@ -1,0 +1,57 @@
+package wal
+
+// Typed LSN helpers. Outside this package, LSNs must be compared and
+// advanced through these (enforced by the lsncheck analyzer; see
+// lint/lsncheck): NilLSN is ^LSN(0), so raw ordered comparison silently
+// sorts "no LSN" after every real log position and raw arithmetic can
+// wrap it. Equality against NilLSN stays idiomatic with == / !=.
+
+// IsNil reports whether l is the "no LSN" sentinel.
+func (l LSN) IsNil() bool { return l == NilLSN }
+
+// Before reports whether l is strictly earlier in the log than o.
+// NilLSN is not earlier than anything.
+func (l LSN) Before(o LSN) bool { return !l.IsNil() && l < o }
+
+// AtOrAfter reports whether l is at or past o in the log.
+func (l LSN) AtOrAfter(o LSN) bool { return !l.IsNil() && l >= o }
+
+// Advance returns the LSN n bytes past l. Advancing NilLSN is invalid
+// and returns NilLSN unchanged.
+func (l LSN) Advance(n int) LSN {
+	if l.IsNil() {
+		return l
+	}
+	return l + LSN(n)
+}
+
+// Sub returns the byte distance from o to l (l - o). Both must be real
+// LSNs; the result for NilLSN operands is unspecified.
+func (l LSN) Sub(o LSN) int64 { return int64(l) - int64(o) }
+
+// MaxLSN returns the later of a and b, treating NilLSN as "unset": the
+// maximum of a real LSN and NilLSN is the real one. This is the
+// watermark-update helper (e.g. a segment's LastLSN).
+func MaxLSN(a, b LSN) LSN {
+	switch {
+	case a.IsNil():
+		return b
+	case b.IsNil():
+		return a
+	case a < b:
+		return b
+	default:
+		return a
+	}
+}
+
+// MinLSN returns the earlier of a and b. NilLSN, being the largest
+// encoding, naturally acts as +infinity: the minimum of a real LSN and
+// NilLSN is the real one. This is the scan-start / compaction-keep
+// helper.
+func MinLSN(a, b LSN) LSN {
+	if a < b {
+		return a
+	}
+	return b
+}

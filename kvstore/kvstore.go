@@ -49,9 +49,11 @@ var (
 type Store struct {
 	db *mmdb.DB
 
-	mu   sync.RWMutex
-	idx  *index.TTree
-	free []uint64 // free record slots (LIFO)
+	mu sync.RWMutex
+	// idx is the volatile key → record-ID index. guarded_by:mu
+	idx *index.TTree
+	// free holds free record slots (LIFO). guarded_by:mu
+	free []uint64
 }
 
 // MaxKeyBytes is the largest supported key.
@@ -66,15 +68,18 @@ func Open(cfg mmdb.Config) (*Store, *mmdb.RecoveryReport, error) {
 		return nil, nil, err
 	}
 	s := &Store{db: db}
-	if err := s.rebuild(); err != nil {
-		db.Close()
-		return nil, nil, err
+	s.mu.Lock()
+	err = s.rebuild()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, nil, errors.Join(err, db.Close())
 	}
 	return s, rep, nil
 }
 
 // rebuild scans every record and reconstructs the index and free list —
 // the post-recovery index build of a main-memory database.
+// lockcheck:held s.mu
 func (s *Store) rebuild() error {
 	s.idx = index.New(0)
 	s.free = s.free[:0]

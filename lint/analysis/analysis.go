@@ -1,0 +1,106 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package at a time and reports Diagnostics.
+//
+// The repository builds offline (no module proxy), so it cannot vendor
+// x/tools; this package provides just enough of the same shape — Analyzer,
+// Pass, Diagnostic, a vet-protocol driver (package unitchecker), and a
+// fixture harness (package analysistest) — for the mmdblint analyzers. The
+// deliberate differences from x/tools:
+//
+//   - Facts are syntactic, not type-based: an analyzer may supply an
+//     ExtractFacts hook that runs over a parsed (but not type-checked)
+//     dependency and returns a JSON-serializable value. The unitchecker
+//     propagates them through go vet's .vetx files.
+//   - Suppression is built in: a trailing "//nolint:name1,name2" (or bare
+//     "//nolint") comment silences diagnostics on its line.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -<name> enable flags,
+	// and //nolint:<name> suppressions. It must be a valid identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+
+	// ExtractFacts, if non-nil, computes package-level facts from parsed
+	// source. It runs on the current package and (via the unitchecker's
+	// .vetx plumbing) on its dependencies, without type information, and
+	// must return a JSON-serializable value or nil when the package
+	// contributes nothing.
+	ExtractFacts func(fset *token.FileSet, pkgPath string, files []*ast.File) any
+
+	// Run performs the check on one type-checked package.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Facts maps a package import path to this analyzer's encoded facts
+	// for that package: the current package, its dependencies, and —
+	// transitively, because each vet pass re-exports the facts it
+	// imported — their dependencies.
+	Facts map[string]json.RawMessage
+
+	report func(Diagnostic)
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// DecodeFacts unmarshals the analyzer's facts for pkgPath into out and
+// reports whether any were present.
+func (p *Pass) DecodeFacts(pkgPath string, out any) (bool, error) {
+	raw, ok := p.Facts[pkgPath]
+	if !ok || len(raw) == 0 {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("%s: bad facts for %q: %v", p.Analyzer.Name, pkgPath, err)
+	}
+	return true, nil
+}
+
+// Diagnostic is one finding, tied to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// NewTypesInfo returns a types.Info with every map allocated, as the
+// drivers pass to types.Config.Check.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

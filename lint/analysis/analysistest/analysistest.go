@@ -1,0 +1,275 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against "// want" comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Each fixture package lives in testdata/src/<name> and is loaded with
+// the source importer: standard-library imports are type-checked from
+// GOROOT source (the offline build has no export data for x/tools-style
+// loaders), and imports of sibling fixture packages resolve within
+// testdata/src, which is how cross-package facts are exercised.
+//
+// Expectation syntax, on the line where a diagnostic is expected:
+//
+//	x.f = 1 // want "without holding" "second diagnostic regexp"
+//
+// Every diagnostic must match exactly one want pattern on its line and
+// vice versa.
+package analysistest
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mmdb/lint/analysis"
+)
+
+// TestData returns the absolute path of the caller's testdata directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each named fixture package from dir/src and applies the
+// analyzer, reporting mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		if err := runOne(dir, a, name); err != nil {
+			t.Errorf("%s/%s: %v", a.Name, name, err)
+		}
+	}
+}
+
+func runOne(dir string, a *analysis.Analyzer, name string) error {
+	ld := newLoader(filepath.Join(dir, "src"))
+	lp, err := ld.load(name)
+	if err != nil {
+		return fmt.Errorf("loading fixture: %v", err)
+	}
+
+	// Facts for the fixture package and everything it pulled in from
+	// testdata/src (mirroring what the unitchecker assembles from .vetx).
+	factsByPkg := make(map[string]json.RawMessage)
+	for path, dep := range ld.loaded {
+		f, err := analysis.ExtractAllFacts([]*analysis.Analyzer{a}, ld.fset, path, dep.files)
+		if err != nil {
+			return err
+		}
+		if raw, ok := f[a.Name]; ok {
+			factsByPkg[path] = raw
+		}
+	}
+
+	diags, err := analysis.Run(&analysis.Package{
+		Path:  name,
+		Fset:  ld.fset,
+		Files: lp.files,
+		Types: lp.types,
+		Info:  lp.info,
+		Facts: map[string]map[string]json.RawMessage{a.Name: factsByPkg},
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		return err
+	}
+	return checkWants(ld.fset, lp.files, diags)
+}
+
+// want is one expectation parsed from a "// want" comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// parseWants extracts expectations from the fixture's comments.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(text[len("want"):])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						return nil, fmt.Errorf("%v: malformed want pattern %q", pos, rest)
+					}
+					end := findStringEnd(rest)
+					if end < 0 {
+						return nil, fmt.Errorf("%v: unterminated want pattern %q", pos, rest)
+					}
+					lit := rest[:end]
+					rest = strings.TrimSpace(rest[end:])
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%v: bad want literal %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%v: bad want regexp %q: %v", pos, s, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: s})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// findStringEnd returns the index just past the Go string literal at the
+// start of s, or -1.
+func findStringEnd(s string) int {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && quote == '"':
+			i++
+		case s[i] == quote:
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// checkWants matches diagnostics against expectations 1:1 per line.
+func checkWants(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) error {
+	wants, err := parseWants(fset, files)
+	if err != nil {
+		return err
+	}
+	var errs []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			errs = append(errs, fmt.Sprintf("%v: unexpected diagnostic: %s", pos, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			errs = append(errs, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw))
+		}
+	}
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return fmt.Errorf("%s", strings.Join(errs, "\n"))
+	}
+	return nil
+}
+
+// loadedPkg is one parsed+type-checked fixture package.
+type loadedPkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader resolves imports from testdata/src first and falls back to the
+// GOROOT source importer for everything else.
+type loader struct {
+	root     string
+	fset     *token.FileSet
+	loaded   map[string]*loadedPkg
+	loading  map[string]bool
+	fallback types.ImporterFrom
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:    root,
+		fset:    fset,
+		loaded:  make(map[string]*loadedPkg),
+		loading: make(map[string]bool),
+		// The source importer needs our FileSet so positions in fixture
+		// diagnostics stay coherent.
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.root, path); dirExists(dir) {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.types, nil
+	}
+	return ld.fallback.ImportFrom(path, ld.root, 0)
+}
+
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := ld.loaded[path]; ok {
+		return lp, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through fixture %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := filepath.Join(ld.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	tc := &types.Config{Importer: ld, Error: func(error) {}}
+	info := analysis.NewTypesInfo()
+	pkg, err := tc.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", path, err)
+	}
+	lp := &loadedPkg{files: files, types: pkg, info: info}
+	ld.loaded[path] = lp
+	return lp, nil
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Drivers
+// (the unitchecker and analysistest) construct it; Run consumes it.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// Facts maps analyzer name → package path → encoded facts.
+	Facts map[string]map[string]json.RawMessage
+}
+
+// Run applies each analyzer to pkg and returns the surviving diagnostics
+// (suppressions applied) sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	suppr := buildSuppressions(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		facts := pkg.Facts[a.Name]
+		if facts == nil {
+			facts = make(map[string]json.RawMessage)
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Facts:     facts,
+		}
+		pass.report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			if !suppr.suppressed(pkg.Fset, d) {
+				out = append(out, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// ExtractAllFacts runs every analyzer's ExtractFacts hook over a parsed
+// package and returns the non-nil results encoded, keyed by analyzer name.
+func ExtractAllFacts(analyzers []*Analyzer, fset *token.FileSet, pkgPath string, files []*ast.File) (map[string]json.RawMessage, error) {
+	out := make(map[string]json.RawMessage)
+	for _, a := range analyzers {
+		if a.ExtractFacts == nil {
+			continue
+		}
+		v := a.ExtractFacts(fset, pkgPath, files)
+		if v == nil {
+			continue
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("%s: encoding facts for %q: %v", a.Name, pkgPath, err)
+		}
+		out[a.Name] = raw
+	}
+	return out, nil
+}
+
+// nolintRe matches "nolint" optionally followed by ":name1,name2" at the
+// start of a comment's text.
+var nolintRe = regexp.MustCompile(`^nolint(?::([\w,]+))?\b`)
+
+// suppressions records, per file and line, which analyzers are silenced.
+// The empty string key means "all analyzers".
+type suppressions map[string]map[int]map[string]bool
+
+func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	s := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := nolintRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := s[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					s[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					byLine[pos.Line] = names
+				}
+				if m[1] == "" {
+					names[""] = true
+				} else {
+					for _, n := range strings.Split(m[1], ",") {
+						names[n] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	names := s[pos.Filename][pos.Line]
+	return names[""] || names[d.Analyzer]
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// Several mmdblint analyzers restrict themselves to non-test code.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

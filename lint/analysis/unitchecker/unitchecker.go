@@ -1,0 +1,290 @@
+// Package unitchecker implements go vet's (unpublished) vet-tool
+// protocol for the mini analysis framework, so a binary built from a
+// Main() call can be run as
+//
+//	go vet -vettool=$(which mmdblint) ./...
+//
+// The protocol, reverse-engineered from cmd/go/internal/work and
+// cmd/go/internal/vet (and implemented for x/tools by
+// golang.org/x/tools/go/analysis/unitchecker):
+//
+//  1. The go command probes the tool once with -V=full (a build-ID
+//     handshake: the reply must look like "name version ver") and once
+//     with -flags (a JSON description of the tool's flags).
+//  2. For the target packages and every dependency it then invokes the
+//     tool with a single argument: a JSON "vet.cfg" file describing one
+//     type-checked package — source files, the import map, and the
+//     export-data file for each dependency.
+//  3. Dependency invocations carry VetxOnly=true: the tool only computes
+//     "facts" and writes them to VetxOutput; diagnostics are reported
+//     only for the packages named on the vet command line.
+//
+// Type-checking uses the gc export data the go command already built for
+// the compiler, via go/importer's lookup hook, so no network or module
+// proxy access is needed.
+package unitchecker
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"mmdb/lint/analysis"
+)
+
+// Config mirrors cmd/go/internal/work.vetConfig (the subset we consume).
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// vetx is the on-disk facts format: analyzer name → package path →
+// encoded facts. Each pass re-exports the facts it imported, so facts
+// flow transitively even though go vet only hands a pass its direct
+// dependencies' .vetx files.
+type vetx map[string]map[string]json.RawMessage
+
+// Main runs the vet-tool protocol for the given analyzers and exits.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := "mmdblint"
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	vFlag := fs.String("V", "", "print version and exit (-V=full for the go command handshake)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, false, "run only the "+a.Name+" analyzer (-"+a.Name+"=false to skip it)")
+	}
+	fs.Parse(os.Args[1:])        //nolint:errcheckwal // ExitOnError
+	set := make(map[string]bool) // flags explicitly given, so =false is distinguishable from unset
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *vFlag != "" {
+		// The go command parses this line to build the vet action's cache
+		// key; it requires the literal word "version" in field two.
+		fmt.Printf("%s version v1.0.0\n", progname)
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		type flagDesc struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var descs []flagDesc
+		for _, a := range analyzers {
+			descs = append(descs, flagDesc{Name: a.Name, Bool: true, Usage: "enable only " + a.Name})
+		}
+		json.NewEncoder(os.Stdout).Encode(descs) //nolint:errcheckwal // stdout
+		os.Exit(0)
+	}
+
+	// Per-analyzer flags follow go vet's conventions: naming any analyzer
+	// with -name runs just those; -name=false drops it from the default
+	// set.
+	anyTrue := false
+	for name := range set {
+		if on, ok := enabled[name]; ok && *on {
+			anyTrue = true
+		}
+	}
+	var selected []*analysis.Analyzer
+	for _, a := range analyzers {
+		switch {
+		case anyTrue && *enabled[a.Name]:
+			selected = append(selected, a)
+		case !anyTrue && !set[a.Name]:
+			selected = append(selected, a)
+		}
+	}
+
+	if fs.NArg() == 1 && fs.Arg(0) == "help" {
+		// go vet's generic usage message tells the user to run
+		// "<vettool> help for a full list of flags and analyzers".
+		fmt.Printf("%s is a suite of mmdb invariant analyzers run via go vet -vettool.\n\nRegistered analyzers:\n\n", progname)
+		for _, a := range analyzers {
+			fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("\nBy default all analyzers run; -<name> runs only the named ones, and\n-<name>=false skips one. Silence a justified finding with a trailing\n//nolint:<name> comment.\n")
+		os.Exit(0)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "%s: expected one vet.cfg argument, got %d (run via go vet -vettool)\n", progname, fs.NArg())
+		os.Exit(1)
+	}
+	diags, err := run(fs.Arg(0), analyzers, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// run processes one vet.cfg invocation. all is used for fact extraction
+// (facts must exist even for analyzers the user de-selected, so .vetx
+// contents don't depend on flag sets); selected are actually run.
+func run(cfgPath string, all, selected []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var parseErr error
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			parseErr = err
+			break
+		}
+		files = append(files, f)
+	}
+
+	// Gather facts: imported .vetx files first, then this package's own
+	// (skipped for standard-library packages — they carry no mmdb
+	// annotations — and for unparseable ones).
+	facts := make(vetx)
+	for _, path := range cfg.PackageVetx {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			continue // facts are an optimization; absence is not fatal
+		}
+		var v vetx
+		if json.Unmarshal(raw, &v) != nil {
+			continue
+		}
+		for name, byPkg := range v {
+			if facts[name] == nil {
+				facts[name] = make(map[string]json.RawMessage)
+			}
+			for pkg, f := range byPkg {
+				facts[name][pkg] = f
+			}
+		}
+	}
+	if parseErr == nil && cfg.ModulePath != "" {
+		own, err := analysis.ExtractAllFacts(all, fset, cfg.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		for name, f := range own {
+			if facts[name] == nil {
+				facts[name] = make(map[string]json.RawMessage)
+			}
+			facts[name][cfg.ImportPath] = f
+		}
+	}
+	if cfg.VetxOutput != "" {
+		raw, err := json.Marshal(facts)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, raw, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	if parseErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, parseErr
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	pkg, info, err := typecheck(&cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	byAnalyzer := make(map[string]map[string]json.RawMessage, len(facts))
+	for name, byPkg := range facts {
+		byAnalyzer[name] = byPkg
+	}
+	diags, err := analysis.Run(&analysis.Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+		Facts: byAnalyzer,
+	}, selected)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range diags {
+		// Absolute positions; the go command re-relativizes them.
+		fmt.Fprintf(os.Stderr, "%v: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return diags, nil
+}
+
+// typecheck type-checks the package against the export data the go
+// command supplied in the config.
+func typecheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tc := &types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		Error:     func(error) {}, // collect via returned error
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+	return pkg, info, nil
+}

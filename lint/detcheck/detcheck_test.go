@@ -1,0 +1,17 @@
+package detcheck_test
+
+import (
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/detcheck"
+)
+
+// Test covers the three bans (wall clock, global math/rand, ordered
+// output from map iteration) inside a deterministic package, and — as
+// false-positive regressions — seeded generators, injected *rand.Rand
+// methods, order-insensitive map loops, and the same banned calls in a
+// package that is not on the deterministic list.
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detcheck.Analyzer, "sim", "other")
+}

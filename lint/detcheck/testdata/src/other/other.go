@@ -1,0 +1,20 @@
+// Package other is not on the deterministic list: wall-clock time,
+// the global rand source, and map-order output are all allowed here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Wall() time.Time { return time.Now() }
+
+func Draw() float64 { return rand.Float64() }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wall() time.Time {
+	return time.Now() // want `call to time\.Now in deterministic package sim`
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `call to time\.Since in deterministic package sim`
+}
+
+func draw() float64 {
+	return rand.Float64() // want `call to global rand\.Float64 in deterministic package sim`
+}
+
+// seeded constructs an independent generator: allowed.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// drawFrom uses an injected generator: methods are never flagged.
+func drawFrom(r *rand.Rand) float64 { return r.Float64() }
+
+func names(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order feeds ordered output in deterministic package sim`
+		out = append(out, k)
+	}
+	return out
+}
+
+// total folds into an integer: order-insensitive, allowed.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func dump(m map[string]int) {
+	for k, v := range m { // want `map iteration order feeds ordered output in deterministic package sim`
+		fmt.Println(k, v)
+	}
+}
+
+// noisy carries a justification, so the diagnostic is suppressed.
+func noisy() time.Time {
+	return time.Now() //nolint:detcheck // debug timestamp, not simulation state
+}
+
+// use keeps the unexported helpers referenced.
+var (
+	_ = wall
+	_ = elapsed
+	_ = draw
+	_ = seeded
+	_ = drawFrom
+	_ = names
+	_ = total
+	_ = dump
+	_ = noisy
+)

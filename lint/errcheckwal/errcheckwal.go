@@ -1,0 +1,163 @@
+// Package errcheckwal reports discarded error returns from the
+// durability-critical packages: wal, storage, backup, engine, kvstore,
+// and the top-level mmdb facade. A dropped error from a log append,
+// segment flush, sync, commit, or close silently breaks the paper's
+// recovery guarantee — the transaction looks durable but its redo
+// records may never have reached the disk.
+//
+// Unlike the general-purpose errcheck, the net is scoped by callee
+// package (matched on the import path's last element) rather than by
+// call-site package, so a quickstart example that ignores tx.Commit()'s
+// error is flagged just like engine-internal code. Flagged forms:
+//
+//	l.Flush()            // expression statement discarding all results
+//	n, _ := l.Append(r)  // error position assigned to blank
+//	defer l.Close()      // deferred call discarding the error
+//	go bs.WriteSegment() // spawned call discarding the error
+//
+// Intentional drops (a best-effort append on an already-failing path)
+// must say so with //nolint:errcheckwal and a justification. Test files
+// are skipped.
+package errcheckwal
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"mmdb/lint/analysis"
+)
+
+// Analyzer is the errcheckwal analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcheckwal",
+	Doc:  "report discarded error returns from WAL, storage, backup, and engine calls",
+	Run:  run,
+}
+
+// ProtectedPkgs are the import-path bases whose error returns must be
+// consumed.
+var ProtectedPkgs = map[string]bool{
+	"wal":     true,
+	"storage": true,
+	"backup":  true,
+	"engine":  true,
+	"kvstore": true,
+	"mmdb":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardAll(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscardAll(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDiscardAll(pass, n.Call, "spawned ")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardAll flags a statement-position call that returns an error.
+func checkDiscardAll(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	fn := protectedCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	if errorResultIndex(fn) < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%scall to %s discards its error; durability depends on checking %s results",
+		how, qualifiedName(fn), path.Base(fn.Pkg().Path()))
+}
+
+// checkBlankAssign flags `n, _ := call()` where the blank slot holds the
+// error.
+func checkBlankAssign(pass *analysis.Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := protectedCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	results := fn.Type().(*types.Signature).Results()
+	if results.Len() != len(assign.Lhs) {
+		return // single-value context or mismatch; not our concern
+	}
+	for i, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if isErrorType(results.At(i).Type()) {
+			pass.Reportf(id.Pos(),
+				"error result of %s assigned to blank; durability depends on checking %s results",
+				qualifiedName(fn), path.Base(fn.Pkg().Path()))
+		}
+	}
+}
+
+// protectedCallee resolves the callee and returns it only when it
+// belongs to a protected package.
+func protectedCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || !ProtectedPkgs[path.Base(fn.Pkg().Path())] {
+		return nil
+	}
+	return fn
+}
+
+// errorResultIndex returns the index of the first error result, or -1.
+func errorResultIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+func qualifiedName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := types.Unalias(sig.Recv().Type())
+		if p, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(p.Elem())
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

@@ -1,0 +1,18 @@
+package errcheckwal_test
+
+import (
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/errcheckwal"
+)
+
+// Test covers the four flagged forms (statement discard, deferred
+// discard, spawned discard, blank-assigned error) against a stub "wal"
+// package, both from inside the protected package and from a consumer.
+// False-positive regressions: error-free results in statement position,
+// properly consumed errors, and an identical method on a package that
+// is not protected.
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errcheckwal.Analyzer, "wal", "client")
+}

@@ -1,0 +1,48 @@
+package client
+
+import (
+	"plain"
+	"wal"
+)
+
+func drops(l *wal.Log) {
+	l.Flush()             // want `call to Log\.Flush discards its error`
+	defer l.Close()       // want `deferred call to Log\.Close discards its error`
+	go l.Flush()          // want `spawned call to Log\.Flush discards its error`
+	n, _ := l.Append(nil) // want `error result of Log\.Append assigned to blank`
+	_ = n
+	wal.Open("x") // want `call to wal\.Open discards its error`
+}
+
+func handles(l *wal.Log) error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	n, err := l.Append(nil)
+	_ = n
+	if err != nil {
+		return err
+	}
+	// Len has no error result: statement position is fine.
+	l.Len()
+	return l.Close()
+}
+
+// bestEffort documents an intentional drop.
+func bestEffort(l *wal.Log) {
+	l.Flush() //nolint:errcheckwal // best-effort on an already-failing path
+}
+
+// unprotected exercises the scope boundary: plain is not a protected
+// package, so the identical discard is not flagged.
+func unprotected(b *plain.Buf) {
+	b.Flush()
+}
+
+// use keeps the unexported helpers referenced.
+var (
+	_ = drops
+	_ = handles
+	_ = bestEffort
+	_ = unprotected
+)

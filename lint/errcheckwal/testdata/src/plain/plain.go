@@ -1,0 +1,9 @@
+// Package plain is not a protected package: its errors are outside
+// errcheckwal's scope (the general errcheck discipline still applies,
+// just not through this analyzer).
+package plain
+
+// Buf is a stub buffer with the same method shape as wal.Log.
+type Buf struct{}
+
+func (b *Buf) Flush() error { return nil }

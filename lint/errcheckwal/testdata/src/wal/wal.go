@@ -1,0 +1,23 @@
+package wal
+
+// Log is a stub write-ahead log.
+type Log struct{}
+
+func (l *Log) Flush() error { return nil }
+
+func (l *Log) Close() error { return nil }
+
+func (l *Log) Append(b []byte) (int, error) { return len(b), nil }
+
+// Len returns no error, so discarding its result is fine.
+func (l *Log) Len() int { return 0 }
+
+func Open(path string) (*Log, error) { return &Log{}, nil }
+
+// reset drops its own flush error: call sites inside the protected
+// package are held to the same rule.
+func (l *Log) reset() {
+	l.Flush() // want `call to Log\.Flush discards its error`
+}
+
+var _ = (*Log).reset

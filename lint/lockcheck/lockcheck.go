@@ -1,0 +1,411 @@
+// Package lockcheck verifies the repository's guarded_by annotation
+// convention: a struct field whose doc or line comment contains
+//
+//	// guarded_by:mu
+//
+// may only be read or written while the named sibling mutex is held in
+// the enclosing function. The guard may be a named sync.Mutex/RWMutex
+// field or an embedded one (guarded_by:RWMutex), in which case the
+// promoted x.Lock()/x.RLock() forms count as acquiring it.
+//
+// The analysis is an intra-procedural, source-order heuristic, not a
+// full lockset analysis: a branch that terminates (return, break,
+// continue, panic) discards its lock-state effects, and branches that
+// fall through merge optimistically, so conditional unlock-and-return
+// idioms do not produce false positives. Functions that run with a lock
+// already held by their caller declare it:
+//
+//	// lockcheck:held e.txnMu
+//
+// Helpers running before a struct is shared (constructors) or after
+// concurrency has ceased can silence a line with //nolint:lockcheck.
+// Annotations propagate across packages through vet facts, so engine
+// code touching storage.Segment fields is checked too. Test files are
+// skipped.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"mmdb/lint/analysis"
+)
+
+// Analyzer is the lockcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:         "lockcheck",
+	Doc:          "report accesses to guarded_by-annotated struct fields without the guarding mutex held",
+	ExtractFacts: extractFacts,
+	Run:          run,
+}
+
+// Facts maps "StructName.FieldName" to the guard field's name.
+type Facts map[string]string
+
+var (
+	guardedByRe = regexp.MustCompile(`guarded_by:\s*([A-Za-z_]\w*)`)
+	heldRe      = regexp.MustCompile(`lockcheck:held\s+(.+)`)
+)
+
+// extractFacts scans struct declarations for guarded_by annotations.
+// It is purely syntactic so it can run on dependencies that are parsed
+// but not type-checked.
+func extractFacts(fset *token.FileSet, pkgPath string, files []*ast.File) any {
+	facts := make(Facts)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := fieldGuard(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range fieldNames(field) {
+					facts[ts.Name.Name+"."+name] = guard
+				}
+			}
+			return true
+		})
+	}
+	if len(facts) == 0 {
+		return nil
+	}
+	return facts
+}
+
+// fieldGuard returns the guard named by the field's annotation, or "".
+func fieldGuard(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// fieldNames lists the declared names of a struct field, including the
+// implicit name of an embedded field.
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) > 0 {
+		names := make([]string, len(field.Names))
+		for i, n := range field.Names {
+			names[i] = n.Name
+		}
+		return names
+	}
+	// Embedded: name is the type's base identifier.
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return []string{t.Name}
+	case *ast.SelectorExpr:
+		return []string{t.Sel.Name}
+	}
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	w := &walker{pass: pass, facts: make(map[string]Facts)}
+	for pkgPath := range pass.Facts {
+		var f Facts
+		if ok, err := pass.DecodeFacts(pkgPath, &f); err != nil {
+			return err
+		} else if ok {
+			w.facts[pkgPath] = f
+		}
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				held := heldFromDoc(fn.Doc)
+				w.stmts(fn.Body.List, held)
+			}
+		}
+	}
+	return nil
+}
+
+// heldFromDoc seeds the lock state from lockcheck:held annotations.
+func heldFromDoc(doc *ast.CommentGroup) map[string]int {
+	held := make(map[string]int)
+	if doc == nil {
+		return held
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if m := heldRe.FindStringSubmatch(line); m != nil {
+			for _, expr := range strings.Split(m[1], ",") {
+				if expr = strings.TrimSpace(expr); expr != "" {
+					held[expr]++
+				}
+			}
+		}
+	}
+	return held
+}
+
+type walker struct {
+	pass  *analysis.Pass
+	facts map[string]Facts // package path → annotations
+}
+
+// copyHeld clones a lock-state map for an isolated branch walk.
+func copyHeld(held map[string]int) map[string]int {
+	out := make(map[string]int, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeMax folds a fall-through branch's lock state back into the outer
+// state, keeping the maximum count per mutex. Taking the max rather
+// than the intersection trades false negatives (a conditionally
+// acquired lock counts afterwards) for zero false positives on
+// branch-and-return idioms.
+func mergeMax(into, from map[string]int) {
+	for k, v := range from {
+		if v > into[k] {
+			into[k] = v
+		}
+	}
+}
+
+// stmts walks a statement list in source order, mutating held, and
+// reports whether control definitely leaves the enclosing block.
+func (w *walker) stmts(list []ast.Stmt, held map[string]int) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]int) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		thenHeld := copyHeld(held)
+		thenTerm := w.stmts(s.Body.List, thenHeld)
+		elseTerm := false
+		var elseHeld map[string]int
+		if s.Else != nil {
+			elseHeld = copyHeld(held)
+			elseTerm = w.stmt(s.Else, elseHeld)
+		}
+		if !thenTerm {
+			mergeMax(held, thenHeld)
+		}
+		if elseHeld != nil && !elseTerm {
+			mergeMax(held, elseHeld)
+		}
+		return thenTerm && s.Else != nil && elseTerm
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		body := copyHeld(held)
+		w.stmts(s.Body.List, body)
+		w.stmt(s.Post, body)
+		mergeMax(held, body)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		body := copyHeld(held)
+		w.stmts(s.Body.List, body)
+		mergeMax(held, body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		w.clauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		w.clauses(s.Body, held)
+	case *ast.SelectStmt:
+		w.clauses(s.Body, held)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred/spawned calls run later: their lock operations must
+		// not change the current state (defer mu.Unlock() keeps the lock
+		// held to the end of the function), and a function literal body
+		// starts from an empty lock state of its own.
+		var call *ast.CallExpr
+		if d, ok := s.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = s.(*ast.GoStmt).Call
+		}
+		for _, a := range call.Args {
+			w.expr(a, held)
+		}
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, heldFromDoc(nil))
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Value, held)
+		w.expr(s.Chan, held)
+	}
+	return false
+}
+
+// clauses walks each case/comm clause with an isolated copy of held.
+func (w *walker) clauses(body *ast.BlockStmt, held map[string]int) {
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(e, held)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			w.stmt(c.Comm, held)
+			list = c.Body
+		}
+		clauseHeld := copyHeld(held)
+		if !w.stmts(list, clauseHeld) {
+			mergeMax(held, clauseHeld)
+		}
+	}
+}
+
+// expr walks an expression in source order: lock calls update held,
+// guarded field accesses are checked, and function literals start fresh.
+func (w *walker) expr(e ast.Expr, held map[string]int) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, heldFromDoc(nil))
+			return false
+		case *ast.CallExpr:
+			if key, delta, ok := w.lockOp(n); ok {
+				held[key] += delta
+				if held[key] < 0 {
+					held[key] = 0
+				}
+			}
+		case *ast.SelectorExpr:
+			w.checkAccess(n, held)
+		}
+		return true
+	})
+}
+
+// lockOp recognizes mu.Lock/RLock/TryLock (+1) and mu.Unlock/RUnlock
+// (-1) calls on sync mutexes and returns the canonical receiver string.
+func (w *walker) lockOp(call *ast.CallExpr) (key string, delta int, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return "", 0, false
+	}
+	fn, okFn := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !okFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), delta, true
+}
+
+// checkAccess reports a guarded field access made without its mutex.
+func (w *walker) checkAccess(sel *ast.SelectorExpr, held map[string]int) {
+	s := w.pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return
+	}
+	structName := namedRecvName(s.Recv())
+	if structName == "" {
+		return
+	}
+	facts := w.facts[field.Pkg().Path()]
+	guard, ok := facts[structName+"."+field.Name()]
+	if !ok {
+		return
+	}
+	base := types.ExprString(sel.X)
+	if held[base+"."+guard] > 0 || held[base] > 0 {
+		return
+	}
+	w.pass.Reportf(sel.Sel.Pos(),
+		"access to %s.%s (guarded_by:%s) without holding %s.%s",
+		structName, field.Name(), guard, base, guard)
+}
+
+// namedRecvName returns the name of the named struct type behind a
+// selection receiver, unwrapping pointers and aliases.
+func namedRecvName(t types.Type) string {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,16 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/lockcheck"
+)
+
+// Test exercises the annotation forms (named guard, embedded RWMutex,
+// lockcheck:held, nolint), the branch-merge semantics that keep
+// unlock-and-return idioms quiet, and cross-package fact propagation
+// (package b violates an annotation declared in package a).
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockcheck.Analyzer, "a", "b")
+}

@@ -1,0 +1,78 @@
+package a
+
+import "sync"
+
+// Counter has one guarded and one unguarded field.
+type Counter struct {
+	mu sync.Mutex
+	// n is the count. guarded_by:mu
+	n int
+	// name is unguarded.
+	name string
+}
+
+// Box guards its value with an embedded RWMutex.
+type Box struct {
+	sync.RWMutex
+	// val is the content. guarded_by:RWMutex
+	val int
+}
+
+// Pub is shared state with an exported guard and field, accessed from
+// package b to exercise cross-package facts.
+type Pub struct {
+	Mu sync.Mutex
+	// V is the shared value. guarded_by:Mu
+	V int
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want `access to Counter\.n \(guarded_by:mu\) without holding c\.mu`
+}
+
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Unguarded fields need no lock.
+func (c *Counter) Unguarded() string { return c.name }
+
+// incLocked runs with the lock already held by the caller.
+// lockcheck:held c.mu
+func (c *Counter) incLocked() { c.n++ }
+
+// reset runs before c is shared, so the access is suppressed.
+func (c *Counter) reset() {
+	c.n = 0 //nolint:lockcheck // c is not shared yet
+}
+
+// condUnlock is a false-positive regression test: the early branch
+// unlocks and returns, and must not poison the fall-through state.
+func (c *Counter) condUnlock(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func (b *Box) BadVal() int {
+	return b.val // want `access to Box\.val \(guarded_by:RWMutex\) without holding b\.RWMutex`
+}
+
+// GoodVal acquires the embedded guard through the promoted method.
+func (b *Box) GoodVal() int {
+	b.RLock()
+	defer b.RUnlock()
+	return b.val
+}
+
+// use keeps the unexported helpers referenced.
+var _ = (*Counter).incLocked
+var _ = (*Counter).reset
+var _ = (*Counter).condUnlock

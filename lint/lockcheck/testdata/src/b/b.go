@@ -1,0 +1,15 @@
+// Package b accesses package a's guarded fields: the annotations arrive
+// through facts, not source, mirroring the vet .vetx plumbing.
+package b
+
+import "a"
+
+func Bad(p *a.Pub) int {
+	return p.V // want `access to Pub\.V \(guarded_by:Mu\) without holding p\.Mu`
+}
+
+func Good(p *a.Pub) int {
+	p.Mu.Lock()
+	defer p.Mu.Unlock()
+	return p.V
+}

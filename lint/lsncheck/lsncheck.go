@@ -1,0 +1,104 @@
+// Package lsncheck keeps log-sequence-number discipline: outside the
+// package that defines an LSN type (mmdb's wal.LSN), code must compare
+// and advance LSNs through the typed helpers — Before, IsNil, MaxLSN,
+// MinLSN, Advance, Sub — never with raw integer arithmetic.
+//
+// The reason is the sentinel: wal.NilLSN is ^LSN(0), so a raw `a < b`
+// silently orders "no LSN" after every real position and a raw `a + n`
+// can wrap it back to 0. The helpers centralize the sentinel handling
+// (MaxLSN treats NilLSN as unset, MinLSN as +infinity); raw operator
+// use outside the defining package is exactly where such bugs breed.
+//
+// lsncheck reports, in any package other than the one defining the
+// type, binary +, -, *, /, %, shifts, bitwise ops and ordered
+// comparisons (<, <=, >, >=) with an LSN-typed operand, compound
+// assignments (+=, -=, ...) to an LSN-typed lvalue, and ++/--.
+// Equality against wal.NilLSN (== and !=) remains idiomatic and
+// allowed. The match is by type name: a defined integer type named
+// "LSN" from another package. Test files are skipped.
+package lsncheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mmdb/lint/analysis"
+)
+
+// Analyzer is the lsncheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lsncheck",
+	Doc:  "forbid raw integer arithmetic and ordered comparison of LSN values outside their defining package",
+	Run:  run,
+}
+
+// rawOps are the binary operators that bypass the typed helpers.
+// Equality (==, !=) is allowed: comparing against wal.NilLSN is safe
+// and idiomatic.
+var rawOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.SHL: true, token.SHR: true,
+	token.AND: true, token.OR: true, token.XOR: true, token.AND_NOT: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+}
+
+// rawAssignOps are the compound assignment forms of rawOps.
+var rawAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true,
+	token.SHL_ASSIGN: true, token.SHR_ASSIGN: true,
+	token.AND_ASSIGN: true, token.OR_ASSIGN: true, token.XOR_ASSIGN: true,
+	token.AND_NOT_ASSIGN: true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if rawOps[n.Op] && (isForeignLSN(pass, n.X) || isForeignLSN(pass, n.Y)) {
+					pass.Reportf(n.OpPos,
+						"raw %s on LSN outside its defining package; use the typed helpers (Before/MaxLSN/MinLSN/Advance/Sub)",
+						n.Op)
+				}
+			case *ast.AssignStmt:
+				if rawAssignOps[n.Tok] && len(n.Lhs) == 1 && isForeignLSN(pass, n.Lhs[0]) {
+					pass.Reportf(n.TokPos,
+						"raw %s on LSN outside its defining package; use the typed helpers (Advance/Sub)",
+						n.Tok)
+				}
+			case *ast.IncDecStmt:
+				if isForeignLSN(pass, n.X) {
+					pass.Reportf(n.TokPos,
+						"raw %s on LSN outside its defining package; use Advance",
+						n.Tok)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isForeignLSN reports whether e's type is a defined integer type named
+// LSN declared in a package other than the one being checked.
+func isForeignLSN(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok || named.Obj().Name() != "LSN" {
+		return false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg != pass.Pkg
+}

@@ -1,0 +1,16 @@
+package lsncheck_test
+
+import (
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/lsncheck"
+)
+
+// Test covers raw binary operators, compound assignment, and ++/-- on a
+// foreign LSN type. False-positive regressions: equality against the
+// sentinel, the typed helpers, raw arithmetic inside the defining
+// package itself, and a locally defined LSN type.
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lsncheck.Analyzer, "lsn", "use")
+}

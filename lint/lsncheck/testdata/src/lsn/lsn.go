@@ -1,0 +1,19 @@
+// Package lsn stands in for mmdb's internal/wal: it defines the LSN
+// type, so raw arithmetic here is the implementation of the helpers
+// and is exempt.
+package lsn
+
+// LSN is a log sequence number.
+type LSN uint64
+
+// NilLSN is the "no LSN" sentinel.
+const NilLSN = ^LSN(0)
+
+// IsNil reports whether l is the sentinel.
+func (l LSN) IsNil() bool { return l == NilLSN }
+
+// Before reports l < o; raw ordering is fine in the defining package.
+func (l LSN) Before(o LSN) bool { return l < o }
+
+// Advance moves l forward by n bytes.
+func Advance(l LSN, n int64) LSN { return l + LSN(n) }

@@ -1,0 +1,40 @@
+package use
+
+import "lsn"
+
+func bad(a, b lsn.LSN) lsn.LSN {
+	if a < b { // want `raw < on LSN outside its defining package`
+		return b
+	}
+	_ = a + 1 // want `raw \+ on LSN outside its defining package`
+	_ = b - a // want `raw - on LSN outside its defining package`
+	a += 2    // want `raw \+= on LSN outside its defining package`
+	a++       // want `raw \+\+ on LSN outside its defining package`
+	return a
+}
+
+// good sticks to equality and the typed helpers.
+func good(a, b lsn.LSN) bool {
+	if a == lsn.NilLSN || a != b {
+		return false
+	}
+	return a.Before(b)
+}
+
+func delta(a lsn.LSN, n int64) lsn.LSN {
+	return lsn.Advance(a, n)
+}
+
+// LSN is a locally defined type of the same name: its arithmetic is
+// this package's own business and is not flagged.
+type LSN uint64
+
+func local(a LSN) LSN { return a + 1 }
+
+// use keeps the unexported helpers referenced.
+var (
+	_ = bad
+	_ = good
+	_ = delta
+	_ = local
+)
