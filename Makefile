@@ -21,11 +21,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# mmdblint is the repo's own go/analysis suite (lockcheck, detcheck,
-# errcheckwal, lsncheck); it runs as a go vet tool.
+# mmdblint is the repo's own go/analysis suite: the syntactic analyzers
+# (lockcheck, detcheck, errcheckwal, lsncheck) plus the flow-sensitive
+# ones (walorder, lockorder, unlockcheck). It runs as a go vet tool;
+# add -json after the vettool flag for machine-readable diagnostics.
 mmdblint:
 	$(GO) build -o $(MMDBLINT) ./cmd/mmdblint
 
+# ./... covers examples/ too — the example programs are held to the same
+# invariants as the engine.
 lint: vet mmdblint
 	$(GO) vet -vettool=$(abspath $(MMDBLINT)) ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \

@@ -7,6 +7,8 @@
 //
 // or via the Makefile: make lint. Individual analyzers can be selected
 // with their flags, e.g. go vet -vettool=bin/mmdblint -lockcheck ./...
+// Machine-readable output is available with -json (see
+// lint/analysis/unitchecker).
 //
 // Analyzers:
 //
@@ -14,6 +16,14 @@
 //	detcheck     determinism of sim, analytic, and internal/simdisk
 //	errcheckwal  no discarded errors from wal/storage/backup/engine calls
 //	lsncheck     LSN ordering/arithmetic through typed helpers only
+//	walorder     disk writes covered by a durable WAL position on every path
+//	lockorder    cross-package lock-acquisition graph: cycles, level violations
+//	unlockcheck  every acquired mutex released on all paths out of a function
+//
+// The last three are flow-sensitive: they run a worklist dataflow over
+// the lint/cfg control-flow graphs and exchange facts through .vetx
+// files, so an annotation in internal/wal constrains code in
+// internal/engine.
 package main
 
 import (
@@ -21,7 +31,10 @@ import (
 	"mmdb/lint/detcheck"
 	"mmdb/lint/errcheckwal"
 	"mmdb/lint/lockcheck"
+	"mmdb/lint/lockorder"
 	"mmdb/lint/lsncheck"
+	"mmdb/lint/unlockcheck"
+	"mmdb/lint/walorder"
 )
 
 func main() {
@@ -30,5 +43,8 @@ func main() {
 		detcheck.Analyzer,
 		errcheckwal.Analyzer,
 		lsncheck.Analyzer,
+		walorder.Analyzer,
+		lockorder.Analyzer,
+		unlockcheck.Analyzer,
 	)
 }

@@ -245,6 +245,8 @@ func (s *Store) BeginCheckpoint(copyIdx int, info CheckpointInfo) error {
 
 // WriteSegment writes the image of segment idx (exactly segmentBytes long)
 // into copyIdx, stamped with the writing checkpoint's ID.
+//
+// walorder:write
 func (s *Store) WriteSegment(copyIdx, idx int, checkpointID uint64, data []byte) error {
 	if copyIdx < 0 || copyIdx >= storage.NumBackupCopies {
 		return fmt.Errorf("backup: copy %d out of range", copyIdx)

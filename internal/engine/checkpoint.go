@@ -30,6 +30,9 @@ type CheckpointResult struct {
 // Checkpoint runs one checkpoint to completion using the engine's
 // configured algorithm and returns its summary. Checkpoints are
 // serialized; concurrent calls queue.
+//
+// lockorder:acquires Engine.ckptMu
+// lockorder:releases Engine.ckptMu
 func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 	if e.stopped.Load() {
 		return nil, ErrStopped
@@ -193,6 +196,8 @@ func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 
 // flushSegment writes one segment image to the target backup copy and
 // updates the flush counters, pacing with the configured disk model.
+//
+// walorder:write
 func (e *Engine) flushSegment(run *ckptRun, idx int, data []byte) error {
 	if err := e.bstore.WriteSegment(run.target, idx, run.id, data); err != nil {
 		return err
@@ -207,6 +212,10 @@ func (e *Engine) flushSegment(run *ckptRun, idx int, data []byte) error {
 
 // waitLSN blocks until the log is durable past lsn — the write-ahead check
 // the paper charges C_lsn for.
+//
+// walorder:covers
+// lockorder:acquires mmdb/internal/wal.Log.mu
+// lockorder:releases mmdb/internal/wal.Log.mu
 func (e *Engine) waitLSN(lsn wal.LSN) error {
 	if lsn == wal.NilLSN {
 		return nil
@@ -228,6 +237,8 @@ func (e *Engine) segmentDone(run *ckptRun, idx int) error {
 // the redo-scan start of every complete checkpoint. Failure is non-fatal
 // (the uncompacted log is merely larger); it is recorded in the stats.
 // Caller holds ckptMu, so no checkpoint races the metadata reads.
+//
+// lockorder:held Engine.ckptMu
 func (e *Engine) compactLog() {
 	keep := wal.NilLSN
 	for c := 0; c < 2; c++ {
@@ -253,6 +264,8 @@ func (e *Engine) compactLog() {
 // dropOldCopies releases any copy-on-update old versions left attached to
 // segments (created in the race window just behind the checkpointer's
 // cursor; see sweepCOU).
+//
+// lockorder:held Engine.ckptMu
 func (e *Engine) dropOldCopies() {
 	n := e.store.NumSegments()
 	for i := 0; i < n; i++ {

@@ -22,6 +22,9 @@ package engine
 //
 // No LSN checks are needed: every update in the snapshot predates the
 // begin-checkpoint record, whose log-tail flush made it durable.
+//
+// lockorder:held Engine.ckptMu
+// walorder:stable-tail every snapshotted update predates the begin-checkpoint record, whose log-tail flush (Engine.Checkpoint) already made it durable
 func (e *Engine) sweepCOU(run *ckptRun) (flushed, skipped int, bytes int64, err error) {
 	n := e.store.NumSegments()
 	copyMode := e.params.Algorithm == COUCopy

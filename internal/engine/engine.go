@@ -67,7 +67,7 @@ type Engine struct {
 	ckptSeq uint64
 
 	// Transaction registry and quiesce gate.
-	txnMu   sync.Mutex
+	txnMu   sync.Mutex // lockorder:level=20
 	txnCond *sync.Cond
 	// activeTxns is the registry of in-flight transactions. guarded_by:txnMu
 	activeTxns map[uint64]*Txn
@@ -76,8 +76,9 @@ type Engine struct {
 
 	// cur is the in-progress checkpoint, nil when idle.
 	cur atomic.Pointer[ckptRun]
-	// ckptMu serializes checkpoints (and the backup metadata).
-	ckptMu sync.Mutex
+	// ckptMu serializes checkpoints (and the backup metadata). It is the
+	// outermost engine lock: every other lock nests inside it.
+	ckptMu sync.Mutex // lockorder:level=10
 
 	// Continuous checkpoint loop channels. guarded_by:ckptMu
 	loopStop chan struct{}
@@ -202,6 +203,9 @@ func recKey(rid uint64) uint64 { return rid }
 // is quiescing the system (Section 3.2.2: "delaying the start of new
 // transactions until all currently executing transactions have
 // completed").
+//
+// lockorder:acquires Engine.txnMu
+// lockorder:releases Engine.txnMu
 func (e *Engine) Begin() (*Txn, error) {
 	if e.stopped.Load() {
 		return nil, ErrStopped
@@ -232,6 +236,9 @@ func (e *Engine) Begin() (*Txn, error) {
 // so that a begin-checkpoint marker's active-transaction list is a
 // superset of the transactions whose effects may be partially reflected
 // in a fuzzy checkpoint.
+//
+// lockorder:acquires Engine.txnMu
+// lockorder:releases Engine.txnMu
 func (e *Engine) finishTxn(tx *Txn) {
 	e.txnMu.Lock()
 	delete(e.activeTxns, tx.id)
@@ -241,6 +248,9 @@ func (e *Engine) finishTxn(tx *Txn) {
 
 // quiesce closes the transaction gate and waits for every active
 // transaction to finish. The caller must later call unquiesce.
+//
+// lockorder:acquires Engine.txnMu
+// lockorder:releases Engine.txnMu
 func (e *Engine) quiesce() {
 	e.txnMu.Lock()
 	e.gateClosed = true
@@ -251,6 +261,9 @@ func (e *Engine) quiesce() {
 }
 
 // unquiesce reopens the transaction gate.
+//
+// lockorder:acquires Engine.txnMu
+// lockorder:releases Engine.txnMu
 func (e *Engine) unquiesce() {
 	e.txnMu.Lock()
 	e.gateClosed = false
@@ -260,6 +273,9 @@ func (e *Engine) unquiesce() {
 
 // activeTxnList snapshots the active-transaction list for a
 // begin-checkpoint marker. The caller must hold no engine locks.
+//
+// lockorder:acquires Engine.txnMu
+// lockorder:releases Engine.txnMu
 func (e *Engine) activeTxnList() []wal.ActiveTxn {
 	e.txnMu.Lock()
 	defer e.txnMu.Unlock()

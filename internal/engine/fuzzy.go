@@ -16,6 +16,8 @@ package engine
 // may have some of its updates in flushed segments and others not. The
 // begin-checkpoint marker's active-transaction list tells recovery how far
 // back the redo scan must start to repair this.
+//
+// lockorder:held Engine.ckptMu
 func (e *Engine) sweepFuzzy(run *ckptRun) (flushed, skipped int, bytes int64, err error) {
 	n := e.store.NumSegments()
 	direct := e.params.Algorithm == FastFuzzy
@@ -37,7 +39,7 @@ func (e *Engine) sweepFuzzy(run *ckptRun) (flushed, skipped int, bytes int64, er
 			// stable tail guarantees the write-ahead rule, and the latch
 			// only excludes concurrent installs for the duration of a
 			// buffered file write.
-			err = e.flushSegment(run, i, seg.Data)
+			err = e.flushSegment(run, i, seg.Data) // walorder:stable-tail FASTFUZZY runs under a stable log tail (Section 4): every logged update is already durable
 			seg.Unlock()
 			if err != nil {
 				return flushed, skipped, bytes, err

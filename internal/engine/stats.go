@@ -33,7 +33,7 @@ type counters struct {
 	compactErrors    atomic.Uint64
 
 	// ckptMu guards the checkpoint timing aggregates below.
-	ckptMu sync.Mutex
+	ckptMu sync.Mutex // lockorder:level=90
 	// guarded_by:ckptMu
 	ckptTotalTime time.Duration
 	// guarded_by:ckptMu

@@ -24,6 +24,8 @@ import (
 // 2CCOPY copies the segment to a buffer under the lock, releases the lock,
 // and flushes the buffer afterwards — trading data movement for shorter
 // lock hold times.
+//
+// lockorder:held Engine.ckptMu
 func (e *Engine) sweepTwoColor(run *ckptRun) (flushed, skipped int, bytes int64, err error) {
 	n := e.store.NumSegments()
 	copyMode := e.params.Algorithm == TwoColorCopy
@@ -35,6 +37,8 @@ func (e *Engine) sweepTwoColor(run *ckptRun) (flushed, skipped int, bytes int64,
 	// handle processes one white segment; the caller must have acquired
 	// the checkpointer's shared lock on it. handle releases the lock at
 	// the algorithm's prescribed point.
+	// lockorder:held Engine.ckptMu
+	// lockorder:held mmdb/internal/lockmgr.Manager.table
 	handle := func(i int) error {
 		seg := e.store.Seg(i)
 		if copyMode {

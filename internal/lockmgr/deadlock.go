@@ -27,6 +27,9 @@ var ErrDeadlockDetected = errors.New("lockmgr: deadlock detected (waits-for cycl
 // for a waits-for cycle through owner. It returns ErrDeadlockDetected if
 // granting could never happen; the caller must then not enqueue. On nil,
 // the caller enqueues and must call clearWaiting when the wait ends.
+//
+// lockorder:acquires Manager.waitMu
+// lockorder:releases Manager.waitMu
 func (m *Manager) noteWaiting(owner, key uint64) error {
 	m.waitMu.Lock()
 	m.waitingFor[owner] = key
@@ -41,6 +44,9 @@ func (m *Manager) noteWaiting(owner, key uint64) error {
 }
 
 // clearWaiting removes owner's waits-for edge.
+//
+// lockorder:acquires Manager.waitMu
+// lockorder:releases Manager.waitMu
 func (m *Manager) clearWaiting(owner uint64) {
 	m.waitMu.Lock()
 	delete(m.waitingFor, owner)

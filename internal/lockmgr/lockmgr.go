@@ -125,7 +125,7 @@ func (ls *lockState) compatibleWithHolders(owner uint64, mode Mode) bool {
 const numShards = 64
 
 type shard struct {
-	mu sync.Mutex
+	mu sync.Mutex // lockorder:level=60
 	// locks is the lock table of this shard. guarded_by:mu
 	locks map[uint64]*lockState
 	// holdings maps owner -> key -> mode. guarded_by:mu
@@ -135,6 +135,13 @@ type shard struct {
 }
 
 // Manager is a sharded lock table.
+//
+// For the static lock-order analysis the whole logical lock table is one
+// class, ordered after the engine's checkpoint/transaction mutexes and
+// before the latches and log mutex the checkpointer touches while
+// holding a segment's S lock:
+//
+// lockorder:declare Manager.table level=30
 type Manager struct {
 	shards [numShards]shard
 
@@ -145,7 +152,7 @@ type Manager struct {
 	timeouts  atomic.Uint64
 	deadlocks atomic.Uint64
 
-	waitMu sync.Mutex
+	waitMu sync.Mutex // lockorder:level=70
 	// waitingFor is the waits-for registry for deadlock detection,
 	// mapping owner → key it waits for. guarded_by:waitMu
 	waitingFor map[uint64]uint64
@@ -187,6 +194,8 @@ func (m *Manager) Stats() Stats {
 // stronger request upgrades (upgrades jump the queue, which keeps the
 // common S→X record upgrade from deadlocking against queued requests).
 // timeout <= 0 means wait forever.
+//
+// lockorder:acquires Manager.table
 func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) error {
 	sh := m.shardOf(key)
 	sh.mu.Lock()
@@ -299,6 +308,8 @@ func (m *Manager) dequeue(sh *shard, key uint64, ls *lockState, w *waiter) bool 
 // TryLock attempts a non-blocking acquisition and reports success. The
 // two-color checkpointer uses it to "find a white segment that is not
 // exclusively locked" before falling back to a blocking wait (Figure 3.1).
+//
+// lockorder:acquires Manager.table
 func (m *Manager) TryLock(owner, key uint64, mode Mode) bool {
 	sh := m.shardOf(key)
 	sh.mu.Lock()
@@ -370,6 +381,8 @@ func (m *Manager) grantLocked(sh *shard, key uint64, ls *lockState) {
 
 // Unlock releases owner's lock on key. Releasing a lock that is not held
 // is a no-op (idempotent release simplifies abort paths).
+//
+// lockorder:releases Manager.table
 func (m *Manager) Unlock(owner, key uint64) {
 	sh := m.shardOf(key)
 	sh.mu.Lock()
@@ -397,6 +410,8 @@ func (m *Manager) Unlock(owner, key uint64) {
 
 // ReleaseAll releases every lock owner holds (commit/abort lock release
 // under strict two-phase locking). It returns the number released.
+//
+// lockorder:releases Manager.table
 func (m *Manager) ReleaseAll(owner uint64) int {
 	released := 0
 	for i := range m.shards {

@@ -86,7 +86,7 @@ type OldCopy struct {
 // bookkeeping fields; transactions hold it only while installing a record
 // and checkpointers only while copying or flushing, never across waits.
 type Segment struct {
-	sync.RWMutex
+	sync.RWMutex // lockorder:level=40
 
 	// Data is the live segment image. guarded_by:RWMutex
 	Data []byte

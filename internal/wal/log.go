@@ -72,7 +72,7 @@ type Options struct {
 // may be written to the backup database only when the log is durable past
 // the segment's last update.
 type Log struct {
-	mu sync.Mutex
+	mu sync.Mutex // lockorder:level=50
 	// f is the log file handle. guarded_by:mu
 	f    *os.File
 	path string
@@ -181,6 +181,9 @@ func (l *Log) flushLoop(stop <-chan struct{}, done chan<- struct{}) {
 
 // Append encodes r at the log tail and returns its start and end LSNs.
 // The record is durable once DurableLSN() >= end.
+//
+// lockorder:acquires Log.mu
+// lockorder:releases Log.mu
 func (l *Log) Append(r *Record) (start, end LSN, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -199,6 +202,9 @@ func (l *Log) Append(r *Record) (start, end LSN, err error) {
 
 // NextLSN returns the LSN the next append will receive (i.e., the current
 // logical end of the log).
+//
+// lockorder:acquires Log.mu
+// lockorder:releases Log.mu
 func (l *Log) NextLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -221,6 +227,10 @@ func (l *Log) Durable(end LSN) bool {
 }
 
 // Flush writes the tail to the log file, advancing the durable watermark.
+//
+// walorder:covers
+// lockorder:acquires Log.mu
+// lockorder:releases Log.mu
 func (l *Log) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -259,6 +269,10 @@ func (l *Log) flushLocked() error {
 // WaitDurable blocks until the record ending at end is durable, flushing
 // the tail if necessary. This is the synchronization point for the
 // checkpointer's LSN checks and for synchronous commits.
+//
+// walorder:covers
+// lockorder:acquires Log.mu
+// lockorder:releases Log.mu
 func (l *Log) WaitDurable(end LSN) error {
 	if l.opts.StableTail {
 		return nil
@@ -285,6 +299,9 @@ func (l *Log) WaitDurable(end LSN) error {
 
 // TailLen returns the number of unflushed bytes (exported for tests and
 // stats: with a stable tail this is the amount of stable RAM in use).
+//
+// lockorder:acquires Log.mu
+// lockorder:releases Log.mu
 func (l *Log) TailLen() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -301,6 +318,9 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the log's counters.
+//
+// lockorder:acquires Log.mu
+// lockorder:releases Log.mu
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	end := l.nextLSN
@@ -319,6 +339,9 @@ func (l *Log) Stats() Stats {
 // tail the unflushed records survive — they are written out first, since
 // the log file stands in for the stable RAM. The log is unusable
 // afterwards; recovery re-opens the file with a Reader.
+//
+// lockorder:acquires Log.mu
+// lockorder:releases Log.mu
 func (l *Log) Crash() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -345,6 +368,9 @@ func (l *Log) Crash() error {
 }
 
 // Close flushes and closes the log.
+//
+// lockorder:acquires Log.mu
+// lockorder:releases Log.mu
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -368,6 +394,9 @@ func (l *Log) Close() error {
 
 // Base returns the oldest LSN still present in the log file (records
 // before it have been compacted away).
+//
+// lockorder:acquires Log.mu
+// lockorder:releases Log.mu
 func (l *Log) Base() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -379,6 +408,9 @@ func (l *Log) Base() LSN {
 // boundary at or before the current log end — the engine passes the
 // oldest redo-scan start any complete checkpoint could need. Returns the
 // number of bytes freed.
+//
+// lockorder:acquires Log.mu
+// lockorder:releases Log.mu
 func (l *Log) Compact(keepFrom LSN) (freed int64, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -49,7 +49,7 @@ var (
 type Store struct {
 	db *mmdb.DB
 
-	mu sync.RWMutex
+	mu sync.RWMutex // lockorder:level=5
 	// idx is the volatile key → record-ID index. guarded_by:mu
 	idx *index.TTree
 	// free holds free record slots (LIFO). guarded_by:mu

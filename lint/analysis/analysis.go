@@ -8,12 +8,14 @@
 // fixture harness (package analysistest) — for the mmdblint analyzers. The
 // deliberate differences from x/tools:
 //
-//   - Facts are syntactic, not type-based: an analyzer may supply an
-//     ExtractFacts hook that runs over a parsed (but not type-checked)
-//     dependency and returns a JSON-serializable value. The unitchecker
-//     propagates them through go vet's .vetx files.
-//   - Suppression is built in: a trailing "//nolint:name1,name2" (or bare
-//     "//nolint") comment silences diagnostics on its line.
+//   - Facts are package-keyed JSON, not per-object gob: an analyzer may
+//     supply an ExtractFacts hook that runs over a parsed (but not
+//     type-checked) dependency, and optionally an ExportFacts hook that
+//     refines them with type information when a driver has it. The
+//     unitchecker propagates both through go vet's .vetx files.
+//   - Suppression is built in: a trailing "//nolint:name1,name2 // reason"
+//     comment silences diagnostics on its line. The reason is mandatory:
+//     a bare suppression is itself reported (analyzer name "nolint").
 package analysis
 
 import (
@@ -39,6 +41,16 @@ type Analyzer struct {
 	// must return a JSON-serializable value or nil when the package
 	// contributes nothing.
 	ExtractFacts func(fset *token.FileSet, pkgPath string, files []*ast.File) any
+
+	// ExportFacts, if non-nil, computes package-level facts with type
+	// information. When a driver can type-check a dependency it calls
+	// ExportFacts instead of keeping ExtractFacts' result; when it cannot
+	// (no export data for the pass, e.g. a package outside the module),
+	// the syntactic facts stand. The pass's Facts map holds the
+	// dependencies' facts, so typed facts may build on imported ones.
+	// ExportFacts must not call Pass.Report (reports are dropped) and
+	// must return a JSON-serializable value or nil.
+	ExportFacts func(*Pass) any
 
 	// Run performs the check on one type-checked package.
 	Run func(*Pass) error

@@ -14,6 +14,12 @@
 //
 // Every diagnostic must match exactly one want pattern on its line and
 // vice versa.
+//
+// The Loader is exported so tests can also point it at real packages:
+// NewLoader with a module map (e.g. "mmdb" → the repository root) loads
+// production packages through the same pipeline, which is how the
+// lockorder/deadlock.go consistency regression test audits the actual
+// engine.
 package analysistest
 
 import (
@@ -56,37 +62,15 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 }
 
 func runOne(dir string, a *analysis.Analyzer, name string) error {
-	ld := newLoader(filepath.Join(dir, "src"))
-	lp, err := ld.load(name)
-	if err != nil {
+	ld := NewLoader(filepath.Join(dir, "src"), nil)
+	if err := ld.Load(name); err != nil {
 		return fmt.Errorf("loading fixture: %v", err)
 	}
-
-	// Facts for the fixture package and everything it pulled in from
-	// testdata/src (mirroring what the unitchecker assembles from .vetx).
-	factsByPkg := make(map[string]json.RawMessage)
-	for path, dep := range ld.loaded {
-		f, err := analysis.ExtractAllFacts([]*analysis.Analyzer{a}, ld.fset, path, dep.files)
-		if err != nil {
-			return err
-		}
-		if raw, ok := f[a.Name]; ok {
-			factsByPkg[path] = raw
-		}
-	}
-
-	diags, err := analysis.Run(&analysis.Package{
-		Path:  name,
-		Fset:  ld.fset,
-		Files: lp.files,
-		Types: lp.types,
-		Info:  lp.info,
-		Facts: map[string]map[string]json.RawMessage{a.Name: factsByPkg},
-	}, []*analysis.Analyzer{a})
+	diags, err := ld.Check(a, name)
 	if err != nil {
 		return err
 	}
-	return checkWants(ld.fset, lp.files, diags)
+	return checkWants(ld.fset, ld.loaded[name].files, diags)
 }
 
 // want is one expectation parsed from a "// want" comment.
@@ -187,27 +171,35 @@ func checkWants(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnos
 	return nil
 }
 
-// loadedPkg is one parsed+type-checked fixture package.
+// loadedPkg is one parsed+type-checked package.
 type loadedPkg struct {
 	files []*ast.File
 	types *types.Package
 	info  *types.Info
 }
 
-// loader resolves imports from testdata/src first and falls back to the
-// GOROOT source importer for everything else.
-type loader struct {
-	root     string
+// Loader parses and type-checks packages with the source importer.
+// Imports resolve, in order: within the fixture root, through the
+// module map, then from GOROOT source. _test.go files are skipped, so
+// real repository packages load too.
+type Loader struct {
+	root     string            // fixture root (testdata/src); "" disables
+	modules  map[string]string // module path prefix → directory
 	fset     *token.FileSet
 	loaded   map[string]*loadedPkg
+	order    []string // load-completion order = a topological order of imports
 	loading  map[string]bool
 	fallback types.ImporterFrom
 }
 
-func newLoader(root string) *loader {
+// NewLoader returns a Loader rooted at root (fixture imports) with the
+// given module map, e.g. {"mmdb": "/path/to/repo"} to resolve
+// "mmdb/internal/wal" against the real tree.
+func NewLoader(root string, modules map[string]string) *Loader {
 	fset := token.NewFileSet()
-	return &loader{
+	return &Loader{
 		root:    root,
+		modules: modules,
 		fset:    fset,
 		loaded:  make(map[string]*loadedPkg),
 		loading: make(map[string]bool),
@@ -217,9 +209,37 @@ func newLoader(root string) *loader {
 	}
 }
 
+// Fset returns the loader's file set.
+func (ld *Loader) Fset() *token.FileSet { return ld.fset }
+
+// Load parses and type-checks the package (and, recursively, its
+// fixture/module imports).
+func (ld *Loader) Load(path string) error {
+	_, err := ld.load(path)
+	return err
+}
+
+// dirFor maps an import path to a directory, or "".
+func (ld *Loader) dirFor(path string) string {
+	if ld.root != "" {
+		if dir := filepath.Join(ld.root, path); dirExists(dir) {
+			return dir
+		}
+	}
+	for prefix, dir := range ld.modules {
+		if path == prefix {
+			return dir
+		}
+		if strings.HasPrefix(path, prefix+"/") {
+			return filepath.Join(dir, strings.TrimPrefix(path, prefix+"/"))
+		}
+	}
+	return ""
+}
+
 // Import implements types.Importer.
-func (ld *loader) Import(path string) (*types.Package, error) {
-	if dir := filepath.Join(ld.root, path); dirExists(dir) {
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	if ld.dirFor(path) != "" {
 		lp, err := ld.load(path)
 		if err != nil {
 			return nil, err
@@ -229,24 +249,27 @@ func (ld *loader) Import(path string) (*types.Package, error) {
 	return ld.fallback.ImportFrom(path, ld.root, 0)
 }
 
-func (ld *loader) load(path string) (*loadedPkg, error) {
+func (ld *Loader) load(path string) (*loadedPkg, error) {
 	if lp, ok := ld.loaded[path]; ok {
 		return lp, nil
 	}
 	if ld.loading[path] {
-		return nil, fmt.Errorf("import cycle through fixture %q", path)
+		return nil, fmt.Errorf("import cycle through %q", path)
 	}
 	ld.loading[path] = true
 	defer delete(ld.loading, path)
 
-	dir := filepath.Join(ld.root, path)
+	dir := ld.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("cannot resolve %q (not under %s or the module map)", path, ld.root)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var files []*ast.File
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
 			continue
 		}
 		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
@@ -266,7 +289,68 @@ func (ld *loader) load(path string) (*loadedPkg, error) {
 	}
 	lp := &loadedPkg{files: files, types: pkg, info: info}
 	ld.loaded[path] = lp
+	// Imports load before their importer finishes, so ld.order is a
+	// topological order — exactly what dependency-ordered typed fact
+	// computation needs.
+	ld.order = append(ld.order, path)
 	return lp, nil
+}
+
+// Facts computes analyzer a's facts for every loaded package in
+// dependency order, running the typed ExportFacts hook (when declared)
+// with the facts accumulated so far — the same pipeline the unitchecker
+// drives through .vetx files.
+func (ld *Loader) Facts(a *analysis.Analyzer) (map[string]json.RawMessage, error) {
+	byPkg := make(map[string]json.RawMessage)
+	for _, path := range ld.order {
+		lp := ld.loaded[path]
+		own, err := analysis.ExtractAllFacts([]*analysis.Analyzer{a}, ld.fset, path, lp.files)
+		if err != nil {
+			return nil, err
+		}
+		if raw, ok := own[a.Name]; ok {
+			byPkg[path] = raw
+		}
+		if a.ExportFacts == nil {
+			continue
+		}
+		typed, err := analysis.ExportAllFacts([]*analysis.Analyzer{a}, &analysis.Package{
+			Path:  path,
+			Fset:  ld.fset,
+			Files: lp.files,
+			Types: lp.types,
+			Info:  lp.info,
+			Facts: map[string]map[string]json.RawMessage{a.Name: byPkg},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if raw, ok := typed[a.Name]; ok {
+			byPkg[path] = raw
+		}
+	}
+	return byPkg, nil
+}
+
+// Check runs the analyzer on one loaded package with full facts and
+// returns its diagnostics.
+func (ld *Loader) Check(a *analysis.Analyzer, path string) ([]analysis.Diagnostic, error) {
+	lp, ok := ld.loaded[path]
+	if !ok {
+		return nil, fmt.Errorf("package %q not loaded", path)
+	}
+	facts, err := ld.Facts(a)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(&analysis.Package{
+		Path:  path,
+		Fset:  ld.fset,
+		Files: lp.files,
+		Types: lp.types,
+		Info:  lp.info,
+		Facts: map[string]map[string]json.RawMessage{a.Name: facts},
+	}, []*analysis.Analyzer{a})
 }
 
 func dirExists(dir string) bool {

@@ -28,7 +28,11 @@ type Package struct {
 // (suppressions applied) sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	suppr := buildSuppressions(pkg.Fset, pkg.Files)
-	var out []Diagnostic
+	// Reasoned-suppression rule: a //nolint directive must say why. These
+	// diagnostics bypass the suppression table on purpose — a bare
+	// //nolint would otherwise silence its own finding; the only way to
+	// clear it is to write the reason.
+	out := reasonlessNolints(pkg.Files)
 	for _, a := range analyzers {
 		facts := pkg.Facts[a.Name]
 		if facts == nil {
@@ -82,6 +86,42 @@ func ExtractAllFacts(analyzers []*Analyzer, fset *token.FileSet, pkgPath string,
 	return out, nil
 }
 
+// ExportAllFacts runs every analyzer's typed ExportFacts hook over a
+// type-checked package and returns the non-nil results encoded, keyed by
+// analyzer name. facts carries the already-gathered facts (analyzer →
+// package → encoded), so typed hooks can see their dependencies'.
+func ExportAllFacts(analyzers []*Analyzer, pkg *Package) (map[string]json.RawMessage, error) {
+	out := make(map[string]json.RawMessage)
+	for _, a := range analyzers {
+		if a.ExportFacts == nil {
+			continue
+		}
+		deps := pkg.Facts[a.Name]
+		if deps == nil {
+			deps = make(map[string]json.RawMessage)
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Facts:     deps,
+			report:    func(Diagnostic) {}, // facts passes do not report
+		}
+		v := a.ExportFacts(pass)
+		if v == nil {
+			continue
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("%s: encoding typed facts for %q: %v", a.Name, pkg.Path, err)
+		}
+		out[a.Name] = raw
+	}
+	return out, nil
+}
+
 // nolintRe matches "nolint" optionally followed by ":name1,name2" at the
 // start of a comment's text.
 var nolintRe = regexp.MustCompile(`^nolint(?::([\w,]+))?\b`)
@@ -122,6 +162,42 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 		}
 	}
 	return s
+}
+
+// reasonlessNolints reports every //nolint directive that lacks the
+// mandatory trailing "// reason". The accepted form is
+//
+//	//nolint:name1,name2 // why this finding is safe to silence
+//
+// mirroring DESIGN.md's suppression convention: the next reader should
+// never have to reverse-engineer why a finding was waved through.
+func reasonlessNolints(files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := nolintRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				rest := strings.TrimSpace(text[len(m[0]):])
+				if strings.HasPrefix(rest, "//") && strings.TrimSpace(rest[2:]) != "" {
+					continue // reasoned: //nolint:name // reason
+				}
+				what := "//nolint"
+				if m[1] != "" {
+					what += ":" + m[1]
+				}
+				out = append(out, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: "nolint",
+					Message:  fmt.Sprintf("%s needs a reason: write %s // <why this is safe>", what, what),
+				})
+			}
+		}
+	}
+	return out
 }
 
 func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {

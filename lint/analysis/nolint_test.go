@@ -1,0 +1,130 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"mmdb/lint/analysis"
+)
+
+// runSrc applies analyzers to a single-file package parsed from src.
+// (Fixture files can't express a bare //nolint — a trailing "// want"
+// comment would itself read as the reason — so this feature is tested
+// against in-memory sources.)
+func runSrc(t *testing.T, src string, analyzers ...*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags, err := analysis.Run(&analysis.Package{
+		Path:  "p",
+		Fset:  fset,
+		Files: []*ast.File{f},
+	}, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+func TestNolintWithoutReasonIsReported(t *testing.T) {
+	diags := runSrc(t, `package p
+
+func f() int {
+	return 1 //nolint:lockcheck
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "nolint" {
+		t.Errorf("analyzer = %q, want nolint", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "//nolint:lockcheck needs a reason") {
+		t.Errorf("message = %q", d.Message)
+	}
+}
+
+func TestBareNolintDoesNotSuppressItself(t *testing.T) {
+	// A reasonless //nolint (no names: suppress everything) must still be
+	// reported — otherwise it would silence its own finding.
+	diags := runSrc(t, `package p
+
+func f() int {
+	return 1 //nolint
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "nolint" {
+		t.Fatalf("want the nolint diagnostic to survive its own suppression, got %v", diags)
+	}
+}
+
+func TestNolintEmptyReasonIsReported(t *testing.T) {
+	diags := runSrc(t, `package p
+
+func f() int {
+	return 1 //nolint:lockcheck //
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "nolint" {
+		t.Fatalf("want a diagnostic for the empty reason, got %v", diags)
+	}
+}
+
+func TestReasonedNolintIsClean(t *testing.T) {
+	diags := runSrc(t, `package p
+
+func f() int {
+	return 1 //nolint:lockcheck // not shared yet
+}
+
+func g() int {
+	return 2 //nolint:lockcheck,detcheck // two analyzers, one reason
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics for reasoned suppressions, got %v", diags)
+	}
+}
+
+func TestReasonedNolintStillSuppresses(t *testing.T) {
+	// The reason requirement must not break suppression itself: a
+	// reasoned //nolint:flag silences the flag analyzer's finding.
+	flag := &analysis.Analyzer{
+		Name: "flag",
+		Doc:  "reports every return statement (test stub)",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if r, ok := n.(*ast.ReturnStmt); ok {
+						pass.Reportf(r.Pos(), "return found")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags := runSrc(t, `package p
+
+func f() int {
+	return 1 //nolint:flag // fixture: suppression carries its reason
+}
+
+func g() int {
+	return 2
+}
+`, flag)
+	if len(diags) != 1 {
+		t.Fatalf("want only g's finding, got %v", diags)
+	}
+	if diags[0].Analyzer != "flag" {
+		t.Errorf("analyzer = %q, want flag", diags[0].Analyzer)
+	}
+}

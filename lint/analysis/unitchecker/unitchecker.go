@@ -10,7 +10,10 @@
 //
 //  1. The go command probes the tool once with -V=full (a build-ID
 //     handshake: the reply must look like "name version ver") and once
-//     with -flags (a JSON description of the tool's flags).
+//     with -flags (a JSON description of the tool's flags; flags the
+//     tool declares here may be passed on the go vet command line and
+//     are forwarded to every tool invocation — that is how -json and
+//     the per-analyzer enable flags reach us).
 //  2. For the target packages and every dependency it then invokes the
 //     tool with a single argument: a JSON "vet.cfg" file describing one
 //     type-checked package — source files, the import map, and the
@@ -21,7 +24,11 @@
 //
 // Type-checking uses the gc export data the go command already built for
 // the compiler, via go/importer's lookup hook, so no network or module
-// proxy access is needed.
+// proxy access is needed. Facts are syntactic by default; when an
+// analyzer declares a typed ExportFacts hook, VetxOnly passes over
+// module packages are type-checked too, falling back to the syntactic
+// facts if that fails (e.g. stale export data) rather than blocking the
+// whole vet run.
 package unitchecker
 
 import (
@@ -69,12 +76,52 @@ type Config struct {
 // dependencies' .vetx files.
 type vetx map[string]map[string]json.RawMessage
 
+// merge folds src into v, later entries winning.
+func (v vetx) merge(src vetx) {
+	for name, byPkg := range src {
+		if v[name] == nil {
+			v[name] = make(map[string]json.RawMessage)
+		}
+		for pkg, f := range byPkg {
+			v[name][pkg] = f
+		}
+	}
+}
+
+// set records one package's facts for one analyzer.
+func (v vetx) set(name, pkg string, raw json.RawMessage) {
+	if v[name] == nil {
+		v[name] = make(map[string]json.RawMessage)
+	}
+	v[name][pkg] = raw
+}
+
+// readImported loads and merges the .vetx files of the pass's
+// dependencies. Absence or corruption is not fatal: facts are an
+// optimization and an analyzer must tolerate missing ones.
+func readImported(packageVetx map[string]string) vetx {
+	facts := make(vetx)
+	for _, path := range packageVetx {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var v vetx
+		if json.Unmarshal(raw, &v) != nil {
+			continue
+		}
+		facts.merge(v)
+	}
+	return facts
+}
+
 // Main runs the vet-tool protocol for the given analyzers and exits.
 func Main(analyzers ...*analysis.Analyzer) {
 	progname := "mmdblint"
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	vFlag := fs.String("V", "", "print version and exit (-V=full for the go command handshake)")
 	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON, one object per line, on stdout")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, false, "run only the "+a.Name+" analyzer (-"+a.Name+"=false to skip it)")
@@ -95,7 +142,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 			Bool  bool
 			Usage string
 		}
-		var descs []flagDesc
+		descs := []flagDesc{{Name: "json", Bool: true, Usage: "emit diagnostics as JSON lines"}}
 		for _, a := range analyzers {
 			descs = append(descs, flagDesc{Name: a.Name, Bool: true, Usage: "enable only " + a.Name})
 		}
@@ -129,14 +176,14 @@ func Main(analyzers ...*analysis.Analyzer) {
 		for _, a := range analyzers {
 			fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
 		}
-		fmt.Printf("\nBy default all analyzers run; -<name> runs only the named ones, and\n-<name>=false skips one. Silence a justified finding with a trailing\n//nolint:<name> comment.\n")
+		fmt.Printf("\nBy default all analyzers run; -<name> runs only the named ones, and\n-<name>=false skips one. -json prints machine-readable diagnostics.\nSilence a justified finding with a trailing //nolint:<name> // reason\ncomment; the reason is mandatory.\n")
 		os.Exit(0)
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintf(os.Stderr, "%s: expected one vet.cfg argument, got %d (run via go vet -vettool)\n", progname, fs.NArg())
 		os.Exit(1)
 	}
-	diags, err := run(fs.Arg(0), analyzers, selected)
+	diags, err := run(fs.Arg(0), analyzers, selected, *jsonFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
@@ -147,10 +194,20 @@ func Main(analyzers ...*analysis.Analyzer) {
 	os.Exit(0)
 }
 
+// jsonDiagnostic is the -json wire format: one object per line, the
+// fields CI needs to annotate a pull request.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // run processes one vet.cfg invocation. all is used for fact extraction
 // (facts must exist even for analyzers the user de-selected, so .vetx
 // contents don't depend on flag sets); selected are actually run.
-func run(cfgPath string, all, selected []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+func run(cfgPath string, all, selected []*analysis.Analyzer, jsonOut bool) ([]analysis.Diagnostic, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return nil, err
@@ -175,35 +232,51 @@ func run(cfgPath string, all, selected []*analysis.Analyzer) ([]analysis.Diagnos
 	// Gather facts: imported .vetx files first, then this package's own
 	// (skipped for standard-library packages — they carry no mmdb
 	// annotations — and for unparseable ones).
-	facts := make(vetx)
-	for _, path := range cfg.PackageVetx {
-		raw, err := os.ReadFile(path)
-		if err != nil {
-			continue // facts are an optimization; absence is not fatal
-		}
-		var v vetx
-		if json.Unmarshal(raw, &v) != nil {
-			continue
-		}
-		for name, byPkg := range v {
-			if facts[name] == nil {
-				facts[name] = make(map[string]json.RawMessage)
-			}
-			for pkg, f := range byPkg {
-				facts[name][pkg] = f
+	facts := readImported(cfg.PackageVetx)
+
+	// Type-check when this is a target package (diagnostics need types)
+	// or when a typed fact hook wants to refine this module package's
+	// facts. In the latter case failure is tolerated: the syntactic facts
+	// stand and the error surfaces, if at all, on the target pass.
+	needTypes := !cfg.VetxOnly
+	if !needTypes && cfg.ModulePath != "" && parseErr == nil {
+		for _, a := range all {
+			if a.ExportFacts != nil {
+				needTypes = true
+				break
 			}
 		}
 	}
+	var tpkg *types.Package
+	var info *types.Info
+	var typeErr error
+	if needTypes && parseErr == nil && len(files) > 0 {
+		tpkg, info, typeErr = typecheck(&cfg, fset, files)
+	}
+
 	if parseErr == nil && cfg.ModulePath != "" {
 		own, err := analysis.ExtractAllFacts(all, fset, cfg.ImportPath, files)
 		if err != nil {
 			return nil, err
 		}
 		for name, f := range own {
-			if facts[name] == nil {
-				facts[name] = make(map[string]json.RawMessage)
+			facts.set(name, cfg.ImportPath, f)
+		}
+		if tpkg != nil {
+			typed, err := analysis.ExportAllFacts(all, &analysis.Package{
+				Path:  cfg.ImportPath,
+				Fset:  fset,
+				Files: files,
+				Types: tpkg,
+				Info:  info,
+				Facts: facts,
+			})
+			if err != nil {
+				return nil, err
 			}
-			facts[name][cfg.ImportPath] = f
+			for name, f := range typed {
+				facts.set(name, cfg.ImportPath, f)
+			}
 		}
 	}
 	if cfg.VetxOutput != "" {
@@ -227,33 +300,41 @@ func run(cfgPath string, all, selected []*analysis.Analyzer) ([]analysis.Diagnos
 	if len(files) == 0 {
 		return nil, nil
 	}
-
-	pkg, info, err := typecheck(&cfg, fset, files)
-	if err != nil {
+	if typeErr != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return nil, nil
 		}
-		return nil, err
+		return nil, typeErr
 	}
 
-	byAnalyzer := make(map[string]map[string]json.RawMessage, len(facts))
-	for name, byPkg := range facts {
-		byAnalyzer[name] = byPkg
-	}
 	diags, err := analysis.Run(&analysis.Package{
 		Path:  cfg.ImportPath,
 		Fset:  fset,
 		Files: files,
-		Types: pkg,
+		Types: tpkg,
 		Info:  info,
-		Facts: byAnalyzer,
+		Facts: facts,
 	}, selected)
 	if err != nil {
 		return nil, err
 	}
-	for _, d := range diags {
-		// Absolute positions; the go command re-relativizes them.
-		fmt.Fprintf(os.Stderr, "%v: %s\n", fset.Position(d.Pos), d.Message)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			enc.Encode(jsonDiagnostic{ //nolint:errcheckwal // stdout
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	} else {
+		for _, d := range diags {
+			// Absolute positions; the go command re-relativizes them.
+			fmt.Fprintf(os.Stderr, "%v: %s\n", fset.Position(d.Pos), d.Message)
+		}
 	}
 	return diags, nil
 }

@@ -1,0 +1,244 @@
+package unitchecker
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmdb/lint/analysis"
+)
+
+// chainAnalyzer exports each package's exported function names as facts
+// and, on the package under analysis, reports every fact it can see
+// from package chain/a — so a diagnostic on chain/c proves A's facts
+// crossed two .vetx hops.
+var chainAnalyzer = &analysis.Analyzer{
+	Name: "chainfact",
+	Doc:  "test analyzer: propagates exported function names as facts",
+	ExtractFacts: func(fset *token.FileSet, pkgPath string, files []*ast.File) any {
+		var names []string
+		for _, f := range files {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.IsExported() {
+					names = append(names, fn.Name.Name)
+				}
+			}
+		}
+		if names == nil {
+			return nil
+		}
+		return names
+	},
+	Run: func(pass *analysis.Pass) error {
+		var fromA []string
+		if _, err := pass.DecodeFacts("chain/a", &fromA); err != nil {
+			return err
+		}
+		for _, name := range fromA {
+			pass.Reportf(pass.Files[0].Pos(), "saw fact %s from chain/a", name)
+		}
+		return nil
+	},
+}
+
+// writeCfg marshals a vet.cfg to dir and returns its path.
+func writeCfg(t *testing.T, dir, name string, cfg Config) string {
+	t.Helper()
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// setupChain builds the three-package scenario go vet would produce for
+// a module where c imports b imports a: two VetxOnly dependency passes,
+// then the target pass on c whose PackageVetx names ONLY b's file — if
+// c still sees a's facts, b re-exported them.
+func setupChain(t *testing.T) (cCfgPath, cVetxPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	aGo := writeFile(t, dir, "a.go", "package a\n\nfunc FromA() {}\n")
+	bGo := writeFile(t, dir, "b.go", "package b\n\nfunc FromB() {}\n")
+	cGo := writeFile(t, dir, "c.go", "package c\n\nfunc FromC() {}\n")
+	aVetx := filepath.Join(dir, "a.vetx")
+	bVetx := filepath.Join(dir, "b.vetx")
+	cVetx := filepath.Join(dir, "c.vetx")
+
+	all := []*analysis.Analyzer{chainAnalyzer}
+	aCfg := writeCfg(t, dir, "a.cfg", Config{
+		ImportPath: "chain/a", ModulePath: "chain", GoFiles: []string{aGo},
+		VetxOnly: true, VetxOutput: aVetx,
+	})
+	if _, err := run(aCfg, all, all, false); err != nil {
+		t.Fatalf("pass a: %v", err)
+	}
+	bCfg := writeCfg(t, dir, "b.cfg", Config{
+		ImportPath: "chain/b", ModulePath: "chain", GoFiles: []string{bGo},
+		VetxOnly: true, VetxOutput: bVetx,
+		PackageVetx: map[string]string{"chain/a": aVetx},
+	})
+	if _, err := run(bCfg, all, all, false); err != nil {
+		t.Fatalf("pass b: %v", err)
+	}
+	cCfgPath = writeCfg(t, dir, "c.cfg", Config{
+		ImportPath: "chain/c", ModulePath: "chain", GoFiles: []string{cGo},
+		VetxOutput: cVetx,
+		// Deliberately only the direct dependency: a's facts must arrive
+		// via b's re-export.
+		PackageVetx: map[string]string{"chain/b": bVetx},
+	})
+	return cCfgPath, cVetx
+}
+
+func TestVetxThreePackageChain(t *testing.T) {
+	cCfg, cVetx := setupChain(t)
+	diags, err := run(cCfg, []*analysis.Analyzer{chainAnalyzer}, []*analysis.Analyzer{chainAnalyzer}, false)
+	if err != nil {
+		t.Fatalf("pass c: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "saw fact FromA from chain/a") {
+		t.Fatalf("c did not consume a's facts through b's re-export; diags = %v", diags)
+	}
+
+	// c's own .vetx must carry all three packages' facts onward.
+	raw, err := os.ReadFile(cVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v vetx
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	byPkg := v["chainfact"]
+	for _, pkg := range []string{"chain/a", "chain/b", "chain/c"} {
+		if _, ok := byPkg[pkg]; !ok {
+			t.Errorf("c.vetx missing facts for %s (have %v)", pkg, keys(byPkg))
+		}
+	}
+}
+
+func TestJSONOutputMode(t *testing.T) {
+	cCfg, _ := setupChain(t)
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	diags, runErr := run(cCfg, []*analysis.Analyzer{chainAnalyzer}, []*analysis.Analyzer{chainAnalyzer}, true)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatalf("pass c: %v", runErr)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 JSON line, got %d: %q", len(lines), buf.String())
+	}
+	var jd jsonDiagnostic
+	if err := json.Unmarshal([]byte(lines[0]), &jd); err != nil {
+		t.Fatalf("bad JSON line %q: %v", lines[0], err)
+	}
+	if !strings.HasSuffix(jd.File, "c.go") || jd.Line != 1 {
+		t.Errorf("position = %s:%d, want c.go:1", jd.File, jd.Line)
+	}
+	if jd.Analyzer != "chainfact" || !strings.Contains(jd.Message, "FromA") {
+		t.Errorf("payload = %+v", jd)
+	}
+}
+
+// TestTypedFactsFallback: an analyzer with a typed ExportFacts hook
+// forces type-checking of VetxOnly module passes; when that fails (here:
+// no export data for an import), the syntactic facts must survive
+// rather than the pass erroring out.
+func TestTypedFactsFallback(t *testing.T) {
+	dir := t.TempDir()
+	typed := &analysis.Analyzer{
+		Name: "typedfact",
+		Doc:  "test analyzer with a typed fact hook",
+		ExtractFacts: func(fset *token.FileSet, pkgPath string, files []*ast.File) any {
+			return "syntactic"
+		},
+		ExportFacts: func(pass *analysis.Pass) any {
+			return "typed"
+		},
+		Run: func(pass *analysis.Pass) error { return nil },
+	}
+	all := []*analysis.Analyzer{typed}
+
+	// Package with an unresolvable import: typecheck fails, syntactic
+	// facts stand.
+	badGo := writeFile(t, dir, "bad.go", "package bad\n\nimport \"nonexistent/dep\"\n\nvar _ = dep.X\n")
+	badVetx := filepath.Join(dir, "bad.vetx")
+	badCfg := writeCfg(t, dir, "bad.cfg", Config{
+		ImportPath: "chain/bad", ModulePath: "chain", GoFiles: []string{badGo},
+		VetxOnly: true, VetxOutput: badVetx,
+	})
+	if _, err := run(badCfg, all, all, false); err != nil {
+		t.Fatalf("VetxOnly pass must tolerate typecheck failure: %v", err)
+	}
+	assertFact(t, badVetx, "typedfact", "chain/bad", `"syntactic"`)
+
+	// Package that typechecks: the typed facts win.
+	okGo := writeFile(t, dir, "ok.go", "package ok\n\nfunc OK() {}\n")
+	okVetx := filepath.Join(dir, "ok.vetx")
+	okCfg := writeCfg(t, dir, "ok.cfg", Config{
+		ImportPath: "chain/ok", ModulePath: "chain", GoFiles: []string{okGo},
+		VetxOnly: true, VetxOutput: okVetx,
+	})
+	if _, err := run(okCfg, all, all, false); err != nil {
+		t.Fatalf("pass ok: %v", err)
+	}
+	assertFact(t, okVetx, "typedfact", "chain/ok", `"typed"`)
+}
+
+func assertFact(t *testing.T, vetxPath, analyzer, pkg, want string) {
+	t.Helper()
+	raw, err := os.ReadFile(vetxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v vetx
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(v[analyzer][pkg]); got != want {
+		t.Errorf("%s facts for %s = %s, want %s", analyzer, pkg, got, want)
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

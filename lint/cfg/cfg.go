@@ -1,0 +1,467 @@
+// Package cfg builds intra-procedural control-flow graphs from go/ast,
+// for the flow-sensitive mmdblint analyzers. The repository builds
+// offline, so it cannot use golang.org/x/tools/go/cfg; this package
+// provides the same service in the same spirit: one Graph per function
+// body, basic blocks holding statements and the sub-expressions that
+// drive control flow, and explicit edges for every construct the
+// checkpointing code uses — if/for/range/switch/select, labeled break
+// and continue, goto, early return, and panic.
+//
+// Conventions:
+//
+//   - Compound statements are decomposed: a block's Nodes list contains
+//     simple statements and the init/condition/tag expressions of the
+//     control statements, never an if/for/switch node itself, so an
+//     analyzer that walks Nodes with ast.Inspect visits each expression
+//     exactly once.
+//   - There is a single synthetic Exit block. Return statements edge to
+//     it, falling off the end of the body edges to it, and a statement
+//     that is syntactically a call to the predeclared panic edges to it
+//     too (the "panic edge": on that path only deferred calls run).
+//     Blocks whose terminator is a panic are marked KindPanic so
+//     analyzers can distinguish unwinding exits from normal ones.
+//   - Deferred calls are not modeled as edges (they run in LIFO order at
+//     every exit, which no static edge placement represents faithfully).
+//     Instead each defer is recorded in Graph.Defers together with the
+//     block that registers it; analyzers decide what a defer covers,
+//     typically by asking whether its block dominates Exit (see
+//     lint/dataflow.Dominators).
+//   - Function literals are not descended into: a FuncLit body has its
+//     own control flow and must be given its own Graph.
+//
+// Unreachable code (statements after a terminator) is kept in blocks
+// with no predecessors rather than dropped, so analyzers still see its
+// nodes but no dataflow facts reach them.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block kinds, for debugging and for analyzers that care about how a
+// block terminates.
+const (
+	KindEntry = "entry"
+	KindExit  = "exit"
+	KindPanic = "panic" // terminated by a call to the predeclared panic
+	KindBody  = "body"
+)
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Kind  string
+	// Nodes are the block's statements and control sub-expressions in
+	// execution order.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// DeferInfo records one defer statement and the block that registers it.
+type DeferInfo struct {
+	Stmt  *ast.DeferStmt
+	Block *Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Name   string
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	Defers []DeferInfo
+}
+
+// New builds the control-flow graph of a function body. name is used
+// only for diagnostics and String.
+func New(name string, body *ast.BlockStmt) *Graph {
+	g := &Graph{Name: name}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	g.Entry = b.newBlock(KindEntry)
+	g.Exit = b.newBlock(KindExit)
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, g.Exit)
+	}
+	return g
+}
+
+// String renders the graph for tests and debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s:\n", g.Name)
+	for _, bl := range g.Blocks {
+		fmt.Fprintf(&sb, "  b%d(%s):", bl.Index, bl.Kind)
+		for _, s := range bl.Succs {
+			fmt.Fprintf(&sb, " ->b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label    string // enclosing statement label, "" if none
+	brk      *Block // break target
+	cont     *Block // continue target; nil for switch/select
+	isSelect bool
+}
+
+type builder struct {
+	g      *builder_graph
+	cur    *Block // nil while the current point is unreachable
+	frames []frame
+	labels map[string]*Block // goto/label targets
+	// pendingLabel is the label of a LabeledStmt whose direct statement
+	// is about to be built (so its loop registers the label for labeled
+	// break/continue).
+	pendingLabel string
+	// fallTarget is the next case body while building a switch clause.
+	fallTarget *Block
+}
+
+// builder_graph aliases Graph so the builder reads naturally.
+type builder_graph = Graph
+
+func (b *builder) newBlock(kind string) *Block {
+	bl := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, starting a fresh unreachable
+// block if control cannot reach this point.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock(KindBody) // unreachable: no predecessors
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending statement label.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	if _, isLabeled := s.(*ast.LabeledStmt); !isLabeled {
+		defer func() { b.pendingLabel = "" }()
+	}
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.cur.Kind = KindPanic
+			b.edge(b.cur, b.g.Exit)
+			b.cur = nil
+		}
+
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		b.add(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, DeferInfo{Stmt: s, Block: b.cur})
+
+	case *ast.GoStmt:
+		b.add(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, lb)
+		}
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	default:
+		// Unknown statement kinds (future Go versions) are treated as
+		// straight-line.
+		b.add(s)
+	}
+}
+
+// branch handles break/continue/goto/fallthrough.
+func (b *builder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	if b.cur == nil {
+		return
+	}
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.edge(b.cur, f.brk)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.cont == nil {
+				continue // switch/select: continue targets the loop outside
+			}
+			if label == "" || f.label == label {
+				b.edge(b.cur, f.cont)
+				break
+			}
+		}
+	case token.GOTO:
+		b.edge(b.cur, b.labelBlock(label))
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.edge(b.cur, b.fallTarget)
+		}
+	}
+	b.cur = nil
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if bl, ok := b.labels[name]; ok {
+		return bl
+	}
+	bl := b.newBlock("label." + name)
+	b.labels[name] = bl
+	return bl
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.add(s.Init)
+	b.add(s.Cond)
+	cond := b.cur
+	if cond == nil {
+		cond = b.newBlock(KindBody)
+	}
+	then := b.newBlock("if.then")
+	done := b.newBlock("if.done")
+	b.edge(cond, then)
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, done)
+		}
+	} else {
+		b.edge(cond, done)
+	}
+	b.cur = then
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	b.add(s.Init)
+	head := b.newBlock("for.head")
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.cur = head
+	b.add(s.Cond)
+	head = b.cur // add may not move blocks, but stay safe
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, done) // for{} without a condition exits only via break
+	}
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		cont = post
+	}
+	b.frames = append(b.frames, frame{label: label, brk: done, cont: cont})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, cont)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		b.edge(b.cur, head)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.cur = head
+	b.add(s.X) // the ranged-over expression; per-iteration key/value
+	// assignment carries no control flow of its own
+	head = b.cur
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(head, body)
+	b.edge(head, done)
+	b.frames = append(b.frames, frame{label: label, brk: done, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// switchStmt builds expression and type switches; assign is the type
+// switch's `x := y.(type)` statement.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	b.add(init)
+	b.add(tag)
+	b.add(assign)
+	head := b.cur
+	if head == nil {
+		head = b.newBlock(KindBody)
+	}
+	done := b.newBlock("switch.done")
+	b.frames = append(b.frames, frame{label: label, brk: done})
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		for _, e := range cc.List {
+			head.Nodes = append(head.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		bodies[i] = b.newBlock("case.body")
+		b.edge(head, bodies[i])
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	for i, cc := range clauses {
+		b.cur = bodies[i]
+		if i+1 < len(clauses) {
+			b.fallTarget = bodies[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.stmtList(cc.Body)
+		b.fallTarget = nil
+		if b.cur != nil {
+			b.edge(b.cur, done)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	if head == nil {
+		head = b.newBlock(KindBody)
+	}
+	done := b.newBlock("select.done")
+	b.frames = append(b.frames, frame{label: label, brk: done, isSelect: true})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cb := b.newBlock("comm.body")
+		b.edge(head, cb)
+		b.cur = cb
+		b.stmt(cc.Comm)
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, done)
+		}
+	}
+	// select{} with no clauses blocks forever: done keeps no edge from
+	// head and is unreachable unless a clause falls through.
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// isPanicCall reports whether e is syntactically a call to the
+// predeclared panic. (A shadowed panic would be misclassified; the
+// repository does not shadow it.)
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,508 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"mmdb/lint/cfg"
+)
+
+// build parses src (a complete file) and returns the CFG of its first
+// function declaration.
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return cfg.New(fn.Name.Name, fn.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// blockOf returns the block containing a call to the named function,
+// e.g. blockOf(g, "mark") finds the block with a `mark(...)` statement.
+func blockOf(t *testing.T, g *cfg.Graph, name string) *cfg.Block {
+	t.Helper()
+	var found *cfg.Block
+	for _, bl := range g.Blocks {
+		for _, n := range bl.Nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = bl
+				}
+				return true
+			})
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block calls %s in:\n%s", name, g)
+	}
+	return found
+}
+
+func hasEdge(from, to *cfg.Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// reaches reports whether to is reachable from from along Succs edges.
+func reaches(from, to *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block) bool
+	walk = func(b *cfg.Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestIfElseBothReturn(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+	dead()
+	return 3
+}
+func dead() {}`)
+	d := blockOf(t, g, "dead")
+	if len(d.Preds) != 0 {
+		t.Errorf("statement after if/else-both-return should be unreachable, got %d preds", len(d.Preds))
+	}
+	// Exit has the two return edges plus possibly the dead return.
+	if len(g.Exit.Preds) < 2 {
+		t.Errorf("exit should have >=2 preds, got %d\n%s", len(g.Exit.Preds), g)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	before()
+	if c {
+		inside()
+	}
+	after()
+}
+func before(); func inside(); func after()`)
+	b, in, a := blockOf(t, g, "before"), blockOf(t, g, "inside"), blockOf(t, g, "after")
+	if !hasEdge(b, in) {
+		t.Errorf("missing cond->then edge\n%s", g)
+	}
+	if !reaches(b, a) || !reaches(in, a) {
+		t.Errorf("after() must be reachable via both arms\n%s", g)
+	}
+	// The skip edge: before's block must also reach after without going
+	// through inside.
+	skip := false
+	for _, s := range b.Succs {
+		if s != in && reaches(s, a) {
+			skip = true
+		}
+	}
+	if !skip {
+		t.Errorf("missing else-less skip edge\n%s", g)
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	g := build(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		body()
+	}
+	after()
+}
+func body(); func after()`)
+	bb := blockOf(t, g, "body")
+	ab := blockOf(t, g, "after")
+	if !reaches(bb, bb) {
+		t.Errorf("loop body should reach itself via the back edge\n%s", g)
+	}
+	if !reaches(bb, ab) {
+		t.Errorf("loop body should reach the loop exit\n%s", g)
+	}
+	if !reaches(g.Entry, ab) {
+		t.Errorf("after() unreachable\n%s", g)
+	}
+}
+
+func TestInfiniteLoopOnlyBreakExits(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	for {
+		if c {
+			break
+		}
+		body()
+	}
+	after()
+}
+func body(); func after()`)
+	ab := blockOf(t, g, "after")
+	if !reaches(g.Entry, ab) {
+		t.Errorf("break should be the exit of for{}\n%s", g)
+	}
+
+	g2 := build(t, `package p
+func f() {
+	for {
+		body()
+	}
+	after()
+}
+func body(); func after()`)
+	ab2 := blockOf(t, g2, "after")
+	if reaches(g2.Entry, ab2) {
+		t.Errorf("for{} without break must not fall through\n%s", g2)
+	}
+}
+
+func TestLabeledBreakNestedLoop(t *testing.T) {
+	g := build(t, `package p
+func f(m, n int) {
+outer:
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				break outer
+			}
+			inner()
+		}
+		mid()
+	}
+	after()
+}
+func inner(); func mid(); func after()`)
+	in := blockOf(t, g, "inner")
+	ab := blockOf(t, g, "after")
+	if !reaches(in, ab) {
+		t.Errorf("labeled break should exit both loops\n%s", g)
+	}
+	// The labeled break must NOT pass through mid() on its way out: find
+	// the break's block and check its successor skips the outer loop.
+	var brk *cfg.Block
+	for _, bl := range g.Blocks {
+		for _, n := range bl.Nodes {
+			if bs, ok := n.(*ast.BranchStmt); ok && bs.Label != nil {
+				brk = bl
+			}
+		}
+	}
+	if brk == nil {
+		t.Fatalf("no break block\n%s", g)
+	}
+	mid := blockOf(t, g, "mid")
+	for _, s := range brk.Succs {
+		if reaches(s, mid) {
+			t.Errorf("break outer must not re-enter the outer loop body\n%s", g)
+		}
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	g := build(t, `package p
+func f(m, n int) {
+outer:
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue outer
+			}
+			inner()
+		}
+	}
+	after()
+}
+func inner(); func after()`)
+	in := blockOf(t, g, "inner")
+	if !reaches(in, in) {
+		t.Errorf("continue outer keeps looping; inner must stay reachable from itself\n%s", g)
+	}
+	if !reaches(g.Entry, blockOf(t, g, "after")) {
+		t.Errorf("after() unreachable\n%s", g)
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	before()
+loop:
+	body()
+	if c {
+		goto done
+	}
+	goto loop
+done:
+	after()
+}
+func before(); func body(); func after()`)
+	bb := blockOf(t, g, "body")
+	ab := blockOf(t, g, "after")
+	if !reaches(bb, bb) {
+		t.Errorf("backward goto must form a cycle\n%s", g)
+	}
+	if !reaches(bb, ab) {
+		t.Errorf("forward goto must reach done\n%s", g)
+	}
+	if !reaches(g.Entry, ab) {
+		t.Errorf("after() unreachable from entry\n%s", g)
+	}
+}
+
+func TestPanicEdge(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	after()
+}
+func after()`)
+	var panicBlk *cfg.Block
+	for _, bl := range g.Blocks {
+		if bl.Kind == cfg.KindPanic {
+			panicBlk = bl
+		}
+	}
+	if panicBlk == nil {
+		t.Fatalf("no panic block\n%s", g)
+	}
+	if !hasEdge(panicBlk, g.Exit) {
+		t.Errorf("panic block must edge to exit\n%s", g)
+	}
+	if reaches(panicBlk, blockOf(t, g, "after")) {
+		t.Errorf("panic must not fall through to after()\n%s", g)
+	}
+}
+
+func TestDeferRecorded(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	defer cleanup()
+	if c {
+		defer extra()
+	}
+	after()
+}
+func cleanup(); func extra(); func after()`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 defers, got %d", len(g.Defers))
+	}
+	// First defer registers on the entry path; second inside the if arm.
+	if g.Defers[0].Block == nil || g.Defers[1].Block == nil {
+		t.Fatal("defer blocks not recorded")
+	}
+	if g.Defers[0].Block == g.Defers[1].Block {
+		t.Errorf("defers in different arms must be in different blocks\n%s", g)
+	}
+	// The conditional defer's block must not be on every path: entry must
+	// reach exit without it.
+	seen := map[*cfg.Block]bool{g.Defers[1].Block: true} // treat as removed
+	var walk func(b *cfg.Block) bool
+	walk = func(b *cfg.Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(g.Entry) {
+		t.Errorf("conditional defer should not dominate exit\n%s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		def()
+	}
+	after()
+}
+func one(); func two(); func def(); func after()`)
+	one, two := blockOf(t, g, "one"), blockOf(t, g, "two")
+	if !hasEdge(one, two) {
+		t.Errorf("fallthrough must edge to the next case body\n%s", g)
+	}
+	for _, name := range []string{"one", "two", "def"} {
+		if !reaches(blockOf(t, g, name), blockOf(t, g, "after")) {
+			t.Errorf("case %s must reach after()\n%s", name, g)
+		}
+	}
+}
+
+func TestSwitchNoDefaultSkips(t *testing.T) {
+	g := build(t, `package p
+func f(x int) {
+	before()
+	switch x {
+	case 1:
+		one()
+	}
+	after()
+}
+func before(); func one(); func after()`)
+	b, one, a := blockOf(t, g, "before"), blockOf(t, g, "one"), blockOf(t, g, "after")
+	// Without a default the switch head must have a skip edge to done.
+	skip := false
+	for _, s := range b.Succs {
+		if s != one && reaches(s, a) {
+			skip = true
+		}
+	}
+	if !skip {
+		t.Errorf("switch without default needs a skip edge\n%s", g)
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := build(t, `package p
+func f(x interface{}) {
+	switch x.(type) {
+	case int:
+		one()
+	case string:
+		two()
+	}
+	after()
+}
+func one(); func two(); func after()`)
+	for _, name := range []string{"one", "two", "after"} {
+		if !reaches(g.Entry, blockOf(t, g, name)) {
+			t.Errorf("%s unreachable\n%s", name, g)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `package p
+func f(a, b chan int) {
+	select {
+	case <-a:
+		one()
+	case v := <-b:
+		_ = v
+		two()
+	}
+	after()
+}
+func one(); func two(); func after()`)
+	one, two, a := blockOf(t, g, "one"), blockOf(t, g, "two"), blockOf(t, g, "after")
+	if one == two {
+		t.Errorf("comm clauses must get distinct blocks\n%s", g)
+	}
+	if !reaches(one, a) || !reaches(two, a) {
+		t.Errorf("both clauses must reach after()\n%s", g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := build(t, `package p
+func f(xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		body()
+	}
+	after()
+}
+func body(); func after()`)
+	bb := blockOf(t, g, "body")
+	if !reaches(bb, bb) {
+		t.Errorf("range body should loop\n%s", g)
+	}
+	if !reaches(g.Entry, blockOf(t, g, "after")) {
+		t.Errorf("after() unreachable\n%s", g)
+	}
+}
+
+func TestEarlyReturnSkipsRest(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) error {
+	if c {
+		return nil
+	}
+	rest()
+	return nil
+}
+func rest()`)
+	if len(g.Exit.Preds) < 2 {
+		t.Errorf("both returns should edge to exit\n%s", g)
+	}
+	if !reaches(g.Entry, blockOf(t, g, "rest")) {
+		t.Errorf("rest() must stay reachable on the no-return path\n%s", g)
+	}
+}
+
+func TestFuncLitNotDescended(t *testing.T) {
+	g := build(t, `package p
+func f() {
+	g := func() {
+		panic("inner")
+	}
+	g()
+	after()
+}
+func after()`)
+	for _, bl := range g.Blocks {
+		if bl.Kind == cfg.KindPanic {
+			t.Errorf("panic inside a FuncLit must not create a panic edge in the outer graph\n%s", g)
+		}
+	}
+	if !reaches(g.Entry, blockOf(t, g, "after")) {
+		t.Errorf("after() unreachable\n%s", g)
+	}
+}

@@ -1,0 +1,221 @@
+// Package dataflow provides a generic iterative dataflow solver and a
+// dominance computation over lint/cfg graphs. It is the second half of
+// the flow-sensitive layer under mmdblint's analyzers and is designed
+// to be reused by future ones: an analyzer states its lattice (top,
+// boundary, merge, equality) and a per-block transfer function, and
+// Solve iterates a worklist to the fixed point.
+//
+// The two analyses the checkpointing invariants need are both
+// expressible this way:
+//
+//   - walorder's "is this write covered by a durable WAL position on
+//     every path" is a forward must-analysis (Merge = AND);
+//   - unlockcheck's "which latches might still be held here" is a
+//     forward may-analysis over multisets (Merge = max).
+//
+// Dominators is separate from Solve because its consumers want the
+// relation, not a lattice: unlockcheck credits a deferred Unlock only
+// if the block registering the defer dominates Exit (i.e. the defer is
+// armed on every path out of the function).
+package dataflow
+
+import "mmdb/lint/cfg"
+
+// Direction of a dataflow problem.
+type Direction int
+
+const (
+	Forward  Direction = iota // facts flow Entry -> Exit along Succs
+	Backward                  // facts flow Exit -> Entry along Preds
+)
+
+// Problem describes one dataflow analysis over a graph. The fact type
+// is opaque to the solver; Transfer and Merge must not mutate their
+// inputs (return fresh values or share immutable state).
+type Problem struct {
+	Dir Direction
+	// Boundary is the fact at the boundary block (Entry for Forward,
+	// Exit for Backward).
+	Boundary func() any
+	// Top is the initial optimistic fact for every other block; it is
+	// also the in-fact of unreachable blocks at the fixed point.
+	Top func() any
+	// Merge combines the facts arriving over two edges.
+	Merge func(a, b any) any
+	// Transfer computes the block's out-fact (forward) or in-fact
+	// (backward) from the fact entering it.
+	Transfer func(b *cfg.Block, in any) any
+	// Equal reports whether two facts are equal (fixed-point test).
+	Equal func(a, b any) bool
+}
+
+// Result holds the per-block fixed point. For a Forward problem, In is
+// the fact before the block's first node and Out the fact after its
+// last; for Backward the roles mirror (In is the fact "after" in
+// execution order).
+type Result struct {
+	In  map[*cfg.Block]any
+	Out map[*cfg.Block]any
+}
+
+// Solve iterates p over g to a fixed point and returns the per-block
+// facts. Termination is the analyzer's responsibility: Merge must be
+// monotone over a lattice of finite height (all mmdblint problems use
+// booleans or bounded counters).
+func Solve(g *cfg.Graph, p Problem) *Result {
+	res := &Result{
+		In:  make(map[*cfg.Block]any, len(g.Blocks)),
+		Out: make(map[*cfg.Block]any, len(g.Blocks)),
+	}
+	boundary := g.Entry
+	if p.Dir == Backward {
+		boundary = g.Exit
+	}
+	for _, b := range g.Blocks {
+		if b == boundary {
+			res.In[b] = p.Boundary()
+		} else {
+			res.In[b] = p.Top()
+		}
+		res.Out[b] = p.Transfer(b, res.In[b])
+	}
+
+	inEdges := func(b *cfg.Block) []*cfg.Block {
+		if p.Dir == Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	outEdges := func(b *cfg.Block) []*cfg.Block {
+		if p.Dir == Forward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+
+	// Seed the worklist with every block; iterate until stable.
+	work := make([]*cfg.Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make(map[*cfg.Block]bool, len(g.Blocks))
+	for _, b := range work {
+		queued[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		in := res.In[b]
+		if b != boundary {
+			preds := inEdges(b)
+			if len(preds) > 0 {
+				merged := res.Out[preds[0]]
+				for _, p2 := range preds[1:] {
+					merged = p.Merge(merged, res.Out[p2])
+				}
+				in = merged
+			}
+		}
+		out := p.Transfer(b, in)
+		res.In[b] = in
+		if !p.Equal(out, res.Out[b]) {
+			res.Out[b] = out
+			for _, s := range outEdges(b) {
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Dominators computes the immediate-dominator tree of g's blocks
+// reachable from Entry, using the Cooper–Harvey–Kennedy iterative
+// algorithm over a reverse postorder. The returned map sends each
+// reachable block to its immediate dominator; Entry maps to itself, and
+// unreachable blocks are absent.
+func Dominators(g *cfg.Graph) map[*cfg.Block]*cfg.Block {
+	// Reverse postorder of the reachable subgraph.
+	var post []*cfg.Block
+	seen := make(map[*cfg.Block]bool, len(g.Blocks))
+	var dfs func(b *cfg.Block)
+	dfs = func(b *cfg.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	rpo := make([]*cfg.Block, len(post))
+	order := make(map[*cfg.Block]int, len(post))
+	for i := range post {
+		rpo[len(post)-1-i] = post[i]
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+
+	idom := make(map[*cfg.Block]*cfg.Block, len(rpo))
+	idom[g.Entry] = g.Entry
+	intersect := func(a, b *cfg.Block) *cfg.Block {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *cfg.Block
+			for _, p := range b.Preds {
+				if _, ok := idom[p]; !ok {
+					continue // pred not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom tree (every
+// path from Entry to b passes through a). A block dominates itself.
+// Blocks unreachable from Entry dominate nothing and are dominated by
+// nothing.
+func Dominates(idom map[*cfg.Block]*cfg.Block, a, b *cfg.Block) bool {
+	if _, ok := idom[a]; !ok {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		parent, ok := idom[b]
+		if !ok || parent == b {
+			return false
+		}
+		b = parent
+	}
+}

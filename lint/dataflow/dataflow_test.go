@@ -1,0 +1,293 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"mmdb/lint/cfg"
+	"mmdb/lint/dataflow"
+)
+
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return cfg.New(fn.Name.Name, fn.Body)
+		}
+	}
+	t.Fatal("no function")
+	return nil
+}
+
+func blockOf(t *testing.T, g *cfg.Graph, name string) *cfg.Block {
+	t.Helper()
+	for _, bl := range g.Blocks {
+		for _, n := range bl.Nodes {
+			var found bool
+			ast.Inspect(n, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return bl
+			}
+		}
+	}
+	t.Fatalf("no block calls %s in:\n%s", name, g)
+	return nil
+}
+
+// callsIn reports whether the block contains a call to name.
+func callsIn(b *cfg.Block, name string) bool {
+	for _, n := range b.Nodes {
+		var found bool
+		ast.Inspect(n, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// coverage is the walorder-shaped problem: forward must-analysis where
+// cover() establishes the fact and Merge is AND.
+func coverage() dataflow.Problem {
+	return dataflow.Problem{
+		Dir:      dataflow.Forward,
+		Boundary: func() any { return false },
+		Top:      func() any { return true }, // optimistic for must-analysis
+		Merge:    func(a, b any) any { return a.(bool) && b.(bool) },
+		Transfer: func(b *cfg.Block, in any) any {
+			if callsIn(b, "cover") {
+				return true
+			}
+			return in
+		},
+		Equal: func(a, b any) bool { return a == b },
+	}
+}
+
+func TestForwardMustBothBranches(t *testing.T) {
+	// cover() on both arms: the join is covered.
+	g := build(t, `package p
+func f(c bool) {
+	if c {
+		cover()
+	} else {
+		cover()
+	}
+	sink()
+}
+func cover(); func sink()`)
+	res := dataflow.Solve(g, coverage())
+	if got := res.In[blockOf(t, g, "sink")]; got != true {
+		t.Errorf("sink In = %v, want covered (both branches cover)", got)
+	}
+}
+
+func TestForwardMustOneBranchOnly(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	if c {
+		cover()
+	}
+	sink()
+}
+func cover(); func sink()`)
+	res := dataflow.Solve(g, coverage())
+	if got := res.In[blockOf(t, g, "sink")]; got != false {
+		t.Errorf("sink In = %v, want uncovered (skip edge bypasses cover)", got)
+	}
+}
+
+func TestForwardMustLoop(t *testing.T) {
+	// cover() before the loop survives the back edge.
+	g := build(t, `package p
+func f(n int) {
+	cover()
+	for i := 0; i < n; i++ {
+		sink()
+	}
+}
+func cover(); func sink()`)
+	res := dataflow.Solve(g, coverage())
+	if got := res.In[blockOf(t, g, "sink")]; got != true {
+		t.Errorf("sink In = %v, want covered across the loop head", got)
+	}
+
+	// cover() only inside the loop body does NOT cover the body's own
+	// entry (the first iteration arrives uncovered).
+	g2 := build(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		sink()
+		cover()
+	}
+}
+func cover(); func sink()`)
+	res2 := dataflow.Solve(g2, coverage())
+	if got := res2.In[blockOf(t, g2, "sink")]; got != false {
+		t.Errorf("sink In = %v, want uncovered on the first iteration", got)
+	}
+}
+
+func TestBackwardLiveness(t *testing.T) {
+	// A backward may-analysis: "does a call to use() lie ahead?".
+	g := build(t, `package p
+func f(c bool) {
+	first()
+	if c {
+		use()
+	}
+	last()
+}
+func first(); func use(); func last()`)
+	prob := dataflow.Problem{
+		Dir:      dataflow.Backward,
+		Boundary: func() any { return false },
+		Top:      func() any { return false },
+		Merge:    func(a, b any) any { return a.(bool) || b.(bool) },
+		Transfer: func(b *cfg.Block, in any) any {
+			if callsIn(b, "use") {
+				return true
+			}
+			return in
+		},
+		Equal: func(a, b any) bool { return a == b },
+	}
+	res := dataflow.Solve(g, prob)
+	if got := res.Out[blockOf(t, g, "first")]; got != true {
+		t.Errorf("first Out = %v, want use-ahead on some path", got)
+	}
+	if got := res.Out[blockOf(t, g, "last")]; got != false {
+		t.Errorf("last Out = %v, want no use ahead", got)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	top()
+	if c {
+		left()
+	} else {
+		right()
+	}
+	bottom()
+}
+func top(); func left(); func right(); func bottom()`)
+	idom := dataflow.Dominators(g)
+	topB, leftB, rightB, botB := blockOf(t, g, "top"), blockOf(t, g, "left"), blockOf(t, g, "right"), blockOf(t, g, "bottom")
+	if !dataflow.Dominates(idom, topB, botB) {
+		t.Error("top must dominate bottom")
+	}
+	if dataflow.Dominates(idom, leftB, botB) || dataflow.Dominates(idom, rightB, botB) {
+		t.Error("neither arm dominates the join")
+	}
+	if !dataflow.Dominates(idom, g.Entry, g.Exit) {
+		t.Error("entry must dominate exit")
+	}
+	if !dataflow.Dominates(idom, botB, botB) {
+		t.Error("a block dominates itself")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	g := build(t, `package p
+func f(n int) {
+	pre()
+	for i := 0; i < n; i++ {
+		body()
+	}
+	post()
+}
+func pre(); func body(); func post()`)
+	idom := dataflow.Dominators(g)
+	preB, bodyB, postB := blockOf(t, g, "pre"), blockOf(t, g, "body"), blockOf(t, g, "post")
+	if !dataflow.Dominates(idom, preB, bodyB) || !dataflow.Dominates(idom, preB, postB) {
+		t.Error("code before the loop dominates body and exit")
+	}
+	if dataflow.Dominates(idom, bodyB, postB) {
+		t.Error("a conditional loop body must not dominate the loop exit")
+	}
+}
+
+func TestDominatorsGotoCycle(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	pre()
+loop:
+	body()
+	if c {
+		goto loop
+	}
+	post()
+}
+func pre(); func body(); func post()`)
+	idom := dataflow.Dominators(g)
+	preB, bodyB, postB := blockOf(t, g, "pre"), blockOf(t, g, "body"), blockOf(t, g, "post")
+	if !dataflow.Dominates(idom, preB, postB) {
+		t.Error("pre dominates post across the goto cycle")
+	}
+	if !dataflow.Dominates(idom, bodyB, postB) {
+		t.Error("the goto loop's body is on every path to post")
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	g := build(t, `package p
+func f() {
+	return
+	dead()
+}
+func dead()`)
+	idom := dataflow.Dominators(g)
+	deadB := blockOf(t, g, "dead")
+	if dataflow.Dominates(idom, deadB, g.Exit) {
+		t.Error("unreachable code must not dominate exit")
+	}
+	if _, ok := idom[deadB]; ok {
+		t.Error("unreachable block should be absent from the idom tree")
+	}
+}
+
+func TestDeferDominanceScenario(t *testing.T) {
+	// The unlockcheck pattern: a defer registered unconditionally at the
+	// top dominates Exit; one inside a branch does not.
+	g := build(t, `package p
+func f(c bool) {
+	defer all()
+	if c {
+		defer some()
+	}
+}
+func all(); func some()`)
+	idom := dataflow.Dominators(g)
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 defers, got %d", len(g.Defers))
+	}
+	if !dataflow.Dominates(idom, g.Defers[0].Block, g.Exit) {
+		t.Error("top-level defer must dominate exit")
+	}
+	if dataflow.Dominates(idom, g.Defers[1].Block, g.Exit) {
+		t.Error("conditional defer must not dominate exit")
+	}
+}

@@ -1,0 +1,876 @@
+// Package lockorder builds a cross-package lock-acquisition graph and
+// reports potential deadlocks: cycles in the graph, and violations of a
+// declared total order. It is the static complement of
+// internal/lockmgr's runtime waits-for detector — the runtime detector
+// covers the keyed record/segment locks (which alias dynamically), this
+// analyzer covers the latches and mutexes the checkpointers interleave
+// with them.
+//
+// # Lock classes
+//
+// A lock class names a mutex field by its owning type:
+// "mmdb/internal/engine.Engine.txnMu", or an embedded latch,
+// "mmdb/internal/storage.Segment.RWMutex". Classes are derived from
+// type information at sync.(RW)Mutex call sites; non-mutex lock tables
+// (the lock manager's logical locks) are introduced by annotation.
+// Class names in annotations are absolute when they contain a '/' and
+// otherwise relative to the annotating package ("Manager.table" inside
+// internal/lockmgr means "mmdb/internal/lockmgr.Manager.table").
+//
+// # Annotation vocabulary
+//
+//   - "lockorder:level=N" in a mutex field's comment declares its place
+//     in the total order: along any path, acquired levels must strictly
+//     increase.
+//   - "lockorder:declare <class> level=N" declares a class that is not
+//     a sync mutex field (the lock manager's table of logical locks).
+//   - "lockorder:acquires <class>" / "lockorder:releases <class>" on a
+//     function says a call to it takes/drops the class (Manager.Lock,
+//     wal.Log.Append, ...). A function carrying both is transient: the
+//     call orders the class against everything held, but does not leave
+//     it held.
+//   - "lockorder:held <class>" on a function (or, for a closure, in a
+//     comment on the statement that creates it) seeds the analysis:
+//     callers invoke it with the class held. The existing
+//     "lockcheck:held <expr>" annotations seed the same way, with the
+//     expression resolved against the receiver and parameters.
+//
+// # How edges are found
+//
+// Per function, a forward may-held dataflow over the lint/cfg graph
+// tracks the set of classes possibly held; acquiring class B with A
+// held adds edge A→B. TryLock acquisitions join the held set but draw
+// no incoming edge (a try cannot block, so it cannot close a wait
+// cycle). Deferred and goroutine-launching statements contribute no
+// lock effects at their syntactic position. Edges are exported as
+// .vetx facts and merged across packages, so a cycle spanning engine,
+// lockmgr and storage is visible from whichever package contributes its
+// closing edge.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mmdb/lint/analysis"
+	"mmdb/lint/cfg"
+	"mmdb/lint/dataflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:         "lockorder",
+	Doc:          "builds the cross-package lock-acquisition graph; reports cycles and declared-level violations",
+	ExtractFacts: extractFacts,
+	ExportFacts:  exportFacts,
+	Run:          run,
+}
+
+// Facts is one package's contribution to the global lock graph.
+type Facts struct {
+	// Levels maps a class to its declared lockorder:level.
+	Levels map[string]int `json:"levels,omitempty"`
+	// Edges are the acquired-while-holding pairs observed in this
+	// package, with a printable position for cross-package reports.
+	Edges []Edge `json:"edges,omitempty"`
+	// Funcs maps "Recv.Name" (or "Name") to its lock annotations.
+	Funcs map[string]FuncAnno `json:"funcs,omitempty"`
+}
+
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Pos  string `json:"pos"`
+}
+
+type FuncAnno struct {
+	Acquires []string `json:"acquires,omitempty"`
+	Releases []string `json:"releases,omitempty"`
+	Held     []string `json:"held,omitempty"`
+}
+
+var (
+	levelRe    = regexp.MustCompile(`lockorder:level=(\d+)`)
+	declareRe  = regexp.MustCompile(`lockorder:declare\s+(\S+)\s+level=(\d+)`)
+	funcAnnoRe = regexp.MustCompile(`lockorder:(acquires|releases|held)\s+(\S+)`)
+	heldExprRe = regexp.MustCompile(`lockcheck:held\s+(.+)`)
+)
+
+// resolveClass makes a class name absolute: names with a '/' already
+// are; anything else belongs to the annotating package.
+func resolveClass(pkgPath, name string) string {
+	if strings.Contains(name, "/") {
+		return name
+	}
+	return pkgPath + "." + name
+}
+
+// shortClass trims the directory part for readable messages.
+func shortClass(class string) string {
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}
+
+// extractFacts gathers the syntactic annotations: levels, declares, and
+// per-function acquire/release/held lists. Edges need types and are
+// added by exportFacts.
+func extractFacts(fset *token.FileSet, pkgPath string, files []*ast.File) any {
+	f := &Facts{Levels: map[string]int{}, Funcs: map[string]FuncAnno{}}
+	for _, file := range files {
+		if strings.HasSuffix(fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// Field levels: a lockorder:level=N in a struct field's doc or
+		// line comment names the class <pkg>.<Type>.<field>.
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					lvl, ok := levelFrom(field.Doc, field.Comment)
+					if !ok {
+						continue
+					}
+					for _, name := range fieldNames(field) {
+						f.Levels[pkgPath+"."+ts.Name.Name+"."+name] = lvl
+					}
+				}
+			}
+			// Declared classes may sit on the type's doc comment.
+			addDeclares(f, pkgPath, gd.Doc)
+		}
+		// ...or anywhere else in the file.
+		for _, cg := range file.Comments {
+			addDeclares(f, pkgPath, cg)
+		}
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			if anno, ok := parseFuncAnno(pkgPath, fn.Doc.Text()); ok {
+				f.Funcs[funcKey(fn)] = anno
+			}
+		}
+	}
+	if len(f.Levels) == 0 && len(f.Funcs) == 0 {
+		return nil
+	}
+	return f
+}
+
+func addDeclares(f *Facts, pkgPath string, cg *ast.CommentGroup) {
+	if cg == nil {
+		return
+	}
+	for _, m := range declareRe.FindAllStringSubmatch(cg.Text(), -1) {
+		lvl, err := strconv.Atoi(m[2])
+		if err == nil {
+			f.Levels[resolveClass(pkgPath, m[1])] = lvl
+		}
+	}
+}
+
+func levelFrom(groups ...*ast.CommentGroup) (int, bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		if m := levelRe.FindStringSubmatch(cg.Text()); m != nil {
+			lvl, err := strconv.Atoi(m[1])
+			if err == nil {
+				return lvl, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// fieldNames lists a field's names; an embedded field contributes its
+// type's base name ("RWMutex" for sync.RWMutex).
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) > 0 {
+		var out []string
+		for _, n := range field.Names {
+			out = append(out, n.Name)
+		}
+		return out
+	}
+	t := field.Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.SelectorExpr:
+			return []string{tt.Sel.Name}
+		case *ast.Ident:
+			return []string{tt.Name}
+		default:
+			return nil
+		}
+	}
+}
+
+func parseFuncAnno(pkgPath, doc string) (FuncAnno, bool) {
+	var anno FuncAnno
+	found := false
+	for _, m := range funcAnnoRe.FindAllStringSubmatch(doc, -1) {
+		cls := resolveClass(pkgPath, m[2])
+		found = true
+		switch m[1] {
+		case "acquires":
+			anno.Acquires = append(anno.Acquires, cls)
+		case "releases":
+			anno.Releases = append(anno.Releases, cls)
+		case "held":
+			anno.Held = append(anno.Held, cls)
+		}
+	}
+	return anno, found
+}
+
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return id.Name + "." + fn.Name.Name
+			}
+			return fn.Name.Name
+		}
+	}
+}
+
+// exportFacts emits the syntactic facts plus the typed edge set.
+func exportFacts(pass *analysis.Pass) any {
+	f, _ := extractFacts(pass.Fset, pass.Pkg.Path(), pass.Files).(*Facts)
+	if f == nil {
+		f = &Facts{}
+	}
+	c, err := newComputer(pass)
+	if err != nil {
+		return f
+	}
+	for _, e := range c.computeEdges() {
+		f.Edges = append(f.Edges, Edge{From: e.From, To: e.To, Pos: pass.Fset.Position(e.Pos).String()})
+	}
+	if len(f.Levels) == 0 && len(f.Funcs) == 0 && len(f.Edges) == 0 {
+		return nil
+	}
+	return f
+}
+
+type localEdge struct {
+	From, To string
+	Pos      token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	c, err := newComputer(pass)
+	if err != nil {
+		return err
+	}
+	local := c.computeEdges()
+
+	// Merge the global levels first: an edge that violates them gets its
+	// own diagnostic and is kept OUT of the cycle graph, so the innocent
+	// reverse-ordered edge elsewhere is not reported as a "cycle" too.
+	levels := make(map[string]int)
+	var imported []Edge
+	own := pass.Pkg.Path()
+	for pkgPath := range pass.Facts {
+		var f Facts
+		if ok, err := pass.DecodeFacts(pkgPath, &f); err != nil {
+			return err
+		} else if !ok {
+			continue
+		}
+		for cls, lvl := range f.Levels {
+			levels[cls] = lvl
+		}
+		if pkgPath == own {
+			continue // own edges were just recomputed with real positions
+		}
+		imported = append(imported, f.Edges...)
+	}
+	violates := func(from, to string) bool {
+		lf, okF := levels[from]
+		lt, okT := levels[to]
+		return okF && okT && lf >= lt
+	}
+
+	adj := make(map[string][]string)
+	edgeSeen := make(map[[2]string]bool)
+	addEdge := func(from, to string) {
+		k := [2]string{from, to}
+		if !violates(from, to) && !edgeSeen[k] {
+			edgeSeen[k] = true
+			adj[from] = append(adj[from], to)
+		}
+	}
+	for _, e := range imported {
+		addEdge(e.From, e.To)
+	}
+	for _, e := range local {
+		addEdge(e.From, e.To)
+	}
+
+	// Declared-level check: along local edges, levels must strictly
+	// increase.
+	reported := make(map[[2]string]bool)
+	for _, e := range local {
+		if !violates(e.From, e.To) {
+			continue
+		}
+		k := [2]string{e.From, e.To}
+		if reported[k] {
+			continue
+		}
+		reported[k] = true
+		pass.Reportf(e.Pos, "acquires %s (lockorder:level=%d) while holding %s (lockorder:level=%d); declared levels must strictly increase",
+			shortClass(e.To), levels[e.To], shortClass(e.From), levels[e.From])
+	}
+
+	// Cycle check: a local edge A→B closes a cycle if B already reaches
+	// A through the merged graph. Each distinct cycle is reported once,
+	// at its first local closing edge.
+	cycleSeen := make(map[string]bool)
+	for _, e := range local {
+		if reported[[2]string{e.From, e.To}] {
+			continue // the level diagnostic already covers this edge
+		}
+		path := findPath(adj, e.To, e.From)
+		if path == nil {
+			continue
+		}
+		// cyc is closed: From, To, ..., From.
+		cyc := append([]string{e.From}, path...)
+		var names []string
+		for _, cls := range cyc {
+			names = append(names, shortClass(cls))
+		}
+		sorted := append([]string(nil), names[:len(names)-1]...)
+		sort.Strings(sorted)
+		key := strings.Join(sorted, "→")
+		if cycleSeen[key] {
+			continue
+		}
+		cycleSeen[key] = true
+		pass.Reportf(e.Pos, "acquiring %s while holding %s creates a lock-order cycle: %s",
+			shortClass(e.To), shortClass(e.From), strings.Join(names, " → "))
+	}
+	return nil
+}
+
+// findPath returns a shortest node path from from to to (inclusive), or
+// nil.
+func findPath(adj map[string][]string, from, to string) []string {
+	if from == to {
+		return []string{from}
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[n] {
+			if _, ok := prev[next]; ok {
+				continue
+			}
+			prev[next] = n
+			if next == to {
+				var path []string
+				for at := to; ; at = prev[at] {
+					path = append([]string{at}, path...)
+					if at == from {
+						return path
+					}
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// computer walks one package's functions, deriving lock classes and
+// acquisition edges with type information.
+type computer struct {
+	pass  *analysis.Pass
+	facts map[string]*Facts // every visible package's facts, own included
+	edges []localEdge
+	seen  map[[2]string]bool
+}
+
+func newComputer(pass *analysis.Pass) (*computer, error) {
+	c := &computer{pass: pass, facts: make(map[string]*Facts), seen: make(map[[2]string]bool)}
+	for pkgPath := range pass.Facts {
+		var f Facts
+		if ok, err := pass.DecodeFacts(pkgPath, &f); err != nil {
+			return nil, err
+		} else if ok {
+			c.facts[pkgPath] = &f
+		}
+	}
+	// The pass may predate this package's own fact extraction (the
+	// analysistest harness always includes it; a by-hand Package might
+	// not). Ensure the own annotations are visible.
+	own := pass.Pkg.Path()
+	if _, ok := c.facts[own]; !ok {
+		if f, _ := extractFacts(pass.Fset, own, pass.Files).(*Facts); f != nil {
+			c.facts[own] = f
+		}
+	}
+	return c, nil
+}
+
+func (c *computer) computeEdges() []localEdge {
+	for _, f := range c.pass.Files {
+		if analysis.IsTestFile(c.pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.checkFunc(fn.Name.Name, fn.Body, c.seedsOf(fn))
+			for _, li := range funcLitsWithStmts(fn.Body) {
+				c.checkFunc(fn.Name.Name+".func", li.lit.Body, c.litSeeds(f, li.stmt))
+			}
+		}
+	}
+	return c.edges
+}
+
+// seedsOf resolves a function's entry-held classes from its
+// lockorder:held and lockcheck:held annotations.
+func (c *computer) seedsOf(fn *ast.FuncDecl) map[string]bool {
+	held := make(map[string]bool)
+	if f := c.facts[c.pass.Pkg.Path()]; f != nil {
+		for _, cls := range f.Funcs[funcKey(fn)].Held {
+			held[cls] = true
+		}
+	}
+	if fn.Doc != nil {
+		for _, m := range heldExprRe.FindAllStringSubmatch(fn.Doc.Text(), -1) {
+			expr := strings.TrimSpace(m[1])
+			if i := strings.IndexAny(expr, " \t"); i >= 0 {
+				expr = expr[:i]
+			}
+			if cls := c.resolveHeldExpr(fn, expr); cls != "" {
+				held[cls] = true
+			}
+		}
+	}
+	return held
+}
+
+// litSeeds reads lockorder:held annotations from the comments attached
+// to the statement that creates a closure.
+func (c *computer) litSeeds(file *ast.File, stmt ast.Stmt) map[string]bool {
+	held := make(map[string]bool)
+	if stmt == nil {
+		return held
+	}
+	start := c.pass.Fset.Position(stmt.Pos())
+	for _, cg := range file.Comments {
+		end := c.pass.Fset.Position(cg.End())
+		// The comment group immediately above the statement (its "doc").
+		if end.Filename != start.Filename || end.Line != start.Line-1 {
+			continue
+		}
+		for _, m := range funcAnnoRe.FindAllStringSubmatch(cg.Text(), -1) {
+			if m[1] == "held" {
+				held[resolveClass(c.pass.Pkg.Path(), m[2])] = true
+			}
+		}
+	}
+	return held
+}
+
+// resolveHeldExpr maps a lockcheck:held expression ("e.txnMu", "sh.mu",
+// bare "s") to a lock class via the receiver's and parameters' types.
+func (c *computer) resolveHeldExpr(fn *ast.FuncDecl, expr string) string {
+	parts := strings.Split(expr, ".")
+	var base types.Type
+	fields := []*ast.FieldList{fn.Recv, fn.Type.Params}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if name.Name == parts[0] {
+					if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+						base = obj.Type()
+					}
+				}
+			}
+		}
+	}
+	named := derefNamed(base)
+	if named == nil {
+		return ""
+	}
+	if len(parts) == 1 {
+		// Bare receiver: the type embeds (or is) the mutex.
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if f.Embedded() && isSyncMutex(f.Type()) {
+					return className(named, f)
+				}
+			}
+		}
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == parts[1] {
+			return className(named, f)
+		}
+	}
+	return ""
+}
+
+// checkFunc runs the may-held dataflow over one body and records the
+// acquisition edges.
+func (c *computer) checkFunc(name string, body *ast.BlockStmt, seeds map[string]bool) {
+	g := cfg.New(name, body)
+	res := dataflow.Solve(g, dataflow.Problem{
+		Dir:      dataflow.Forward,
+		Boundary: func() any { return cloneSet(seeds) },
+		Top:      func() any { return map[string]bool{} },
+		Merge: func(a, b any) any {
+			out := cloneSet(a.(map[string]bool))
+			for k := range b.(map[string]bool) {
+				out[k] = true
+			}
+			return out
+		},
+		Transfer: func(b *cfg.Block, in any) any {
+			held := cloneSet(in.(map[string]bool))
+			for _, n := range b.Nodes {
+				c.applyNode(n, held, 0)
+			}
+			return held
+		},
+		Equal: func(a, b any) bool { return equalSet(a.(map[string]bool), b.(map[string]bool)) },
+	})
+	for _, b := range g.Blocks {
+		held := cloneSet(res.In[b].(map[string]bool))
+		for _, n := range b.Nodes {
+			c.applyNode(n, held, 1)
+		}
+	}
+}
+
+// applyNode applies a node's lock effects to held; mode 1 also records
+// edges. Deferred and go statements contribute nothing at their
+// syntactic position (a deferred unlock runs at function exit, not
+// here).
+func (c *computer) applyNode(n ast.Node, held map[string]bool, mode int) {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return
+	}
+	for _, call := range calls(n) {
+		c.applyCall(call, held, mode)
+	}
+}
+
+func (c *computer) applyCall(call *ast.CallExpr, held map[string]bool, mode int) {
+	if cls, op, isSync := c.syncOp(call); isSync {
+		if cls == "" {
+			return // unresolvable lock expression: cannot track
+		}
+		switch op {
+		case "Lock", "RLock":
+			if mode == 1 {
+				c.recordEdges(held, cls, call.Pos())
+			}
+			held[cls] = true
+		case "TryLock", "TryRLock":
+			held[cls] = true // cannot block: no incoming edge
+		case "Unlock", "RUnlock":
+			delete(held, cls)
+		}
+		return
+	}
+	anno, ok := c.calleeAnno(call)
+	if !ok {
+		return
+	}
+	for _, cls := range anno.Acquires {
+		if mode == 1 {
+			c.recordEdges(held, cls, call.Pos())
+		}
+		held[cls] = true
+	}
+	for _, cls := range anno.Releases {
+		delete(held, cls)
+	}
+}
+
+func (c *computer) recordEdges(held map[string]bool, to string, pos token.Pos) {
+	for from := range held {
+		if from == to {
+			continue // reacquiring the same keyed class (lock table rows)
+		}
+		k := [2]string{from, to}
+		if c.seen[k] {
+			continue
+		}
+		c.seen[k] = true
+		c.edges = append(c.edges, localEdge{From: from, To: to, Pos: pos})
+	}
+}
+
+// syncOp reports whether call is a sync.(RW)Mutex operation, with the
+// lock's class ("" when unresolvable) and the method name.
+func (c *computer) syncOp(call *ast.CallExpr) (cls, op string, isSync bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	return c.lockClass(sel), fn.Name(), true
+}
+
+// lockClass names the mutex a sync method call operates on: either the
+// selected expression is the mutex field itself (e.mu.Lock), or the
+// method is promoted from an embedded mutex (seg.Lock) and the class is
+// found by walking the selection's index path.
+func (c *computer) lockClass(sel *ast.SelectorExpr) string {
+	if selection := c.pass.TypesInfo.Selections[sel]; selection != nil && len(selection.Index()) > 1 {
+		owner := derefNamed(selection.Recv())
+		if owner == nil {
+			return ""
+		}
+		idx := selection.Index()
+		for _, i := range idx[:len(idx)-1] {
+			st, ok := owner.Underlying().(*types.Struct)
+			if !ok || i >= st.NumFields() {
+				return ""
+			}
+			f := st.Field(i)
+			if isSyncMutex(f.Type()) {
+				return className(owner, f)
+			}
+			owner = derefNamed(f.Type())
+			if owner == nil {
+				return ""
+			}
+		}
+		return ""
+	}
+	return c.exprClass(sel.X)
+}
+
+// exprClass names the lock class of a mutex-typed expression.
+func (c *computer) exprClass(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.exprClass(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.exprClass(e.X)
+		}
+	case *ast.SelectorExpr:
+		selection := c.pass.TypesInfo.Selections[e]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return ""
+		}
+		owner := derefNamed(selection.Recv())
+		if owner == nil {
+			return ""
+		}
+		idx := selection.Index()
+		for n, i := range idx {
+			st, ok := owner.Underlying().(*types.Struct)
+			if !ok || i >= st.NumFields() {
+				return ""
+			}
+			f := st.Field(i)
+			if n == len(idx)-1 {
+				return className(owner, f)
+			}
+			owner = derefNamed(f.Type())
+			if owner == nil {
+				return ""
+			}
+		}
+	case *ast.Ident:
+		if v, ok := c.pass.TypesInfo.Uses[e].(*types.Var); ok && v.Pkg() != nil &&
+			!v.IsField() && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name() // package-level mutex
+		}
+	}
+	return ""
+}
+
+// calleeAnno looks up the called function's lockorder annotations
+// through the fact map.
+func (c *computer) calleeAnno(call *ast.CallExpr) (FuncAnno, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return FuncAnno{}, false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return FuncAnno{}, false
+	}
+	f := c.facts[fn.Pkg().Path()]
+	if f == nil {
+		return FuncAnno{}, false
+	}
+	key := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		named := derefNamed(recv.Type())
+		if named == nil {
+			return FuncAnno{}, false
+		}
+		key = named.Obj().Name() + "." + key
+	}
+	anno, ok := f.Funcs[key]
+	return anno, ok
+}
+
+func className(owner *types.Named, f *types.Var) string {
+	pkg := owner.Obj().Pkg()
+	if pkg == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s.%s.%s", pkg.Path(), owner.Obj().Name(), f.Name())
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func isSyncMutex(t types.Type) bool {
+	named := derefNamed(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func equalSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// calls lists the call expressions under n in source order, skipping
+// function literals (each gets its own graph).
+func calls(n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+type litInfo struct {
+	lit  *ast.FuncLit
+	stmt ast.Stmt
+}
+
+// funcLitsWithStmts pairs each function literal under body with its
+// nearest enclosing statement, so annotations written above
+// "handle := func(...) {...}" attach to the closure.
+func funcLitsWithStmts(body *ast.BlockStmt) []litInfo {
+	var out []litInfo
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			var stmt ast.Stmt
+			for i := len(stack) - 1; i >= 0; i-- {
+				if s, ok := stack[i].(ast.Stmt); ok {
+					stmt = s
+					break
+				}
+			}
+			out = append(out, litInfo{lit: lit, stmt: stmt})
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return out
+}

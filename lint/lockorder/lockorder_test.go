@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/lockorder"
+)
+
+// TestLockorder covers, per package:
+//
+//   - lockpkg: declared-level violations, cycles among unleveled
+//     classes, annotated wrappers, held seeds (class and expression
+//     forms), closure seeds, and the false-positive regressions
+//     (release-before-acquire, TryLock, deferred unlock);
+//   - lockc: the three-package chain — locka's levels and wrapper
+//     annotations and lockb's observed edges all arrive as facts.
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "lockpkg", "lockc")
+}

@@ -1,0 +1,163 @@
+package lockorder_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/lockorder"
+)
+
+// TestRepoLockGraphConsistency audits the real repository: it loads the
+// engine and its dependencies through the analysistest Loader, computes
+// the cross-package lockorder facts exactly as the vet tool does, and
+// asserts that the statically derived lock graph agrees with the
+// discipline internal/lockmgr/deadlock.go's runtime detector relies on:
+//
+//   - the checkpoint paths close no lock-order cycle (the analyzer
+//     reports nothing on any audited package, and an independent DFS
+//     over the merged edge set finds the graph acyclic);
+//   - the edges the paper's checkpointers actually take are present —
+//     silence because facts failed to propagate would otherwise be
+//     indistinguishable from silence because the code is clean;
+//   - the detector's documented nesting holds: grantLocked takes waitMu
+//     inside a shard lock (shard.mu → waitMu), and the reverse edge
+//     never appears, because cycleFrom snapshots the waits-for map and
+//     releases waitMu before touching any shard.
+func TestRepoLockGraphConsistency(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := analysistest.NewLoader("", map[string]string{"mmdb": root})
+	audited := []string{
+		"mmdb/internal/engine",
+		"mmdb/internal/lockmgr",
+		"mmdb/internal/wal",
+		"mmdb/internal/storage",
+		"mmdb/kvstore",
+	}
+	for _, pkg := range audited {
+		if err := ld.Load(pkg); err != nil {
+			t.Fatalf("loading %s: %v", pkg, err)
+		}
+	}
+
+	// The analyzer itself must be clean on every audited package.
+	for _, pkg := range audited {
+		diags, err := ld.Check(lockorder.Analyzer, pkg)
+		if err != nil {
+			t.Fatalf("checking %s: %v", pkg, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %v: %s", pkg, ld.Fset().Position(d.Pos), d.Message)
+		}
+	}
+
+	// Merge the facts into one graph, as a cross-package run would.
+	raws, err := ld.Facts(lockorder.Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := make(map[string]int)
+	edgeSet := make(map[[2]string]bool)
+	adj := make(map[string][]string)
+	for pkg, raw := range raws {
+		var f lockorder.Facts
+		if err := json.Unmarshal(raw, &f); err != nil {
+			t.Fatalf("decoding %s facts: %v", pkg, err)
+		}
+		for cls, lvl := range f.Levels {
+			levels[cls] = lvl
+		}
+		for _, e := range f.Edges {
+			k := [2]string{e.From, e.To}
+			if !edgeSet[k] {
+				edgeSet[k] = true
+				adj[e.From] = append(adj[e.From], e.To)
+			}
+		}
+	}
+	if len(edgeSet) == 0 {
+		t.Fatal("no lock-acquisition edges derived; fact propagation is broken")
+	}
+
+	// The checkpoint paths must contribute their known edges.
+	const (
+		ckptMu  = "mmdb/internal/engine.Engine.ckptMu"
+		txnMu   = "mmdb/internal/engine.Engine.txnMu"
+		ctrMu   = "mmdb/internal/engine.counters.ckptMu"
+		table   = "mmdb/internal/lockmgr.Manager.table"
+		shardMu = "mmdb/internal/lockmgr.shard.mu"
+		waitMu  = "mmdb/internal/lockmgr.Manager.waitMu"
+		segMu   = "mmdb/internal/storage.Segment.RWMutex"
+		logMu   = "mmdb/internal/wal.Log.mu"
+	)
+	wantEdges := [][2]string{
+		{ckptMu, ctrMu},   // Checkpoint's timing aggregates
+		{ckptMu, txnMu},   // quiesce / fuzzy begin marker under ckptMu
+		{txnMu, logMu},    // begin-checkpoint Append under txnMu (and Txn.Write)
+		{ckptMu, logMu},   // log force during checkpoint begin/end
+		{ckptMu, table},   // two-color checkpointer's S locks
+		{table, segMu},    // segment latch under the checkpointer's S lock
+		{table, logMu},    // 2CFLUSH LSN wait while the S lock is held
+		{ckptMu, segMu},   // sweeps latch segments under ckptMu
+		{shardMu, waitMu}, // grantLocked clears waits-for edges in-shard
+	}
+	for _, e := range wantEdges {
+		if !edgeSet[e] {
+			t.Errorf("expected lock-order edge %s -> %s missing from the derived graph", e[0], e[1])
+		}
+	}
+
+	// The runtime detector's safety argument (deadlock.go: cycleFrom
+	// snapshots under waitMu, releases it, then takes shard locks one at
+	// a time) must be visible statically as the absence of the reverse
+	// edge.
+	if edgeSet[[2]string{waitMu, shardMu}] {
+		t.Errorf("edge %s -> %s contradicts the deadlock detector's lock discipline", waitMu, shardMu)
+	}
+
+	// Declared levels strictly increase along every edge.
+	for e := range edgeSet {
+		lf, okF := levels[e[0]]
+		lt, okT := levels[e[1]]
+		if okF && okT && lf >= lt {
+			t.Errorf("edge %s (level %d) -> %s (level %d) violates the declared order", e[0], lf, e[1], lt)
+		}
+	}
+
+	// And the merged graph is acyclic, independently of the analyzer's
+	// own cycle reporting.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(n string, path []string) error
+	visit = func(n string, path []string) error {
+		color[n] = gray
+		for _, next := range adj[n] {
+			switch color[next] {
+			case gray:
+				return fmt.Errorf("lock-order cycle: %v -> %s", append(path, n), next)
+			case white:
+				if err := visit(next, append(path, n)); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for n := range adj {
+		if color[n] == white {
+			if err := visit(n, nil); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package locka is the root of the three-package facts chain: it
+// declares the leveled root class and the annotated wrappers that
+// acquire it. Its facts must reach lockc through lockb's re-export.
+package locka
+
+import "sync"
+
+type Mu struct {
+	mu sync.Mutex // lockorder:level=100
+}
+
+// Acquire takes the root lock.
+// lockorder:acquires Mu.mu
+func (m *Mu) Acquire() { m.mu.Lock() }
+
+// Release drops it.
+// lockorder:releases Mu.mu
+func (m *Mu) Release() { m.mu.Unlock() }
+
+// Raw has no declared level; its ordering is covered only by the
+// cross-package cycle check.
+type Raw struct {
+	Mu sync.Mutex
+}

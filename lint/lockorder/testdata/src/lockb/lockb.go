@@ -1,0 +1,52 @@
+// Package lockb is the middle of the chain: it imports locka, orders
+// its own classes after locka's, and exports the resulting edges as
+// facts for lockc to check against.
+package lockb
+
+import (
+	"sync"
+
+	"locka"
+)
+
+type B struct {
+	mu sync.Mutex // lockorder:level=200
+}
+
+// WithBoth orders the root (100) before b (200): consistent, and the
+// edge it draws is exported in this package's facts.
+func WithBoth(m *locka.Mu, b *B) {
+	m.Acquire()
+	b.mu.Lock()
+	b.mu.Unlock()
+	m.Release()
+}
+
+// Hold takes b's lock.
+// lockorder:acquires B.mu
+func (b *B) Hold() { b.mu.Lock() }
+
+// Unhold drops it.
+// lockorder:releases B.mu
+func (b *B) Unhold() { b.mu.Unlock() }
+
+type C struct {
+	mu sync.Mutex
+}
+
+// Hold takes c's lock.
+// lockorder:acquires C.mu
+func (c *C) Hold() { c.mu.Lock() }
+
+// Unhold drops it.
+// lockorder:releases C.mu
+func (c *C) Unhold() { c.mu.Unlock() }
+
+// RawThenC orders locka.Raw before C; neither has a level, so only the
+// cycle check can catch a reversal downstream.
+func RawThenC(r *locka.Raw, c *C) {
+	r.Mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	r.Mu.Unlock()
+}

@@ -1,0 +1,28 @@
+// Package lockc is the end of the three-package chain: locka's levels
+// and wrapper annotations and lockb's observed edges all arrive here as
+// facts, two packages away from where they were declared.
+package lockc
+
+import (
+	"locka"
+	"lockb"
+)
+
+// levelsTravel acquires the root (level 100, declared in locka, taken
+// through locka's annotated wrapper) while holding b (level 200,
+// declared in lockb).
+func levelsTravel(m *locka.Mu, b *lockb.B) {
+	b.Hold()
+	m.Acquire() // want `acquires locka\.Mu\.mu \(lockorder:level=100\) while holding lockb\.B\.mu \(lockorder:level=200\)`
+	m.Release()
+	b.Unhold()
+}
+
+// edgesTravel acquires Raw while holding C: lockb's exported Raw→C edge
+// makes this a cross-package cycle even though no level is declared.
+func edgesTravel(r *locka.Raw, c *lockb.C) {
+	c.Hold()
+	r.Mu.Lock() // want `acquiring locka\.Raw\.Mu while holding lockb\.C\.mu creates a lock-order cycle`
+	r.Mu.Unlock()
+	c.Unhold()
+}

@@ -1,0 +1,177 @@
+// Package lockpkg exercises the single-package lockorder cases: the
+// declared-level total order, cycle detection among unleveled classes,
+// annotated acquire/release wrappers, held seeds (both the lockorder
+// class form and the lockcheck expression form), closures, and the
+// false-positive regressions (release-before-acquire, TryLock,
+// deferred unlocks).
+package lockpkg
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex // lockorder:level=10
+}
+
+type B struct {
+	mu sync.Mutex // lockorder:level=20
+}
+
+// goodOrder acquires in increasing level order: no diagnostic.
+func goodOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// badOrder acquires level 10 while holding level 20.
+func badOrder(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `acquires lockpkg\.A\.mu \(lockorder:level=10\) while holding lockpkg\.B\.mu \(lockorder:level=20\)`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// releaseThenAcquire is the false-positive regression for the may-held
+// set: b is released before a is taken, so nothing is held at the
+// acquisition and no edge is drawn.
+func releaseThenAcquire(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// C and D have no declared levels; their ordering is checked purely by
+// cycle detection.
+type C struct {
+	mu sync.Mutex
+}
+
+type D struct {
+	mu sync.Mutex
+}
+
+// cycleFirst orders C before D. Together with cycleSecond this closes a
+// C↔D cycle; the report lands on the first edge seen (this one).
+func cycleFirst(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock() // want `creates a lock-order cycle`
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// cycleSecond orders D before C.
+func cycleSecond(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+type E struct {
+	mu sync.Mutex
+}
+
+type F struct {
+	mu sync.Mutex
+}
+
+// tryTakesF is the TryLock false-positive regression: a try cannot
+// block, so holding E while try-locking F draws no E→F edge, and
+// fThenE's reverse ordering below is not a cycle.
+func tryTakesF(e *E, f *F) {
+	e.mu.Lock()
+	if f.mu.TryLock() {
+		f.mu.Unlock()
+	}
+	e.mu.Unlock()
+}
+
+func fThenE(e *E, f *F) {
+	f.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}
+
+type G struct {
+	mu sync.Mutex // lockorder:level=110
+}
+
+type H struct {
+	mu sync.Mutex // lockorder:level=120
+}
+
+// deferStillHeld checks that a deferred unlock is not treated as
+// releasing at its syntactic position: h stays held, so acquiring g
+// (a lower level) is a real violation.
+func deferStillHeld(g *G, h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g.mu.Lock() // want `acquires lockpkg\.G\.mu \(lockorder:level=110\) while holding lockpkg\.H\.mu \(lockorder:level=120\)`
+	g.mu.Unlock()
+}
+
+// lockedHelper is entered with g's mutex held, seeded through the
+// lockcheck expression form; acquiring h above it is consistent.
+// lockcheck:held g.mu
+func lockedHelper(g *G, h *H) {
+	h.mu.Lock()
+	h.mu.Unlock()
+}
+
+// Registry is a keyed table of logical locks — not a sync.Mutex, so its
+// class is declared rather than derived.
+//
+// lockorder:declare Registry.keys level=50
+type Registry struct {
+	m map[string]bool
+}
+
+// Acquire takes one keyed lock.
+// lockorder:acquires Registry.keys
+func (r *Registry) Acquire(k string) {}
+
+// Release drops it.
+// lockorder:releases Registry.keys
+func (r *Registry) Release(k string) {}
+
+// useRegistry orders A (10) before the keyed class (50) through the
+// annotated wrappers: consistent, and transient — after Release the
+// class is no longer held.
+func useRegistry(a *A, b *B, r *Registry) {
+	a.mu.Lock()
+	r.Acquire("k")
+	r.Release("k")
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// underKeys is entered with the keyed class held (lockorder:held class
+// form); level 10 under level 50 violates the declared order.
+// lockorder:held Registry.keys
+func underKeys(a *A) {
+	a.mu.Lock() // want `acquires lockpkg\.A\.mu \(lockorder:level=10\) while holding lockpkg\.Registry\.keys \(lockorder:level=50\)`
+	a.mu.Unlock()
+}
+
+type M struct {
+	mu sync.Mutex // lockorder:level=210
+}
+
+type N struct {
+	mu sync.Mutex // lockorder:level=220
+}
+
+// closureHeld seeds a closure from the comment on the statement that
+// creates it.
+func closureHeld(m *M, n *N) {
+	// lockorder:held N.mu
+	handle := func() {
+		m.mu.Lock() // want `acquires lockpkg\.M\.mu \(lockorder:level=210\) while holding lockpkg\.N\.mu \(lockorder:level=220\)`
+		m.mu.Unlock()
+	}
+	handle()
+}

@@ -1,0 +1,18 @@
+// Package unlockdep declares an annotated latch type: Acquire/Release
+// travel as unlockcheck facts so callers in other packages are balanced
+// against them.
+package unlockdep
+
+import "sync"
+
+type Latch struct {
+	mu sync.Mutex
+}
+
+// Acquire takes the latch.
+// unlockcheck:acquires
+func (l *Latch) Acquire() { l.mu.Lock() }
+
+// Release drops it.
+// unlockcheck:releases
+func (l *Latch) Release() { l.mu.Unlock() }

@@ -1,0 +1,131 @@
+// Package unlockpkg exercises unlockcheck: early-return and panic-path
+// leaks, the all-paths-release false-positive regression, dominating
+// vs. conditional defers, TryLock, loops that release and reacquire,
+// and the lockcheck:held exemption.
+package unlockpkg
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+}
+
+// earlyReturnLeak forgets the unlock on the error path.
+func earlyReturnLeak(s *S, bad bool) {
+	s.mu.Lock() // want `lock s\.mu acquired here is not released on every path out of earlyReturnLeak`
+	if bad {
+		return
+	}
+	s.mu.Unlock()
+}
+
+// allPathsUnlock is the false-positive regression: both the early
+// return and the fallthrough release, so there is nothing to report.
+func allPathsUnlock(s *S, bad bool) {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// deferOK releases through a dominating defer.
+func deferOK(s *S, bad bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bad {
+		return
+	}
+}
+
+// panicPathLeak: the explicit panic flows to exit with the lock held.
+func panicPathLeak(s *S, bad bool) {
+	s.mu.Lock() // want `lock s\.mu acquired here is not released on every path out of panicPathLeak`
+	if bad {
+		panic("corrupt segment")
+	}
+	s.mu.Unlock()
+}
+
+// panicWithDefer is safe: the deferred unlock dominates exit and runs
+// during the unwind.
+func panicWithDefer(s *S, bad bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bad {
+		panic("corrupt segment")
+	}
+}
+
+// conditionalDefer only covers one arm: the path that skips the defer
+// statement never registers the unlock, so the unconditional
+// acquisition leaks.
+func conditionalDefer(s *S, bad bool) {
+	s.mu.Lock() // want `lock s\.mu acquired here is not released on every path out of conditionalDefer`
+	if bad {
+		defer s.mu.Unlock()
+	}
+}
+
+// guardedEarlyReturn is the false-positive regression for the repo's
+// most common shape: a guard returns before the lock is taken, then the
+// acquisition is covered by a defer. The early-return path never holds
+// the lock, so nothing leaks.
+func guardedEarlyReturn(s *S, stopped bool) {
+	if stopped {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !stopped {
+		return
+	}
+}
+
+// tryLockOK is the canonical try shape: the acquisition is conditional
+// and uncounted, and the paired unlock clamps at zero.
+func tryLockOK(s *S) {
+	if s.mu.TryLock() {
+		defer s.mu.Unlock()
+	}
+}
+
+// loopRelock releases and reacquires per iteration (the lock manager's
+// wait loop); the counts balance on every path.
+func loopRelock(s *S, n int) {
+	s.mu.Lock()
+	for i := 0; i < n; i++ {
+		s.mu.Unlock()
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// relockWindow unlocks and relocks a caller-held mutex; the held
+// annotation exempts it from balance checking.
+// lockcheck:held s.mu
+func relockWindow(s *S) {
+	s.mu.Unlock()
+	s.mu.Lock()
+}
+
+// rwLeak leaks a read latch on the skip path.
+func rwLeak(m *sync.RWMutex, skip bool) {
+	m.RLock() // want `lock m acquired here is not released on every path out of rwLeak`
+	if skip {
+		return
+	}
+	m.RUnlock()
+}
+
+// closureLeak: the literal has its own control flow and its own leak.
+func closureLeak(s *S) func(bool) {
+	return func(bad bool) {
+		s.mu.Lock() // want `lock s\.mu acquired here is not released on every path out of closureLeak\.func`
+		if bad {
+			return
+		}
+		s.mu.Unlock()
+	}
+}

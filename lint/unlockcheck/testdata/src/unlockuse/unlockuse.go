@@ -1,0 +1,22 @@
+// Package unlockuse consumes unlockdep's wrapper facts: the cross-
+// package case for unlockcheck.
+package unlockuse
+
+import "unlockdep"
+
+func balanced(l *unlockdep.Latch, bad bool) {
+	l.Acquire()
+	if bad {
+		l.Release()
+		return
+	}
+	l.Release()
+}
+
+func leaks(l *unlockdep.Latch, bad bool) {
+	l.Acquire() // want `lock l acquired here is not released on every path out of leaks`
+	if bad {
+		return
+	}
+	l.Release()
+}

@@ -1,0 +1,338 @@
+// Package unlockcheck verifies that every sync.(RW)Mutex acquired in a
+// function is released on every control-flow path out of it — early
+// returns, panics, and loop exits included. A database that parks a
+// checkpointer with a segment latch held is wedged, not slow, so this
+// is checked statically rather than discovered at the next checkpoint.
+//
+// The analysis is a forward may-dataflow over the lint/cfg graph: the
+// state is a multiset of held locks keyed by the locked expression's
+// source text ("e.ckptMu", "seg"), merged by per-key maximum so a leak
+// on any one path survives the join. A deferred unlock is accounted at
+// its registration point: every path through the defer statement runs
+// the unlock on the way out, so the count drops there and only there —
+// a defer inside a conditional credits exactly the paths through that
+// arm, and a path that returns before the defer (the guard-then-lock
+// shape) is judged on its own balance. Explicit panic statements flow
+// to exit like returns, so "panic with the latch held" is a finding
+// unless a defer registered first covers it.
+//
+// Vocabulary:
+//
+//   - TryLock/TryRLock acquisitions are not counted (the canonical
+//     "if mu.TryLock() { defer mu.Unlock() ... }" shape would otherwise
+//     read as a conditional leak); unlock counts clamp at zero so the
+//     paired unlock does not underflow.
+//   - "lockcheck:held <expr>" on a function exempts that expression:
+//     the caller owns the lock, and an unlock/relock window inside
+//     (wal's stopFlusherLocked) is the caller's business.
+//   - "unlockcheck:acquires" / "unlockcheck:releases" in a method's doc
+//     mark lock/unlock wrappers. A call through them counts against the
+//     receiver expression, and the facts travel across packages, so a
+//     latch type's Acquire/Release pair defined in one package is
+//     balanced in another. The wrappers' own bodies are exempt — they
+//     leak (or double-release) by design.
+package unlockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"mmdb/lint/analysis"
+	"mmdb/lint/cfg"
+	"mmdb/lint/dataflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:         "unlockcheck",
+	Doc:          "checks that every acquired mutex is released on all paths out of the function",
+	ExtractFacts: extractFacts,
+	Run:          run,
+}
+
+// Facts maps "Recv.Name" to "acquires" or "releases" for annotated
+// lock-wrapper methods.
+type Facts map[string]string
+
+var (
+	annoRe     = regexp.MustCompile(`unlockcheck:(acquires|releases)\b`)
+	heldExprRe = regexp.MustCompile(`lockcheck:held\s+(\S+)`)
+)
+
+func extractFacts(fset *token.FileSet, pkgPath string, files []*ast.File) any {
+	facts := make(Facts)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			if m := annoRe.FindStringSubmatch(fn.Doc.Text()); m != nil {
+				facts[funcKey(fn)] = m[1]
+			}
+		}
+	}
+	if len(facts) == 0 {
+		return nil
+	}
+	return facts
+}
+
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return id.Name + "." + fn.Name.Name
+			}
+			return fn.Name.Name
+		}
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	facts := make(map[string]Facts)
+	for pkgPath := range pass.Facts {
+		var f Facts
+		if ok, err := pass.DecodeFacts(pkgPath, &f); err != nil {
+			return err
+		} else if ok {
+			facts[pkgPath] = f
+		}
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			exempt := make(map[string]bool)
+			wrapper := false
+			if fn.Doc != nil {
+				doc := fn.Doc.Text()
+				wrapper = annoRe.MatchString(doc)
+				for _, m := range heldExprRe.FindAllStringSubmatch(doc, -1) {
+					exempt[m[1]] = true
+				}
+			}
+			if wrapper {
+				continue // lock/unlock wrappers are unbalanced by design
+			}
+			ck := &checker{pass: pass, facts: facts, exempt: exempt}
+			ck.checkFunc(fn.Name.Name, fn.Body)
+			for _, lit := range funcLits(fn.Body) {
+				ck.checkFunc(fn.Name.Name+".func", lit.Body)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	facts  map[string]Facts
+	exempt map[string]bool
+}
+
+// lockOp classifies one call as a lock-state operation on a keyed
+// expression: delta +1 (blocking acquire), -1 (release), or 0 (TryLock:
+// tracked expression, no count).
+type lockOp struct {
+	key   string
+	delta int
+}
+
+func (ck *checker) checkFunc(name string, body *ast.BlockStmt) {
+	g := cfg.New(name, body)
+	apply := func(state map[string]int, n ast.Node) {
+		switch d := n.(type) {
+		case *ast.GoStmt:
+			return // runs concurrently; no effect on this function's paths
+		case *ast.DeferStmt:
+			// A deferred release runs at exit on every path through this
+			// statement, so it is accounted here. Deferred acquisitions
+			// are ignored (locking on the way out balances nothing).
+			if op, ok := ck.opOf(d.Call); ok && op.delta < 0 &&
+				!ck.exempt[op.key] && state[op.key] > 0 {
+				state[op.key]--
+			}
+			return
+		}
+		for _, call := range calls(n) {
+			op, ok := ck.opOf(call)
+			if !ok || ck.exempt[op.key] {
+				continue
+			}
+			switch {
+			case op.delta > 0:
+				state[op.key]++
+			case op.delta < 0 && state[op.key] > 0:
+				state[op.key]--
+			}
+		}
+	}
+	res := dataflow.Solve(g, dataflow.Problem{
+		Dir:      dataflow.Forward,
+		Boundary: func() any { return map[string]int{} },
+		Top:      func() any { return map[string]int{} },
+		Merge: func(a, b any) any {
+			out := cloneCounts(a.(map[string]int))
+			for k, v := range b.(map[string]int) {
+				if v > out[k] {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Transfer: func(b *cfg.Block, in any) any {
+			state := cloneCounts(in.(map[string]int))
+			for _, n := range b.Nodes {
+				apply(state, n)
+			}
+			return state
+		},
+		Equal: func(a, b any) bool { return equalCounts(a.(map[string]int), b.(map[string]int)) },
+	})
+
+	atExit := res.In[g.Exit].(map[string]int)
+
+	// Report each leaked key once, at its first acquisition.
+	firstAcq := make(map[string]token.Pos)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			switch n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				continue
+			}
+			for _, call := range calls(n) {
+				if op, ok := ck.opOf(call); ok && op.delta > 0 {
+					if _, seen := firstAcq[op.key]; !seen {
+						firstAcq[op.key] = call.Pos()
+					}
+				}
+			}
+		}
+	}
+	for key, n := range atExit {
+		if n <= 0 {
+			continue
+		}
+		pos, ok := firstAcq[key]
+		if !ok {
+			continue
+		}
+		ck.pass.Reportf(pos, "lock %s acquired here is not released on every path out of %s; unlock it on each path or defer the unlock",
+			key, name)
+	}
+}
+
+// opOf classifies a call: a sync.(RW)Mutex method, or a call through an
+// annotated lock wrapper. The key is the locked expression's source
+// text — the selector's receiver for both forms.
+func (ck *checker) opOf(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := ck.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return lockOp{}, false
+	}
+	key := types.ExprString(sel.X)
+	if fn.Pkg().Path() == "sync" {
+		switch fn.Name() {
+		case "Lock", "RLock":
+			return lockOp{key: key, delta: +1}, true
+		case "TryLock", "TryRLock":
+			return lockOp{key: key, delta: 0}, true
+		case "Unlock", "RUnlock":
+			return lockOp{key: key, delta: -1}, true
+		}
+		return lockOp{}, false
+	}
+	f := ck.facts[fn.Pkg().Path()]
+	if f == nil {
+		return lockOp{}, false
+	}
+	mkey := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return lockOp{}, false
+		}
+		mkey = named.Obj().Name() + "." + mkey
+	}
+	switch f[mkey] {
+	case "acquires":
+		return lockOp{key: key, delta: +1}, true
+	case "releases":
+		return lockOp{key: key, delta: -1}, true
+	}
+	return lockOp{}, false
+}
+
+func cloneCounts(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		if v > 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalCounts(a, b map[string]int) bool {
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	for k, v := range b {
+		if a[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// calls lists call expressions under n, skipping function literals.
+func calls(n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+func funcLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}

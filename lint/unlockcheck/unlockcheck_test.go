@@ -1,0 +1,19 @@
+package unlockcheck_test
+
+import (
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/unlockcheck"
+)
+
+// TestUnlockcheck covers, per package:
+//
+//   - unlockpkg: early-return/panic/closure leaks, the all-paths-release
+//     false-positive regression, dominating vs. conditional defers,
+//     TryLock, wait-loop relocking, and the held exemption;
+//   - unlockuse: the cross-package facts case — Acquire/Release wrappers
+//     declared in unlockdep balance call sites here.
+func TestUnlockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), unlockcheck.Analyzer, "unlockpkg", "unlockuse")
+}

@@ -1,0 +1,15 @@
+// Package waldep exports walorder facts for the cross-package case:
+// sinks and covers declared here must bind call sites in waluse.
+package waldep
+
+type Log struct{}
+
+// Force forces the log tail to disk.
+// walorder:covers
+func (l *Log) Force() {}
+
+type Backup struct{}
+
+// WriteSegment writes one segment image to the backup disk.
+// walorder:write
+func (b *Backup) WriteSegment(data []byte) {}

@@ -1,0 +1,93 @@
+package walpkg
+
+func (s *Store) covered(data []byte) {
+	s.log.Force()
+	s.writeSegment(data)
+}
+
+func (s *Store) uncovered(data []byte) {
+	s.writeSegment(data) // want `disk write Store\.writeSegment \(walorder:write\) is not covered by a durable WAL position`
+}
+
+// bothBranches is the false-positive regression that mandates a must-
+// dataflow merge rather than single-node dominance: each arm covers the
+// join, though neither covering call dominates the write.
+func (s *Store) bothBranches(c bool, data []byte) {
+	if c {
+		s.log.Force()
+	} else {
+		s.log.Wait(1)
+	}
+	s.writeSegment(data)
+}
+
+func (s *Store) oneBranchOnly(c bool, data []byte) {
+	if c {
+		s.log.Force()
+	}
+	s.writeSegment(data) // want `is not covered by a durable WAL position`
+}
+
+// errCheckedWait mirrors the FUZZYCOPY shape: the covering call sits in
+// an if-init whose error path returns.
+func (s *Store) errCheckedWait(data []byte) error {
+	if err := s.wait(); err != nil {
+		return err
+	}
+	s.writeSegment(data)
+	return nil
+}
+
+// wait returns once the log is durable.
+// walorder:covers
+func (s *Store) wait() error { return nil }
+
+func (s *Store) perIterationCover(data []byte) {
+	for i := 0; i < 3; i++ {
+		s.log.Wait(i)
+		s.writeSegment(data)
+	}
+}
+
+func (s *Store) coverAfterWrite(data []byte) {
+	for i := 0; i < 3; i++ {
+		s.writeSegment(data) // want `is not covered by a durable WAL position`
+		s.log.Wait(i)
+	}
+}
+
+func (s *Store) closureUncovered(data []byte) {
+	flush := func() {
+		// A literal's body is its own graph with a fresh uncovered
+		// entry: when it runs is not visible statically.
+		s.writeSegment(data) // want `is not covered by a durable WAL position`
+	}
+	s.log.Force()
+	flush()
+}
+
+func (s *Store) closureCovered(data []byte) {
+	flush := func() {
+		s.log.Force()
+		s.writeSegment(data)
+	}
+	flush()
+}
+
+// stableWhole is exempt as a whole, the COU-sweep form.
+// walorder:stable-tail fixture: the snapshot predates the begin-checkpoint log force
+func (s *Store) stableWhole(data []byte) {
+	s.writeSegment(data)
+}
+
+func (s *Store) stableLine(c bool, data []byte) {
+	if c {
+		s.writeSegment(data) // walorder:stable-tail fixture: direct flush licensed by a stable tail
+	}
+	s.log.Force()
+	s.writeSegment(data)
+}
+
+func (s *Store) stableNoReason(data []byte) {
+	s.writeSegment(data) /* walorder:stable-tail */ // want `walorder:stable-tail needs a reason`
+}

@@ -1,0 +1,27 @@
+// Package walpkg exercises walorder's coverage dataflow within one
+// package: sinks, covers, branches, loops, closures, and both
+// stable-tail exemption forms.
+package walpkg
+
+type Log struct{}
+
+// Force forces the log tail to disk.
+// walorder:covers
+func (l *Log) Force() {}
+
+// Wait blocks until lsn is durable.
+// walorder:covers
+func (l *Log) Wait(lsn int) {}
+
+type Store struct{ log *Log }
+
+// writeSegment writes one segment image to the backup disk.
+// walorder:write
+func (s *Store) writeSegment(data []byte) {}
+
+// flushAll is itself a sink wrapper: the write inside is exempt, the
+// coverage obligation transfers to flushAll's callers.
+// walorder:write
+func (s *Store) flushAll(data []byte) {
+	s.writeSegment(data)
+}

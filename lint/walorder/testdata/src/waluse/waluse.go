@@ -1,0 +1,14 @@
+// Package waluse consumes waldep's walorder facts: both the sink and
+// the covering call are declared in the other package.
+package waluse
+
+import "waldep"
+
+func good(l *waldep.Log, b *waldep.Backup, data []byte) {
+	l.Force()
+	b.WriteSegment(data)
+}
+
+func bad(b *waldep.Backup, data []byte) {
+	b.WriteSegment(data) // want `disk write Backup\.WriteSegment \(walorder:write\) is not covered by a durable WAL position`
+}

@@ -1,0 +1,308 @@
+// Package walorder enforces the write-ahead rule of Salem &
+// Garcia-Molina Section 3 flow-sensitively: every segment/backup disk
+// write must be covered, on every control-flow path leading to it, by a
+// durable WAL position — a log force (Flush) or an LSN wait
+// (WaitDurable) — established earlier in the same function.
+//
+// The analyzer is annotation-driven so the rule crosses packages:
+//
+//   - "walorder:write" in a function's doc comment marks it as a disk
+//     write sink (backup.Store.WriteSegment, Engine.flushSegment).
+//     Calls inside a sink wrapper itself are exempt; the coverage
+//     obligation transfers to its callers.
+//   - "walorder:covers" marks a function whose call establishes
+//     coverage (wal.Log.Flush, wal.Log.WaitDurable, Engine.waitLSN).
+//   - "walorder:stable-tail <reason>" exempts writes: in a function's
+//     doc it exempts the whole body (the COU sweep, whose snapshot was
+//     made durable by the begin-checkpoint log force), and in a comment
+//     on a call's line it exempts that call (FASTFUZZY's direct flush,
+//     which Section 4 licenses only under a stable log tail). The
+//     reason is mandatory, like //nolint reasons.
+//
+// Both marks travel as syntactic facts through .vetx files, so the
+// engine's sweeps are checked against annotations that live in
+// internal/backup and internal/wal.
+//
+// Coverage is a forward must-dataflow problem (lint/dataflow), not a
+// single-node dominance query: Engine.Checkpoint forces the log on two
+// different branches, and a write after the join is covered because
+// BOTH arms cover it, though neither dominates it.
+package walorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mmdb/lint/analysis"
+	"mmdb/lint/cfg"
+	"mmdb/lint/dataflow"
+)
+
+const (
+	markWrite      = "walorder:write"
+	markCovers     = "walorder:covers"
+	markStableTail = "walorder:stable-tail"
+)
+
+// Facts maps "RecvType.Method" (or "Func" for plain functions) to its
+// role, "write" or "covers".
+type Facts map[string]string
+
+var Analyzer = &analysis.Analyzer{
+	Name:         "walorder",
+	Doc:          "checks that disk writes are covered by a durable WAL position on every path (write-ahead rule)",
+	ExtractFacts: extractFacts,
+	Run:          run,
+}
+
+func extractFacts(fset *token.FileSet, pkgPath string, files []*ast.File) any {
+	facts := make(Facts)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if ok && fn.Doc != nil {
+				text := fn.Doc.Text()
+				switch {
+				case strings.Contains(text, markWrite):
+					facts[funcKey(fn)] = "write"
+				case strings.Contains(text, markCovers):
+					facts[funcKey(fn)] = "covers"
+				}
+			}
+		}
+	}
+	if len(facts) == 0 {
+		return nil
+	}
+	return facts
+}
+
+// funcKey is the syntactic fact key of a declaration: "Recv.Name" for
+// methods, "Name" for functions.
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return id.Name + "." + fn.Name.Name
+			}
+			return fn.Name.Name
+		}
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	facts, err := decodeFacts(pass)
+	if err != nil {
+		return err
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		exemptLines := stableTailLines(pass, f)
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			stableAll, isSink := false, false
+			if fn.Doc != nil {
+				stableAll = strings.Contains(fn.Doc.Text(), markStableTail)
+				isSink = strings.Contains(fn.Doc.Text(), markWrite)
+			}
+			ck := &checker{pass: pass, facts: facts, stableAll: stableAll, isSink: isSink, exemptLines: exemptLines}
+			ck.checkFunc(fn.Name.Name, fn.Body)
+			// Closures share the enclosing function's exemptions (the
+			// annotation vocabulary has no place to hang a doc comment on
+			// a literal) but have their own control flow, hence their own
+			// graphs with a fresh uncovered entry.
+			for _, lit := range funcLits(fn.Body) {
+				ck.checkFunc(fn.Name.Name+".func", lit.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeFacts gathers every package's walorder facts visible to this
+// pass, own package included.
+func decodeFacts(pass *analysis.Pass) (map[string]Facts, error) {
+	out := make(map[string]Facts)
+	for pkgPath := range pass.Facts {
+		var f Facts
+		if ok, err := pass.DecodeFacts(pkgPath, &f); err != nil {
+			return nil, err
+		} else if ok {
+			out[pkgPath] = f
+		}
+	}
+	return out, nil
+}
+
+// stableTailLines records which lines carry a stable-tail marker,
+// reporting any marker that lacks its mandatory reason.
+func stableTailLines(pass *analysis.Pass, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, markStableTail)
+			if idx < 0 {
+				continue
+			}
+			lines[pass.Fset.Position(c.Pos()).Line] = true
+			rest := c.Text[idx+len(markStableTail):]
+			if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+				rest = rest[:nl]
+			}
+			rest = strings.TrimSuffix(strings.TrimSpace(rest), "*/")
+			if strings.TrimSpace(rest) == "" {
+				pass.Reportf(c.Pos(), "%s needs a reason: say why the log tail is stable here", markStableTail)
+			}
+		}
+	}
+	return lines
+}
+
+type checker struct {
+	pass        *analysis.Pass
+	facts       map[string]Facts
+	stableAll   bool
+	isSink      bool
+	exemptLines map[int]bool
+}
+
+// checkFunc solves coverage over one body and reports uncovered writes.
+func (ck *checker) checkFunc(name string, body *ast.BlockStmt) {
+	g := cfg.New(name, body)
+	res := dataflow.Solve(g, dataflow.Problem{
+		Dir:      dataflow.Forward,
+		Boundary: func() any { return false },
+		Top:      func() any { return true }, // optimistic: must-analysis
+		Merge:    func(a, b any) any { return a.(bool) && b.(bool) },
+		Transfer: func(b *cfg.Block, in any) any {
+			covered := in.(bool)
+			for _, n := range b.Nodes {
+				for _, call := range calls(n) {
+					if ck.roleOf(call) == "covers" {
+						covered = true
+					}
+				}
+			}
+			return covered
+		},
+		Equal: func(a, b any) bool { return a == b },
+	})
+	for _, b := range g.Blocks {
+		covered := res.In[b].(bool)
+		for _, n := range b.Nodes {
+			for _, call := range calls(n) {
+				switch ck.roleOf(call) {
+				case "covers":
+					covered = true
+				case "write":
+					ck.checkWrite(call, covered)
+				}
+			}
+		}
+	}
+}
+
+func (ck *checker) checkWrite(call *ast.CallExpr, covered bool) {
+	if covered || ck.isSink || ck.stableAll {
+		return
+	}
+	if ck.exemptLines[ck.pass.Fset.Position(call.Pos()).Line] {
+		return
+	}
+	_, key := ck.callee(call)
+	ck.pass.Reportf(call.Pos(),
+		"disk write %s (walorder:write) is not covered by a durable WAL position on every path to it; force the log first, or annotate %s with the reason the log tail is stable",
+		key, markStableTail)
+}
+
+// roleOf returns "write", "covers", or "".
+func (ck *checker) roleOf(call *ast.CallExpr) string {
+	pkgPath, key := ck.callee(call)
+	if key == "" {
+		return ""
+	}
+	return ck.facts[pkgPath][key]
+}
+
+// callee resolves a call to its declaring package path and fact key.
+func (ck *checker) callee(call *ast.CallExpr) (pkgPath, key string) {
+	fun := call.Fun
+	for {
+		if p, ok := fun.(*ast.ParenExpr); ok {
+			fun = p.X
+		} else {
+			break
+		}
+	}
+	var obj types.Object
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		obj = ck.pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = ck.pass.TypesInfo.Uses[fn.Sel]
+	default:
+		return "", ""
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return "", ""
+	}
+	key = f.Name()
+	if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", ""
+		}
+		key = named.Obj().Name() + "." + key
+	}
+	return f.Pkg().Path(), key
+}
+
+// calls lists the call expressions under n in source order, not
+// descending into function literals (each literal gets its own graph).
+func calls(n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// funcLits collects every function literal under body, including nested
+// ones (each is analyzed as its own graph).
+func funcLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,19 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/walorder"
+)
+
+// TestWalorder covers, per package:
+//
+//   - walpkg: coverage through branches (the both-branches FP
+//     regression), loops, error-checked waits, closures, sink wrappers,
+//     and both stable-tail exemption forms incl. the mandatory reason;
+//   - waluse: the cross-package facts case — sink and cover are
+//     declared in waldep and travel as facts.
+func TestWalorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), walorder.Analyzer, "walpkg", "waluse")
+}
