@@ -4,7 +4,7 @@
 GO ?= go
 MMDBLINT := bin/mmdblint
 
-.PHONY: all build test race vet mmdblint lint fmt clean
+.PHONY: all build test race vet mmdblint lint fmt clean crashmatrix fuzz
 
 all: build test
 
@@ -20,6 +20,19 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# The crash matrix: every checkpoint algorithm × every named crash point
+# (internal/faultfs), recovered and checked against the committed-
+# transaction oracle, under the race detector. The -tags slow soak
+# (TestCrashMatrixSoak) multiplies seeds and workload length.
+crashmatrix:
+	$(GO) test -race -run 'TestCrash|TestCommitInDoubt' ./internal/testbed/ ./kvstore/
+
+# Short fuzz runs of the WAL reader targets; the checked-in corpus and
+# seeds alone also run as part of `make test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadRecord -fuzztime 15s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzRecover -fuzztime 15s ./internal/wal/
 
 # mmdblint is the repo's own go/analysis suite: the syntactic analyzers
 # (lockcheck, detcheck, errcheckwal, lsncheck) plus the flow-sensitive

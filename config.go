@@ -6,6 +6,7 @@ import (
 
 	"mmdb/analytic"
 	"mmdb/internal/engine"
+	"mmdb/internal/faultfs"
 	"mmdb/internal/simdisk"
 	"mmdb/internal/storage"
 )
@@ -98,7 +99,21 @@ type Config struct {
 	// modeled time).
 	ThrottleCheckpointIO bool
 	ThrottleSpeedup      float64
+
+	// FS, when non-nil, is the filesystem the log and backup copies are
+	// written through. Crash tests inject a faultfs.Injector here (see
+	// internal/faultfs); nil means the OS directly.
+	FS FS
+
+	// CheckpointSegmentHook, if set, runs after the checkpointer finishes
+	// each segment; returning an error aborts that checkpoint. It exists
+	// for fault injection (crashing between segment flushes).
+	CheckpointSegmentHook func(checkpointID uint64, segIdx int) error
 }
+
+// FS is the filesystem abstraction the storage layer writes through,
+// re-exported for fault-injection tests (see internal/faultfs).
+type FS = faultfs.FS
 
 // DefaultRecordsPerSegment sizes segments when SegmentBytes is zero.
 const DefaultRecordsPerSegment = 256
@@ -157,6 +172,8 @@ func (c Config) engineParams() (engine.Params, error) {
 		Operations:              c.Operations,
 		DisableLogCompaction:    c.DisableLogCompaction,
 		CheckpointDirtyFraction: c.CheckpointDirtyFraction,
+		FS:                      c.FS,
+		SegmentHook:             c.CheckpointSegmentHook,
 	}
 	if c.ThrottleCheckpointIO {
 		speedup := c.ThrottleSpeedup

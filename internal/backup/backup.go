@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"mmdb/internal/faultfs"
 	"mmdb/internal/storage"
 	"mmdb/internal/wal"
 )
@@ -80,10 +81,11 @@ type metaFile struct {
 // Store manages the two backup database copies in a directory.
 type Store struct {
 	dir          string
+	fsys         faultfs.FS
 	numSegments  int
 	segmentBytes int
 	slotBytes    int
-	files        [storage.NumBackupCopies]*os.File
+	files        [storage.NumBackupCopies]faultfs.File
 	meta         metaFile
 
 	// Counters for I/O accounting.
@@ -95,20 +97,28 @@ type Store struct {
 // numSegments segments of segmentBytes each. Existing metadata must match
 // the geometry.
 func Open(dir string, numSegments, segmentBytes int) (*Store, error) {
+	return OpenFS(nil, dir, numSegments, segmentBytes)
+}
+
+// OpenFS is Open writing through fsys (nil means the OS directly); tests
+// inject a faultfs.Injector here.
+func OpenFS(fsys faultfs.FS, dir string, numSegments, segmentBytes int) (*Store, error) {
 	if numSegments <= 0 || segmentBytes <= 0 {
 		return nil, fmt.Errorf("backup: invalid geometry %d segments × %d bytes", numSegments, segmentBytes)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys = faultfs.Or(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("backup: mkdir: %w", err)
 	}
 	s := &Store{
 		dir:          dir,
+		fsys:         fsys,
 		numSegments:  numSegments,
 		segmentBytes: segmentBytes,
 		slotBytes:    segmentBytes + slotTrailerBytes,
 	}
 	metaPath := filepath.Join(dir, metaName)
-	if raw, err := os.ReadFile(metaPath); err == nil {
+	if raw, err := fsys.ReadFile(metaPath); err == nil {
 		if err := json.Unmarshal(raw, &s.meta); err != nil {
 			return nil, fmt.Errorf("backup: corrupt metadata: %w", err)
 		}
@@ -130,7 +140,7 @@ func Open(dir string, numSegments, segmentBytes int) (*Store, error) {
 
 	size := int64(numSegments) * int64(s.slotBytes)
 	for c := 0; c < storage.NumBackupCopies; c++ {
-		f, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf(copyNameFmt, c)), os.O_CREATE|os.O_RDWR, 0o644)
+		f, err := fsys.OpenFile(filepath.Join(dir, fmt.Sprintf(copyNameFmt, c)), os.O_CREATE|os.O_RDWR, 0o644)
 		if err != nil {
 			s.closeFiles()
 			return nil, fmt.Errorf("backup: open copy %d: %w", c, err)
@@ -183,16 +193,13 @@ func (s *Store) writeMeta() error {
 		return fmt.Errorf("backup: marshal metadata: %w", err)
 	}
 	tmp := filepath.Join(s.dir, metaName+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if err := s.fsys.WriteFile(tmp, raw, 0o644); err != nil {
 		return fmt.Errorf("backup: write metadata: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, metaName)); err != nil {
+	if err := s.fsys.Rename(tmp, filepath.Join(s.dir, metaName)); err != nil {
 		return fmt.Errorf("backup: replace metadata: %w", err)
 	}
-	if d, err := os.Open(s.dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	_ = s.fsys.SyncDir(s.dir)
 	return nil
 }
 

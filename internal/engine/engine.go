@@ -31,6 +31,12 @@ var (
 	ErrStopped = errors.New("engine: engine is stopped")
 	// ErrDeadlock aborts a transaction whose lock wait timed out.
 	ErrDeadlock = errors.New("engine: lock wait timed out; transaction aborted")
+	// ErrCommitInDoubt reports a synchronous commit whose commit record
+	// was appended but whose durability could not be confirmed (the log
+	// flush failed or the engine stopped mid-commit). The transaction is
+	// installed in memory; after a crash, recovery may or may not replay
+	// it depending on whether the commit record reached disk.
+	ErrCommitInDoubt = errors.New("engine: commit durability unknown; transaction in doubt")
 	// ErrExistingDatabase is returned by Open when the directory already
 	// holds a recoverable database (use Recover).
 	ErrExistingDatabase = errors.New("engine: directory contains a recoverable database; use Recover")
@@ -109,7 +115,7 @@ func Open(p Params) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	bs, err := backup.Open(p.Dir, st.NumSegments(), p.Storage.SegmentBytes)
+	bs, err := backup.OpenFS(p.FS, p.Dir, st.NumSegments(), p.Storage.SegmentBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -127,6 +133,7 @@ func Open(p Params) (*Engine, error) {
 		StableTail:    p.StableTail,
 		SyncOnFlush:   p.SyncOnFlush,
 		FlushInterval: p.LogFlushInterval,
+		FS:            p.FS,
 	})
 	if err != nil {
 		return nil, errors.Join(err, bs.Close())

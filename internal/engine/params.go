@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"mmdb/internal/faultfs"
 	"mmdb/internal/simdisk"
 	"mmdb/internal/storage"
 )
@@ -116,6 +117,11 @@ type Params struct {
 	// It exists for fault injection in tests (e.g., crashing mid-
 	// checkpoint to exercise ping-pong recovery).
 	SegmentHook func(checkpointID uint64, segIdx int) error
+
+	// FS, when non-nil, is the filesystem the log and backup copies are
+	// written through. Tests inject a faultfs.Injector here to crash the
+	// engine at named points on the write path; nil means the OS directly.
+	FS faultfs.FS
 }
 
 // DefaultLockTimeout is the lock-wait bound used when Params.LockTimeout

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mmdb/internal/backup"
+	"mmdb/internal/faultfs"
 	"mmdb/internal/storage"
 	"mmdb/internal/wal"
 )
@@ -38,6 +39,9 @@ type RecoveryReport struct {
 	// recovery time.
 	BackupBytesRead int64
 	LogBytesRead    int64
+	// TornTailBytes is the length of the log suffix discarded because a
+	// crash tore it (truncated or corrupted the final record frame).
+	TornTailBytes int64
 	// RecordsScanned counts log records examined; TxnsReplayed counts
 	// committed transactions whose updates were applied; UpdatesApplied
 	// and UpdatesDiscarded split redo records by commit status (discarded
@@ -70,7 +74,7 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	bs, err := backup.Open(p.Dir, st.NumSegments(), p.Storage.SegmentBytes)
+	bs, err := backup.OpenFS(p.FS, p.Dir, st.NumSegments(), p.Storage.SegmentBytes)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -124,7 +128,20 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 		if os.IsNotExist(err) && !rep.UsedCheckpoint {
 			return nil, nil, errors.New("engine: recovery: no log and no checkpoint; nothing to recover (use Open for a new database)")
 		}
-		return nil, nil, err
+		if errors.Is(err, wal.ErrBadHeader) && !rep.UsedCheckpoint {
+			// A crash tore the very first write to a fresh log (the file
+			// header). No record can have been durable — records only
+			// follow a complete header — so with no checkpoint either,
+			// the durable state is the initial empty database. Reset the
+			// file and recover from nothing.
+			if terr := wal.Reset(p.FS, logPath, 0); terr != nil {
+				return nil, nil, fmt.Errorf("engine: recovery: reset torn log header: %w", terr)
+			}
+			reader, err = wal.OpenReader(logPath)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	// Walk the whole surviving log once: find the intact end and the
 	// highest transaction ID ever used. The re-opened engine must issue
@@ -231,14 +248,21 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 		return nil, nil, fmt.Errorf("engine: recovery: close log reader: %w", cerr)
 	}
 
-	// Discard the torn tail so the re-opened log appends cleanly.
-	if err := os.Truncate(logPath, truncateAt); err != nil {
-		return nil, nil, fmt.Errorf("engine: recovery: truncate torn tail: %w", err)
+	// Discard the torn tail so the re-opened log appends cleanly. Only
+	// ever shrink: on a zero-byte log (created but never written) the
+	// intact-end offset lies past the physical end, and extending the file
+	// would manufacture a garbage header.
+	if fi, serr := os.Stat(logPath); serr == nil && fi.Size() > truncateAt {
+		rep.TornTailBytes = fi.Size() - truncateAt
+		if err := faultfs.Or(p.FS).Truncate(logPath, truncateAt); err != nil {
+			return nil, nil, fmt.Errorf("engine: recovery: truncate torn tail: %w", err)
+		}
 	}
 	lg, err := wal.Open(logPath, wal.Options{
 		StableTail:    p.StableTail,
 		SyncOnFlush:   p.SyncOnFlush,
 		FlushInterval: p.LogFlushInterval,
+		FS:            p.FS,
 	})
 	if err != nil {
 		return nil, nil, err

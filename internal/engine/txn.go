@@ -217,11 +217,24 @@ func (tx *Txn) Commit() error {
 		}
 		if e.params.SyncCommit {
 			if err := e.log.WaitDurable(commitEnd); err != nil {
-				// The commit record is in the log tail but not durable; in
-				// this in-process simulation the only failure mode is a
-				// stopped engine, which loses the tail — report abort.
-				tx.abortInternal()
-				return err
+				// The commit record is appended but its durability is
+				// unknown: the flush may have failed after writing part of
+				// the tail, or the engine may be stopping. Appending an
+				// abort record here would be wrong — if the commit record
+				// did reach disk, recovery replays the transaction as
+				// committed, and the abort would contradict the recovered
+				// state. Treat the transaction as committed in memory
+				// (matching the worst case recovery can observe) and report
+				// the ambiguity to the caller.
+				tx.install(commitEnd)
+				tx.done = true
+				e.locks.ReleaseAll(tx.id)
+				e.finishTxn(tx)
+				e.ctr.txnsCommitted.Add(1)
+				if errors.Is(err, wal.ErrClosed) {
+					return fmt.Errorf("%w: %w", ErrCommitInDoubt, ErrStopped)
+				}
+				return fmt.Errorf("%w: %w", ErrCommitInDoubt, err)
 			}
 		}
 		tx.install(commitEnd)

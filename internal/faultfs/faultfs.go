@@ -1,0 +1,156 @@
+// Package faultfs is a deterministic fault-injection layer under the
+// storage write path (the redo log and the ping-pong backup files). It
+// has two halves:
+//
+//   - A minimal filesystem abstraction (FS, File) that the wal and backup
+//     packages write through. The default implementation (OS) is a direct
+//     passthrough to the os package and costs one interface dispatch.
+//
+//   - An Injector (inject.go) that wraps any FS and injects failures at
+//     named crash points: whole-system crashes, torn writes that truncate
+//     or corrupt the tail sector of one write, and transient I/O errors.
+//     Schedules are driven by a seeded PRNG, so every failure replays
+//     from its seed.
+//
+// The crash model is fail-stop: once a crash fault fires, the injector
+// "halts" — every subsequent mutating operation fails without touching
+// disk, exactly as if the machine lost power — and the test harness
+// recovers from whatever reached the disk before the halt. A class of
+// files can be exempted from the halt to model stable RAM (the paper's
+// stable log tail, Section 4): its writes keep succeeding because the
+// memory they model survives the crash.
+package faultfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// File is the subset of *os.File the engine's write path needs.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Writer
+	io.Closer
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface the wal and backup packages write through.
+// All paths are host paths, as with the os package.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// ReadFile returns the contents of name.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data to name, creating or truncating it.
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// Truncate resizes the file at name.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory entry metadata of dir (best effort).
+	SyncDir(dir string) error
+}
+
+// osFS is the passthrough implementation.
+type osFS struct{}
+
+// OS returns the direct passthrough FS backed by the os package.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Or returns fsys if non-nil and the OS passthrough otherwise — the
+// idiom packages use to default an optional FS parameter.
+func Or(fsys FS) FS {
+	if fsys != nil {
+		return fsys
+	}
+	return OS()
+}
+
+// Class groups files by their role in the engine's on-disk layout, so
+// injection rules and halt exemptions can target the log, the backup
+// copies, or the backup metadata independently.
+type Class uint8
+
+// File classes.
+const (
+	// ClassOther is any file the classifier does not recognize.
+	ClassOther Class = iota
+	// ClassLog is the redo log (and its compaction temporary).
+	ClassLog
+	// ClassBackupCopy is a ping-pong backup database copy.
+	ClassBackupCopy
+	// ClassBackupMeta is the backup checkpoint metadata (and its
+	// write-temp).
+	ClassBackupMeta
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassLog:
+		return "log"
+	case ClassBackupCopy:
+		return "backup-copy"
+	case ClassBackupMeta:
+		return "backup-meta"
+	default:
+		return "other"
+	}
+}
+
+// Classify maps a path onto its file class using the engine's on-disk
+// naming scheme (redo.log, backup0.db/backup1.db, backup.meta and their
+// temporaries).
+func Classify(name string) Class {
+	base := filepath.Base(name)
+	switch {
+	case base == "redo.log" || base == "redo.log.compact":
+		return ClassLog
+	case base == "backup.meta" || base == "backup.meta.tmp":
+		return ClassBackupMeta
+	case strings.HasPrefix(base, "backup") && strings.HasSuffix(base, ".db"):
+		return ClassBackupCopy
+	default:
+		return ClassOther
+	}
+}

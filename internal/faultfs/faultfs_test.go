@@ -1,0 +1,233 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		want Class
+	}{
+		{"/db/redo.log", ClassLog},
+		{"/db/redo.log.compact", ClassLog},
+		{"/db/backup0.db", ClassBackupCopy},
+		{"/db/backup1.db", ClassBackupCopy},
+		{"/db/backup.meta", ClassBackupMeta},
+		{"/db/backup.meta.tmp", ClassBackupMeta},
+		{"/db/notes.txt", ClassOther},
+		{"/db/back", ClassOther},
+		{"/db/backup", ClassOther},
+		{"backup.db", ClassBackupCopy},
+	}
+	for _, c := range cases {
+		if got := Classify(c.name); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	name := filepath.Join(dir, "f")
+	if err := fsys.WriteFile(name, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(name)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	f, err := fsys.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("H"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashHalts checks the fail-stop model: the armed write fails, and
+// every later mutation on any class fails too, without touching disk.
+func TestCrashHalts(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(1)
+	inj.Arm(Rule{Point: "wal.write", Kind: Crash, AtHit: 2})
+	fsys := inj.FS(nil)
+	log := filepath.Join(dir, "redo.log")
+	f, err := fsys.OpenFile(log, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("first"), 0); err != nil {
+		t.Fatalf("hit 1 should pass: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("second"), 5); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("hit 2 = %v, want ErrInjectedCrash", err)
+	}
+	if !inj.Halted() {
+		t.Fatal("injector not halted after crash fault")
+	}
+	// Every subsequent mutation fails, on every class.
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("post-halt write = %v", err)
+	}
+	if err := fsys.WriteFile(filepath.Join(dir, "backup.meta.tmp"), []byte("{}"), 0o644); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("post-halt meta write = %v", err)
+	}
+	if err := fsys.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("post-halt rename = %v", err)
+	}
+	// Reads still work (recovery will need them).
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil || string(buf) != "first" {
+		t.Fatalf("post-halt read = %q, %v", buf, err)
+	}
+	// Nothing past the first write reached disk.
+	fi, err := os.Stat(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 5 {
+		t.Fatalf("file size %d after halt, want 5", fi.Size())
+	}
+}
+
+func TestExemptOnHalt(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(1)
+	inj.Arm(Rule{Point: "backup.write", Kind: Crash, AtHit: 1})
+	inj.ExemptOnHalt(ClassLog)
+	fsys := inj.FS(nil)
+	bk, err := fsys.OpenFile(filepath.Join(dir, "backup0.db"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := fsys.OpenFile(filepath.Join(dir, "redo.log"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bk.WriteAt([]byte("seg"), 0); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("backup write = %v, want crash", err)
+	}
+	// The exempt class (stable RAM) keeps writing after the halt.
+	if _, err := lg.WriteAt([]byte("rec"), 0); err != nil {
+		t.Fatalf("exempt log write after halt: %v", err)
+	}
+	if err := lg.Sync(); err != nil {
+		t.Fatalf("exempt log sync after halt: %v", err)
+	}
+}
+
+// TestTornWriteShape checks that a torn write persists a sector-aligned
+// prefix and then halts, and that the shape is reproducible from the seed.
+func TestTornWriteShape(t *testing.T) {
+	shape := func(seed int64) (int, bool, []byte) {
+		dir := t.TempDir()
+		inj := New(seed)
+		inj.Arm(Rule{Point: "wal.write", Kind: Torn, AtHit: 1})
+		fsys := inj.FS(nil)
+		f, err := fsys.OpenFile(filepath.Join(dir, "redo.log"), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, 4*SectorBytes+100)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		if _, err := f.WriteAt(payload, 0); !errors.Is(err, ErrInjectedCrash) {
+			t.Fatalf("torn write = %v, want ErrInjectedCrash", err)
+		}
+		if !inj.Halted() {
+			t.Fatal("not halted after torn write")
+		}
+		fired := inj.FiredRules()
+		if len(fired) != 1 {
+			t.Fatalf("fired %d rules, want 1", len(fired))
+		}
+		got, err := os.ReadFile(filepath.Join(dir, "redo.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := fired[0]
+		if len(got) != fr.TornBytes {
+			t.Fatalf("persisted %d bytes, Fired says %d", len(got), fr.TornBytes)
+		}
+		if fr.TornBytes%SectorBytes != 0 {
+			t.Fatalf("torn prefix %d not sector-aligned", fr.TornBytes)
+		}
+		if fr.TornBytes > len(payload) {
+			t.Fatalf("torn prefix %d longer than write %d", fr.TornBytes, len(payload))
+		}
+		if !fr.Corrupted && !bytes.Equal(got, payload[:fr.TornBytes]) {
+			t.Fatal("uncorrupted torn prefix differs from the original data")
+		}
+		if fr.Corrupted && bytes.Equal(got, payload[:fr.TornBytes]) {
+			t.Fatal("corrupted torn prefix identical to the original data")
+		}
+		return fr.TornBytes, fr.Corrupted, got
+	}
+	// Replaying the same seed reproduces the same torn shape and bytes.
+	n1, c1, b1 := shape(42)
+	n2, c2, b2 := shape(42)
+	if n1 != n2 || c1 != c2 || !bytes.Equal(b1, b2) {
+		t.Fatalf("seed 42 not reproducible: (%d,%v) vs (%d,%v)", n1, c1, n2, c2)
+	}
+}
+
+func TestErrIOIsTransient(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(1)
+	inj.Arm(Rule{Point: "wal.write", Kind: ErrIO, AtHit: 2, Times: 2})
+	fsys := inj.FS(nil)
+	f, err := fsys.OpenFile(filepath.Join(dir, "redo.log"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("a"), 0); err != nil {
+		t.Fatalf("hit 1: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.WriteAt([]byte("b"), 1); !errors.Is(err, ErrInjectedIO) {
+			t.Fatalf("hit %d = %v, want ErrInjectedIO", 2+i, err)
+		}
+	}
+	if _, err := f.WriteAt([]byte("c"), 1); err != nil {
+		t.Fatalf("after the rule expires: %v", err)
+	}
+	if inj.Halted() {
+		t.Fatal("ErrIO must not halt the injector")
+	}
+	if got := inj.Hits("wal.write"); got != 4 {
+		t.Fatalf("hits = %d, want 4", got)
+	}
+}
+
+func TestHookPoint(t *testing.T) {
+	inj := New(1)
+	inj.Arm(Rule{Point: PointCheckpointSeg, Kind: Crash, AtHit: 3})
+	for i := 1; i <= 2; i++ {
+		if err := inj.Hook(PointCheckpointSeg); err != nil {
+			t.Fatalf("hook hit %d: %v", i, err)
+		}
+	}
+	if err := inj.Hook(PointCheckpointSeg); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("hook hit 3 = %v, want crash", err)
+	}
+	if err := inj.Hook(PointCheckpointSeg); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("post-halt hook = %v, want crash", err)
+	}
+}

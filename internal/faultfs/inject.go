@@ -1,0 +1,453 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// Injected fault errors. ErrInjectedCrash marks the simulated system
+// failure (everything after it fails until recovery); ErrInjectedIO is a
+// transient device error the engine is expected to survive.
+var (
+	ErrInjectedCrash = errors.New("faultfs: injected crash")
+	ErrInjectedIO    = errors.New("faultfs: injected I/O error")
+)
+
+// Op is a mutating filesystem operation the injector can intercept.
+type Op uint8
+
+// Intercepted operations.
+const (
+	OpWrite Op = iota
+	OpSync
+	OpRename
+	OpTruncate
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpTruncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("faultfs.Op(%d)", uint8(o))
+	}
+}
+
+// Point is a named crash point: one (file class, operation) pair on the
+// engine's write path, or an engine-level hook point (PointCheckpointSeg).
+// Rules are armed against points, and hit counts are kept per point.
+type Point string
+
+// Engine-level hook points (reported via Injector.Hook rather than
+// observed at the filesystem layer).
+const (
+	// PointCheckpointSeg fires after the checkpointer secures each
+	// segment, between segment flushes (wired through the engine's
+	// SegmentHook).
+	PointCheckpointSeg Point = "checkpoint.segment"
+)
+
+// PointAt returns the canonical crash-point name for an operation on a
+// file class: "wal.write", "wal.sync", "backup.write", "backup.sync",
+// "backup.meta.write", "backup.meta.rename", and so on.
+func PointAt(class Class, op Op) Point {
+	var prefix string
+	switch class {
+	case ClassLog:
+		prefix = "wal"
+	case ClassBackupCopy:
+		prefix = "backup"
+	case ClassBackupMeta:
+		prefix = "backup.meta"
+	default:
+		prefix = "other"
+	}
+	return Point(prefix + "." + op.String())
+}
+
+// Kind selects what a triggered rule does.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// Crash halts the injector before the operation takes effect: the
+	// operation fails with ErrInjectedCrash and nothing reaches disk.
+	Crash Kind = iota
+	// Torn applies to writes: a seeded-PRNG-chosen prefix of the write,
+	// truncated to a sector boundary, reaches disk (optionally with the
+	// final sector corrupted) and then the injector halts. On non-write
+	// operations Torn degrades to Crash.
+	Torn
+	// ErrIO fails the operation with ErrInjectedIO without halting; the
+	// system keeps running and is expected to recover on its own.
+	ErrIO
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Torn:
+		return "torn"
+	case ErrIO:
+		return "ioerr"
+	default:
+		return fmt.Sprintf("faultfs.Kind(%d)", uint8(k))
+	}
+}
+
+// Rule arms one fault at one crash point.
+type Rule struct {
+	// Point is the crash point the rule watches.
+	Point Point
+	// Kind is the fault to inject.
+	Kind Kind
+	// AtHit triggers the fault on the AtHit-th hit of Point (1-based).
+	AtHit uint64
+	// Times extends ErrIO faults to that many consecutive hits
+	// (defaulting to 1). Crash and Torn always fire once.
+	Times uint64
+}
+
+// SectorBytes is the torn-write granularity: a crashed device is assumed
+// to persist whole sectors of an in-flight write, never partial ones.
+const SectorBytes = 512
+
+// Fired describes a rule that has triggered.
+type Fired struct {
+	Rule Rule
+	// Hit is the hit count at which the rule fired (== Rule.AtHit for
+	// the first firing).
+	Hit uint64
+	// TornBytes is the prefix length that reached disk for Torn faults.
+	TornBytes int
+	// Corrupted reports whether the torn write's last persisted sector
+	// was additionally corrupted.
+	Corrupted bool
+}
+
+// Injector decides, deterministically from its seed, which operations
+// fail and how. It is safe for concurrent use; hit counts at a point are
+// assigned in operation order, which for the engine's write path is
+// deterministic per point (commits hit wal.*, the checkpointer hits
+// backup.* and checkpoint.segment).
+type Injector struct {
+	mu   sync.Mutex // lockorder:level=80
+	seed int64
+	// rng drives torn-write shapes. guarded_by:mu
+	rng *rand.Rand
+	// rules holds the armed rules. guarded_by:mu
+	rules []Rule
+	// hits counts hits per point. guarded_by:mu
+	hits map[Point]uint64
+	// halted is the fail-stop state. guarded_by:mu
+	halted bool
+	// exempt marks classes whose mutations survive the halt (stable
+	// RAM). guarded_by:mu
+	exempt map[Class]bool
+	// fired records triggered rules in order. guarded_by:mu
+	fired []Fired
+}
+
+// New returns an injector whose random choices derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:   seed,
+		rng:    rand.New(rand.NewSource(seed)), //nolint:gosec // deterministic replay is the point
+		hits:   make(map[Point]uint64),
+		exempt: make(map[Class]bool),
+	}
+}
+
+// Seed returns the injector's seed, for failure reports.
+func (inj *Injector) Seed() int64 { return inj.seed }
+
+// Arm adds a rule.
+//
+// lockorder:acquires Injector.mu
+// lockorder:releases Injector.mu
+func (inj *Injector) Arm(r Rule) {
+	if r.Times == 0 {
+		r.Times = 1
+	}
+	inj.mu.Lock()
+	inj.rules = append(inj.rules, r)
+	inj.mu.Unlock()
+}
+
+// ExemptOnHalt marks a file class as surviving the halt: its mutations
+// keep succeeding after a crash fault fires. Used to model the paper's
+// stable log tail (stable RAM is not lost in a system failure).
+//
+// lockorder:acquires Injector.mu
+// lockorder:releases Injector.mu
+func (inj *Injector) ExemptOnHalt(c Class) {
+	inj.mu.Lock()
+	inj.exempt[c] = true
+	inj.mu.Unlock()
+}
+
+// Halted reports whether a crash fault has fired.
+//
+// lockorder:acquires Injector.mu
+// lockorder:releases Injector.mu
+func (inj *Injector) Halted() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.halted
+}
+
+// FiredRules returns the rules that have triggered, in firing order.
+//
+// lockorder:acquires Injector.mu
+// lockorder:releases Injector.mu
+func (inj *Injector) FiredRules() []Fired {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]Fired, len(inj.fired))
+	copy(out, inj.fired)
+	return out
+}
+
+// Hits returns the number of times point has been hit.
+//
+// lockorder:acquires Injector.mu
+// lockorder:releases Injector.mu
+func (inj *Injector) Hits(p Point) uint64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.hits[p]
+}
+
+// action is the injector's decision for one operation.
+type action struct {
+	// err, when non-nil, fails the operation. For torn writes the
+	// prefix below is persisted first.
+	err error
+	// tornBytes is the write prefix to persist before failing (torn
+	// writes only; -1 means "not a torn write").
+	tornBytes int
+	// corrupt flips bytes in the final persisted sector.
+	corrupt bool
+}
+
+// decide registers one hit of (class, op) covering n payload bytes and
+// returns what to do. Halted-state checks come first: after a crash, a
+// mutation on a non-exempt class fails without counting as a hit (the
+// machine is off; there is no schedule left to advance).
+//
+// lockorder:acquires Injector.mu
+// lockorder:releases Injector.mu
+func (inj *Injector) decide(class Class, op Op, n int) action {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.halted {
+		if inj.exempt[class] {
+			return action{tornBytes: -1}
+		}
+		return action{err: ErrInjectedCrash, tornBytes: -1}
+	}
+	p := PointAt(class, op)
+	return inj.hitLocked(p, op, n)
+}
+
+// hitLocked advances the hit counter for p and applies the first
+// matching rule.
+// lockcheck:held inj.mu
+func (inj *Injector) hitLocked(p Point, op Op, n int) action {
+	inj.hits[p]++
+	hit := inj.hits[p]
+	for _, r := range inj.rules {
+		if r.Point != p || hit < r.AtHit || hit >= r.AtHit+r.Times {
+			continue
+		}
+		switch {
+		case r.Kind == ErrIO:
+			inj.fired = append(inj.fired, Fired{Rule: r, Hit: hit})
+			return action{err: ErrInjectedIO, tornBytes: -1}
+		case r.Kind == Torn && op == OpWrite && n > 0:
+			// Persist a sector-aligned prefix; half the time, corrupt
+			// the last persisted sector too.
+			sectors := n / SectorBytes
+			torn := 0
+			if sectors > 0 {
+				torn = inj.rng.Intn(sectors+1) * SectorBytes
+			}
+			corrupt := torn > 0 && inj.rng.Intn(2) == 1
+			inj.halted = true
+			inj.fired = append(inj.fired, Fired{Rule: r, Hit: hit, TornBytes: torn, Corrupted: corrupt})
+			return action{err: ErrInjectedCrash, tornBytes: torn, corrupt: corrupt}
+		default: // Crash (and Torn degrading on non-writes)
+			inj.halted = true
+			inj.fired = append(inj.fired, Fired{Rule: r, Hit: hit})
+			return action{err: ErrInjectedCrash, tornBytes: -1}
+		}
+	}
+	return action{tornBytes: -1}
+}
+
+// Hook reports one hit of an engine-level point (e.g. PointCheckpointSeg)
+// and returns the injected error, if any. It honors the halted state like
+// any other mutation.
+//
+// lockorder:acquires Injector.mu
+// lockorder:releases Injector.mu
+func (inj *Injector) Hook(p Point) error {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.halted {
+		return ErrInjectedCrash
+	}
+	return inj.hitLocked(p, OpWrite, 0).err
+}
+
+// FS wraps base (the OS when nil) with this injector.
+func (inj *Injector) FS(base FS) FS {
+	return &injFS{inj: inj, base: Or(base)}
+}
+
+// injFS routes mutations through the injector.
+type injFS struct {
+	inj  *Injector
+	base FS
+}
+
+func (f *injFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: f.inj, base: file, class: Classify(name)}, nil
+}
+
+func (f *injFS) Rename(oldpath, newpath string) error {
+	// The destination names the role: renaming backup.meta.tmp over
+	// backup.meta is the metadata commit point.
+	if act := f.inj.decide(Classify(newpath), OpRename, 0); act.err != nil {
+		return act.err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *injFS) Remove(name string) error {
+	if act := f.inj.decide(Classify(name), OpTruncate, 0); act.err != nil {
+		return act.err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *injFS) MkdirAll(dir string, perm os.FileMode) error { return f.base.MkdirAll(dir, perm) }
+
+func (f *injFS) ReadFile(name string) ([]byte, error) { return f.base.ReadFile(name) }
+
+func (f *injFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	act := f.inj.decide(Classify(name), OpWrite, len(data))
+	if act.err == nil {
+		return f.base.WriteFile(name, data, perm)
+	}
+	if act.tornBytes >= 0 {
+		werr := f.base.WriteFile(name, tornPrefix(data, act), perm)
+		if werr != nil {
+			return werr
+		}
+	}
+	return act.err
+}
+
+func (f *injFS) Truncate(name string, size int64) error {
+	if act := f.inj.decide(Classify(name), OpTruncate, 0); act.err != nil {
+		return act.err
+	}
+	return f.base.Truncate(name, size)
+}
+
+func (f *injFS) SyncDir(dir string) error {
+	if act := f.inj.decide(ClassOther, OpSync, 0); act.err != nil {
+		return act.err
+	}
+	return f.base.SyncDir(dir)
+}
+
+// tornPrefix returns the persisted prefix of a torn write, applying the
+// sector corruption the decision asked for.
+func tornPrefix(p []byte, act action) []byte {
+	out := make([]byte, act.tornBytes)
+	copy(out, p[:act.tornBytes])
+	if act.corrupt {
+		// Invert a byte in the last persisted sector: a checksum-visible
+		// scribble, deterministic given the decision.
+		i := act.tornBytes - SectorBytes/2
+		if i < 0 {
+			i = 0
+		}
+		out[i] = ^out[i]
+	}
+	return out
+}
+
+// injFile routes file mutations through the injector. Reads pass through.
+type injFile struct {
+	inj   *Injector
+	base  File
+	class Class
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) { return f.base.ReadAt(p, off) }
+
+func (f *injFile) Stat() (os.FileInfo, error) { return f.base.Stat() }
+
+func (f *injFile) Close() error { return f.base.Close() }
+
+func (f *injFile) WriteAt(p []byte, off int64) (int, error) {
+	act := f.inj.decide(f.class, OpWrite, len(p))
+	if act.err == nil {
+		return f.base.WriteAt(p, off)
+	}
+	if act.tornBytes >= 0 {
+		if n, werr := f.base.WriteAt(tornPrefix(p, act), off); werr != nil {
+			return n, werr
+		}
+	}
+	return 0, act.err
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	// Sequential writes are used only for the log-compaction temporary;
+	// treat them like WriteAt for injection purposes. A torn sequential
+	// write persists its prefix at the current offset.
+	act := f.inj.decide(f.class, OpWrite, len(p))
+	if act.err == nil {
+		return f.base.Write(p)
+	}
+	if act.tornBytes >= 0 {
+		if n, werr := f.base.Write(tornPrefix(p, act)); werr != nil {
+			return n, werr
+		}
+	}
+	return 0, act.err
+}
+
+func (f *injFile) Sync() error {
+	if act := f.inj.decide(f.class, OpSync, 0); act.err != nil {
+		return act.err
+	}
+	return f.base.Sync()
+}
+
+func (f *injFile) Truncate(size int64) error {
+	if act := f.inj.decide(f.class, OpTruncate, 0); act.err != nil {
+		return act.err
+	}
+	return f.base.Truncate(size)
+}

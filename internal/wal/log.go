@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mmdb/internal/faultfs"
 )
 
 // Log file header. LSNs are logical positions that survive head
@@ -32,13 +34,19 @@ func encodeHeader(base LSN) []byte {
 	return h
 }
 
+// ErrBadHeader reports a missing, short, or corrupt log file header. A
+// header can only be damaged by a crash during the very first write to a
+// fresh log, so recovery may treat this as an empty log when no
+// checkpoint references the file.
+var ErrBadHeader = errors.New("wal: bad log file header")
+
 // decodeHeader validates a file header and returns its base LSN.
 func decodeHeader(h []byte) (LSN, error) {
 	if len(h) < fileHeaderSize || string(h[:8]) != fileMagic {
-		return 0, errors.New("wal: bad log file header")
+		return 0, ErrBadHeader
 	}
 	if crc32.Checksum(h[:16], crcTable) != binary.LittleEndian.Uint32(h[16:]) {
-		return 0, errors.New("wal: log file header checksum mismatch")
+		return 0, fmt.Errorf("%w: checksum mismatch", ErrBadHeader)
 	}
 	return LSN(binary.LittleEndian.Uint64(h[8:])), nil
 }
@@ -60,6 +68,10 @@ type Options struct {
 	// flusher that flushes the tail at this period. Zero leaves flushing
 	// to explicit Flush/WaitDurable calls.
 	FlushInterval time.Duration
+
+	// FS is the filesystem the log writes through. Nil means the OS
+	// directly; tests inject a faultfs.Injector here.
+	FS faultfs.FS
 }
 
 // Log is an append-only redo log backed by a single file.
@@ -74,7 +86,8 @@ type Options struct {
 type Log struct {
 	mu sync.Mutex // lockorder:level=50
 	// f is the log file handle. guarded_by:mu
-	f    *os.File
+	f    faultfs.File
+	fsys faultfs.FS
 	path string
 	opts Options
 	// base is the LSN at file offset fileHeaderSize (head compaction).
@@ -113,7 +126,8 @@ var ErrClosed = errors.New("wal: log is closed")
 // file is opened positioned at its end (recovery must have validated it
 // first; see Reader).
 func Open(path string, opts Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	fsys := faultfs.Or(opts.FS)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
@@ -132,6 +146,9 @@ func Open(path string, opts Options) (*Log, error) {
 		hdr := make([]byte, fileHeaderSize)
 		if _, err := f.ReadAt(hdr, 0); err != nil {
 			f.Close()
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, fmt.Errorf("%w: file shorter than header", ErrBadHeader)
+			}
 			return nil, fmt.Errorf("wal: read header: %w", err)
 		}
 		base, err = decodeHeader(hdr)
@@ -146,6 +163,7 @@ func Open(path string, opts Options) (*Log, error) {
 	}
 	l := &Log{
 		f:         f,
+		fsys:      fsys,
 		path:      path,
 		opts:      opts,
 		base:      base,
@@ -428,11 +446,11 @@ func (l *Log) Compact(keepFrom LSN) (freed int64, err error) {
 	}
 
 	tmpPath := l.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	tmp, err := l.fsys.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("wal: compact: %w", err)
 	}
-	defer os.Remove(tmpPath) // no-op after the rename succeeds
+	defer l.fsys.Remove(tmpPath) //nolint:errcheckwal // no-op after the rename succeeds
 	cleanup := func(e error) (int64, error) {
 		tmp.Close()
 		return 0, e
@@ -459,19 +477,27 @@ func (l *Log) Compact(keepFrom LSN) (freed int64, err error) {
 	if err := tmp.Sync(); err != nil {
 		return cleanup(fmt.Errorf("wal: compact sync: %w", err))
 	}
-	if err := os.Rename(tmpPath, l.path); err != nil {
+	if err := l.fsys.Rename(tmpPath, l.path); err != nil {
 		return cleanup(fmt.Errorf("wal: compact rename: %w", err))
 	}
-	if d, err := os.Open(filepath.Dir(l.path)); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	_ = l.fsys.SyncDir(filepath.Dir(l.path)) //nolint:errcheckwal // best-effort dir sync
 	old := l.f
 	l.f = tmp
 	_ = old.Close()
 	freed = int64(keepFrom - l.base)
 	l.base = keepFrom
 	return freed, nil
+}
+
+// Reset rewrites path as a valid empty log whose records start at LSN
+// base, discarding any prior contents. Recovery uses it to repair a log
+// whose file header was torn by a crash before any record could have
+// become durable.
+func Reset(fsys faultfs.FS, path string, base LSN) error {
+	if err := faultfs.Or(fsys).WriteFile(path, encodeHeader(base), 0o644); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	return nil
 }
 
 // CreateAt writes a fresh log file at path whose records start at LSN

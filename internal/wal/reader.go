@@ -21,6 +21,13 @@ type Reader struct {
 // has dropped from the log file.
 var ErrCompacted = errors.New("wal: requested LSN predates the compacted log head")
 
+// ErrTruncated reports a record frame cut off by the end of the file: the
+// signature of a torn tail, where a crash lost the unsynced suffix of an
+// append. It is distinct from ErrCorrupt (a complete frame whose checksum
+// or framing is wrong); recovery treats both as the end of the usable log,
+// but diagnostics and tests need to tell them apart.
+var ErrTruncated = errors.New("wal: record truncated at end of log")
+
 // OpenReader opens the log file at path for scanning.
 func OpenReader(path string) (*Reader, error) {
 	f, err := os.Open(path)
@@ -40,6 +47,11 @@ func OpenReader(path string) (*Reader, error) {
 	hdr := make([]byte, fileHeaderSize)
 	if _, err := f.ReadAt(hdr, 0); err != nil {
 		f.Close()
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// The file is shorter than a header: a crash tore the very
+			// first write to a fresh log.
+			return nil, fmt.Errorf("%w: file shorter than header", ErrBadHeader)
+		}
 		return nil, fmt.Errorf("wal: read header: %w", err)
 	}
 	base, err := decodeHeader(hdr)
@@ -94,7 +106,9 @@ func (r *Reader) readAt(lsn LSN) (*Record, LSN, error) {
 	var hdr [headerSize]byte
 	if _, err := r.f.ReadAt(hdr[:], r.FileOffset(lsn)); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, 0, ErrCorrupt
+			// Fewer than headerSize bytes remain: the frame was cut off
+			// mid-header by a torn tail.
+			return nil, 0, ErrTruncated
 		}
 		return nil, 0, err
 	}
@@ -104,10 +118,15 @@ func (r *Reader) readAt(lsn LSN) (*Record, LSN, error) {
 	}
 	total := headerSize + plen + trailerSize
 	if lsn+LSN(total) > r.end {
-		return nil, 0, ErrCorrupt
+		// The header is plausible but the frame runs past the end of the
+		// file: the tail of the record was lost, not scribbled on.
+		return nil, 0, ErrTruncated
 	}
 	buf := make([]byte, total)
 	if _, err := r.f.ReadAt(buf, r.FileOffset(lsn)); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, ErrTruncated
+		}
 		return nil, 0, err
 	}
 	rec, n, err := decodeFrom(buf)
@@ -129,17 +148,31 @@ type Entry struct {
 // at end of file; neither is an error. fn may stop the scan early by
 // returning a non-nil error, which Scan returns unchanged.
 func (r *Reader) Scan(start LSN, fn func(Entry) error) error {
+	_, _, err := r.ScanTail(start, fn) //nolint:errcheckwal // the discarded terminal reason is a classification, not an error; err is returned
+	return err
+}
+
+// ScanTail is Scan, but additionally reports where the intact prefix ends
+// and why: io.EOF when the file ends cleanly on a record boundary,
+// ErrTruncated when the last frame was cut off (a torn tail), ErrCorrupt
+// when a complete frame fails its checksum or framing. The terminal reason
+// is a classification, not a failure — the returned error is nil unless fn
+// aborted the scan or a read failed outright.
+func (r *Reader) ScanTail(start LSN, fn func(Entry) error) (end LSN, terminal error, err error) {
 	lsn := start
 	for {
-		rec, next, err := r.readAt(lsn)
-		if errors.Is(err, io.EOF) || errors.Is(err, ErrCorrupt) {
-			return nil
+		rec, next, rerr := r.readAt(lsn)
+		switch {
+		case rerr == nil:
+		case errors.Is(rerr, io.EOF), errors.Is(rerr, ErrTruncated), errors.Is(rerr, ErrCorrupt):
+			return lsn, rerr, nil
+		default:
+			return lsn, rerr, rerr
 		}
-		if err != nil {
-			return err
-		}
-		if err := fn(Entry{LSN: lsn, Next: next, Rec: rec}); err != nil {
-			return err
+		if fn != nil {
+			if ferr := fn(Entry{LSN: lsn, Next: next, Rec: rec}); ferr != nil {
+				return lsn, nil, ferr
+			}
 		}
 		lsn = next
 	}
@@ -153,6 +186,11 @@ func (r *Reader) readBackFrom(end LSN) (Entry, error) {
 	}
 	var tb [trailerSize]byte
 	if _, err := r.f.ReadAt(tb[:], r.FileOffset(end)-trailerSize); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Backward scans must run over the intact prefix; a read past
+			// the file end means the caller's end LSN was bad.
+			return Entry{}, fmt.Errorf("%w: backward read past end of file", ErrCorrupt)
+		}
 		return Entry{}, err
 	}
 	plen := int(uint32(tb[0]) | uint32(tb[1])<<8 | uint32(tb[2])<<16 | uint32(tb[3])<<24)

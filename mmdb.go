@@ -59,6 +59,7 @@ var (
 	ErrExistingDatabase          = engine.ErrExistingDatabase
 	ErrLogicalLoggingUnsupported = engine.ErrLogicalLoggingUnsupported
 	ErrUnknownOperation          = engine.ErrUnknownOperation
+	ErrCommitInDoubt             = engine.ErrCommitInDoubt
 )
 
 // Logical (operation) logging: with a copy-on-update checkpoint algorithm
