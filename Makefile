@@ -4,7 +4,7 @@
 GO ?= go
 MMDBLINT := bin/mmdblint
 
-.PHONY: all build test race vet mmdblint lint fmt clean crashmatrix fuzz
+.PHONY: all build test race vet mmdblint lint fmt clean crashmatrix fuzz bench
 
 all: build test
 
@@ -27,6 +27,15 @@ vet:
 # (TestCrashMatrixSoak) multiplies seeds and workload length.
 crashmatrix:
 	$(GO) test -race -run 'TestCrash|TestCommitInDoubt' ./internal/testbed/ ./kvstore/
+
+# The benchmark matrix: ckptbench across all six checkpoint algorithms
+# with an end-of-run crash, writing the schema'd measured-vs-analytic
+# result file (commit latency quantiles, per-phase recovery times, and
+# the run priced against the paper's model). CI uploads the file as an
+# artifact. Tune BENCH_TXNS for a longer run.
+BENCH_TXNS ?= 20000
+bench:
+	$(GO) run ./cmd/ckptbench -matrix -crash -txns $(BENCH_TXNS) -json BENCH_ckpt.json
 
 # Short fuzz runs of the WAL reader targets; the checked-in corpus and
 # seeds alone also run as part of `make test`.

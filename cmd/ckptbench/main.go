@@ -3,17 +3,23 @@
 // while the configured checkpoint algorithm maintains the backup database.
 // At the end it optionally crashes the engine and times recovery, then
 // reports throughput, checkpoint activity, the measured restart
-// probability, and the run priced in the paper's instructions-per-
-// transaction metric.
+// probability, commit/checkpoint latency quantiles from the engine's
+// histograms, and a measured-vs-analytic comparison: the run priced in
+// the paper's instructions-per-transaction metric next to the model's
+// prediction for the same operating point.
 //
 // Example:
 //
 //	ckptbench -alg 2CCOPY -records 65536 -txns 20000 -writers 4 -crash
+//	ckptbench -matrix -crash -json BENCH_ckpt.json   # all six algorithms
+//	ckptbench -alg COUCOPY -metrics :6060            # mmdbctl stats -addr http://localhost:6060/metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -22,11 +28,13 @@ import (
 
 	"mmdb"
 	"mmdb/analytic"
+	"mmdb/internal/obs"
 	"mmdb/workload"
 )
 
 var (
 	algName  = flag.String("alg", "COUCOPY", "checkpoint algorithm")
+	matrix   = flag.Bool("matrix", false, "run all six algorithms in sequence (ignores -alg and -dir)")
 	records  = flag.Int("records", 1<<16, "number of records")
 	recBytes = flag.Int("recbytes", 128, "record size in bytes")
 	segBytes = flag.Int("segbytes", 0, "segment size in bytes (0 = 256 records)")
@@ -42,27 +50,166 @@ var (
 	crash    = flag.Bool("crash", false, "crash at the end and time recovery")
 	dirFlag  = flag.String("dir", "", "database directory (default: a temp dir)")
 	seed     = flag.Int64("seed", 1, "workload seed")
+	jsonPath = flag.String("json", "", "write the machine-readable result file here")
+	metrics  = flag.String("metrics", "", "serve live metrics on this address during the run (e.g. :6060)")
 )
+
+// ResultSchema identifies the -json file layout.
+const ResultSchema = "mmdb/ckptbench/v1"
+
+// BenchFile is the top-level -json document.
+type BenchFile struct {
+	Schema string         `json:"schema"`
+	Runs   []*BenchResult `json:"runs"`
+}
+
+// BenchResult is one algorithm's run: configuration, totals, latency
+// histograms, recovery phase times, and the measured-vs-analytic pricing.
+type BenchResult struct {
+	Algorithm      string                       `json:"algorithm"`
+	Config         BenchConfig                  `json:"config"`
+	ElapsedSeconds float64                      `json:"elapsed_seconds"`
+	TxnsCommitted  uint64                       `json:"txns_committed"`
+	TxnsPerSecond  float64                      `json:"txns_per_second"`
+	Checkpoints    uint64                       `json:"checkpoints"`
+	SegsFlushed    uint64                       `json:"segments_flushed"`
+	SegsSkipped    uint64                       `json:"segments_skipped"`
+	BytesFlushed   uint64                       `json:"bytes_flushed"`
+	ColorRestarts  uint64                       `json:"color_restarts"`
+	COUCopies      uint64                       `json:"cou_copies"`
+	Latency        map[string]obs.HistogramJSON `json:"latency"`
+	Recovery       *RecoveryJSON                `json:"recovery,omitempty"`
+	Analytic       *AnalyticJSON                `json:"analytic,omitempty"`
+}
+
+// BenchConfig echoes the knobs that shaped the run.
+type BenchConfig struct {
+	Records         int     `json:"records"`
+	RecordBytes     int     `json:"record_bytes"`
+	SegmentBytes    int     `json:"segment_bytes"`
+	Txns            int     `json:"txns"`
+	UpdatesPerTxn   int     `json:"updates_per_txn"`
+	Writers         int     `json:"writers"`
+	IntervalSeconds float64 `json:"interval_seconds"`
+	Full            bool    `json:"full"`
+	StableTail      bool    `json:"stable_tail"`
+	SyncCommit      bool    `json:"sync_commit"`
+	ZipfS           float64 `json:"zipf_s"`
+	Seed            int64   `json:"seed"`
+}
+
+// RecoveryJSON reports the timed crash-recovery phases (-crash only).
+type RecoveryJSON struct {
+	TotalSeconds      float64 `json:"total_seconds"`
+	BackupLoadSeconds float64 `json:"backup_load_seconds"`
+	LogScanSeconds    float64 `json:"log_scan_seconds"`
+	RedoApplySeconds  float64 `json:"redo_apply_seconds"`
+	SegmentsLoaded    int     `json:"segments_loaded"`
+	RecordsScanned    int     `json:"records_scanned"`
+	TxnsReplayed      int     `json:"txns_replayed"`
+	UpdatesApplied    int     `json:"updates_applied"`
+}
+
+// AnalyticJSON compares the run's measured cost against the paper's
+// analytic model evaluated at the same operating point (same geometry and
+// per-transaction update count, arrival rate taken from the measured
+// throughput).
+type AnalyticJSON struct {
+	MeasuredOverheadPerTxn  float64 `json:"measured_overhead_per_txn"`
+	MeasuredSyncPerTxn      float64 `json:"measured_sync_per_txn"`
+	MeasuredAsyncPerTxn     float64 `json:"measured_async_per_txn"`
+	PredictedOverheadPerTxn float64 `json:"predicted_overhead_per_txn"`
+	PredictedSyncPerTxn     float64 `json:"predicted_sync_per_txn"`
+	PredictedAsyncPerTxn    float64 `json:"predicted_async_per_txn"`
+	MeasuredPRestart        float64 `json:"measured_p_restart"`
+	PredictedPRestart       float64 `json:"predicted_p_restart"`
+	MeasuredRecoverySeconds float64 `json:"measured_recovery_seconds,omitempty"`
+	PredictedRecoverySecs   float64 `json:"predicted_recovery_seconds"`
+	PredictedSegsPerCkpt    float64 `json:"predicted_segments_per_checkpoint"`
+	MeasuredSegsPerCkpt     float64 `json:"measured_segments_per_checkpoint"`
+}
+
+// latencyHists maps the -json latency keys to registry histogram names.
+var latencyHists = map[string]string{
+	"commit":                "mmdb_engine_commit_seconds",
+	"checkpoint":            "mmdb_engine_checkpoint_seconds",
+	"checkpoint_segment":    "mmdb_engine_checkpoint_segment_seconds",
+	"lsn_wait":              "mmdb_engine_lsn_wait_seconds",
+	"wal_append":            "mmdb_wal_append_seconds",
+	"wal_flush":             "mmdb_wal_flush_seconds",
+	"wal_flush_batch_bytes": "mmdb_wal_flush_batch_bytes",
+	"backup_segment_write":  "mmdb_backup_segment_write_seconds",
+	"lock_wait":             "mmdb_lockmgr_wait_seconds",
+}
+
+// liveDB publishes the currently running database to the -metrics server
+// (matrix mode opens a new database per algorithm).
+var liveDB atomic.Pointer[mmdb.DB]
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "ckptbench:", err)
-		os.Exit(1)
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			db := liveDB.Load()
+			if db == nil {
+				http.Error(w, "no run in progress", http.StatusServiceUnavailable)
+				return
+			}
+			db.Metrics().ServeHTTP(w, r)
+		})
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "ckptbench: metrics server:", err)
+			}
+		}()
+	}
+
+	algs := []string{*algName}
+	if *matrix {
+		algs = algs[:0]
+		for _, a := range mmdb.Algorithms {
+			algs = append(algs, a.String())
+		}
+	}
+
+	file := &BenchFile{Schema: ResultSchema}
+	for i, name := range algs {
+		if i > 0 {
+			fmt.Println()
+		}
+		res, err := run(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ckptbench:", err)
+			os.Exit(1)
+		}
+		file.Runs = append(file.Runs, res)
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(file, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ckptbench: write -json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d runs)\n", *jsonPath, len(file.Runs))
 	}
 }
 
-func run() error {
-	alg, err := mmdb.ParseAlgorithm(*algName)
+func run(algName string) (*BenchResult, error) {
+	alg, err := mmdb.ParseAlgorithm(algName)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	dir := *dirFlag
-	if dir == "" {
+	if dir == "" || *matrix {
 		var err error
 		dir, err = os.MkdirTemp("", "ckptbench-*")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer os.RemoveAll(dir)
 	}
@@ -81,8 +228,10 @@ func run() error {
 	}
 	db, err := mmdb.Open(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	liveDB.Store(db)
+	defer liveDB.Store(nil)
 
 	fmt.Printf("engine: %v\n", db)
 	fmt.Printf("load: %d txns × %d updates, %d writers, %s access\n\n",
@@ -141,8 +290,8 @@ func run() error {
 	db.StopCheckpointLoop()
 
 	st := db.Stats()
-	fmt.Printf("committed %d txns in %v (%.0f txn/s)\n", done.Load(), elapsed.Round(time.Millisecond),
-		float64(done.Load())/elapsed.Seconds())
+	tput := float64(done.Load()) / elapsed.Seconds()
+	fmt.Printf("committed %d txns in %v (%.0f txn/s)\n", done.Load(), elapsed.Round(time.Millisecond), tput)
 	fmt.Printf("checkpoints: %d completed, %d segments flushed (%.1f MB), %d skipped clean\n",
 		st.Checkpoints, st.SegmentsFlushed, float64(st.BytesFlushed)/1e6, st.SegmentsSkipped)
 	fmt.Printf("last checkpoint: %v; avg %v\n",
@@ -154,25 +303,58 @@ func run() error {
 	fmt.Printf("log: %d appends, %d flushes, %.1f MB; locks: %d acquired, %d waits, %d timeouts\n",
 		st.LogAppends, st.LogFlushes, float64(st.LogBytes)/1e6, st.LockAcquires, st.LockWaits, st.LockTimeouts)
 
-	// Price the run in the paper's metric.
-	perTxn, syncC, asyncC, err := analytic.MeasuredOverhead(analytic.DefaultParams(), db.MeasuredCounts())
-	if err == nil {
-		fmt.Printf("modeled checkpointing overhead: %.0f instructions/txn (sync %.0f + async %.0f)\n",
-			perTxn, syncC, asyncC)
+	res := &BenchResult{
+		Algorithm: alg.String(),
+		Config: BenchConfig{
+			Records: *records, RecordBytes: *recBytes, SegmentBytes: effSegBytes(),
+			Txns: *txns, UpdatesPerTxn: *updates, Writers: *writers,
+			IntervalSeconds: interval.Seconds(),
+			Full:            *full, StableTail: cfg.StableLogTail, SyncCommit: *syncCmt,
+			ZipfS: *zipfS, Seed: *seed,
+		},
+		ElapsedSeconds: elapsed.Seconds(),
+		TxnsCommitted:  uint64(done.Load()),
+		TxnsPerSecond:  tput,
+		Checkpoints:    st.Checkpoints,
+		SegsFlushed:    st.SegmentsFlushed,
+		SegsSkipped:    st.SegmentsSkipped,
+		BytesFlushed:   uint64(st.BytesFlushed),
+		ColorRestarts:  st.ColorRestarts,
+		COUCopies:      st.COUCopies,
+		Latency:        map[string]obs.HistogramJSON{},
+	}
+	reg := db.MetricsRegistry()
+	for key, name := range latencyHists {
+		if h := reg.FindHistogram(name); h != nil && h.Count() > 0 {
+			res.Latency[key] = obs.SnapshotJSON(h.Snapshot())
+		}
+	}
+	if c := res.Latency["commit"]; c.Count > 0 {
+		fmt.Printf("commit latency: p50 %.0fµs p90 %.0fµs p99 %.0fµs max %.0fµs\n",
+			c.P50*1e6, c.P90*1e6, c.P99*1e6, c.Max*1e6)
+	}
+
+	res.Analytic = priceRun(db, st, alg, tput)
+	if a := res.Analytic; a != nil {
+		fmt.Printf("overhead instr/txn: measured %.0f (sync %.0f + async %.0f) vs predicted %.0f (sync %.0f + async %.0f)\n",
+			a.MeasuredOverheadPerTxn, a.MeasuredSyncPerTxn, a.MeasuredAsyncPerTxn,
+			a.PredictedOverheadPerTxn, a.PredictedSyncPerTxn, a.PredictedAsyncPerTxn)
+		fmt.Printf("p_restart: measured %.4f vs predicted %.4f; predicted recovery %.2fs\n",
+			a.MeasuredPRestart, a.PredictedPRestart, a.PredictedRecoverySecs)
 	}
 
 	if !*crash {
-		return db.Close()
+		return res, db.Close()
 	}
 
 	fmt.Println("\ncrashing...")
 	if err := db.Crash(); err != nil {
-		return err
+		return nil, err
 	}
 	rstart := time.Now()
 	db2, rep, err := mmdb.Recover(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("recovered in %v: checkpoint %d (copy %d, %s), %d segments loaded (%.1f MB), "+
 		"%d log records scanned (%.1f MB), %d txns replayed, %d updates applied, %d discarded\n",
@@ -180,7 +362,78 @@ func run() error {
 		rep.CheckpointAlgorithm, rep.SegmentsLoaded, float64(rep.BackupBytesRead)/1e6,
 		rep.RecordsScanned, float64(rep.LogBytesRead)/1e6,
 		rep.TxnsReplayed, rep.UpdatesApplied, rep.UpdatesDiscarded)
-	return db2.Close()
+	fmt.Printf("recovery phases: backup load %v, log scan %v, redo apply %v\n",
+		rep.BackupLoadTime.Round(time.Microsecond), rep.LogScanTime.Round(time.Microsecond),
+		rep.RedoApplyTime.Round(time.Microsecond))
+	res.Recovery = &RecoveryJSON{
+		TotalSeconds:      rep.Elapsed.Seconds(),
+		BackupLoadSeconds: rep.BackupLoadTime.Seconds(),
+		LogScanSeconds:    rep.LogScanTime.Seconds(),
+		RedoApplySeconds:  rep.RedoApplyTime.Seconds(),
+		SegmentsLoaded:    rep.SegmentsLoaded,
+		RecordsScanned:    rep.RecordsScanned,
+		TxnsReplayed:      rep.TxnsReplayed,
+		UpdatesApplied:    rep.UpdatesApplied,
+	}
+	if res.Analytic != nil {
+		res.Analytic.MeasuredRecoverySeconds = rep.Elapsed.Seconds()
+	}
+	return res, db2.Close()
+}
+
+// effSegBytes resolves the segment-size default the engine applies.
+func effSegBytes() int {
+	if *segBytes != 0 {
+		return *segBytes
+	}
+	return *recBytes * mmdb.DefaultRecordsPerSegment
+}
+
+// priceRun prices the run two ways: measured (the engine's activity
+// counters priced with the paper's cost constants) and predicted (the
+// analytic model evaluated at the run's geometry with the measured
+// throughput as the arrival rate). Nil when the model rejects the
+// operating point (e.g. a degenerate geometry).
+func priceRun(db *mmdb.DB, st mmdb.Stats, alg mmdb.Algorithm, tput float64) *AnalyticJSON {
+	p := analytic.DefaultParams()
+	p.SRec = float64(*recBytes) / 4
+	p.SSeg = float64(effSegBytes()) / 4
+	p.SDB = float64(*records) * p.SRec
+	p.NRU = float64(*updates)
+	if tput > 0 {
+		p.Lambda = tput
+	}
+	mPerTxn, mSync, mAsync, err := analytic.MeasuredOverhead(p, db.MeasuredCounts())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckptbench: measured pricing:", err)
+		return nil
+	}
+	a := &AnalyticJSON{
+		MeasuredOverheadPerTxn: mPerTxn,
+		MeasuredSyncPerTxn:     mSync,
+		MeasuredAsyncPerTxn:    mAsync,
+		MeasuredPRestart:       st.PRestart(),
+	}
+	if st.Checkpoints > 0 {
+		a.MeasuredSegsPerCkpt = float64(st.SegmentsFlushed) / float64(st.Checkpoints)
+	}
+	pred, err := analytic.Evaluate(p, analytic.Options{
+		Algorithm:       alg,
+		Full:            *full,
+		StableTail:      *stable || alg == mmdb.FastFuzzy,
+		IntervalSeconds: interval.Seconds(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckptbench: analytic model:", err)
+		return a
+	}
+	a.PredictedOverheadPerTxn = pred.OverheadPerTxn
+	a.PredictedSyncPerTxn = pred.SyncOverheadPerTxn
+	a.PredictedAsyncPerTxn = pred.AsyncOverheadPerTxn
+	a.PredictedPRestart = pred.PRestart
+	a.PredictedRecoverySecs = pred.RecoverySeconds
+	a.PredictedSegsPerCkpt = pred.SegmentsPerCheckpoint
+	return a
 }
 
 func avgCkpt(st mmdb.Stats) time.Duration {

@@ -18,13 +18,19 @@
 //	    a self-contained archive file.
 //	mmdbctl restore -in FILE -dir NEWDIR
 //	    Materialize an archive as a recoverable database directory.
+//	mmdbctl stats -addr URL [-watch] [-interval D] [-format prom|json]
+//	    Fetch and print live metrics from a running process serving
+//	    DB.Metrics() (the only subcommand that talks to a live database).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"mmdb"
 	"mmdb/internal/inspect"
@@ -46,7 +52,19 @@ func main() {
 	limit := fs.Int("limit", 50, "log: maximum records to dump (0 = all)")
 	outFile := fs.String("out", "", "archive: output file")
 	inFile := fs.String("in", "", "restore: input archive file")
+	addr := fs.String("addr", "", "stats: metrics URL of a running process (e.g. http://localhost:6060/metrics)")
+	watch := fs.Bool("watch", false, "stats: refresh continuously")
+	interval := fs.Duration("interval", 2*time.Second, "stats: refresh interval with -watch")
+	format := fs.String("format", "prom", "stats: output format, prom or json")
 	_ = fs.Parse(os.Args[2:])
+	if cmd == "stats" {
+		// stats talks to a live process over HTTP, not to a directory.
+		if err := stats(*addr, *format, *watch, *interval); err != nil {
+			fmt.Fprintf(os.Stderr, "mmdbctl stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "mmdbctl: -dir is required")
 		os.Exit(2)
@@ -77,7 +95,49 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mmdbctl {info|verify|log|dryrun|archive|restore} -dir DIR [flags]")
+	fmt.Fprintln(os.Stderr, "       mmdbctl stats -addr URL [-watch] [-interval D] [-format prom|json]")
 	os.Exit(2)
+}
+
+// stats fetches the metrics endpoint once, or repeatedly with -watch
+// (clearing the screen between refreshes, like watch(1)).
+func stats(addr, format string, watch bool, interval time.Duration) error {
+	if addr == "" {
+		return fmt.Errorf("stats needs -addr (a URL serving DB.Metrics())")
+	}
+	if format != "prom" && format != "json" {
+		return fmt.Errorf("unknown -format %q (want prom or json)", format)
+	}
+	url := addr + "?format=" + format
+	client := &http.Client{Timeout: 10 * time.Second}
+	fetch := func() error {
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+		}
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	if !watch {
+		return fetch()
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for {
+		// ANSI clear screen + home, as watch(1) does.
+		fmt.Print("\x1b[2J\x1b[H")
+		fmt.Printf("mmdbctl stats %s — every %v (^C to stop)\n\n", addr, interval)
+		if err := fetch(); err != nil {
+			fmt.Fprintf(os.Stderr, "fetch: %v\n", err)
+		}
+		time.Sleep(interval)
+	}
 }
 
 func archive(dir, out string) error {

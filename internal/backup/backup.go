@@ -19,8 +19,10 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mmdb/internal/faultfs"
+	"mmdb/internal/obs"
 	"mmdb/internal/storage"
 	"mmdb/internal/wal"
 )
@@ -91,6 +93,16 @@ type Store struct {
 	// Counters for I/O accounting.
 	segWrites uint64
 	segReads  uint64
+
+	// segWriteH, when set, records per-segment write latency. Set once
+	// via SetMetrics before the store is used concurrently.
+	segWriteH *obs.Histogram
+}
+
+// SetMetrics installs the segment-write latency histogram. Call it after
+// OpenFS and before the store is shared with the checkpointer.
+func (s *Store) SetMetrics(segmentWriteSeconds *obs.Histogram) {
+	s.segWriteH = segmentWriteSeconds
 }
 
 // Open creates or opens the backup store in dir for a database of
@@ -271,8 +283,15 @@ func (s *Store) WriteSegment(copyIdx, idx int, checkpointID uint64, data []byte)
 	copy(buf, data)
 	binary.LittleEndian.PutUint32(buf[s.segmentBytes:], crc32.Checksum(data, crcTable))
 	binary.LittleEndian.PutUint64(buf[s.segmentBytes+8:], checkpointID)
+	var began time.Time
+	if s.segWriteH != nil {
+		began = time.Now()
+	}
 	if _, err := s.files[copyIdx].WriteAt(buf, int64(idx)*int64(s.slotBytes)); err != nil {
 		return fmt.Errorf("backup: write segment %d copy %d: %w", idx, copyIdx, err)
+	}
+	if !began.IsZero() {
+		s.segWriteH.ObserveSince(began)
 	}
 	s.segWrites++
 	return nil

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mmdb/internal/backup"
+	"mmdb/internal/obs"
 	"mmdb/internal/wal"
 )
 
@@ -44,12 +45,9 @@ func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 	}
 
 	started := time.Now()
-	e.ctr.ckptMu.Lock()
-	if !e.ctr.lastBegin.IsZero() {
-		e.ctr.lastInterval = started.Sub(e.ctr.lastBegin)
+	if prev := e.ctr.lastBeginNanos.Swap(started.UnixNano()); prev != 0 {
+		e.ctr.lastIntervalNanos.Store(uint64(started.UnixNano() - prev))
 	}
-	e.ctr.lastBegin = started
-	e.ctr.ckptMu.Unlock()
 
 	alg := e.params.Algorithm
 	id := e.ckptSeq
@@ -115,6 +113,7 @@ func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 		return nil, fmt.Errorf("engine: checkpoint %d begin: %w", id, err)
 	}
 	e.ckptSeq++
+	e.eo.tracer.Record(obs.EvCkptBegin, id, uint64(target), 0)
 
 	if err := e.bstore.BeginCheckpoint(target, backup.CheckpointInfo{
 		ID:           id,
@@ -175,10 +174,9 @@ func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 
 	dur := time.Since(started)
 	e.ctr.checkpoints.Add(1)
-	e.ctr.ckptMu.Lock()
-	e.ctr.ckptLastTime = dur
-	e.ctr.ckptTotalTime += dur
-	e.ctr.ckptMu.Unlock()
+	e.ctr.ckptLastNanos.Store(uint64(dur))
+	e.eo.ckptH.Observe(uint64(dur))
+	e.eo.tracer.Record(obs.EvCkptEnd, id, uint64(flushed), uint64(dur))
 
 	return &CheckpointResult{
 		ID:              id,
@@ -199,6 +197,7 @@ func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 //
 // walorder:write
 func (e *Engine) flushSegment(run *ckptRun, idx int, data []byte) error {
+	began := time.Now()
 	if err := e.bstore.WriteSegment(run.target, idx, run.id, data); err != nil {
 		return err
 	}
@@ -207,6 +206,9 @@ func (e *Engine) flushSegment(run *ckptRun, idx int, data []byte) error {
 	if th := e.params.CheckpointThrottle; th != nil {
 		time.Sleep(th.delayPerSegment(len(data)))
 	}
+	d := time.Since(began)
+	e.eo.ckptSegH.Observe(uint64(d))
+	e.eo.tracer.Record(obs.EvCkptSegment, run.id, uint64(idx), uint64(d))
 	return nil
 }
 
@@ -221,7 +223,10 @@ func (e *Engine) waitLSN(lsn wal.LSN) error {
 		return nil
 	}
 	e.ctr.lsnWaits.Add(1)
-	return e.log.WaitDurable(lsn)
+	began := time.Now()
+	err := e.log.WaitDurable(lsn)
+	e.eo.lsnWaitH.ObserveSince(began)
+	return err
 }
 
 // segmentDone runs the fault-injection hook, if any, after a segment has
@@ -258,6 +263,7 @@ func (e *Engine) compactLog() {
 	if freed > 0 {
 		e.ctr.compactions.Add(1)
 		e.ctr.compactBytes.Add(uint64(freed))
+		e.eo.tracer.Record(obs.EvCompaction, uint64(freed), 0, 0)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"mmdb/internal/backup"
 	"mmdb/internal/lockmgr"
+	"mmdb/internal/obs"
 	"mmdb/internal/storage"
 	"mmdb/internal/wal"
 )
@@ -100,6 +101,9 @@ type Engine struct {
 	ops map[OpCode]OpFunc
 
 	ctr counters
+	// eo is the observability surface (metrics registry, latency
+	// histograms, lifecycle tracer); always non-nil.
+	eo *engineObs
 }
 
 // Open creates or opens the database described by p. A pre-existing
@@ -129,31 +133,42 @@ func Open(p Params) (*Engine, error) {
 		// but no complete backup; that state is recoverable too.
 		return nil, errors.Join(ErrExistingDatabase, bs.Close())
 	}
+	eo := newEngineObs()
 	lg, err := wal.Open(filepath.Join(p.Dir, logFileName), wal.Options{
 		StableTail:    p.StableTail,
 		SyncOnFlush:   p.SyncOnFlush,
 		FlushInterval: p.LogFlushInterval,
 		FS:            p.FS,
+		Metrics:       eo.walMetrics,
 	})
 	if err != nil {
 		return nil, errors.Join(err, bs.Close())
 	}
-	e := newEngine(p, st, lg, bs, 1, 1)
+	e := newEngine(p, st, lg, bs, 1, 1, eo)
 	e.start()
 	return e, nil
 }
 
 // newEngine assembles an engine around already-initialized components.
-func newEngine(p Params, st *storage.Store, lg *wal.Log, bs *backup.Store, nextCkptID, clock0 uint64) *Engine {
+// eo must be the engineObs whose wal.Metrics the log was opened with
+// (nil builds a fresh, unconnected one — tests only).
+func newEngine(p Params, st *storage.Store, lg *wal.Log, bs *backup.Store, nextCkptID, clock0 uint64, eo *engineObs) *Engine {
+	if eo == nil {
+		eo = newEngineObs()
+	}
+	locks := lockmgr.New()
+	locks.SetMetrics(eo.lockWaitH)
+	bs.SetMetrics(eo.backupSegH)
 	e := &Engine{
 		params:     p,
 		store:      st,
 		log:        lg,
-		locks:      lockmgr.New(),
+		locks:      locks,
 		bstore:     bs,
 		ckptSeq:    nextCkptID,
 		activeTxns: make(map[uint64]*Txn),
 		ops:        builtinOps(),
+		eo:         eo,
 	}
 	for code, fn := range p.Operations {
 		// Params-supplied operations silently skip built-in collisions;
@@ -162,6 +177,7 @@ func newEngine(p Params, st *storage.Store, lg *wal.Log, bs *backup.Store, nextC
 	}
 	e.clock.Store(clock0)
 	e.txnCond = sync.NewCond(&e.txnMu)
+	eo.bind(e)
 	return e
 }
 
@@ -235,6 +251,7 @@ func (e *Engine) Begin() (*Txn, error) {
 	e.activeTxns[tx.id] = tx
 	e.txnMu.Unlock()
 	e.ctr.txnsBegun.Add(1)
+	e.eo.tracer.Record(obs.EvTxnBegin, tx.id, 0, 0)
 	return tx, nil
 }
 

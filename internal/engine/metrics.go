@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"mmdb/internal/obs"
+	"mmdb/internal/wal"
+)
+
+// engineObs bundles the engine's observability surface: one registry and
+// one lifecycle tracer per engine, plus the histogram handles the hot
+// paths record into. It is assembled before the engine's components so
+// the WAL, backup store, and lock manager receive their instruments at
+// construction time; the per-subsystem handles live here so metric names
+// are declared in exactly one place.
+//
+// Everything inside is either immutable after newEngineObs or internally
+// synchronized (obs types are atomic), so engineObs needs no lock.
+type engineObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	// Engine-owned latency histograms.
+	commitH  *obs.Histogram // commit latency, Commit entry to return
+	ckptH    *obs.Histogram // whole-checkpoint duration
+	ckptSegH *obs.Histogram // per-segment flush (write + throttle)
+	lsnWaitH *obs.Histogram // write-ahead LSN waits in the checkpointer
+
+	// Recovery phase durations (gauges: recovery happens once per engine).
+	recBackupLoad *obs.Gauge
+	recLogScan    *obs.Gauge
+	recRedoApply  *obs.Gauge
+	recTotal      *obs.Gauge
+
+	// Instruments handed to the substrates.
+	walMetrics *wal.Metrics
+	backupSegH *obs.Histogram
+	lockWaitH  *obs.Histogram
+}
+
+// newEngineObs builds the registry, tracer, and every engine-level
+// instrument. Counter funcs over the engine's activity counters are
+// added later by bind, once the engine struct exists.
+func newEngineObs() *engineObs {
+	reg := obs.NewRegistry()
+	eo := &engineObs{
+		reg:    reg,
+		tracer: obs.NewTracer(0),
+
+		commitH: reg.Histogram("mmdb_engine_commit_seconds",
+			"Transaction commit latency (Commit call to return).", obs.ScaleNanosToSeconds),
+		ckptH: reg.Histogram("mmdb_engine_checkpoint_seconds",
+			"Whole-checkpoint duration, begin marker to end marker.", obs.ScaleNanosToSeconds),
+		ckptSegH: reg.Histogram("mmdb_engine_checkpoint_segment_seconds",
+			"Per-segment backup flush duration, including the disk-model throttle.", obs.ScaleNanosToSeconds),
+		lsnWaitH: reg.Histogram("mmdb_engine_lsn_wait_seconds",
+			"Checkpointer write-ahead waits for log durability.", obs.ScaleNanosToSeconds),
+
+		recBackupLoad: reg.Gauge("mmdb_recovery_backup_load_seconds",
+			"Recovery phase: reading the backup copy into primary memory."),
+		recLogScan: reg.Gauge("mmdb_recovery_log_scan_seconds",
+			"Recovery phase: locating the log end and the committed set."),
+		recRedoApply: reg.Gauge("mmdb_recovery_redo_apply_seconds",
+			"Recovery phase: applying committed after-images."),
+		recTotal: reg.Gauge("mmdb_recovery_total_seconds",
+			"Total wall-clock recovery duration."),
+
+		walMetrics: &wal.Metrics{
+			AppendSeconds: reg.Histogram("mmdb_wal_append_seconds",
+				"Log append latency (encode into the tail).", obs.ScaleNanosToSeconds),
+			FlushSeconds: reg.Histogram("mmdb_wal_flush_seconds",
+				"Log flush latency (tail write plus optional sync).", obs.ScaleNanosToSeconds),
+			FlushBatchBytes: reg.Histogram("mmdb_wal_flush_batch_bytes",
+				"Bytes written per log flush (group-commit batch size).", obs.ScaleNone),
+		},
+		backupSegH: reg.Histogram("mmdb_backup_segment_write_seconds",
+			"Backup segment image write latency.", obs.ScaleNanosToSeconds),
+		lockWaitH: reg.Histogram("mmdb_lockmgr_wait_seconds",
+			"Lock wait time, enqueue to grant, timeout, or deadlock refusal.", obs.ScaleNanosToSeconds),
+	}
+	return eo
+}
+
+// bind registers read-on-gather counters over the engine's existing
+// atomic counters and substrate stats, so exposition shows them without
+// double-counting the hot-path increments.
+func (eo *engineObs) bind(e *Engine) {
+	reg := eo.reg
+	c := &e.ctr
+	reg.CounterFunc("mmdb_engine_txns_begun_total", "Transactions begun.", c.txnsBegun.Load)
+	reg.CounterFunc("mmdb_engine_txns_committed_total", "Transactions committed.", c.txnsCommitted.Load)
+	reg.CounterFunc("mmdb_engine_txns_aborted_total", "Transactions aborted (including restarts).", c.txnsAborted.Load)
+	reg.CounterFunc("mmdb_engine_color_restarts_total", "Aborts forced by the two-color rule.", c.colorRestarts.Load)
+	reg.CounterFunc("mmdb_engine_lock_aborts_total", "Aborts caused by lock timeouts.", c.lockAborts.Load)
+	reg.CounterFunc("mmdb_engine_records_read_total", "Records read by transactions.", c.recordsRead.Load)
+	reg.CounterFunc("mmdb_engine_records_written_total", "Records written by transactions.", c.recordsWritten.Load)
+	reg.CounterFunc("mmdb_engine_checkpoints_total", "Checkpoints completed.", c.checkpoints.Load)
+	reg.CounterFunc("mmdb_engine_checkpoint_segments_flushed_total", "Segments flushed to the backup.", c.segmentsFlushed.Load)
+	reg.CounterFunc("mmdb_engine_checkpoint_segments_skipped_total", "Clean segments skipped by partial checkpoints.", c.segmentsSkipped.Load)
+	reg.CounterFunc("mmdb_engine_checkpoint_flushed_bytes_total", "Bytes flushed to the backup.", c.bytesFlushed.Load)
+	reg.CounterFunc("mmdb_engine_cou_copies_total", "Copy-on-update old-version copies.", c.couCopies.Load)
+	reg.CounterFunc("mmdb_engine_cou_copy_bytes_total", "Bytes copied for copy-on-update old versions.", c.couCopyBytes.Load)
+	reg.GaugeFunc("mmdb_engine_cou_live_old", "Old copies currently held.",
+		func() float64 { return float64(c.couLive.Load()) })
+	reg.CounterFunc("mmdb_engine_lsn_waits_total", "Checkpointer LSN durability waits.", c.lsnWaits.Load)
+	reg.CounterFunc("mmdb_engine_log_compactions_total", "Log head compactions.", c.compactions.Load)
+	reg.CounterFunc("mmdb_engine_log_compacted_bytes_total", "Log bytes dropped by compaction.", c.compactBytes.Load)
+
+	locks := e.locks
+	reg.CounterFunc("mmdb_lockmgr_acquires_total", "Lock acquisitions.",
+		func() uint64 { return locks.Stats().Acquires })
+	reg.CounterFunc("mmdb_lockmgr_releases_total", "Lock releases.",
+		func() uint64 { return locks.Stats().Releases })
+	reg.CounterFunc("mmdb_lockmgr_waits_total", "Lock requests that waited.",
+		func() uint64 { return locks.Stats().Waits })
+	reg.CounterFunc("mmdb_lockmgr_timeouts_total", "Lock waits that timed out.",
+		func() uint64 { return locks.Stats().Timeouts })
+
+	lg := e.log
+	reg.CounterFunc("mmdb_wal_appends_total", "Log records appended.",
+		func() uint64 { return lg.Stats().Appends })
+	reg.CounterFunc("mmdb_wal_flushes_total", "Log tail flushes.",
+		func() uint64 { return lg.Stats().Flushes })
+	reg.CounterFunc("mmdb_wal_flushed_bytes_total", "Log bytes flushed.",
+		func() uint64 { return lg.Stats().BytesFlushed })
+	reg.GaugeFunc("mmdb_wal_durable_lsn", "Durability watermark LSN.",
+		func() float64 { return float64(lg.DurableLSN()) })
+	reg.GaugeFunc("mmdb_wal_end_lsn", "Logical end-of-log LSN.",
+		func() float64 { return float64(lg.NextLSN()) })
+}
+
+// MetricsRegistry returns the engine's metrics registry. Callers may
+// register additional metrics (kvstore registers its op latencies here).
+func (e *Engine) MetricsRegistry() *obs.Registry { return e.eo.reg }
+
+// Tracer returns the engine's lifecycle-event tracer.
+func (e *Engine) Tracer() *obs.Tracer { return e.eo.tracer }
+
+// TraceEvents dumps the currently retained lifecycle events in order.
+func (e *Engine) TraceEvents() []obs.Event { return e.eo.tracer.Dump() }

@@ -9,6 +9,7 @@ import (
 
 	"mmdb/internal/backup"
 	"mmdb/internal/faultfs"
+	"mmdb/internal/obs"
 	"mmdb/internal/storage"
 	"mmdb/internal/wal"
 )
@@ -56,6 +57,13 @@ type RecoveryReport struct {
 	LogicalReplayed int
 	// Elapsed is the wall-clock recovery duration in this process.
 	Elapsed time.Duration
+	// Phase durations: Elapsed ≈ BackupLoadTime + LogScanTime +
+	// RedoApplyTime plus setup. These are the measured counterparts of
+	// the paper's recovery-time model (backup read time + log read time);
+	// the same values are exposed as mmdb_recovery_*_seconds gauges.
+	BackupLoadTime time.Duration
+	LogScanTime    time.Duration
+	RedoApplyTime  time.Duration
 }
 
 // Recover rebuilds the primary database from the backup store and the log
@@ -69,6 +77,7 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 		return nil, nil, err
 	}
 	started := time.Now()
+	eo := newEngineObs()
 
 	st, err := storage.New(p.Storage)
 	if err != nil {
@@ -103,6 +112,7 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 	}
 
 	// Load the backup copy into primary memory.
+	phaseBegan := time.Now()
 	writtenBy := make([]uint64, st.NumSegments())
 	if rep.UsedCheckpoint {
 		err = bs.ReadAll(copyIdx, func(idx int, wb uint64, data []byte) error {
@@ -118,10 +128,14 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 			return nil, nil, fmt.Errorf("engine: recovery: load backup copy %d: %w", copyIdx, err)
 		}
 	}
+	rep.BackupLoadTime = time.Since(phaseBegan)
+	eo.recBackupLoad.Set(rep.BackupLoadTime.Seconds())
+	eo.tracer.Record(obs.EvRecoveryPhase, obs.RecPhaseBackupLoad, uint64(rep.BackupLoadTime), 0)
 
 	// Scan the log. Pass 1 finds committed transactions; pass 2 applies
 	// their after-images in log order (record-level X locks held to commit
 	// make per-record log order match commit order, so last-in-log wins).
+	phaseBegan = time.Now()
 	logPath := filepath.Join(p.Dir, logFileName)
 	reader, err := wal.OpenReader(logPath)
 	if err != nil {
@@ -192,6 +206,10 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 		return nil, nil, errors.Join(fmt.Errorf("engine: recovery: commit scan: %w", err), reader.Close())
 	}
 	rep.TxnsReplayed = len(committed)
+	rep.LogScanTime = time.Since(phaseBegan)
+	eo.recLogScan.Set(rep.LogScanTime.Seconds())
+	eo.tracer.Record(obs.EvRecoveryPhase, obs.RecPhaseLogScan, uint64(rep.LogScanTime), 0)
+	phaseBegan = time.Now()
 
 	// Operation registry for logical redo (built-ins plus custom ops the
 	// caller supplied; they must match the writing engine's).
@@ -258,11 +276,15 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 			return nil, nil, fmt.Errorf("engine: recovery: truncate torn tail: %w", err)
 		}
 	}
+	rep.RedoApplyTime = time.Since(phaseBegan)
+	eo.recRedoApply.Set(rep.RedoApplyTime.Seconds())
+	eo.tracer.Record(obs.EvRecoveryPhase, obs.RecPhaseRedoApply, uint64(rep.RedoApplyTime), 0)
 	lg, err := wal.Open(logPath, wal.Options{
 		StableTail:    p.StableTail,
 		SyncOnFlush:   p.SyncOnFlush,
 		FlushInterval: p.LogFlushInterval,
 		FS:            p.FS,
+		Metrics:       eo.walMetrics,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -279,7 +301,7 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 	if !rep.UsedCheckpoint {
 		clock0 = 1
 	}
-	e := newEngine(p, st, lg, bs, nextCkpt, clock0)
+	e := newEngine(p, st, lg, bs, nextCkpt, clock0, eo)
 	e.txnSeq.Store(maxTxnID)
 	other := 1 - copyIdx
 	for i := 0; i < st.NumSegments(); i++ {
@@ -304,6 +326,7 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 		seg.Unlock()
 	}
 	rep.Elapsed = time.Since(started)
+	eo.recTotal.Set(rep.Elapsed.Seconds())
 	ok = true
 	e.start()
 	return e, rep, nil

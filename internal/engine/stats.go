@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -32,16 +31,19 @@ type counters struct {
 	compactBytes     atomic.Uint64
 	compactErrors    atomic.Uint64
 
-	// ckptMu guards the checkpoint timing aggregates below.
-	ckptMu sync.Mutex // lockorder:level=90
-	// guarded_by:ckptMu
-	ckptTotalTime time.Duration
-	// guarded_by:ckptMu
-	ckptLastTime time.Duration
-	// guarded_by:ckptMu
-	lastInterval time.Duration
-	// guarded_by:ckptMu
-	lastBegin time.Time
+	// Checkpoint timing. Checkpoint begins and ends are serialized under
+	// Engine.ckptMu, so plain atomics suffice for readers; the total
+	// checkpoint time lives in the checkpoint-duration histogram
+	// (engineObs.ckptH), whose Sum is exact.
+	//
+	// lastBeginNanos is the UnixNano of the most recent checkpoint begin
+	// (0 until the first checkpoint begins).
+	lastBeginNanos atomic.Int64
+	// ckptLastNanos is the duration of the last completed checkpoint.
+	ckptLastNanos atomic.Uint64
+	// lastIntervalNanos is the begin-to-begin gap between the two most
+	// recent checkpoints (0 until the second checkpoint begins).
+	lastIntervalNanos atomic.Uint64
 }
 
 // bumpCOULive tracks the live old-copy count and its peak (the paper notes
@@ -89,7 +91,12 @@ type Stats struct {
 	LSNWaits            uint64
 	LastCheckpointTime  time.Duration
 	TotalCheckpointTime time.Duration
-	LastInterval        time.Duration
+	// LastInterval is the begin-to-begin gap between the two most recent
+	// checkpoints — the paper's checkpoint interval I. It stays zero
+	// through the entire first checkpoint and becomes non-zero only once
+	// a second checkpoint has begun (so a snapshot taken after the first
+	// checkpoint completes but before the second starts reads 0).
+	LastInterval time.Duration
 	// Log head compaction.
 	LogCompactions     uint64
 	LogBytesCompacted  uint64
@@ -117,9 +124,9 @@ func (s Stats) PRestart() float64 {
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	c := &e.ctr
-	c.ckptMu.Lock()
-	lastT, totalT, lastI := c.ckptLastTime, c.ckptTotalTime, c.lastInterval
-	c.ckptMu.Unlock()
+	lastT := time.Duration(c.ckptLastNanos.Load())
+	totalT := time.Duration(e.eo.ckptH.Sum())
+	lastI := time.Duration(c.lastIntervalNanos.Load())
 	ls := e.locks.Stats()
 	ws := e.log.Stats()
 	return Stats{

@@ -3,8 +3,10 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"mmdb/internal/lockmgr"
+	"mmdb/internal/obs"
 	"mmdb/internal/storage"
 	"mmdb/internal/wal"
 )
@@ -86,6 +88,7 @@ func (tx *Txn) checkColor(seg *storage.Segment) error {
 	}
 	if tx.sawBlack && tx.sawWhite {
 		tx.e.ctr.colorRestarts.Add(1)
+		tx.e.eo.tracer.Record(obs.EvTxnRestart, tx.id, run.id, 0)
 		tx.abortInternal()
 		return ErrCheckpointConflict
 	}
@@ -204,6 +207,7 @@ func (tx *Txn) Commit() error {
 		return ErrTxnDone
 	}
 	e := tx.e
+	began := time.Now()
 	var commitEnd wal.LSN
 	if len(tx.writes) > 0 {
 		var err error
@@ -231,6 +235,7 @@ func (tx *Txn) Commit() error {
 				e.locks.ReleaseAll(tx.id)
 				e.finishTxn(tx)
 				e.ctr.txnsCommitted.Add(1)
+				tx.commitObserved(began, commitEnd)
 				if errors.Is(err, wal.ErrClosed) {
 					return fmt.Errorf("%w: %w", ErrCommitInDoubt, ErrStopped)
 				}
@@ -243,7 +248,19 @@ func (tx *Txn) Commit() error {
 	e.locks.ReleaseAll(tx.id)
 	e.finishTxn(tx)
 	e.ctr.txnsCommitted.Add(1)
+	tx.commitObserved(began, commitEnd)
 	return nil
+}
+
+// commitObserved records the commit latency histogram sample and the
+// commit trace event.
+func (tx *Txn) commitObserved(began time.Time, commitEnd wal.LSN) {
+	d := time.Since(began)
+	if d < 0 {
+		d = 0
+	}
+	tx.e.eo.commitH.Observe(uint64(d))
+	tx.e.eo.tracer.Record(obs.EvTxnCommit, tx.id, uint64(commitEnd), uint64(d))
 }
 
 // install overwrites the old record versions with the transaction's new
@@ -310,4 +327,5 @@ func (tx *Txn) abortInternal() {
 	e.locks.ReleaseAll(tx.id)
 	e.finishTxn(tx)
 	e.ctr.txnsAborted.Add(1)
+	e.eo.tracer.Record(obs.EvTxnAbort, tx.id, 0, 0)
 }

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mmdb/internal/obs"
 )
 
 // Mode is a lock mode.
@@ -156,6 +158,17 @@ type Manager struct {
 	// waitingFor is the waits-for registry for deadlock detection,
 	// mapping owner → key it waits for. guarded_by:waitMu
 	waitingFor map[uint64]uint64
+
+	// waitH, when set, records wait time (enqueue to grant, timeout, or
+	// deadlock refusal). Set once via SetMetrics before the manager is
+	// shared.
+	waitH *obs.Histogram
+}
+
+// SetMetrics installs the lock-wait latency histogram. Call it after New
+// and before the manager is shared across goroutines.
+func (m *Manager) SetMetrics(waitSeconds *obs.Histogram) {
+	m.waitH = waitSeconds
 }
 
 // New returns an empty lock manager.
@@ -240,6 +253,11 @@ func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) erro
 	}
 	sh.mu.Unlock()
 	m.waits.Add(1)
+	var waitBegan time.Time
+	if m.waitH != nil {
+		waitBegan = time.Now()
+		defer m.waitH.ObserveSince(waitBegan)
+	}
 
 	// The wait is registered in the waits-for graph; if it closes a
 	// cycle, fail now instead of stalling until the timeout.

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every gathered metric in the Prometheus text
+// exposition format (version 0.0.4). Histograms emit cumulative le
+// buckets (non-empty ones plus +Inf), _sum in the exposed unit, and
+// _count.
+func WritePrometheus(w io.Writer, pts []Point) error {
+	for _, p := range pts {
+		switch p.Kind {
+		case KindCounter, KindGauge:
+			typ := "counter"
+			if p.Kind == KindGauge {
+				typ = "gauge"
+			}
+			if p.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, p.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n",
+				p.Name, typ, p.Name, formatFloat(p.Value)); err != nil {
+				return err
+			}
+		case KindHistogram:
+			if err := writePromHistogram(w, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, p Point) error {
+	if p.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, p.Help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p.Name); err != nil {
+		return err
+	}
+	s := p.Hist
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := float64(bucketUpper(i)) * s.Scale
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			p.Name, formatFloat(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", p.Name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		p.Name, formatFloat(float64(s.Sum)*s.Scale), p.Name, s.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// formatFloat renders a value the shortest way that round-trips, with
+// integral values printed without an exponent.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramJSON is the JSON shape of one histogram.
+type HistogramJSON struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// SnapshotJSON summarizes a histogram snapshot for JSON exposition.
+func SnapshotJSON(s Snapshot) HistogramJSON {
+	return HistogramJSON{
+		Count: s.Count,
+		Sum:   float64(s.Sum) * s.Scale,
+		Max:   float64(s.Max) * s.Scale,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// EventJSON is the JSON shape of one trace event.
+type EventJSON struct {
+	Seq   uint64 `json:"seq"`
+	Nanos int64  `json:"nanos"`
+	Kind  string `json:"kind"`
+	A     uint64 `json:"a"`
+	B     uint64 `json:"b"`
+	C     uint64 `json:"c"`
+}
+
+// MetricsJSON is the top-level JSON exposition document.
+type MetricsJSON struct {
+	Counters   map[string]float64       `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]HistogramJSON `json:"histograms"`
+	Events     []EventJSON              `json:"events,omitempty"`
+}
+
+// BuildJSON assembles the JSON exposition document from gathered points
+// and (optionally) dumped trace events.
+func BuildJSON(pts []Point, events []Event) MetricsJSON {
+	doc := MetricsJSON{
+		Counters:   make(map[string]float64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramJSON),
+	}
+	for _, p := range pts {
+		switch p.Kind {
+		case KindCounter:
+			doc.Counters[p.Name] = p.Value
+		case KindGauge:
+			doc.Gauges[p.Name] = p.Value
+		case KindHistogram:
+			doc.Histograms[p.Name] = SnapshotJSON(*p.Hist)
+		}
+	}
+	for _, e := range events {
+		doc.Events = append(doc.Events, EventJSON{
+			Seq: e.Seq, Nanos: e.Nanos, Kind: e.Kind.String(), A: e.A, B: e.B, C: e.C,
+		})
+	}
+	return doc
+}
+
+// WriteJSON writes the JSON exposition document (indented, sorted keys —
+// encoding/json sorts map keys).
+func WriteJSON(w io.Writer, pts []Point, events []Event) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildJSON(pts, events))
+}
+
+// Handler serves the registry (and the tracer's events, when JSON is
+// requested with ?events=1) over HTTP. ?format=prom (default) selects
+// Prometheus text; ?format=json selects JSON.
+func Handler(reg *Registry, tracer *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pts := reg.Gather()
+		format := r.URL.Query().Get("format")
+		if format == "" {
+			// Content negotiation fallback: JSON if requested via Accept.
+			if strings.Contains(r.Header.Get("Accept"), "application/json") {
+				format = "json"
+			} else {
+				format = "prom"
+			}
+		}
+		switch format {
+		case "json":
+			var events []Event
+			if r.URL.Query().Get("events") == "1" {
+				events = tracer.Dump()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := WriteJSON(w, pts, events); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := WritePrometheus(w, pts); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "unknown format "+format+" (want prom or json)", http.StatusBadRequest)
+		}
+	})
+}

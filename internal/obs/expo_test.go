@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite exposition golden files")
+
+// goldenFixture builds a deterministic registry + tracer for the
+// exposition golden tests.
+func goldenFixture() (*Registry, *Tracer) {
+	r := NewRegistry()
+	c := r.Counter("mmdb_test_txns_committed_total", "Committed transactions.")
+	g := r.Gauge("mmdb_test_dirty_ratio", "Fraction of dirty segments.")
+	h := r.Histogram("mmdb_test_commit_seconds", "Commit latency.", ScaleNanosToSeconds)
+	b := r.Histogram("mmdb_test_flush_batch_bytes", "Flush batch size.", ScaleNone)
+	c.Add(17)
+	g.Set(0.25)
+	for _, ns := range []uint64{1500, 1500, 23_000, 1_200_000} {
+		h.Observe(ns)
+	}
+	b.Observe(4096)
+	b.Observe(96)
+	tr := NewTracer(16)
+	tr.Record(EvTxnBegin, 1, 0, 0)
+	tr.Record(EvTxnCommit, 1, 4096, 23_000)
+	tr.Record(EvCkptBegin, 1, 0, 0)
+	tr.Record(EvCkptSegment, 1, 3, 1500)
+	tr.Record(EvCkptEnd, 1, 1, 90_000)
+	return r, tr
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s mismatch (run with -update-golden to refresh):\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestPrometheusGolden: stable Prometheus text output.
+func TestPrometheusGolden(t *testing.T) {
+	r, _ := goldenFixture()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom", buf.Bytes())
+}
+
+// TestJSONGolden: stable JSON output. Event timestamps are zeroed so the
+// document is deterministic.
+func TestJSONGolden(t *testing.T) {
+	r, tr := goldenFixture()
+	events := tr.Dump()
+	for i := range events {
+		events[i].Nanos = 0
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r.Gather(), events); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json", buf.Bytes())
+}
+
+// TestPrometheusCumulative: histogram le buckets are cumulative and end
+// at +Inf = count.
+func TestPrometheusCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mmdb_test_cum_bytes", "", ScaleNone)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(700)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`mmdb_test_cum_bytes_bucket{le="5"} 2`,
+		`mmdb_test_cum_bytes_bucket{le="709"} 3`,
+		`mmdb_test_cum_bytes_bucket{le="+Inf"} 3`,
+		"mmdb_test_cum_bytes_sum 710",
+		"mmdb_test_cum_bytes_count 3",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHandler: format negotiation on the HTTP surface.
+func TestHandler(t *testing.T) {
+	r, tr := goldenFixture()
+	h := Handler(r, tr)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !bytes.Contains(rec.Body.Bytes(), []byte("# TYPE mmdb_test_commit_seconds histogram")) {
+		t.Fatalf("prom default: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json&events=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("json: code=%d", rec.Code)
+	}
+	var doc MetricsJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Counters["mmdb_test_txns_committed_total"] != 17 {
+		t.Fatalf("json counters = %v", doc.Counters)
+	}
+	if hj := doc.Histograms["mmdb_test_commit_seconds"]; hj.Count != 4 || hj.P50 <= 0 {
+		t.Fatalf("json histogram = %+v", hj)
+	}
+	if len(doc.Events) != 5 {
+		t.Fatalf("json events = %d, want 5", len(doc.Events))
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=xml", nil))
+	if rec.Code != 400 {
+		t.Fatalf("unknown format: code=%d, want 400", rec.Code)
+	}
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: ~2 significant decimal digits over the full
+// uint64 range. Values 0..9 get one exact bucket each; every higher
+// decade d (values in [10^d, 10^(d+1))) gets 90 sub-buckets keyed by the
+// leading two digits (10..99). A bucket's upper bound therefore exceeds
+// its lower bound by at most one unit in the second significant digit,
+// so any quantile read from bucket bounds is within ~1% of the true
+// value (the "quantile error ≤ bucket width" property the tests assert).
+const (
+	// exactBuckets covers values 0..9 one-to-one.
+	exactBuckets = 10
+	// decades is the number of full decades above the exact range that a
+	// uint64 can occupy: 10^1 .. 10^19 (1.8e19 < 2^64 < 10^20).
+	decades = 19
+	// bucketsPerDecade is one bucket per leading-two-digit value 10..99.
+	bucketsPerDecade = 90
+	// numBuckets is the total fixed bucket count (1720).
+	numBuckets = exactBuckets + decades*bucketsPerDecade
+)
+
+// pow10 holds 10^0 .. 10^19.
+var pow10 = [20]uint64{
+	1, 10, 100, 1000, 10000, 100000, 1000000, 10000000,
+	100000000, 1000000000, 10000000000, 100000000000,
+	1000000000000, 10000000000000, 100000000000000,
+	1000000000000000, 10000000000000000, 100000000000000000,
+	1000000000000000000, 10000000000000000000,
+}
+
+// Histogram unit-scale factors (see Registry.Histogram).
+const (
+	// ScaleNone exposes recorded values unchanged (bytes, counts).
+	ScaleNone = 1.0
+	// ScaleNanosToSeconds exposes nanosecond recordings as seconds, the
+	// Prometheus base unit for *_seconds histograms.
+	ScaleNanosToSeconds = 1e-9
+)
+
+// bucketIndex maps a value to its bucket. Values 0..9 map to themselves;
+// a larger value with decimal magnitude d (10^d ≤ v < 10^(d+1)) maps by
+// its leading two digits v/10^(d-1) ∈ [10, 99].
+func bucketIndex(v uint64) int {
+	if v < exactBuckets {
+		return int(v)
+	}
+	// Decimal digit count via the bit-length estimate: len*1233>>12
+	// approximates log10(2^len) and is off by at most one, fixed up by a
+	// single table compare.
+	t := bits.Len64(v) * 1233 >> 12
+	if t >= len(pow10) || v < pow10[t] {
+		t--
+	}
+	d := t // v ∈ [10^d, 10^(d+1)), d ≥ 1
+	return exactBuckets + (d-1)*bucketsPerDecade + int(v/pow10[d-1]) - 10
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i in recorded
+// units.
+func bucketUpper(i int) uint64 {
+	if i < exactBuckets {
+		return uint64(i)
+	}
+	i -= exactBuckets
+	d := i/bucketsPerDecade + 1
+	lead := uint64(i%bucketsPerDecade) + 10
+	// Upper bound of the sub-bucket: (lead+1)*10^(d-1) - 1, saturating at
+	// the top of the uint64 range for the final buckets.
+	hi, lo := bits.Mul64(lead+1, pow10[d-1])
+	if hi != 0 {
+		return ^uint64(0)
+	}
+	return lo - 1
+}
+
+// Histogram is a lock-free log-bucketed histogram of non-negative integer
+// recordings (typically nanoseconds or bytes). All fields are atomics;
+// Observe is wait-free and Snapshot is a consistent-enough racy read
+// (counts may trail sums by in-flight observations, never by more).
+type Histogram struct {
+	name, help string
+	// scale converts a recorded value to the exposed unit.
+	scale   float64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed nanoseconds since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	d := time.Since(start)
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the exact sum of recorded values in recorded units
+// (unscaled).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// MaxValue returns the largest recorded value in recorded units.
+func (h *Histogram) MaxValue() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Snapshot copies the histogram's current state. The copy is taken
+// bucket-by-bucket without a lock, so concurrent observations may be
+// partially included; totals remain self-consistent enough for quantile
+// estimation (the error is bounded by the in-flight observation count).
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{Scale: ScaleNone}
+	if h == nil {
+		return s
+	}
+	s.Scale = h.scale
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	s.Buckets = make([]uint64, numBuckets)
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a histogram, mergeable with other
+// snapshots of same-unit histograms.
+type Snapshot struct {
+	// Count and Sum and Max are in recorded (unscaled) units.
+	Count uint64
+	Sum   uint64
+	Max   uint64
+	// Buckets has numBuckets entries (nil for an empty snapshot of a nil
+	// histogram).
+	Buckets []uint64
+	// Scale converts recorded units to exposed units.
+	Scale float64
+}
+
+// Merge adds other's observations into s. Both snapshots must use the
+// same recorded unit.
+func (s *Snapshot) Merge(other Snapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	if other.Buckets == nil {
+		return
+	}
+	if s.Buckets == nil {
+		s.Buckets = make([]uint64, numBuckets)
+	}
+	for i, v := range other.Buckets {
+		s.Buckets[i] += v
+	}
+}
+
+// Mean returns the scaled mean of the recorded values, or 0 when empty.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) * s.Scale / float64(s.Count)
+}
+
+// Quantile returns the scaled q-quantile (0 ≤ q ≤ 1) estimated from
+// bucket upper bounds; q ≥ 1 returns the exact recorded max. The
+// estimate errs high by at most one bucket width (~1% of the value).
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return float64(s.Max) * s.Scale
+	}
+	if q < 0 {
+		q = 0
+	}
+	// Rank of the target observation, 1-based, rounded up.
+	rank := uint64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			upper := bucketUpper(i)
+			if upper > s.Max {
+				upper = s.Max
+			}
+			return float64(upper) * s.Scale
+		}
+	}
+	return float64(s.Max) * s.Scale
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexExact: values 0..9 land in their own exact bucket and
+// the bucket's bound is the value itself.
+func TestBucketIndexExact(t *testing.T) {
+	for v := uint64(0); v < 10; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+		if got := bucketUpper(int(v)); got != v {
+			t.Fatalf("bucketUpper(%d) = %d, want %d", v, got, v)
+		}
+	}
+}
+
+// TestBucketIndexBounds: every value lands in a bucket whose bounds
+// contain it, across magnitudes including decade edges and MaxUint64.
+func TestBucketIndexBounds(t *testing.T) {
+	vals := []uint64{10, 11, 99, 100, 101, 999, 1000, 1234, 9999,
+		1_000_000, 123_456_789, 1e18, math.MaxUint64}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		upper := bucketUpper(i)
+		if v > upper {
+			t.Fatalf("value %d above bucket %d upper bound %d", v, i, upper)
+		}
+		if i > 0 {
+			lower := bucketUpper(i-1) + 1
+			if v < lower {
+				t.Fatalf("value %d below bucket %d lower bound %d", v, i, lower)
+			}
+		}
+	}
+}
+
+// TestBucketWidth: relative bucket width stays within ~10% (one unit in
+// the second significant digit), which bounds quantile error.
+func TestBucketWidth(t *testing.T) {
+	for i := exactBuckets; i < numBuckets; i++ {
+		upper := bucketUpper(i)
+		lower := bucketUpper(i-1) + 1
+		if upper == math.MaxUint64 {
+			continue
+		}
+		width := float64(upper-lower) + 1
+		if rel := width / float64(lower); rel > 0.101 {
+			t.Fatalf("bucket %d [%d,%d] relative width %.3f > 10%%", i, lower, upper, rel)
+		}
+	}
+}
+
+// TestQuantileError: for a random sample, each estimated quantile is ≥
+// the true order statistic and within one bucket width above it.
+func TestQuantileError(t *testing.T) {
+	h := &Histogram{scale: ScaleNone}
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	vals := make([]uint64, n)
+	for i := range vals {
+		// Log-uniform spread across six decades, like latencies.
+		vals[i] = uint64(math.Exp(rng.Float64()*13.8)) + 1
+		h.Observe(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		rank := int(q*float64(n)+0.5) - 1
+		truth := float64(vals[rank])
+		got := s.Quantile(q)
+		if got < truth {
+			t.Fatalf("q=%.2f estimate %.0f below true order statistic %.0f", q, got, truth)
+		}
+		if got > truth*1.11 {
+			t.Fatalf("q=%.2f estimate %.0f exceeds true %.0f by more than a bucket width", q, got, truth)
+		}
+	}
+	if got, want := s.Quantile(1), float64(vals[n-1]); got != want {
+		t.Fatalf("q=1 = %.0f, want exact max %.0f", got, want)
+	}
+}
+
+// TestQuantileEmptyAndSingle: degenerate snapshots.
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	var empty Snapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	h := &Histogram{scale: ScaleNone}
+	h.Observe(42)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := s.Quantile(q)
+		if got != 42 {
+			t.Fatalf("single-value q=%v = %v, want 42", q, got)
+		}
+	}
+}
+
+// TestMerge: merging two snapshots equals snapshotting the combined
+// observations.
+func TestMerge(t *testing.T) {
+	a := &Histogram{scale: ScaleNone}
+	b := &Histogram{scale: ScaleNone}
+	both := &Histogram{scale: ScaleNone}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1_000_000))
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		both.Observe(v)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := both.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum || merged.Max != want.Max {
+		t.Fatalf("merged totals (%d,%d,%d) != combined (%d,%d,%d)",
+			merged.Count, merged.Sum, merged.Max, want.Count, want.Sum, want.Max)
+	}
+	for i := range want.Buckets {
+		if merged.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d != combined %d", i, merged.Buckets[i], want.Buckets[i])
+		}
+	}
+}
+
+// TestMergeIntoEmpty: merging into a zero-value snapshot adopts the
+// other's buckets.
+func TestMergeIntoEmpty(t *testing.T) {
+	h := &Histogram{scale: ScaleNone}
+	h.Observe(100)
+	var s Snapshot
+	s.Merge(h.Snapshot())
+	if s.Count != 1 || s.Sum != 100 || s.Max != 100 {
+		t.Fatalf("merge into empty: got count=%d sum=%d max=%d", s.Count, s.Sum, s.Max)
+	}
+	if s.Buckets == nil || s.Buckets[bucketIndex(100)] != 1 {
+		t.Fatal("merge into empty did not adopt buckets")
+	}
+}
+
+// TestHistogramScale: a nanosecond histogram exposes seconds.
+func TestHistogramScale(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mmdb_test_op_seconds", "", ScaleNanosToSeconds)
+	h.Observe(uint64(1500 * time.Millisecond))
+	s := h.Snapshot()
+	if got := s.Mean(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("mean = %v s, want 1.5", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("max quantile = %v s, want 1.5", got)
+	}
+}
+
+// TestHistogramConcurrent: concurrent observers under -race; totals add
+// up exactly afterwards.
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{scale: ScaleNone}
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(rng.Intn(10000)))
+				if i%64 == 0 {
+					_ = h.Snapshot() // concurrent reads must be race-clean
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Buckets {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+// TestNilHistogram: nil receivers are safe no-ops.
+func TestNilHistogram(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 || h.MaxValue() != 0 {
+		t.Fatal("nil histogram accessors must return zero")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Buckets != nil {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+}

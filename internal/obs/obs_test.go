@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryNaming: the registry rejects malformed and duplicate names
+// and accepts the mmdb_<subsystem>_<name>[_unit] shape.
+func TestRegistryNaming(t *testing.T) {
+	good := []string{
+		"mmdb_engine_commit_seconds",
+		"mmdb_wal_flush_batch_bytes",
+		"mmdb_engine_txns_committed_total",
+		"mmdb_kvstore_get_seconds",
+	}
+	for _, n := range good {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false, want true", n)
+		}
+	}
+	bad := []string{
+		"mmdb_engine",         // missing <name>
+		"engine_commit_total", // missing mmdb prefix
+		"mmdb_Engine_commit",  // uppercase
+		"mmdb_engine_commit-seconds",
+		"mmdb__engine_commit",
+		"mmdb_engine_commit ",
+	}
+	for _, n := range bad {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+
+	r := NewRegistry()
+	r.Counter("mmdb_test_ok_total", "")
+	mustPanic(t, "duplicate", func() { r.Gauge("mmdb_test_ok_total", "") })
+	mustPanic(t, "malformed", func() { r.Counter("bogus", "") })
+	mustPanic(t, "zero scale", func() { r.Histogram("mmdb_test_h_seconds", "", 0) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s registration did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestRegistryGather: all metric kinds round-trip through Gather, sorted
+// by name, with funcs evaluated at gather time.
+func TestRegistryGather(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mmdb_test_c_total", "a counter")
+	g := r.Gauge("mmdb_test_b_gauge", "a gauge")
+	h := r.Histogram("mmdb_test_a_seconds", "a histogram", ScaleNanosToSeconds)
+	live := uint64(0)
+	r.CounterFunc("mmdb_test_d_total", "a func counter", func() uint64 { return live })
+	r.GaugeFunc("mmdb_test_e_ratio", "a func gauge", func() float64 { return 0.5 })
+
+	c.Add(3)
+	c.Inc()
+	g.Set(2.25)
+	h.Observe(1_000_000)
+	live = 9
+
+	pts := r.Gather()
+	if len(pts) != 5 {
+		t.Fatalf("gathered %d points, want 5", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Name >= pts[i].Name {
+			t.Fatalf("points not sorted: %q before %q", pts[i-1].Name, pts[i].Name)
+		}
+	}
+	byName := map[string]Point{}
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	if p := byName["mmdb_test_c_total"]; p.Kind != KindCounter || p.Value != 4 {
+		t.Fatalf("counter point = %+v", p)
+	}
+	if p := byName["mmdb_test_b_gauge"]; p.Kind != KindGauge || p.Value != 2.25 {
+		t.Fatalf("gauge point = %+v", p)
+	}
+	if p := byName["mmdb_test_d_total"]; p.Kind != KindCounter || p.Value != 9 {
+		t.Fatalf("func counter point = %+v (funcs must be read at gather time)", p)
+	}
+	if p := byName["mmdb_test_e_ratio"]; p.Kind != KindGauge || p.Value != 0.5 {
+		t.Fatalf("func gauge point = %+v", p)
+	}
+	p := byName["mmdb_test_a_seconds"]
+	if p.Kind != KindHistogram || p.Hist == nil || p.Hist.Count != 1 {
+		t.Fatalf("histogram point = %+v", p)
+	}
+	if got := p.Hist.Quantile(1); got != 0.001 {
+		t.Fatalf("histogram max = %v s, want 0.001", got)
+	}
+}
+
+// TestRegistryFindNames: FindHistogram and Names.
+func TestRegistryFindNames(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mmdb_test_find_seconds", "", ScaleNanosToSeconds)
+	r.Counter("mmdb_test_other_total", "")
+	if got := r.FindHistogram("mmdb_test_find_seconds"); got != h {
+		t.Fatal("FindHistogram did not return the registered histogram")
+	}
+	if got := r.FindHistogram("mmdb_test_missing_seconds"); got != nil {
+		t.Fatal("FindHistogram on a missing name must return nil")
+	}
+	names := r.Names()
+	want := []string{"mmdb_test_find_seconds", "mmdb_test_other_total"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+}
+
+// TestNilRegistry: a nil registry hands out nil metrics and all of them
+// no-op, so optional instrumentation needs no branching.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("mmdb_test_x_total", "")
+	g := r.Gauge("mmdb_test_y_gauge", "")
+	h := r.Histogram("mmdb_test_z_seconds", "", ScaleNanosToSeconds)
+	r.CounterFunc("mmdb_test_f_total", "", func() uint64 { return 1 })
+	r.GaugeFunc("mmdb_test_g_ratio", "", func() float64 { return 1 })
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil-registry metrics must no-op")
+	}
+	if r.Gather() != nil || r.Names() != nil || r.FindHistogram("mmdb_test_z_seconds") != nil {
+		t.Fatal("nil registry must gather nothing")
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind identifies a lifecycle event. The A/B/C payload words of an
+// Event are per-kind:
+//
+//	EvTxnBegin      A=txnID
+//	EvTxnCommit     A=txnID B=commitEndLSN C=durationNanos
+//	EvTxnAbort      A=txnID
+//	EvTxnRestart    A=txnID B=ckptID (aborted by the two-color rule)
+//	EvCkptBegin     A=ckptID B=copyIndex
+//	EvCkptSegment   A=ckptID B=segmentIndex C=flushNanos
+//	EvCkptEnd       A=ckptID B=segmentsFlushed C=durationNanos
+//	EvCompaction    A=bytesDropped
+//	EvRecoveryPhase A=phase (RecPhase*) B=durationNanos
+type EventKind uint8
+
+const (
+	evInvalid EventKind = iota
+	EvTxnBegin
+	EvTxnCommit
+	EvTxnAbort
+	EvTxnRestart
+	EvCkptBegin
+	EvCkptSegment
+	EvCkptEnd
+	EvCompaction
+	EvRecoveryPhase
+)
+
+// Recovery phase identifiers carried in EvRecoveryPhase's A word.
+const (
+	RecPhaseBackupLoad uint64 = 1
+	RecPhaseLogScan    uint64 = 2
+	RecPhaseRedoApply  uint64 = 3
+)
+
+// String returns the event kind's wire name.
+func (k EventKind) String() string {
+	switch k {
+	case EvTxnBegin:
+		return "txn_begin"
+	case EvTxnCommit:
+		return "txn_commit"
+	case EvTxnAbort:
+		return "txn_abort"
+	case EvTxnRestart:
+		return "txn_restart"
+	case EvCkptBegin:
+		return "ckpt_begin"
+	case EvCkptSegment:
+		return "ckpt_segment"
+	case EvCkptEnd:
+		return "ckpt_end"
+	case EvCompaction:
+		return "compaction"
+	case EvRecoveryPhase:
+		return "recovery_phase"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one dumped lifecycle event.
+type Event struct {
+	// Seq is the global record order (dense, starts at 0).
+	Seq uint64
+	// Nanos is the wall-clock time (UnixNano) the event was recorded.
+	Nanos int64
+	Kind  EventKind
+	// A, B, C are per-kind payload words; see the EventKind docs.
+	A, B, C uint64
+}
+
+// traceSlot is one ring-buffer entry. Writers claim a slot by storing
+// ticket+1 into claim, write the payload words, then store ticket+1 into
+// done; a reader accepts the slot only when claim == done != 0, which
+// means some writer's payload is fully visible (a concurrent overwrite
+// can at worst make the reader skip the slot). Every field is atomic, so
+// the protocol is race-detector clean without locks.
+type traceSlot struct {
+	claim atomic.Uint64
+	nanos atomic.Int64
+	kind  atomic.Uint64
+	a     atomic.Uint64
+	b     atomic.Uint64
+	c     atomic.Uint64
+	done  atomic.Uint64
+}
+
+// Tracer is a bounded lock-free multi-producer ring buffer of lifecycle
+// events. Record is wait-free (one ticket fetch-add plus six atomic
+// stores); when the ring wraps, the oldest events are overwritten. A nil
+// *Tracer drops all events, so tracing is free to leave enabled
+// unconditionally.
+type Tracer struct {
+	mask  uint64
+	head  atomic.Uint64
+	slots []traceSlot
+}
+
+// DefaultTraceCap is the default ring capacity.
+const DefaultTraceCap = 4096
+
+// NewTracer returns a tracer holding the most recent capacity events
+// (rounded up to a power of two; capacity ≤ 0 selects DefaultTraceCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{mask: uint64(n - 1), slots: make([]traceSlot, n)}
+}
+
+// Record appends one event. Safe for any number of concurrent writers.
+func (t *Tracer) Record(kind EventKind, a, b, c uint64) {
+	if t == nil {
+		return
+	}
+	ticket := t.head.Add(1) - 1
+	s := &t.slots[ticket&t.mask]
+	s.claim.Store(ticket + 1)
+	s.nanos.Store(time.Now().UnixNano())
+	s.kind.Store(uint64(kind))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.c.Store(c)
+	s.done.Store(ticket + 1)
+}
+
+// Len returns the number of events recorded so far (including any already
+// overwritten).
+func (t *Tracer) Len() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.head.Load()
+}
+
+// Dump returns the currently retained events in record order. Slots being
+// overwritten concurrently are skipped (claim ≠ done), so a dump taken
+// during heavy writing is best-effort but never torn.
+func (t *Tracer) Dump() []Event {
+	if t == nil {
+		return nil
+	}
+	evs := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		done := s.done.Load()
+		if done == 0 {
+			continue
+		}
+		ev := Event{
+			Seq:   done - 1,
+			Nanos: s.nanos.Load(),
+			Kind:  EventKind(s.kind.Load()),
+			A:     s.a.Load(),
+			B:     s.b.Load(),
+			C:     s.c.Load(),
+		}
+		// Re-check both generation stamps after reading the payload: if a
+		// writer touched the slot mid-read, at least one differs.
+		if s.claim.Load() != done || s.done.Load() != done {
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	return evs
+}

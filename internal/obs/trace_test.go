@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTracerBasic: events come back in record order with payloads intact.
+func TestTracerBasic(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Record(EvTxnBegin, 1, 0, 0)
+	tr.Record(EvTxnCommit, 1, 100, 2500)
+	tr.Record(EvCkptBegin, 7, 1, 0)
+	evs := tr.Dump()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Kind != EvTxnBegin || evs[0].A != 1 || evs[0].Seq != 0 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != EvTxnCommit || evs[1].B != 100 || evs[1].C != 2500 {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if evs[2].Kind != EvCkptBegin || evs[2].A != 7 || evs[2].Seq != 2 {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+	if evs[0].Nanos == 0 {
+		t.Fatal("event timestamp not set")
+	}
+}
+
+// TestTracerWraparound: after overfilling the ring, exactly the newest
+// capacity events remain, still in order.
+func TestTracerWraparound(t *testing.T) {
+	const capacity = 16
+	tr := NewTracer(capacity)
+	const total = 3*capacity + 5
+	for i := uint64(0); i < total; i++ {
+		tr.Record(EvTxnCommit, i, 0, 0)
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len = %d, want %d", tr.Len(), total)
+	}
+	evs := tr.Dump()
+	if len(evs) != capacity {
+		t.Fatalf("got %d events after wrap, want %d", len(evs), capacity)
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(total - capacity + i)
+		if ev.Seq != wantSeq || ev.A != wantSeq {
+			t.Fatalf("event %d: seq=%d a=%d, want %d", i, ev.Seq, ev.A, wantSeq)
+		}
+	}
+}
+
+// TestTracerCapacityRounding: capacity rounds up to a power of two and
+// zero selects the default.
+func TestTracerCapacityRounding(t *testing.T) {
+	if tr := NewTracer(100); len(tr.slots) != 128 {
+		t.Fatalf("capacity 100 rounded to %d, want 128", len(tr.slots))
+	}
+	if tr := NewTracer(0); len(tr.slots) != DefaultTraceCap {
+		t.Fatalf("capacity 0 gave %d, want %d", len(tr.slots), DefaultTraceCap)
+	}
+}
+
+// TestTracerConcurrent: many writers wrapping the ring while a reader
+// dumps; under -race this proves the atomic slot protocol. Every dumped
+// event must be internally consistent (payload A equals its Seq).
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	const workers, per = 8, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Record(EvTxnCommit, 0, 0, 0)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		for i := 0; i < 200; i++ {
+			evs := tr.Dump()
+			for j := 1; j < len(evs); j++ {
+				if evs[j].Seq <= evs[j-1].Seq {
+					t.Errorf("dump not strictly ordered: %d after %d", evs[j].Seq, evs[j-1].Seq)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-stop
+	if got := tr.Len(); got != workers*per {
+		t.Fatalf("Len = %d, want %d", got, workers*per)
+	}
+	evs := tr.Dump()
+	if len(evs) == 0 || len(evs) > 64 {
+		t.Fatalf("final dump has %d events", len(evs))
+	}
+}
+
+// TestTracerSeqPayloadConsistency: single designated writer per slot
+// value — a dumped event's payload must match its sequence number, i.e.
+// no torn reads mixing two writers' events.
+func TestTracerSeqPayloadConsistency(t *testing.T) {
+	tr := NewTracer(32)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			seq := tr.head.Load()
+			tr.Record(EvTxnCommit, seq, 0, 0) // A == its own ticket (single writer)
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		for _, ev := range tr.Dump() {
+			if ev.A != ev.Seq {
+				close(done)
+				wg.Wait()
+				t.Fatalf("torn event: seq=%d payload=%d", ev.Seq, ev.A)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestNilTracer: nil receivers are safe no-ops.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.Record(EvTxnBegin, 1, 2, 3)
+	if tr.Dump() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer must record and dump nothing")
+	}
+}
+
+// TestEventKindString: every defined kind has a wire name.
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{EvTxnBegin, EvTxnCommit, EvTxnAbort, EvTxnRestart,
+		EvCkptBegin, EvCkptSegment, EvCkptEnd, EvCompaction, EvRecoveryPhase}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Fatal("undefined kind must stringify as unknown")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mmdb/internal/faultfs"
+	"mmdb/internal/obs"
 )
 
 // Log file header. LSNs are logical positions that survive head
@@ -72,6 +73,23 @@ type Options struct {
 	// FS is the filesystem the log writes through. Nil means the OS
 	// directly; tests inject a faultfs.Injector here.
 	FS faultfs.FS
+
+	// Metrics optionally instruments the log. Nil disables the timing
+	// entirely (no clock reads on the append/flush paths).
+	Metrics *Metrics
+}
+
+// Metrics is the log's observability hookup: histogram handles owned by
+// the caller's registry. Any field may be nil (obs histograms are
+// nil-safe); a nil handle skips that recording.
+type Metrics struct {
+	// AppendSeconds is the Append latency (encode into the tail).
+	AppendSeconds *obs.Histogram
+	// FlushSeconds is the flush latency (tail write plus optional sync).
+	FlushSeconds *obs.Histogram
+	// FlushBatchBytes is the bytes written per flush — the group-commit
+	// batch size.
+	FlushBatchBytes *obs.Histogram
 }
 
 // Log is an append-only redo log backed by a single file.
@@ -208,6 +226,10 @@ func (l *Log) Append(r *Record) (start, end LSN, err error) {
 	if l.closed {
 		return 0, 0, ErrClosed
 	}
+	var began time.Time
+	if m := l.opts.Metrics; m != nil && m.AppendSeconds != nil {
+		began = time.Now()
+	}
 	start = l.nextLSN
 	l.tail, err = appendEncoded(l.tail, r)
 	if err != nil {
@@ -215,6 +237,9 @@ func (l *Log) Append(r *Record) (start, end LSN, err error) {
 	}
 	l.nextLSN = l.tailStart + LSN(len(l.tail))
 	l.appends.Add(1)
+	if !began.IsZero() {
+		l.opts.Metrics.AppendSeconds.ObserveSince(began)
+	}
 	return start, l.nextLSN, nil
 }
 
@@ -263,6 +288,10 @@ func (l *Log) flushLocked() error {
 	if len(l.tail) == 0 {
 		return nil
 	}
+	var began time.Time
+	if m := l.opts.Metrics; m != nil && m.FlushSeconds != nil {
+		began = time.Now()
+	}
 	n, err := l.f.WriteAt(l.tail, fileHeaderSize+int64(l.tailStart-l.base))
 	if err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
@@ -277,6 +306,12 @@ func (l *Log) flushLocked() error {
 	}
 	l.bytesFlushed.Add(uint64(len(l.tail)))
 	l.flushes.Add(1)
+	if m := l.opts.Metrics; m != nil {
+		if !began.IsZero() {
+			m.FlushSeconds.ObserveSince(began)
+		}
+		m.FlushBatchBytes.Observe(uint64(len(l.tail)))
+	}
 	l.tailStart = l.nextLSN
 	l.tail = l.tail[:0]
 	l.flushed.Store(uint64(l.tailStart))

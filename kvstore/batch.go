@@ -3,6 +3,7 @@ package kvstore
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"mmdb"
 )
@@ -55,6 +56,7 @@ func (s *Store) Update(fn func(b *Batch) error) error {
 	if len(b.ops) == 0 {
 		return nil
 	}
+	defer s.batchH.ObserveSince(time.Now())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -16,10 +16,17 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mmdb"
 	"mmdb/index"
+	"mmdb/internal/obs"
 )
+
+// getSampleEvery is the Get-latency sampling period (must be a power of
+// two): mmdb_kvstore_get_seconds holds every getSampleEvery-th call.
+const getSampleEvery = 16
 
 // Record layout within one mmdb record:
 //
@@ -49,6 +56,16 @@ var (
 type Store struct {
 	db *mmdb.DB
 
+	// Operation latency histograms, registered on the database's metrics
+	// registry at Open and immutable afterwards (lock-free to observe).
+	getH, putH, delH, scanH, batchH *obs.Histogram
+	// getTick counts Gets for clock sampling. Get is the one
+	// sub-microsecond operation, where two clock reads would dominate on
+	// hosts with a slow clock source, so only every getSampleEvery-th
+	// call is timed; the other ops include a log commit (or a full
+	// traversal) that dwarfs the clock reads and are timed exactly.
+	getTick atomic.Uint64
+
 	mu sync.RWMutex // lockorder:level=5
 	// idx is the volatile key → record-ID index. guarded_by:mu
 	idx *index.TTree
@@ -68,6 +85,12 @@ func Open(cfg mmdb.Config) (*Store, *mmdb.RecoveryReport, error) {
 		return nil, nil, err
 	}
 	s := &Store{db: db}
+	reg := db.MetricsRegistry()
+	s.getH = reg.Histogram("mmdb_kvstore_get_seconds", "Get latency (sampled: every 16th call).", obs.ScaleNanosToSeconds)
+	s.putH = reg.Histogram("mmdb_kvstore_put_seconds", "Put latency (including the commit).", obs.ScaleNanosToSeconds)
+	s.delH = reg.Histogram("mmdb_kvstore_delete_seconds", "Delete latency (including the commit).", obs.ScaleNanosToSeconds)
+	s.scanH = reg.Histogram("mmdb_kvstore_scan_seconds", "Scan/ScanReverse latency for the whole traversal.", obs.ScaleNanosToSeconds)
+	s.batchH = reg.Histogram("mmdb_kvstore_batch_seconds", "Update (batch) latency (including the commit).", obs.ScaleNanosToSeconds)
 	s.mu.Lock()
 	err = s.rebuild()
 	s.mu.Unlock()
@@ -154,6 +177,7 @@ func (s *Store) Put(key, val []byte) error {
 	if err := s.capacityCheck(key, val); err != nil {
 		return err
 	}
+	defer s.putH.ObserveSince(time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rid, exists := s.idx.Get(key)
@@ -179,6 +203,9 @@ func (s *Store) Put(key, val []byte) error {
 
 // Get returns a copy of the value stored under key.
 func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	if s.getTick.Add(1)&(getSampleEvery-1) == 0 {
+		defer s.getH.ObserveSince(time.Now())
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	rid, ok := s.idx.Get(key)
@@ -204,6 +231,7 @@ func (s *Store) Delete(key []byte) (bool, error) {
 	if len(key) == 0 {
 		return false, ErrEmptyKey
 	}
+	defer s.delH.ObserveSince(time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rid, ok := s.idx.Get(key)
@@ -225,6 +253,7 @@ func (s *Store) Delete(key []byte) (bool, error) {
 // slices are only valid during the call. Mutating the store from fn
 // deadlocks.
 func (s *Store) Scan(from []byte, fn func(key, val []byte) bool) error {
+	defer s.scanH.ObserveSince(time.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var scanErr error
@@ -247,6 +276,7 @@ func (s *Store) Scan(from []byte, fn func(key, val []byte) bool) error {
 // ScanReverse calls fn for each entry with key <= from (all entries when
 // from is nil) in descending key order until fn returns false.
 func (s *Store) ScanReverse(from []byte, fn func(key, val []byte) bool) error {
+	defer s.scanH.ObserveSince(time.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var scanErr error

@@ -37,6 +37,7 @@ func TestRepoLockGraphConsistency(t *testing.T) {
 		"mmdb/internal/lockmgr",
 		"mmdb/internal/wal",
 		"mmdb/internal/storage",
+		"mmdb/internal/obs",
 		"mmdb/kvstore",
 	}
 	for _, pkg := range audited {
@@ -88,7 +89,7 @@ func TestRepoLockGraphConsistency(t *testing.T) {
 	const (
 		ckptMu  = "mmdb/internal/engine.Engine.ckptMu"
 		txnMu   = "mmdb/internal/engine.Engine.txnMu"
-		ctrMu   = "mmdb/internal/engine.counters.ckptMu"
+		regMu   = "mmdb/internal/obs.Registry.mu"
 		table   = "mmdb/internal/lockmgr.Manager.table"
 		shardMu = "mmdb/internal/lockmgr.shard.mu"
 		waitMu  = "mmdb/internal/lockmgr.Manager.waitMu"
@@ -96,7 +97,6 @@ func TestRepoLockGraphConsistency(t *testing.T) {
 		logMu   = "mmdb/internal/wal.Log.mu"
 	)
 	wantEdges := [][2]string{
-		{ckptMu, ctrMu},   // Checkpoint's timing aggregates
 		{ckptMu, txnMu},   // quiesce / fuzzy begin marker under ckptMu
 		{txnMu, logMu},    // begin-checkpoint Append under txnMu (and Txn.Write)
 		{ckptMu, logMu},   // log force during checkpoint begin/end
@@ -118,6 +118,16 @@ func TestRepoLockGraphConsistency(t *testing.T) {
 	// edge.
 	if edgeSet[[2]string{waitMu, shardMu}] {
 		t.Errorf("edge %s -> %s contradicts the deadlock detector's lock discipline", waitMu, shardMu)
+	}
+
+	// obs.Registry.mu (level 95) must stay a leaf: Gather copies the
+	// metric slices under the lock and evaluates value funcs only after
+	// releasing it, precisely so those funcs may take engine-side locks.
+	// An edge leaving Registry.mu would reopen that inversion.
+	for e := range edgeSet {
+		if e[0] == regMu {
+			t.Errorf("edge %s -> %s: obs.Registry.mu must remain a leaf lock", e[0], e[1])
+		}
 	}
 
 	// Declared levels strictly increase along every edge.

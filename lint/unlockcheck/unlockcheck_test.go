@@ -13,7 +13,10 @@ import (
 //     false-positive regression, dominating vs. conditional defers,
 //     TryLock, wait-loop relocking, and the held exemption;
 //   - unlockuse: the cross-package facts case — Acquire/Release wrappers
-//     declared in unlockdep balance call sites here.
+//     declared in unlockdep balance call sites here;
+//   - tracering: internal/obs.Tracer's atomic-only ring buffer shape,
+//     which has no acquisitions to balance and must stay silent (its
+//     mutexRing contrast proves the package is really analyzed).
 func TestUnlockcheck(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), unlockcheck.Analyzer, "unlockpkg", "unlockuse")
+	analysistest.Run(t, analysistest.TestData(), unlockcheck.Analyzer, "unlockpkg", "unlockuse", "tracering")
 }

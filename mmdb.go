@@ -43,9 +43,11 @@ package mmdb
 import (
 	"errors"
 	"fmt"
+	"net/http"
 
 	"mmdb/analytic"
 	"mmdb/internal/engine"
+	"mmdb/internal/obs"
 )
 
 // Errors surfaced by the database. ErrCheckpointConflict aborts a
@@ -189,6 +191,33 @@ func (db *DB) ReadRecord(rid uint64) ([]byte, error) {
 
 // Stats returns a snapshot of activity counters.
 func (db *DB) Stats() Stats { return db.e.Stats() }
+
+// Observability types, re-exported from the internal obs package: the
+// per-database metrics registry (atomic counters, gauges, and lock-free
+// latency histograms) and the lifecycle-event records its tracer dumps.
+type (
+	MetricsRegistry = obs.Registry
+	TraceEvent      = obs.Event
+)
+
+// Metrics returns an http.Handler serving the database's metrics:
+// Prometheus text format by default, JSON with ?format=json (add
+// &events=1 to include the lifecycle-event ring buffer). Mount it on any
+// mux, e.g. http.Handle("/metrics", db.Metrics()).
+func (db *DB) Metrics() http.Handler {
+	return obs.Handler(db.e.MetricsRegistry(), db.e.Tracer())
+}
+
+// MetricsRegistry returns the database's metrics registry. Callers may
+// register their own mmdb_-prefixed metrics alongside the engine's
+// (kvstore registers its operation latencies here).
+func (db *DB) MetricsRegistry() *MetricsRegistry { return db.e.MetricsRegistry() }
+
+// TraceEvents dumps the lifecycle events currently retained by the
+// engine's bounded tracer (transaction begin/commit/abort/restart,
+// checkpoint begin/segment/end, compaction, recovery phases), oldest
+// first. Cheap enough to call for postmortems on a live database.
+func (db *DB) TraceEvents() []TraceEvent { return db.e.TraceEvents() }
 
 // MeasuredCounts converts the database's activity counters into the
 // analytic model's Counts, for pricing a live run in the paper's
