@@ -22,20 +22,25 @@ vet:
 	$(GO) vet ./...
 
 # The crash matrix: every checkpoint algorithm × every named crash point
-# (internal/faultfs), recovered and checked against the committed-
-# transaction oracle, under the race detector. The -tags slow soak
-# (TestCrashMatrixSoak) multiplies seeds and workload length.
+# (internal/faultfs) × {serial, 4-worker} checkpoint/recovery pipelines
+# (TestCrashMatrixParallel arms the per-worker crash points), recovered
+# and checked against the committed-transaction oracle, under the race
+# detector. The -tags slow soak (TestCrashMatrixSoak) multiplies seeds
+# and workload length.
 crashmatrix:
-	$(GO) test -race -run 'TestCrash|TestCommitInDoubt' ./internal/testbed/ ./kvstore/
+	$(GO) test -race -run 'TestCrash|TestCommitInDoubt|TestRecoveryParallelEquivalence' ./internal/testbed/ ./kvstore/
 
 # The benchmark matrix: ckptbench across all six checkpoint algorithms
-# with an end-of-run crash, writing the schema'd measured-vs-analytic
-# result file (commit latency quantiles, per-phase recovery times, and
-# the run priced against the paper's model). CI uploads the file as an
-# artifact. Tune BENCH_TXNS for a longer run.
+# with an end-of-run crash, each run serially and with a 4-worker
+# checkpoint/recovery pipeline, writing the schema'd measured-vs-analytic
+# result file (commit latency quantiles, per-phase recovery times, the
+# parallel-vs-serial comparison, and the run priced against the paper's
+# model). CI uploads the file as an artifact. Tune BENCH_TXNS for a
+# longer run, BENCH_PARALLEL for other pool widths.
 BENCH_TXNS ?= 20000
+BENCH_PARALLEL ?= 1,4
 bench:
-	$(GO) run ./cmd/ckptbench -matrix -crash -txns $(BENCH_TXNS) -json BENCH_ckpt.json
+	$(GO) run ./cmd/ckptbench -matrix -crash -txns $(BENCH_TXNS) -parallel $(BENCH_PARALLEL) -json BENCH_ckpt.json
 
 # Short fuzz runs of the WAL reader targets; the checked-in corpus and
 # seeds alone also run as part of `make test`.

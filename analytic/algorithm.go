@@ -55,14 +55,19 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Parse resolves a case-insensitive paper name to an Algorithm.
+// Parse resolves a case-insensitive paper name to an Algorithm. The
+// error for an unknown name lists every valid one.
 func Parse(name string) (Algorithm, error) {
 	for _, a := range Algorithms {
 		if strings.EqualFold(name, a.String()) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("analytic: unknown algorithm %q", name)
+	valid := make([]string, len(Algorithms))
+	for i, a := range Algorithms {
+		valid[i] = a.String()
+	}
+	return 0, fmt.Errorf("analytic: unknown algorithm %q (valid: %s)", name, strings.Join(valid, ", "))
 }
 
 // Valid reports whether a names a known algorithm.

@@ -1,0 +1,43 @@
+package analytic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAlgorithmStringParseRoundTrip: every algorithm's paper name parses
+// back to itself, case-insensitively.
+func TestAlgorithmStringParseRoundTrip(t *testing.T) {
+	for _, a := range Algorithms {
+		name := a.String()
+		got, err := Parse(name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", name, err)
+			continue
+		}
+		if got != a {
+			t.Errorf("Parse(%q) = %v, want %v", name, got, a)
+		}
+		if got, err := Parse(strings.ToLower(name)); err != nil || got != a {
+			t.Errorf("Parse(%q) = %v, %v; want %v", strings.ToLower(name), got, err, a)
+		}
+	}
+}
+
+// TestParseUnknownListsValidNames: the error for a bad name enumerates
+// every valid algorithm so callers can self-correct.
+func TestParseUnknownListsValidNames(t *testing.T) {
+	_, err := Parse("LAZYCOPY")
+	if err == nil {
+		t.Fatal("Parse of unknown name succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"LAZYCOPY"`) {
+		t.Errorf("error %q does not quote the bad name", msg)
+	}
+	for _, a := range Algorithms {
+		if !strings.Contains(msg, a.String()) {
+			t.Errorf("error %q does not list %v", msg, a)
+		}
+	}
+}

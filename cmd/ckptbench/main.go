@@ -12,6 +12,7 @@
 //
 //	ckptbench -alg 2CCOPY -records 65536 -txns 20000 -writers 4 -crash
 //	ckptbench -matrix -crash -json BENCH_ckpt.json   # all six algorithms
+//	ckptbench -alg COUCOPY -parallel 1,4 -throttle -crash   # serial vs 4-worker pipeline
 //	ckptbench -alg COUCOPY -metrics :6060            # mmdbctl stats -addr http://localhost:6060/metrics
 package main
 
@@ -22,6 +23,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,12 +53,16 @@ var (
 	crash    = flag.Bool("crash", false, "crash at the end and time recovery")
 	dirFlag  = flag.String("dir", "", "database directory (default: a temp dir)")
 	seed     = flag.Int64("seed", 1, "workload seed")
+	parallel = flag.String("parallel", "1", "comma-separated checkpoint/recovery worker counts; each algorithm runs once per count")
+	throttle = flag.Bool("throttle", false, "pace checkpoint segment writes with the paper's disk model, one stream per worker")
+	speedup  = flag.Float64("speedup", 0, "divide the modeled throttle delays by this factor (0 = engine default)")
 	jsonPath = flag.String("json", "", "write the machine-readable result file here")
 	metrics  = flag.String("metrics", "", "serve live metrics on this address during the run (e.g. :6060)")
 )
 
-// ResultSchema identifies the -json file layout.
-const ResultSchema = "mmdb/ckptbench/v1"
+// ResultSchema identifies the -json file layout. v2 added the
+// "parallelism" config echo and "avg_checkpoint_seconds".
+const ResultSchema = "mmdb/ckptbench/v2"
 
 // BenchFile is the top-level -json document.
 type BenchFile struct {
@@ -69,6 +76,7 @@ type BenchResult struct {
 	Algorithm      string                       `json:"algorithm"`
 	Config         BenchConfig                  `json:"config"`
 	ElapsedSeconds float64                      `json:"elapsed_seconds"`
+	AvgCkptSeconds float64                      `json:"avg_checkpoint_seconds"`
 	TxnsCommitted  uint64                       `json:"txns_committed"`
 	TxnsPerSecond  float64                      `json:"txns_per_second"`
 	Checkpoints    uint64                       `json:"checkpoints"`
@@ -96,6 +104,10 @@ type BenchConfig struct {
 	SyncCommit      bool    `json:"sync_commit"`
 	ZipfS           float64 `json:"zipf_s"`
 	Seed            int64   `json:"seed"`
+	// Parallelism is the checkpoint worker-pool width and recovery
+	// worker count the run used (1 = the serial pipeline).
+	Parallelism int  `json:"parallelism"`
+	Throttled   bool `json:"throttled"`
 }
 
 // RecoveryJSON reports the timed crash-recovery phases (-crash only).
@@ -172,19 +184,27 @@ func main() {
 			algs = append(algs, a.String())
 		}
 	}
+	pars, err := parseParallelList(*parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckptbench:", err)
+		os.Exit(1)
+	}
 
 	file := &BenchFile{Schema: ResultSchema}
 	for i, name := range algs {
-		if i > 0 {
-			fmt.Println()
+		for j, par := range pars {
+			if i+j > 0 {
+				fmt.Println()
+			}
+			res, err := run(name, par)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ckptbench:", err)
+				os.Exit(1)
+			}
+			file.Runs = append(file.Runs, res)
 		}
-		res, err := run(name)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ckptbench:", err)
-			os.Exit(1)
-		}
-		file.Runs = append(file.Runs, res)
 	}
+	printSpeedups(file.Runs)
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(file, "", "  ")
@@ -199,7 +219,62 @@ func main() {
 	}
 }
 
-func run(algName string) (*BenchResult, error) {
+// parseParallelList parses the -parallel flag: a comma-separated list of
+// positive worker counts.
+func parseParallelList(s string) ([]int, error) {
+	var pars []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -parallel entry %q (want a positive integer)", field)
+		}
+		pars = append(pars, n)
+	}
+	if len(pars) == 0 {
+		return nil, fmt.Errorf("-parallel %q names no worker counts", s)
+	}
+	return pars, nil
+}
+
+// printSpeedups compares each algorithm's parallel runs against its
+// serial (parallelism-1) run, when both are present.
+func printSpeedups(runs []*BenchResult) {
+	serial := map[string]*BenchResult{}
+	for _, r := range runs {
+		if r.Config.Parallelism == 1 {
+			serial[r.Algorithm] = r
+		}
+	}
+	printed := false
+	for _, r := range runs {
+		base := serial[r.Algorithm]
+		if r.Config.Parallelism == 1 || base == nil {
+			continue
+		}
+		if !printed {
+			fmt.Println("\nparallel vs serial:")
+			printed = true
+		}
+		line := fmt.Sprintf("  %-10s %d workers:", r.Algorithm, r.Config.Parallelism)
+		if base.AvgCkptSeconds > 0 && r.AvgCkptSeconds > 0 {
+			line += fmt.Sprintf(" checkpoint %.2fx (%.1fms → %.1fms)",
+				base.AvgCkptSeconds/r.AvgCkptSeconds,
+				base.AvgCkptSeconds*1e3, r.AvgCkptSeconds*1e3)
+		}
+		if base.Recovery != nil && r.Recovery != nil && r.Recovery.TotalSeconds > 0 {
+			line += fmt.Sprintf(", recovery %.2fx (%.1fms → %.1fms)",
+				base.Recovery.TotalSeconds/r.Recovery.TotalSeconds,
+				base.Recovery.TotalSeconds*1e3, r.Recovery.TotalSeconds*1e3)
+		}
+		fmt.Println(line)
+	}
+}
+
+func run(algName string, par int) (*BenchResult, error) {
 	alg, err := mmdb.ParseAlgorithm(algName)
 	if err != nil {
 		return nil, err
@@ -225,6 +300,15 @@ func run(algName string) (*BenchResult, error) {
 		GroupCommitInterval: 2 * time.Millisecond,
 		CheckpointInterval:  *interval,
 		AutoCheckpoint:      true,
+
+		CheckpointParallelism: par,
+		RecoveryParallelism:   par,
+		// Per-stream throttling charges each worker the full per-device
+		// service time, so the K-worker pipeline shows the disk-model
+		// speedup even on few-core hosts (the sleeps overlap).
+		ThrottleCheckpointIO: *throttle,
+		ThrottlePerStream:    *throttle,
+		ThrottleSpeedup:      *speedup,
 	}
 	db, err := mmdb.Open(cfg)
 	if err != nil {
@@ -234,8 +318,8 @@ func run(algName string) (*BenchResult, error) {
 	defer liveDB.Store(nil)
 
 	fmt.Printf("engine: %v\n", db)
-	fmt.Printf("load: %d txns × %d updates, %d writers, %s access\n\n",
-		*txns, *updates, *writers, map[bool]string{true: "zipf", false: "uniform"}[*zipfS > 1])
+	fmt.Printf("load: %d txns × %d updates, %d writers, %s access, %d checkpoint worker(s)\n\n",
+		*txns, *updates, *writers, map[bool]string{true: "zipf", false: "uniform"}[*zipfS > 1], par)
 
 	var done atomic.Int64
 	var wg sync.WaitGroup
@@ -311,8 +395,10 @@ func run(algName string) (*BenchResult, error) {
 			IntervalSeconds: interval.Seconds(),
 			Full:            *full, StableTail: cfg.StableLogTail, SyncCommit: *syncCmt,
 			ZipfS: *zipfS, Seed: *seed,
+			Parallelism: par, Throttled: *throttle,
 		},
 		ElapsedSeconds: elapsed.Seconds(),
+		AvgCkptSeconds: avgCkpt(st).Seconds(),
 		TxnsCommitted:  uint64(done.Load()),
 		TxnsPerSecond:  tput,
 		Checkpoints:    st.Checkpoints,

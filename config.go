@@ -91,6 +91,20 @@ type Config struct {
 	// the head no recovery can need after each checkpoint.
 	DisableLogCompaction bool
 
+	// CheckpointParallelism is the number of concurrent segment copy/flush
+	// workers each checkpoint sweep fans out to. Zero resolves to
+	// min(GOMAXPROCS, 8); 1 runs the original serial sweeps. Each
+	// algorithm's per-segment protocol is preserved — only the write-ahead
+	// LSN wait and the ping-pong metadata commit are shared barriers (see
+	// DESIGN.md §15).
+	CheckpointParallelism int
+
+	// RecoveryParallelism is the number of concurrent backup-load stripe
+	// readers and partitioned redo-apply workers recovery uses. Zero
+	// resolves to min(GOMAXPROCS, 8); 1 recovers serially. The recovered
+	// image is byte-identical at any setting.
+	RecoveryParallelism int
+
 	// ThrottleCheckpointIO paces checkpoint segment writes as if they went
 	// to the paper's disk bank (Table 2b: 30 ms seek, 3 µs/word, 20
 	// disks), with the modeled delays divided by ThrottleSpeedup. It lets
@@ -100,15 +114,24 @@ type Config struct {
 	ThrottleCheckpointIO bool
 	ThrottleSpeedup      float64
 
+	// ThrottlePerStream, with ThrottleCheckpointIO, charges each flushing
+	// worker the full single-device service time instead of the
+	// fully-overlapped bank share: K checkpoint workers then model K
+	// synchronous disk streams, which is how parallel checkpoints buy
+	// bandwidth from the bank (see engine.Throttle.PerStream).
+	ThrottlePerStream bool
+
 	// FS, when non-nil, is the filesystem the log and backup copies are
 	// written through. Crash tests inject a faultfs.Injector here (see
 	// internal/faultfs); nil means the OS directly.
 	FS FS
 
 	// CheckpointSegmentHook, if set, runs after the checkpointer finishes
-	// each segment; returning an error aborts that checkpoint. It exists
-	// for fault injection (crashing between segment flushes).
-	CheckpointSegmentHook func(checkpointID uint64, segIdx int) error
+	// each segment; returning an error aborts that checkpoint. worker is
+	// the sweep worker that processed the segment (always 0 when
+	// CheckpointParallelism is 1). It exists for fault injection (crashing
+	// between segment flushes).
+	CheckpointSegmentHook func(checkpointID uint64, worker, segIdx int) error
 }
 
 // FS is the filesystem abstraction the storage layer writes through,
@@ -124,6 +147,16 @@ func (c Config) withDefaults() Config {
 		c.SegmentBytes = c.RecordBytes * DefaultRecordsPerSegment
 	}
 	return c
+}
+
+// Validate checks the configuration without opening anything: geometry,
+// algorithm (including the FASTFUZZY stable-tail requirement), intervals,
+// parallelism, throttle, and operation registrations. Open and Recover
+// run the same checks; calling Validate first lets callers fail fast on
+// assembled configs before touching the directory.
+func (c Config) Validate() error {
+	_, err := c.engineParams()
+	return err
 }
 
 // engineAlgorithm maps the public algorithm enumeration to the engine's.
@@ -172,6 +205,8 @@ func (c Config) engineParams() (engine.Params, error) {
 		Operations:              c.Operations,
 		DisableLogCompaction:    c.DisableLogCompaction,
 		CheckpointDirtyFraction: c.CheckpointDirtyFraction,
+		CheckpointParallelism:   c.CheckpointParallelism,
+		RecoveryParallelism:     c.RecoveryParallelism,
 		FS:                      c.FS,
 		SegmentHook:             c.CheckpointSegmentHook,
 	}
@@ -180,7 +215,11 @@ func (c Config) engineParams() (engine.Params, error) {
 		if speedup == 0 {
 			speedup = 1
 		}
-		p.CheckpointThrottle = &engine.Throttle{Disks: simdisk.Default(), Speedup: speedup}
+		p.CheckpointThrottle = &engine.Throttle{
+			Disks:     simdisk.Default(),
+			Speedup:   speedup,
+			PerStream: c.ThrottlePerStream,
+		}
 	}
 	if err := p.Validate(); err != nil {
 		return engine.Params{}, err

@@ -1,0 +1,116 @@
+package mmdb
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestConfigValidate: Validate reports the same errors Open would,
+// without touching the filesystem.
+func TestConfigValidate(t *testing.T) {
+	cfg := testConfig(t, FuzzyCopy)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	bad := cfg
+	bad.Dir = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty Dir accepted")
+	}
+	bad = cfg
+	bad.Algorithm = Algorithm(42)
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	bad = cfg
+	bad.CheckpointParallelism = -3
+	if err := bad.Validate(); err == nil {
+		t.Error("negative CheckpointParallelism accepted")
+	}
+	bad = cfg
+	bad.RecoveryParallelism = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative RecoveryParallelism accepted")
+	}
+	bad = cfg
+	bad.Algorithm = FastFuzzy
+	bad.StableLogTail = false
+	if err := bad.Validate(); err == nil {
+		t.Error("FASTFUZZY without a stable log tail accepted")
+	}
+}
+
+// TestParseAlgorithmErrorListsNames: the public parser's error enumerates
+// all six valid names.
+func TestParseAlgorithmErrorListsNames(t *testing.T) {
+	_, err := ParseAlgorithm("SLOWCOPY")
+	if err == nil {
+		t.Fatal("unknown algorithm name parsed")
+	}
+	for _, a := range Algorithms {
+		if !strings.Contains(err.Error(), a.String()) {
+			t.Errorf("error %q does not list %v", err, a)
+		}
+	}
+}
+
+// TestDBExecContext: the context-aware transaction API refuses cancelled
+// contexts and otherwise behaves like Exec.
+func TestDBExecContext(t *testing.T) {
+	db, err := Open(testConfig(t, FuzzyCopy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = db.ExecContext(ctx, func(tx *Txn) error { return tx.Write(1, []byte("no")) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecContext(cancelled) = %v, want context.Canceled", err)
+	}
+
+	if err := db.ExecContext(context.Background(), func(tx *Txn) error {
+		return tx.Write(1, []byte("yes"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.ReadRecord(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:3]) != "yes" {
+		t.Errorf("read back %q", got[:3])
+	}
+}
+
+// TestDBCheckpointContext: CheckpointContext is cancellable up front and
+// completes normally with a live context.
+func TestDBCheckpointContext(t *testing.T) {
+	cfg := testConfig(t, FuzzyCopy)
+	cfg.CheckpointParallelism = 4
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Exec(func(tx *Txn) error { return tx.Write(0, []byte("x")) }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.CheckpointContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CheckpointContext(cancelled) = %v, want context.Canceled", err)
+	}
+	res, err := db.CheckpointContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsFlushed == 0 {
+		t.Error("checkpoint flushed nothing")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"mmdb/internal/faultfs"
@@ -90,9 +91,11 @@ type Store struct {
 	files        [storage.NumBackupCopies]faultfs.File
 	meta         metaFile
 
-	// Counters for I/O accounting.
-	segWrites uint64
-	segReads  uint64
+	// Counters for I/O accounting. Atomic: WriteSegment and ReadSegment
+	// are called concurrently by parallel checkpoint workers and recovery
+	// stripe readers (each on distinct segments/buffers).
+	segWrites atomic.Uint64
+	segReads  atomic.Uint64
 
 	// segWriteH, when set, records per-segment write latency. Set once
 	// via SetMetrics before the store is used concurrently.
@@ -293,7 +296,7 @@ func (s *Store) WriteSegment(copyIdx, idx int, checkpointID uint64, data []byte)
 	if !began.IsZero() {
 		s.segWriteH.ObserveSince(began)
 	}
-	s.segWrites++
+	s.segWrites.Add(1)
 	return nil
 }
 
@@ -339,14 +342,14 @@ func (s *Store) ReadSegment(copyIdx, idx int, dst []byte) (writtenBy uint64, err
 		for i := range dst {
 			dst[i] = 0
 		}
-		s.segReads++
+		s.segReads.Add(1)
 		return 0, nil
 	}
 	if crc32.Checksum(buf[:s.segmentBytes], crcTable) != binary.LittleEndian.Uint32(buf[s.segmentBytes:]) {
 		return writtenBy, fmt.Errorf("%w: segment %d copy %d", ErrBadSegment, idx, copyIdx)
 	}
 	copy(dst, buf[:s.segmentBytes])
-	s.segReads++
+	s.segReads.Add(1)
 	return writtenBy, nil
 }
 
@@ -386,7 +389,7 @@ type Stats struct {
 
 // Stats returns a snapshot of I/O counters.
 func (s *Store) Stats() Stats {
-	return Stats{SegmentWrites: s.segWrites, SegmentReads: s.segReads}
+	return Stats{SegmentWrites: s.segWrites.Load(), SegmentReads: s.segReads.Load()}
 }
 
 // NumSegments returns the configured segment count.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -31,12 +32,25 @@ type CheckpointResult struct {
 // Checkpoint runs one checkpoint to completion using the engine's
 // configured algorithm and returns its summary. Checkpoints are
 // serialized; concurrent calls queue.
+func (e *Engine) Checkpoint() (*CheckpointResult, error) {
+	return e.CheckpointContext(context.Background())
+}
+
+// CheckpointContext is Checkpoint with cancellation: ctx is consulted
+// between segments (serial sweeps) or between worker batches (parallel
+// sweeps), never mid-segment, so a cancelled checkpoint leaves the target
+// copy incomplete but every flushed segment image intact — exactly the
+// state a crash mid-checkpoint leaves, which recovery already handles by
+// falling back to the other ping-pong copy.
 //
 // lockorder:acquires Engine.ckptMu
 // lockorder:releases Engine.ckptMu
-func (e *Engine) Checkpoint() (*CheckpointResult, error) {
+func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, error) {
 	if e.stopped.Load() {
 		return nil, ErrStopped
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
@@ -62,7 +76,9 @@ func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 		// processing, stamp the checkpoint, log the begin-checkpoint
 		// record, and flush the log tail. The run is published before the
 		// gate reopens so every post-begin updater sees it.
-		e.quiesce()
+		if qerr := e.quiesce(); qerr != nil {
+			return nil, qerr
+		}
 		run.tau = e.nextTimestamp()
 		beginLSN, _, err = e.log.Append(&wal.Record{
 			Type:         wal.TypeBeginCheckpoint,
@@ -129,13 +145,16 @@ func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 
 	var flushed, skipped int
 	var bytes int64
+	par := e.params.CheckpointParallelism
 	switch {
+	case par > 1:
+		flushed, skipped, bytes, err = e.sweepParallel(ctx, run, par)
 	case alg.Fuzzy():
-		flushed, skipped, bytes, err = e.sweepFuzzy(run)
+		flushed, skipped, bytes, err = e.sweepFuzzy(ctx, run)
 	case alg.TwoColor():
-		flushed, skipped, bytes, err = e.sweepTwoColor(run)
+		flushed, skipped, bytes, err = e.sweepTwoColor(ctx, run)
 	case alg.CopyOnUpdate():
-		flushed, skipped, bytes, err = e.sweepCOU(run)
+		flushed, skipped, bytes, err = e.sweepCOU(ctx, run)
 	default:
 		err = fmt.Errorf("engine: unknown algorithm %v", alg)
 	}
@@ -194,6 +213,9 @@ func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 
 // flushSegment writes one segment image to the target backup copy and
 // updates the flush counters, pacing with the configured disk model.
+// Safe for concurrent use by distinct workers: the backup store, the
+// counters, and the histograms are all internally synchronized, and each
+// worker flushes distinct segments.
 //
 // walorder:write
 func (e *Engine) flushSegment(run *ckptRun, idx int, data []byte) error {
@@ -230,12 +252,13 @@ func (e *Engine) waitLSN(lsn wal.LSN) error {
 }
 
 // segmentDone runs the fault-injection hook, if any, after a segment has
-// been processed.
-func (e *Engine) segmentDone(run *ckptRun, idx int) error {
+// been processed. worker identifies the sweep worker (0 in serial sweeps)
+// so tests can arm per-worker crash points.
+func (e *Engine) segmentDone(run *ckptRun, worker, idx int) error {
 	if e.params.SegmentHook == nil {
 		return nil
 	}
-	return e.params.SegmentHook(run.id, idx)
+	return e.params.SegmentHook(run.id, worker, idx)
 }
 
 // compactLog drops the log head that no recovery can need: records before

@@ -25,7 +25,7 @@ func newPauseHook(after int) *pauseHook {
 	}
 }
 
-func (h *pauseHook) fn(_ uint64, segIdx int) error {
+func (h *pauseHook) fn(_ uint64, _, segIdx int) error {
 	if h.armed && segIdx == h.pauseAfter {
 		h.armed = false
 		close(h.paused)

@@ -1,5 +1,7 @@
 package engine
 
+import "context"
+
 // sweepCOU implements the copy-on-update checkpoints of Section 3.2.2
 // (Figure 3.3, after DeWitt et al.).
 //
@@ -25,7 +27,7 @@ package engine
 //
 // lockorder:held Engine.ckptMu
 // walorder:stable-tail every snapshotted update predates the begin-checkpoint record, whose log-tail flush (Engine.Checkpoint) already made it durable
-func (e *Engine) sweepCOU(run *ckptRun) (flushed, skipped int, bytes int64, err error) {
+func (e *Engine) sweepCOU(ctx context.Context, run *ckptRun) (flushed, skipped int, bytes int64, err error) {
 	n := e.store.NumSegments()
 	copyMode := e.params.Algorithm == COUCopy
 	segBytes := e.store.Config().SegmentBytes
@@ -35,6 +37,9 @@ func (e *Engine) sweepCOU(run *ckptRun) (flushed, skipped int, bytes int64, err 
 	}
 
 	for i := 0; i < n; i++ {
+		if err = ctx.Err(); err != nil {
+			return flushed, skipped, bytes, err
+		}
 		seg := e.store.Seg(i)
 		wrote := false
 		seg.Lock()
@@ -85,7 +90,7 @@ func (e *Engine) sweepCOU(run *ckptRun) (flushed, skipped int, bytes int64, err 
 		// Advance the cursor only after the segment is secured: updaters
 		// of segments at or below curSeg skip old-version preservation.
 		run.curSeg.Store(int64(i))
-		if err = e.segmentDone(run, i); err != nil {
+		if err = e.segmentDone(run, 0, i); err != nil {
 			return flushed, skipped, bytes, err
 		}
 	}

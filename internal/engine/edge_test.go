@@ -327,7 +327,7 @@ func TestRecoverFreshDirFails(t *testing.T) {
 func TestSegmentHookRunsPerFlushedSegment(t *testing.T) {
 	var calls []int
 	p := testParams(t, FuzzyCopy)
-	p.SegmentHook = func(_ uint64, segIdx int) error {
+	p.SegmentHook = func(_ uint64, _, segIdx int) error {
 		calls = append(calls, segIdx)
 		return nil
 	}

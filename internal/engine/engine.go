@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -271,17 +272,27 @@ func (e *Engine) finishTxn(tx *Txn) {
 }
 
 // quiesce closes the transaction gate and waits for every active
-// transaction to finish. The caller must later call unquiesce.
+// transaction to finish. On success the caller must later call unquiesce.
+// It returns ErrStopped without the gate closed when the engine stops
+// while waiting, so Close never deadlocks against a checkpoint stuck
+// behind a long-lived user transaction.
 //
 // lockorder:acquires Engine.txnMu
 // lockorder:releases Engine.txnMu
-func (e *Engine) quiesce() {
+func (e *Engine) quiesce() error {
 	e.txnMu.Lock()
 	e.gateClosed = true
 	for len(e.activeTxns) > 0 {
+		if e.stopped.Load() {
+			e.gateClosed = false
+			e.txnCond.Broadcast()
+			e.txnMu.Unlock()
+			return ErrStopped
+		}
 		e.txnCond.Wait()
 	}
 	e.txnMu.Unlock()
+	return nil
 }
 
 // unquiesce reopens the transaction gate.
@@ -319,7 +330,19 @@ func (e *Engine) activeTxnListLocked() []wal.ActiveTxn {
 // two-color rule or a deadlock timeout aborts it. Any other error from fn
 // aborts the transaction and is returned.
 func (e *Engine) Exec(fn func(tx *Txn) error) error {
+	return e.ExecContext(context.Background(), fn)
+}
+
+// ExecContext is Exec with cancellation: ctx is consulted before the
+// first attempt and between retries, so a transaction restarted forever
+// by the two-color rule or deadlock timeouts can be abandoned. A
+// transaction already executing is never interrupted mid-flight — its
+// commit or abort completes normally.
+func (e *Engine) ExecContext(ctx context.Context, fn func(tx *Txn) error) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tx, err := e.Begin()
 		if err != nil {
 			return err
@@ -451,13 +474,22 @@ func (e *Engine) DirtySegments(copyIdx int) int {
 // transactions fail when they next touch the log. Close does not take a
 // final checkpoint; recovery replays the log tail written since the last
 // one.
+//
+// An in-flight checkpoint — the loop's or a direct Checkpoint call — is
+// drained, not raced: its sweep (including every parallel flush worker,
+// which the sweep joins before returning) completes or aborts before the
+// log and backup files are closed underneath it. The unquiesce and lock
+// shutdown come first so a sweep blocked in quiesce or a two-color lock
+// wait observes the stop instead of holding ckptMu forever.
 func (e *Engine) Close() error {
 	if e.stopped.Swap(true) {
 		return nil
 	}
-	e.StopCheckpointLoop()
-	e.unquiesce() // wake any Begin waiters so they observe the stop
+	e.unquiesce() // wake Begin and quiesce waiters so they observe the stop
 	e.locks.Shutdown()
+	// StopCheckpointLoop acquires ckptMu, which an in-flight checkpoint
+	// holds for its whole duration: returning from it is the drain.
+	e.StopCheckpointLoop()
 	err := e.log.Close()
 	if cerr := e.bstore.Close(); err == nil {
 		err = cerr
@@ -472,9 +504,9 @@ func (e *Engine) Crash() error {
 	if e.stopped.Swap(true) {
 		return ErrStopped
 	}
-	e.StopCheckpointLoop()
 	e.unquiesce()
 	e.locks.Shutdown()
+	e.StopCheckpointLoop()
 	err := e.log.Crash()
 	if cerr := e.bstore.Close(); err == nil {
 		err = cerr

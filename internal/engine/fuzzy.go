@@ -1,5 +1,7 @@
 package engine
 
+import "context"
+
 // sweepFuzzy implements the fuzzy checkpoints of Section 3.1.
 //
 // FUZZYCOPY: each (dirty) segment is copied into a main-memory I/O buffer
@@ -18,7 +20,7 @@ package engine
 // back the redo scan must start to repair this.
 //
 // lockorder:held Engine.ckptMu
-func (e *Engine) sweepFuzzy(run *ckptRun) (flushed, skipped int, bytes int64, err error) {
+func (e *Engine) sweepFuzzy(ctx context.Context, run *ckptRun) (flushed, skipped int, bytes int64, err error) {
 	n := e.store.NumSegments()
 	direct := e.params.Algorithm == FastFuzzy
 	var buf []byte
@@ -26,6 +28,9 @@ func (e *Engine) sweepFuzzy(run *ckptRun) (flushed, skipped int, bytes int64, er
 		buf = make([]byte, e.store.Config().SegmentBytes)
 	}
 	for i := 0; i < n; i++ {
+		if err = ctx.Err(); err != nil {
+			return flushed, skipped, bytes, err
+		}
 		seg := e.store.Seg(i)
 		if direct {
 			seg.Lock()
@@ -64,7 +69,7 @@ func (e *Engine) sweepFuzzy(run *ckptRun) (flushed, skipped int, bytes int64, er
 		}
 		flushed++
 		bytes += int64(e.store.Config().SegmentBytes)
-		if err = e.segmentDone(run, i); err != nil {
+		if err = e.segmentDone(run, 0, i); err != nil {
 			return flushed, skipped, bytes, err
 		}
 	}

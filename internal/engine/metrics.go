@@ -24,6 +24,12 @@ type engineObs struct {
 	ckptSegH *obs.Histogram // per-segment flush (write + throttle)
 	lsnWaitH *obs.Histogram // write-ahead LSN waits in the checkpointer
 
+	// Parallel-pipeline histograms (DESIGN.md §15).
+	ckptWorkerH   *obs.Histogram // per-worker wall time inside one batch
+	ckptBatchH    *obs.Histogram // segments handed out per parallel batch
+	recApplyH     *obs.Histogram // per-worker redo-apply wall time
+	recApplyRecsH *obs.Histogram // records applied per redo worker
+
 	// Recovery phase durations (gauges: recovery happens once per engine).
 	recBackupLoad *obs.Gauge
 	recLogScan    *obs.Gauge
@@ -53,6 +59,15 @@ func newEngineObs() *engineObs {
 			"Per-segment backup flush duration, including the disk-model throttle.", obs.ScaleNanosToSeconds),
 		lsnWaitH: reg.Histogram("mmdb_engine_lsn_wait_seconds",
 			"Checkpointer write-ahead waits for log durability.", obs.ScaleNanosToSeconds),
+
+		ckptWorkerH: reg.Histogram("mmdb_ckpt_worker_flush_seconds",
+			"Per-worker wall time spent processing one parallel checkpoint batch.", obs.ScaleNanosToSeconds),
+		ckptBatchH: reg.Histogram("mmdb_ckpt_worker_batch_segments",
+			"Segments handed out per parallel checkpoint batch.", obs.ScaleNone),
+		recApplyH: reg.Histogram("mmdb_recovery_apply_worker_seconds",
+			"Per-worker wall time in the partitioned redo-apply phase.", obs.ScaleNanosToSeconds),
+		recApplyRecsH: reg.Histogram("mmdb_recovery_apply_records",
+			"Redo records applied per partitioned apply worker.", obs.ScaleNone),
 
 		recBackupLoad: reg.Gauge("mmdb_recovery_backup_load_seconds",
 			"Recovery phase: reading the backup copy into primary memory."),

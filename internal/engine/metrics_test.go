@@ -144,8 +144,14 @@ func TestMetricNamingConvention(t *testing.T) {
 	subsystems := map[string]bool{
 		"engine": true, "wal": true, "backup": true,
 		"lockmgr": true, "recovery": true, "kvstore": true,
+		"ckpt": true,
 	}
-	histUnits := map[string]bool{"seconds": true, "bytes": true}
+	// Histograms carry either a physical unit (_seconds, _bytes) or a
+	// count unit naming the thing counted (_segments, _records).
+	histUnits := map[string]bool{
+		"seconds": true, "bytes": true,
+		"segments": true, "records": true,
+	}
 
 	pts := e.MetricsRegistry().Gather()
 	if len(pts) == 0 {
@@ -167,7 +173,7 @@ func TestMetricNamingConvention(t *testing.T) {
 			}
 		case obs.KindHistogram:
 			if !histUnits[parts[len(parts)-1]] {
-				t.Errorf("histogram %q must end in a unit suffix (_seconds or _bytes)", pt.Name)
+				t.Errorf("histogram %q must end in a unit suffix (_seconds, _bytes, _segments, or _records)", pt.Name)
 			}
 		}
 	}

@@ -1,0 +1,392 @@
+package engine
+
+// Parallel checkpoint sweeps (DESIGN.md §15).
+//
+// Each sweep fans segments out to CheckpointParallelism workers in fixed
+// batches: batch b hands segment b*par+w to worker w, so the assignment is
+// deterministic and per-worker crash points (faultfs
+// "checkpoint.segment.worker<w>") fire reproducibly. Every worker runs the
+// complete per-segment protocol of the serial sweep — latch, dirty check,
+// copy or direct flush, paint, lock release — so each worker holds at most
+// one segment latch and one lock-manager lock at a time, exactly like the
+// serial checkpointer, and the lock-level discipline is unchanged.
+//
+// Only two steps are shared:
+//
+//   - The write-ahead LSN wait (FUZZYCOPY, 2CCOPY, 2CFLUSH): workers
+//     record their segment's LSN in phase A; the coordinator issues ONE
+//     waitLSN for the batch maximum — the log flush that covers the whole
+//     batch — and only then do workers flush in phase B. FASTFUZZY and the
+//     COU algorithms need no LSN check (stable tail / pre-flushed begin
+//     record), so they run single-phase.
+//
+//   - The COU cursor: run.curSeg advances to the batch's last index only
+//     after the batch joins. Updaters of batch segments already secured
+//     but not yet behind the cursor take spurious old copies; those sit
+//     in the same race window the serial sweep has and are released by
+//     dropOldCopies at the end of the checkpoint.
+//
+// Workers are ALWAYS joined before the sweep returns, error or not: an
+// engine Close that drains the checkpoint (via ckptMu) is therefore also
+// guaranteed to have drained the pool.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"mmdb/internal/lockmgr"
+	"mmdb/internal/wal"
+)
+
+// ckptSlot is the coordinator↔worker exchange for one segment of one
+// batch. Slots are touched by exactly one worker between joins, so they
+// need no locking.
+type ckptSlot struct {
+	idx     int     // segment index
+	need    bool    // phase A decided the segment owes the target a flush
+	lsn     wal.LSN // write-ahead position recorded in phase A
+	locked  bool    // 2CFLUSH: worker still holds the lock-manager S lock
+	buf     []byte  // per-worker copy buffer (copy-mode algorithms)
+	began   time.Time
+	flushed bool
+	skipped bool
+	err     error
+}
+
+// fanOut runs fn(w) for w in [0, count) concurrently and joins all of
+// them before returning.
+func fanOut(count int, fn func(w int)) {
+	done := make(chan struct{})
+	for w := 0; w < count; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			fn(w)
+		}(w)
+	}
+	for w := 0; w < count; w++ {
+		<-done
+	}
+}
+
+// firstSlotErr returns the lowest-slot error, mapping lock-manager
+// shutdown to ErrStopped as the serial sweeps do.
+func firstSlotErr(slots []ckptSlot, count int) error {
+	for s := 0; s < count; s++ {
+		if err := slots[s].err; err != nil {
+			if errors.Is(err, lockmgr.ErrShutdown) {
+				return ErrStopped
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// tally folds a joined batch's slots into the sweep totals.
+func tally(slots []ckptSlot, count int, segBytes int, flushed, skipped *int, bytes *int64) {
+	for s := 0; s < count; s++ {
+		if slots[s].flushed {
+			*flushed++
+			*bytes += int64(segBytes)
+		}
+		if slots[s].skipped {
+			*skipped++
+		}
+	}
+}
+
+// sweepParallel dispatches to the parallel sweep for the run's algorithm
+// family. par > 1.
+//
+// lockorder:held Engine.ckptMu
+func (e *Engine) sweepParallel(ctx context.Context, run *ckptRun, par int) (flushed, skipped int, bytes int64, err error) {
+	switch {
+	case run.alg == FastFuzzy:
+		return e.sweepFastFuzzyParallel(ctx, run, par)
+	case run.alg == FuzzyCopy || run.alg.TwoColor():
+		return e.sweepBarrierParallel(ctx, run, par)
+	case run.alg.CopyOnUpdate():
+		return e.sweepCOUParallel(ctx, run, par)
+	default:
+		return 0, 0, 0, fmt.Errorf("engine: unknown algorithm %v", run.alg)
+	}
+}
+
+// sweepFastFuzzyParallel is the parallel FASTFUZZY sweep: single-phase,
+// each worker flushes its segment straight from the database while
+// latched. The stable log tail covers every write, so there is no
+// barrier at all — batches exist only to bound the pool.
+//
+// lockorder:held Engine.ckptMu
+func (e *Engine) sweepFastFuzzyParallel(ctx context.Context, run *ckptRun, par int) (flushed, skipped int, bytes int64, err error) {
+	n := e.store.NumSegments()
+	segBytes := e.store.Config().SegmentBytes
+	slots := make([]ckptSlot, par)
+	for base := 0; base < n; base += par {
+		if err = ctx.Err(); err != nil {
+			return flushed, skipped, bytes, err
+		}
+		count := min(par, n-base)
+		e.eo.ckptBatchH.Observe(uint64(count))
+		fanOut(count, func(w int) {
+			slot := &slots[w]
+			*slot = ckptSlot{idx: base + w, began: time.Now()}
+			seg := e.store.Seg(slot.idx)
+			seg.Lock()
+			if !e.params.Full && !seg.Dirty[run.target] {
+				seg.Unlock()
+				slot.skipped = true
+				return
+			}
+			seg.Dirty[run.target] = false
+			slot.err = e.flushSegment(run, slot.idx, seg.Data) // walorder:stable-tail FASTFUZZY runs under a stable log tail (Section 4): every logged update is already durable
+			seg.Unlock()
+			if slot.err != nil {
+				return
+			}
+			slot.flushed = true
+			slot.err = e.segmentDone(run, w, slot.idx)
+			e.eo.ckptWorkerH.ObserveSince(slot.began)
+		})
+		tally(slots, count, segBytes, &flushed, &skipped, &bytes)
+		if err = firstSlotErr(slots, count); err != nil {
+			return flushed, skipped, bytes, err
+		}
+	}
+	return flushed, skipped, bytes, nil
+}
+
+// sweepBarrierParallel is the parallel sweep for the three algorithms
+// whose write-ahead rule needs an LSN check: FUZZYCOPY, 2CCOPY, and
+// 2CFLUSH. Each batch runs two phases around one shared barrier:
+//
+//	phase A  workers run the pre-flush half of the serial protocol
+//	         (lock-manager S lock for the two-color pair, latch, dirty
+//	         check, snapshot or LastLSN read, paint) and record the LSN
+//	         the write-ahead rule requires.
+//	barrier  the coordinator waits once for the batch-maximum LSN — one
+//	         log flush covers every segment in the batch.
+//	phase B  workers flush and release.
+//
+// 2CFLUSH workers keep their S lock across the barrier, exactly as the
+// serial sweep holds it across its per-segment LSN wait; on a barrier or
+// phase-A error the coordinator releases every lock still held before
+// returning.
+//
+// lockorder:held Engine.ckptMu
+func (e *Engine) sweepBarrierParallel(ctx context.Context, run *ckptRun, par int) (flushed, skipped int, bytes int64, err error) {
+	n := e.store.NumSegments()
+	segBytes := e.store.Config().SegmentBytes
+	alg := run.alg
+	twoColor := alg.TwoColor()
+	flushMode := alg == TwoColorFlush
+	slots := make([]ckptSlot, par)
+	for s := range slots {
+		if !flushMode {
+			slots[s].buf = make([]byte, segBytes)
+		}
+	}
+
+	// releaseHeld frees the S locks of slots still holding one (error
+	// paths only; the normal phase B releases its own).
+	releaseHeld := func(count int) {
+		for s := 0; s < count; s++ {
+			if slots[s].locked {
+				e.locks.Unlock(checkpointerOwner, segKey(slots[s].idx))
+				slots[s].locked = false
+			}
+		}
+	}
+
+	for base := 0; base < n; base += par {
+		if err = ctx.Err(); err != nil {
+			return flushed, skipped, bytes, err
+		}
+		count := min(par, n-base)
+		e.eo.ckptBatchH.Observe(uint64(count))
+
+		// Phase A: prepare. Each worker ends the phase holding no latch;
+		// only 2CFLUSH workers with a dirty segment keep their S lock.
+		fanOut(count, func(w int) {
+			slot := &slots[w]
+			buf := slot.buf
+			*slot = ckptSlot{idx: base + w, buf: buf, began: time.Now(), lsn: wal.NilLSN}
+			i := slot.idx
+			if twoColor {
+				// "Request read (shared) lock on any white segment and
+				// wait." Writer waits against the pool's locks resolve the
+				// same way as against the serial checkpointer: the writer's
+				// lock timeout aborts and restarts it.
+				if lerr := e.locks.Lock(checkpointerOwner, segKey(i), lockmgr.S, 0); lerr != nil {
+					slot.err = fmt.Errorf("engine: two-color wait on segment %d: %w", i, lerr)
+					return
+				}
+				slot.locked = true
+			}
+			seg := e.store.Seg(i)
+			seg.Lock()
+			slot.need = e.params.Full || seg.Dirty[run.target]
+			if slot.need {
+				if flushMode {
+					slot.lsn = seg.LastLSN
+				} else {
+					slot.lsn = seg.Snapshot(slot.buf)
+				}
+				seg.Dirty[run.target] = false
+				if !flushMode {
+					e.ctr.checkpointerCopy.Add(1)
+				}
+			}
+			if twoColor {
+				seg.Paint = run.id // paint black
+			}
+			seg.Unlock()
+			// 2CCOPY: "the segment can be unlocked as soon as it is
+			// copied." 2CFLUSH keeps the lock across the barrier and the
+			// disk write. Clean two-color segments never need the lock
+			// past the paint.
+			if slot.locked && (!flushMode || !slot.need) {
+				e.locks.Unlock(checkpointerOwner, segKey(i))
+				slot.locked = false
+			}
+		})
+		if err = firstSlotErr(slots, count); err != nil {
+			releaseHeld(count)
+			return flushed, skipped, bytes, err
+		}
+
+		// Barrier: one write-ahead wait covers the whole batch.
+		batchLSN := wal.NilLSN
+		for s := 0; s < count; s++ {
+			if slots[s].need {
+				batchLSN = wal.MaxLSN(batchLSN, slots[s].lsn)
+			}
+		}
+		if err = e.waitLSN(batchLSN); err != nil {
+			releaseHeld(count)
+			return flushed, skipped, bytes, err
+		}
+
+		// Phase B: flush and release.
+		fanOut(count, func(w int) {
+			slot := &slots[w]
+			i := slot.idx
+			if !slot.need {
+				slot.skipped = true
+				if twoColor {
+					// The serial sweep runs the hook for skipped two-color
+					// segments too (they were locked and painted).
+					slot.err = e.segmentDone(run, w, i)
+				}
+				return
+			}
+			if flushMode {
+				seg := e.store.Seg(i)
+				// The S lock held since phase A excludes writers for the
+				// duration of the write, as in the serial 2CFLUSH.
+				slot.err = e.flushSegment(run, i, seg.Data) //nolint:lockcheck // stable: the lock-manager S lock excludes writers (see comment above)    walorder:stable-tail the coordinator's batch barrier (sweepBarrierParallel) already waited for this batch's maximum LastLSN
+				e.locks.Unlock(checkpointerOwner, segKey(i))
+				slot.locked = false
+			} else {
+				slot.err = e.flushSegment(run, i, slot.buf) // walorder:stable-tail the coordinator's batch barrier (sweepBarrierParallel) already waited for this batch's maximum snapshot LSN
+			}
+			if slot.err != nil {
+				return
+			}
+			slot.flushed = true
+			slot.err = e.segmentDone(run, w, i)
+			e.eo.ckptWorkerH.ObserveSince(slot.began)
+		})
+		tally(slots, count, segBytes, &flushed, &skipped, &bytes)
+		if err = firstSlotErr(slots, count); err != nil {
+			releaseHeld(count)
+			return flushed, skipped, bytes, err
+		}
+	}
+	return flushed, skipped, bytes, nil
+}
+
+// sweepCOUParallel is the parallel copy-on-update sweep. Workers run the
+// full serial per-segment protocol (old-copy takeover, snapshot or
+// latched flush); no LSN checks are needed because every snapshotted
+// update predates the begin-checkpoint record, whose log-tail flush
+// already made it durable. The cursor advances per batch, after the
+// join — see the file comment for why the lag is safe.
+//
+// lockorder:held Engine.ckptMu
+// walorder:stable-tail every snapshotted update predates the begin-checkpoint record, whose log-tail flush (Engine.CheckpointContext) already made it durable
+func (e *Engine) sweepCOUParallel(ctx context.Context, run *ckptRun, par int) (flushed, skipped int, bytes int64, err error) {
+	n := e.store.NumSegments()
+	copyMode := run.alg == COUCopy
+	segBytes := e.store.Config().SegmentBytes
+	slots := make([]ckptSlot, par)
+	if copyMode {
+		for s := range slots {
+			slots[s].buf = make([]byte, segBytes)
+		}
+	}
+
+	for base := 0; base < n; base += par {
+		if err = ctx.Err(); err != nil {
+			return flushed, skipped, bytes, err
+		}
+		count := min(par, n-base)
+		e.eo.ckptBatchH.Observe(uint64(count))
+		fanOut(count, func(w int) {
+			slot := &slots[w]
+			buf := slot.buf
+			*slot = ckptSlot{idx: base + w, buf: buf, began: time.Now()}
+			i := slot.idx
+			seg := e.store.Seg(i)
+			seg.Lock()
+			if old := seg.TakeOld(); old != nil {
+				seg.Unlock()
+				e.ctr.bumpCOULive(-1)
+				if e.params.Full || old.Dirty[run.target] {
+					if slot.err = e.flushSegment(run, i, old.Data); slot.err != nil {
+						return
+					}
+					slot.flushed = true
+				}
+			} else {
+				need := e.params.Full || seg.Dirty[run.target]
+				switch {
+				case !need:
+					seg.Unlock()
+				case copyMode:
+					seg.Snapshot(slot.buf)
+					seg.Dirty[run.target] = false
+					seg.Unlock()
+					e.ctr.checkpointerCopy.Add(1)
+					if slot.err = e.flushSegment(run, i, slot.buf); slot.err != nil {
+						return
+					}
+					slot.flushed = true
+				default: // COUFLUSH: write while latched
+					seg.Dirty[run.target] = false
+					slot.err = e.flushSegment(run, i, seg.Data)
+					seg.Unlock()
+					if slot.err != nil {
+						return
+					}
+					slot.flushed = true
+				}
+			}
+			if !slot.flushed {
+				slot.skipped = true
+			}
+			slot.err = e.segmentDone(run, w, i)
+			e.eo.ckptWorkerH.ObserveSince(slot.began)
+		})
+		tally(slots, count, segBytes, &flushed, &skipped, &bytes)
+		if err = firstSlotErr(slots, count); err != nil {
+			return flushed, skipped, bytes, err
+		}
+		// The whole batch is secured: updaters of segments at or below the
+		// cursor skip old-version preservation from here on.
+		run.curSeg.Store(int64(base + count - 1))
+	}
+	return flushed, skipped, bytes, nil
+}

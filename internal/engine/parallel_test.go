@@ -1,0 +1,392 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var allAlgorithms = []Algorithm{
+	FuzzyCopy, FastFuzzy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy,
+}
+
+// parallelParams is testParams with the parallel checkpoint and recovery
+// pipelines switched on.
+func parallelParams(t *testing.T, alg Algorithm, par int) Params {
+	t.Helper()
+	p := testParams(t, alg)
+	p.CheckpointParallelism = par
+	p.RecoveryParallelism = par
+	return p
+}
+
+// parPauseHook is pauseHook for parallel sweeps: the segment hook fires
+// from several worker goroutines concurrently, so arming and the
+// pause-once transition must be race-free.
+type parPauseHook struct {
+	pauseAfter int
+	armed      atomic.Bool
+	once       sync.Once
+	paused     chan struct{} // closed when the matching worker parks
+	resume     chan struct{} // test closes to release it
+}
+
+func newParPauseHook(after int) *parPauseHook {
+	return &parPauseHook{
+		pauseAfter: after,
+		paused:     make(chan struct{}),
+		resume:     make(chan struct{}),
+	}
+}
+
+func (h *parPauseHook) fn(_ uint64, _, segIdx int) error {
+	if h.armed.Load() && segIdx == h.pauseAfter {
+		h.armed.Store(false)
+		h.once.Do(func() { close(h.paused) })
+		<-h.resume
+	}
+	return nil
+}
+
+// TestParallelCheckpointRecovery runs every algorithm through several
+// checkpoint rounds with 4 workers, crashes, recovers with 4-way
+// parallel backup load and redo apply, and verifies every record
+// against an oracle of committed values.
+func TestParallelCheckpointRecovery(t *testing.T) {
+	for _, alg := range allAlgorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			p := parallelParams(t, alg, 4)
+			e := mustOpen(t, p)
+			oracle := map[uint64]uint64{}
+
+			write := func(rid, v uint64) {
+				t.Helper()
+				if err := e.Exec(func(tx *Txn) error { return tx.Write(rid, encVal(v)) }); err != nil {
+					t.Fatal(err)
+				}
+				oracle[rid] = v
+			}
+			for round := uint64(1); round <= 3; round++ {
+				// Touch a spread of segments, including re-updates.
+				for i := uint64(0); i < 40; i++ {
+					write((i*13)%256, round*1000+i)
+				}
+				res, err := e.Checkpoint()
+				if err != nil {
+					t.Fatalf("checkpoint round %d: %v", round, err)
+				}
+				if res.SegmentsFlushed == 0 {
+					t.Fatalf("checkpoint round %d flushed nothing", round)
+				}
+			}
+			// Post-checkpoint tail: durable only through the log.
+			for i := uint64(0); i < 16; i++ {
+				write(200+i, 9000+i)
+			}
+
+			if err := e.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			e2, rep, err := Recover(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e2.Close()
+			if rep.Parallelism != 4 {
+				t.Errorf("RecoveryReport.Parallelism = %d, want 4", rep.Parallelism)
+			}
+			for rid := uint64(0); rid < 256; rid++ {
+				if got, want := readVal(t, e2, rid), oracle[rid]; got != want {
+					t.Errorf("record %d = %d, want %d", rid, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelCheckpointWithConcurrentWriters overlaps a write workload
+// with parallel checkpoints for every algorithm, then proves the
+// recovered image reflects exactly the committed values.
+func TestParallelCheckpointWithConcurrentWriters(t *testing.T) {
+	for _, alg := range allAlgorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			p := parallelParams(t, alg, 4)
+			e := mustOpen(t, p)
+
+			stop := make(chan struct{})
+			committed := make(map[uint64]uint64)
+			writerErr := make(chan error, 1)
+			go func() {
+				defer close(writerErr)
+				for i := uint64(0); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rid, v := (i*29)%256, i+1
+					// Exec retries checkpoint-conflict and deadlock
+					// aborts internally, so success means committed.
+					if err := e.Exec(func(tx *Txn) error { return tx.Write(rid, encVal(v)) }); err != nil {
+						writerErr <- err
+						return
+					}
+					committed[rid] = v
+				}
+			}()
+
+			for c := 0; c < 3; c++ {
+				if _, err := e.Checkpoint(); err != nil {
+					t.Fatalf("checkpoint %d: %v", c, err)
+				}
+			}
+			close(stop)
+			if err, ok := <-writerErr; ok && err != nil {
+				t.Fatalf("writer: %v", err)
+			}
+
+			if err := e.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			e2, _, err := Recover(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e2.Close()
+			for rid := uint64(0); rid < 256; rid++ {
+				if got, want := readVal(t, e2, rid), committed[rid]; got != want {
+					t.Errorf("record %d = %d, want %d", rid, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSerialVsParallelRecoveryEquivalence recovers the same crashed
+// directory with the serial and the 4-way parallel pipelines and demands
+// byte-identical databases and matching replay counts.
+func TestSerialVsParallelRecoveryEquivalence(t *testing.T) {
+	for _, alg := range allAlgorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			p := parallelParams(t, alg, 4)
+			e := mustOpen(t, p)
+			for i := uint64(0); i < 64; i++ {
+				if err := e.Exec(func(tx *Txn) error { return tx.Write((i*11)%256, encVal(i+1)) }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := e.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(0); i < 32; i++ {
+				if err := e.Exec(func(tx *Txn) error { return tx.Write((i*7)%256, encVal(1000+i)) }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Crash(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Recovery never mutates the backup directory, only the
+			// in-memory database, so the same dir can be recovered twice.
+			ps := p
+			ps.RecoveryParallelism = 1
+			es, repS, err := Recover(ps)
+			if err != nil {
+				t.Fatalf("serial recovery: %v", err)
+			}
+			defer es.Close()
+			ep, repP, err := Recover(p)
+			if err != nil {
+				t.Fatalf("parallel recovery: %v", err)
+			}
+			defer ep.Close()
+
+			if repS.SegmentsLoaded != repP.SegmentsLoaded {
+				t.Errorf("SegmentsLoaded: serial %d, parallel %d", repS.SegmentsLoaded, repP.SegmentsLoaded)
+			}
+			if repS.UpdatesApplied != repP.UpdatesApplied {
+				t.Errorf("UpdatesApplied: serial %d, parallel %d", repS.UpdatesApplied, repP.UpdatesApplied)
+			}
+			if repS.UpdatesDiscarded != repP.UpdatesDiscarded {
+				t.Errorf("UpdatesDiscarded: serial %d, parallel %d", repS.UpdatesDiscarded, repP.UpdatesDiscarded)
+			}
+			bufS := make([]byte, es.RecordBytes())
+			bufP := make([]byte, ep.RecordBytes())
+			for rid := uint64(0); rid < 256; rid++ {
+				if err := es.ReadRecord(rid, bufS); err != nil {
+					t.Fatal(err)
+				}
+				if err := ep.ReadRecord(rid, bufP); err != nil {
+					t.Fatal(err)
+				}
+				if decVal(bufS) != decVal(bufP) {
+					t.Errorf("record %d: serial %d, parallel %d", rid, decVal(bufS), decVal(bufP))
+				}
+			}
+		})
+	}
+}
+
+// TestCloseDuringCheckpointDrains is the regression test for the
+// Close-vs-Checkpoint race: Close must block until the in-flight parallel
+// checkpoint has joined its worker pool, not tear the engine down under
+// it. Run with -race.
+func TestCloseDuringCheckpointDrains(t *testing.T) {
+	p := parallelParams(t, FuzzyCopy, 4)
+	hook := newParPauseHook(0)
+	p.SegmentHook = hook.fn
+	e := mustOpen(t, p)
+
+	if err := e.Exec(func(tx *Txn) error {
+		for s := 0; s < 8; s++ {
+			if err := tx.Write(uint64(8*s), encVal(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	hook.armed.Store(true)
+	ckptErr := make(chan error, 1)
+	go func() {
+		_, err := e.Checkpoint()
+		ckptErr <- err
+	}()
+	select {
+	case <-hook.paused:
+	case <-time.After(5 * time.Second):
+		t.Fatal("checkpoint worker never parked")
+	}
+
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- e.Close() }()
+	select {
+	case err := <-closeErr:
+		t.Fatalf("Close returned (%v) while a checkpoint worker was still running", err)
+	case <-time.After(100 * time.Millisecond):
+		// Close is draining, as required.
+	}
+
+	close(hook.resume)
+	if err := <-closeErr; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The in-flight checkpoint either completed before Close tore the
+	// engine down or observed the stop; it must not report corruption.
+	if err := <-ckptErr; err != nil && !errors.Is(err, ErrStopped) {
+		t.Fatalf("checkpoint after Close: %v", err)
+	}
+}
+
+// TestExecContextCancellation: a cancelled context stops the retry loop
+// before the next attempt.
+func TestExecContextCancellation(t *testing.T) {
+	e := mustOpen(t, testParams(t, FuzzyCopy))
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.ExecContext(ctx, func(tx *Txn) error { return tx.Write(0, encVal(1)) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecContext with cancelled ctx = %v, want context.Canceled", err)
+	}
+
+	// A live context behaves exactly like Exec.
+	if err := e.ExecContext(context.Background(), func(tx *Txn) error {
+		return tx.Write(0, encVal(7))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v := readVal(t, e, 0); v != 7 {
+		t.Fatalf("record 0 = %d, want 7", v)
+	}
+}
+
+// TestCheckpointContextCancelBetweenBatches cancels a parallel checkpoint
+// while a worker batch is parked; the sweep must stop at the next batch
+// boundary, leave the target copy incomplete, and the next checkpoint
+// must succeed from scratch.
+func TestCheckpointContextCancelBetweenBatches(t *testing.T) {
+	p := parallelParams(t, FuzzyCopy, 4)
+	hook := newParPauseHook(0)
+	p.SegmentHook = hook.fn
+	e := mustOpen(t, p)
+	defer e.Close()
+
+	if err := e.Exec(func(tx *Txn) error {
+		for s := 0; s < 8; s++ {
+			if err := tx.Write(uint64(8*s), encVal(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	hook.armed.Store(true)
+	ckptErr := make(chan error, 1)
+	go func() {
+		_, err := e.CheckpointContext(ctx)
+		ckptErr <- err
+	}()
+	select {
+	case <-hook.paused:
+	case <-time.After(5 * time.Second):
+		t.Fatal("checkpoint worker never parked")
+	}
+	cancel()
+	close(hook.resume)
+	if err := <-ckptErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled checkpoint = %v, want context.Canceled", err)
+	}
+
+	// The engine is fully usable: the next (uncancelled) checkpoint
+	// retries the same target copy and completes.
+	res, err := e.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint after cancellation: %v", err)
+	}
+	if res.SegmentsFlushed == 0 {
+		t.Error("post-cancellation checkpoint flushed nothing")
+	}
+
+	// CheckpointContext with an already-cancelled context refuses up front.
+	if _, err := e.CheckpointContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled CheckpointContext = %v, want context.Canceled", err)
+	}
+}
+
+// TestDefaultParallelismResolution: zero-valued knobs resolve to the
+// host default and negatives are rejected.
+func TestDefaultParallelismResolution(t *testing.T) {
+	if d := DefaultParallelism(); d < 1 || d > 8 {
+		t.Fatalf("DefaultParallelism() = %d, want 1..8", d)
+	}
+	p := testParams(t, FuzzyCopy)
+	p.CheckpointParallelism = 0
+	p.RecoveryParallelism = 0
+	e := mustOpen(t, p)
+	e.Close()
+
+	p = testParams(t, FuzzyCopy)
+	p.CheckpointParallelism = -1
+	if _, err := Open(p); err == nil {
+		t.Error("negative CheckpointParallelism accepted")
+	}
+	p = testParams(t, FuzzyCopy)
+	p.RecoveryParallelism = -2
+	if _, err := Open(p); err == nil {
+		t.Error("negative RecoveryParallelism accepted")
+	}
+}

@@ -240,7 +240,7 @@ func TestMidCheckpointCrashFallsBack(t *testing.T) {
 			p := testParams(t, alg)
 			var hookArmed bool
 			var segsDone int
-			p.SegmentHook = func(ckptID uint64, segIdx int) error {
+			p.SegmentHook = func(_ uint64, _, _ int) error {
 				if !hookArmed {
 					return nil
 				}

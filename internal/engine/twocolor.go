@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -26,7 +27,7 @@ import (
 // lock hold times.
 //
 // lockorder:held Engine.ckptMu
-func (e *Engine) sweepTwoColor(run *ckptRun) (flushed, skipped int, bytes int64, err error) {
+func (e *Engine) sweepTwoColor(ctx context.Context, run *ckptRun) (flushed, skipped int, bytes int64, err error) {
 	n := e.store.NumSegments()
 	copyMode := e.params.Algorithm == TwoColorCopy
 	var buf []byte
@@ -102,15 +103,21 @@ func (e *Engine) sweepTwoColor(run *ckptRun) (flushed, skipped int, bytes int64,
 		white[i] = i
 	}
 	for len(white) > 0 {
+		if err = ctx.Err(); err != nil {
+			return flushed, skipped, bytes, err
+		}
 		// Opportunistic pass: process every white segment whose lock is
 		// free right now.
 		remaining := white[:0]
 		for _, i := range white {
+			if err = ctx.Err(); err != nil {
+				return flushed, skipped, bytes, err
+			}
 			if e.locks.TryLock(checkpointerOwner, segKey(i), lockmgr.S) {
 				if err = handle(i); err != nil {
 					return flushed, skipped, bytes, err
 				}
-				if err = e.segmentDone(run, i); err != nil {
+				if err = e.segmentDone(run, 0, i); err != nil {
 					return flushed, skipped, bytes, err
 				}
 			} else {
@@ -133,7 +140,7 @@ func (e *Engine) sweepTwoColor(run *ckptRun) (flushed, skipped int, bytes int64,
 		if err = handle(i); err != nil {
 			return flushed, skipped, bytes, err
 		}
-		if err = e.segmentDone(run, i); err != nil {
+		if err = e.segmentDone(run, 0, i); err != nil {
 			return flushed, skipped, bytes, err
 		}
 		white = white[1:]

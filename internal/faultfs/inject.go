@@ -57,6 +57,15 @@ const (
 	PointCheckpointSeg Point = "checkpoint.segment"
 )
 
+// PointCheckpointSegWorker returns the per-worker crash point
+// "checkpoint.segment.worker<i>": hit each time parallel checkpoint
+// worker i finishes a segment. Tests arm it to crash inside a specific
+// worker of the pool; the generic PointCheckpointSeg still counts every
+// hit regardless of worker.
+func PointCheckpointSegWorker(worker int) Point {
+	return Point(fmt.Sprintf("%s.worker%d", PointCheckpointSeg, worker))
+}
+
 // PointAt returns the canonical crash-point name for an operation on a
 // file class: "wal.write", "wal.sync", "backup.write", "backup.sync",
 // "backup.meta.write", "backup.meta.rename", and so on.

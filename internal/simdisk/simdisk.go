@@ -85,6 +85,31 @@ func (m Model) BulkTimeSeconds(numIOs, words int) float64 {
 	return m.BulkTime(numIOs, words).Seconds()
 }
 
+// ParallelBulkTime returns the time to execute numIOs requests of words
+// words issued by streams concurrent synchronous requesters, each waiting
+// out the full per-device service time before issuing its next request.
+// With fewer streams than disks the bank is under-driven and the elapsed
+// time is ceil(numIOs/streams)*IOTime; at or beyond Disks streams it
+// saturates at BulkTime. This prices a parallel checkpoint's K workers
+// against the paper's bank (DESIGN.md §15).
+func (m Model) ParallelBulkTime(numIOs, words, streams int) time.Duration {
+	if numIOs <= 0 {
+		return 0
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	if streams > m.Disks {
+		streams = m.Disks
+	}
+	rounds := (numIOs + streams - 1) / streams
+	t := time.Duration(rounds) * m.IOTime(words)
+	if bulk := m.BulkTime(numIOs, words); t < bulk {
+		return bulk
+	}
+	return t
+}
+
 // SequentialReadTime returns the time to stream totalWords off the bank
 // with one request per run of runWords words. It is used for recovery-time
 // estimates (reading the backup copy and the log back into memory).

@@ -105,3 +105,36 @@ func TestString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+func TestParallelBulkTime(t *testing.T) {
+	m := Model{Seek: 10 * time.Millisecond, TransferPerWord: time.Microsecond, Disks: 4}
+	io := m.IOTime(1000) // 11 ms
+
+	// One stream: strictly sequential, one I/O after another.
+	if got, want := m.ParallelBulkTime(8, 1000, 1), 8*io; got != want {
+		t.Errorf("1 stream: %v, want %v", got, want)
+	}
+	// Two streams halve the rounds: ceil(8/2) = 4.
+	if got, want := m.ParallelBulkTime(8, 1000, 2), 4*io; got != want {
+		t.Errorf("2 streams: %v, want %v", got, want)
+	}
+	// Streams beyond the bank saturate at the aggregate BulkTime.
+	if got, want := m.ParallelBulkTime(8, 1000, 16), m.BulkTime(8, 1000); got != want {
+		t.Errorf("16 streams: %v, want %v", got, want)
+	}
+	// Uneven division rounds the last batch up: ceil(7/3) = 3 rounds.
+	if got, want := m.ParallelBulkTime(7, 1000, 3), 3*io; got != want {
+		t.Errorf("7 IOs / 3 streams: %v, want %v", got, want)
+	}
+	// Degenerate inputs.
+	if m.ParallelBulkTime(0, 1000, 2) != 0 {
+		t.Error("zero IOs should cost nothing")
+	}
+	if got, want := m.ParallelBulkTime(4, 1000, 0), 4*io; got != want {
+		t.Errorf("0 streams clamps to 1: %v, want %v", got, want)
+	}
+	// ParallelBulkTime never undercuts the bank's aggregate floor.
+	if got := m.ParallelBulkTime(100, 1000, 4); got < m.BulkTime(100, 1000) {
+		t.Errorf("parallel time %v below aggregate floor %v", got, m.BulkTime(100, 1000))
+	}
+}

@@ -200,8 +200,10 @@ func (s *Store) ReadRecord(rid uint64, dst []byte) error {
 	return nil
 }
 
-// LoadSegment overwrites segment i with data during recovery. Not latched:
-// recovery is single-threaded and precedes transaction processing.
+// LoadSegment overwrites segment i with data during recovery. Not
+// latched: recovery precedes transaction processing, and its parallel
+// loaders give each segment to exactly one stripe reader, so no two
+// goroutines ever touch the same segment.
 func (s *Store) LoadSegment(i int, data []byte) error {
 	if i < 0 || i >= len(s.segs) {
 		return fmt.Errorf("storage: segment %d out of range [0,%d)", i, len(s.segs))
@@ -209,21 +211,23 @@ func (s *Store) LoadSegment(i int, data []byte) error {
 	if len(data) != s.cfg.SegmentBytes {
 		return fmt.Errorf("storage: segment %d load size %d, want %d", i, len(data), s.cfg.SegmentBytes)
 	}
-	copy(s.segs[i].Data, data) //nolint:lockcheck // recovery is single-threaded; see doc comment
+	copy(s.segs[i].Data, data) //nolint:lockcheck // recovery is single-threaded per segment; see doc comment
 	return nil
 }
 
 // WriteRecordRaw installs record data without logging or bookkeeping. It
 // is the recovery manager's redo-apply primitive ("new values of modified
-// records are written in place in primary memory") and is also not latched.
+// records are written in place in primary memory") and is also not
+// latched: partitioned redo routes every record of a segment to the same
+// apply worker, so per-segment application stays single-threaded.
 func (s *Store) WriteRecordRaw(rid uint64, data []byte) error {
 	seg, _, off, err := s.Locate(rid)
 	if err != nil {
 		return err
 	}
-	n := copy(seg.Data[off:off+s.cfg.RecordBytes], data) //nolint:lockcheck // recovery is single-threaded; see doc comment
+	n := copy(seg.Data[off:off+s.cfg.RecordBytes], data) //nolint:lockcheck // recovery is single-threaded per segment; see doc comment
 	for ; n < s.cfg.RecordBytes; n++ {
-		seg.Data[off+n] = 0 //nolint:lockcheck // recovery is single-threaded; see doc comment
+		seg.Data[off+n] = 0 //nolint:lockcheck // recovery is single-threaded per segment; see doc comment
 	}
 	return nil
 }

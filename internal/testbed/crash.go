@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"mmdb"
 	"mmdb/internal/backup"
@@ -46,6 +47,12 @@ type CrashScenario struct {
 	Txns       int
 	CkptEvery  int
 	AbortEvery int
+
+	// Parallelism is the checkpoint worker-pool width and the recovery
+	// worker count (default 1: the original serial pipeline, so the base
+	// matrix is unchanged). With N > 1, per-worker crash points
+	// "checkpoint.segment.worker<i>" become meaningful.
+	Parallelism int
 }
 
 // CrashReport describes one harness run, successful or not.
@@ -90,6 +97,9 @@ func (s CrashScenario) withDefaults() CrashScenario {
 	if s.AbortEvery == 0 {
 		s.AbortEvery = 7
 	}
+	if s.Parallelism == 0 {
+		s.Parallelism = 1
+	}
 	return s
 }
 
@@ -117,6 +127,11 @@ func hitSpread(p faultfs.Point) uint64 {
 	case "backup.write", "checkpoint.segment":
 		return 8
 	default:
+		if strings.HasPrefix(string(p), string(faultfs.PointCheckpointSeg)+".worker") {
+			// One worker of a pool of N sees roughly 1/N of the segment
+			// hits, so keep the armed hit early enough to land.
+			return 4
+		}
 		return 3
 	}
 }
@@ -175,17 +190,25 @@ func RunCrash(s CrashScenario) (*CrashReport, error) {
 	})
 
 	cfg := mmdb.Config{
-		Dir:           s.Dir,
-		NumRecords:    s.Records,
-		RecordBytes:   s.RecordBytes,
-		SegmentBytes:  s.SegmentBytes,
-		Algorithm:     s.Algorithm,
-		StableLogTail: stable,
-		SyncCommit:    true,
-		SyncOnFlush:   s.Point == "wal.sync" || s.Point == "backup.sync",
-		FS:            inj.FS(nil),
-		CheckpointSegmentHook: func(uint64, int) error {
-			return inj.Hook(faultfs.PointCheckpointSeg)
+		Dir:                   s.Dir,
+		NumRecords:            s.Records,
+		RecordBytes:           s.RecordBytes,
+		SegmentBytes:          s.SegmentBytes,
+		Algorithm:             s.Algorithm,
+		StableLogTail:         stable,
+		SyncCommit:            true,
+		SyncOnFlush:           s.Point == "wal.sync" || s.Point == "backup.sync",
+		CheckpointParallelism: s.Parallelism,
+		RecoveryParallelism:   s.Parallelism,
+		FS:                    inj.FS(nil),
+		CheckpointSegmentHook: func(_ uint64, worker, _ int) error {
+			// The generic point counts every secured segment; the
+			// per-worker point lets a scenario crash inside one specific
+			// worker of the pool.
+			if err := inj.Hook(faultfs.PointCheckpointSeg); err != nil {
+				return err
+			}
+			return inj.Hook(faultfs.PointCheckpointSegWorker(worker))
 		},
 	}
 	db, err := mmdb.Open(cfg)

@@ -41,6 +41,7 @@
 package mmdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -158,17 +159,36 @@ func (db *DB) Begin() (*Txn, error) {
 
 // Exec runs fn in a transaction, committing on nil return and retrying
 // automatically when a checkpoint conflict or deadlock timeout aborts it.
+// It is ExecContext with context.Background().
 func (db *DB) Exec(fn func(tx *Txn) error) error {
-	return db.e.Exec(func(inner *engine.Txn) error {
+	return db.ExecContext(context.Background(), fn)
+}
+
+// ExecContext is Exec with cancellation: ctx is observed before the first
+// attempt and between automatic retries, so a transaction restarted
+// indefinitely by checkpoint conflicts or deadlock timeouts can be
+// abandoned. An attempt already executing is never interrupted mid-flight.
+func (db *DB) ExecContext(ctx context.Context, fn func(tx *Txn) error) error {
+	return db.e.ExecContext(ctx, func(inner *engine.Txn) error {
 		return fn(&Txn{inner: inner})
 	})
 }
 
 // Checkpoint runs one checkpoint to completion and returns its summary.
 // Checkpoints serialize; with AutoCheckpoint enabled this queues behind
-// the loop's current checkpoint.
+// the loop's current checkpoint. It is CheckpointContext with
+// context.Background().
 func (db *DB) Checkpoint() (*CheckpointResult, error) {
 	return db.e.Checkpoint()
+}
+
+// CheckpointContext is Checkpoint with cancellation: ctx is observed
+// between segments (serial sweeps) and between worker batches (parallel
+// sweeps). A cancelled checkpoint leaves the target backup copy
+// incomplete — the same state a crash mid-checkpoint leaves — and
+// recovery falls back to the other ping-pong copy.
+func (db *DB) CheckpointContext(ctx context.Context) (*CheckpointResult, error) {
+	return db.e.CheckpointContext(ctx)
 }
 
 // StartCheckpointLoop begins continuous checkpointing at the configured
