@@ -4,7 +4,7 @@
 GO ?= go
 MMDBLINT := bin/mmdblint
 
-.PHONY: all build test race vet mmdblint lint fmt clean crashmatrix fuzz bench
+.PHONY: all build test race vet mmdblint lint lint-concurrency fmt clean crashmatrix fuzz bench
 
 all: build test
 
@@ -49,11 +49,19 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRecover -fuzztime 15s ./internal/wal/
 
 # mmdblint is the repo's own go/analysis suite: the syntactic analyzers
-# (lockcheck, detcheck, errcheckwal, lsncheck) plus the flow-sensitive
-# ones (walorder, lockorder, unlockcheck). It runs as a go vet tool;
+# (lockcheck, detcheck, errcheckwal, lsncheck), the flow-sensitive ones
+# (walorder, lockorder, unlockcheck, goleakcheck), and the cross-package
+# concurrency-discipline ones (atomiccheck, ctxcheck — the latter
+# interprocedural over lint/callgraph facts). It runs as a go vet tool;
 # add -json after the vettool flag for machine-readable diagnostics.
 mmdblint:
 	$(GO) build -o $(MMDBLINT) ./cmd/mmdblint
+
+# Just the three concurrency-discipline analyzers (goroutine lifecycle,
+# atomics, context propagation) — the fast loop while working on
+# concurrent code.
+lint-concurrency: mmdblint
+	$(GO) vet -vettool=$(abspath $(MMDBLINT)) -goleakcheck -atomiccheck -ctxcheck ./...
 
 # ./... covers examples/ too — the example programs are held to the same
 # invariants as the engine.

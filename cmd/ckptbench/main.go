@@ -170,6 +170,7 @@ func main() {
 			}
 			db.Metrics().ServeHTTP(w, r)
 		})
+		// goleak:fireforget(metrics endpoint serves for the whole process lifetime)
 		go func() {
 			if err := http.ListenAndServe(*metrics, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "ckptbench: metrics server:", err)

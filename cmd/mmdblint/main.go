@@ -19,17 +19,27 @@
 //	walorder     disk writes covered by a durable WAL position on every path
 //	lockorder    cross-package lock-acquisition graph: cycles, level violations
 //	unlockcheck  every acquired mutex released on all paths out of a function
+//	goleakcheck  every go statement matched by a join on all paths, or annotated
+//	atomiccheck  atomic_only / sync-atomic-typed fields accessed only atomically
+//	ctxcheck     context flows: no Background in internal code, blocking loops
+//	             reachable from ctx-taking entry points consult the ctx
 //
-// The last three are flow-sensitive: they run a worklist dataflow over
-// the lint/cfg control-flow graphs and exchange facts through .vetx
-// files, so an annotation in internal/wal constrains code in
-// internal/engine.
+// walorder, lockorder, unlockcheck, and goleakcheck are flow-sensitive:
+// they run a worklist dataflow over the lint/cfg control-flow graphs.
+// The cross-package analyzers (lockcheck, lockorder, atomiccheck,
+// ctxcheck) exchange facts through .vetx files, so an annotation in
+// internal/wal constrains code in internal/engine; ctxcheck's facts
+// carry a lint/callgraph slice per package, giving it an interprocedural
+// view of which blocking loops a context can actually reach.
 package main
 
 import (
 	"mmdb/lint/analysis/unitchecker"
+	"mmdb/lint/atomiccheck"
+	"mmdb/lint/ctxcheck"
 	"mmdb/lint/detcheck"
 	"mmdb/lint/errcheckwal"
+	"mmdb/lint/goleakcheck"
 	"mmdb/lint/lockcheck"
 	"mmdb/lint/lockorder"
 	"mmdb/lint/lsncheck"
@@ -46,5 +56,8 @@ func main() {
 		walorder.Analyzer,
 		lockorder.Analyzer,
 		unlockcheck.Analyzer,
+		goleakcheck.Analyzer,
+		atomiccheck.Analyzer,
+		ctxcheck.Analyzer,
 	)
 }

@@ -114,3 +114,71 @@ func TestDBCheckpointContext(t *testing.T) {
 		t.Error("checkpoint flushed nothing")
 	}
 }
+
+// TestDBRecoverContext: recovery is cancellable up front and between
+// phases, and a cancelled recovery leaves the directory recoverable —
+// RecoverContext(Background) afterwards behaves exactly like Recover
+// (which is defined as RecoverContext with context.Background()).
+func TestDBRecoverContext(t *testing.T) {
+	cfg := testConfig(t, FuzzyCopy)
+	cfg.RecoveryParallelism = 4
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(func(tx *Txn) error { return tx.Write(9, []byte("pre")) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(func(tx *Txn) error { return tx.Write(11, []byte("post")) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := RecoverContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RecoverContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if _, _, err := OpenOrRecoverContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OpenOrRecoverContext(cancelled) = %v, want context.Canceled", err)
+	}
+
+	// A cancelled recovery must not have consumed the directory.
+	db2, rep, err := RecoverContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !rep.UsedCheckpoint || rep.Parallelism != 4 {
+		t.Fatalf("recovery report = %+v", rep)
+	}
+	for rid, want := range map[uint64]string{9: "pre", 11: "post"} {
+		got, err := db2.ReadRecord(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got[:len(want)]) != want {
+			t.Errorf("record %d = %q, want %q", rid, got[:len(want)], want)
+		}
+	}
+}
+
+// TestOpenOrRecoverContextFreshDir: the open path is not cancellable, so
+// a cancelled ctx still opens a fresh database.
+func TestOpenOrRecoverContextFreshDir(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	db, rep, err := OpenOrRecoverContext(ctx, testConfig(t, COUCopy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if rep != nil {
+		t.Errorf("fresh open produced a recovery report: %+v", rep)
+	}
+}

@@ -32,6 +32,8 @@ type CheckpointResult struct {
 // Checkpoint runs one checkpoint to completion using the engine's
 // configured algorithm and returns its summary. Checkpoints are
 // serialized; concurrent calls queue.
+//
+// ctxcheck:root(no-ctx convenience wrapper; CheckpointContext is the cancellable form)
 func (e *Engine) Checkpoint() (*CheckpointResult, error) {
 	return e.CheckpointContext(context.Background())
 }

@@ -235,6 +235,7 @@ func (e *Engine) Begin() (*Txn, error) {
 		return nil, ErrStopped
 	}
 	e.txnMu.Lock()
+	// ctxcheck:exempt(woken by finishTxn's Broadcast, unquiesce, and Stop; stop-aware via e.stopped)
 	for e.gateClosed {
 		e.txnCond.Wait()
 		if e.stopped.Load() {
@@ -282,6 +283,7 @@ func (e *Engine) finishTxn(tx *Txn) {
 func (e *Engine) quiesce() error {
 	e.txnMu.Lock()
 	e.gateClosed = true
+	// ctxcheck:exempt(woken on every finishTxn Broadcast; returns ErrStopped when the engine stops)
 	for len(e.activeTxns) > 0 {
 		if e.stopped.Load() {
 			e.gateClosed = false
@@ -329,6 +331,8 @@ func (e *Engine) activeTxnListLocked() []wal.ActiveTxn {
 // Exec runs fn inside a transaction, retrying automatically when the
 // two-color rule or a deadlock timeout aborts it. Any other error from fn
 // aborts the transaction and is returned.
+//
+// ctxcheck:root(no-ctx convenience wrapper; ExecContext is the cancellable form)
 func (e *Engine) Exec(fn func(tx *Txn) error) error {
 	return e.ExecContext(context.Background(), fn)
 }
@@ -375,6 +379,7 @@ func (e *Engine) StartCheckpointLoop() {
 	}
 	e.loopStop = make(chan struct{})
 	e.loopDone = make(chan struct{})
+	// goleak:joins StopCheckpointLoop receives on loopDone
 	go e.checkpointLoop(e.loopStop, e.loopDone)
 }
 

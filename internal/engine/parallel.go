@@ -60,11 +60,13 @@ type ckptSlot struct {
 func fanOut(count int, fn func(w int)) {
 	done := make(chan struct{})
 	for w := 0; w < count; w++ {
+		// goleak:joins the receive loop below takes exactly one token per worker
 		go func(w int) {
 			defer func() { done <- struct{}{} }()
 			fn(w)
 		}(w)
 	}
+	// ctxcheck:exempt(the join is mandatory: every worker sends exactly one token via its deferred send, so this loop always terminates)
 	for w := 0; w < count; w++ {
 		<-done
 	}

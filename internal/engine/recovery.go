@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -76,9 +77,25 @@ type RecoveryReport struct {
 // memory, then scans the log forward from the checkpoint's scan-start
 // position, applying the after-images of committed transactions in log
 // order. It returns a running engine.
+//
+// ctxcheck:root(no-ctx convenience wrapper; RecoverContext is the cancellable form)
 func Recover(p Params) (*Engine, *RecoveryReport, error) {
+	return RecoverContext(context.Background(), p)
+}
+
+// RecoverContext is Recover with cancellation: ctx is consulted between
+// backup segments, between log records, and between recovery phases,
+// never mid-segment or mid-record. A cancelled recovery returns ctx's
+// error with no engine; the on-disk state is untouched except possibly
+// a truncated torn log tail, which a later recovery would truncate
+// identically — re-running recovery after a cancellation is always
+// safe.
+func RecoverContext(ctx context.Context, p Params) (*Engine, *RecoveryReport, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	started := time.Now()
@@ -124,9 +141,12 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 	writtenBy := make([]uint64, st.NumSegments())
 	if rep.UsedCheckpoint {
 		if par > 1 {
-			err = loadBackupStriped(bs, st, copyIdx, par, p.Storage.SegmentBytes, writtenBy, rep)
+			err = loadBackupStriped(ctx, bs, st, copyIdx, par, p.Storage.SegmentBytes, writtenBy, rep)
 		} else {
 			err = bs.ReadAll(copyIdx, func(idx int, wb uint64, data []byte) error {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
 				writtenBy[idx] = wb
 				if wb == 0 {
 					return nil
@@ -178,6 +198,9 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 	var maxTxnID uint64
 	validEnd := reader.Base()
 	err = reader.Scan(reader.Base(), func(e wal.Entry) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		validEnd = e.Next
 		if e.Rec.TxnID > maxTxnID {
 			maxTxnID = e.Rec.TxnID
@@ -207,6 +230,9 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 
 	committed := make(map[uint64]bool)
 	err = reader.Scan(rep.ScanStartLSN, func(e wal.Entry) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		rep.RecordsScanned++
 		rep.LogBytesRead += e.Next.Sub(e.LSN)
 		if e.Rec.Type == wal.TypeCommit {
@@ -233,11 +259,14 @@ func Recover(p Params) (*Engine, *RecoveryReport, error) {
 	touched := make([]bool, st.NumSegments())
 	truncateAt := reader.FileOffset(validEnd)
 	if par > 1 {
-		err = applyRedoPartitioned(reader, st, ops, committed, par,
+		err = applyRedoPartitioned(ctx, reader, st, ops, committed, par,
 			p.Storage.RecordBytes, touched, rep, eo)
 	} else {
 		recBuf := make([]byte, p.Storage.RecordBytes)
 		err = reader.Scan(rep.ScanStartLSN, func(e wal.Entry) error {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			switch e.Rec.Type {
 			case wal.TypeUpdate, wal.TypeLogicalUpdate:
 				if !committed[e.Rec.TxnID] {
@@ -366,7 +395,7 @@ func applyRedoRecord(st *storage.Store, ops map[OpCode]OpFunc, rec *wal.Record, 
 // contiguous segment stripe (DESIGN.md §15). Stripes are disjoint, each
 // reader owns its buffer, and LoadSegment targets distinct segments, so
 // the loaded image is byte-identical to the serial ReadAll path.
-func loadBackupStriped(bs *backup.Store, st *storage.Store, copyIdx, par, segBytes int, writtenBy []uint64, rep *RecoveryReport) error {
+func loadBackupStriped(ctx context.Context, bs *backup.Store, st *storage.Store, copyIdx, par, segBytes int, writtenBy []uint64, rep *RecoveryReport) error {
 	n := st.NumSegments()
 	stripes := min(par, n)
 	type stripeResult struct {
@@ -380,6 +409,13 @@ func loadBackupStriped(bs *backup.Store, st *storage.Store, copyIdx, par, segByt
 		buf := make([]byte, segBytes)
 		r := &res[s]
 		for i := lo; i < hi; i++ {
+			// Cancellation point between segments, never mid-segment: a
+			// partially loaded stripe is fine because the engine is never
+			// returned on error.
+			if err := ctx.Err(); err != nil {
+				r.err = err
+				return
+			}
 			wb, err := bs.ReadSegment(copyIdx, i, buf)
 			if err != nil {
 				r.err = err
@@ -415,7 +451,7 @@ func loadBackupStriped(bs *backup.Store, st *storage.Store, copyIdx, par, segByt
 // byte-identical to the serial scan. Workers that hit an error keep
 // draining their channel (recording only the first), so the scanner never
 // blocks on a full channel of a dead worker.
-func applyRedoPartitioned(reader *wal.Reader, st *storage.Store, ops map[OpCode]OpFunc,
+func applyRedoPartitioned(ctx context.Context, reader *wal.Reader, st *storage.Store, ops map[OpCode]OpFunc,
 	committed map[uint64]bool, par, recordBytes int, touched []bool,
 	rep *RecoveryReport, eo *engineObs) error {
 	n := st.NumSegments()
@@ -456,7 +492,13 @@ func applyRedoPartitioned(reader *wal.Reader, st *storage.Store, ops map[OpCode]
 			eo.recApplyRecsH.Observe(uint64(r.applied))
 		}(w)
 	}
+	// The scanner is the only cancellation point: it stops routing and
+	// the closed channels below let the workers drain and exit, so
+	// cancellation keeps the normal join discipline.
 	scanErr := reader.Scan(rep.ScanStartLSN, func(e wal.Entry) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		switch e.Rec.Type {
 		case wal.TypeUpdate, wal.TypeLogicalUpdate:
 			if !committed[e.Rec.TxnID] {

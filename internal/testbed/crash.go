@@ -232,6 +232,10 @@ func RunCrash(s CrashScenario) (*CrashReport, error) {
 		ckptRunning = false
 		return <-ckptDone
 	}
+	// Every early return below must still join an in-flight checkpoint:
+	// the failure paths call db.Crash() first, which aborts it promptly,
+	// and the buffered ckptDone guarantees the drain cannot hang.
+	defer func() { _ = drainCkpt() }()
 
 workload:
 	for i := 0; i < s.Txns; i++ {
@@ -244,6 +248,7 @@ workload:
 				return rep, fmt.Errorf("testbed: checkpoint failed (seed %d): %w", s.Seed, err)
 			}
 			ckptRunning = true
+			// goleak:joins drainCkpt receives on ckptDone at the next checkpoint boundary and via the deferred drain above
 			go func() {
 				_, cerr := db.Checkpoint()
 				ckptDone <- cerr

@@ -1,0 +1,44 @@
+package testbed
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"mmdb"
+	"mmdb/internal/faultfs"
+)
+
+// TestRunCrashJoinsCheckpointGoroutine pins the harness's own join
+// discipline (the property goleakcheck enforces statically on crash.go):
+// every path out of RunCrash — including the injected-crash exits while
+// a checkpoint goroutine is in flight — drains ckptDone, so repeated
+// runs leave no goroutines behind.
+func TestRunCrashJoinsCheckpointGoroutine(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for seed := int64(1); seed <= 4; seed++ {
+		s := CrashScenario{
+			Algorithm: mmdb.FuzzyCopy,
+			Point:     faultfs.PointCheckpointSeg,
+			Kind:      faultfs.Crash,
+			Seed:      seed,
+			Dir:       t.TempDir(),
+		}
+		if _, err := RunCrash(s); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	// Timer and test goroutines make the count fuzzy; what must not
+	// happen is linear growth with the number of runs.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after 4 crash runs: a checkpoint goroutine leaked", base, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -194,6 +194,7 @@ func Open(path string, opts Options) (*Log, error) {
 		stop := make(chan struct{})
 		done := make(chan struct{})
 		l.stopFlusher, l.flusherDone = stop, done //nolint:lockcheck // l is not shared until Open returns
+		// goleak:joins Close receives on flusherDone after closing stopFlusher
 		go l.flushLoop(stop, done)
 	}
 	return l, nil

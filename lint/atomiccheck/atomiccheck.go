@@ -1,0 +1,385 @@
+// Package atomiccheck enforces the repository's atomic-access
+// discipline on struct fields. The obs registry's 1720-bucket
+// histograms, the lock manager's contention counters, and the engine's
+// stats block are all sampled while writers run; one plain load of a
+// field that every other path updates atomically is a data race the
+// checkpointer may ship into a backup. Three rules:
+//
+//   - A field of a sync/atomic type (atomic.Uint64, atomic.Pointer[T],
+//     or an array of them) may only be used as the receiver of its
+//     atomic methods (plus len/cap/range over atomic arrays). Copying
+//     the value or letting its address escape is reported — a copied
+//     atomic is a frozen, unsynchronized snapshot.
+//
+//   - A plain field annotated "atomic_only" in its comment may only
+//     appear as &x.f passed directly to a sync/atomic function. Any
+//     other read, write, or address-of is reported. The annotation
+//     travels as a fact, so an exported field annotated in one package
+//     binds every importing package.
+//
+//   - Disciplines must not mix: a "guarded_by:"-annotated field
+//     accessed through sync/atomic is reported (lockcheck owns the
+//     mutex side), and an unannotated plain field accessed both
+//     atomically and plainly within a package is reported at each
+//     atomic site.
+//
+// Test files are exempt.
+package atomiccheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"mmdb/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:         "atomiccheck",
+	Doc:          "checks that atomic fields are accessed only atomically and that atomic/guarded/plain disciplines do not mix",
+	ExtractFacts: extractFacts,
+	Run:          run,
+}
+
+// Facts maps a field class ("pkg.Type.field") to its declared
+// discipline: "atomic_only" or "guarded".
+type Facts map[string]string
+
+var (
+	atomicOnlyRe = regexp.MustCompile(`\batomic_only\b`)
+	guardedByRe  = regexp.MustCompile(`guarded_by:\s*[A-Za-z_]\w*`)
+)
+
+func extractFacts(fset *token.FileSet, pkgPath string, files []*ast.File) any {
+	facts := make(Facts)
+	for _, file := range files {
+		if strings.HasSuffix(fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					disc := disciplineFrom(field.Doc, field.Comment)
+					if disc == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						facts[pkgPath+"."+ts.Name.Name+"."+name.Name] = disc
+					}
+				}
+			}
+		}
+	}
+	if len(facts) == 0 {
+		return nil
+	}
+	return facts
+}
+
+func disciplineFrom(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		if atomicOnlyRe.MatchString(cg.Text()) {
+			return "atomic_only"
+		}
+		if guardedByRe.MatchString(cg.Text()) {
+			return "guarded"
+		}
+	}
+	return ""
+}
+
+// useKind classifies the syntactic context of one field access.
+type useKind int
+
+const (
+	kindPlain        useKind = iota // ordinary read/write/copy
+	kindAtomicMethod                // receiver of a sync/atomic method
+	kindAtomicArg                   // &x.f passed directly to a sync/atomic function
+	kindAddr                        // address taken, not into sync/atomic
+	kindBenign                      // len/cap/range over an atomic array
+)
+
+type use struct {
+	pos  token.Pos
+	kind useKind
+}
+
+func run(pass *analysis.Pass) error {
+	disciplines := make(map[string]string)
+	for pkgPath := range pass.Facts {
+		var f Facts
+		if ok, err := pass.DecodeFacts(pkgPath, &f); err != nil {
+			return err
+		} else if ok {
+			for cls, d := range f {
+				disciplines[cls] = d
+			}
+		}
+	}
+	// The pass may predate this package's own fact extraction.
+	if f, _ := extractFacts(pass.Fset, pass.Pkg.Path(), pass.Files).(Facts); f != nil {
+		for cls, d := range f {
+			disciplines[cls] = d
+		}
+	}
+
+	ck := &checker{pass: pass, uses: make(map[string][]use), atomicTyped: make(map[string]bool)}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ck.walkFile(f)
+	}
+
+	for cls, uses := range ck.uses {
+		disc := disciplines[cls]
+		switch {
+		case ck.atomicTyped[cls]:
+			for _, u := range uses {
+				switch u.kind {
+				case kindPlain:
+					ck.pass.Reportf(u.pos, "atomic field %s is accessed without its atomic methods; a copied atomic value is an unsynchronized snapshot", short(cls))
+				case kindAddr, kindAtomicArg:
+					ck.pass.Reportf(u.pos, "address of atomic field %s escapes; pass the owning struct and call the field's methods instead", short(cls))
+				}
+			}
+		case disc == "atomic_only":
+			for _, u := range uses {
+				switch u.kind {
+				case kindAtomicArg, kindBenign:
+				default:
+					ck.pass.Reportf(u.pos, "field %s is annotated atomic_only but is accessed non-atomically here; every access must go through sync/atomic", short(cls))
+				}
+			}
+		case disc == "guarded":
+			for _, u := range uses {
+				if u.kind == kindAtomicMethod || u.kind == kindAtomicArg {
+					ck.pass.Reportf(u.pos, "field %s is guarded_by-annotated but accessed via sync/atomic here; a mutex-guarded field must not mix disciplines", short(cls))
+				}
+			}
+		default:
+			// Unannotated plain field: atomic and plain access in the
+			// same package is an undeclared mixed discipline.
+			var hasAtomic, hasPlain bool
+			for _, u := range uses {
+				switch u.kind {
+				case kindAtomicArg, kindAtomicMethod:
+					hasAtomic = true
+				case kindPlain, kindAddr:
+					hasPlain = true
+				}
+			}
+			if hasAtomic && hasPlain {
+				for _, u := range uses {
+					if u.kind == kindAtomicArg || u.kind == kindAtomicMethod {
+						ck.pass.Reportf(u.pos, "field %s mixes sync/atomic and plain access in this package; make every access atomic and annotate the field atomic_only, or guard it", short(cls))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass        *analysis.Pass
+	uses        map[string][]use
+	atomicTyped map[string]bool
+}
+
+// walkFile records every struct-field selector use with its context,
+// maintaining a parent stack for the classification.
+func (ck *checker) walkFile(f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			ck.recordUse(sel, stack)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func (ck *checker) recordUse(sel *ast.SelectorExpr, stack []ast.Node) {
+	selection := ck.pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	fieldVar, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	cls := fieldClass(selection)
+	if cls == "" {
+		return
+	}
+	ck.uses[cls] = append(ck.uses[cls], use{pos: sel.Pos(), kind: ck.classify(sel, stack)})
+	if isAtomicType(fieldVar.Type()) {
+		ck.atomicTyped[cls] = true
+	}
+}
+
+// classify inspects the ancestors of sel to decide how the field is
+// used. stack holds the ancestors, innermost last.
+func (ck *checker) classify(sel *ast.SelectorExpr, stack []ast.Node) useKind {
+	parent := parentOf(stack, 0)
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == sel && ck.isAtomicFunc(p.Sel) {
+			return kindAtomicMethod
+		}
+	case *ast.IndexExpr:
+		if p.X != sel {
+			break
+		}
+		switch gp := parentOf(stack, 1).(type) {
+		case *ast.SelectorExpr:
+			if gp.X == p && ck.isAtomicFunc(gp.Sel) {
+				return kindAtomicMethod
+			}
+		case *ast.UnaryExpr:
+			if gp.Op == token.AND {
+				if ck.atomicCallArg(parentOf(stack, 2), gp) {
+					return kindAtomicArg
+				}
+				return kindAddr
+			}
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND && p.X == sel {
+			if ck.atomicCallArg(parentOf(stack, 1), p) {
+				return kindAtomicArg
+			}
+			return kindAddr
+		}
+	case *ast.RangeStmt:
+		if p.X == sel {
+			return kindBenign
+		}
+	case *ast.CallExpr:
+		if fun, ok := p.Fun.(*ast.Ident); ok && (fun.Name == "len" || fun.Name == "cap") {
+			if _, isBuiltin := ck.pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+				return kindBenign
+			}
+		}
+	}
+	return kindPlain
+}
+
+// atomicCallArg reports whether parent is a call to a sync/atomic
+// package function with arg among its arguments.
+func (ck *checker) atomicCallArg(parent ast.Node, arg ast.Expr) bool {
+	call, ok := parent.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !ck.isAtomicFunc(sel.Sel) {
+		return false
+	}
+	for _, a := range call.Args {
+		if a == arg {
+			return true
+		}
+	}
+	return false
+}
+
+func (ck *checker) isAtomicFunc(id *ast.Ident) bool {
+	fn, ok := ck.pass.TypesInfo.Uses[id].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+func parentOf(stack []ast.Node, up int) ast.Node {
+	i := len(stack) - 1 - up
+	if i < 0 {
+		return nil
+	}
+	return stack[i]
+}
+
+// fieldClass names the accessed field by its owning named type,
+// walking embedded hops like lockorder does.
+func fieldClass(selection *types.Selection) string {
+	owner := derefNamed(selection.Recv())
+	if owner == nil {
+		return ""
+	}
+	idx := selection.Index()
+	for n, i := range idx {
+		st, ok := owner.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return ""
+		}
+		f := st.Field(i)
+		if n == len(idx)-1 {
+			pkg := owner.Obj().Pkg()
+			if pkg == nil {
+				return ""
+			}
+			return fmt.Sprintf("%s.%s.%s", pkg.Path(), owner.Obj().Name(), f.Name())
+		}
+		owner = derefNamed(f.Type())
+		if owner == nil {
+			return ""
+		}
+	}
+	return ""
+}
+
+// isAtomicType reports whether t is a sync/atomic type or an array of
+// them.
+func isAtomicType(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isAtomicType(arr.Elem())
+	}
+	named := derefNamed(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	if named != nil {
+		named = named.Origin()
+	}
+	return named
+}
+
+func short(cls string) string {
+	if i := strings.LastIndex(cls, "/"); i >= 0 {
+		return cls[i+1:]
+	}
+	return cls
+}

@@ -1,0 +1,12 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/atomiccheck"
+)
+
+func TestAtomicCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomiccheck.Analyzer, "atomicuse", "atomicclient")
+}

@@ -1,0 +1,17 @@
+// Package atomicclient violates atomichost's exported discipline; the
+// annotation arrives here as a fact, not source.
+package atomicclient
+
+import (
+	"sync/atomic"
+
+	"atomichost"
+)
+
+func ReadOK(c *atomichost.Counters) uint64 {
+	return atomic.LoadUint64(&c.Requests)
+}
+
+func ReadRacy(c *atomichost.Counters) uint64 {
+	return c.Requests // want "annotated atomic_only but is accessed non-atomically"
+}

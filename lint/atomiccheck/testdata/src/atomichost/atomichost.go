@@ -1,0 +1,14 @@
+// Package atomichost declares an exported counter whose atomic_only
+// annotation must bind importing packages through the fact pipeline.
+package atomichost
+
+import "sync/atomic"
+
+type Counters struct {
+	// Requests is sampled concurrently by the exporter.
+	Requests uint64 // atomic_only
+}
+
+func Bump(c *Counters) {
+	atomic.AddUint64(&c.Requests, 1)
+}

@@ -1,0 +1,112 @@
+// Package atomicuse exercises the three atomiccheck disciplines.
+package atomicuse
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	hits   atomic.Uint64
+	cur    atomic.Pointer[stats]
+	bucket [8]atomic.Uint64
+
+	// ops is a plain counter updated from several goroutines.
+	ops uint64 // atomic_only
+
+	mu sync.Mutex
+	// guarded_by:mu
+	balance int64
+
+	// plain is used both atomically and plainly below: an undeclared
+	// mixed discipline.
+	plain uint64
+
+	name string
+}
+
+func sink(uint64)            {}
+func sinkPtr(*atomic.Uint64) {}
+
+// --- typed atomics, accepted shapes ---
+
+func typedOK(s *stats) uint64 {
+	s.hits.Add(1)
+	s.cur.Store(s)
+	for i := range s.bucket {
+		s.bucket[i].Add(1)
+	}
+	_ = len(s.bucket)
+	return s.hits.Load()
+}
+
+// the CounterFunc shape: a closure exposing an atomic via its methods
+// must stay silent.
+func counterFunc(s *stats) func() uint64 {
+	return func() uint64 { return s.hits.Load() }
+}
+
+// --- typed atomics, violations ---
+
+func typedCopy(s *stats) {
+	v := s.hits // want "atomic field atomicuse.stats.hits is accessed without its atomic methods"
+	_ = v.Load()
+}
+
+func typedAddrEscape(s *stats) {
+	p := &s.hits // want "address of atomic field atomicuse.stats.hits escapes"
+	sinkPtr(p)
+}
+
+func typedBucketPlain(s *stats) uint64 {
+	var x atomic.Uint64
+	x = s.bucket[3] // want "atomic field atomicuse.stats.bucket is accessed without its atomic methods"
+	return x.Load()
+}
+
+// --- atomic_only plain fields ---
+
+func opsOK(s *stats) uint64 {
+	atomic.AddUint64(&s.ops, 1)
+	return atomic.LoadUint64(&s.ops)
+}
+
+func opsPlainWrite(s *stats) {
+	s.ops++ // want "annotated atomic_only but is accessed non-atomically"
+}
+
+func opsPlainRead(s *stats) uint64 {
+	return s.ops // want "annotated atomic_only but is accessed non-atomically"
+}
+
+func opsAddrEscape(s *stats) *uint64 {
+	return &s.ops // want "annotated atomic_only but is accessed non-atomically"
+}
+
+// --- guarded fields must not go atomic ---
+
+func balanceOK(s *stats) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.balance
+}
+
+func balanceAtomic(s *stats) int64 {
+	return atomic.LoadInt64(&s.balance) // want "guarded_by-annotated but accessed via sync/atomic"
+}
+
+// --- undeclared mixed discipline ---
+
+func mixedAtomic(s *stats) {
+	atomic.AddUint64(&s.plain, 1) // want "mixes sync/atomic and plain access"
+}
+
+func mixedPlain(s *stats) uint64 {
+	return s.plain
+}
+
+// a field used only plainly raises nothing.
+func plainOnly(s *stats) string {
+	s.name = "x"
+	return s.name
+}

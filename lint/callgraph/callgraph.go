@@ -1,0 +1,511 @@
+// Package callgraph computes a conservative intra-module call graph
+// for one type-checked package at a time, in a form that travels
+// through the .vetx fact pipeline: the per-package Facts are plain
+// JSON, and Merge stitches every visible package's contribution into
+// one Graph with reachability queries. It is a support library like
+// lint/cfg and lint/dataflow, not an analyzer itself — ctxcheck embeds
+// its Facts in its own fact payload, and the repo regression tests
+// query it directly.
+//
+// # Nodes and keys
+//
+// A node is a declared function, keyed the way lockorder keys
+// annotations but package-qualified: "mmdb/internal/engine.Engine.Begin"
+// for a method (the receiver's named type, pointerness ignored),
+// "mmdb/internal/wal.Open" for a package function. Function literals do
+// not get nodes of their own: calls made inside a closure are
+// attributed to the declared function whose body lexically contains it.
+// That matches how the engine uses closures — the worker bodies passed
+// to fanOut are part of the sweep that builds them — and keeps keys
+// stable for tests and annotations.
+//
+// # Edges
+//
+// An edge is recorded per syntactic call site whose callee resolves
+// statically through types.Info.Uses: direct calls, method calls on
+// concrete receivers, and qualified package calls. Calls through
+// function-typed variables are dropped (conservatively unresolvable).
+// A call on an interface-typed receiver becomes an edge to the pseudo
+// node "iface:<pkg>.<Iface>.<Method>"; CHA-style resolution happens at
+// merge time via Impls. An edge crosses a goroutine boundary (Go=true)
+// when the call is the operand of a go statement or occurs inside a
+// closure spawned by one; ctxcheck excludes such edges from context
+// reachability, because a spawned goroutine owns its own lifecycle.
+//
+// Only intra-module callees are kept: a callee belongs to the module
+// when its package path shares the caller's first path segment
+// ("mmdb/..."). Standard-library calls are never edges.
+//
+// # CHA implementations
+//
+// For every named type declared in the package, Impls records which
+// module-visible interface methods the type (or its pointer) satisfies,
+// as pairs iface:pkg.I.M → pkg.T.M. Merging the pairs from every
+// package closes interface calls over all implementations the module
+// can see — class-hierarchy analysis, sound for an intra-module graph
+// because a type cannot satisfy a module interface without being
+// declared in some package of the audit set.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mmdb/lint/analysis"
+)
+
+// Facts is one package's contribution to the module call graph.
+type Facts struct {
+	Funcs []Func `json:"funcs,omitempty"`
+	Edges []Edge `json:"edges,omitempty"`
+	Impls []Impl `json:"impls,omitempty"`
+}
+
+// Func records one declared function or method.
+type Func struct {
+	Key string `json:"key"`
+	Pos string `json:"pos,omitempty"`
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Caller string `json:"caller"`
+	Callee string `json:"callee"` // function key, or "iface:" pseudo node
+	Pos    string `json:"pos,omitempty"`
+	// Go marks a call that crosses a goroutine boundary: the operand of
+	// a go statement, or any call inside a closure spawned by one.
+	Go bool `json:"go,omitempty"`
+}
+
+// Impl records that a named type's method satisfies an interface
+// method: calls to Iface may dispatch to Impl.
+type Impl struct {
+	Iface string `json:"iface"`
+	Impl  string `json:"impl"`
+}
+
+// Compute builds the package's call-graph facts, or nil when the
+// package contributes nothing. It never fails: what cannot be resolved
+// is simply absent from the edge set.
+func Compute(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Facts {
+	c := &computer{
+		fset:   fset,
+		pkg:    pkg,
+		info:   info,
+		module: moduleOf(pkg.Path()),
+		seen:   make(map[Edge]bool),
+		facts:  &Facts{},
+	}
+	for _, f := range files {
+		if analysis.IsTestFile(fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			caller := DeclKey(pkg.Path(), fn)
+			c.facts.Funcs = append(c.facts.Funcs, Func{Key: caller, Pos: fset.Position(fn.Pos()).String()})
+			c.walk(caller, fn.Body, false)
+		}
+	}
+	c.implementations()
+	if len(c.facts.Funcs) == 0 && len(c.facts.Edges) == 0 && len(c.facts.Impls) == 0 {
+		return nil
+	}
+	return c.facts
+}
+
+type computer struct {
+	fset   *token.FileSet
+	pkg    *types.Package
+	info   *types.Info
+	module string
+	seen   map[Edge]bool
+	facts  *Facts
+}
+
+// walk records the call edges under n, attributed to caller. spawned
+// is true inside closures launched by a go statement; edges found
+// there cross the goroutine boundary.
+func (c *computer) walk(caller string, n ast.Node, spawned bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned callee — and everything inside a spawned
+			// closure — runs on the new goroutine; the call's arguments
+			// still evaluate on this one.
+			c.call(caller, n.Call, true)
+			for _, a := range n.Call.Args {
+				c.walk(caller, a, spawned)
+			}
+			if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				c.walk(caller, lit.Body, true)
+			}
+			return false
+		case *ast.CallExpr:
+			c.call(caller, n, spawned)
+			return true
+		}
+		return true
+	})
+}
+
+func (c *computer) call(caller string, call *ast.CallExpr, spawned bool) {
+	callee := c.callee(call)
+	if callee == "" {
+		return
+	}
+	key := Edge{Caller: caller, Callee: callee, Go: spawned}
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.facts.Edges = append(c.facts.Edges, Edge{
+		Caller: caller,
+		Callee: callee,
+		Pos:    c.fset.Position(call.Pos()).String(),
+		Go:     spawned,
+	})
+}
+
+// callee resolves a call's static target to a node key, or "".
+func (c *computer) callee(call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := c.info.Uses[fun].(*types.Func); ok {
+			return c.moduleKey(FuncKey(fn))
+		}
+	case *ast.SelectorExpr:
+		fn, ok := c.info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return ""
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return ""
+		}
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			named := derefNamed(recv.Type())
+			if named == nil || named.Obj().Pkg() == nil ||
+				moduleOf(named.Obj().Pkg().Path()) != c.module {
+				return ""
+			}
+			return "iface:" + named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return c.moduleKey(FuncKey(fn))
+	}
+	return ""
+}
+
+// moduleKey keeps key only when it belongs to the caller's module.
+func (c *computer) moduleKey(key string) string {
+	if key == "" || keyModule(key) != c.module {
+		return ""
+	}
+	return key
+}
+
+// moduleOf returns a package path's first segment, the module root all
+// intra-module packages share.
+func moduleOf(pkgPath string) string {
+	if i := strings.IndexByte(pkgPath, '/'); i >= 0 {
+		return pkgPath[:i]
+	}
+	return pkgPath
+}
+
+// keyModule extracts the module root from a node key
+// ("mmdb/internal/wal.Open" → "mmdb", "a.Foo" → "a").
+func keyModule(key string) string {
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		return key[:i]
+	}
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// DeclKey names a declared function: pkg.Recv.Name or pkg.Name —
+// the node key its CallExpr edges use.
+func DeclKey(pkgPath string, fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return pkgPath + "." + fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return pkgPath + "." + id.Name + "." + fn.Name.Name
+			}
+			return pkgPath + "." + fn.Name.Name
+		}
+	}
+}
+
+// FuncKey names a types.Func the same way declKey names its
+// declaration. It returns "" for functions that cannot be keyed
+// (no package, unnamed receiver type).
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		named := derefNamed(recv.Type())
+		if named == nil || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	if named != nil {
+		// An instantiated generic's methods belong to the origin.
+		named = named.Origin()
+	}
+	return named
+}
+
+// implementations records the CHA pairs: every interface visible from
+// this package (module-internal, including the package itself) matched
+// against every named type the package declares.
+func (c *computer) implementations() {
+	ifaces := c.moduleInterfaces()
+	scope := c.pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		for _, iface := range ifaces {
+			it, _ := iface.typ.Underlying().(*types.Interface)
+			if it == nil || it.NumMethods() == 0 {
+				continue
+			}
+			var impl types.Type = named
+			if !types.Implements(impl, it) {
+				impl = types.NewPointer(named)
+				if !types.Implements(impl, it) {
+					continue
+				}
+			}
+			for i := 0; i < it.NumMethods(); i++ {
+				m := it.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+				mf, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				key := FuncKey(mf)
+				if key == "" {
+					continue
+				}
+				c.facts.Impls = append(c.facts.Impls, Impl{
+					Iface: "iface:" + iface.key + "." + m.Name(),
+					Impl:  key,
+				})
+			}
+		}
+	}
+	sort.Slice(c.facts.Impls, func(i, j int) bool {
+		a, b := c.facts.Impls[i], c.facts.Impls[j]
+		if a.Iface != b.Iface {
+			return a.Iface < b.Iface
+		}
+		return a.Impl < b.Impl
+	})
+}
+
+type ifaceInfo struct {
+	key string // pkg.Name
+	typ *types.Named
+}
+
+// moduleInterfaces lists the named interfaces declared in this package
+// and in every module-internal package it (transitively) imports.
+func (c *computer) moduleInterfaces() []ifaceInfo {
+	var out []ifaceInfo
+	seen := map[*types.Package]bool{}
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if seen[p] || moduleOf(p.Path()) != c.module {
+			return
+		}
+		seen[p] = true
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || !types.IsInterface(named) {
+				continue
+			}
+			out = append(out, ifaceInfo{key: p.Path() + "." + name, typ: named})
+		}
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	visit(c.pkg)
+	return out
+}
+
+// Merge combines per-package facts into one queryable graph. Interface
+// pseudo nodes gain an out-edge to each recorded implementation.
+func Merge(all map[string]*Facts) *Graph {
+	g := &Graph{
+		adj:  make(map[string][]Edge),
+		seen: make(map[Edge]bool),
+	}
+	for _, f := range all {
+		if f == nil {
+			continue
+		}
+		for _, e := range f.Edges {
+			g.add(e)
+		}
+		for _, im := range f.Impls {
+			g.add(Edge{Caller: im.Iface, Callee: im.Impl})
+		}
+	}
+	return g
+}
+
+// Graph is a merged call graph.
+type Graph struct {
+	adj  map[string][]Edge
+	seen map[Edge]bool
+}
+
+func (g *Graph) add(e Edge) {
+	key := Edge{Caller: e.Caller, Callee: e.Callee, Go: e.Go}
+	if g.seen[key] {
+		return
+	}
+	g.seen[key] = true
+	g.adj[e.Caller] = append(g.adj[e.Caller], e)
+}
+
+// Edges returns the out-edges of a node.
+func (g *Graph) Edges(from string) []Edge { return g.adj[from] }
+
+// HasEdge reports a direct edge from caller to callee (of any kind).
+func (g *Graph) HasEdge(caller, callee string) bool {
+	for _, e := range g.adj[caller] {
+		if e.Callee == callee {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable returns every node reachable from from, following
+// interface pseudo edges, and goroutine-crossing edges only when
+// includeGo is set.
+func (g *Graph) Reachable(from string, includeGo bool) map[string]bool {
+	out := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[n] {
+			if e.Go && !includeGo {
+				continue
+			}
+			if !out[e.Callee] {
+				out[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return out
+}
+
+// Path returns a shortest node path from from to to (inclusive), or
+// nil when to is unreachable. Goroutine-crossing edges are followed
+// only when includeGo is set.
+func (g *Graph) Path(from, to string, includeGo bool) []string {
+	if from == to {
+		return []string{from}
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[n] {
+			if e.Go && !includeGo {
+				continue
+			}
+			if _, ok := prev[e.Callee]; ok {
+				continue
+			}
+			prev[e.Callee] = n
+			if e.Callee == to {
+				var path []string
+				for at := to; ; at = prev[at] {
+					path = append([]string{at}, path...)
+					if at == from {
+						return path
+					}
+				}
+			}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return nil
+}
+
+// Nodes returns every node that has at least one out-edge, sorted.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.adj))
+	for n := range g.adj {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

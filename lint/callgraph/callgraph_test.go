@@ -1,0 +1,146 @@
+package callgraph_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mmdb/lint/analysis"
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/callgraph"
+)
+
+// probe is a minimal analyzer whose only job is to push Compute's
+// output through the fact pipeline, the same way ctxcheck embeds it.
+var probe = &analysis.Analyzer{
+	Name: "cgprobe",
+	Doc:  "exports callgraph facts for tests",
+	ExportFacts: func(p *analysis.Pass) any {
+		return callgraph.Compute(p.Fset, p.Files, p.Pkg, p.TypesInfo)
+	},
+	Run: func(*analysis.Pass) error { return nil },
+}
+
+// loadFacts loads the fixture packages and returns the per-package
+// callgraph facts.
+func loadFacts(t *testing.T, modules map[string]string, pkgs ...string) map[string]*callgraph.Facts {
+	t.Helper()
+	root := ""
+	if modules == nil {
+		root = analysistest.TestData() + "/src"
+	}
+	ld := analysistest.NewLoader(root, modules)
+	for _, pkg := range pkgs {
+		if err := ld.Load(pkg); err != nil {
+			t.Fatalf("loading %s: %v", pkg, err)
+		}
+	}
+	raws, err := ld.Facts(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]*callgraph.Facts)
+	for pkg, raw := range raws {
+		var f callgraph.Facts
+		if err := json.Unmarshal(raw, &f); err != nil {
+			t.Fatalf("decoding %s facts: %v", pkg, err)
+		}
+		out[pkg] = &f
+	}
+	return out
+}
+
+func TestComputeEdges(t *testing.T) {
+	facts := loadFacts(t, nil, "cgmod/leaf", "cgmod/top")
+
+	top := facts["cgmod/top"]
+	if top == nil {
+		t.Fatal("no facts for cgmod/top")
+	}
+	type edge struct {
+		callee string
+		goEdge bool
+	}
+	got := make(map[edge]bool)
+	for _, e := range top.Edges {
+		if e.Caller == "cgmod/top.Run" {
+			got[edge{e.Callee, e.Go}] = true
+		}
+	}
+	wantEdges := []edge{
+		{"iface:cgmod/leaf.Store.Put", false}, // interface call
+		{"cgmod/top.step", false},             // direct call
+		{"cgmod/leaf.New", false},             // cross-package call
+		{"cgmod/leaf.Mem.Put", false},         // concrete method call
+		{"cgmod/top.worker", true},            // go named function
+		{"cgmod/top.step2", true},             // call inside spawned closure
+		{"cgmod/top.step3", false},            // plain closure attributed to Run
+		{"cgmod/top.worker2", true},           // spawned with evaluated args
+		{"cgmod/top.mk", false},               // go-stmt argument runs here
+	}
+	for _, w := range wantEdges {
+		if !got[w] {
+			t.Errorf("missing edge Run -> %s (go=%v); have %v", w.callee, w.goEdge, got)
+		}
+	}
+	for e := range got {
+		if strings.HasPrefix(e.callee, "strings.") {
+			t.Errorf("standard-library edge leaked into the graph: %s", e.callee)
+		}
+	}
+
+	leaf := facts["cgmod/leaf"]
+	if leaf == nil {
+		t.Fatal("no facts for cgmod/leaf")
+	}
+	implSeen := make(map[callgraph.Impl]bool)
+	for _, im := range leaf.Impls {
+		implSeen[im] = true
+	}
+	for _, m := range []string{"Put", "Get"} {
+		im := callgraph.Impl{Iface: "iface:cgmod/leaf.Store." + m, Impl: "cgmod/leaf.Mem." + m}
+		if !implSeen[im] {
+			t.Errorf("missing CHA pair %v; have %v", im, leaf.Impls)
+		}
+	}
+}
+
+func TestMergeReachability(t *testing.T) {
+	facts := loadFacts(t, nil, "cgmod/leaf", "cgmod/top")
+	g := callgraph.Merge(facts)
+
+	// Interface calls resolve through the merged Impls: Run reaches the
+	// concrete Put body and its callee without following any go edge.
+	sync := g.Reachable("cgmod/top.Run", false)
+	for _, want := range []string{"cgmod/leaf.Mem.Put", "cgmod/leaf.record", "cgmod/top.step3"} {
+		if !sync[want] {
+			t.Errorf("Run should reach %s without crossing a goroutine boundary", want)
+		}
+	}
+	// Spawned work is invisible until go edges are included.
+	for _, spawned := range []string{"cgmod/top.worker", "cgmod/top.step2"} {
+		if sync[spawned] {
+			t.Errorf("Run must not reach %s via synchronous edges", spawned)
+		}
+	}
+	all := g.Reachable("cgmod/top.Run", true)
+	for _, spawned := range []string{"cgmod/top.worker", "cgmod/top.step2", "cgmod/top.worker2"} {
+		if !all[spawned] {
+			t.Errorf("Run should reach %s when go edges are included", spawned)
+		}
+	}
+
+	path := g.Path("cgmod/top.Run", "cgmod/leaf.record", false)
+	if len(path) == 0 {
+		t.Fatal("no path Run -> leaf.record")
+	}
+	if path[0] != "cgmod/top.Run" || path[len(path)-1] != "cgmod/leaf.record" {
+		t.Errorf("malformed path %v", path)
+	}
+	if g.Path("cgmod/top.Run", "cgmod/top.worker", false) != nil {
+		t.Error("path to spawned worker must require includeGo")
+	}
+	if !g.HasEdge("cgmod/top.Run", "cgmod/top.step") {
+		t.Error("HasEdge(Run, step) = false")
+	}
+}

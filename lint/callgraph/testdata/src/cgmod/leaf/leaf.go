@@ -1,0 +1,20 @@
+// Package leaf is the callee side of the callgraph fixture: it
+// declares an interface, a concrete implementation, and plain
+// functions for the importing package to call.
+package leaf
+
+// Store is implemented by Mem; calls through it must resolve via the
+// CHA Impls pairs.
+type Store interface {
+	Put(k string)
+	Get(k string) string
+}
+
+type Mem struct{ m map[string]string }
+
+func (s *Mem) Put(k string)        { record(k) }
+func (s *Mem) Get(k string) string { return s.m[k] }
+
+func record(string) {}
+
+func New() *Mem { return &Mem{m: map[string]string{}} }

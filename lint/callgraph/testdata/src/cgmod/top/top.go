@@ -1,0 +1,31 @@
+// Package top is the caller side of the callgraph fixture: every edge
+// shape the computer must classify appears once in Run.
+package top
+
+import (
+	"strings"
+
+	"cgmod/leaf"
+)
+
+func Run(s leaf.Store) {
+	s.Put("a")       // interface call → iface pseudo edge
+	step()           // direct call, same package
+	st := leaf.New() // direct call, cross package
+	st.Put("b")      // concrete method call
+	go worker()      // spawned named function: Go edge
+	go func() {
+		step2() // call inside a spawned closure: Go edge
+	}()
+	f := func() { step3() } // plain closure: attributed to Run, not spawned
+	f()
+	go worker2(mk()) // mk() evaluates on this goroutine, worker2 on the new one
+	_ = strings.ToUpper("x")
+}
+
+func step()             {}
+func step2()            {}
+func step3()            {}
+func worker()           {}
+func worker2(*leaf.Mem) {}
+func mk() *leaf.Mem     { return leaf.New() }

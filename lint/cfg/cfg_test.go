@@ -506,3 +506,105 @@ func after()`)
 		t.Errorf("after() unreachable\n%s", g)
 	}
 }
+
+func TestSelectWithDefault(t *testing.T) {
+	g := build(t, `package p
+func f(a chan int) {
+	before()
+	select {
+	case <-a:
+		one()
+	default:
+		def()
+	}
+	after()
+}
+func before(); func one(); func def(); func after()`)
+	one, d, a := blockOf(t, g, "one"), blockOf(t, g, "def"), blockOf(t, g, "after")
+	if one == d {
+		t.Errorf("default must get its own block\n%s", g)
+	}
+	if !reaches(g.Entry, d) {
+		t.Errorf("default clause unreachable\n%s", g)
+	}
+	if !reaches(one, a) || !reaches(d, a) {
+		t.Errorf("both the comm clause and default must reach after()\n%s", g)
+	}
+}
+
+func TestLabeledBreakSelect(t *testing.T) {
+	g := build(t, `package p
+func f(a chan int, n int) {
+	for i := 0; i < n; i++ {
+	recv:
+		select {
+		case <-a:
+			break recv
+		case <-a:
+			skipped()
+		}
+		mid()
+	}
+	after()
+}
+func skipped(); func mid(); func after()`)
+	mid := blockOf(t, g, "mid")
+	// break recv exits only the select: control continues with mid(),
+	// still inside the loop.
+	var brk *cfg.Block
+	for _, bl := range g.Blocks {
+		for _, n := range bl.Nodes {
+			if bs, ok := n.(*ast.BranchStmt); ok && bs.Label != nil {
+				brk = bl
+			}
+		}
+	}
+	if brk == nil {
+		t.Fatalf("no labeled break block\n%s", g)
+	}
+	if !reaches(brk, mid) {
+		t.Errorf("break recv must fall through to mid(), not exit the loop\n%s", g)
+	}
+	if !reaches(mid, mid) {
+		t.Errorf("loop must still iterate after the labeled select\n%s", g)
+	}
+	if !reaches(g.Entry, blockOf(t, g, "after")) {
+		t.Errorf("after() unreachable\n%s", g)
+	}
+}
+
+func TestLabeledBreakSwitch(t *testing.T) {
+	g := build(t, `package p
+func f(x, n int) {
+	for i := 0; i < n; i++ {
+	sw:
+		switch x {
+		case 1:
+			break sw
+		case 2:
+			two()
+		}
+		mid()
+	}
+	after()
+}
+func two(); func mid(); func after()`)
+	mid := blockOf(t, g, "mid")
+	var brk *cfg.Block
+	for _, bl := range g.Blocks {
+		for _, n := range bl.Nodes {
+			if bs, ok := n.(*ast.BranchStmt); ok && bs.Label != nil {
+				brk = bl
+			}
+		}
+	}
+	if brk == nil {
+		t.Fatalf("no labeled break block\n%s", g)
+	}
+	if !reaches(brk, mid) {
+		t.Errorf("break sw must fall through to mid(), not exit the loop\n%s", g)
+	}
+	if !reaches(blockOf(t, g, "two"), mid) {
+		t.Errorf("case body must reach mid()\n%s", g)
+	}
+}

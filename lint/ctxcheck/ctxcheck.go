@@ -1,0 +1,498 @@
+// Package ctxcheck verifies that context.Context actually flows from
+// the public entry points down to the loops that need it. The engine
+// grew ExecContext/CheckpointContext in PR 5, but a ctx parameter is
+// only as good as its plumbing: a retry loop three calls down that
+// never consults ctx.Err() turns cancellation into a no-op, and a
+// context.Background() minted in the middle of internal code silently
+// detaches everything below it. Four rules:
+//
+//   - No context.Background()/context.TODO() inside internal packages.
+//     The only legitimate mints are the exported wrapper roots
+//     (Exec/Checkpoint/Recover), each annotated "ctxcheck:root(reason)"
+//     — the reason is mandatory.
+//
+//   - A context.Context parameter must come first, per convention, so
+//     call sites cannot misroute it.
+//
+//   - A function that has a ctx must not pass context.Background()/
+//     TODO() to a callee instead of its own ctx.
+//
+//   - Every potentially-blocking loop reachable from a context-taking
+//     function must consult the context. A loop is potentially
+//     blocking when its nearest-loop body contains a channel
+//     operation, a select without default, sync.Cond.Wait,
+//     sync.WaitGroup.Wait, or time.Sleep; it consults the context when
+//     it calls ctx.Err()/ctx.Done() at the same loop level. The check
+//     is interprocedural: per-package facts carry each function's
+//     blocking loops and a lint/callgraph edge set, and a blocking
+//     loop in a ctx-less function is reported when any merged
+//     call-graph path (goroutine boundaries excluded — a spawned
+//     goroutine owns its own lifecycle) connects a ctx-taking function
+//     to it. Condition-variable waits and mandatory joins that cannot
+//     observe a ctx by design are declared "ctxcheck:exempt(reason)" —
+//     on the function, or on the specific loop — with the reason
+//     mandatory.
+//
+// Test files are exempt.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"mmdb/lint/analysis"
+	"mmdb/lint/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:        "ctxcheck",
+	Doc:         "checks context propagation: no Background in internal code, ctx first, blocking loops reachable from ctx entry points consult it",
+	ExportFacts: exportFacts,
+	Run:         run,
+}
+
+// Facts is one package's contribution: per-function context shape plus
+// the package's call-graph slice.
+type Facts struct {
+	Funcs map[string]FuncFact `json:"funcs,omitempty"`
+	CG    *callgraph.Facts    `json:"cg,omitempty"`
+}
+
+// FuncFact describes one declared function.
+type FuncFact struct {
+	// Ctx is set when the function takes a context.Context.
+	Ctx bool `json:"ctx,omitempty"`
+	// Exempt carries the ctxcheck:exempt reason ("" = none).
+	Exempt string `json:"exempt,omitempty"`
+	// Blocking lists printable positions of potentially-blocking loops
+	// that neither consult a ctx nor carry a loop-site exemption.
+	Blocking []string `json:"blocking,omitempty"`
+}
+
+// annotationsEnabled is lowered only by tests, to prove the repository's
+// ctxcheck annotations are load-bearing: with them ignored, the sweep
+// must report every exempted loop and every annotated root.
+var annotationsEnabled = true
+
+var (
+	rootRe       = regexp.MustCompile(`ctxcheck:root\(([^)]*)\)`)
+	exemptRe     = regexp.MustCompile(`ctxcheck:exempt\(([^)]*)\)`)
+	bareRootRe   = regexp.MustCompile(`ctxcheck:root(\b[^(]|$)`)
+	bareExemptRe = regexp.MustCompile(`ctxcheck:exempt(\b[^(]|$)`)
+)
+
+func exportFacts(pass *analysis.Pass) any {
+	funcs, _ := analyze(pass)
+	f := &Facts{
+		Funcs: make(map[string]FuncFact, len(funcs)),
+		CG:    callgraph.Compute(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo),
+	}
+	for key, lf := range funcs {
+		ff := FuncFact{Ctx: lf.ctx, Exempt: lf.exempt}
+		for _, lp := range lf.loops {
+			if lp.blocking && !lp.consults && lp.exempt == nil {
+				ff.Blocking = append(ff.Blocking, pass.Fset.Position(lp.pos).String())
+			}
+		}
+		if ff.Ctx || ff.Exempt != "" || len(ff.Blocking) > 0 {
+			f.Funcs[key] = ff
+		}
+	}
+	if len(f.Funcs) == 0 && f.CG == nil {
+		return nil
+	}
+	return f
+}
+
+// localFunc is the in-memory, position-bearing form of FuncFact.
+type localFunc struct {
+	decl      *ast.FuncDecl
+	ctx       bool
+	root      *string // ctxcheck:root reason; nil = absent
+	exemptAll *string // function-level ctxcheck:exempt; nil = absent
+	exempt    string  // non-empty reason, function level
+	loops     []*localLoop
+}
+
+type localLoop struct {
+	pos      token.Pos
+	blocking bool
+	consults bool
+	exempt   *string // loop-site exemption reason; nil = absent
+}
+
+// bgCall is one context.Background()/TODO() call site.
+type bgCall struct {
+	pos  token.Pos
+	name string     // "Background" or "TODO"
+	fn   *localFunc // enclosing declared function
+}
+
+// analyze computes the per-function facts and the Background/TODO call
+// sites for the current package.
+func analyze(pass *analysis.Pass) (map[string]*localFunc, []*bgCall) {
+	funcs := make(map[string]*localFunc)
+	var bgs []*bgCall
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lf := &localFunc{decl: fn}
+			if fn.Doc != nil && annotationsEnabled {
+				doc := fn.Doc.Text()
+				if m := rootRe.FindStringSubmatch(doc); m != nil {
+					s := strings.TrimSpace(m[1])
+					lf.root = &s
+				} else if bareRootRe.MatchString(doc) {
+					s := ""
+					lf.root = &s
+				}
+				if m := exemptRe.FindStringSubmatch(doc); m != nil {
+					s := strings.TrimSpace(m[1])
+					lf.exemptAll = &s
+					lf.exempt = s
+				} else if bareExemptRe.MatchString(doc) {
+					s := ""
+					lf.exemptAll = &s
+				}
+			}
+			for _, param := range fn.Type.Params.List {
+				if isContextType(pass.TypesInfo.TypeOf(param.Type)) {
+					lf.ctx = true
+				}
+			}
+			sc := &scanner{pass: pass, file: f, fn: lf}
+			sc.walk(fn.Body, nil, false)
+			key := callgraph.DeclKey(pass.Pkg.Path(), fn)
+			funcs[key] = lf
+			for _, bg := range sc.bgs {
+				bg.fn = lf
+				bgs = append(bgs, bg)
+			}
+		}
+	}
+	return funcs, bgs
+}
+
+// scanner walks one function body, attributing blocking primitives and
+// ctx consultations to their nearest enclosing loop.
+type scanner struct {
+	pass *analysis.Pass
+	file *ast.File
+	fn   *localFunc
+	bgs  []*bgCall
+}
+
+// walk visits n. loop is the nearest enclosing loop's record (nil at
+// function level); spawned is true inside go-statement closures, whose
+// loops belong to the spawned goroutine's lifecycle, not this
+// function's context obligation.
+func (sc *scanner) walk(n ast.Node, loop *localLoop, spawned bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				sc.walk(a, loop, spawned)
+			}
+			sc.scanCall(n.Call, loop)
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				sc.walk(lit.Body, nil, true)
+			}
+			return false
+		case *ast.FuncLit:
+			// A plain closure executes on this goroutine (the sweeps'
+			// worker bodies): its loops join the enclosing function's
+			// obligation, scoped to their own nearest loop.
+			sc.walk(n.Body, nil, spawned)
+			return false
+		case *ast.ForStmt:
+			l := sc.newLoop(n.Pos(), spawned)
+			if n.Cond != nil {
+				sc.walk(n.Cond, l, spawned)
+			}
+			if n.Init != nil {
+				sc.walk(n.Init, loop, spawned)
+			}
+			if n.Post != nil {
+				sc.walk(n.Post, l, spawned)
+			}
+			sc.walk(n.Body, l, spawned)
+			return false
+		case *ast.RangeStmt:
+			l := sc.newLoop(n.Pos(), spawned)
+			if t := sc.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					l.blocking = true // ranging over a channel blocks per receive
+				}
+			}
+			sc.walk(n.X, loop, spawned)
+			sc.walk(n.Body, l, spawned)
+			return false
+		case *ast.SendStmt:
+			if loop != nil {
+				loop.blocking = true
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && loop != nil {
+				loop.blocking = true
+			}
+			return true
+		case *ast.SelectStmt:
+			// A select's comm clauses are channel operations by nature:
+			// only the select as a whole counts (and only without a
+			// default), never the individual <-ch inside it. Comm
+			// expressions are walked through a shadow record so a
+			// `case <-ctx.Done():` still registers as a consultation.
+			hasDefault := false
+			for _, cc := range n.Body.List {
+				if cc, ok := cc.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault && loop != nil {
+				loop.blocking = true
+			}
+			for _, cc := range n.Body.List {
+				cc, ok := cc.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm != nil {
+					sh := &localLoop{}
+					sc.walk(cc.Comm, sh, spawned)
+					if loop != nil && sh.consults {
+						loop.consults = true
+					}
+				}
+				for _, s := range cc.Body {
+					sc.walk(s, loop, spawned)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			sc.scanCall(n, loop)
+			return true
+		}
+		return true
+	})
+}
+
+// scanCall classifies one call: a blocking primitive, a ctx
+// consultation, or a context.Background()/TODO() mint.
+func (sc *scanner) scanCall(call *ast.CallExpr, loop *localLoop) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := sc.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "context":
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			sc.bgs = append(sc.bgs, &bgCall{pos: call.Pos(), name: fn.Name()})
+		}
+	case "sync":
+		if fn.Name() == "Wait" && loop != nil {
+			// Cond.Wait and WaitGroup.Wait both park the goroutine.
+			loop.blocking = true
+		}
+	case "time":
+		if fn.Name() == "Sleep" && loop != nil {
+			loop.blocking = true
+		}
+	}
+	if (fn.Name() == "Err" || fn.Name() == "Done") && loop != nil {
+		if isContextType(sc.pass.TypesInfo.TypeOf(sel.X)) {
+			loop.consults = true
+		}
+	}
+}
+
+// newLoop records a loop (unless it runs on a spawned goroutine) with
+// any loop-site exemption comment.
+func (sc *scanner) newLoop(pos token.Pos, spawned bool) *localLoop {
+	l := &localLoop{pos: pos}
+	if spawned {
+		// Still scanned (so nested state is tracked) but never reported:
+		// mark consulted so it drops out of every rule.
+		l.consults = true
+		return l
+	}
+	if !annotationsEnabled {
+		sc.fn.loops = append(sc.fn.loops, l)
+		return l
+	}
+	p := sc.pass.Fset.Position(pos)
+	for _, cg := range sc.file.Comments {
+		for _, c := range cg.List {
+			cp := sc.pass.Fset.Position(c.Pos())
+			if cp.Filename != p.Filename || (cp.Line != p.Line && cp.Line != p.Line-1) {
+				continue
+			}
+			if m := exemptRe.FindStringSubmatch(c.Text); m != nil {
+				s := strings.TrimSpace(m[1])
+				l.exempt = &s
+			} else if bareExemptRe.MatchString(c.Text) {
+				s := ""
+				l.exempt = &s
+			}
+		}
+	}
+	sc.fn.loops = append(sc.fn.loops, l)
+	return l
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func internalPath(pkgPath string) bool {
+	return strings.Contains(pkgPath, "/internal/") || strings.HasPrefix(pkgPath, "internal/")
+}
+
+func run(pass *analysis.Pass) error {
+	funcs, bgs := analyze(pass)
+
+	// Annotation hygiene: every root/exempt carries a reason.
+	for _, lf := range funcs {
+		if lf.root != nil && *lf.root == "" {
+			pass.Reportf(lf.decl.Pos(), "ctxcheck:root needs a reason: ctxcheck:root(<why this function may mint a fresh context>)")
+		}
+		if lf.exemptAll != nil && *lf.exemptAll == "" {
+			pass.Reportf(lf.decl.Pos(), "ctxcheck:exempt needs a reason: ctxcheck:exempt(<why this function's blocking loops cannot observe a ctx>)")
+		}
+		for _, lp := range lf.loops {
+			if lp.exempt != nil && *lp.exempt == "" {
+				pass.Reportf(lp.pos, "ctxcheck:exempt needs a reason: ctxcheck:exempt(<why this loop cannot observe a ctx>)")
+			}
+		}
+	}
+
+	// Rule: no Background/TODO inside internal packages except at
+	// annotated roots; and a function holding a ctx must pass it, not
+	// mint a fresh one, anywhere.
+	for _, bg := range bgs {
+		switch {
+		case bg.fn.ctx:
+			pass.Reportf(bg.pos, "context.%s() discards the ctx this function already has; pass ctx through", bg.name)
+		case internalPath(pass.Pkg.Path()):
+			if bg.fn.root == nil {
+				pass.Reportf(bg.pos, "context.%s() inside an internal package detaches cancellation; thread ctx from the caller, or annotate this wrapper root with ctxcheck:root(reason)", bg.name)
+			}
+		}
+	}
+
+	// Rule: ctx parameter comes first.
+	for _, lf := range funcs {
+		flat := 0
+		for _, param := range lf.decl.Type.Params.List {
+			isCtx := isContextType(pass.TypesInfo.TypeOf(param.Type))
+			n := len(param.Names)
+			if n == 0 {
+				n = 1
+			}
+			if isCtx && flat > 0 {
+				pass.Reportf(param.Pos(), "context.Context must be the first parameter")
+			}
+			flat += n
+		}
+	}
+
+	// Rule: blocking loops in ctx-taking functions consult the ctx.
+	for _, lf := range funcs {
+		if !lf.ctx || lf.exempt != "" {
+			continue
+		}
+		for _, lp := range lf.loops {
+			if lp.blocking && !lp.consults && lp.exempt == nil {
+				pass.Reportf(lp.pos, "this loop may block but never consults the function's ctx; check ctx.Err()/ctx.Done() each iteration, or annotate the loop with ctxcheck:exempt(reason)")
+			}
+		}
+	}
+
+	// Interprocedural rule: merge every package's facts and walk the
+	// call graph (synchronous edges only) from this package's
+	// ctx-taking functions to blocking loops that cannot see any ctx.
+	merged := make(map[string]FuncFact)
+	cgs := make(map[string]*callgraph.Facts)
+	for pkgPath := range pass.Facts {
+		var f Facts
+		if ok, err := pass.DecodeFacts(pkgPath, &f); err != nil {
+			return err
+		} else if ok {
+			for k, ff := range f.Funcs {
+				merged[k] = ff
+			}
+			cgs[pkgPath] = f.CG
+		}
+	}
+	// The own package's facts are recomputed fresh (the pass's fact map
+	// may hold a stale or absent self-entry).
+	if own, _ := exportFacts(pass).(*Facts); own != nil {
+		for k, ff := range own.Funcs {
+			merged[k] = ff
+		}
+		cgs[pass.Pkg.Path()] = own.CG
+	}
+	graph := callgraph.Merge(cgs)
+
+	var entries []string
+	ownPrefix := pass.Pkg.Path() + "."
+	for key, lf := range funcs {
+		if lf.ctx {
+			entries = append(entries, key)
+		}
+	}
+	sort.Strings(entries)
+
+	reported := make(map[string]bool) // blocking func key → already reported here
+	for _, entry := range entries {
+		for callee := range graph.Reachable(entry, false) {
+			if callee == entry || reported[callee] {
+				continue
+			}
+			ff, ok := merged[callee]
+			if !ok || ff.Ctx || ff.Exempt != "" || len(ff.Blocking) == 0 {
+				continue
+			}
+			reported[callee] = true
+			path := strings.Join(graph.Path(entry, callee, false), " → ")
+			if lf, local := funcs[callee]; local {
+				// Report at the loop itself when it lives here.
+				for _, lp := range lf.loops {
+					if lp.blocking && !lp.consults && lp.exempt == nil {
+						pass.Reportf(lp.pos, "this loop may block and is reachable from %s, which takes a ctx this function cannot see (%s); thread context.Context through the path, or annotate ctxcheck:exempt(reason)",
+							strings.TrimPrefix(entry, ownPrefix), path)
+					}
+				}
+				continue
+			}
+			pass.Reportf(funcs[entry].decl.Pos(), "call path %s reaches blocking loop(s) at %s in a function that cannot observe this ctx; thread context.Context through, or annotate %s with ctxcheck:exempt(reason)",
+				path, strings.Join(ff.Blocking, ", "), callee)
+		}
+	}
+	return nil
+}

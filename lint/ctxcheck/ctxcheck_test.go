@@ -1,0 +1,13 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/ctxcheck"
+)
+
+func TestCtxCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxcheck.Analyzer,
+		"ctxmod/leaf", "ctxmod/internal/db", "ctxmod/top")
+}

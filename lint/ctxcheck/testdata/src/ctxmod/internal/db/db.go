@@ -1,0 +1,33 @@
+// Package db sits on an internal path: minting context.Background or
+// context.TODO here detaches cancellation unless the function is an
+// annotated wrapper root.
+package db
+
+import (
+	"context"
+)
+
+// Open threads the caller's ctx: clean.
+func Open(ctx context.Context) error { return ctx.Err() }
+
+// Exec is the exported convenience wrapper, allowed to mint a root.
+// ctxcheck:root(public no-ctx entry point; callers without a context start here)
+func Exec(q string) error {
+	_ = q
+	return Open(context.Background())
+}
+
+// sneaky mints a fresh context deep inside the library.
+func sneaky() error {
+	return Open(context.Background()) // want `context.Background\(\) inside an internal package detaches cancellation`
+}
+
+// badRoot carries the annotation but no reason.
+// ctxcheck:root
+func badRoot() error { // want "ctxcheck:root needs a reason"
+	return Open(context.TODO())
+}
+
+func todoToo() error {
+	return Open(context.TODO()) // want `context.TODO\(\) inside an internal package detaches cancellation`
+}

@@ -1,0 +1,34 @@
+// Package leaf holds ctx-less helpers with blocking loops; standalone
+// it is clean — the findings belong to the ctx-taking callers in
+// ctxmod/top, connected through exported facts.
+package leaf
+
+import "time"
+
+type Q struct{ ch chan int }
+
+// Drain blocks per receive and cannot see any ctx. No ctx-taking
+// function reaches it, so it stays silent.
+func (q *Q) Drain() {
+	for v := range q.ch {
+		_ = v
+	}
+}
+
+// Spin is reached from top.Entry, which takes a ctx this loop can
+// never observe.
+func Spin() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Poll parks forever by design.
+// ctxcheck:exempt(terminates when the owner closes ch; join handled by caller)
+func Poll(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+func Quick() int { return 1 }

@@ -1,0 +1,159 @@
+// Package top exercises the ctxcheck rules in a non-internal package:
+// local blocking loops, annotation hygiene, parameter order, and
+// interprocedural reach into ctx-less helpers (same package and
+// cross-package via ctxmod/leaf facts).
+package top
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ctxmod/leaf"
+)
+
+// --- blocking loops that consult the ctx: clean ---
+
+func waitsOK(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+func pollsOK(ctx context.Context, ch chan int) {
+	for ctx.Err() == nil {
+		<-ch
+	}
+}
+
+// select with a default never parks: not a blocking loop.
+func tryRecv(ctx context.Context, ch chan int) {
+	for i := 0; i < 3; i++ {
+		select {
+		case v := <-ch:
+			_ = v
+		default:
+		}
+	}
+}
+
+// loops inside a spawned goroutine belong to that goroutine's
+// lifecycle (goleakcheck's domain), not this function's ctx.
+func spawns(ctx context.Context, ch chan int) {
+	done := make(chan struct{})
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// --- blocking loops that ignore the ctx ---
+
+func sleepy(ctx context.Context) {
+	for { // want "this loop may block but never consults the function's ctx"
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func sendLoop(ctx context.Context, ch chan int) {
+	for i := 0; i < 10; i++ { // want "this loop may block but never consults the function's ctx"
+		ch <- i
+	}
+}
+
+func drains(ctx context.Context, ch chan int) {
+	for v := range ch { // want "this loop may block but never consults the function's ctx"
+		_ = v
+	}
+}
+
+func condWait(ctx context.Context, c *sync.Cond) {
+	for { // want "this loop may block but never consults the function's ctx"
+		c.Wait()
+	}
+}
+
+// primitives attribute to the nearest enclosing loop only: one
+// finding, on the inner loop.
+func nested(ctx context.Context, ch chan int) {
+	for i := 0; i < 3; i++ {
+		for { // want "this loop may block but never consults the function's ctx"
+			<-ch
+		}
+	}
+}
+
+// --- exemptions ---
+
+func joinAll(ctx context.Context, done chan struct{}, n int) {
+	// ctxcheck:exempt(join is mandatory; each worker sends exactly one token)
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// waitRound parks on a condition variable that its owner broadcasts.
+// ctxcheck:exempt(woken by Broadcast on every state change and on close)
+func waitRound(ctx context.Context, c *sync.Cond) {
+	for {
+		c.Wait()
+	}
+}
+
+func lazyExempt(ctx context.Context, ch chan int) {
+	// ctxcheck:exempt
+	for { // want "ctxcheck:exempt needs a reason"
+		<-ch
+	}
+}
+
+// --- parameter order and discarded contexts ---
+
+func badOrder(name string, ctx context.Context) { // want "context.Context must be the first parameter"
+	_ = name
+	_ = ctx
+}
+
+func discards(ctx context.Context) context.Context {
+	return context.Background() // want "discards the ctx this function already has"
+}
+
+// Run is the Background-at-root regression: a non-internal wrapper may
+// mint a fresh context without any annotation.
+func Run(ch chan int) {
+	waitsOK(context.Background(), ch)
+}
+
+// --- interprocedural ---
+
+// Entry's ctx dies at the call boundary: leaf.Spin loops on Sleep and
+// has no way to see it. Reported here, at the entry, with the path.
+func Entry(ctx context.Context) { // want "call path .*Spin.* in a function that cannot observe this ctx"
+	leaf.Quick()
+	leaf.Spin()
+}
+
+// Exempted callees stay silent even when reached.
+func EntryExempt(ctx context.Context, ch chan int) {
+	leaf.Poll(ch)
+}
+
+// localEntry reaches a same-package ctx-less helper: reported at the
+// helper's loop, where the fix belongs.
+func localEntry(ctx context.Context, ch chan int) {
+	pump(ch)
+}
+
+func pump(ch chan int) {
+	for { // want "reachable from localEntry, which takes a ctx this function cannot see"
+		<-ch
+	}
+}

@@ -1,0 +1,420 @@
+// Package goleakcheck verifies that every goroutine spawn has a
+// matching join. A checkpointer that leaks a worker per checkpoint, or
+// a recovery path that returns while its partition appliers still run,
+// corrupts the next phase's invariants long before the leak shows up
+// in memory profiles — so the join is checked statically, per spawn
+// site, on every control-flow path.
+//
+// Two join disciplines are recognized without annotation:
+//
+//   - sync.WaitGroup balance: a go statement whose function literal
+//     calls X.Done() (directly or deferred) is charged to group X.
+//     A forward may-dataflow over the lint/cfg graph then requires
+//     X.Wait() — inline or deferred — on every path from the spawn to
+//     the function's exit, and the dominator tree requires an X.Add
+//     call on every path leading to the spawn (Add-before-go, the
+//     ordering the race detector cannot see until it is too late).
+//
+//   - nothing else: channel-join idioms (fanOut's one-token-per-worker
+//     done channel, the testbed's checkpoint drain) are real joins the
+//     analyzer cannot prove, so they are declared.
+//
+// Annotation vocabulary, in the enclosing function's doc comment, on
+// the go statement's line, or on the line above it:
+//
+//   - "goleak:joins <how>" — the spawn is joined by the described
+//     mechanism ("StopCheckpointLoop receives on done"). The
+//     description is mandatory: a join claim with no mechanism is
+//     itself reported.
+//   - "goleak:fireforget(<reason>)" — the goroutine intentionally
+//     outlives the function (a metrics listener for the process's
+//     lifetime). The reason is mandatory.
+//
+// Test files are exempt.
+package goleakcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"mmdb/lint/analysis"
+	"mmdb/lint/cfg"
+	"mmdb/lint/dataflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goleakcheck",
+	Doc:  "checks that every goroutine spawn is joined on all paths, via WaitGroup balance or a declared join",
+	Run:  run,
+}
+
+var (
+	joinsRe      = regexp.MustCompile(`goleak:joins\b[ \t]*(.*)`)
+	fireforgetRe = regexp.MustCompile(`goleak:fireforget\(([^)]*)\)`)
+	// bare fireforget without parens, to demand a reason instead of
+	// silently ignoring the annotation
+	bareFireforgetRe = regexp.MustCompile(`goleak:fireforget(\b[^(]|$)`)
+)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			doc := ""
+			if fn.Doc != nil {
+				doc = fn.Doc.Text()
+			}
+			ck := &checker{pass: pass, file: f, doc: doc}
+			ck.checkBody(fn.Name.Name, fn.Body)
+			for _, lit := range funcLits(fn.Body) {
+				ck.checkBody(fn.Name.Name+".func", lit.Body)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	file *ast.File
+	doc  string // enclosing declaration's doc text
+}
+
+// spawn is one go statement in the body under analysis.
+type spawn struct {
+	stmt  *ast.GoStmt
+	group string // WaitGroup expression text; "" when not WG-joined
+}
+
+func (ck *checker) checkBody(name string, body *ast.BlockStmt) {
+	spawns := ck.collectSpawns(body)
+	if len(spawns) == 0 {
+		return
+	}
+
+	// Resolve annotations first: an annotated spawn is accounted for
+	// (or reported for a missing reason) and leaves the dataflow.
+	var tracked []*spawn
+	for _, sp := range spawns {
+		switch ck.annotation(sp.stmt) {
+		case annoJoins:
+			continue
+		case annoFireforget:
+			continue
+		case annoBadJoins:
+			ck.pass.Reportf(sp.stmt.Pos(), "goleak:joins needs a description of the join mechanism: goleak:joins <how this goroutine is waited for>")
+			continue
+		case annoBadFireforget:
+			ck.pass.Reportf(sp.stmt.Pos(), "goleak:fireforget needs a reason: goleak:fireforget(<why this goroutine may outlive the function>)")
+			continue
+		}
+		if sp.group == "" {
+			ck.pass.Reportf(sp.stmt.Pos(), "goroutine spawned here is never joined: use a sync.WaitGroup (Add before go, Done inside, Wait after), or annotate the spawn with goleak:joins <how> or goleak:fireforget(<reason>)")
+			continue
+		}
+		tracked = append(tracked, sp)
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	g := cfg.New(name, body)
+	ck.checkAdds(g, tracked)
+	ck.checkWaits(g, tracked)
+}
+
+// collectSpawns lists the go statements directly in body (closures get
+// their own pass) with their WaitGroup group, if inferable.
+func (ck *checker) collectSpawns(body *ast.BlockStmt) []*spawn {
+	var out []*spawn
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			sp := &spawn{stmt: g}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				sp.group = ck.doneGroup(lit)
+			}
+			out = append(out, sp)
+			// Do not descend: a go statement spawning a closure that
+			// itself spawns is the closure's problem (it is in
+			// funcLits' list).
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// doneGroup finds the WaitGroup a spawned literal signals: the first
+// X.Done() call (deferred or not) in its body, excluding nested
+// closures. Returns the group's expression text, or "".
+func (ck *checker) doneGroup(lit *ast.FuncLit) string {
+	group := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if group != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if g, ok := ck.wgOp(call, "Done"); ok {
+				group = g
+			}
+		}
+		return true
+	})
+	return group
+}
+
+// wgOp reports whether call is sync.WaitGroup method op, returning the
+// receiver expression's text as the group key.
+func (ck *checker) wgOp(call *ast.CallExpr, op string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := ck.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != op {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	named := derefNamed(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != "WaitGroup" {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// checkAdds verifies Add-before-go: for each tracked spawn there must
+// be a block containing group.Add that dominates the spawn's block (or
+// precedes the go statement within the same block).
+func (ck *checker) checkAdds(g *cfg.Graph, spawns []*spawn) {
+	idom := dataflow.Dominators(g)
+
+	// Per group, the blocks with an Add call, and the index of the last
+	// Add node within each.
+	type addSite struct {
+		block *cfg.Block
+		index int
+	}
+	adds := make(map[string][]addSite)
+	spawnAt := make(map[*spawn]addSite)
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				for _, sp := range spawns {
+					if sp.stmt == gs {
+						spawnAt[sp] = addSite{block: b, index: i}
+					}
+				}
+				continue
+			}
+			for _, call := range calls(n) {
+				if grp, ok := ck.wgOp(call, "Add"); ok {
+					adds[grp] = append(adds[grp], addSite{block: b, index: i})
+				}
+			}
+		}
+	}
+	for _, sp := range spawns {
+		at, ok := spawnAt[sp]
+		if !ok {
+			continue // unreachable code
+		}
+		covered := false
+		for _, add := range adds[sp.group] {
+			if add.block == at.block && add.index < at.index {
+				covered = true
+				break
+			}
+			if add.block != at.block && dataflow.Dominates(idom, add.block, at.block) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			ck.pass.Reportf(sp.stmt.Pos(), "%s.Done() in the spawned goroutine has no %s.Add on every path to this spawn; call Add before the go statement", sp.group, sp.group)
+		}
+	}
+}
+
+// checkWaits runs the forward may-dataflow: the state is the set of
+// spawn sites whose goroutine may still be unjoined; group.Wait()
+// (inline, or deferred — credited at registration like unlockcheck's
+// deferred unlocks) clears every pending spawn of that group. Any
+// spawn pending at Exit escapes on some path.
+func (ck *checker) checkWaits(g *cfg.Graph, spawns []*spawn) {
+	byStmt := make(map[*ast.GoStmt]*spawn, len(spawns))
+	for _, sp := range spawns {
+		byStmt[sp.stmt] = sp
+	}
+	apply := func(state map[*spawn]bool, n ast.Node) {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if sp := byStmt[gs]; sp != nil {
+				state[sp] = true
+			}
+			return
+		}
+		// A deferred Wait joins at exit on every path through its
+		// registration, so it is credited here; calls() sees the defer's
+		// call expression either way.
+		for _, call := range calls(n) {
+			if grp, ok := ck.wgOp(call, "Wait"); ok {
+				for sp := range state {
+					if sp.group == grp {
+						delete(state, sp)
+					}
+				}
+			}
+		}
+	}
+	res := dataflow.Solve(g, dataflow.Problem{
+		Dir:      dataflow.Forward,
+		Boundary: func() any { return map[*spawn]bool{} },
+		Top:      func() any { return map[*spawn]bool{} },
+		Merge: func(a, b any) any {
+			out := cloneSpawnSet(a.(map[*spawn]bool))
+			for sp := range b.(map[*spawn]bool) {
+				out[sp] = true
+			}
+			return out
+		},
+		Transfer: func(b *cfg.Block, in any) any {
+			state := cloneSpawnSet(in.(map[*spawn]bool))
+			for _, n := range b.Nodes {
+				apply(state, n)
+			}
+			return state
+		},
+		Equal: func(a, b any) bool { return equalSpawnSet(a.(map[*spawn]bool), b.(map[*spawn]bool)) },
+	})
+	for sp := range res.In[g.Exit].(map[*spawn]bool) {
+		ck.pass.Reportf(sp.stmt.Pos(), "goroutine spawned here (WaitGroup %s) is not joined on every path: a path reaches return without %s.Wait()", sp.group, sp.group)
+	}
+}
+
+type annoKind int
+
+const (
+	annoNone annoKind = iota
+	annoJoins
+	annoFireforget
+	annoBadJoins
+	annoBadFireforget
+)
+
+// annotation resolves the goleak annotation governing a go statement:
+// trailing on its line, on the line above, or in the enclosing
+// declaration's doc comment.
+// annotationsEnabled is lowered only by tests, to prove the repository's
+// goleak annotations are load-bearing: with them ignored, the sweep must
+// report every annotated spawn site.
+var annotationsEnabled = true
+
+func (ck *checker) annotation(gs *ast.GoStmt) annoKind {
+	if !annotationsEnabled {
+		return annoNone
+	}
+	pos := ck.pass.Fset.Position(gs.Pos())
+	texts := []string{ck.doc}
+	for _, cg := range ck.file.Comments {
+		for _, c := range cg.List {
+			cp := ck.pass.Fset.Position(c.Pos())
+			if cp.Filename == pos.Filename && (cp.Line == pos.Line || cp.Line == pos.Line-1) {
+				texts = append(texts, c.Text)
+			}
+		}
+	}
+	kind := annoNone
+	for _, text := range texts {
+		if m := fireforgetRe.FindStringSubmatch(text); m != nil {
+			if strings.TrimSpace(m[1]) == "" {
+				return annoBadFireforget
+			}
+			kind = annoFireforget
+			continue
+		}
+		if bareFireforgetRe.MatchString(text) {
+			return annoBadFireforget
+		}
+		if m := joinsRe.FindStringSubmatch(text); m != nil {
+			if strings.TrimSpace(m[1]) == "" {
+				return annoBadJoins
+			}
+			kind = annoJoins
+		}
+	}
+	return kind
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func cloneSpawnSet(s map[*spawn]bool) map[*spawn]bool {
+	out := make(map[*spawn]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func equalSpawnSet(a, b map[*spawn]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// calls lists the call expressions under n, skipping nested function
+// literals (each body is analyzed on its own).
+func calls(n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+func funcLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package goleakcheck_test
+
+import (
+	"testing"
+
+	"mmdb/lint/analysis/analysistest"
+	"mmdb/lint/goleakcheck"
+)
+
+func TestGoleakCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goleakcheck.Analyzer, "goleak")
+}

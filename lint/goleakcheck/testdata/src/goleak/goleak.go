@@ -1,0 +1,197 @@
+// Package goleak exercises every spawn/join shape goleakcheck
+// classifies.
+package goleak
+
+import (
+	"net/http"
+	"sync"
+)
+
+func work()               {}
+func handle(i int)        {}
+func fanIn(ch chan<- int) {}
+
+// --- WaitGroup discipline, accepted shapes ---
+
+// canonical pool: Add before each spawn, deferred Done, Wait after.
+func pool(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			handle(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// bulk Add before the spawn loop (the recovery pipeline's shape).
+func bulkAdd(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// conditional spawn joined by a conditional deferred Wait: the classic
+// false positive — the spawn and its join live on the same branch.
+func conditionalDefer(async bool) {
+	var wg sync.WaitGroup
+	if async {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+		defer wg.Wait()
+	}
+	work()
+}
+
+// Wait on both arms of a branch still joins every path.
+func branchyWait(fast bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	if fast {
+		wg.Wait()
+		return
+	}
+	work()
+	wg.Wait()
+}
+
+// --- WaitGroup discipline, violations ---
+
+// an early return path skips the Wait.
+func leakyEarlyReturn(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "not joined on every path"
+		defer wg.Done()
+		work()
+	}()
+	if fail {
+		return
+	}
+	wg.Wait()
+}
+
+// no Wait at all.
+func neverWaits() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "not joined on every path"
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Done with no Add on the path to the spawn.
+func missingAdd(lucky bool) {
+	var wg sync.WaitGroup
+	if lucky {
+		wg.Add(1)
+	}
+	go func() { // want `wg.Done\(\) in the spawned goroutine has no wg.Add on every path`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// waiting on the wrong group joins nothing.
+func wrongGroup() {
+	var wg, other sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "not joined on every path"
+		defer wg.Done()
+		work()
+	}()
+	other.Wait()
+}
+
+// --- annotations ---
+
+// a channel join the analyzer cannot prove, declared at the spawn.
+func channelJoin() {
+	done := make(chan struct{})
+	// goleak:joins the receive below takes the worker's single token
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// declared fire-and-forget with a reason.
+func metricsServer() {
+	go func() { // goleak:fireforget(debug listener for the process lifetime)
+		_ = http.ListenAndServe("localhost:0", nil)
+	}()
+}
+
+// fireforget without a reason is itself a finding.
+func lazyFireforget() {
+	// goleak:fireforget
+	go work() // want "goleak:fireforget needs a reason"
+}
+
+// joins without a mechanism is itself a finding.
+func lazyJoins() {
+	// goleak:joins
+	go work() // want "goleak:joins needs a description"
+}
+
+// a doc-comment annotation covers the function's spawn.
+//
+// goleak:joins the caller receives one value per goroutine on ch
+func docAnnotated(ch chan<- int) {
+	go fanIn(ch)
+}
+
+// --- plain violations ---
+
+// a bare spawn with no join evidence at all.
+func bare() {
+	go work() // want "never joined"
+}
+
+// spawning a named function cannot be WaitGroup-inferred: the Done is
+// out of sight, so an annotation is required.
+func namedSpawn() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go waiter(&wg) // want "never joined"
+	wg.Wait()
+}
+
+func waiter(wg *sync.WaitGroup) { defer wg.Done(); work() }
+
+// spawns inside closures are checked against the closure's own paths.
+func insideClosure() func() {
+	return func() {
+		go work() // want "never joined"
+	}
+}
+
+// a spawned goroutine that itself spawns: the inner go statement is
+// judged on the inner body's paths.
+func nestedSpawn() {
+	done := make(chan struct{})
+	// goleak:joins one token on done covers the outer goroutine
+	go func() {
+		defer close(done)
+		go work() // want "never joined"
+	}()
+	<-done
+}

@@ -122,12 +122,21 @@ func Open(cfg Config) (*DB, error) {
 
 // Recover rebuilds the database in cfg.Dir from its backup copies and log
 // after a crash, returning the running database and a recovery report.
+// It is RecoverContext with context.Background().
 func Recover(cfg Config) (*DB, *RecoveryReport, error) {
+	return RecoverContext(context.Background(), cfg)
+}
+
+// RecoverContext is Recover with cancellation: ctx is observed between
+// backup segments and between log records, never mid-segment or
+// mid-record. A cancelled recovery returns ctx's error and leaves the
+// on-disk state recoverable — re-running recovery later is always safe.
+func RecoverContext(ctx context.Context, cfg Config) (*DB, *RecoveryReport, error) {
 	p, err := cfg.engineParams()
 	if err != nil {
 		return nil, nil, err
 	}
-	e, rep, err := engine.Recover(p)
+	e, rep, err := engine.RecoverContext(ctx, p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -135,8 +144,15 @@ func Recover(cfg Config) (*DB, *RecoveryReport, error) {
 }
 
 // OpenOrRecover opens a fresh database, or recovers an existing one. The
-// report is nil when a fresh database was created.
+// report is nil when a fresh database was created. It is
+// OpenOrRecoverContext with context.Background().
 func OpenOrRecover(cfg Config) (*DB, *RecoveryReport, error) {
+	return OpenOrRecoverContext(context.Background(), cfg)
+}
+
+// OpenOrRecoverContext is OpenOrRecover with cancellation of the
+// recovery path; opening a fresh database is quick and not cancellable.
+func OpenOrRecoverContext(ctx context.Context, cfg Config) (*DB, *RecoveryReport, error) {
 	db, err := Open(cfg)
 	if err == nil {
 		return db, nil, nil
@@ -144,7 +160,7 @@ func OpenOrRecover(cfg Config) (*DB, *RecoveryReport, error) {
 	if !errors.Is(err, ErrExistingDatabase) {
 		return nil, nil, err
 	}
-	return Recover(cfg)
+	return RecoverContext(ctx, cfg)
 }
 
 // Begin starts a transaction. The returned Txn must be finished with
