@@ -63,6 +63,16 @@ mmdblint:
 lint-concurrency: mmdblint
 	$(GO) vet -vettool=$(abspath $(MMDBLINT)) -goleakcheck -atomiccheck -ctxcheck ./...
 
+# The hot-path allocation discipline: the alloccheck sweep (every
+# function reachable from a perf:hotpath root allocation-free or
+# reasoned), then the AllocsPerRun guards that pin the certified paths
+# at runtime. The compiler oracle (go build -gcflags=-m agreement) is
+# deliberately excluded here — it tracks toolchain drift and runs as an
+# allow-failure CI job instead.
+lint-perf: mmdblint
+	$(GO) vet -vettool=$(abspath $(MMDBLINT)) -alloccheck ./...
+	$(GO) test -run 'TestRepo|Allocation' ./lint/alloccheck/ ./internal/engine/ ./internal/wal/ ./kvstore/
+
 # ./... covers examples/ too — the example programs are held to the same
 # invariants as the engine.
 lint: vet mmdblint

@@ -23,17 +23,24 @@
 //	atomiccheck  atomic_only / sync-atomic-typed fields accessed only atomically
 //	ctxcheck     context flows: no Background in internal code, blocking loops
 //	             reachable from ctx-taking entry points consult the ctx
+//	alloccheck   functions reachable from perf:hotpath roots are
+//	             allocation-free per lint/escape, or reasoned alloc:allowed
 //
 // walorder, lockorder, unlockcheck, and goleakcheck are flow-sensitive:
 // they run a worklist dataflow over the lint/cfg control-flow graphs.
 // The cross-package analyzers (lockcheck, lockorder, atomiccheck,
-// ctxcheck) exchange facts through .vetx files, so an annotation in
-// internal/wal constrains code in internal/engine; ctxcheck's facts
-// carry a lint/callgraph slice per package, giving it an interprocedural
-// view of which blocking loops a context can actually reach.
+// ctxcheck, alloccheck) exchange facts through .vetx files, so an
+// annotation in internal/wal constrains code in internal/engine;
+// ctxcheck's and alloccheck's facts carry a lint/callgraph slice per
+// package, giving them an interprocedural view of which blocking loops
+// a context can reach and which allocation sites a hot path can reach;
+// alloccheck's facts additionally carry lint/escape parameter-leak
+// vectors, so a record handed to a non-leaking callee in another
+// package is proved stack-resident.
 package main
 
 import (
+	"mmdb/lint/alloccheck"
 	"mmdb/lint/analysis/unitchecker"
 	"mmdb/lint/atomiccheck"
 	"mmdb/lint/ctxcheck"
@@ -59,5 +66,6 @@ func main() {
 		goleakcheck.Analyzer,
 		atomiccheck.Analyzer,
 		ctxcheck.Analyzer,
+		alloccheck.Analyzer,
 	)
 }

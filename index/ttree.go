@@ -81,6 +81,8 @@ func (n *node) search(key []byte) (int, bool) {
 }
 
 // insertAt places e into n.items at position i.
+//
+// alloc:allowed(node-array growth is amortized and bounded by the tree order)
 func (n *node) insertAt(i int, e entry) {
 	n.items = append(n.items, entry{})
 	copy(n.items[i+1:], n.items[i:])
@@ -145,6 +147,8 @@ func (t *TTree) Get(key []byte) (uint64, bool) {
 
 // Insert stores val under key, replacing any existing value; it reports
 // whether a value was replaced. The key bytes are copied.
+//
+// alloc:allowed(index maintenance: inserted keys are copied by API contract and node growth is amortized tree structure)
 func (t *TTree) Insert(key []byte, val uint64) (replaced bool) {
 	if t.root == nil {
 		t.root = &node{height: 1, items: []entry{{key: cloneKey(key), val: val}}}
@@ -203,6 +207,8 @@ func (t *TTree) Insert(key []byte, val uint64) (replaced bool) {
 
 // attachChild creates a new child of parent at slot (which must be nil)
 // holding e, then rebalances.
+//
+// alloc:allowed(a new tree node per split is the index's amortized growth)
 func (t *TTree) attachChild(parent *node, slot **node, e entry) {
 	child := &node{parent: parent, height: 1, items: []entry{e}}
 	*slot = child
@@ -523,6 +529,7 @@ func (t *TTree) CheckInvariants() error {
 	return nil
 }
 
+// alloc:allowed(the index owns its key copies by API contract)
 func cloneKey(k []byte) []byte {
 	out := make([]byte, len(k))
 	copy(out, k)

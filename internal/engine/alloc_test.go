@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestExecWriteAllocationFree pins the single-record write+commit path
+// at zero heap allocations per operation: the transaction comes from
+// the engine's spare slot, before-images from the per-txn freelist, and
+// the WAL encode lands in the preallocated tail. A regression here
+// breaks the perf:hotpath contract enforced by lint/alloccheck.
+func TestExecWriteAllocationFree(t *testing.T) {
+	e := mustOpen(t, testParams(t, FuzzyCopy))
+	defer e.Close()
+
+	val := encVal(7)
+	// Warm up: first write takes the lazy allocations (txn, freelist,
+	// lock table entries) that later writes reuse.
+	for i := 0; i < 64; i++ {
+		if err := e.ExecWrite(3, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(512, func() {
+		if err := e.ExecWrite(3, val); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ExecWrite: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestTxnCommitAllocationBounded pins the explicit Begin/Write/Commit
+// cycle's designed cost: a user-held Txn is never recycled (recycleTxn
+// covers only ExecWrite-internal transactions, so a caller retaining a
+// finished Txn can't observe it mutating under a new identity), which
+// leaves the transaction object and its write map as the only per-cycle
+// allocations. The bound catches regressions such as re-introduced
+// closure captures or before-image boxing without promising the zero
+// that only the closure-free ExecWrite path can deliver.
+func TestTxnCommitAllocationBounded(t *testing.T) {
+	e := mustOpen(t, testParams(t, FuzzyCopy))
+	defer e.Close()
+
+	val := encVal(9)
+	cycle := func() {
+		txn, err := e.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Write(5, val); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(512, cycle)
+	if allocs > 4 {
+		t.Errorf("Begin/Write/Commit: %v allocs/op, want ≤ 4 (txn object, write map, image copy, map bucket)", allocs)
+	}
+}

@@ -81,6 +81,12 @@ type Engine struct {
 	activeTxns map[uint64]*Txn
 	// gateClosed blocks Begin while a quiesce is in progress. guarded_by:txnMu
 	gateClosed bool
+	// spareTxn is a single recycled transaction for the closure-free
+	// ExecWrite path: it, its write map, and its image buffers are reused
+	// so a steady stream of single-record writes commits without
+	// allocating. Only ExecWrite-internal transactions — never user-held
+	// Txns — enter the slot. guarded_by:txnMu
+	spareTxn *Txn
 
 	// cur is the in-progress checkpoint, nil when idle.
 	cur atomic.Pointer[ckptRun]
@@ -227,10 +233,14 @@ func recKey(rid uint64) uint64 { return rid }
 // is quiescing the system (Section 3.2.2: "delaying the start of new
 // transactions until all currently executing transactions have
 // completed").
+func (e *Engine) Begin() (*Txn, error) { return e.begin(false) }
+
+// begin starts a transaction, drawing from the spare-transaction slot
+// when reuse is set (the ExecWrite fast path; see recycleTxn).
 //
 // lockorder:acquires Engine.txnMu
 // lockorder:releases Engine.txnMu
-func (e *Engine) Begin() (*Txn, error) {
+func (e *Engine) begin(reuse bool) (*Txn, error) {
 	if e.stopped.Load() {
 		return nil, ErrStopped
 	}
@@ -243,18 +253,54 @@ func (e *Engine) Begin() (*Txn, error) {
 			return nil, ErrStopped
 		}
 	}
-	tx := &Txn{
-		e:        e,
-		id:       e.txnSeq.Add(1),
-		ts:       e.nextTimestamp(),
-		firstLSN: wal.NilLSN,
-		writes:   make(map[uint64][]byte),
+	var tx *Txn
+	if reuse && e.spareTxn != nil {
+		tx = e.spareTxn
+		e.spareTxn = nil
+		tx.e = e
+		tx.id = e.txnSeq.Add(1)
+		tx.ts = e.nextTimestamp()
+		tx.firstLSN = wal.NilLSN
+		tx.done = false
+		tx.colorRun, tx.sawWhite, tx.sawBlack = 0, false, false
+	} else {
+		tx = &Txn{ // alloc:allowed(spare-slot miss: the object is recycled by ExecWrite afterwards)
+			e:        e,
+			id:       e.txnSeq.Add(1),
+			ts:       e.nextTimestamp(),
+			firstLSN: wal.NilLSN,
+			writes:   make(map[uint64][]byte), // alloc:allowed(spare-slot miss: the map is recycled with the transaction)
+		}
 	}
 	e.activeTxns[tx.id] = tx
 	e.txnMu.Unlock()
 	e.ctr.txnsBegun.Add(1)
 	e.eo.tracer.Record(obs.EvTxnBegin, tx.id, 0, 0)
 	return tx, nil
+}
+
+// recycleTxn parks a finished ExecWrite-internal transaction in the
+// spare slot so the next ExecWrite reuses it — object, write map, and
+// image buffers — without allocating. Only transactions that never
+// escaped to a caller may be recycled; user-held Txns are left to the
+// garbage collector, so a caller retaining a finished Txn can never
+// observe it mutating under a new identity.
+//
+// lockorder:acquires Engine.txnMu
+// lockorder:releases Engine.txnMu
+func (e *Engine) recycleTxn(tx *Txn) {
+	if !tx.done {
+		return
+	}
+	for rid, img := range tx.writes {
+		delete(tx.writes, rid)
+		tx.imgFree = append(tx.imgFree, img) // alloc:allowed(freelist growth is amortized: capacity is retained across recycles)
+	}
+	e.txnMu.Lock()
+	if e.spareTxn == nil {
+		e.spareTxn = tx
+	}
+	e.txnMu.Unlock()
 }
 
 // finishTxn removes tx from the active registry and wakes the quiesce
@@ -357,6 +403,38 @@ func (e *Engine) ExecContext(ctx context.Context, fn func(tx *Txn) error) error 
 		} else {
 			tx.Abort()
 		}
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrCheckpointConflict), errors.Is(err, ErrDeadlock):
+			continue // restart, as the paper's aborted transactions do
+		default:
+			return err
+		}
+	}
+}
+
+// ExecWrite applies a single-record write in its own transaction,
+// retrying automatically when the two-color rule or a deadlock timeout
+// aborts it, exactly as Exec does. Unlike Exec it takes no closure and
+// recycles its transaction through the spare slot, so a steady stream
+// of single-record writes commits without heap allocation (the paper's
+// premise that transactions run at memory speed; ROADMAP item 4).
+//
+// perf:hotpath(closure-free single-record write+commit)
+func (e *Engine) ExecWrite(rid uint64, data []byte) error {
+	for {
+		tx, err := e.begin(true)
+		if err != nil {
+			return err
+		}
+		err = tx.Write(rid, data)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		e.recycleTxn(tx)
 		switch {
 		case err == nil:
 			return nil

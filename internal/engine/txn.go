@@ -31,7 +31,11 @@ type Txn struct {
 	firstLSN wal.LSN
 	// writes is the local update buffer: record ID → after image.
 	writes map[uint64][]byte
-	done   bool
+	// imgFree is a freelist of full-size after-image buffers harvested by
+	// recycleTxn; Write draws from it before allocating. Single-goroutine,
+	// like the Txn itself.
+	imgFree [][]byte
+	done    bool
 
 	// Two-color tracking: the colors of segments touched during checkpoint
 	// colorRun.
@@ -154,6 +158,8 @@ func (tx *Txn) Read(rid uint64) ([]byte, error) {
 // Write stages an update of record rid to data (at most RecordBytes;
 // shorter images are zero-padded). The redo record is appended to the log
 // immediately; the database itself is only overwritten at commit.
+//
+// perf:hotpath(per-update log append and buffer staging)
 func (tx *Txn) Write(rid uint64, data []byte) error {
 	if tx.done {
 		return ErrTxnDone
@@ -166,8 +172,19 @@ func (tx *Txn) Write(rid uint64, data []byte) error {
 	if _, _, err := tx.access(rid, true); err != nil {
 		return err
 	}
-	img := make([]byte, rb)
+	// Reuse the record's prior image (rewrite within this transaction),
+	// then the freelist, before allocating a fresh buffer.
+	img, ok := tx.writes[rid]
+	if !ok {
+		if n := len(tx.imgFree); n > 0 {
+			img = tx.imgFree[n-1][:rb]
+			tx.imgFree = tx.imgFree[:n-1]
+		} else {
+			img = make([]byte, rb) // alloc:allowed(first image for this write slot; recycled through the transaction's freelist afterwards)
+		}
+	}
 	copy(img, data)
+	clear(img[len(data):])
 
 	rec := &wal.Record{Type: wal.TypeUpdate, TxnID: tx.id, RecordID: rid, Data: img}
 	var start wal.LSN
@@ -202,6 +219,8 @@ func (tx *Txn) Write(rid uint64, data []byte) error {
 // Commit logs the commit record, optionally waits for it to become
 // durable, installs the transaction's updates into the database, and
 // releases its locks.
+//
+// perf:hotpath(commit append, durability wait, and install)
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return ErrTxnDone
@@ -282,8 +301,8 @@ func (tx *Txn) install(commitEnd wal.LSN) {
 			// First post-checkpoint update of a not-yet-dumped segment:
 			// save the old version so the checkpointer still sees the
 			// transaction-consistent snapshot taken at τ(CH).
-			old := &storage.OldCopy{
-				Data:  append([]byte(nil), seg.Data...),
+			old := &storage.OldCopy{ // alloc:allowed(copy-on-update old-version preservation: at most one copy per segment per checkpoint, Figure 3.2)
+				Data:  append([]byte(nil), seg.Data...), // alloc:allowed(the preserved snapshot must outlive the transaction)
 				Dirty: seg.Dirty,
 				TS:    seg.TS,
 			}

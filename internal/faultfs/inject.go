@@ -28,6 +28,8 @@ const (
 )
 
 // String implements fmt.Stringer.
+//
+// alloc:allowed(the Sprintf arm handles only an out-of-range Op value; named ops return static strings)
 func (o Op) String() string {
 	switch o {
 	case OpWrite:
@@ -69,6 +71,8 @@ func PointCheckpointSegWorker(worker int) Point {
 // PointAt returns the canonical crash-point name for an operation on a
 // file class: "wal.write", "wal.sync", "backup.write", "backup.sync",
 // "backup.meta.write", "backup.meta.rename", and so on.
+//
+// alloc:allowed(point names are built only under an armed fault injector — a test-only harness, never wrapped around production files)
 func PointAt(class Class, op Op) Point {
 	var prefix string
 	switch class {
@@ -273,6 +277,9 @@ func (inj *Injector) decide(class Class, op Op, n int) action {
 
 // hitLocked advances the hit counter for p and applies the first
 // matching rule.
+//
+// alloc:allowed(a rule fires at most Times per armed fault — a test-only event, never steady state)
+//
 // lockcheck:held inj.mu
 func (inj *Injector) hitLocked(p Point, op Op, n int) action {
 	inj.hits[p]++
@@ -390,6 +397,8 @@ func (f *injFS) SyncDir(dir string) error {
 
 // tornPrefix returns the persisted prefix of a torn write, applying the
 // sector corruption the decision asked for.
+//
+// alloc:allowed(runs only when a torn-write fault fires; the injected-fault path is not a hot path)
 func tornPrefix(p []byte, act action) []byte {
 	out := make([]byte, act.tornBytes)
 	copy(out, p[:act.tornBytes])

@@ -56,6 +56,8 @@ func (m *Manager) clearWaiting(owner uint64) {
 // blockersOf returns the owners that currently prevent owner from
 // acquiring key: incompatible holders, plus incompatible queued waiters
 // ahead of it (FIFO order means they block too).
+//
+// alloc:allowed(deadlock detection runs only when a lock wait begins — already off the uncontended fast path)
 func (m *Manager) blockersOf(owner, key uint64) []uint64 {
 	sh := m.shardOf(key)
 	sh.mu.Lock()
@@ -102,6 +104,8 @@ func (m *Manager) waitModeLocked(ls *lockState, owner uint64) *waiter {
 
 // cycleFrom reports whether the waits-for graph contains a cycle through
 // start.
+//
+// alloc:allowed(deadlock detection runs only when a lock wait begins — already off the uncontended fast path)
 func (m *Manager) cycleFrom(start uint64) bool {
 	// Snapshot the wait edges once; holder sets are read per key during
 	// the walk.

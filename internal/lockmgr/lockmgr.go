@@ -126,14 +126,79 @@ func (ls *lockState) compatibleWithHolders(owner uint64, mode Mode) bool {
 
 const numShards = 64
 
+// freelistSize bounds the per-shard recycling stacks below. Sixteen
+// lock states and holdings maps per shard covers the steady-state churn
+// of record locks (acquire on access, release at commit) without
+// pinning unbounded memory after a burst.
+const freelistSize = 16
+
 type shard struct {
 	mu sync.Mutex // lockorder:level=60
 	// locks is the lock table of this shard. guarded_by:mu
 	locks map[uint64]*lockState
 	// holdings maps owner -> key -> mode. guarded_by:mu
 	holdings map[uint64]map[uint64]Mode
+	// lsFree recycles lockState objects: the acquire/release cycle of an
+	// uncontended record lock creates and destroys one per transaction,
+	// and without recycling that is two heap allocations per lock.
+	// guarded_by:mu
+	lsFree [freelistSize]*lockState
+	// lsFreeN is the number of live entries in lsFree. guarded_by:mu
+	lsFreeN int
+	// hkFree recycles per-owner holdings maps, emptied. guarded_by:mu
+	hkFree [freelistSize]map[uint64]Mode
+	// hkFreeN is the number of live entries in hkFree. guarded_by:mu
+	hkFreeN int
 	// shutdown fails new requests once set. guarded_by:mu
 	shutdown bool
+}
+
+// getLockState returns a recycled or fresh lockState.
+// lockcheck:held sh.mu
+func (sh *shard) getLockState() *lockState {
+	if sh.lsFreeN > 0 {
+		sh.lsFreeN--
+		ls := sh.lsFree[sh.lsFreeN]
+		sh.lsFree[sh.lsFreeN] = nil
+		return ls
+	}
+	return &lockState{holders: make(map[uint64]Mode, 2)} // alloc:allowed(freelist miss: the state is recycled once the lock empties)
+}
+
+// putLockState parks an empty lockState for reuse. The holders map is
+// already empty (ls.empty() gates every call); the queue keeps its
+// capacity for the next contention burst.
+// lockcheck:held sh.mu
+func (sh *shard) putLockState(ls *lockState) {
+	if sh.lsFreeN == len(sh.lsFree) {
+		return
+	}
+	ls.queue = ls.queue[:0]
+	sh.lsFree[sh.lsFreeN] = ls
+	sh.lsFreeN++
+}
+
+// getHoldings returns a recycled or fresh empty holdings map.
+// lockcheck:held sh.mu
+func (sh *shard) getHoldings() map[uint64]Mode {
+	if sh.hkFreeN > 0 {
+		sh.hkFreeN--
+		hk := sh.hkFree[sh.hkFreeN]
+		sh.hkFree[sh.hkFreeN] = nil
+		return hk
+	}
+	return make(map[uint64]Mode, 4) // alloc:allowed(freelist miss: the map is recycled when the owner's last lock is released)
+}
+
+// putHoldings parks an emptied holdings map for reuse.
+// lockcheck:held sh.mu
+func (sh *shard) putHoldings(hk map[uint64]Mode) {
+	if sh.hkFreeN == len(sh.hkFree) {
+		return
+	}
+	clear(hk)
+	sh.hkFree[sh.hkFreeN] = hk
+	sh.hkFreeN++
 }
 
 // Manager is a sharded lock table.
@@ -208,6 +273,8 @@ func (m *Manager) Stats() Stats {
 // common S→X record upgrade from deadlocking against queued requests).
 // timeout <= 0 means wait forever.
 //
+// perf:hotpath(every record access acquires through here; C_lock in the paper's cost model)
+//
 // lockorder:acquires Manager.table
 func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) error {
 	sh := m.shardOf(key)
@@ -218,7 +285,7 @@ func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) erro
 	}
 	ls := sh.locks[key]
 	if ls == nil {
-		ls = &lockState{holders: make(map[uint64]Mode)}
+		ls = sh.getLockState()
 		sh.locks[key] = ls
 	}
 
@@ -244,12 +311,13 @@ func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) erro
 		return nil
 	}
 
+	// alloc:allowed(contended path: the waiter and its grant channel outlive this frame while the goroutine blocks)
 	w := &waiter{owner: owner, mode: want, upgrade: isHolder, ready: make(chan error, 1)}
 	if isHolder {
 		// Upgrades go to the front of the queue.
-		ls.queue = append([]*waiter{w}, ls.queue...)
+		ls.queue = append([]*waiter{w}, ls.queue...) // alloc:allowed(contended path: upgrade prepend, rare)
 	} else {
-		ls.queue = append(ls.queue, w)
+		ls.queue = append(ls.queue, w) // alloc:allowed(contended path: queue growth is amortized, capacity is recycled)
 	}
 	sh.mu.Unlock()
 	m.waits.Add(1)
@@ -312,10 +380,16 @@ func (m *Manager) dequeue(sh *shard, key uint64, ls *lockState, w *waiter) bool 
 	defer sh.mu.Unlock()
 	for i, q := range ls.queue {
 		if q == w {
-			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			// Shift-down removal (not append(q[:i], q[i+1:]...)): removal
+			// can never grow the slice, and spelling it with copy keeps
+			// the commit-path release provably allocation-free.
+			copy(ls.queue[i:], ls.queue[i+1:])
+			ls.queue[len(ls.queue)-1] = nil
+			ls.queue = ls.queue[:len(ls.queue)-1]
 			m.grantLocked(sh, key, ls)
 			if ls.empty() {
 				delete(sh.locks, key)
+				sh.putLockState(ls)
 			}
 			return true
 		}
@@ -327,6 +401,8 @@ func (m *Manager) dequeue(sh *shard, key uint64, ls *lockState, w *waiter) bool 
 // two-color checkpointer uses it to "find a white segment that is not
 // exclusively locked" before falling back to a blocking wait (Figure 3.1).
 //
+// perf:hotpath(checkpointer segment probe; must not allocate per probe)
+//
 // lockorder:acquires Manager.table
 func (m *Manager) TryLock(owner, key uint64, mode Mode) bool {
 	sh := m.shardOf(key)
@@ -337,7 +413,7 @@ func (m *Manager) TryLock(owner, key uint64, mode Mode) bool {
 	}
 	ls := sh.locks[key]
 	if ls == nil {
-		ls = &lockState{holders: make(map[uint64]Mode)}
+		ls = sh.getLockState()
 		sh.locks[key] = ls
 	}
 	held, isHolder := ls.holders[owner]
@@ -356,6 +432,7 @@ func (m *Manager) TryLock(owner, key uint64, mode Mode) bool {
 	}
 	if ls.empty() {
 		delete(sh.locks, key)
+		sh.putLockState(ls)
 	}
 	return false
 }
@@ -365,7 +442,7 @@ func (m *Manager) TryLock(owner, key uint64, mode Mode) bool {
 func (m *Manager) recordHolding(sh *shard, owner, key uint64, mode Mode) {
 	hk := sh.holdings[owner]
 	if hk == nil {
-		hk = make(map[uint64]Mode)
+		hk = sh.getHoldings()
 		sh.holdings[owner] = hk
 	}
 	hk[key] = mode
@@ -401,6 +478,8 @@ func (m *Manager) grantLocked(sh *shard, key uint64, ls *lockState) {
 // Unlock releases owner's lock on key. Releasing a lock that is not held
 // is a no-op (idempotent release simplifies abort paths).
 //
+// perf:hotpath(single-lock release; C_lock in the paper's cost model)
+//
 // lockorder:releases Manager.table
 func (m *Manager) Unlock(owner, key uint64) {
 	sh := m.shardOf(key)
@@ -418,17 +497,28 @@ func (m *Manager) Unlock(owner, key uint64) {
 		delete(hk, key)
 		if len(hk) == 0 {
 			delete(sh.holdings, owner)
+			sh.putHoldings(hk)
 		}
 	}
 	m.releases.Add(1)
 	m.grantLocked(sh, key, ls)
 	if ls.empty() {
 		delete(sh.locks, key)
+		sh.putLockState(ls)
 	}
 }
 
 // ReleaseAll releases every lock owner holds (commit/abort lock release
 // under strict two-phase locking). It returns the number released.
+//
+// The walk deletes from the owner's holdings map while ranging over it,
+// which Go's map iteration permits for the current key. grantLocked may
+// run inside the loop, but it only ever touches the holdings maps of
+// waiters being granted — and the releasing owner cannot be a queued
+// waiter, since its (single) goroutine is executing here rather than
+// blocked in Lock — so the ranged map is never mutated from the side.
+//
+// perf:hotpath(commit/abort lock release; must not allocate a key scratch list)
 //
 // lockorder:releases Manager.table
 func (m *Manager) ReleaseAll(owner uint64) int {
@@ -436,11 +526,9 @@ func (m *Manager) ReleaseAll(owner uint64) int {
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.Lock()
-		keys := make([]uint64, 0, len(sh.holdings[owner]))
-		for key := range sh.holdings[owner] {
-			keys = append(keys, key)
-		}
-		for _, key := range keys {
+		hk := sh.holdings[owner]
+		for key := range hk {
+			delete(hk, key)
 			ls := sh.locks[key]
 			if ls == nil {
 				continue
@@ -450,9 +538,13 @@ func (m *Manager) ReleaseAll(owner uint64) int {
 			m.grantLocked(sh, key, ls)
 			if ls.empty() {
 				delete(sh.locks, key)
+				sh.putLockState(ls)
 			}
 		}
-		delete(sh.holdings, owner)
+		if hk != nil {
+			delete(sh.holdings, owner)
+			sh.putHoldings(hk)
+		}
 		sh.mu.Unlock()
 	}
 	if released > 0 {

@@ -94,6 +94,8 @@ type Histogram struct {
 }
 
 // Observe records v.
+//
+// perf:hotpath(every latency sample lands here; pure atomics, no allocation)
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
@@ -110,6 +112,8 @@ func (h *Histogram) Observe(v uint64) {
 }
 
 // ObserveSince records the elapsed nanoseconds since start.
+//
+// perf:hotpath(latency sampling on commit and read paths)
 func (h *Histogram) ObserveSince(start time.Time) {
 	if h == nil {
 		return

@@ -121,6 +121,8 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Record appends one event. Safe for any number of concurrent writers.
+//
+// perf:hotpath(lifecycle events fire inside commit and checkpoint critical sections)
 func (t *Tracer) Record(kind EventKind, a, b, c uint64) {
 	if t == nil {
 		return

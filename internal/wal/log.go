@@ -70,6 +70,13 @@ type Options struct {
 	// to explicit Flush/WaitDurable calls.
 	FlushInterval time.Duration
 
+	// TailBytes is the initial capacity of the in-memory log tail.
+	// Appends encode into this buffer in place; it grows (doubling) only
+	// when a burst of unflushed records outruns it, so sizing it for the
+	// expected group-commit batch makes Append allocation-free. Zero
+	// means DefaultTailBytes.
+	TailBytes int
+
 	// FS is the filesystem the log writes through. Nil means the OS
 	// directly; tests inject a faultfs.Injector here.
 	FS faultfs.FS
@@ -140,6 +147,10 @@ type Log struct {
 // ErrClosed is returned by operations on a closed or crashed log.
 var ErrClosed = errors.New("wal: log is closed")
 
+// DefaultTailBytes is the tail buffer capacity when Options.TailBytes
+// is zero: room for a healthy group-commit batch without growth.
+const DefaultTailBytes = 64 << 10
+
 // Open creates or opens the log file at path for appending. An existing
 // file is opened positioned at its end (recovery must have validated it
 // first; see Reader).
@@ -179,12 +190,17 @@ func Open(path string, opts Options) (*Log, error) {
 	if fi.Size() > fileHeaderSize {
 		end = base + LSN(fi.Size()-fileHeaderSize)
 	}
+	tb := opts.TailBytes
+	if tb <= 0 {
+		tb = DefaultTailBytes
+	}
 	l := &Log{
 		f:         f,
 		fsys:      fsys,
 		path:      path,
 		opts:      opts,
 		base:      base,
+		tail:      make([]byte, 0, tb),
 		tailStart: end,
 		nextLSN:   end,
 	}
@@ -219,9 +235,15 @@ func (l *Log) flushLoop(stop <-chan struct{}, done chan<- struct{}) {
 // Append encodes r at the log tail and returns its start and end LSNs.
 // The record is durable once DurableLSN() >= end.
 //
+// perf:hotpath(every transaction update and commit encodes through here)
+//
 // lockorder:acquires Log.mu
 // lockorder:releases Log.mu
 func (l *Log) Append(r *Record) (start, end LSN, err error) {
+	n, err := EncodedLen(r)
+	if err != nil {
+		return 0, 0, err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -232,8 +254,11 @@ func (l *Log) Append(r *Record) (start, end LSN, err error) {
 		began = time.Now()
 	}
 	start = l.nextLSN
-	l.tail, err = appendEncoded(l.tail, r)
-	if err != nil {
+	l.ensureTail(n)
+	off := len(l.tail)
+	l.tail = l.tail[:off+n]
+	if _, err := encodeInto(l.tail[off:], r); err != nil {
+		l.tail = l.tail[:off]
 		return 0, 0, err
 	}
 	l.nextLSN = l.tailStart + LSN(len(l.tail))
@@ -242,6 +267,26 @@ func (l *Log) Append(r *Record) (start, end LSN, err error) {
 		l.opts.Metrics.AppendSeconds.ObserveSince(began)
 	}
 	return start, l.nextLSN, nil
+}
+
+// ensureTail grows the tail so at least n more bytes fit. The append
+// path proper never allocates: growth is confined to this one site, hit
+// only when a burst of unflushed records outruns the preallocated
+// TailBytes buffer, and the doubled capacity is retained across flushes
+// (flushLocked resets the length, not the capacity).
+//
+// lockcheck:held l.mu
+func (l *Log) ensureTail(n int) {
+	if cap(l.tail)-len(l.tail) >= n {
+		return
+	}
+	newCap := 2 * cap(l.tail)
+	if newCap < len(l.tail)+n {
+		newCap = len(l.tail) + n
+	}
+	grown := make([]byte, len(l.tail), newCap) // alloc:allowed(tail growth is amortized: capacity doubles and is kept across flushes)
+	copy(grown, l.tail)
+	l.tail = grown
 }
 
 // NextLSN returns the LSN the next append will receive (i.e., the current

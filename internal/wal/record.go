@@ -158,58 +158,80 @@ func EncodedLen(r *Record) (int, error) {
 	return headerSize + n + trailerSize, nil
 }
 
-// appendEncoded appends the framed encoding of r to dst and returns the
-// extended slice.
-func appendEncoded(dst []byte, r *Record) ([]byte, error) {
+// encodeInto writes the framed encoding of r into dst, which must be at
+// least EncodedLen(r) bytes long, and returns the number of bytes
+// written. It is a vectored encode: every field lands at a computed
+// offset, nothing is appended, so a caller that sizes the buffer up
+// front (the Log keeps a preallocated tail) encodes with zero heap
+// allocation. r is only read and never retained, which the lint/escape
+// parameter-leak facts prove, keeping callers' Record literals on their
+// stacks.
+func encodeInto(dst []byte, r *Record) (int, error) {
 	plen := encodedPayloadLen(r)
 	if plen < 0 {
-		return dst, fmt.Errorf("wal: cannot encode record of type %v", r.Type)
+		return 0, fmt.Errorf("wal: cannot encode record of type %v", r.Type)
 	}
 	if plen > MaxPayload {
-		return dst, fmt.Errorf("wal: record payload %d exceeds limit %d", plen, MaxPayload)
+		return 0, fmt.Errorf("wal: record payload %d exceeds limit %d", plen, MaxPayload)
 	}
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(plen))
-	dst = append(dst, lenBuf[:]...)
-	crcAt := len(dst)
-	dst = append(dst, 0, 0, 0, 0) // crc placeholder
-	payloadAt := len(dst)
-
-	dst = append(dst, byte(r.Type))
+	total := headerSize + plen + trailerSize
+	if len(dst) < total {
+		return 0, fmt.Errorf("wal: encode buffer %d short of record size %d", len(dst), total)
+	}
+	binary.LittleEndian.PutUint32(dst, uint32(plen))
+	p := dst[headerSize : headerSize+plen]
+	p[0] = byte(r.Type)
 	switch r.Type {
 	case TypeUpdate:
-		dst = binary.LittleEndian.AppendUint64(dst, r.TxnID)
-		dst = binary.LittleEndian.AppendUint64(dst, r.RecordID)
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Data)))
-		dst = append(dst, r.Data...)
+		binary.LittleEndian.PutUint64(p[1:], r.TxnID)
+		binary.LittleEndian.PutUint64(p[9:], r.RecordID)
+		binary.LittleEndian.PutUint32(p[17:], uint32(len(r.Data)))
+		copy(p[21:], r.Data)
 	case TypeLogicalUpdate:
-		dst = binary.LittleEndian.AppendUint64(dst, r.TxnID)
-		dst = binary.LittleEndian.AppendUint64(dst, r.RecordID)
-		dst = binary.LittleEndian.AppendUint16(dst, r.OpCode)
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Data)))
-		dst = append(dst, r.Data...)
+		binary.LittleEndian.PutUint64(p[1:], r.TxnID)
+		binary.LittleEndian.PutUint64(p[9:], r.RecordID)
+		binary.LittleEndian.PutUint16(p[17:], r.OpCode)
+		binary.LittleEndian.PutUint32(p[19:], uint32(len(r.Data)))
+		copy(p[23:], r.Data)
 	case TypeCommit, TypeAbort:
-		dst = binary.LittleEndian.AppendUint64(dst, r.TxnID)
+		binary.LittleEndian.PutUint64(p[1:], r.TxnID)
 	case TypeBeginCheckpoint:
-		dst = binary.LittleEndian.AppendUint64(dst, r.CheckpointID)
-		dst = binary.LittleEndian.AppendUint64(dst, r.Timestamp)
-		dst = append(dst, r.TargetCopy, r.Algorithm)
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.ActiveTxns)))
-		for _, at := range r.ActiveTxns {
-			dst = binary.LittleEndian.AppendUint64(dst, at.TxnID)
-			dst = binary.LittleEndian.AppendUint64(dst, uint64(at.FirstLSN))
+		binary.LittleEndian.PutUint64(p[1:], r.CheckpointID)
+		binary.LittleEndian.PutUint64(p[9:], r.Timestamp)
+		p[17] = r.TargetCopy
+		p[18] = r.Algorithm
+		binary.LittleEndian.PutUint32(p[19:], uint32(len(r.ActiveTxns)))
+		for i := range r.ActiveTxns {
+			binary.LittleEndian.PutUint64(p[23+i*16:], r.ActiveTxns[i].TxnID)
+			binary.LittleEndian.PutUint64(p[31+i*16:], uint64(r.ActiveTxns[i].FirstLSN))
 		}
 	case TypeEndCheckpoint:
-		dst = binary.LittleEndian.AppendUint64(dst, r.CheckpointID)
-		dst = append(dst, r.TargetCopy)
+		binary.LittleEndian.PutUint64(p[1:], r.CheckpointID)
+		p[9] = r.TargetCopy
 	}
+	binary.LittleEndian.PutUint32(dst[4:], crc32.Checksum(p, crcTable))
+	binary.LittleEndian.PutUint32(dst[headerSize+plen:], uint32(plen))
+	return total, nil
+}
 
-	if got := len(dst) - payloadAt; got != plen {
-		return dst, fmt.Errorf("wal: internal encoding error: payload %d, expected %d", got, plen)
+// appendEncoded appends the framed encoding of r to dst and returns the
+// extended slice. Callers off the hot path (tests, tools) use it; the
+// Log's append path encodes with encodeInto into its preallocated tail.
+func appendEncoded(dst []byte, r *Record) ([]byte, error) {
+	n, err := EncodedLen(r)
+	if err != nil {
+		return dst, err
 	}
-	crc := crc32.Checksum(dst[payloadAt:], crcTable)
-	binary.LittleEndian.PutUint32(dst[crcAt:], crc)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(plen))
+	off := len(dst)
+	if cap(dst)-off < n {
+		grown := make([]byte, off, off+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+n]
+	if _, err := encodeInto(dst[off:], r); err != nil {
+		return dst[:off], err
+	}
 	return dst, nil
 }
 

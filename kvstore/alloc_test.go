@@ -1,0 +1,54 @@
+package kvstore
+
+import (
+	"testing"
+)
+
+// TestPutAllocationFree pins the Put overwrite path at zero heap
+// allocations per operation: the record encodes into the store's shared
+// putBuf and commits through the engine's closure-free ExecWrite.
+func TestPutAllocationFree(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+
+	key, val := []byte("alloc-key"), []byte("alloc-value")
+	for i := 0; i < 64; i++ {
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(512, func() {
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Put (overwrite): %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestGetAllocationBudget pins Get at exactly one allocation per call:
+// the caller-owned value copy required by the API contract. The record
+// read itself goes through the parked read buffer and ReadRecordInto.
+func TestGetAllocationBudget(t *testing.T) {
+	s := mustOpen(t, testConfig(t))
+	defer s.Close()
+
+	key, val := []byte("alloc-key"), []byte("alloc-value")
+	if err := s.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, _, err := s.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(512, func() {
+		if _, _, err := s.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 1 {
+		t.Errorf("Get: %v allocs/op, want exactly 1 (the returned value copy)", allocs)
+	}
+}

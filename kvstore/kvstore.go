@@ -66,11 +66,20 @@ type Store struct {
 	// traversal) that dwarfs the clock reads and are timed exactly.
 	getTick atomic.Uint64
 
+	// getBuf is a single-slot pool of one full-size record buffer for the
+	// Get fast path: a reader swaps it out, reads into it, and parks it
+	// back. Concurrent Gets that miss the slot allocate a replacement, so
+	// correctness never waits on the pool.
+	getBuf atomic.Pointer[[]byte]
+
 	mu sync.RWMutex // lockorder:level=5
 	// idx is the volatile key → record-ID index. guarded_by:mu
 	idx *index.TTree
 	// free holds free record slots (LIFO). guarded_by:mu
 	free []uint64
+	// putBuf is the reusable record-encoding buffer for Put, which runs
+	// under the exclusive lock. guarded_by:mu
+	putBuf []byte
 }
 
 // MaxKeyBytes is the largest supported key.
@@ -85,6 +94,9 @@ func Open(cfg mmdb.Config) (*Store, *mmdb.RecoveryReport, error) {
 		return nil, nil, err
 	}
 	s := &Store{db: db}
+	s.putBuf = make([]byte, db.RecordBytes()) //nolint:lockcheck // s is not shared until Open returns
+	rb := make([]byte, db.RecordBytes())
+	s.getBuf.Store(&rb)
 	reg := db.MetricsRegistry()
 	s.getH = reg.Histogram("mmdb_kvstore_get_seconds", "Get latency (sampled: every 16th call).", obs.ScaleNanosToSeconds)
 	s.putH = reg.Histogram("mmdb_kvstore_put_seconds", "Put latency (including the commit).", obs.ScaleNanosToSeconds)
@@ -172,7 +184,11 @@ func (s *Store) capacityCheck(key, val []byte) error {
 }
 
 // Put stores val under key (inserting or replacing) as one atomic,
-// durable transaction.
+// durable transaction. The record image is encoded into the store's
+// reusable putBuf and committed through the engine's closure-free
+// ExecWrite, so a Put that replaces an existing key allocates nothing.
+//
+// perf:hotpath(write path: encode into the shared buffer, one transaction per Put)
 func (s *Store) Put(key, val []byte) error {
 	if err := s.capacityCheck(key, val); err != nil {
 		return err
@@ -187,11 +203,8 @@ func (s *Store) Put(key, val []byte) error {
 		}
 		rid = s.free[len(s.free)-1]
 	}
-	rec := make([]byte, s.db.RecordBytes())
-	encode(rec, key, val)
-	if err := s.db.Exec(func(tx *mmdb.Txn) error {
-		return tx.Write(rid, rec)
-	}); err != nil {
+	encode(s.putBuf, key, val)
+	if err := s.db.ExecWrite(rid, s.putBuf); err != nil {
 		return err
 	}
 	if !exists {
@@ -202,31 +215,66 @@ func (s *Store) Put(key, val []byte) error {
 }
 
 // Get returns a copy of the value stored under key.
+//
+// The body is deliberately defer-free: the latency sample is conditional
+// (every getSampleEvery-th call), and a conditional defer is heap-
+// allocated by the compiler, which would put an allocation on the read
+// fast path for nothing. The one allocation left is the returned copy,
+// which the API contract requires.
+//
+// perf:hotpath(read fast path: index probe + one record copy)
 func (s *Store) Get(key []byte) ([]byte, bool, error) {
-	if s.getTick.Add(1)&(getSampleEvery-1) == 0 {
-		defer s.getH.ObserveSince(time.Now())
+	var began time.Time
+	sampled := s.getTick.Add(1)&(getSampleEvery-1) == 0
+	if sampled {
+		began = time.Now()
 	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	rid, ok := s.idx.Get(key)
 	if !ok {
+		s.mu.RUnlock()
+		if sampled {
+			s.getH.ObserveSince(began)
+		}
 		return nil, false, nil
 	}
-	rec, err := s.db.ReadRecord(rid)
+	// Swap the shared read buffer out of its slot; a concurrent Get that
+	// finds the slot empty allocates a replacement, which is parked on the
+	// way out and serves future readers.
+	bp := s.getBuf.Swap(nil)
+	if bp == nil {
+		rb := make([]byte, s.db.RecordBytes()) // alloc:allowed(pool miss under concurrent Gets; the buffer is parked for reuse on the way out)
+		bp = &rb
+	}
+	rec := *bp
+	err := s.db.ReadRecordInto(rid, rec)
 	if err != nil {
+		s.getBuf.Store(bp)
+		s.mu.RUnlock()
+		if sampled {
+			s.getH.ObserveSince(began)
+		}
 		return nil, false, err
 	}
-	_, val, used, err := decode(rec)
-	if err != nil || !used {
-		return nil, false, fmt.Errorf("kvstore: index points at invalid record %d: %v", rid, err)
+	_, val, used, derr := decode(rec)
+	if derr != nil || !used {
+		s.getBuf.Store(bp)
+		s.mu.RUnlock()
+		return nil, false, fmt.Errorf("kvstore: index points at invalid record %d: %v", rid, derr)
 	}
-	out := make([]byte, len(val))
+	out := make([]byte, len(val)) // alloc:allowed(the returned value copy is caller-owned by API contract)
 	copy(out, val)
+	s.getBuf.Store(bp)
+	s.mu.RUnlock()
+	if sampled {
+		s.getH.ObserveSince(began)
+	}
 	return out, true, nil
 }
 
 // Delete removes key, reporting whether it was present. The slot is
-// zeroed in one atomic transaction and returned to the free list.
+// zeroed in one atomic transaction (through the closure-free ExecWrite;
+// a zero record is a free slot) and returned to the free list.
 func (s *Store) Delete(key []byte) (bool, error) {
 	if len(key) == 0 {
 		return false, ErrEmptyKey
@@ -238,9 +286,7 @@ func (s *Store) Delete(key []byte) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	if err := s.db.Exec(func(tx *mmdb.Txn) error {
-		return tx.Write(rid, nil) // zero record = free slot
-	}); err != nil {
+	if err := s.db.ExecWrite(rid, nil); err != nil {
 		return false, err
 	}
 	s.idx.Delete(key)

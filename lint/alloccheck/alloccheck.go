@@ -1,0 +1,362 @@
+// Package alloccheck enforces hot-path allocation discipline. The
+// paper's premise is that the transaction path runs at memory speed;
+// ROADMAP item 4 names the failure mode: avoidable heap traffic on
+// commit/WAL/lock paths. This analyzer makes the discipline a build
+// gate instead of a benchmark regression hunt:
+//
+//   - A function annotated "perf:hotpath" (optionally
+//     "perf:hotpath(note)") in its doc comment is a hot-path root:
+//     Exec/commit, wal.Append and the flush encoding, lockmgr
+//     acquire/release, obs histogram record, kvstore Get/Put.
+//
+//   - Every function reachable from a root over the merged
+//     lint/callgraph facts (go-spawn edges excluded — a goroutine's
+//     allocations are its own budget) must be allocation-free per
+//     lint/escape, or carry a reasoned "alloc:allowed(reason)"
+//     exemption — on the function doc (whole function) or as a comment
+//     on/above the specific site. Reasons are mandatory; a reasonless
+//     bare exemption is itself a diagnostic.
+//
+//   - Cold sites (reachable only from panic exits or error returns,
+//     per the cfg classification in lint/escape) are not reported:
+//     fmt.Errorf on a failure path is fine, allocation on the success
+//     path is not.
+//
+// Escape facts (parameter-leak vectors and remaining sites) travel
+// between packages in .vetx files, so engine's &wal.Record{...} handed
+// to wal's non-leaking Append is proved stack-resident across the
+// package boundary, and a hot root in kvstore sees allocation sites
+// three packages down.
+//
+// Test files are exempt. A test-only oracle (oracle_test.go)
+// cross-checks the verdicts against the compiler's own escape analysis
+// (go build -gcflags=-m): a function this analyzer calls
+// allocation-free in which the compiler finds a heap escape fails the
+// test; the reverse (our conservatism) is logged, not failed.
+package alloccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mmdb/lint/analysis"
+	"mmdb/lint/callgraph"
+	"mmdb/lint/escape"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:        "alloccheck",
+	Doc:         "checks that functions reachable from perf:hotpath roots are allocation-free or carry reasoned alloc:allowed exemptions",
+	ExportFacts: exportFacts,
+	Run:         run,
+}
+
+// Facts is one package's contribution: per-function annotation state
+// and unexempted hot sites, the full escape summary (param-leak
+// vectors feed dependents' escape analyses), and the call-graph slice.
+type Facts struct {
+	Funcs  map[string]FuncFact `json:"funcs,omitempty"`
+	Escape *escape.Facts       `json:"escape,omitempty"`
+	CG     *callgraph.Facts    `json:"cg,omitempty"`
+}
+
+// FuncFact describes one declared function.
+type FuncFact struct {
+	// IsRoot marks a perf:hotpath annotation; Root carries its note.
+	IsRoot bool   `json:"isRoot,omitempty"`
+	Root   string `json:"root,omitempty"`
+	// IsAllowed marks a function-level alloc:allowed; Allowed is the
+	// reason.
+	IsAllowed bool   `json:"isAllowed,omitempty"`
+	Allowed   string `json:"allowed,omitempty"`
+	// Sites are printable "pos: kind: desc" strings for the hot
+	// (non-cold), unexempted allocation sites remaining in the function.
+	Sites []string `json:"sites,omitempty"`
+}
+
+// exemptionsEnabled is lowered only by tests, to prove the repository's
+// exemption annotations are load-bearing: with them ignored, every
+// exempted site must resurface through the sweep.
+var exemptionsEnabled = true
+
+var (
+	hotpathRe = regexp.MustCompile(`^perf:hotpath(?:\(([^)]*)\))?`)
+	allowedRe = regexp.MustCompile(`^alloc:allowed\(([^)]*)\)`)
+)
+
+// trimCommentLine strips comment markers and surrounding space from one
+// line of comment text, leaving the would-be directive at the front.
+func trimCommentLine(line string) string {
+	line = strings.TrimSpace(line)
+	line = strings.TrimPrefix(line, "//")
+	line = strings.TrimPrefix(line, "/*")
+	line = strings.TrimPrefix(line, "*")
+	return strings.TrimSpace(line)
+}
+
+// allowedDirective scans comment text for an alloc:allowed annotation.
+// The annotation must be in directive position — opening a comment line
+// — so prose that merely mentions alloc:allowed (documentation, the
+// analyzer's own sources) is not an annotation. found reports an
+// annotation; bare reports it lacks the required (reason).
+func allowedDirective(text string) (reason string, found, bare bool) {
+	for _, line := range strings.Split(text, "\n") {
+		line = trimCommentLine(line)
+		if !strings.HasPrefix(line, "alloc:allowed") {
+			continue
+		}
+		if m := allowedRe.FindStringSubmatch(line); m != nil {
+			return strings.TrimSpace(m[1]), true, false
+		}
+		return "", true, true
+	}
+	return "", false, false
+}
+
+// hotpathDirective scans comment text for a perf:hotpath root
+// annotation, directive position only.
+func hotpathDirective(text string) (note string, found bool) {
+	for _, line := range strings.Split(text, "\n") {
+		line = trimCommentLine(line)
+		if m := hotpathRe.FindStringSubmatch(line); m != nil {
+			return strings.TrimSpace(m[1]), true
+		}
+	}
+	return "", false
+}
+
+// localFunc is the in-memory, position-bearing form of FuncFact.
+type localFunc struct {
+	decl    *ast.FuncDecl
+	root    *string // perf:hotpath note; nil = not a root
+	allowed *string // function-level alloc:allowed reason; nil = absent
+	// hot are the function's non-cold, non-site-exempted sites.
+	hot []escape.Site
+}
+
+// siteExemption is one alloc:allowed comment at a specific line.
+type siteExemption struct {
+	pos    token.Pos
+	reason string
+}
+
+type state struct {
+	esc   *escape.Facts
+	funcs map[string]*localFunc
+	// exempts maps "filename:line" (the comment's line) to the
+	// exemption; a site matches on its own line or the line above.
+	exempts map[string]*siteExemption
+}
+
+// analyze computes the package's escape facts (seeded with every
+// dependency's exported escape summary), annotation state, and
+// per-function remaining hot sites.
+func analyze(pass *analysis.Pass) (*state, error) {
+	deps := make(map[string]*escape.Facts)
+	for pkgPath := range pass.Facts {
+		var f Facts
+		if ok, err := pass.DecodeFacts(pkgPath, &f); err != nil {
+			return nil, err
+		} else if ok && f.Escape != nil {
+			deps[pkgPath] = f.Escape
+		}
+	}
+	st := &state{
+		esc:     escape.Compute(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo, deps),
+		funcs:   make(map[string]*localFunc),
+		exempts: make(map[string]*siteExemption),
+	}
+
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Function doc comments carry function-level annotations and are
+		// excluded from the site-exemption comment scan.
+		docs := make(map[*ast.CommentGroup]bool)
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Doc != nil {
+				docs[fn.Doc] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			if docs[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if reason, found, _ := allowedDirective(c.Text); found {
+					p := pass.Fset.Position(c.Pos())
+					key := p.Filename + ":" + strconv.Itoa(p.Line)
+					st.exempts[key] = &siteExemption{pos: c.Pos(), reason: reason}
+				}
+			}
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lf := &localFunc{decl: fn}
+			if fn.Doc != nil {
+				doc := fn.Doc.Text()
+				if note, found := hotpathDirective(doc); found {
+					lf.root = &note
+				}
+				if reason, found, _ := allowedDirective(doc); found {
+					lf.allowed = &reason
+				}
+			}
+			key := callgraph.DeclKey(pass.Pkg.Path(), fn)
+			st.funcs[key] = lf
+
+			if lf.allowed != nil && *lf.allowed != "" && exemptionsEnabled {
+				continue // whole function exempt
+			}
+			for _, site := range st.esc.Funcs[key].Sites {
+				if site.Cold {
+					continue
+				}
+				if exemptionsEnabled && st.siteExempt(pass.Fset, site) {
+					continue
+				}
+				lf.hot = append(lf.hot, site)
+			}
+		}
+	}
+	return st, nil
+}
+
+// siteExempt reports whether a reasoned alloc:allowed comment covers
+// the site's line (same line or the line above).
+func (st *state) siteExempt(fset *token.FileSet, site escape.Site) bool {
+	p := fset.Position(site.Pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if e, ok := st.exempts[p.Filename+":"+strconv.Itoa(line)]; ok && e.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func exportFacts(pass *analysis.Pass) any {
+	st, err := analyze(pass)
+	if err != nil {
+		return nil
+	}
+	f := &Facts{
+		Funcs:  make(map[string]FuncFact, len(st.funcs)),
+		Escape: st.esc,
+		CG:     callgraph.Compute(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo),
+	}
+	for key, lf := range st.funcs {
+		ff := FuncFact{}
+		if lf.root != nil {
+			ff.IsRoot, ff.Root = true, *lf.root
+		}
+		if lf.allowed != nil && *lf.allowed != "" && exemptionsEnabled {
+			ff.IsAllowed, ff.Allowed = true, *lf.allowed
+		}
+		for _, site := range lf.hot {
+			ff.Sites = append(ff.Sites, site.Posn+": "+string(site.Kind)+": "+site.Desc)
+		}
+		if ff.IsRoot || ff.IsAllowed || len(ff.Sites) > 0 {
+			f.Funcs[key] = ff
+		}
+	}
+	return f
+}
+
+func run(pass *analysis.Pass) error {
+	st, err := analyze(pass)
+	if err != nil {
+		return err
+	}
+
+	// Annotation hygiene: every exemption carries a reason.
+	for _, lf := range st.funcs {
+		if lf.allowed != nil && *lf.allowed == "" {
+			pass.Reportf(lf.decl.Pos(), "alloc:allowed needs a reason: alloc:allowed(<why this allocation is acceptable on a hot path>)")
+		}
+	}
+	for _, e := range st.exempts {
+		if e.reason == "" {
+			pass.Reportf(e.pos, "alloc:allowed needs a reason: alloc:allowed(<why this allocation is acceptable on a hot path>)")
+		}
+	}
+
+	// Merge every package's facts and walk the call graph from this
+	// package's perf:hotpath roots (synchronous edges only).
+	merged := make(map[string]FuncFact)
+	cgs := make(map[string]*callgraph.Facts)
+	for pkgPath := range pass.Facts {
+		var f Facts
+		if ok, err := pass.DecodeFacts(pkgPath, &f); err != nil {
+			return err
+		} else if ok {
+			for k, ff := range f.Funcs {
+				merged[k] = ff
+			}
+			cgs[pkgPath] = f.CG
+		}
+	}
+	// The own package's facts are recomputed fresh (the pass's fact map
+	// may hold a stale or absent self-entry).
+	if own, _ := exportFacts(pass).(*Facts); own != nil {
+		for k, ff := range own.Funcs {
+			merged[k] = ff
+		}
+		cgs[pass.Pkg.Path()] = own.CG
+	}
+	graph := callgraph.Merge(cgs)
+
+	var entries []string
+	for key, lf := range st.funcs {
+		if lf.root != nil {
+			entries = append(entries, key)
+		}
+	}
+	sort.Strings(entries)
+
+	ownPrefix := pass.Pkg.Path() + "."
+	reported := make(map[string]bool) // func key → already reported here
+	for _, entry := range entries {
+		reach := graph.Reachable(entry, false)
+		reach[entry] = true // the root's own body is on the hot path
+		var keys []string
+		for k := range reach {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, callee := range keys {
+			if reported[callee] {
+				continue
+			}
+			ff, ok := merged[callee]
+			if !ok || ff.IsAllowed || len(ff.Sites) == 0 {
+				continue
+			}
+			reported[callee] = true
+			var path string
+			if callee == entry {
+				path = strings.TrimPrefix(entry, ownPrefix)
+			} else {
+				path = strings.Join(graph.Path(entry, callee, false), " → ")
+			}
+			if lf, local := st.funcs[callee]; local {
+				// Report at each site when it lives in this package.
+				for _, site := range lf.hot {
+					pass.Reportf(site.Pos, "allocation on a hot path: %s [%s], reachable from perf:hotpath root %s (%s); make it allocation-free or annotate the site or function with alloc:allowed(reason)",
+						site.Desc, site.Kind, strings.TrimPrefix(entry, ownPrefix), path)
+				}
+				continue
+			}
+			pass.Reportf(st.funcs[entry].decl.Pos(), "hot path %s reaches allocation site(s) in %s: %s; make them allocation-free or annotate alloc:allowed(reason)",
+				path, callee, strings.Join(ff.Sites, "; "))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package alloccheck_test
+
+import (
+	"testing"
+
+	"mmdb/lint/alloccheck"
+	"mmdb/lint/analysis/analysistest"
+)
+
+func TestAllocCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), alloccheck.Analyzer,
+		"allocmod/dep", "allocmod/top")
+}

@@ -1,0 +1,21 @@
+// Package dep is the dependency side of the alloccheck fixtures:
+// its escape facts (param-leak vectors, allocation sites) must travel
+// to allocmod through the fact channel.
+package dep
+
+// Rec is a record handed across the package boundary.
+type Rec struct{ N int }
+
+// Consume reads the record without retaining it: callers' &Rec{...}
+// stay on their stacks.
+func Consume(r *Rec) int { return r.N }
+
+var kept *Rec
+
+// Keep retains its argument.
+func Keep(r *Rec) { kept = r }
+
+// Alloc allocates unconditionally; hot callers must not reach it.
+func Alloc(n int) []byte {
+	return make([]byte, n)
+}

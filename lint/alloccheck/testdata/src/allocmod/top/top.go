@@ -1,0 +1,111 @@
+// Package top exercises alloccheck: perf:hotpath roots,
+// interprocedural site reporting, cross-package facts, CHA
+// devirtualization, exemptions, and annotation hygiene.
+package top
+
+import "allocmod/dep"
+
+// CommitClean is a hot root whose candidate allocations are all proved
+// stack-resident — the constant-size make locally, and the &Rec{...}
+// across the package boundary via dep.Consume's non-leaking
+// parameter fact.
+//
+// perf:hotpath(the commit path runs at memory speed)
+func CommitClean(n int) int {
+	r := &dep.Rec{N: n}
+	b := make([]byte, 64)
+	b[0] = byte(n)
+	return dep.Consume(r) + len(b)
+}
+
+// CommitDirty allocates locally and through a helper.
+//
+// perf:hotpath
+func CommitDirty(n int) []byte {
+	out := make([]byte, n) // want `allocation on a hot path: make \[\]byte \(non-constant size\)`
+	grow(&out)
+	return out
+}
+
+func grow(p *[]byte) {
+	*p = append(*p, 0) // want `allocation on a hot path: append`
+}
+
+// ReadPath reaches an allocating function in another package; the
+// finding is reported here, at the root, with the path.
+//
+// perf:hotpath
+func ReadPath(n int) int { // want `hot path .* reaches allocation site\(s\) in allocmod/dep\.Alloc`
+	return len(dep.Alloc(n))
+}
+
+// Enc is devirtualized by CHA to its one implementation.
+type Enc interface{ EncOne(dst []byte) int }
+
+type fixedEnc struct{ v byte }
+
+func (e fixedEnc) EncOne(dst []byte) int { dst[0] = e.v; return 1 }
+
+// HotIface resolves to the allocation-free fixedEnc.EncOne: no
+// finding — the false-positive regression for interface calls.
+//
+// perf:hotpath
+func HotIface(e Enc, dst []byte) int {
+	return e.EncOne(dst)
+}
+
+// Enc2's single implementation allocates; CHA must find it.
+type Enc2 interface{ EncTwo(dst []byte) int }
+
+type growEnc struct{}
+
+func (growEnc) EncTwo(dst []byte) int {
+	dst = append(dst, 1) // want `allocation on a hot path: append`
+	return len(dst)
+}
+
+// HotIfaceDirty reaches the allocating implementation through the
+// interface.
+//
+// perf:hotpath
+func HotIfaceDirty(e Enc2, dst []byte) int { return e.EncTwo(dst) }
+
+// scratch allocates by design and is exempted as a whole.
+//
+// alloc:allowed(pool refill, amortized across commits)
+func scratch(n int) []byte { return make([]byte, n) }
+
+// HotExempt allocates only through reasoned exemptions: no findings.
+//
+// perf:hotpath
+func HotExempt(n int) int {
+	b := scratch(n)
+	s := make([]byte, n) // alloc:allowed(pool miss refill, amortized)
+	return len(b) + len(s)
+}
+
+// HotCold allocates only on the error path: cold sites are not
+// reported.
+//
+// perf:hotpath
+func HotCold(b []byte, n int) (int, error) {
+	if n < 0 {
+		return 0, &rangeErr{got: n}
+	}
+	return len(b) + n, nil
+}
+
+type rangeErr struct{ got int }
+
+func (e *rangeErr) Error() string { return "out of range" }
+
+// reasonless is missing its reason.
+//
+// alloc:allowed
+func reasonless(n int) []byte { // want `needs a reason`
+	return make([]byte, n)
+}
+
+func siteBare(n int) []byte {
+	return make([]byte, n) /* alloc:allowed */ // want `alloc:allowed needs a reason`
+}

@@ -196,7 +196,17 @@ func (c *computer) callee(call *ast.CallExpr) string {
 			named := derefNamed(recv.Type())
 			if named == nil || named.Obj().Pkg() == nil ||
 				moduleOf(named.Obj().Pkg().Path()) != c.module {
-				return ""
+				// The declaring interface lives outside the module, but
+				// the method may be promoted into a module interface by
+				// embedding (faultfs.File embeds io.WriterAt): the
+				// call-site receiver's static type then names the module
+				// interface the Impls table is keyed by.
+				named = derefNamed(c.info.TypeOf(fun.X))
+				if named == nil || !types.IsInterface(named) ||
+					named.Obj().Pkg() == nil ||
+					moduleOf(named.Obj().Pkg().Path()) != c.module {
+					return ""
+				}
 			}
 			return "iface:" + named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
 		}

@@ -68,15 +68,16 @@ func TestComputeEdges(t *testing.T) {
 		}
 	}
 	wantEdges := []edge{
-		{"iface:cgmod/leaf.Store.Put", false}, // interface call
-		{"cgmod/top.step", false},             // direct call
-		{"cgmod/leaf.New", false},             // cross-package call
-		{"cgmod/leaf.Mem.Put", false},         // concrete method call
-		{"cgmod/top.worker", true},            // go named function
-		{"cgmod/top.step2", true},             // call inside spawned closure
-		{"cgmod/top.step3", false},            // plain closure attributed to Run
-		{"cgmod/top.worker2", true},           // spawned with evaluated args
-		{"cgmod/top.mk", false},               // go-stmt argument runs here
+		{"iface:cgmod/leaf.Store.Put", false},   // interface call
+		{"iface:cgmod/leaf.Store.Close", false}, // promoted from embedded io.Closer
+		{"cgmod/top.step", false},               // direct call
+		{"cgmod/leaf.New", false},               // cross-package call
+		{"cgmod/leaf.Mem.Put", false},           // concrete method call
+		{"cgmod/top.worker", true},              // go named function
+		{"cgmod/top.step2", true},               // call inside spawned closure
+		{"cgmod/top.step3", false},              // plain closure attributed to Run
+		{"cgmod/top.worker2", true},             // spawned with evaluated args
+		{"cgmod/top.mk", false},                 // go-stmt argument runs here
 	}
 	for _, w := range wantEdges {
 		if !got[w] {
@@ -97,7 +98,7 @@ func TestComputeEdges(t *testing.T) {
 	for _, im := range leaf.Impls {
 		implSeen[im] = true
 	}
-	for _, m := range []string{"Put", "Get"} {
+	for _, m := range []string{"Put", "Get", "Close"} {
 		im := callgraph.Impl{Iface: "iface:cgmod/leaf.Store." + m, Impl: "cgmod/leaf.Mem." + m}
 		if !implSeen[im] {
 			t.Errorf("missing CHA pair %v; have %v", im, leaf.Impls)

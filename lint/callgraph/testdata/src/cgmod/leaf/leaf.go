@@ -3,9 +3,14 @@
 // functions for the importing package to call.
 package leaf
 
+import "io"
+
 // Store is implemented by Mem; calls through it must resolve via the
-// CHA Impls pairs.
+// CHA Impls pairs. The embedded io.Closer checks promoted methods: a
+// call to Store.Close declares io.Closer as its receiver, but the
+// edge must still land on the module interface node.
 type Store interface {
+	io.Closer
 	Put(k string)
 	Get(k string) string
 }
@@ -13,6 +18,7 @@ type Store interface {
 type Mem struct{ m map[string]string }
 
 func (s *Mem) Put(k string)        { record(k) }
+func (s *Mem) Close() error        { return nil }
 func (s *Mem) Get(k string) string { return s.m[k] }
 
 func record(string) {}

@@ -10,6 +10,7 @@ import (
 
 func Run(s leaf.Store) {
 	s.Put("a")       // interface call → iface pseudo edge
+	_ = s.Close()    // promoted from embedded io.Closer → module iface edge
 	step()           // direct call, same package
 	st := leaf.New() // direct call, cross package
 	st.Put("b")      // concrete method call

@@ -1,0 +1,1410 @@
+// Package escape is a conservative intra-module escape and allocation
+// analysis over the same package-at-a-time pipeline as lint/callgraph.
+// It answers the one question the race detector and the other ten
+// analyzers cannot: "does this statement allocate on the hot path?"
+//
+// The analysis has two cooperating halves:
+//
+//   - A value-flow escape analysis per function. Local variables are
+//     tracked through a union-find of aliases ("q := p" joins p and q);
+//     a value escapes when it is returned, stored through a pointer,
+//     field, index, or map, sent on a channel, captured by an escaping
+//     closure, converted to an interface, spawned in a go statement, or
+//     passed to a callee parameter that leaks. Parameter-leak vectors
+//     are computed by an optimistic intra-package fixpoint and travel
+//     across package boundaries as facts (the .vetx channel), so a
+//     caller in mmdb/internal/engine can prove that &wal.Record{...}
+//     handed to wal's Append never reaches the heap. Unknown callees
+//     (the stdlib, interface methods, func-typed variables) leak every
+//     pointer-carrying argument — the lattice errs toward "escapes".
+//
+//   - An allocation-site classifier. Each syntactic construct that can
+//     allocate becomes a candidate Site: make/new/&T{} and composite
+//     literals (a site only when the value escapes, or for maps and
+//     chans and non-constant-size slices, always), append (always — the
+//     growth path allocates), interface boxing of non-pointer-shaped
+//     concrete values, escaping closures and method values, string ↔
+//     []byte/[]rune conversions (except the m[string(b)] map-index
+//     idiom the compiler elides), non-constant string concatenation,
+//     variadic ...interface{} calls such as fmt.*, go statements, and
+//     closures that capture a map-range iteration variable (KindMapIter
+//     — ordering capture plus allocation). Sites whose cfg block can
+//     only reach panic exits or error returns are flagged Cold so a
+//     policy layer (alloccheck) can keep hot-path discipline without
+//     outlawing fmt.Errorf on failure paths.
+//
+// Known, deliberate gaps (all biased toward over-reporting, never
+// under-reporting, except where noted): element reads (x[i], s.f) do
+// not re-track the extracted pointer, map inserts are not sites (the
+// steady state reuses cells and the compiler oracle is equally silent),
+// and range copies of pointer-carrying elements are untracked. These
+// are documented in DESIGN.md §17 together with the -gcflags=-m oracle
+// that cross-checks the verdicts.
+package escape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mmdb/lint/analysis"
+	"mmdb/lint/callgraph"
+	"mmdb/lint/cfg"
+)
+
+// Kind classifies an allocation site.
+type Kind string
+
+const (
+	KindMake     Kind = "make"     // make(), slice/map composite literal
+	KindNew      Kind = "new"      // new(T), &T{...}
+	KindAppend   Kind = "append"   // append growth
+	KindBox      Kind = "box"      // interface boxing of a non-pointer-shaped value
+	KindClosure  Kind = "closure"  // escaping func literal or method value
+	KindConv     Kind = "conv"     // string <-> []byte/[]rune conversion
+	KindConcat   Kind = "concat"   // non-constant string concatenation
+	KindVariadic Kind = "variadic" // call building a ...interface{} slice (fmt.*)
+	KindGo       Kind = "go"       // goroutine spawn
+	KindMapIter  Kind = "mapiter"  // escaping closure capturing a map-range variable
+)
+
+// Site is one allocation site attributed to its enclosing declared
+// function (closure bodies included, like lint/callgraph edges).
+type Site struct {
+	// Pos is the site position in the local FileSet; zero for sites
+	// decoded from another package's facts.
+	Pos token.Pos `json:"-"`
+	// Posn is the printable "file:line:col" position.
+	Posn string `json:"posn"`
+	Kind Kind   `json:"kind"`
+	Desc string `json:"desc"`
+	// Cold is set when the site's cfg block reaches function exit only
+	// through panics or error returns.
+	Cold bool `json:"cold,omitempty"`
+}
+
+// FuncInfo is the escape summary of one declared function.
+type FuncInfo struct {
+	Sites []Site `json:"sites,omitempty"`
+	// RecvLeaks reports whether the receiver escapes the callee.
+	RecvLeaks bool `json:"recvLeaks,omitempty"`
+	// ParamLeaks has one entry per declared parameter (flattened);
+	// true means a pointer passed in that position may be retained.
+	ParamLeaks []bool `json:"paramLeaks,omitempty"`
+}
+
+// Facts is one package's escape summary, keyed like callgraph
+// ("pkgpath.Func" / "pkgpath.Type.Method").
+type Facts struct {
+	Funcs map[string]FuncInfo `json:"funcs,omitempty"`
+}
+
+// intrinsicNoLeak lists the few stdlib callees the hot paths lean on
+// whose signatures provably retain nothing; everything else outside the
+// module conservatively leaks every pointer-carrying argument.
+var intrinsicNoLeak = map[string]bool{
+	"encoding/binary.littleEndian.PutUint16": true,
+	"encoding/binary.littleEndian.PutUint32": true,
+	"encoding/binary.littleEndian.PutUint64": true,
+	"encoding/binary.littleEndian.Uint16":    true,
+	"encoding/binary.littleEndian.Uint32":    true,
+	"encoding/binary.littleEndian.Uint64":    true,
+	"encoding/binary.bigEndian.PutUint16":    true,
+	"encoding/binary.bigEndian.PutUint32":    true,
+	"encoding/binary.bigEndian.PutUint64":    true,
+	"encoding/binary.bigEndian.Uint16":       true,
+	"encoding/binary.bigEndian.Uint32":       true,
+	"encoding/binary.bigEndian.Uint64":       true,
+	"hash/crc32.Checksum":                    true,
+	"hash/crc32.Update":                      true,
+	"bytes.Compare":                          true,
+	"bytes.Equal":                            true,
+	"time.Since":                             true,
+}
+
+// Compute analyzes one package. deps maps dependency package paths to
+// their previously computed Facts (the .vetx channel); missing entries
+// simply make those callees conservative.
+func Compute(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps map[string]*Facts) *Facts {
+	c := &computation{
+		fset:     fset,
+		pkg:      pkg,
+		info:     info,
+		depFuncs: make(map[string]FuncInfo),
+		cur:      make(map[string]*leakVec),
+	}
+	for _, f := range deps {
+		if f == nil {
+			continue
+		}
+		for k, fi := range f.Funcs {
+			c.depFuncs[k] = fi
+		}
+	}
+	type declEntry struct {
+		key  string
+		decl *ast.FuncDecl
+	}
+	var decls []declEntry
+	for _, f := range files {
+		if analysis.IsTestFile(fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			key := callgraph.DeclKey(pkg.Path(), fn)
+			decls = append(decls, declEntry{key, fn})
+			c.cur[key] = &leakVec{params: make([]bool, flatParamCount(fn))}
+		}
+	}
+
+	// Optimistic fixpoint: leak vectors start all-false and only ever
+	// grow, so iteration converges (bounded by total parameter count).
+	var scans map[string]*fnScan
+	for iter := 0; iter < len(decls)+2; iter++ {
+		scans = make(map[string]*fnScan, len(decls))
+		changed := false
+		for _, de := range decls {
+			sc := c.scanFunc(de.decl)
+			scans[de.key] = sc
+			vec := sc.paramVector(de.decl)
+			if !vec.equal(c.cur[de.key]) {
+				c.cur[de.key] = vec
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	out := &Facts{Funcs: make(map[string]FuncInfo, len(decls))}
+	for _, de := range decls {
+		sc := scans[de.key]
+		vec := c.cur[de.key]
+		fi := FuncInfo{RecvLeaks: vec.recv, ParamLeaks: vec.params}
+		fi.Sites = sc.finalize(de.decl)
+		// All-false summaries are recorded too: absence means "unknown
+		// callee, assume leaks", presence means "proved non-leaking".
+		out.Funcs[de.key] = fi
+	}
+	return out
+}
+
+func flatParamCount(fn *ast.FuncDecl) int {
+	n := 0
+	for _, f := range fn.Type.Params.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// leakVec is one function's parameter-leak summary during the fixpoint.
+type leakVec struct {
+	recv   bool
+	params []bool
+}
+
+func (v *leakVec) equal(o *leakVec) bool {
+	if o == nil || v.recv != o.recv || len(v.params) != len(o.params) {
+		return false
+	}
+	for i := range v.params {
+		if v.params[i] != o.params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type computation struct {
+	fset     *token.FileSet
+	pkg      *types.Package
+	info     *types.Info
+	depFuncs map[string]FuncInfo
+	cur      map[string]*leakVec
+}
+
+// leaksFor resolves a callee's leak behavior. known=false means the
+// callee could not be summarized and every pointer-carrying argument
+// (and the receiver) must be treated as escaping.
+func (c *computation) leaksFor(fn *types.Func) (recv bool, params []bool, known bool) {
+	if fn == nil {
+		return true, nil, false
+	}
+	key := callgraph.FuncKey(fn)
+	if key == "" {
+		return true, nil, false
+	}
+	if fn.Pkg() == c.pkg {
+		if v, ok := c.cur[key]; ok {
+			return v.recv, v.params, true
+		}
+		return true, nil, false
+	}
+	if fi, ok := c.depFuncs[key]; ok {
+		return fi.RecvLeaks, fi.ParamLeaks, true
+	}
+	if intrinsicNoLeak[key] {
+		return false, nil, true
+	}
+	return true, nil, false
+}
+
+// dest describes where a value flows.
+type destKind int
+
+const (
+	dUse    destKind = iota // consumed without retention
+	dEscape                 // heap-visible
+	dMapKey                 // map-index key position (suppresses string(b) conv sites)
+	dInto                   // stored into the container bound (directed: container's escape implies the value's, not vice versa)
+)
+
+type dest struct {
+	kind destKind
+	bind types.Object // when non-nil, flows into this local variable
+}
+
+var use = dest{kind: dUse}
+var esc = dest{kind: dEscape}
+
+// candidate is a potential allocation site before escape resolution.
+type candidate struct {
+	pos        token.Pos
+	kind       Kind
+	desc       string
+	obj        types.Object // bound local; nil when anonymous
+	escaped    bool         // flowed directly to an escaping destination
+	always     bool         // a site regardless of escape (append, boxing, ...)
+	suppressed bool         // map-key string conversion idiom
+	captures   []types.Object
+}
+
+// flowEdge is a directed escape implication: if from's group escapes,
+// to's group escapes. Used for composite-literal elements, where the
+// container's fate decides the element's but an escaping element must
+// not drag a stack-resident container to the heap.
+type flowEdge struct {
+	from, to types.Object
+}
+
+// fnScan is the per-function value-flow state.
+type fnScan struct {
+	c *computation
+	// union-find over local variable objects.
+	parent  map[types.Object]types.Object
+	escaped map[types.Object]bool // keyed by find() root
+	flows   []flowEdge
+	cands   []*candidate
+	// mapIterVars are iteration variables of map range statements.
+	mapIterVars map[types.Object]bool
+	// results is a stack of result tuples (function, then nested
+	// literals) for return-statement boxing checks.
+	results []*types.Tuple
+}
+
+func (c *computation) scanFunc(fn *ast.FuncDecl) *fnScan {
+	s := &fnScan{
+		c:           c,
+		parent:      make(map[types.Object]types.Object),
+		escaped:     make(map[types.Object]bool),
+		mapIterVars: make(map[types.Object]bool),
+	}
+	if sig, ok := c.info.Defs[fn.Name].(*types.Func); ok {
+		s.results = append(s.results, sig.Type().(*types.Signature).Results())
+	} else {
+		s.results = append(s.results, nil)
+	}
+	s.walkStmt(fn.Body)
+	// Fixpoint over the deferred implications: an escaping closure leaks
+	// everything it captured, and an escaping container leaks the values
+	// stored into it (dInto edges) — each of which may trigger the other.
+	for {
+		changed := false
+		for _, cd := range s.cands {
+			if len(cd.captures) == 0 || !s.candEscaped(cd) {
+				continue
+			}
+			for _, obj := range cd.captures {
+				if !s.groupEscaped(obj) {
+					s.markEscape(obj)
+					changed = true
+				}
+			}
+			cd.captures = nil // processed
+		}
+		for _, fe := range s.flows {
+			if s.groupEscaped(fe.from) && !s.groupEscaped(fe.to) {
+				s.markEscape(fe.to)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return s
+}
+
+func (s *fnScan) paramVector(fn *ast.FuncDecl) *leakVec {
+	v := &leakVec{}
+	if fn.Recv != nil && len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+		if obj := s.c.info.Defs[fn.Recv.List[0].Names[0]]; obj != nil {
+			v.recv = s.groupEscaped(obj)
+		}
+	}
+	for _, f := range fn.Type.Params.List {
+		if len(f.Names) == 0 {
+			v.params = append(v.params, false)
+			continue
+		}
+		for _, name := range f.Names {
+			obj := s.c.info.Defs[name]
+			v.params = append(v.params, obj != nil && s.groupEscaped(obj))
+		}
+	}
+	return v
+}
+
+// --- union-find ---
+
+func (s *fnScan) find(obj types.Object) types.Object {
+	for {
+		p, ok := s.parent[obj]
+		if !ok || p == obj {
+			return obj
+		}
+		gp, ok := s.parent[p]
+		if ok {
+			s.parent[obj] = gp // path halving
+		}
+		obj = p
+	}
+}
+
+func (s *fnScan) union(a, b types.Object) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	s.parent[ra] = rb
+	if s.escaped[ra] {
+		s.escaped[rb] = true
+	}
+}
+
+func (s *fnScan) markEscape(obj types.Object) {
+	if !carriesPointer(obj.Type()) {
+		return
+	}
+	s.escaped[s.find(obj)] = true
+}
+
+func (s *fnScan) groupEscaped(obj types.Object) bool {
+	return s.escaped[s.find(obj)]
+}
+
+func (s *fnScan) candEscaped(cd *candidate) bool {
+	return cd.escaped || (cd.obj != nil && s.groupEscaped(cd.obj))
+}
+
+func (s *fnScan) addCand(cd *candidate) *candidate {
+	s.cands = append(s.cands, cd)
+	return cd
+}
+
+// bindFlow associates an anonymous allocation with its destination. A
+// dInto destination ties the candidate to the container: an allocation
+// nested in a composite literal escapes exactly when the container does.
+func (cd *candidate) bindFlow(d dest) {
+	switch {
+	case d.bind != nil:
+		cd.obj = d.bind
+	case d.kind == dEscape:
+		cd.escaped = true
+	}
+}
+
+// --- statement walking ---
+
+func (s *fnScan) walkStmt(stmt ast.Stmt) {
+	switch n := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range n.List {
+			s.walkStmt(st)
+		}
+	case *ast.AssignStmt:
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			// Multi-value: call / type assert / map read / chan recv.
+			// Results are fresh values (callee-side allocations are the
+			// callee's sites); lhs binding is not tracked.
+			s.evalExpr(n.Rhs[0], use)
+			for _, l := range n.Lhs {
+				s.evalLHS(l)
+			}
+			return
+		}
+		for i, l := range n.Lhs {
+			if i < len(n.Rhs) {
+				s.assignPair(l, n.Rhs[i])
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if len(vs.Values) == 1 && len(vs.Names) > 1 {
+				s.evalExpr(vs.Values[0], use)
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					s.assignPair(name, vs.Values[i])
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		res := s.results[len(s.results)-1]
+		for i, e := range n.Results {
+			s.evalExpr(e, esc)
+			if res != nil && i < res.Len() {
+				s.boxCheck(e, res.At(i).Type())
+			}
+		}
+	case *ast.SendStmt:
+		s.evalExpr(n.Chan, use)
+		s.evalExpr(n.Value, esc)
+		if t := s.typeOf(n.Chan); t != nil {
+			if ch, ok := t.Underlying().(*types.Chan); ok {
+				s.boxCheck(n.Value, ch.Elem())
+			}
+		}
+	case *ast.ExprStmt:
+		s.evalExpr(n.X, use)
+	case *ast.IncDecStmt:
+		s.evalExpr(n.X, use)
+	case *ast.GoStmt:
+		s.addCand(&candidate{pos: n.Pos(), kind: KindGo, desc: "go statement", always: true})
+		if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+			// The goroutine outlives the frame: captures escape.
+			for _, obj := range s.capturedLocals(lit) {
+				s.markEscape(obj)
+			}
+			s.walkFuncLitBody(lit)
+		} else {
+			s.evalExpr(n.Call.Fun, use)
+		}
+		for _, a := range n.Call.Args {
+			s.evalExpr(a, esc)
+		}
+	case *ast.DeferStmt:
+		// Deferred call arguments live until return — frame lifetime —
+		// so a defer flows like a normal call.
+		s.evalExpr(n.Call, use)
+	case *ast.IfStmt:
+		s.walkStmt(n.Init)
+		s.evalExpr(n.Cond, use)
+		s.walkStmt(n.Body)
+		s.walkStmt(n.Else)
+	case *ast.ForStmt:
+		s.walkStmt(n.Init)
+		if n.Cond != nil {
+			s.evalExpr(n.Cond, use)
+		}
+		s.walkStmt(n.Post)
+		s.walkStmt(n.Body)
+	case *ast.RangeStmt:
+		s.evalExpr(n.X, use)
+		if t := s.typeOf(n.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := s.c.info.Defs[id]; obj != nil {
+							s.mapIterVars[obj] = true
+						}
+					}
+				}
+			}
+		}
+		s.walkStmt(n.Body)
+	case *ast.SwitchStmt:
+		s.walkStmt(n.Init)
+		if n.Tag != nil {
+			s.evalExpr(n.Tag, use)
+		}
+		for _, cc := range n.Body.List {
+			cc, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				s.evalExpr(e, use)
+			}
+			for _, st := range cc.Body {
+				s.walkStmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		s.walkStmt(n.Init)
+		s.walkStmt(n.Assign)
+		for _, cc := range n.Body.List {
+			cc, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, st := range cc.Body {
+				s.walkStmt(st)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range n.Body.List {
+			cc, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			s.walkStmt(cc.Comm)
+			for _, st := range cc.Body {
+				s.walkStmt(st)
+			}
+		}
+	case *ast.LabeledStmt:
+		s.walkStmt(n.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt, *ast.BadStmt:
+	}
+}
+
+// evalLHS evaluates an assignment target for its side expressions
+// (index computations, base loads) without flowing a value into it.
+func (s *fnScan) evalLHS(l ast.Expr) {
+	switch l := l.(type) {
+	case *ast.Ident:
+	case *ast.IndexExpr:
+		s.evalExpr(l.X, use)
+		s.evalIndex(l)
+	case *ast.SelectorExpr:
+		s.evalExpr(l.X, use)
+	case *ast.StarExpr:
+		s.evalExpr(l.X, use)
+	default:
+		s.evalExpr(l, use)
+	}
+}
+
+func (s *fnScan) assignPair(lhs, rhs ast.Expr) {
+	if id, ok := unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			s.evalExpr(rhs, use)
+			return
+		}
+		obj := s.objOf(id)
+		if isLocalVar(obj) {
+			s.evalExpr(rhs, dest{bind: obj})
+			s.boxCheck(rhs, obj.Type())
+			return
+		}
+		// Package-level variable: heap-visible.
+		s.evalExpr(rhs, esc)
+		if obj != nil {
+			s.boxCheck(rhs, obj.Type())
+		}
+		return
+	}
+	// Store through a selector, index, or pointer: conservatively
+	// heap-visible (a value parked in s.f or m[k] outlives our ability
+	// to track it).
+	s.evalLHS(lhs)
+	s.evalExpr(rhs, esc)
+	if t := s.typeOf(lhs); t != nil {
+		s.boxCheck(rhs, t)
+	}
+}
+
+// --- expression flow ---
+
+func (s *fnScan) evalExpr(e ast.Expr, d dest) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		s.evalExpr(e.X, d)
+	case *ast.Ident:
+		obj := s.c.info.Uses[e]
+		if isLocalVar(obj) && d.bind != nil && s.mapIterVars[obj] {
+			// The iteration-order taint survives the `k := k` copy idiom.
+			s.mapIterVars[d.bind] = true
+		}
+		if isLocalVar(obj) && carriesPointer(obj.Type()) {
+			switch {
+			case d.kind == dInto:
+				s.flows = append(s.flows, flowEdge{from: d.bind, to: obj})
+			case d.bind != nil:
+				s.union(d.bind, obj)
+			case d.kind == dEscape:
+				s.markEscape(obj)
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := unparen(e.X).(*ast.CompositeLit); ok {
+				s.composite(cl, d, true)
+				return
+			}
+			if obj := s.rootLocal(e.X); obj != nil {
+				switch {
+				case d.kind == dInto:
+					s.flows = append(s.flows, flowEdge{from: d.bind, to: obj})
+				case d.bind != nil:
+					s.union(d.bind, obj)
+				case d.kind == dEscape:
+					s.markEscape(obj)
+				}
+			}
+			s.evalExpr(e.X, use)
+			return
+		}
+		s.evalExpr(e.X, use)
+	case *ast.CompositeLit:
+		s.composite(e, d, false)
+	case *ast.FuncLit:
+		s.funcLit(e, d)
+	case *ast.CallExpr:
+		s.call(e, d)
+	case *ast.SelectorExpr:
+		if sel, ok := s.c.info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			// A method value allocates a bound-method closure and
+			// captures its receiver.
+			cd := s.addCand(&candidate{pos: e.Pos(), kind: KindClosure, desc: "method value " + e.Sel.Name, always: true})
+			cd.bindFlow(d)
+			s.evalExpr(e.X, esc)
+			return
+		}
+		s.evalExpr(e.X, use)
+	case *ast.IndexExpr:
+		s.evalExpr(e.X, use)
+		s.evalIndex(e)
+	case *ast.IndexListExpr:
+		s.evalExpr(e.X, use)
+		for _, idx := range e.Indices {
+			s.evalExpr(idx, use)
+		}
+	case *ast.SliceExpr:
+		s.evalExpr(e.X, d) // slicing aliases the backing array
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				s.evalExpr(b, use)
+			}
+		}
+	case *ast.StarExpr:
+		s.evalExpr(e.X, use)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			if t := s.typeOf(e); t != nil && isString(t) && !s.isConstant(e) {
+				s.addCand(&candidate{pos: e.Pos(), kind: KindConcat, desc: "string concatenation", always: true})
+			}
+		}
+		s.evalExpr(e.X, use)
+		s.evalExpr(e.Y, use)
+	case *ast.TypeAssertExpr:
+		s.evalExpr(e.X, use)
+	case *ast.KeyValueExpr:
+		s.evalExpr(e.Value, d)
+	}
+}
+
+// evalIndex flows an index operand, marking map keys so the
+// m[string(b)] conversion idiom is not reported.
+func (s *fnScan) evalIndex(e *ast.IndexExpr) {
+	d := use
+	if t := s.typeOf(e.X); t != nil {
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			d = dest{kind: dMapKey}
+		}
+	}
+	s.evalExpr(e.Index, d)
+}
+
+// composite handles T{...}, []T{...}, map[K]V{...} and their
+// address-taken forms.
+func (s *fnScan) composite(cl *ast.CompositeLit, d dest, addrTaken bool) {
+	t := s.typeOf(cl)
+	var cd *candidate
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Map:
+			cd = &candidate{pos: cl.Pos(), kind: KindMake, desc: "map literal " + typeLabel(t), always: true}
+		case *types.Slice:
+			cd = &candidate{pos: cl.Pos(), kind: KindMake, desc: "slice literal " + typeLabel(t)}
+		default:
+			if addrTaken {
+				cd = &candidate{pos: cl.Pos(), kind: KindNew, desc: "&" + typeLabel(t) + "{...}"}
+			}
+		}
+	} else if addrTaken {
+		cd = &candidate{pos: cl.Pos(), kind: KindNew, desc: "&composite literal"}
+	}
+	if cd != nil {
+		cd.bindFlow(d)
+		s.addCand(cd)
+	}
+	// Elements follow the composite's fate — if the composite escapes (or
+	// is bound to a local that does), pointers stored in it escape too —
+	// but only in that direction: an element that escapes on its own
+	// (e.g. it was also stored somewhere heap-visible) must not drag a
+	// stack-resident composite to the heap. dInto records the directed
+	// implication.
+	elemDest := d
+	if d.bind != nil {
+		elemDest = dest{kind: dInto, bind: d.bind}
+	}
+	for _, elt := range cl.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+			if t != nil {
+				if m, ok := t.Underlying().(*types.Map); ok {
+					s.evalExpr(kv.Key, elemDest)
+					s.boxCheck(kv.Key, m.Key())
+				}
+			}
+		}
+		s.evalExpr(val, elemDest)
+		if et := s.elemTypeFor(t, cl, elt); et != nil {
+			s.boxCheck(val, et)
+		}
+	}
+}
+
+// elemTypeFor resolves the expected type of one composite element for
+// boxing checks.
+func (s *fnScan) elemTypeFor(t types.Type, cl *ast.CompositeLit, elt ast.Expr) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Map:
+		return u.Elem()
+	case *types.Struct:
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				for i := 0; i < u.NumFields(); i++ {
+					if u.Field(i).Name() == id.Name {
+						return u.Field(i).Type()
+					}
+				}
+			}
+			return nil
+		}
+		for i, e := range cl.Elts {
+			if e == elt && i < u.NumFields() {
+				return u.Field(i).Type()
+			}
+		}
+	}
+	return nil
+}
+
+func (s *fnScan) funcLit(lit *ast.FuncLit, d dest) {
+	cd := &candidate{pos: lit.Pos(), kind: KindClosure, desc: "func literal", captures: s.capturedLocals(lit)}
+	for _, obj := range cd.captures {
+		if s.mapIterVars[obj] {
+			cd.kind = KindMapIter
+			cd.desc = "closure capturing map-range variable " + obj.Name()
+			break
+		}
+	}
+	cd.bindFlow(d)
+	s.addCand(cd)
+	s.walkFuncLitBody(lit)
+}
+
+// walkFuncLitBody analyzes a literal's body in the enclosing function's
+// value-flow space (locals are distinct objects, so no collision).
+func (s *fnScan) walkFuncLitBody(lit *ast.FuncLit) {
+	var res *types.Tuple
+	if t, ok := s.typeOf(lit).(*types.Signature); ok {
+		res = t.Results()
+	}
+	s.results = append(s.results, res)
+	s.walkStmt(lit.Body)
+	s.results = s.results[:len(s.results)-1]
+}
+
+// capturedLocals lists enclosing-function locals referenced inside lit.
+func (s *fnScan) capturedLocals(lit *ast.FuncLit) []types.Object {
+	seen := make(map[types.Object]bool)
+	var out []types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := s.c.info.Uses[id]
+		if !isLocalVar(obj) || seen[obj] {
+			return true
+		}
+		// Declared outside the literal = captured.
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// --- calls ---
+
+func (s *fnScan) call(e *ast.CallExpr, d dest) {
+	// Conversion?
+	if tv, ok := s.c.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+		s.conversion(e, tv.Type, d)
+		return
+	}
+	// Builtin?
+	if id, ok := unparen(e.Fun).(*ast.Ident); ok {
+		if b, ok := s.c.info.Uses[id].(*types.Builtin); ok {
+			s.builtin(e, b.Name(), d)
+			return
+		}
+	}
+	// Immediately-invoked literal: arguments bind to parameters, the
+	// closure itself never materializes.
+	if lit, ok := unparen(e.Fun).(*ast.FuncLit); ok {
+		params := litParams(s.c.info, lit)
+		for i, a := range e.Args {
+			if i < len(params) && isLocalVar(params[i]) && carriesPointer(params[i].Type()) {
+				s.evalExpr(a, dest{bind: params[i]})
+			} else {
+				s.evalExpr(a, use)
+			}
+		}
+		s.walkFuncLitBody(lit)
+		return
+	}
+
+	fn := calleeFunc(s.c.info, e.Fun)
+	recvLeak, paramLeaks, known := s.c.leaksFor(fn)
+
+	var sig *types.Signature
+	if tv, ok := s.c.info.Types[e.Fun]; ok {
+		sig, _ = tv.Type.(*types.Signature)
+	}
+
+	// Receiver flow for method calls.
+	if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok {
+		if fn != nil && fn.Type().(*types.Signature).Recv() != nil {
+			if !known || recvLeak {
+				s.evalExpr(sel.X, esc)
+			} else {
+				s.evalExpr(sel.X, use)
+			}
+		} else {
+			s.evalExpr(sel.X, use)
+		}
+	} else if _, isIdent := unparen(e.Fun).(*ast.Ident); !isIdent {
+		s.evalExpr(e.Fun, use)
+	} else if fn == nil {
+		// Call through a func-typed variable: the variable is used.
+		s.evalExpr(e.Fun, use)
+	}
+
+	// Variadic ...interface{} calls build a fresh boxed slice unless an
+	// existing slice is passed through with "...".
+	variadicIface := false
+	if sig != nil && sig.Variadic() && !e.Ellipsis.IsValid() {
+		last := sig.Params().At(sig.Params().Len() - 1)
+		if sl, ok := last.Type().Underlying().(*types.Slice); ok {
+			if types.IsInterface(sl.Elem()) && len(e.Args) >= sig.Params().Len() {
+				name := calleeName(e.Fun)
+				s.addCand(&candidate{pos: e.Pos(), kind: KindVariadic, desc: "variadic ...interface{} call to " + name, always: true})
+				variadicIface = true
+			}
+		}
+	}
+
+	for i, a := range e.Args {
+		leak := true
+		if known {
+			leak = paramLeakAt(paramLeaks, sig, i, e.Ellipsis.IsValid())
+		}
+		if pt := paramTypeAt(sig, i, e.Ellipsis.IsValid()); pt != nil && !variadicIface {
+			s.boxCheck(a, pt)
+		}
+		if leak {
+			s.evalExpr(a, esc)
+		} else {
+			s.evalExpr(a, use)
+		}
+	}
+	_ = d // call results are callee-side allocations
+}
+
+// paramTypeAt returns the effective parameter type for argument i,
+// unwrapping the variadic slice when the call spreads arguments.
+func paramTypeAt(sig *types.Signature, i int, ellipsis bool) types.Type {
+	if sig == nil {
+		return nil
+	}
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 && !ellipsis {
+		sl, ok := sig.Params().At(n - 1).Type().Underlying().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return sl.Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func paramLeakAt(leaks []bool, sig *types.Signature, i int, ellipsis bool) bool {
+	if leaks == nil {
+		// Known callee with an all-false (absent) vector: nothing leaks.
+		return false
+	}
+	if sig != nil && sig.Variadic() && i >= sig.Params().Len()-1 && !ellipsis {
+		i = sig.Params().Len() - 1
+	}
+	if i >= len(leaks) {
+		return true
+	}
+	return leaks[i]
+}
+
+func (s *fnScan) builtin(e *ast.CallExpr, name string, d dest) {
+	switch name {
+	case "append":
+		s.addCand(&candidate{pos: e.Pos(), kind: KindAppend, desc: "append (growth reallocates)", always: true})
+		if len(e.Args) > 0 {
+			s.evalExpr(e.Args[0], d) // result aliases the first operand
+			for _, a := range e.Args[1:] {
+				if t := s.typeOf(a); t != nil && carriesPointer(t) && !isString(t) {
+					s.evalExpr(a, esc) // appended pointers land in the backing array
+				} else {
+					s.evalExpr(a, use)
+				}
+			}
+		}
+	case "make":
+		t := s.typeOf(e)
+		cd := &candidate{pos: e.Pos(), kind: KindMake, desc: "make " + typeLabel(t)}
+		if t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map, *types.Chan:
+				cd.always = true
+			case *types.Slice:
+				for _, a := range e.Args[1:] {
+					if !s.isConstant(a) {
+						cd.always = true // runtime-sized: never stack-allocated
+						cd.desc = "make " + typeLabel(t) + " (non-constant size)"
+					}
+				}
+			}
+		}
+		cd.bindFlow(d)
+		s.addCand(cd)
+		for _, a := range e.Args[1:] {
+			s.evalExpr(a, use)
+		}
+	case "new":
+		t := s.typeOf(e)
+		cd := &candidate{pos: e.Pos(), kind: KindNew, desc: "new " + typeLabel(t)}
+		cd.bindFlow(d)
+		s.addCand(cd)
+	case "panic":
+		for _, a := range e.Args {
+			s.evalExpr(a, esc)
+		}
+	default: // len, cap, copy, delete, clear, min, max, ...
+		for _, a := range e.Args {
+			s.evalExpr(a, use)
+		}
+	}
+}
+
+func (s *fnScan) conversion(e *ast.CallExpr, target types.Type, d dest) {
+	arg := e.Args[0]
+	at := s.typeOf(arg)
+	switch {
+	case isString(target) && isByteOrRuneSlice(at):
+		cd := &candidate{pos: e.Pos(), kind: KindConv, desc: "string(" + typeLabel(at) + ") conversion", always: true}
+		if d.kind == dMapKey {
+			cd.suppressed = true // m[string(b)] is compiler-elided
+		}
+		s.addCand(cd)
+		s.evalExpr(arg, use)
+	case isByteOrRuneSlice(target) && isString(at):
+		s.addCand(&candidate{pos: e.Pos(), kind: KindConv, desc: typeLabel(target) + "(string) conversion", always: true})
+		s.evalExpr(arg, use)
+	case types.IsInterface(target):
+		s.boxCheck(arg, target)
+		if at != nil && carriesPointer(at) {
+			s.evalExpr(arg, esc) // the converted value is now heap-visible
+		} else {
+			s.evalExpr(arg, use)
+		}
+	default:
+		s.evalExpr(arg, d) // aliasing conversion ([]T(x), named types)
+	}
+}
+
+// boxCheck records an interface-boxing site when a non-pointer-shaped,
+// non-constant concrete value meets an interface-typed destination.
+func (s *fnScan) boxCheck(e ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	e = unparen(e)
+	at := s.typeOf(e)
+	if at == nil || types.IsInterface(at) {
+		return // interface-to-interface carries the existing word pair
+	}
+	if s.isConstant(e) {
+		return // constants box from static data
+	}
+	if isNilIdent(e) || pointerShaped(at) {
+		return
+	}
+	s.addCand(&candidate{pos: e.Pos(), kind: KindBox, desc: "interface boxing of " + typeLabel(at), always: true})
+}
+
+// --- finalize: sites + cold classification ---
+
+func (s *fnScan) finalize(fn *ast.FuncDecl) []Site {
+	if len(s.cands) == 0 {
+		return nil
+	}
+	cold := newColdMap(s.c, fn)
+	var sites []Site
+	for _, cd := range s.cands {
+		if cd.suppressed {
+			continue
+		}
+		if !cd.always && !s.candEscaped(cd) {
+			continue
+		}
+		sites = append(sites, Site{
+			Pos:  cd.pos,
+			Posn: s.c.fset.Position(cd.pos).String(),
+			Kind: cd.kind,
+			Desc: cd.desc,
+			Cold: cold.isCold(cd.pos),
+		})
+	}
+	return sites
+}
+
+// coldMap classifies positions by whether their cfg block can reach a
+// normal (non-panic, non-error-return) function exit.
+type coldMap struct {
+	blocks       []*cfg.Block
+	reachNormal  map[*cfg.Block]bool
+	fset         *token.FileSet
+	haveFunction bool
+}
+
+func newColdMap(c *computation, fn *ast.FuncDecl) *coldMap {
+	cm := &coldMap{fset: c.fset}
+	g := cfg.New(fn.Name.Name, fn.Body)
+	if g == nil {
+		return cm
+	}
+	cm.haveFunction = true
+	cm.blocks = g.Blocks
+
+	lastIsError := false
+	if fn.Type.Results != nil && len(fn.Type.Results.List) > 0 {
+		rt := c.info.TypeOf(fn.Type.Results.List[len(fn.Type.Results.List)-1].Type)
+		lastIsError = rt != nil && implementsError(rt)
+	}
+
+	normal := make(map[*cfg.Block]bool)
+	for _, b := range g.Blocks {
+		if b.Kind == cfg.KindPanic {
+			continue
+		}
+		hasReturn := false
+		for _, n := range b.Nodes {
+			r, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				continue
+			}
+			hasReturn = true
+			if !lastIsError || len(r.Results) == 0 {
+				normal[b] = true
+				continue
+			}
+			last := r.Results[len(r.Results)-1]
+			if tv, ok := c.info.Types[last]; ok && tv.IsNil() {
+				normal[b] = true
+			}
+		}
+		if !hasReturn {
+			for _, sb := range b.Succs {
+				if sb == g.Exit {
+					normal[b] = true // fall-off-end implicit return
+				}
+			}
+		}
+	}
+
+	// Backward closure: a block reaches a normal exit when it or any
+	// successor does.
+	cm.reachNormal = make(map[*cfg.Block]bool, len(g.Blocks))
+	for b := range normal {
+		cm.reachNormal[b] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if cm.reachNormal[b] {
+				continue
+			}
+			for _, sb := range b.Succs {
+				if cm.reachNormal[sb] {
+					cm.reachNormal[b] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return cm
+}
+
+// isCold reports whether pos sits in a block that cannot reach a normal
+// exit. Positions not found in any block (closure bodies) are hot.
+func (cm *coldMap) isCold(pos token.Pos) bool {
+	if !cm.haveFunction {
+		return false
+	}
+	var best ast.Node
+	var bestBlock *cfg.Block
+	for _, b := range cm.blocks {
+		for _, n := range b.Nodes {
+			if n == nil || pos < n.Pos() || pos > n.End() {
+				continue
+			}
+			if best == nil || (n.End()-n.Pos()) < (best.End()-best.Pos()) {
+				best, bestBlock = n, b
+			}
+		}
+	}
+	if bestBlock == nil {
+		return false
+	}
+	return !cm.reachNormal[bestBlock]
+}
+
+// --- small helpers ---
+
+func (s *fnScan) typeOf(e ast.Expr) types.Type { return s.c.info.TypeOf(e) }
+
+func (s *fnScan) isConstant(e ast.Expr) bool {
+	tv, ok := s.c.info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func (s *fnScan) objOf(id *ast.Ident) types.Object {
+	if obj := s.c.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return s.c.info.Uses[id]
+}
+
+// rootLocal strips selectors, indexes, parens, and derefs down to a
+// local variable, if the expression is rooted in one.
+func (s *fnScan) rootLocal(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := s.c.info.Uses[x]
+			if isLocalVar(obj) {
+				return obj
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func calleeFunc(info *types.Info, fun ast.Expr) *types.Func {
+	switch f := unparen(fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation
+		return calleeFunc(info, f.X)
+	case *ast.IndexListExpr:
+		return calleeFunc(info, f.X)
+	}
+	return nil
+}
+
+func calleeName(fun ast.Expr) string {
+	switch f := unparen(fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "func value"
+}
+
+func litParams(info *types.Info, lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	for _, f := range lit.Type.Params.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, n := range f.Names {
+			out = append(out, info.Defs[n])
+		}
+	}
+	return out
+}
+
+// isLocalVar reports whether obj is a function-scoped variable
+// (parameter, result, or local — never a field or package-level var).
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == nil || v.Parent() != v.Pkg().Scope()
+}
+
+// carriesPointer reports whether values of t can hold a pointer into a
+// tracked allocation.
+func carriesPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesPointer(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return carriesPointer(u.Elem())
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// pointerShaped reports whether t's runtime representation is a single
+// pointer word, making interface conversion allocation-free.
+func pointerShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func implementsError(t types.Type) bool {
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errType)
+}
+
+func typeLabel(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return fmt.Sprintf("%s", types.TypeString(t, func(p *types.Package) string { return p.Name() }))
+}

@@ -1,0 +1,396 @@
+package escape
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"mmdb/lint/analysis"
+)
+
+// mapImporter resolves fixture imports from already-checked packages.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, &importError{path}
+}
+
+type importError struct{ path string }
+
+func (e *importError) Error() string { return "unknown import " + e.path }
+
+// checkSrc parses and type-checks one fixture package.
+func checkSrc(t *testing.T, path, src string, imports mapImporter) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: imports}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+// computeSrc runs the analysis on one self-contained fixture.
+func computeSrc(t *testing.T, src string) *Facts {
+	t.Helper()
+	fset, files, pkg, info := checkSrc(t, "p", src, nil)
+	return Compute(fset, files, pkg, info, nil)
+}
+
+func siteKinds(fi FuncInfo) []string {
+	var out []string
+	for _, s := range fi.Sites {
+		out = append(out, string(s.Kind))
+	}
+	return out
+}
+
+func wantSites(t *testing.T, fi FuncInfo, kinds ...Kind) {
+	t.Helper()
+	if len(fi.Sites) != len(kinds) {
+		t.Fatalf("got sites %v, want kinds %v", fi.Sites, kinds)
+	}
+	for i, k := range kinds {
+		if fi.Sites[i].Kind != k {
+			t.Errorf("site %d: got %v (%s), want kind %s", i, fi.Sites[i].Kind, fi.Sites[i].Desc, k)
+		}
+	}
+}
+
+// TestConstantMakeStaysStack is the canonical false-positive
+// regression: a constant-size make that never escapes is
+// stack-allocated by the compiler and must not be a site.
+func TestConstantMakeStaysStack(t *testing.T) {
+	f := computeSrc(t, `package p
+func F() int {
+	b := make([]byte, 64)
+	b[0] = 1
+	return len(b)
+}`)
+	wantSites(t, f.Funcs["p.F"])
+}
+
+func TestNonConstantMakeIsSite(t *testing.T) {
+	f := computeSrc(t, `package p
+func F(n int) int {
+	b := make([]byte, n)
+	return len(b)
+}`)
+	wantSites(t, f.Funcs["p.F"], KindMake)
+}
+
+func TestEscapingMakeViaReturn(t *testing.T) {
+	f := computeSrc(t, `package p
+func F() []byte {
+	b := make([]byte, 8)
+	return b
+}`)
+	wantSites(t, f.Funcs["p.F"], KindMake)
+}
+
+func TestParamLeakVectors(t *testing.T) {
+	f := computeSrc(t, `package p
+func Leaky(p []byte) []byte { return p }
+func Clean(p []byte) int    { return len(p) }
+func Store(m map[int][]byte, p []byte) { m[0] = p }
+`)
+	if got := f.Funcs["p.Leaky"].ParamLeaks; len(got) != 1 || !got[0] {
+		t.Errorf("Leaky: got %v, want [true]", got)
+	}
+	if got := f.Funcs["p.Clean"].ParamLeaks; len(got) != 1 || got[0] {
+		t.Errorf("Clean: got %v, want [false]", got)
+	}
+	if got := f.Funcs["p.Store"].ParamLeaks; len(got) != 2 || got[0] || !got[1] {
+		t.Errorf("Store: got %v, want [false true]", got)
+	}
+}
+
+// TestIntraPackageStackProof: &T{} passed to a non-leaking callee in
+// the same package stays on the stack — the fixpoint must prove it.
+func TestIntraPackageStackProof(t *testing.T) {
+	f := computeSrc(t, `package p
+type R struct{ n int }
+func consume(r *R) int { return r.n }
+func F() int {
+	r := &R{n: 1}
+	return consume(r)
+}`)
+	wantSites(t, f.Funcs["p.F"])
+}
+
+// TestTransitiveLeak: the leak must propagate through a chain.
+func TestTransitiveLeak(t *testing.T) {
+	f := computeSrc(t, `package p
+type R struct{ n int }
+var sink *R
+func keep(r *R)    { sink = r }
+func forward(r *R) { keep(r) }
+func F() int {
+	r := &R{n: 1}
+	forward(r)
+	return 0
+}`)
+	wantSites(t, f.Funcs["p.F"], KindNew)
+	if got := f.Funcs["p.forward"].ParamLeaks; len(got) != 1 || !got[0] {
+		t.Errorf("forward: got %v, want [true]", got)
+	}
+}
+
+// TestCrossPackageStackProof: the same proof through dependency facts
+// (the .vetx channel).
+func TestCrossPackageStackProof(t *testing.T) {
+	depSrc := `package escdep
+type Rec struct{ N int }
+func Consume(r *Rec) int { return r.N }
+func Keep(r *Rec) *Rec   { return r }
+`
+	fsetD, filesD, pkgD, infoD := checkSrc(t, "escdep", depSrc, nil)
+	depFacts := Compute(fsetD, filesD, pkgD, infoD, nil)
+	if got := depFacts.Funcs["escdep.Consume"].ParamLeaks; len(got) != 1 || got[0] {
+		t.Fatalf("Consume: got %v, want [false]", got)
+	}
+
+	modSrc := `package escmod
+import "escdep"
+func Stack() int {
+	r := &escdep.Rec{N: 1}
+	return escdep.Consume(r)
+}
+func Heap() *escdep.Rec {
+	r := &escdep.Rec{N: 1}
+	return escdep.Keep(r)
+}`
+	fset, files, pkg, info := checkSrc(t, "escmod", modSrc, mapImporter{"escdep": pkgD})
+
+	// Without dependency facts the callee is unknown and leaks.
+	noFacts := Compute(fset, files, pkg, info, nil)
+	wantSites(t, noFacts.Funcs["escmod.Stack"], KindNew)
+
+	// With facts, Stack's &Rec{} is proved stack-resident; Heap's is not.
+	withFacts := Compute(fset, files, pkg, info, map[string]*Facts{"escdep": depFacts})
+	wantSites(t, withFacts.Funcs["escmod.Stack"])
+	wantSites(t, withFacts.Funcs["escmod.Heap"], KindNew)
+}
+
+// TestNonEscapingClosure is a named false-positive regression: a
+// closure called locally and never stored does not allocate.
+func TestNonEscapingClosure(t *testing.T) {
+	f := computeSrc(t, `package p
+func F() int {
+	n := 0
+	inc := func() { n++ }
+	inc()
+	return n
+}`)
+	wantSites(t, f.Funcs["p.F"])
+}
+
+func TestEscapingClosureAndCapture(t *testing.T) {
+	f := computeSrc(t, `package p
+func F() func() []byte {
+	b := make([]byte, 16)
+	return func() []byte { return b }
+}`)
+	// The make escapes via the captured reference, and the closure
+	// itself is returned.
+	kinds := siteKinds(f.Funcs["p.F"])
+	if len(kinds) != 2 || !strings.Contains(strings.Join(kinds, ","), "make") || !strings.Contains(strings.Join(kinds, ","), "closure") {
+		t.Errorf("got %v, want a make and a closure site", f.Funcs["p.F"].Sites)
+	}
+}
+
+func TestImmediatelyInvokedLiteral(t *testing.T) {
+	f := computeSrc(t, `package p
+func F() int {
+	v := func(x int) int { return x + 1 }(41)
+	return v
+}`)
+	wantSites(t, f.Funcs["p.F"])
+}
+
+func TestBoxingOnReturnAndCall(t *testing.T) {
+	f := computeSrc(t, `package p
+type T struct{ a, b int }
+func Box(n int) interface{} { return n }
+func NoBoxPointer(p *T) interface{} { return p }
+func sinkAny(v interface{}) {}
+func CallBox(t T) { sinkAny(t) }
+func ConstNoBox() interface{} { return 42 }
+`)
+	wantSites(t, f.Funcs["p.Box"], KindBox)
+	wantSites(t, f.Funcs["p.NoBoxPointer"]) // pointer-shaped: no box
+	wantSites(t, f.Funcs["p.CallBox"], KindBox)
+	wantSites(t, f.Funcs["p.ConstNoBox"]) // constants box from static data
+}
+
+func TestVariadicInterfaceCall(t *testing.T) {
+	f := computeSrc(t, `package p
+func logf(args ...interface{}) {}
+func F(n int) { logf("x", n) }
+func Pass(args []interface{}) { logf(args...) }
+`)
+	wantSites(t, f.Funcs["p.F"], KindVariadic)
+	wantSites(t, f.Funcs["p.Pass"]) // spread of an existing slice: no new backing
+}
+
+func TestStringConvAndMapKeyIdiom(t *testing.T) {
+	f := computeSrc(t, `package p
+func Conv(b []byte) string { return string(b) }
+func Idiom(m map[string]int, b []byte) int { return m[string(b)] }
+func ToBytes(s string) []byte { return []byte(s) }
+`)
+	wantSites(t, f.Funcs["p.Conv"], KindConv)
+	wantSites(t, f.Funcs["p.Idiom"]) // compiler-elided map-key conversion
+	wantSites(t, f.Funcs["p.ToBytes"], KindConv)
+}
+
+func TestAppendAlwaysSite(t *testing.T) {
+	f := computeSrc(t, `package p
+func F(xs []int, x int) []int { return append(xs, x) }
+`)
+	wantSites(t, f.Funcs["p.F"], KindAppend)
+}
+
+func TestStringConcat(t *testing.T) {
+	f := computeSrc(t, `package p
+func F(a, b string) string { return a + b }
+func Const() string { return "a" + "b" }
+`)
+	wantSites(t, f.Funcs["p.F"], KindConcat)
+	wantSites(t, f.Funcs["p.Const"]) // constant-folded
+}
+
+func TestGoStatement(t *testing.T) {
+	f := computeSrc(t, `package p
+func F(ch chan int) {
+	go func() { ch <- 1 }()
+}`)
+	wantSites(t, f.Funcs["p.F"], KindGo)
+}
+
+func TestMapIterCapture(t *testing.T) {
+	f := computeSrc(t, `package p
+func F(m map[int]int) []func() int {
+	var out []func() int
+	for k := range m {
+		k := k
+		out = append(out, func() int { return k })
+	}
+	return out
+}`)
+	kinds := strings.Join(siteKinds(f.Funcs["p.F"]), ",")
+	if !strings.Contains(kinds, string(KindMapIter)) {
+		t.Errorf("got %v, want a mapiter site", f.Funcs["p.F"].Sites)
+	}
+}
+
+// TestColdSites: allocations on paths that only reach error returns or
+// panics are flagged Cold.
+func TestColdSites(t *testing.T) {
+	f := computeSrc(t, `package p
+type myErr struct{ s string }
+func (e *myErr) Error() string { return e.s }
+func Parse(b []byte, n int) ([]byte, error) {
+	if n < 0 {
+		msg := string(b)
+		return nil, &myErr{s: msg}
+	}
+	out := make([]byte, n)
+	return out, nil
+}`)
+	fi := f.Funcs["p.Parse"]
+	if len(fi.Sites) != 3 {
+		t.Fatalf("got %v, want 3 sites", fi.Sites)
+	}
+	for _, s := range fi.Sites {
+		wantCold := s.Kind == KindConv || s.Kind == KindNew
+		if s.Cold != wantCold {
+			t.Errorf("site %s (%s): Cold=%v, want %v", s.Kind, s.Desc, s.Cold, wantCold)
+		}
+	}
+}
+
+// TestMethodReceiverLeak: a method that stores its receiver leaks it.
+func TestMethodReceiverLeak(t *testing.T) {
+	f := computeSrc(t, `package p
+type L struct{ n int }
+var reg []*L
+func (l *L) Register() { reg = append(reg, l) }
+func (l *L) Len() int  { return l.n }
+func F() int {
+	l := &L{n: 2}
+	return l.Len()
+}
+func G() {
+	l := &L{n: 2}
+	l.Register()
+}`)
+	if !f.Funcs["p.L.Register"].RecvLeaks {
+		t.Error("Register should leak its receiver")
+	}
+	if f.Funcs["p.L.Len"].RecvLeaks {
+		t.Error("Len should not leak its receiver")
+	}
+	wantSites(t, f.Funcs["p.F"])
+	wantSites(t, f.Funcs["p.G"], KindNew)
+}
+
+// TestUnknownCalleeIsConservative: calls out of the module leak.
+func TestUnknownCalleeIsConservative(t *testing.T) {
+	f := computeSrc(t, `package p
+type W interface{ Sink(p []byte) }
+func F(w W) int {
+	b := make([]byte, 4)
+	w.Sink(b)
+	return len(b)
+}`)
+	wantSites(t, f.Funcs["p.F"], KindMake)
+}
+
+// TestEscapingElementKeepsContainerOnStack is the directed-flow
+// regression: a composite literal whose element escapes on its own
+// (here, a slice also stored into a heap-visible map) must not be
+// dragged to the heap with it — the compiler keeps the container
+// stack-resident and only the element's own allocation is heap. This
+// is exactly the WAL-record pattern: &Record{Data: img} passed to a
+// non-leaking Append while img is retained in the transaction's write
+// buffer.
+func TestEscapingElementKeepsContainerOnStack(t *testing.T) {
+	f := computeSrc(t, `package p
+type R struct{ b []byte }
+type T struct{ m map[int][]byte }
+func consume(r *R) int { return len(r.b) }
+func (t *T) F(n int) int {
+	img := make([]byte, n) // a site: retained via t.m
+	t.m[0] = img
+	r := &R{b: img} // not a site: consume does not leak r
+	return consume(r)
+}`)
+	wantSites(t, f.Funcs["p.T.F"], KindMake)
+}
+
+// TestEscapingContainerLeaksElement is the sound direction of the same
+// edge: when the container escapes, values stored into it escape too.
+func TestEscapingContainerLeaksElement(t *testing.T) {
+	f := computeSrc(t, `package p
+type R struct{ b []byte }
+var sink *R
+func F(n int) {
+	img := make([]byte, n)
+	r := &R{b: img}
+	sink = r
+}`)
+	wantSites(t, f.Funcs["p.F"], KindMake, KindNew)
+}

@@ -215,6 +215,16 @@ func (db *DB) StartCheckpointLoop() { db.e.StartCheckpointLoop() }
 // in-progress checkpoint.
 func (db *DB) StopCheckpointLoop() { db.e.StopCheckpointLoop() }
 
+// ExecWrite commits a single-record update as one transaction without
+// the closure of Exec: begin, write, commit, with the engine recycling
+// the transaction object. Retries on checkpoint conflicts and
+// deadlocks, like Exec.
+//
+// perf:hotpath(closure-free single-record write+commit)
+func (db *DB) ExecWrite(rid uint64, data []byte) error {
+	return db.e.ExecWrite(rid, data)
+}
+
 // ReadRecord returns the committed value of record rid without
 // transactional isolation (use a Txn for isolated reads).
 func (db *DB) ReadRecord(rid uint64) ([]byte, error) {
@@ -223,6 +233,15 @@ func (db *DB) ReadRecord(rid uint64) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// ReadRecordInto reads the committed value of record rid into dst,
+// which must be at least RecordBytes long. It is ReadRecord without the
+// allocation: the caller owns and reuses the buffer.
+//
+// perf:hotpath(allocation-free committed read into a caller buffer)
+func (db *DB) ReadRecordInto(rid uint64, dst []byte) error {
+	return db.e.ReadRecord(rid, dst)
 }
 
 // Stats returns a snapshot of activity counters.
