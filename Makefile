@@ -30,7 +30,7 @@ vet:
 crashmatrix:
 	$(GO) test -race -run 'TestCrash|TestCommitInDoubt|TestRecoveryParallelEquivalence' ./internal/testbed/ ./kvstore/
 
-# The benchmark matrix: ckptbench across all six checkpoint algorithms
+# The benchmark matrix: ckptbench across all eight checkpoint algorithms
 # with an end-of-run crash, each run serially and with a 4-worker
 # checkpoint/recovery pipeline, writing the schema'd measured-vs-analytic
 # result file (commit latency quantiles, per-phase recovery times, the

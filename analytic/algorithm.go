@@ -30,10 +30,20 @@ const (
 	COUFlush
 	// COUCopy is COUCOPY: copy-on-update flushing through a buffer.
 	COUCopy
+	// Zigzag is ZIGZAG (Cao et al.): two full database images with a
+	// per-segment flip bit; the first updater of each segment per
+	// checkpoint copies it onto the shadow image, preserving the
+	// begin-state snapshot without allocation.
+	Zigzag
+	// Hourglass is HOURGLASS (Cao et al.): windowed copy-on-update —
+	// old versions live in a fixed pool of W preallocated segment
+	// buffers, bounding snapshot memory where COU is unbounded.
+	Hourglass
 )
 
-// Algorithms lists the algorithms in the paper's presentation order.
-var Algorithms = []Algorithm{FuzzyCopy, FastFuzzy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy}
+// Algorithms lists the algorithms in the paper's presentation order,
+// followed by the two post-paper extensions.
+var Algorithms = []Algorithm{FuzzyCopy, FastFuzzy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy, Zigzag, Hourglass}
 
 // String returns the paper's name for the algorithm.
 func (a Algorithm) String() string {
@@ -50,6 +60,10 @@ func (a Algorithm) String() string {
 		return "COUFLUSH"
 	case COUCopy:
 		return "COUCOPY"
+	case Zigzag:
+		return "ZIGZAG"
+	case Hourglass:
+		return "HOURGLASS"
 	default:
 		return fmt.Sprintf("analytic.Algorithm(%d)", int(a))
 	}
@@ -71,7 +85,7 @@ func Parse(name string) (Algorithm, error) {
 }
 
 // Valid reports whether a names a known algorithm.
-func (a Algorithm) Valid() bool { return a >= FuzzyCopy && a <= COUCopy }
+func (a Algorithm) Valid() bool { return a >= FuzzyCopy && a <= Hourglass }
 
 // TwoColor reports whether the algorithm aborts transactions under the
 // black/white rule.
@@ -96,10 +110,28 @@ func (a Algorithm) UsesLSN() bool {
 }
 
 // LocksSegments reports whether the checkpointer locks each segment as it
-// processes it (two-color and COU algorithms; fuzzy checkpoints need
-// "little or no synchronization").
-func (a Algorithm) LocksSegments() bool { return a.TwoColor() || a.CopyOnUpdate() }
+// processes it (two-color, COU, and the quiesce-family extensions; fuzzy
+// checkpoints need "little or no synchronization").
+func (a Algorithm) LocksSegments() bool {
+	return a.TwoColor() || a.CopyOnUpdate() || a == Zigzag || a == Hourglass
+}
 
 // RequiresStableTail reports whether the algorithm is only correct with a
 // stable log tail.
 func (a Algorithm) RequiresStableTail() bool { return a == FastFuzzy }
+
+// RequiresQuiesce reports whether checkpoint begin quiesces transaction
+// processing (COU, Zigzag, Hourglass share the begin protocol: stop
+// writers, stamp τ, flush the begin record). They also share its model
+// consequence: per-update timestamp maintenance while idle plus the
+// begin-quiesce latency, priced like COU's.
+func (a Algorithm) RequiresQuiesce() bool {
+	return a.CopyOnUpdate() || a == Zigzag || a == Hourglass
+}
+
+// PreservesOldVersions reports whether updaters preserve pre-checkpoint
+// segment versions for the checkpointer (COU's unbounded heap copies or
+// hourglass's bounded window).
+func (a Algorithm) PreservesOldVersions() bool {
+	return a.CopyOnUpdate() || a == Hourglass
+}

@@ -171,8 +171,7 @@ func Figure4e(p Params) (*Figure, error) {
 		Title:  "Processor Overhead with Stable Log Tail",
 		XLabel: "algorithm",
 	}
-	algs := []Algorithm{FuzzyCopy, FastFuzzy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy}
-	for i, alg := range algs {
+	for i, alg := range Algorithms {
 		res, err := Evaluate(p, Options{Algorithm: alg, StableTail: true})
 		if err != nil {
 			return nil, fmt.Errorf("figure 4e: %v: %w", alg, err)

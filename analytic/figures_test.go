@@ -98,8 +98,8 @@ func TestFigure4eStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Series) != 6 { // all algorithms including FASTFUZZY
-		t.Fatalf("figure 4e series = %d, want 6", len(fig.Series))
+	if len(fig.Series) != len(Algorithms) { // all algorithms including FASTFUZZY and the extensions
+		t.Fatalf("figure 4e series = %d, want %d", len(fig.Series), len(Algorithms))
 	}
 	for _, s := range fig.Series {
 		if !s.Points[0].Result.Options.StableTail {

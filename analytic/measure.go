@@ -22,6 +22,9 @@ type Counts struct {
 	LSNWaits           uint64
 	CheckpointerCopies uint64
 	COUCopies          uint64
+	// ZigzagFlips counts the updaters' Data/Shadow image flips (ZIGZAG
+	// only): each moves one segment onto the preallocated shadow slab.
+	ZigzagFlips uint64
 	// Checkpoints and SegmentsTotal size the per-sweep costs (dirty-bit
 	// scans, segment locking).
 	Checkpoints   uint64
@@ -52,12 +55,18 @@ func MeasuredOverhead(p Params, c Counts) (perTxn, sync, async float64, err erro
 	}
 	n := float64(c.TxnsCommitted)
 
-	// Synchronous: LSN/timestamp upkeep, COU copies, aborted attempts.
+	// Synchronous: LSN/timestamp upkeep, old-version preservation, zigzag
+	// flips, aborted attempts.
 	lsnActive := c.Algorithm.UsesLSN() && !c.StableTail
-	if lsnActive || c.Algorithm.CopyOnUpdate() {
+	if lsnActive || c.Algorithm.RequiresQuiesce() {
 		sync += float64(c.RecordsWritten) * p.CLSN / n
 	}
-	sync += float64(c.COUCopies) * (p.CAlloc + c.SegmentWords + 2*p.CLock) / n
+	perCopy := c.SegmentWords + 2*p.CLock
+	if c.Algorithm.CopyOnUpdate() {
+		perCopy += p.CAlloc // hourglass draws from a preallocated pool
+	}
+	sync += float64(c.COUCopies) * perCopy / n
+	sync += float64(c.ZigzagFlips) * (c.SegmentWords + 2*p.CLock) / n
 	sync += float64(c.ColorAborts) * (p.AbortWorkFraction*p.CTrans + p.CRestart) / n
 
 	// Asynchronous: checkpointer flushes, copies, LSN checks, locking

@@ -82,9 +82,17 @@ type Result struct {
 	// words of old copies live at once (copies are released as the sweep
 	// cursor passes them): N_seg·max_x (1−x)(1−e^(−x·u·A/N_seg))·S_seg —
 	// the quantitative form of the paper's warning that the snapshot
-	// buffer "could grow to be as large as the database itself".
+	// buffer "could grow to be as large as the database itself". For
+	// HOURGLASS the same copy count applies but the live buffer is capped
+	// at the window (Options.HourglassWindowSegments · S_seg).
 	COUCopiesPerCkpt  float64
 	COUOldBufferWords float64
+
+	// ZigzagFlipsPerCkpt is the expected number of updater-side image
+	// flips per ZIGZAG checkpoint (one per segment updated while the
+	// sweep is active); ZigzagFlipPerTxn is their per-transaction cost.
+	ZigzagFlipsPerCkpt float64
+	ZigzagFlipPerTxn   float64
 
 	// RecoverySeconds = BackupReadSeconds + LogReadSeconds (Figure 4a's
 	// second panel); LogWordsPerSecond is the log growth rate including
@@ -222,16 +230,33 @@ func Evaluate(p Params, o Options) (*Result, error) {
 
 	// --- Synchronous overhead -------------------------------------------
 
-	// LSN (or COU timestamp) maintenance per update.
-	if lsnActive || alg.CopyOnUpdate() {
+	// LSN (or quiesce-family timestamp) maintenance per update. The
+	// quiesce family — COU, ZIGZAG, HOURGLASS — stamps τ (or checks the
+	// flip bit) on every installed update.
+	if lsnActive || alg.RequiresQuiesce() {
 		r.LSNMaintPerTxn = p.NRU * p.CLSN
 	}
 
-	// Copy-on-update old-version preservation.
-	if alg.CopyOnUpdate() {
+	// Old-version preservation (COU's heap copies; HOURGLASS's windowed
+	// pool draws — no allocation, buffer capped at W). COU's copy count
+	// carries the cursor cutoff (a segment stops preserving once the
+	// in-order sweep passes it). HOURGLASS drains preserved copies out of
+	// sweep order as soon as they appear, which front-loads their I/O and
+	// delays the in-order cursor — in steady state nearly every segment
+	// first-updated during the sweep preserves before the cursor arrives,
+	// so the cutoff vanishes and the count follows the no-cutoff curve
+	// N·(1−e^(−x)) (cross-validated against the simulator).
+	if alg.PreservesOldVersions() {
 		x := p.UpdateRate() * r.ActiveSeconds / p.NumSegments()
-		r.COUCopiesPerCkpt = p.NumSegments() * oldCopyFraction(x)
-		perCopy := p.CAlloc + p.SSeg + 2*p.CLock // allocate, move S_seg words, re-latch
+		frac := oldCopyFraction(x)
+		if alg == Hourglass {
+			frac = oneMinusExp(x)
+		}
+		r.COUCopiesPerCkpt = p.NumSegments() * frac
+		perCopy := p.SSeg + 2*p.CLock // move S_seg words, re-latch
+		if alg.CopyOnUpdate() {
+			perCopy += p.CAlloc // hourglass draws from a preallocated pool instead
+		}
 		r.COUCopyPerTxn = r.COUCopiesPerCkpt / r.TxnsPerInterval * perCopy
 		// Peak live buffer: at cursor fraction c, a segment ahead of the
 		// cursor holds an old copy iff it was updated during [0, c·A];
@@ -244,6 +269,21 @@ func Evaluate(p Params, o Options) (*Result, error) {
 			}
 		}
 		r.COUOldBufferWords = p.NumSegments() * peak * p.SSeg
+		if alg == Hourglass {
+			if limit := o.hourglassWindow() * p.SSeg; r.COUOldBufferWords > limit {
+				r.COUOldBufferWords = limit
+			}
+		}
+	}
+
+	// Zigzag updater-side flips: every segment first-updated while the
+	// sweep is active pays one segment copy onto the preallocated shadow
+	// slab (no allocation), plus the latch work.
+	if alg == Zigzag {
+		x := p.UpdateRate() * r.ActiveSeconds / p.NumSegments()
+		r.ZigzagFlipsPerCkpt = p.NumSegments() * oneMinusExp(x)
+		perFlip := p.SSeg + 2*p.CLock
+		r.ZigzagFlipPerTxn = r.ZigzagFlipsPerCkpt / r.TxnsPerInterval * perFlip
 	}
 
 	// Two-color restarts.
@@ -276,7 +316,7 @@ func Evaluate(p Params, o Options) (*Result, error) {
 		r.RestartCostPerTxn = r.RestartsPerCommit * perAttempt
 	}
 
-	r.SyncOverheadPerTxn = r.LSNMaintPerTxn + r.COUCopyPerTxn + r.RestartCostPerTxn
+	r.SyncOverheadPerTxn = r.LSNMaintPerTxn + r.COUCopyPerTxn + r.ZigzagFlipPerTxn + r.RestartCostPerTxn
 
 	// --- Asynchronous (checkpointer) overhead ---------------------------
 

@@ -187,6 +187,23 @@ type Options struct {
 	// operation replay is only sound against a backup that is an exact
 	// state at a known log position.
 	LogicalLogging bool
+	// HourglassWindowSegments is the HOURGLASS old-copy window W in
+	// segments: the peak old-version buffer is capped at W·S_seg. Zero
+	// resolves to DefaultHourglassWindowSegments; ignored by every other
+	// algorithm.
+	HourglassWindowSegments float64
+}
+
+// DefaultHourglassWindowSegments mirrors the engine's
+// DefaultHourglassWindow: four preallocated old-copy buffers.
+const DefaultHourglassWindowSegments = 4
+
+// hourglassWindow resolves the zero value of HourglassWindowSegments.
+func (o Options) hourglassWindow() float64 {
+	if o.HourglassWindowSegments == 0 {
+		return DefaultHourglassWindowSegments
+	}
+	return o.HourglassWindowSegments
 }
 
 // Validate checks the options against the parameters.
@@ -202,6 +219,9 @@ func (o Options) Validate() error {
 	}
 	if o.LogicalLogging && !o.Algorithm.CopyOnUpdate() {
 		return fmt.Errorf("analytic: logical logging requires a copy-on-update algorithm, not %v", o.Algorithm)
+	}
+	if o.HourglassWindowSegments < 0 {
+		return fmt.Errorf("analytic: negative HourglassWindowSegments %v", o.HourglassWindowSegments)
 	}
 	return nil
 }

@@ -11,7 +11,7 @@
 // Example:
 //
 //	ckptbench -alg 2CCOPY -records 65536 -txns 20000 -writers 4 -crash
-//	ckptbench -matrix -crash -json BENCH_ckpt.json   # all six algorithms
+//	ckptbench -matrix -crash -json BENCH_ckpt.json   # all eight algorithms
 //	ckptbench -alg COUCOPY -parallel 1,4 -throttle -crash   # serial vs 4-worker pipeline
 //	ckptbench -alg COUCOPY -metrics :6060            # mmdbctl stats -addr http://localhost:6060/metrics
 package main
@@ -37,7 +37,7 @@ import (
 
 var (
 	algName  = flag.String("alg", "COUCOPY", "checkpoint algorithm")
-	matrix   = flag.Bool("matrix", false, "run all six algorithms in sequence (ignores -alg and -dir)")
+	matrix   = flag.Bool("matrix", false, "run all eight algorithms in sequence (ignores -alg and -dir)")
 	records  = flag.Int("records", 1<<16, "number of records")
 	recBytes = flag.Int("recbytes", 128, "record size in bytes")
 	segBytes = flag.Int("segbytes", 0, "segment size in bytes (0 = 256 records)")
@@ -85,6 +85,8 @@ type BenchResult struct {
 	BytesFlushed   uint64                       `json:"bytes_flushed"`
 	ColorRestarts  uint64                       `json:"color_restarts"`
 	COUCopies      uint64                       `json:"cou_copies"`
+	ZigzagFlips    uint64                       `json:"zigzag_flips,omitempty"`
+	HourglassWaits uint64                       `json:"hourglass_waits,omitempty"`
 	Latency        map[string]obs.HistogramJSON `json:"latency"`
 	Recovery       *RecoveryJSON                `json:"recovery,omitempty"`
 	Analytic       *AnalyticJSON                `json:"analytic,omitempty"`
@@ -385,6 +387,10 @@ func run(algName string, par int) (*BenchResult, error) {
 		st.ColorRestarts, st.TxnsBegun, st.PRestart())
 	fmt.Printf("copy-on-update: %d old-version copies (%.1f MB), peak %d live\n",
 		st.COUCopies, float64(st.COUCopyBytes)/1e6, st.COUPeakOld)
+	if st.ZigzagFlips > 0 || st.HourglassWaits > 0 {
+		fmt.Printf("extensions: %d zigzag flips (%.1f MB), %d hourglass window waits\n",
+			st.ZigzagFlips, float64(st.ZigzagFlipBytes)/1e6, st.HourglassWaits)
+	}
 	fmt.Printf("log: %d appends, %d flushes, %.1f MB; locks: %d acquired, %d waits, %d timeouts\n",
 		st.LogAppends, st.LogFlushes, float64(st.LogBytes)/1e6, st.LockAcquires, st.LockWaits, st.LockTimeouts)
 
@@ -408,6 +414,8 @@ func run(algName string, par int) (*BenchResult, error) {
 		BytesFlushed:   uint64(st.BytesFlushed),
 		ColorRestarts:  st.ColorRestarts,
 		COUCopies:      st.COUCopies,
+		ZigzagFlips:    st.ZigzagFlips,
+		HourglassWaits: st.HourglassWaits,
 		Latency:        map[string]obs.HistogramJSON{},
 	}
 	reg := db.MetricsRegistry()

@@ -15,7 +15,8 @@ import (
 // analytic model and simulator packages.
 type Algorithm = analytic.Algorithm
 
-// The six checkpoint algorithms (see the package documentation).
+// The eight checkpoint algorithms: the paper's six plus the ZIGZAG and
+// HOURGLASS extensions (see the package documentation).
 const (
 	FuzzyCopy     = analytic.FuzzyCopy
 	FastFuzzy     = analytic.FastFuzzy
@@ -23,10 +24,26 @@ const (
 	TwoColorCopy  = analytic.TwoColorCopy
 	COUFlush      = analytic.COUFlush
 	COUCopy       = analytic.COUCopy
+	Zigzag        = analytic.Zigzag
+	Hourglass     = analytic.Hourglass
 )
 
-// Algorithms lists every algorithm in the paper's presentation order.
-var Algorithms = analytic.Algorithms
+// Algorithms lists every algorithm in the paper's presentation order,
+// derived from the engine's enumeration so the two cannot drift: every
+// algorithm the engine implements must have an analytic counterpart with
+// the same paper name, or init panics.
+var Algorithms = func() []Algorithm {
+	engAlgs := engine.AllAlgorithms()
+	algs := make([]Algorithm, len(engAlgs))
+	for i, ea := range engAlgs {
+		a, err := analytic.Parse(ea.String())
+		if err != nil {
+			panic(fmt.Sprintf("mmdb: engine algorithm %v has no analytic counterpart: %v", ea, err))
+		}
+		algs[i] = a
+	}
+	return algs
+}()
 
 // ParseAlgorithm resolves a case-insensitive paper name ("COUCOPY",
 // "2cflush", ...) to an Algorithm.
@@ -105,6 +122,13 @@ type Config struct {
 	// image is byte-identical at any setting.
 	RecoveryParallelism int
 
+	// HourglassWindow is the HOURGLASS old-copy window W: the number of
+	// preallocated segment buffers available to writers for old-version
+	// preservation. Writers needing a buffer when all W are in use wait
+	// for the checkpointer to free one. Zero resolves to the engine
+	// default (4); ignored by every other algorithm.
+	HourglassWindow int
+
 	// ThrottleCheckpointIO paces checkpoint segment writes as if they went
 	// to the paper's disk bank (Table 2b: 30 ms seek, 3 µs/word, 20
 	// disks), with the modeled delays divided by ThrottleSpeedup. It lets
@@ -174,6 +198,10 @@ func engineAlgorithm(a Algorithm) (engine.Algorithm, error) {
 		return engine.COUFlush, nil
 	case COUCopy:
 		return engine.COUCopy, nil
+	case Zigzag:
+		return engine.Zigzag, nil
+	case Hourglass:
+		return engine.Hourglass, nil
 	default:
 		return 0, fmt.Errorf("mmdb: unknown algorithm %v", a)
 	}
@@ -207,6 +235,7 @@ func (c Config) engineParams() (engine.Params, error) {
 		CheckpointDirtyFraction: c.CheckpointDirtyFraction,
 		CheckpointParallelism:   c.CheckpointParallelism,
 		RecoveryParallelism:     c.RecoveryParallelism,
+		HourglassWindow:         c.HourglassWindow,
 		FS:                      c.FS,
 		SegmentHook:             c.CheckpointSegmentHook,
 	}

@@ -44,7 +44,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 // TestParseAlgorithmErrorListsNames: the public parser's error enumerates
-// all six valid names.
+// all eight valid names.
 func TestParseAlgorithmErrorListsNames(t *testing.T) {
 	_, err := ParseAlgorithm("SLOWCOPY")
 	if err == nil {

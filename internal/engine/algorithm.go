@@ -5,11 +5,15 @@ import (
 	"strings"
 )
 
-// Algorithm selects a checkpoint algorithm from Section 3 of the paper.
+// Algorithm selects a checkpoint algorithm from Section 3 of the paper,
+// or one of the two post-paper extensions (Zigzag, Hourglass).
 type Algorithm uint8
 
 // The five checkpoint algorithms compared by the paper, plus FASTFUZZY
-// (introduced in Section 4 for systems with a stable log tail).
+// (introduced in Section 4 for systems with a stable log tail), plus the
+// two consistent-snapshot algorithms of Cao et al., "A Comparative Study
+// of Consistent Snapshot Algorithms for Main-Memory Database Systems":
+// Zigzag and Hourglass, adapted here from page to segment granularity.
 const (
 	// FuzzyCopy (the paper's FUZZYCOPY) copies each segment into an I/O
 	// buffer and flushes the buffer once the log is durable past the
@@ -32,10 +36,34 @@ const (
 	// COUCopy (COUCOPY) is copy-on-update checkpointing with untouched
 	// dirty segments copied to a buffer and flushed after unlatching.
 	COUCopy
+	// Zigzag (ZIGZAG) keeps two full database images (Data/Shadow) and
+	// two bits per segment. At checkpoint begin (under quiescence) every
+	// segment is armed; the first writer to touch an armed segment flips
+	// its live image onto the shadow slab, preserving the begin-state
+	// image, which the checkpointer then flushes without latching. The
+	// backup is transaction-consistent at begin, like COU, but the
+	// write-path cost is a segment copy instead of a buffer allocation.
+	Zigzag
+	// Hourglass (HOURGLASS) is windowed copy-on-update: old versions are
+	// preserved in a fixed pool of W preallocated segment buffers (the
+	// hourglass "waist"). A writer needing a buffer when the pool is
+	// empty waits until the checkpointer returns one, bounding snapshot
+	// memory at W segments where plain COU is unbounded.
+	Hourglass
 )
 
 // Algorithms lists every algorithm in presentation order.
-var Algorithms = []Algorithm{FuzzyCopy, FastFuzzy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy}
+var Algorithms = []Algorithm{FuzzyCopy, FastFuzzy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy, Zigzag, Hourglass}
+
+// AllAlgorithms returns a fresh copy of the full algorithm list. Every
+// consumer that sweeps "all algorithms" (the crash matrix, ckptbench
+// -matrix, the mmdb package's public Algorithms list) derives from this
+// single slice, so adding an algorithm here extends them all.
+func AllAlgorithms() []Algorithm {
+	out := make([]Algorithm, len(Algorithms))
+	copy(out, Algorithms)
+	return out
+}
 
 // String returns the paper's name for the algorithm.
 func (a Algorithm) String() string {
@@ -52,23 +80,33 @@ func (a Algorithm) String() string {
 		return "COUFLUSH"
 	case COUCopy:
 		return "COUCOPY"
+	case Zigzag:
+		return "ZIGZAG"
+	case Hourglass:
+		return "HOURGLASS"
 	default:
 		return fmt.Sprintf("engine.Algorithm(%d)", uint8(a))
 	}
 }
 
 // ParseAlgorithm resolves a (case-insensitive) paper name to an Algorithm.
+// The error enumerates every valid name, derived from Algorithms so a new
+// algorithm appears without touching this function.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	for _, a := range Algorithms {
 		if strings.EqualFold(s, a.String()) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("engine: unknown checkpoint algorithm %q (want one of FUZZYCOPY, FASTFUZZY, 2CFLUSH, 2CCOPY, COUFLUSH, COUCOPY)", s)
+	names := make([]string, len(Algorithms))
+	for i, a := range Algorithms {
+		names[i] = a.String()
+	}
+	return 0, fmt.Errorf("engine: unknown checkpoint algorithm %q (want one of %s)", s, strings.Join(names, ", "))
 }
 
 // Valid reports whether a names a known algorithm.
-func (a Algorithm) Valid() bool { return a >= FuzzyCopy && a <= COUCopy }
+func (a Algorithm) Valid() bool { return a >= FuzzyCopy && a <= Hourglass }
 
 // TwoColor reports whether the algorithm is a black/white locking
 // algorithm, which aborts transactions that touch both colors.
@@ -76,6 +114,10 @@ func (a Algorithm) TwoColor() bool { return a == TwoColorFlush || a == TwoColorC
 
 // CopyOnUpdate reports whether the algorithm requires transactions to
 // preserve pre-checkpoint segment versions while a checkpoint runs.
+// Hourglass is deliberately excluded: it preserves old versions too, but
+// through the bounded buffer pool rather than per-segment allocation, so
+// the COU dispatch paths (dropOldCopies, the unbounded-buffer accounting)
+// do not apply to it unchanged.
 func (a Algorithm) CopyOnUpdate() bool { return a == COUFlush || a == COUCopy }
 
 // Fuzzy reports whether the algorithm produces fuzzy (not
@@ -92,7 +134,8 @@ func (a Algorithm) CopiesSegments() bool {
 // before flushing a segment to preserve the write-ahead rule. COU
 // algorithms never need LSNs (every update they flush predates the
 // checkpoint's begin marker, whose log tail flush made it durable), and
-// FASTFUZZY relies on a stable tail instead.
+// FASTFUZZY relies on a stable tail instead. Zigzag and Hourglass flush
+// only begin-state images, so they inherit the COU argument.
 func (a Algorithm) UsesLSN() bool {
 	return a == FuzzyCopy || a == TwoColorFlush || a == TwoColorCopy
 }
@@ -102,5 +145,9 @@ func (a Algorithm) UsesLSN() bool {
 func (a Algorithm) RequiresStableTail() bool { return a == FastFuzzy }
 
 // RequiresQuiesce reports whether checkpoint begin must quiesce
-// transaction processing.
-func (a Algorithm) RequiresQuiesce() bool { return a.CopyOnUpdate() }
+// transaction processing. The quiesce family shares the same begin
+// protocol: stop writers, stamp τ, flush the begin record, then publish
+// the run so writers resume against it.
+func (a Algorithm) RequiresQuiesce() bool {
+	return a.CopyOnUpdate() || a == Zigzag || a == Hourglass
+}

@@ -94,6 +94,11 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 		}
 		scanStart = beginLSN
 		if err == nil {
+			if alg == Zigzag {
+				// Arm every segment's zigzag bits while writers are still
+				// gated, so no flip can precede the arm.
+				e.zigzagArm(run)
+			}
 			e.cur.Store(run)
 		}
 		e.unquiesce()
@@ -142,6 +147,7 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 		Timestamp:    run.tau,
 	}); err != nil {
 		e.cur.Store(nil)
+		e.endRunCleanup(alg)
 		return nil, err
 	}
 
@@ -157,14 +163,16 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 		flushed, skipped, bytes, err = e.sweepTwoColor(ctx, run)
 	case alg.CopyOnUpdate():
 		flushed, skipped, bytes, err = e.sweepCOU(ctx, run)
+	case alg == Zigzag:
+		flushed, skipped, bytes, err = e.sweepZigzag(ctx, run)
+	case alg == Hourglass:
+		flushed, skipped, bytes, err = e.sweepHourglass(ctx, run)
 	default:
 		err = fmt.Errorf("engine: unknown algorithm %v", alg)
 	}
 
 	e.cur.Store(nil)
-	if alg.CopyOnUpdate() {
-		e.dropOldCopies()
-	}
+	e.endRunCleanup(alg)
 	if err != nil {
 		// The target copy stays marked incomplete; recovery falls back to
 		// the other ping-pong copy.
@@ -289,6 +297,22 @@ func (e *Engine) compactLog() {
 		e.ctr.compactions.Add(1)
 		e.ctr.compactBytes.Add(uint64(freed))
 		e.eo.tracer.Record(obs.EvCompaction, uint64(freed), 0, 0)
+	}
+}
+
+// endRunCleanup releases per-run state after the run is unpublished
+// (e.cur is nil): COU drops stray old copies, hourglass reclaims its
+// window buffers and wakes waiting writers. It runs on the success path
+// AND on every error path that published the run — hourglass writers
+// blocked on the buffer pool depend on it to wake.
+//
+// lockorder:held Engine.ckptMu
+func (e *Engine) endRunCleanup(alg Algorithm) {
+	switch {
+	case alg == Hourglass:
+		e.hgEndRun()
+	case alg.CopyOnUpdate():
+		e.dropOldCopies()
 	}
 }
 

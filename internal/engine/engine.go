@@ -90,6 +90,9 @@ type Engine struct {
 
 	// cur is the in-progress checkpoint, nil when idle.
 	cur atomic.Pointer[ckptRun]
+	// hg is the hourglass window buffer pool; nil unless
+	// Params.Algorithm is Hourglass.
+	hg *hgPool
 	// ckptMu serializes checkpoints (and the backup metadata). It is the
 	// outermost engine lock: every other lock nests inside it.
 	ckptMu sync.Mutex // lockorder:level=10
@@ -181,6 +184,12 @@ func newEngine(p Params, st *storage.Store, lg *wal.Log, bs *backup.Store, nextC
 		// Params-supplied operations silently skip built-in collisions;
 		// Validate rejected them already.
 		e.ops[code] = fn //nolint:lockcheck // e is not shared until newEngine returns
+	}
+	switch p.Algorithm {
+	case Zigzag:
+		st.EnableShadow()
+	case Hourglass:
+		e.hg = newHGPool(p.HourglassWindow, p.Storage.SegmentBytes, st.NumSegments()) //nolint:lockcheck // e is not shared until newEngine returns
 	}
 	e.clock.Store(clock0)
 	e.txnCond = sync.NewCond(&e.txnMu)

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -93,17 +94,58 @@ func TestParamsValidation(t *testing.T) {
 }
 
 func TestParseAlgorithm(t *testing.T) {
-	for _, a := range Algorithms {
-		got, err := ParseAlgorithm(a.String())
-		if err != nil || got != a {
-			t.Errorf("ParseAlgorithm(%q) = %v, %v", a.String(), got, err)
+	// Explicit name table: adding a ninth algorithm must extend this test
+	// (and the paper-name mapping) deliberately, not silently.
+	names := []struct {
+		name string
+		want Algorithm
+	}{
+		{"FUZZYCOPY", FuzzyCopy},
+		{"FASTFUZZY", FastFuzzy},
+		{"2CFLUSH", TwoColorFlush},
+		{"2CCOPY", TwoColorCopy},
+		{"COUFLUSH", COUFlush},
+		{"COUCOPY", COUCopy},
+		{"ZIGZAG", Zigzag},
+		{"HOURGLASS", Hourglass},
+	}
+	if len(names) != len(Algorithms) {
+		t.Fatalf("name table has %d entries but Algorithms lists %d; extend the table", len(names), len(Algorithms))
+	}
+	for _, c := range names {
+		got, err := ParseAlgorithm(c.name)
+		if err != nil || got != c.want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v, want %v", c.name, got, err, c.want)
+		}
+		if got.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.want, got.String(), c.name)
 		}
 	}
 	if _, err := ParseAlgorithm("couflush"); err != nil {
 		t.Errorf("case-insensitive parse failed: %v", err)
 	}
-	if _, err := ParseAlgorithm("NOPE"); err == nil {
-		t.Error("unknown name accepted")
+	_, err := ParseAlgorithm("NOPE")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	// The error must enumerate every valid name.
+	for _, c := range names {
+		if !strings.Contains(err.Error(), c.name) {
+			t.Errorf("parse error %q does not list %s", err, c.name)
+		}
+	}
+}
+
+// TestAllAlgorithmsIsolated: AllAlgorithms hands out a copy, so callers
+// cannot corrupt the canonical list.
+func TestAllAlgorithmsIsolated(t *testing.T) {
+	a := AllAlgorithms()
+	if len(a) != len(Algorithms) {
+		t.Fatalf("AllAlgorithms len = %d, want %d", len(a), len(Algorithms))
+	}
+	a[0] = Algorithm(99)
+	if Algorithms[0] == Algorithm(99) {
+		t.Error("mutating the returned slice corrupted the canonical list")
 	}
 }
 
@@ -119,6 +161,11 @@ func TestAlgorithmProperties(t *testing.T) {
 		{TwoColorCopy, true, false, false, true, true, false, false},
 		{COUFlush, false, true, false, false, false, false, true},
 		{COUCopy, false, true, false, true, false, false, true},
+		{Zigzag, false, false, false, false, false, false, true},
+		{Hourglass, false, false, false, false, false, false, true},
+	}
+	if len(cases) != len(Algorithms) {
+		t.Fatalf("property table has %d rows but Algorithms lists %d; extend the table", len(cases), len(Algorithms))
 	}
 	for _, c := range cases {
 		if c.a.TwoColor() != c.twoColor || c.a.CopyOnUpdate() != c.cou ||

@@ -115,6 +115,9 @@ func (eo *engineObs) bind(e *Engine) {
 	reg.CounterFunc("mmdb_engine_cou_copy_bytes_total", "Bytes copied for copy-on-update old versions.", c.couCopyBytes.Load)
 	reg.GaugeFunc("mmdb_engine_cou_live_old", "Old copies currently held.",
 		func() float64 { return float64(c.couLive.Load()) })
+	reg.CounterFunc("mmdb_engine_zigzag_flips_total", "Zigzag Data/Shadow image flips made by updaters.", c.zigzagFlips.Load)
+	reg.CounterFunc("mmdb_engine_zigzag_flip_bytes_total", "Bytes copied by zigzag image flips.", c.zigzagFlipBytes.Load)
+	reg.CounterFunc("mmdb_engine_hourglass_waits_total", "Writer waits for an hourglass window buffer.", c.hgWaits.Load)
 	reg.CounterFunc("mmdb_engine_lsn_waits_total", "Checkpointer LSN durability waits.", c.lsnWaits.Load)
 	reg.CounterFunc("mmdb_engine_log_compactions_total", "Log head compactions.", c.compactions.Load)
 	reg.CounterFunc("mmdb_engine_log_compacted_bytes_total", "Log bytes dropped by compaction.", c.compactBytes.Load)

@@ -111,6 +111,10 @@ func (e *Engine) sweepParallel(ctx context.Context, run *ckptRun, par int) (flus
 		return e.sweepBarrierParallel(ctx, run, par)
 	case run.alg.CopyOnUpdate():
 		return e.sweepCOUParallel(ctx, run, par)
+	case run.alg == Zigzag:
+		return e.sweepZigzagParallel(ctx, run, par)
+	case run.alg == Hourglass:
+		return e.sweepHourglassParallel(ctx, run, par)
 	default:
 		return 0, 0, 0, fmt.Errorf("engine: unknown algorithm %v", run.alg)
 	}

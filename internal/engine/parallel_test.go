@@ -9,9 +9,9 @@ import (
 	"time"
 )
 
-var allAlgorithms = []Algorithm{
-	FuzzyCopy, FastFuzzy, TwoColorFlush, TwoColorCopy, COUFlush, COUCopy,
-}
+// allAlgorithms is the canonical list — derived, not duplicated, so a new
+// algorithm is swept by the parallel/recovery oracles automatically.
+var allAlgorithms = AllAlgorithms()
 
 // parallelParams is testParams with the parallel checkpoint and recovery
 // pipelines switched on.

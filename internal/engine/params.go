@@ -142,6 +142,13 @@ type Params struct {
 	// log order is preserved where it matters.
 	RecoveryParallelism int
 
+	// HourglassWindow is the HOURGLASS old-copy window W: the number of
+	// preallocated segment buffers writers may hold old versions in at
+	// once. A writer needing a buffer when all W are in use waits for
+	// the checkpointer to free one. Zero resolves to
+	// DefaultHourglassWindow; ignored by every other algorithm.
+	HourglassWindow int
+
 	// SegmentHook, if set, runs after the checkpointer finishes each
 	// segment; returning an error aborts the checkpoint with that error.
 	// worker is the index of the sweep worker that processed the segment
@@ -184,6 +191,9 @@ func (p Params) withDefaults() Params {
 	if p.RecoveryParallelism == 0 {
 		p.RecoveryParallelism = DefaultParallelism()
 	}
+	if p.HourglassWindow == 0 {
+		p.HourglassWindow = DefaultHourglassWindow
+	}
 	return p
 }
 
@@ -217,6 +227,9 @@ func (p Params) Validate() error {
 	}
 	if p.RecoveryParallelism < 0 {
 		return fmt.Errorf("engine: negative RecoveryParallelism %d", p.RecoveryParallelism)
+	}
+	if p.HourglassWindow < 0 {
+		return fmt.Errorf("engine: negative HourglassWindow %d", p.HourglassWindow)
 	}
 	builtin := builtinOps()
 	for code, fn := range p.Operations {

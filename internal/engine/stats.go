@@ -16,10 +16,14 @@ type counters struct {
 	recordsWritten atomic.Uint64
 	logicalOps     atomic.Uint64
 
-	couCopies    atomic.Uint64 // old-version copies made by updaters
+	couCopies    atomic.Uint64 // old-version copies made by updaters (COU and hourglass)
 	couCopyBytes atomic.Uint64
 	couLive      atomic.Int64 // old copies currently held
 	couPeak      atomic.Int64 // high-water mark of old copies
+
+	zigzagFlips     atomic.Uint64 // zigzag Data/Shadow flips made by updaters
+	zigzagFlipBytes atomic.Uint64
+	hgWaits         atomic.Uint64 // writer waits for an hourglass window buffer
 
 	checkpoints      atomic.Uint64
 	segmentsFlushed  atomic.Uint64
@@ -76,11 +80,21 @@ type Stats struct {
 	// logging) rather than physical after images.
 	LogicalOps uint64
 
-	// Copy-on-update activity.
+	// Copy-on-update activity (COU proper and hourglass's windowed
+	// variant share these; hourglass additionally bounds COUPeakOld at
+	// Params.HourglassWindow).
 	COUCopies    uint64
 	COUCopyBytes uint64
 	COULiveOld   int64
 	COUPeakOld   int64
+
+	// Zigzag activity: updater-side Data/Shadow flips (at most one per
+	// segment per checkpoint).
+	ZigzagFlips     uint64
+	ZigzagFlipBytes uint64
+	// HourglassWaits counts writer stalls on an exhausted old-copy
+	// window.
+	HourglassWaits uint64
 
 	// Checkpointing.
 	Checkpoints         uint64
@@ -143,6 +157,10 @@ func (e *Engine) Stats() Stats {
 		COUCopyBytes: c.couCopyBytes.Load(),
 		COULiveOld:   c.couLive.Load(),
 		COUPeakOld:   c.couPeak.Load(),
+
+		ZigzagFlips:     c.zigzagFlips.Load(),
+		ZigzagFlipBytes: c.zigzagFlipBytes.Load(),
+		HourglassWaits:  c.hgWaits.Load(),
 
 		Checkpoints:         c.checkpoints.Load(),
 		SegmentsFlushed:     c.segmentsFlushed.Load(),

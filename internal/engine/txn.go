@@ -296,20 +296,38 @@ func (tx *Txn) install(commitEnd wal.LSN) {
 			panic(fmt.Sprintf("engine: install: %v", err))
 		}
 		seg.Lock()
-		if run := e.cur.Load(); run != nil && run.alg.CopyOnUpdate() &&
-			int64(segIdx) > run.curSeg.Load() && seg.TS <= run.tau && seg.Old == nil {
-			// First post-checkpoint update of a not-yet-dumped segment:
-			// save the old version so the checkpointer still sees the
-			// transaction-consistent snapshot taken at τ(CH).
-			old := &storage.OldCopy{ // alloc:allowed(copy-on-update old-version preservation: at most one copy per segment per checkpoint, Figure 3.2)
-				Data:  append([]byte(nil), seg.Data...), // alloc:allowed(the preserved snapshot must outlive the transaction)
-				Dirty: seg.Dirty,
-				TS:    seg.TS,
+		if run := e.cur.Load(); run != nil {
+			switch {
+			case run.alg.CopyOnUpdate():
+				if int64(segIdx) > run.curSeg.Load() && seg.TS <= run.tau && seg.Old == nil {
+					// First post-checkpoint update of a not-yet-dumped segment:
+					// save the old version so the checkpointer still sees the
+					// transaction-consistent snapshot taken at τ(CH).
+					old := &storage.OldCopy{ // alloc:allowed(copy-on-update old-version preservation: at most one copy per segment per checkpoint, Figure 3.2)
+						Data:  append([]byte(nil), seg.Data...), // alloc:allowed(the preserved snapshot must outlive the transaction)
+						Dirty: seg.Dirty,
+						TS:    seg.TS,
+					}
+					seg.Old = old
+					e.ctr.couCopies.Add(1)
+					e.ctr.couCopyBytes.Add(uint64(len(old.Data)))
+					e.ctr.bumpCOULive(1)
+				}
+			case run.alg == Zigzag:
+				if seg.ZigPending {
+					// First update of an armed segment: flip — park the
+					// begin-state image on the shadow slab and install into
+					// the other one. At most one flip per segment per run,
+					// and no allocation (the shadow slab is preallocated).
+					copy(seg.Shadow, seg.Data)
+					seg.Data, seg.Shadow = seg.Shadow, seg.Data
+					seg.ZigPending = false
+					e.ctr.zigzagFlips.Add(1)
+					e.ctr.zigzagFlipBytes.Add(uint64(len(seg.Data)))
+				}
+			case run.alg == Hourglass:
+				tx.hourglassPreserve(run, seg, segIdx)
 			}
-			seg.Old = old
-			e.ctr.couCopies.Add(1)
-			e.ctr.couCopyBytes.Add(uint64(len(old.Data)))
-			e.ctr.bumpCOULive(1)
 		}
 		copy(seg.Data[off:off+rb], img)
 		seg.TS = tx.ts

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// propSeed resolves the seed for a property test: MMDB_PROP_SEED pins a
+// replay, otherwise the clock picks one. The seed is always logged so a
+// failure can be reproduced exactly.
+func propSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("MMDB_PROP_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("MMDB_PROP_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("property seed %d (replay: MMDB_PROP_SEED=%d go test -run '%s')", seed, seed, t.Name())
+	return seed
+}
+
+// roundHook is a re-armable pauseHook: the property tests park the
+// checkpointer at a freshly chosen segment every round, so the channels
+// are replaced on each arm instead of being one-shot.
+type roundHook struct {
+	mu         sync.Mutex
+	pauseAfter int
+	armed      bool
+	paused     chan struct{} // closed when the checkpointer parks
+	resume     chan struct{} // release closes to let it continue
+}
+
+func (h *roundHook) fn(_ uint64, _, segIdx int) error {
+	h.mu.Lock()
+	if !h.armed || segIdx != h.pauseAfter {
+		h.mu.Unlock()
+		return nil
+	}
+	h.armed = false
+	paused, resume := h.paused, h.resume
+	h.mu.Unlock()
+	close(paused)
+	<-resume
+	return nil
+}
+
+func (h *roundHook) arm(after int) {
+	h.mu.Lock()
+	h.pauseAfter = after
+	h.armed = true
+	h.paused = make(chan struct{})
+	h.resume = make(chan struct{})
+	h.mu.Unlock()
+}
+
+func (h *roundHook) release() {
+	h.mu.Lock()
+	resume := h.resume
+	h.mu.Unlock()
+	close(resume)
+}
+
+func (h *roundHook) waitPaused(t *testing.T, what string) {
+	t.Helper()
+	h.mu.Lock()
+	paused := h.paused
+	h.mu.Unlock()
+	select {
+	case <-paused:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s: checkpointer never parked", what)
+	}
+}
+
+// TestZigzagInvariantsProperty drives 100 seeded rounds of writes
+// interleaved with a checkpoint parked at a random segment and checks the
+// dual-bit invariants that make ZIGZAG's unlatched flush safe:
+//
+//  1. ZigPending tracks "no install this run" exactly: a segment flips on
+//     its first mid-run write and never again (the flip count equals the
+//     number of first-written segments).
+//  2. The begin-state image survives the run unmodified — on the live
+//     slab while ZigPending, parked on the shadow slab after a flip.
+//  3. SnapNeed is consumed exactly by the sweep: cleared for processed
+//     segments, still armed for the rest (Full run), and empty once the
+//     checkpoint finishes.
+func TestZigzagInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(propSeed(t)))
+
+	p := testParams(t, Zigzag)
+	p.Full = true
+	p.SyncCommit = false // correctness invariants don't need fsync; keep 100 rounds fast
+	hook := &roundHook{}
+	p.SegmentHook = hook.fn
+	e := mustOpen(t, p)
+	defer e.Close()
+
+	n := e.store.NumSegments()
+	segBytes := e.store.Config().SegmentBytes
+	recs := int(e.NumRecords())
+	recsPerSeg := recs / n
+	oracle := make([]uint64, recs)
+	write := func(rid uint64, v uint64) {
+		t.Helper()
+		if err := e.ExecWrite(rid, encVal(v)); err != nil {
+			t.Fatal(err)
+		}
+		oracle[rid] = v
+	}
+
+	begin := make([][]byte, n)
+	for i := range begin {
+		begin[i] = make([]byte, segBytes)
+	}
+
+	const rounds = 100
+	for round := 0; round < rounds; round++ {
+		for k, kn := 0, 4+rng.Intn(8); k < kn; k++ {
+			write(uint64(rng.Intn(recs)), uint64(round+1)<<16|uint64(k+1))
+		}
+		// Snapshot the begin-state image: nothing commits between here and
+		// the checkpoint's τ, so this is exactly what the run must preserve.
+		for i := 0; i < n; i++ {
+			seg := e.store.Seg(i)
+			seg.Lock()
+			copy(begin[i], seg.Data)
+			seg.Unlock()
+		}
+
+		pauseAfter := rng.Intn(n)
+		hook.arm(pauseAfter)
+		flips0 := e.Stats().ZigzagFlips
+		ckptErr := make(chan error, 1)
+		go func() {
+			_, err := e.Checkpoint()
+			ckptErr <- err
+		}()
+		hook.waitPaused(t, "zigzag round")
+
+		// Mid-run writes: the first write to each segment must flip it,
+		// re-writes must not flip again.
+		written := make(map[int]bool)
+		for k, kn := 0, rng.Intn(12); k < kn; k++ {
+			rid := uint64(rng.Intn(recs))
+			write(rid, uint64(round+1)<<16|0x8000|uint64(k))
+			written[int(rid)/recsPerSeg] = true
+		}
+
+		for i := 0; i < n; i++ {
+			seg := e.store.Seg(i)
+			seg.Lock()
+			zig, snap := seg.ZigPending, seg.SnapNeed
+			img := seg.Shadow
+			if zig {
+				img = seg.Data
+			}
+			preserved := bytes.Equal(img, begin[i])
+			seg.Unlock()
+			if zig == written[i] {
+				t.Fatalf("round %d seg %d: ZigPending=%v but written-this-run=%v (must flip exactly on first write)",
+					round, i, zig, written[i])
+			}
+			if !preserved {
+				t.Fatalf("round %d seg %d: begin-state image lost (ZigPending=%v)", round, i, zig)
+			}
+			if want := i > pauseAfter; snap != want {
+				t.Fatalf("round %d seg %d: SnapNeed=%v, want %v (sweep parked after seg %d)",
+					round, i, snap, want, pauseAfter)
+			}
+		}
+		if flips := e.Stats().ZigzagFlips - flips0; flips != uint64(len(written)) {
+			t.Fatalf("round %d: %d flips for %d first-written segments (must flip once per segment per run)",
+				round, flips, len(written))
+		}
+
+		hook.release()
+		if err := <-ckptErr; err != nil {
+			t.Fatalf("round %d: checkpoint: %v", round, err)
+		}
+		for i := 0; i < n; i++ {
+			seg := e.store.Seg(i)
+			seg.Lock()
+			snap := seg.SnapNeed
+			seg.Unlock()
+			if snap {
+				t.Fatalf("round %d seg %d: SnapNeed survived the checkpoint", round, i)
+			}
+		}
+	}
+
+	for rid := 0; rid < recs; rid++ {
+		if got := readVal(t, e, uint64(rid)); got != oracle[rid] {
+			t.Fatalf("record %d = %d, want %d", rid, got, oracle[rid])
+		}
+	}
+}
+
+// TestZigzagWriteAllocationFree pins the ZIGZAG write path — including
+// the flip itself — at zero heap allocations per operation: the flip is
+// a copy onto the preallocated shadow slab plus a pointer swap, never an
+// allocation. The checkpoint is parked mid-sweep so every measured write
+// runs against an active run, and the segment is re-armed before each
+// write so the flip branch executes every iteration.
+func TestZigzagWriteAllocationFree(t *testing.T) {
+	p := testParams(t, Zigzag)
+	p.Full = true
+	hook := &roundHook{}
+	p.SegmentHook = hook.fn
+	e := mustOpen(t, p)
+	defer e.Close()
+
+	val := encVal(7)
+	for i := 0; i < 64; i++ { // idle-path warm-up (txn slot, freelist, lock table)
+		if err := e.ExecWrite(3, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hook.arm(0)
+	ckptErr := make(chan error, 1)
+	go func() {
+		_, err := e.Checkpoint()
+		ckptErr <- err
+	}()
+	hook.waitPaused(t, "zigzag alloc guard")
+
+	seg := e.store.Seg(0) // record 3 lives in segment 0
+	flipWrite := func() {
+		seg.Lock()
+		seg.ZigPending = true
+		seg.Unlock()
+		if err := e.ExecWrite(3, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ { // in-run warm-up
+		flipWrite()
+	}
+	flips0 := e.Stats().ZigzagFlips
+	allocs := testing.AllocsPerRun(512, flipWrite)
+	if allocs != 0 {
+		t.Errorf("zigzag flip write: %v allocs/op, want 0", allocs)
+	}
+	if flips := e.Stats().ZigzagFlips - flips0; flips < 512 {
+		t.Errorf("only %d flips measured, want >= 512 (the flip branch must run every iteration)", flips)
+	}
+
+	hook.release()
+	if err := <-ckptErr; err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+}

@@ -117,6 +117,29 @@ type Segment struct {
 	// Old points at the copy-on-update old version, if a transaction has
 	// preserved one during the current checkpoint. guarded_by:RWMutex
 	Old *OldCopy
+
+	// Shadow is the zigzag second slab: a full alternate image of the
+	// segment, allocated only when the store is opened with EnableShadow
+	// (nil otherwise). Zigzag keeps two bits per segment — which image is
+	// live and whether the live image has diverged from the begin-state
+	// image — realised here as the Data/Shadow pointer pair plus
+	// ZigPending. While a zigzag checkpoint is active and ZigPending has
+	// been consumed, Shadow holds the image as of checkpoint begin and is
+	// never written again until the next begin. guarded_by:RWMutex
+	Shadow []byte
+
+	// ZigPending is the zigzag "not yet diverged" bit: set for every
+	// segment when a zigzag checkpoint begins (under quiescence), cleared
+	// by the first writer to touch the segment during the run, at which
+	// point the writer has flipped Data/Shadow so Shadow preserves the
+	// begin-state image. guarded_by:RWMutex
+	ZigPending bool
+
+	// SnapNeed is the zigzag "this run must dump me" bit, latched at
+	// checkpoint begin as Full || Dirty[target]. The sweep consults it
+	// instead of the live Dirty bits because a mid-run writer flip swaps
+	// which physical buffer the dirty bits describe. guarded_by:RWMutex
+	SnapNeed bool
 }
 
 // Snapshot copies the segment image into dst (which must be SegmentBytes
@@ -160,6 +183,21 @@ func New(cfg Config) (*Store, error) {
 		st.segs[i].LastLSN = wal.NilLSN                                        //nolint:lockcheck // not shared until New returns
 	}
 	return st, nil
+}
+
+// EnableShadow allocates the zigzag second slab: one alternate full-size
+// image per segment, backing Segment.Shadow. Idempotent. Must be called
+// before the store is shared (engine construction, like New itself) — the
+// zigzag write path then flips Data/Shadow under the segment latch with
+// zero allocations.
+func (s *Store) EnableShadow() {
+	if s.segs[0].Shadow != nil { //nolint:lockcheck // not shared until engine construction returns
+		return
+	}
+	slab := make([]byte, s.cfg.DatabaseBytes())
+	for i := range s.segs {
+		s.segs[i].Shadow = slab[i*s.cfg.SegmentBytes : (i+1)*s.cfg.SegmentBytes] //nolint:lockcheck // not shared until engine construction returns
+	}
 }
 
 // Config returns the store geometry.

@@ -288,6 +288,7 @@ func (db *DB) MeasuredCounts() analytic.Counts {
 		LSNWaits:           st.LSNWaits,
 		CheckpointerCopies: st.CheckpointerCopies,
 		COUCopies:          st.COUCopies,
+		ZigzagFlips:        st.ZigzagFlips,
 		Checkpoints:        st.Checkpoints,
 		SegmentsTotal:      uint64(db.NumSegments()),
 		SegmentWords:       float64(cfg.SegmentBytes) / 4,

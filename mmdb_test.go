@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"mmdb/internal/engine"
 	"mmdb/workload"
 )
 
@@ -113,6 +114,33 @@ func TestParseAlgorithmAndNames(t *testing.T) {
 	}
 	if _, err := ParseAlgorithm("bogus"); err == nil {
 		t.Error("bogus algorithm parsed")
+	}
+}
+
+// TestAlgorithmListDerivedFromEngine: the public Algorithms list (which the
+// crash matrix, ckptbench -matrix, and the analytic figures all iterate)
+// is derived from the engine's enumeration — every engine algorithm maps
+// to an analytic one with the same paper name, and the mapping through
+// Config round-trips to the same engine value.
+func TestAlgorithmListDerivedFromEngine(t *testing.T) {
+	engAlgs := engine.AllAlgorithms()
+	if len(Algorithms) != len(engAlgs) {
+		t.Fatalf("mmdb.Algorithms has %d entries, engine has %d", len(Algorithms), len(engAlgs))
+	}
+	for i, a := range Algorithms {
+		if got, want := a.String(), engAlgs[i].String(); got != want {
+			t.Errorf("Algorithms[%d] = %s, engine lists %s", i, got, want)
+		}
+		cfg := Config{Dir: t.TempDir(), NumRecords: 16, RecordBytes: 8,
+			Algorithm: a, StableLogTail: a == FastFuzzy}
+		p, err := cfg.engineParams()
+		if err != nil {
+			t.Errorf("%v: engineParams: %v", a, err)
+			continue
+		}
+		if p.Algorithm != engAlgs[i] {
+			t.Errorf("%v maps to engine %v, want %v", a, p.Algorithm, engAlgs[i])
+		}
 	}
 }
 

@@ -63,9 +63,22 @@ type Result struct {
 	// COUPeakOldSegments is the high-water mark of simultaneously live
 	// old-version copies — the paper's warning that the COU snapshot
 	// buffer "could grow to be as large as the database itself" —
-	// and COUPeakOldWords is that peak in words of buffer memory.
+	// and COUPeakOldWords is that peak in words of buffer memory. For
+	// HOURGLASS the engine bounds the peak at the window; the simulator
+	// approximates writer blocking (see ZigzagFlips/HourglassWaits), so
+	// its peak may transiently exceed the window between drains.
 	COUPeakOldSegments int
 	COUPeakOldWords    float64
+
+	// ZigzagFlips counts updater-side image flips (ZIGZAG only: the
+	// first update of each segment during an active checkpoint copies it
+	// onto the shadow image). HourglassWaits counts updates that found
+	// the hourglass old-copy window exhausted (HOURGLASS only; the real
+	// engine blocks the writer until the checkpointer frees a buffer —
+	// the simulator charges the copy and counts the stall).
+	ZigzagFlips        int
+	ZigzagFlipsPerCkpt float64
+	HourglassWaits     int
 
 	// Processor overhead, instructions per committed transaction.
 	OverheadPerTxn      float64
@@ -86,10 +99,17 @@ type segment struct {
 	// detect "updated since this checkpoint began" without per-checkpoint
 	// resets.
 	epochUpdated uint64
-	// hasOld marks a preserved COU old version for the current
-	// checkpoint; oldDirty snapshots the dirty bits at preservation time.
+	// hasOld marks a preserved old version (COU or hourglass) for the
+	// current checkpoint; oldDirty snapshots the dirty bits at
+	// preservation time.
 	hasOld   bool
 	oldDirty [2]bool
+	// snapNeed is the zigzag dump set, latched at checkpoint begin
+	// (segments dirtied after begin wait for the next checkpoint).
+	snapNeed bool
+	// paintedEpoch is the checkpoint ID that last processed the segment
+	// (hourglass paints out of sweep order when draining old copies).
+	paintedEpoch uint64
 }
 
 // sim carries the evolving simulation state.
@@ -120,6 +140,12 @@ type sim struct {
 	boundary int // segments [0,boundary) processed (black)
 	target   int
 
+	// Hourglass window state: hgWindow is the buffer count W;
+	// pendingOlds lists segments holding a preserved old copy, in
+	// preservation order, for the checkpointer's out-of-order drain.
+	hgWindow    int
+	pendingOlds []int
+
 	// Accumulators (whole run; measurement window handled by snapshots).
 	committed   int
 	attempts    int
@@ -127,6 +153,8 @@ type sim struct {
 	couCopies   int
 	couLiveOld  int
 	couPeakOld  int
+	zigzagFlips int
+	hgWaits     int
 	syncInstr   float64
 	asyncInstr  float64
 	logWords    float64
@@ -134,6 +162,7 @@ type sim struct {
 
 type snapshot struct {
 	committed, attempts, colorAborts, couCopies int
+	zigzagFlips, hgWaits                        int
 	syncInstr, asyncInstr, logWords             float64
 	now                                         float64
 }
@@ -141,7 +170,8 @@ type snapshot struct {
 func (s *sim) snap() snapshot {
 	return snapshot{
 		committed: s.committed, attempts: s.attempts, colorAborts: s.colorAborts,
-		couCopies: s.couCopies, syncInstr: s.syncInstr, asyncInstr: s.asyncInstr,
+		couCopies: s.couCopies, zigzagFlips: s.zigzagFlips, hgWaits: s.hgWaits,
+		syncInstr: s.syncInstr, asyncInstr: s.asyncInstr,
 		logWords: s.logWords, now: s.now,
 	}
 }
@@ -186,6 +216,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if s.nru < 1 {
 		s.nru = 1
+	}
+	s.hgWindow = int(cfg.Options.HourglassWindowSegments)
+	if s.hgWindow == 0 {
+		s.hgWindow = analytic.DefaultHourglassWindowSegments
 	}
 	if cfg.Skew != 0 {
 		if cfg.Skew <= 1 {
@@ -239,6 +273,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.COUPeakOldSegments = s.couPeakOld
 	res.COUPeakOldWords = float64(s.couPeakOld) * s.p.SSeg
+	res.ZigzagFlips = end.zigzagFlips - mark.zigzagFlips
+	res.ZigzagFlipsPerCkpt = float64(res.ZigzagFlips) / float64(cfg.Checkpoints)
+	res.HourglassWaits = end.hgWaits - mark.hgWaits
 	if res.TxnsCommitted > 0 {
 		res.SyncOverheadPerTxn = (end.syncInstr - mark.syncInstr) / float64(res.TxnsCommitted)
 		res.AsyncOverheadPerTxn = (end.asyncInstr - mark.asyncInstr) / float64(res.TxnsCommitted)
@@ -374,31 +411,85 @@ func (s *sim) runTxn(t float64) {
 		// The attempt commits: install updates.
 		for _, idx := range segIdx {
 			seg := &s.segs[idx]
-			if s.active && s.o.Algorithm.CopyOnUpdate() &&
-				idx >= s.boundary && seg.epochUpdated != s.ckptID && !seg.hasOld {
-				// First post-begin update of a not-yet-dumped segment:
-				// preserve the old version (Figure 3.2).
-				seg.hasOld = true
-				seg.oldDirty = seg.dirty
-				s.couCopies++
-				s.couLiveOld++
-				if s.couLiveOld > s.couPeakOld {
-					s.couPeakOld = s.couLiveOld
+			if s.active {
+				switch {
+				case s.o.Algorithm.CopyOnUpdate():
+					if idx >= s.boundary && seg.epochUpdated != s.ckptID && !seg.hasOld {
+						// First post-begin update of a not-yet-dumped segment:
+						// preserve the old version (Figure 3.2).
+						seg.hasOld = true
+						seg.oldDirty = seg.dirty
+						s.couCopies++
+						s.couLiveOld++
+						if s.couLiveOld > s.couPeakOld {
+							s.couPeakOld = s.couLiveOld
+						}
+						s.syncInstr += s.p.CAlloc + s.p.SSeg + 2*s.p.CLock
+					}
+				case s.o.Algorithm == analytic.Zigzag:
+					if seg.epochUpdated != s.ckptID {
+						// First update since checkpoint begin: flip the
+						// live image onto the shadow slab, parking the
+						// begin-state image (no allocation).
+						s.zigzagFlips++
+						s.syncInstr += s.p.SSeg + 2*s.p.CLock
+					}
+				case s.o.Algorithm == analytic.Hourglass:
+					if seg.paintedEpoch != s.ckptID && seg.epochUpdated != s.ckptID && !seg.hasOld {
+						// Windowed COU: preserve into a pool buffer. The
+						// real engine blocks the writer when all W buffers
+						// are held; the simulator counts the stall and
+						// charges the copy that follows it (the
+						// checkpointer's drain frees a buffer promptly).
+						if s.couLiveOld >= s.hgWindow {
+							s.hgWaits++
+						}
+						seg.hasOld = true
+						seg.oldDirty = seg.dirty
+						s.couCopies++
+						s.couLiveOld++
+						if s.couLiveOld > s.couPeakOld {
+							s.couPeakOld = s.couLiveOld
+						}
+						s.syncInstr += s.p.SSeg + 2*s.p.CLock // pool buffer: no alloc
+						s.pendingOlds = append(s.pendingOlds, idx)
+					}
 				}
-				s.syncInstr += s.p.CAlloc + s.p.SSeg + 2*s.p.CLock
 			}
 			seg.dirty[0], seg.dirty[1] = true, true
 			if s.active {
 				seg.epochUpdated = s.ckptID
 			}
 		}
-		if lsnActive || s.o.Algorithm.CopyOnUpdate() {
+		if lsnActive || s.o.Algorithm.RequiresQuiesce() {
 			s.syncInstr += s.p.NRU * s.p.CLSN // LSN / timestamp upkeep
 		}
 		s.logWords += s.p.NRU*perUpdateWords + s.p.CommitRecWords
 		s.committed++
 		return
 	}
+}
+
+// hgDrain processes every pending hourglass old copy out of sweep order,
+// flushing the preserved image where the target copy needs it and
+// returning the pool buffer (modeled by decrementing the live count).
+// The segment is painted so the in-order cursor skips it.
+func (s *sim) hgDrain(id uint64, perFlushInstr, flushTime float64, flushed *int) {
+	for _, idx := range s.pendingOlds {
+		seg := &s.segs[idx]
+		if !seg.hasOld {
+			continue
+		}
+		seg.hasOld = false
+		seg.paintedEpoch = id
+		s.couLiveOld--
+		if s.o.Full || seg.oldDirty[s.target] {
+			*flushed++
+			s.asyncInstr += perFlushInstr
+			s.now += flushTime
+		}
+	}
+	s.pendingOlds = s.pendingOlds[:0]
 }
 
 // runCheckpoint simulates one checkpoint cycle and returns its duration,
@@ -418,15 +509,52 @@ func (s *sim) runCheckpoint(id uint64) (duration, activeTime, flushedSegs float6
 	flushTime := s.p.SegmentIOTime() / s.p.NDisks
 	flushed := 0
 
+	// Zigzag arms its dump set at begin: only segments dirty for the
+	// target copy when the checkpoint starts are captured this run
+	// (updates after begin flip onto the shadow and wait for the next).
+	if s.o.Algorithm == analytic.Zigzag {
+		for i := range s.segs {
+			s.segs[i].snapNeed = s.o.Full || s.segs[i].dirty[s.target]
+		}
+	}
+
 	for i := 0; i < s.nseg; i++ {
+		if s.o.Algorithm == analytic.Hourglass {
+			s.hgDrain(id, perFlushInstr, flushTime, &flushed)
+			seg := &s.segs[i]
+			if seg.paintedEpoch != id {
+				seg.paintedEpoch = id
+				if s.o.Full || seg.dirty[s.target] {
+					seg.dirty[s.target] = false
+					flushed++
+					s.asyncInstr += perFlushInstr
+					s.now += flushTime
+				}
+			}
+			s.boundary = i + 1
+			s.processEventsUntil(s.now)
+			continue
+		}
+
 		seg := &s.segs[i]
 		var needFlush, fromOld bool
-		if seg.hasOld {
+		switch {
+		case seg.hasOld:
 			needFlush = s.o.Full || seg.oldDirty[s.target]
 			fromOld = true
 			seg.hasOld = false
 			s.couLiveOld--
-		} else {
+		case s.o.Algorithm == analytic.Zigzag:
+			// Capture from the live image if the segment has not flipped
+			// this checkpoint (its dirty bit then clears); a flipped
+			// segment is captured from the parked shadow image and stays
+			// dirty for the next checkpoint of this copy.
+			needFlush = seg.snapNeed
+			seg.snapNeed = false
+			if needFlush && seg.epochUpdated != id {
+				seg.dirty[s.target] = false
+			}
+		default:
 			needFlush = s.o.Full || seg.dirty[s.target]
 			if needFlush {
 				seg.dirty[s.target] = false
@@ -445,6 +573,11 @@ func (s *sim) runCheckpoint(id uint64) (duration, activeTime, flushedSegs float6
 		}
 		s.boundary = i + 1
 		s.processEventsUntil(s.now)
+	}
+	if s.o.Algorithm == analytic.Hourglass {
+		// Final drain: preserved segments behind the cursor still hold
+		// pool buffers.
+		s.hgDrain(id, perFlushInstr, flushTime, &flushed)
 	}
 
 	// Per-sweep segment locking, dirty scan, and fixed costs.

@@ -105,12 +105,19 @@ func TestAgreesWithAnalyticModel(t *testing.T) {
 			} else if simRes.ColorAborts != 0 {
 				t.Errorf("%v aborted %d transactions; only two-color algorithms abort", alg, simRes.ColorAborts)
 			}
-			if alg.CopyOnUpdate() {
+			if alg.PreservesOldVersions() {
 				if !within(simRes.COUCopiesPerCkpt, anaRes.COUCopiesPerCkpt, 0.25) {
 					t.Errorf("COU copies/ckpt: sim %.0f vs model %.0f", simRes.COUCopiesPerCkpt, anaRes.COUCopiesPerCkpt)
 				}
 			} else if simRes.COUCopies != 0 {
 				t.Errorf("%v made COU copies", alg)
+			}
+			if alg == analytic.Zigzag {
+				if !within(simRes.ZigzagFlipsPerCkpt, anaRes.ZigzagFlipsPerCkpt, 0.25) {
+					t.Errorf("zigzag flips/ckpt: sim %.0f vs model %.0f", simRes.ZigzagFlipsPerCkpt, anaRes.ZigzagFlipsPerCkpt)
+				}
+			} else if simRes.ZigzagFlips != 0 {
+				t.Errorf("%v flipped images", alg)
 			}
 		})
 	}
