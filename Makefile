@@ -4,7 +4,7 @@
 GO ?= go
 MMDBLINT := bin/mmdblint
 
-.PHONY: all build test race vet mmdblint lint lint-concurrency fmt clean crashmatrix fuzz bench
+.PHONY: all build test race vet mmdblint lint lint-concurrency fmt clean crashmatrix fuzz bench trace
 
 all: build test
 
@@ -41,6 +41,19 @@ BENCH_TXNS ?= 20000
 BENCH_PARALLEL ?= 1,4
 bench:
 	$(GO) run ./cmd/ckptbench -matrix -crash -txns $(BENCH_TXNS) -parallel $(BENCH_PARALLEL) -json BENCH_ckpt.json
+
+# A traced run: one synchronous-commit workload with every commit traced
+# (SpanSampleEvery=1), exporting the flight recorder's span ring and
+# lifecycle events as Chrome trace-event JSON — open TRACE_OUT in
+# chrome://tracing or https://ui.perfetto.dev. Commit trees (wal_append,
+# group_commit_flush, interference phases) and checkpoint trees
+# (quiesce, per-segment flushes) land on per-tree tracks. Tune
+# TRACE_ALG/TRACE_TXNS for other algorithms or longer tails.
+TRACE_OUT ?= trace.json
+TRACE_ALG ?= COUCOPY
+TRACE_TXNS ?= 5000
+trace:
+	$(GO) run ./cmd/ckptbench -alg $(TRACE_ALG) -sync -txns $(TRACE_TXNS) -trace $(TRACE_OUT)
 
 # Short fuzz runs of the WAL reader targets; the checked-in corpus and
 # seeds alone also run as part of `make test`.

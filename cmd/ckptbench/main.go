@@ -58,11 +58,14 @@ var (
 	speedup  = flag.Float64("speedup", 0, "divide the modeled throttle delays by this factor (0 = engine default)")
 	jsonPath = flag.String("json", "", "write the machine-readable result file here")
 	metrics  = flag.String("metrics", "", "serve live metrics on this address during the run (e.g. :6060)")
+	traceOut = flag.String("trace", "", "write each run's span ring as Chrome trace-event JSON here (matrix/parallel runs get per-run suffixes)")
 )
 
 // ResultSchema identifies the -json file layout. v2 added the
-// "parallelism" config echo and "avg_checkpoint_seconds".
-const ResultSchema = "mmdb/ckptbench/v2"
+// "parallelism" config echo and "avg_checkpoint_seconds"; v3 adds the
+// per-phase commit "attribution" breakdown from the
+// mmdb_commit_attr_* histograms.
+const ResultSchema = "mmdb/ckptbench/v3"
 
 // BenchFile is the top-level -json document.
 type BenchFile struct {
@@ -88,8 +91,14 @@ type BenchResult struct {
 	ZigzagFlips    uint64                       `json:"zigzag_flips,omitempty"`
 	HourglassWaits uint64                       `json:"hourglass_waits,omitempty"`
 	Latency        map[string]obs.HistogramJSON `json:"latency"`
-	Recovery       *RecoveryJSON                `json:"recovery,omitempty"`
-	Analytic       *AnalyticJSON                `json:"analytic,omitempty"`
+	// Attribution decomposes commit latency into its phases (see
+	// DESIGN.md §19): each entry is one mmdb_commit_attr_* histogram.
+	// lock_wait and restart lie outside the commit-latency histogram;
+	// the remaining phases nest inside it, so their sums are bounded by
+	// the commit sum.
+	Attribution map[string]obs.HistogramJSON `json:"attribution,omitempty"`
+	Recovery    *RecoveryJSON                `json:"recovery,omitempty"`
+	Analytic    *AnalyticJSON                `json:"analytic,omitempty"`
 }
 
 // BenchConfig echoes the knobs that shaped the run.
@@ -154,6 +163,23 @@ var latencyHists = map[string]string{
 	"wal_flush_batch_bytes": "mmdb_wal_flush_batch_bytes",
 	"backup_segment_write":  "mmdb_backup_segment_write_seconds",
 	"lock_wait":             "mmdb_lockmgr_wait_seconds",
+}
+
+// attrHists maps the -json attribution keys to the commit-attribution
+// histogram names. attrOrder fixes the console print order.
+var attrHists = map[string]string{
+	"lock_wait":       "mmdb_commit_attr_lock_wait_seconds",
+	"wal_append":      "mmdb_commit_attr_wal_append_seconds",
+	"flush_wait":      "mmdb_commit_attr_flush_wait_seconds",
+	"cou_copy":        "mmdb_commit_attr_cou_copy_seconds",
+	"zigzag_flip":     "mmdb_commit_attr_zigzag_flip_seconds",
+	"hourglass_stall": "mmdb_commit_attr_hourglass_stall_seconds",
+	"restart":         "mmdb_commit_attr_restart_seconds",
+}
+
+var attrOrder = []string{
+	"lock_wait", "wal_append", "flush_wait", "cou_copy",
+	"zigzag_flip", "hourglass_stall", "restart",
 }
 
 // liveDB publishes the currently running database to the -metrics server
@@ -313,6 +339,11 @@ func run(algName string, par int) (*BenchResult, error) {
 		ThrottlePerStream:    *throttle,
 		ThrottleSpeedup:      *speedup,
 	}
+	if *traceOut != "" {
+		// Trace every commit so the exported span ring holds complete
+		// trees for the run's tail rather than a 1-in-8 sample.
+		cfg.SpanSampleEvery = 1
+	}
 	db, err := mmdb.Open(cfg)
 	if err != nil {
 		return nil, err
@@ -428,6 +459,31 @@ func run(algName string, par int) (*BenchResult, error) {
 		fmt.Printf("commit latency: p50 %.0fµs p90 %.0fµs p99 %.0fµs max %.0fµs\n",
 			c.P50*1e6, c.P90*1e6, c.P99*1e6, c.Max*1e6)
 	}
+	res.Attribution = map[string]obs.HistogramJSON{}
+	for key, name := range attrHists {
+		if h := reg.FindHistogram(name); h != nil && h.Count() > 0 {
+			res.Attribution[key] = obs.SnapshotJSON(h.Snapshot())
+		}
+	}
+	if n := res.TxnsCommitted; n > 0 && len(res.Attribution) > 0 {
+		line := "commit attribution (µs/txn):"
+		for _, key := range attrOrder {
+			a, ok := res.Attribution[key]
+			if !ok {
+				continue
+			}
+			line += fmt.Sprintf(" %s %.1f", key, a.Sum/float64(n)*1e6)
+		}
+		fmt.Println(line)
+	}
+
+	if *traceOut != "" {
+		path := traceFilePath(*traceOut, alg.String(), par)
+		if err := writeTrace(path, db); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", path)
+	}
 
 	res.Analytic = priceRun(db, st, alg, tput)
 	if a := res.Analytic; a != nil {
@@ -474,6 +530,31 @@ func run(algName string, par int) (*BenchResult, error) {
 		res.Analytic.MeasuredRecoverySeconds = rep.Elapsed.Seconds()
 	}
 	return res, db2.Close()
+}
+
+// traceFilePath derives a per-run trace filename: the -trace path as
+// given for a single run, or with an ".ALG-pN" tag before the extension
+// when the matrix or a -parallel list produces several runs.
+func traceFilePath(base, alg string, par int) string {
+	if !*matrix && !strings.Contains(*parallel, ",") {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s.%s-p%d%s", strings.TrimSuffix(base, ext), alg, par, ext)
+}
+
+// writeTrace dumps the engine's span ring and lifecycle-event ring as
+// Chrome trace-event JSON, loadable in chrome://tracing or Perfetto.
+func writeTrace(path string, db *mmdb.DB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteChromeTrace(f, db.Spans(), db.TraceEvents())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // effSegBytes resolves the segment-size default the engine applies.

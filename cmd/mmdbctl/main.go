@@ -20,7 +20,14 @@
 //	    Materialize an archive as a recoverable database directory.
 //	mmdbctl stats -addr URL [-watch] [-interval D] [-format prom|json]
 //	    Fetch and print live metrics from a running process serving
-//	    DB.Metrics() (the only subcommand that talks to a live database).
+//	    DB.Metrics().
+//	mmdbctl trace -addr URL [-o FILE]
+//	    Fetch the latency-attribution span ring and lifecycle events from
+//	    a running process as Chrome trace-event JSON, ready to load in
+//	    chrome://tracing or Perfetto ("-o -" writes to stdout).
+//
+// stats and trace talk to a live process over HTTP; every other
+// subcommand works offline on a database directory.
 package main
 
 import (
@@ -56,11 +63,20 @@ func main() {
 	watch := fs.Bool("watch", false, "stats: refresh continuously")
 	interval := fs.Duration("interval", 2*time.Second, "stats: refresh interval with -watch")
 	format := fs.String("format", "prom", "stats: output format, prom or json")
+	traceOut := fs.String("o", "trace.json", `trace: output file ("-" = stdout)`)
 	_ = fs.Parse(os.Args[2:])
-	if cmd == "stats" {
-		// stats talks to a live process over HTTP, not to a directory.
-		if err := stats(*addr, *format, *watch, *interval); err != nil {
-			fmt.Fprintf(os.Stderr, "mmdbctl stats: %v\n", err)
+	if cmd == "stats" || cmd == "trace" {
+		// stats and trace talk to a live process over HTTP, not to a
+		// directory.
+		var err error
+		switch cmd {
+		case "stats":
+			err = stats(os.Stdout, *addr, *format, *watch, *interval)
+		case "trace":
+			err = trace(os.Stdout, *addr, *traceOut)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmdbctl %s: %v\n", cmd, err)
 			os.Exit(1)
 		}
 		return
@@ -96,12 +112,30 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mmdbctl {info|verify|log|dryrun|archive|restore} -dir DIR [flags]")
 	fmt.Fprintln(os.Stderr, "       mmdbctl stats -addr URL [-watch] [-interval D] [-format prom|json]")
+	fmt.Fprintln(os.Stderr, "       mmdbctl trace -addr URL [-o FILE]")
 	os.Exit(2)
 }
 
+// fetchURL GETs url and copies the body to w.
+func fetchURL(w io.Writer, url string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
 // stats fetches the metrics endpoint once, or repeatedly with -watch
-// (clearing the screen between refreshes, like watch(1)).
-func stats(addr, format string, watch bool, interval time.Duration) error {
+// (clearing the screen between refreshes, like watch(1)). Single
+// fetches write to w; watch mode writes to stdout.
+func stats(w io.Writer, addr, format string, watch bool, interval time.Duration) error {
 	if addr == "" {
 		return fmt.Errorf("stats needs -addr (a URL serving DB.Metrics())")
 	}
@@ -109,22 +143,8 @@ func stats(addr, format string, watch bool, interval time.Duration) error {
 		return fmt.Errorf("unknown -format %q (want prom or json)", format)
 	}
 	url := addr + "?format=" + format
-	client := &http.Client{Timeout: 10 * time.Second}
-	fetch := func() error {
-		resp, err := client.Get(url)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			return fmt.Errorf("%s: %s: %s", url, resp.Status, body)
-		}
-		_, err = io.Copy(os.Stdout, resp.Body)
-		return err
-	}
 	if !watch {
-		return fetch()
+		return fetchURL(w, url)
 	}
 	if interval <= 0 {
 		interval = 2 * time.Second
@@ -133,11 +153,41 @@ func stats(addr, format string, watch bool, interval time.Duration) error {
 		// ANSI clear screen + home, as watch(1) does.
 		fmt.Print("\x1b[2J\x1b[H")
 		fmt.Printf("mmdbctl stats %s — every %v (^C to stop)\n\n", addr, interval)
-		if err := fetch(); err != nil {
+		if err := fetchURL(os.Stdout, url); err != nil {
 			fmt.Fprintf(os.Stderr, "fetch: %v\n", err)
 		}
 		time.Sleep(interval)
 	}
+}
+
+// trace fetches the span ring and lifecycle events as Chrome trace-event
+// JSON and writes them to out ("-" or empty means stdout, i.e. w).
+func trace(w io.Writer, addr, out string) error {
+	if addr == "" {
+		return fmt.Errorf("trace needs -addr (a URL serving DB.Metrics())")
+	}
+	url := addr + "?format=chrome"
+	if out == "" || out == "-" {
+		return fetchURL(w, url)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	ferr := fetchURL(f, url)
+	if cerr := f.Close(); ferr == nil {
+		ferr = cerr
+	}
+	if ferr != nil {
+		return ferr
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d bytes of Chrome trace JSON to %s (open in chrome://tracing or https://ui.perfetto.dev)\n",
+		fi.Size(), out)
+	return nil
 }
 
 func archive(dir, out string) error {

@@ -156,6 +156,26 @@ type Config struct {
 	// CheckpointParallelism is 1). It exists for fault injection (crashing
 	// between segment flushes).
 	CheckpointSegmentHook func(checkpointID uint64, worker, segIdx int) error
+
+	// SpanSampleEvery samples the latency-attribution span tracer: one in
+	// every SpanSampleEvery transactions records a full commit span tree
+	// (lock waits, WAL append, group-commit flush, checkpoint
+	// interference), exportable as a Chrome trace via ?format=chrome or
+	// `mmdbctl trace`. Zero resolves to the engine default (8); 1 traces
+	// every transaction; negative disables span tracing. Checkpoint and
+	// recovery spans are always recorded. The mmdb_commit_attr_* phase
+	// histograms are unaffected by sampling.
+	SpanSampleEvery int
+
+	// SlowOpCommitThreshold arms the slow-op watchdog: a commit slower
+	// than this captures a flight-recorder dump of its span tree,
+	// retrievable via DB.SlowOps or the metrics endpoint's ?slow=1. Zero
+	// disables the commit watchdog.
+	SlowOpCommitThreshold time.Duration
+
+	// SlowOpCheckpointThreshold is the watchdog threshold for whole
+	// checkpoints. Zero disables the checkpoint watchdog.
+	SlowOpCheckpointThreshold time.Duration
 }
 
 // FS is the filesystem abstraction the storage layer writes through,
@@ -238,6 +258,10 @@ func (c Config) engineParams() (engine.Params, error) {
 		HourglassWindow:         c.HourglassWindow,
 		FS:                      c.FS,
 		SegmentHook:             c.CheckpointSegmentHook,
+
+		SpanSampleEvery:           c.SpanSampleEvery,
+		SlowOpCommitThreshold:     c.SlowOpCommitThreshold,
+		SlowOpCheckpointThreshold: c.SlowOpCheckpointThreshold,
 	}
 	if c.ThrottleCheckpointIO {
 		speedup := c.ThrottleSpeedup

@@ -2,6 +2,9 @@ package engine
 
 import (
 	"testing"
+	"time"
+
+	"mmdb/internal/obs"
 )
 
 // TestExecWriteAllocationFree pins the single-record write+commit path
@@ -28,6 +31,54 @@ func TestExecWriteAllocationFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("ExecWrite: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestExecWriteAllocationFreeTraced re-pins the zero-allocation contract
+// with the full observability surface armed: every transaction sampled
+// by the span tracer (SpanSampleEvery 1) and the slow-op watchdog
+// enabled. Span begin/end are atomic stores into the preallocated ring
+// and the watchdog's under-threshold check is one atomic load, so
+// tracing must not cost a single allocation on the hot path.
+func TestExecWriteAllocationFreeTraced(t *testing.T) {
+	p := testParams(t, FuzzyCopy)
+	p.SpanSampleEvery = 1
+	p.SlowOpCommitThreshold = time.Hour // armed but never tripping
+	e := mustOpen(t, p)
+	defer e.Close()
+
+	val := encVal(7)
+	for i := 0; i < 64; i++ {
+		if err := e.ExecWrite(3, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(512, func() {
+		if err := e.ExecWrite(3, val); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ExecWrite with tracing: %v allocs/op, want 0", allocs)
+	}
+	spans := e.SpanEvents()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded with SpanSampleEvery=1")
+	}
+	var commits, children int
+	for _, s := range spans {
+		if s.Kind == obs.SpanCommit {
+			commits++
+		}
+		if s.Parent != 0 {
+			children++
+		}
+	}
+	if commits == 0 || children == 0 {
+		t.Errorf("span ring has %d commit roots and %d children, want both > 0", commits, children)
+	}
+	if n := e.Watchdog().Trips(); n != 0 {
+		t.Errorf("watchdog tripped %d times under an hour-long threshold", n)
 	}
 }
 

@@ -70,6 +70,7 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 	target := e.bstore.NextTarget()
 	run := &ckptRun{id: id, alg: alg, target: target}
 	run.curSeg.Store(-1)
+	run.span = e.eo.spans.Begin(obs.SpanCheckpoint, obs.SpanNone, id, uint64(target))
 
 	var beginLSN, scanStart wal.LSN
 	var err error
@@ -78,7 +79,11 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 		// processing, stamp the checkpoint, log the begin-checkpoint
 		// record, and flush the log tail. The run is published before the
 		// gate reopens so every post-begin updater sees it.
-		if qerr := e.quiesce(); qerr != nil {
+		qSpan := e.eo.spans.Begin(obs.SpanCkptQuiesce, run.span, id, 0)
+		qerr := e.quiesce()
+		e.eo.spans.End(qSpan)
+		if qerr != nil {
+			e.eo.spans.End(run.span)
 			return nil, qerr
 		}
 		run.tau = e.nextTimestamp()
@@ -130,6 +135,7 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 		}
 	}
 	if err != nil {
+		e.eo.spans.End(run.span)
 		if errors.Is(err, wal.ErrClosed) {
 			return nil, ErrStopped
 		}
@@ -148,6 +154,7 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 	}); err != nil {
 		e.cur.Store(nil)
 		e.endRunCleanup(alg)
+		e.eo.spans.End(run.span)
 		return nil, err
 	}
 
@@ -176,6 +183,7 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 	if err != nil {
 		// The target copy stays marked incomplete; recovery falls back to
 		// the other ping-pong copy.
+		e.eo.spans.End(run.span)
 		return nil, fmt.Errorf("engine: checkpoint %d: %w", id, err)
 	}
 
@@ -188,12 +196,14 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 		err = e.log.Flush()
 	}
 	if err != nil {
+		e.eo.spans.End(run.span)
 		if errors.Is(err, wal.ErrClosed) {
 			return nil, ErrStopped
 		}
 		return nil, fmt.Errorf("engine: checkpoint %d end marker: %w", id, err)
 	}
 	if err := e.bstore.FinishCheckpoint(target, endLSN, flushed, bytes); err != nil {
+		e.eo.spans.End(run.span)
 		return nil, err
 	}
 
@@ -206,6 +216,8 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 	e.ctr.ckptLastNanos.Store(uint64(dur))
 	e.eo.ckptH.Observe(uint64(dur))
 	e.eo.tracer.Record(obs.EvCkptEnd, id, uint64(flushed), uint64(dur))
+	e.eo.spans.End(run.span)
+	e.eo.watchdog.Check(obs.WatchCheckpoint, run.span, int64(dur))
 
 	return &CheckpointResult{
 		ID:              id,
@@ -229,8 +241,10 @@ func (e *Engine) CheckpointContext(ctx context.Context) (*CheckpointResult, erro
 //
 // walorder:write
 func (e *Engine) flushSegment(run *ckptRun, idx int, data []byte) error {
+	span := e.eo.spans.Begin(obs.SpanCkptSegment, run.span, run.id, uint64(idx))
 	began := time.Now()
 	if err := e.bstore.WriteSegment(run.target, idx, run.id, data); err != nil {
+		e.eo.spans.End(span)
 		return err
 	}
 	e.ctr.segmentsFlushed.Add(1)
@@ -239,6 +253,7 @@ func (e *Engine) flushSegment(run *ckptRun, idx int, data []byte) error {
 		time.Sleep(th.delayPerSegment(len(data)))
 	}
 	d := time.Since(began)
+	e.eo.spans.End(span)
 	e.eo.ckptSegH.Observe(uint64(d))
 	e.eo.tracer.Record(obs.EvCkptSegment, run.id, uint64(idx), uint64(d))
 	return nil
@@ -255,8 +270,14 @@ func (e *Engine) waitLSN(lsn wal.LSN) error {
 		return nil
 	}
 	e.ctr.lsnWaits.Add(1)
+	parent := obs.SpanNone
+	if run := e.cur.Load(); run != nil {
+		parent = run.span
+	}
+	span := e.eo.spans.Begin(obs.SpanLSNWait, parent, uint64(lsn), 0)
 	began := time.Now()
 	err := e.log.WaitDurable(lsn)
+	e.eo.spans.End(span)
 	e.eo.lsnWaitH.ObserveSince(began)
 	return err
 }

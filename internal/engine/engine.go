@@ -59,6 +59,9 @@ type ckptRun struct {
 	// (copied or flushed); updaters of segments at or below it need not
 	// preserve old versions. -1 until the first segment is done.
 	curSeg atomic.Int64
+	// span is the checkpoint's root span. Checkpoints are rare, so they
+	// are always traced regardless of the transaction sampling rate.
+	span obs.SpanID
 }
 
 // Engine is a memory-resident database with asynchronous checkpointing.
@@ -143,7 +146,7 @@ func Open(p Params) (*Engine, error) {
 		// but no complete backup; that state is recoverable too.
 		return nil, errors.Join(ErrExistingDatabase, bs.Close())
 	}
-	eo := newEngineObs()
+	eo := newEngineObs(p.SpanSampleEvery)
 	lg, err := wal.Open(filepath.Join(p.Dir, logFileName), wal.Options{
 		StableTail:    p.StableTail,
 		SyncOnFlush:   p.SyncOnFlush,
@@ -164,10 +167,11 @@ func Open(p Params) (*Engine, error) {
 // (nil builds a fresh, unconnected one — tests only).
 func newEngine(p Params, st *storage.Store, lg *wal.Log, bs *backup.Store, nextCkptID, clock0 uint64, eo *engineObs) *Engine {
 	if eo == nil {
-		eo = newEngineObs()
+		eo = newEngineObs(p.SpanSampleEvery)
 	}
+	eo.watchdog.SetThresholds(p.SlowOpCommitThreshold, p.SlowOpCheckpointThreshold)
 	locks := lockmgr.New()
-	locks.SetMetrics(eo.lockWaitH)
+	locks.SetMetrics(eo.lockWaitH, eo.attrLockWaitH)
 	bs.SetMetrics(eo.backupSegH)
 	e := &Engine{
 		params:     p,
@@ -284,6 +288,11 @@ func (e *Engine) begin(reuse bool) (*Txn, error) {
 	e.activeTxns[tx.id] = tx
 	e.txnMu.Unlock()
 	e.ctr.txnsBegun.Add(1)
+	// The commit root span covers begin→commit so lock-wait children nest
+	// inside it; beganNanos additionally feeds the two-color restart
+	// attribution histogram for every transaction, sampled or not.
+	tx.beganNanos = time.Now().UnixNano()
+	tx.span = e.eo.spans.BeginSampled(obs.SpanCommit, tx.id, 0)
 	e.eo.tracer.Record(obs.EvTxnBegin, tx.id, 0, 0)
 	return tx, nil
 }

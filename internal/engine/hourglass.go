@@ -29,7 +29,9 @@ package engine
 import (
 	"context"
 	"sync"
+	"time"
 
+	"mmdb/internal/obs"
 	"mmdb/internal/storage"
 )
 
@@ -229,8 +231,17 @@ func (tx *Txn) hourglassPreserve(run *ckptRun, seg *storage.Segment, segIdx int)
 		gen := e.hg.curGen()
 		seg.Unlock()
 		e.ctr.hgWaits.Add(1)
+		stallSpan := obs.SpanNone
+		if tx.span != obs.SpanNone {
+			stallSpan = e.eo.spans.Begin(obs.SpanHourglassStall, tx.span, tx.id, uint64(segIdx))
+		}
+		stallBegan := time.Now()
 		var ok bool
 		buf, ok = e.hg.waitGet(gen)
+		stalled := time.Since(stallBegan)
+		e.eo.attrHgStallH.Observe(uint64(max(stalled, 0)))
+		e.eo.spans.End(stallSpan)
+		e.eo.tracer.Record(obs.EvHourglassStall, tx.id, uint64(segIdx), uint64(max(stalled, 0)))
 		seg.Lock()
 		if !ok || e.cur.Load() != run || seg.Paint == run.id || seg.TS > run.tau || seg.Old != nil {
 			// The run ended, or the segment was dumped/preserved while we
@@ -241,10 +252,17 @@ func (tx *Txn) hourglassPreserve(run *ckptRun, seg *storage.Segment, segIdx int)
 			return
 		}
 	}
+	couSpan := obs.SpanNone
+	if tx.span != obs.SpanNone {
+		couSpan = e.eo.spans.Begin(obs.SpanCOUCopy, tx.span, tx.id, uint64(segIdx))
+	}
+	couBegan := time.Now()
 	copy(buf.Data, seg.Data)
 	buf.Dirty = seg.Dirty
 	buf.TS = seg.TS
 	seg.Old = buf
+	e.eo.attrCouCopyH.Observe(uint64(max(time.Since(couBegan), 0)))
+	e.eo.spans.End(couSpan)
 	e.hg.noteOld(segIdx)
 	e.ctr.couCopies.Add(1)
 	e.ctr.couCopyBytes.Add(uint64(len(buf.Data)))

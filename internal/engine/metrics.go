@@ -15,14 +15,29 @@ import (
 // Everything inside is either immutable after newEngineObs or internally
 // synchronized (obs types are atomic), so engineObs needs no lock.
 type engineObs struct {
-	reg    *obs.Registry
-	tracer *obs.Tracer
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	spans    *obs.SpanTracer // nil when span tracing is disabled
+	watchdog *obs.Watchdog
 
 	// Engine-owned latency histograms.
 	commitH  *obs.Histogram // commit latency, Commit entry to return
 	ckptH    *obs.Histogram // whole-checkpoint duration
 	ckptSegH *obs.Histogram // per-segment flush (write + throttle)
 	lsnWaitH *obs.Histogram // write-ahead LSN waits in the checkpointer
+
+	// Commit latency attribution (DESIGN.md §19): per-phase histograms
+	// whose in-commit members (wal_append, flush_wait, cou_copy,
+	// zigzag_flip, hourglass_stall) nest inside commitH and must sum to
+	// at most its total; lock_wait and restart attribute the pre-commit
+	// transaction phases and are reported alongside.
+	attrLockWaitH  *obs.Histogram // lock waits incurred by transactions (contended only)
+	attrWALAppendH *obs.Histogram // the commit record's log append
+	attrFlushWaitH *obs.Histogram // group-commit durability wait (SyncCommit)
+	attrCouCopyH   *obs.Histogram // copy-on-update old-version preservation
+	attrZigzagH    *obs.Histogram // zigzag live→shadow image flips
+	attrHgStallH   *obs.Histogram // hourglass window-buffer stalls
+	attrRestartH   *obs.Histogram // work discarded by two-color restarts
 
 	// Parallel-pipeline histograms (DESIGN.md §15).
 	ckptWorkerH   *obs.Histogram // per-worker wall time inside one batch
@@ -42,14 +57,22 @@ type engineObs struct {
 	lockWaitH  *obs.Histogram
 }
 
-// newEngineObs builds the registry, tracer, and every engine-level
-// instrument. Counter funcs over the engine's activity counters are
-// added later by bind, once the engine struct exists.
-func newEngineObs() *engineObs {
+// newEngineObs builds the registry, tracer, span tracer, watchdog, and
+// every engine-level instrument. spanSample is the resolved
+// Params.SpanSampleEvery (negative disables the span tracer; the
+// attribution histograms stay). Counter funcs over the engine's activity
+// counters are added later by bind, once the engine struct exists.
+func newEngineObs(spanSample int) *engineObs {
 	reg := obs.NewRegistry()
+	var spans *obs.SpanTracer
+	if spanSample >= 0 {
+		spans = obs.NewSpanTracer(0, spanSample)
+	}
 	eo := &engineObs{
-		reg:    reg,
-		tracer: obs.NewTracer(0),
+		reg:      reg,
+		tracer:   obs.NewTracer(0),
+		spans:    spans,
+		watchdog: obs.NewWatchdog(spans),
 
 		commitH: reg.Histogram("mmdb_engine_commit_seconds",
 			"Transaction commit latency (Commit call to return).", obs.ScaleNanosToSeconds),
@@ -59,6 +82,21 @@ func newEngineObs() *engineObs {
 			"Per-segment backup flush duration, including the disk-model throttle.", obs.ScaleNanosToSeconds),
 		lsnWaitH: reg.Histogram("mmdb_engine_lsn_wait_seconds",
 			"Checkpointer write-ahead waits for log durability.", obs.ScaleNanosToSeconds),
+
+		attrLockWaitH: reg.Histogram("mmdb_commit_attr_lock_wait_seconds",
+			"Commit attribution: lock waits incurred by transactions (contended acquisitions only).", obs.ScaleNanosToSeconds),
+		attrWALAppendH: reg.Histogram("mmdb_commit_attr_wal_append_seconds",
+			"Commit attribution: the commit record's log append.", obs.ScaleNanosToSeconds),
+		attrFlushWaitH: reg.Histogram("mmdb_commit_attr_flush_wait_seconds",
+			"Commit attribution: synchronous-commit group-commit durability wait.", obs.ScaleNanosToSeconds),
+		attrCouCopyH: reg.Histogram("mmdb_commit_attr_cou_copy_seconds",
+			"Commit attribution: copy-on-update old-version preservation inside install.", obs.ScaleNanosToSeconds),
+		attrZigzagH: reg.Histogram("mmdb_commit_attr_zigzag_flip_seconds",
+			"Commit attribution: zigzag live-to-shadow image flips inside install.", obs.ScaleNanosToSeconds),
+		attrHgStallH: reg.Histogram("mmdb_commit_attr_hourglass_stall_seconds",
+			"Commit attribution: waits for a free hourglass window buffer.", obs.ScaleNanosToSeconds),
+		attrRestartH: reg.Histogram("mmdb_commit_attr_restart_seconds",
+			"Commit attribution: transaction work discarded by a two-color restart.", obs.ScaleNanosToSeconds),
 
 		ckptWorkerH: reg.Histogram("mmdb_ckpt_worker_flush_seconds",
 			"Per-worker wall time spent processing one parallel checkpoint batch.", obs.ScaleNanosToSeconds),
@@ -91,6 +129,12 @@ func newEngineObs() *engineObs {
 		lockWaitH: reg.Histogram("mmdb_lockmgr_wait_seconds",
 			"Lock wait time, enqueue to grant, timeout, or deadlock refusal.", obs.ScaleNanosToSeconds),
 	}
+	// The commit record's append is measured inside wal.Append (where the
+	// clock is already read) and lands in the attribution histogram.
+	eo.walMetrics.CommitAppendSeconds = eo.attrWALAppendH
+	// Runtime health rides on the same registry so GC pauses and
+	// scheduler latency can be read next to checkpoint interference.
+	obs.NewRuntimeHarvester(reg)
 	return eo
 }
 
@@ -154,3 +198,15 @@ func (e *Engine) Tracer() *obs.Tracer { return e.eo.tracer }
 
 // TraceEvents dumps the currently retained lifecycle events in order.
 func (e *Engine) TraceEvents() []obs.Event { return e.eo.tracer.Dump() }
+
+// Spans returns the engine's span tracer (nil when disabled).
+func (e *Engine) Spans() *obs.SpanTracer { return e.eo.spans }
+
+// SpanEvents dumps the currently retained completed spans in order.
+func (e *Engine) SpanEvents() []obs.Span { return e.eo.spans.Dump() }
+
+// Watchdog returns the engine's slow-op watchdog.
+func (e *Engine) Watchdog() *obs.Watchdog { return e.eo.watchdog }
+
+// SlowOps returns the watchdog's retained slow-op dumps, oldest first.
+func (e *Engine) SlowOps() []obs.SlowOp { return e.eo.watchdog.SlowOps() }

@@ -145,6 +145,9 @@ func TestMetricNamingConvention(t *testing.T) {
 		"engine": true, "wal": true, "backup": true,
 		"lockmgr": true, "recovery": true, "kvstore": true,
 		"ckpt": true,
+		// commit_attr_* decompose commit latency per phase; runtime_* are
+		// the Go runtime harvester's gauges.
+		"commit": true, "runtime": true,
 	}
 	// Histograms carry either a physical unit (_seconds, _bytes) or a
 	// count unit naming the thing counted (_segments, _records).

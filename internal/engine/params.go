@@ -160,7 +160,29 @@ type Params struct {
 	// written through. Tests inject a faultfs.Injector here to crash the
 	// engine at named points on the write path; nil means the OS directly.
 	FS faultfs.FS
+
+	// SpanSampleEvery samples the latency-attribution span tracer: one in
+	// every SpanSampleEvery transactions gets a full commit span tree
+	// (lock waits, WAL appends, group-commit flush, checkpoint
+	// interference). Zero resolves to DefaultSpanSample; 1 traces every
+	// transaction; negative disables span tracing. Checkpoint and
+	// recovery spans are always recorded (they are rare). Attribution
+	// histograms (mmdb_commit_attr_*) are unaffected by sampling.
+	SpanSampleEvery int
+
+	// SlowOpCommitThreshold arms the slow-op watchdog for commits: a
+	// commit slower than this captures a torn-free flight-recorder dump
+	// of the offending span tree (DB.SlowOps / ?slow=1). Zero disables.
+	SlowOpCommitThreshold time.Duration
+
+	// SlowOpCheckpointThreshold arms the watchdog for whole checkpoints.
+	// Zero disables.
+	SlowOpCheckpointThreshold time.Duration
 }
+
+// DefaultSpanSample is the span-tracer sampling rate used when
+// Params.SpanSampleEvery is zero: one traced transaction in every 8.
+const DefaultSpanSample = 8
 
 // DefaultLockTimeout is the lock-wait bound used when Params.LockTimeout
 // is zero.
@@ -193,6 +215,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.HourglassWindow == 0 {
 		p.HourglassWindow = DefaultHourglassWindow
+	}
+	if p.SpanSampleEvery == 0 {
+		p.SpanSampleEvery = DefaultSpanSample
 	}
 	return p
 }

@@ -99,7 +99,10 @@ func RecoverContext(ctx context.Context, p Params) (*Engine, *RecoveryReport, er
 		return nil, nil, err
 	}
 	started := time.Now()
-	eo := newEngineObs()
+	eo := newEngineObs(p.SpanSampleEvery)
+	// The recovery span tree ends only on the success path: on error the
+	// engineObs (and its span ring) is discarded with the failed recovery.
+	recSpan := eo.spans.Begin(obs.SpanRecovery, obs.SpanNone, 0, 0)
 
 	st, err := storage.New(p.Storage)
 	if err != nil {
@@ -137,6 +140,7 @@ func RecoverContext(ctx context.Context, p Params) (*Engine, *RecoveryReport, er
 	// RecoveryParallelism concurrent readers (serially below 2).
 	par := p.RecoveryParallelism
 	rep.Parallelism = par
+	loadSpan := eo.spans.Begin(obs.SpanRecBackupLoad, recSpan, uint64(copyIdx), 0)
 	phaseBegan := time.Now()
 	writtenBy := make([]uint64, st.NumSegments())
 	if rep.UsedCheckpoint {
@@ -161,12 +165,14 @@ func RecoverContext(ctx context.Context, p Params) (*Engine, *RecoveryReport, er
 		}
 	}
 	rep.BackupLoadTime = time.Since(phaseBegan)
+	eo.spans.End(loadSpan)
 	eo.recBackupLoad.Set(rep.BackupLoadTime.Seconds())
 	eo.tracer.Record(obs.EvRecoveryPhase, obs.RecPhaseBackupLoad, uint64(rep.BackupLoadTime), 0)
 
 	// Scan the log. Pass 1 finds committed transactions; pass 2 applies
 	// their after-images in log order (record-level X locks held to commit
 	// make per-record log order match commit order, so last-in-log wins).
+	scanSpan := eo.spans.Begin(obs.SpanRecLogScan, recSpan, 0, 0)
 	phaseBegan = time.Now()
 	logPath := filepath.Join(p.Dir, logFileName)
 	reader, err := wal.OpenReader(logPath)
@@ -245,8 +251,10 @@ func RecoverContext(ctx context.Context, p Params) (*Engine, *RecoveryReport, er
 	}
 	rep.TxnsReplayed = len(committed)
 	rep.LogScanTime = time.Since(phaseBegan)
+	eo.spans.End(scanSpan)
 	eo.recLogScan.Set(rep.LogScanTime.Seconds())
 	eo.tracer.Record(obs.EvRecoveryPhase, obs.RecPhaseLogScan, uint64(rep.LogScanTime), 0)
+	redoSpan := eo.spans.Begin(obs.SpanRecRedoApply, recSpan, 0, 0)
 	phaseBegan = time.Now()
 
 	// Operation registry for logical redo (built-ins plus custom ops the
@@ -307,6 +315,7 @@ func RecoverContext(ctx context.Context, p Params) (*Engine, *RecoveryReport, er
 		}
 	}
 	rep.RedoApplyTime = time.Since(phaseBegan)
+	eo.spans.End(redoSpan)
 	eo.recRedoApply.Set(rep.RedoApplyTime.Seconds())
 	eo.tracer.Record(obs.EvRecoveryPhase, obs.RecPhaseRedoApply, uint64(rep.RedoApplyTime), 0)
 	lg, err := wal.Open(logPath, wal.Options{
@@ -356,6 +365,7 @@ func RecoverContext(ctx context.Context, p Params) (*Engine, *RecoveryReport, er
 		seg.Unlock()
 	}
 	rep.Elapsed = time.Since(started)
+	eo.spans.End(recSpan)
 	eo.recTotal.Set(rep.Elapsed.Seconds())
 	ok = true
 	e.start()

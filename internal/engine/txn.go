@@ -37,6 +37,15 @@ type Txn struct {
 	imgFree [][]byte
 	done    bool
 
+	// span is the transaction's commit root span, SpanNone when this
+	// transaction was not sampled by the span tracer. Child spans (lock
+	// waits, WAL appends, checkpoint interference) hang off it.
+	span obs.SpanID
+	// beganNanos is the wall-clock begin time, stamped for every
+	// transaction (sampled or not): the two-color restart attribution
+	// histogram charges the whole wasted transaction lifetime.
+	beganNanos int64
+
 	// Two-color tracking: the colors of segments touched during checkpoint
 	// colorRun.
 	colorRun uint64
@@ -93,6 +102,13 @@ func (tx *Txn) checkColor(seg *storage.Segment) error {
 	if tx.sawBlack && tx.sawWhite {
 		tx.e.ctr.colorRestarts.Add(1)
 		tx.e.eo.tracer.Record(obs.EvTxnRestart, tx.id, run.id, 0)
+		// The restart throws away the whole transaction so far; attribute
+		// its full lifetime, not just this access.
+		tx.e.eo.attrRestartH.Observe(uint64(max(time.Now().UnixNano()-tx.beganNanos, 0)))
+		if tx.span != obs.SpanNone {
+			s := tx.e.eo.spans.Begin(obs.SpanTwoColorRestart, tx.span, tx.id, run.id)
+			tx.e.eo.spans.End(s)
+		}
 		tx.abortInternal()
 		return ErrCheckpointConflict
 	}
@@ -109,12 +125,21 @@ func (tx *Txn) access(rid uint64, write bool) (*storage.Segment, int, error) {
 		tx.abortInternal()
 		return nil, 0, err
 	}
+	// Sampled transactions wrap the lock acquisitions in a lock-wait span;
+	// the uncontended fast path costs two clock reads, and only when the
+	// transaction was sampled. (The attribution histogram is fed by the
+	// lock manager itself, contended path only.)
+	lockSpan := obs.SpanNone
+	if tx.span != obs.SpanNone {
+		lockSpan = tx.e.eo.spans.Begin(obs.SpanLockWait, tx.span, tx.id, rid)
+	}
 	if tx.e.params.Algorithm.TwoColor() {
 		segMode := lockmgr.IS
 		if write {
 			segMode = lockmgr.IX
 		}
 		if err := tx.e.locks.Lock(tx.id, segKey(segIdx), segMode, tx.e.params.LockTimeout); err != nil {
+			tx.e.eo.spans.End(lockSpan)
 			return nil, 0, tx.lockFail(err)
 		}
 	}
@@ -123,8 +148,10 @@ func (tx *Txn) access(rid uint64, write bool) (*storage.Segment, int, error) {
 		recMode = lockmgr.X
 	}
 	if err := tx.e.locks.Lock(tx.id, recKey(rid), recMode, tx.e.params.LockTimeout); err != nil {
+		tx.e.eo.spans.End(lockSpan)
 		return nil, 0, tx.lockFail(err)
 	}
+	tx.e.eo.spans.End(lockSpan)
 	if err := tx.checkColor(seg); err != nil {
 		return nil, 0, err
 	}
@@ -229,8 +256,13 @@ func (tx *Txn) Commit() error {
 	began := time.Now()
 	var commitEnd wal.LSN
 	if len(tx.writes) > 0 {
+		walSpan := obs.SpanNone
+		if tx.span != obs.SpanNone {
+			walSpan = e.eo.spans.Begin(obs.SpanWALAppend, tx.span, tx.id, 0)
+		}
 		var err error
 		_, commitEnd, err = e.log.Append(&wal.Record{Type: wal.TypeCommit, TxnID: tx.id})
+		e.eo.spans.End(walSpan)
 		if err != nil {
 			tx.abortInternal()
 			if errors.Is(err, wal.ErrClosed) {
@@ -239,7 +271,15 @@ func (tx *Txn) Commit() error {
 			return err
 		}
 		if e.params.SyncCommit {
-			if err := e.log.WaitDurable(commitEnd); err != nil {
+			flushSpan := obs.SpanNone
+			if tx.span != obs.SpanNone {
+				flushSpan = e.eo.spans.Begin(obs.SpanGroupCommitFlush, tx.span, tx.id, uint64(commitEnd))
+			}
+			flushBegan := time.Now()
+			werr := e.log.WaitDurable(commitEnd)
+			e.eo.attrFlushWaitH.Observe(uint64(max(time.Since(flushBegan), 0)))
+			e.eo.spans.End(flushSpan)
+			if werr != nil {
 				// The commit record is appended but its durability is
 				// unknown: the flush may have failed after writing part of
 				// the tail, or the engine may be stopping. Appending an
@@ -255,10 +295,10 @@ func (tx *Txn) Commit() error {
 				e.finishTxn(tx)
 				e.ctr.txnsCommitted.Add(1)
 				tx.commitObserved(began, commitEnd)
-				if errors.Is(err, wal.ErrClosed) {
+				if errors.Is(werr, wal.ErrClosed) {
 					return fmt.Errorf("%w: %w", ErrCommitInDoubt, ErrStopped)
 				}
-				return fmt.Errorf("%w: %w", ErrCommitInDoubt, err)
+				return fmt.Errorf("%w: %w", ErrCommitInDoubt, werr)
 			}
 		}
 		tx.install(commitEnd)
@@ -272,14 +312,20 @@ func (tx *Txn) Commit() error {
 }
 
 // commitObserved records the commit latency histogram sample and the
-// commit trace event.
+// commit trace event, closes the commit root span, and arms the slow-op
+// watchdog with the finished commit. The span is ended before the
+// watchdog check so a tripped dump contains the complete tree.
 func (tx *Txn) commitObserved(began time.Time, commitEnd wal.LSN) {
 	d := time.Since(began)
 	if d < 0 {
 		d = 0
 	}
-	tx.e.eo.commitH.Observe(uint64(d))
-	tx.e.eo.tracer.Record(obs.EvTxnCommit, tx.id, uint64(commitEnd), uint64(d))
+	e := tx.e
+	e.eo.spans.End(tx.span)
+	e.eo.commitH.Observe(uint64(d))
+	e.eo.tracer.Record(obs.EvTxnCommit, tx.id, uint64(commitEnd), uint64(d))
+	e.eo.watchdog.Check(obs.WatchCommit, tx.span, int64(d))
+	tx.span = obs.SpanNone
 }
 
 // install overwrites the old record versions with the transaction's new
@@ -303,12 +349,19 @@ func (tx *Txn) install(commitEnd wal.LSN) {
 					// First post-checkpoint update of a not-yet-dumped segment:
 					// save the old version so the checkpointer still sees the
 					// transaction-consistent snapshot taken at τ(CH).
+					couSpan := obs.SpanNone
+					if tx.span != obs.SpanNone {
+						couSpan = e.eo.spans.Begin(obs.SpanCOUCopy, tx.span, tx.id, uint64(segIdx))
+					}
+					couBegan := time.Now()
 					old := &storage.OldCopy{ // alloc:allowed(copy-on-update old-version preservation: at most one copy per segment per checkpoint, Figure 3.2)
 						Data:  append([]byte(nil), seg.Data...), // alloc:allowed(the preserved snapshot must outlive the transaction)
 						Dirty: seg.Dirty,
 						TS:    seg.TS,
 					}
 					seg.Old = old
+					e.eo.attrCouCopyH.Observe(uint64(max(time.Since(couBegan), 0)))
+					e.eo.spans.End(couSpan)
 					e.ctr.couCopies.Add(1)
 					e.ctr.couCopyBytes.Add(uint64(len(old.Data)))
 					e.ctr.bumpCOULive(1)
@@ -319,11 +372,19 @@ func (tx *Txn) install(commitEnd wal.LSN) {
 					// begin-state image on the shadow slab and install into
 					// the other one. At most one flip per segment per run,
 					// and no allocation (the shadow slab is preallocated).
+					zigSpan := obs.SpanNone
+					if tx.span != obs.SpanNone {
+						zigSpan = e.eo.spans.Begin(obs.SpanZigzagFlip, tx.span, tx.id, uint64(segIdx))
+					}
+					zigBegan := time.Now()
 					copy(seg.Shadow, seg.Data)
 					seg.Data, seg.Shadow = seg.Shadow, seg.Data
 					seg.ZigPending = false
+					e.eo.attrZigzagH.Observe(uint64(max(time.Since(zigBegan), 0)))
+					e.eo.spans.End(zigSpan)
 					e.ctr.zigzagFlips.Add(1)
 					e.ctr.zigzagFlipBytes.Add(uint64(len(seg.Data)))
+					e.eo.tracer.Record(obs.EvZigzagFlip, tx.id, uint64(segIdx), uint64(len(seg.Data)))
 				}
 			case run.alg == Hourglass:
 				tx.hourglassPreserve(run, seg, segIdx)
@@ -364,5 +425,7 @@ func (tx *Txn) abortInternal() {
 	e.locks.ReleaseAll(tx.id)
 	e.finishTxn(tx)
 	e.ctr.txnsAborted.Add(1)
+	e.eo.spans.End(tx.span)
+	tx.span = obs.SpanNone
 	e.eo.tracer.Record(obs.EvTxnAbort, tx.id, 0, 0)
 }

@@ -225,15 +225,23 @@ type Manager struct {
 	waitingFor map[uint64]uint64
 
 	// waitH, when set, records wait time (enqueue to grant, timeout, or
-	// deadlock refusal). Set once via SetMetrics before the manager is
-	// shared.
-	waitH *obs.Histogram
+	// deadlock refusal). txnWaitH, when set, additionally records waits
+	// by non-zero owners (transactions, not the checkpointer) — the
+	// lock-wait share of commit-latency attribution. Both reuse the same
+	// clock reads on the contended path only; the uncontended grant path
+	// never reads the clock. Set once via SetMetrics before the manager
+	// is shared.
+	waitH    *obs.Histogram
+	txnWaitH *obs.Histogram
 }
 
-// SetMetrics installs the lock-wait latency histogram. Call it after New
-// and before the manager is shared across goroutines.
-func (m *Manager) SetMetrics(waitSeconds *obs.Histogram) {
+// SetMetrics installs the lock-wait latency histograms. txnWaitSeconds
+// (which may be nil) receives only waits by non-zero owners, i.e.
+// transactions rather than the checkpointer. Call it after New and
+// before the manager is shared across goroutines.
+func (m *Manager) SetMetrics(waitSeconds, txnWaitSeconds *obs.Histogram) {
 	m.waitH = waitSeconds
+	m.txnWaitH = txnWaitSeconds
 }
 
 // New returns an empty lock manager.
@@ -321,10 +329,8 @@ func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) erro
 	}
 	sh.mu.Unlock()
 	m.waits.Add(1)
-	var waitBegan time.Time
-	if m.waitH != nil {
-		waitBegan = time.Now()
-		defer m.waitH.ObserveSince(waitBegan)
+	if m.waitH != nil || m.txnWaitH != nil {
+		defer m.observeWait(owner, time.Now())
 	}
 
 	// The wait is registered in the waits-for graph; if it closes a
@@ -369,6 +375,17 @@ func (m *Manager) Lock(owner, key uint64, mode Mode, timeout time.Duration) erro
 		}
 		m.timeouts.Add(1)
 		return ErrTimeout
+	}
+}
+
+// observeWait records one contended wait's duration into the manager's
+// histogram and, for transaction owners (non-zero), into the
+// commit-attribution histogram. Deferred from the contended path only.
+func (m *Manager) observeWait(owner uint64, began time.Time) {
+	d := uint64(time.Since(began))
+	m.waitH.Observe(d)
+	if owner != 0 {
+		m.txnWaitH.Observe(d)
 	}
 }
 

@@ -9,6 +9,15 @@ import (
 	"strings"
 )
 
+// escapeHelp escapes HELP text per the Prometheus text exposition format
+// (version 0.0.4): backslash and newline must be escaped so multi-line
+// help cannot break the line-oriented format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
 // WritePrometheus writes every gathered metric in the Prometheus text
 // exposition format (version 0.0.4). Histograms emit cumulative le
 // buckets (non-empty ones plus +Inf), _sum in the exposed unit, and
@@ -22,7 +31,7 @@ func WritePrometheus(w io.Writer, pts []Point) error {
 				typ = "gauge"
 			}
 			if p.Help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, p.Help); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, escapeHelp(p.Help)); err != nil {
 					return err
 				}
 			}
@@ -41,7 +50,7 @@ func WritePrometheus(w io.Writer, pts []Point) error {
 
 func writePromHistogram(w io.Writer, p Point) error {
 	if p.Help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, p.Help); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, escapeHelp(p.Help)); err != nil {
 			return err
 		}
 	}
@@ -114,17 +123,51 @@ type EventJSON struct {
 	C     uint64 `json:"c"`
 }
 
+// SpanJSON is the JSON shape of one attribution span.
+type SpanJSON struct {
+	Seq    uint64 `json:"seq"`
+	Parent uint64 `json:"parent"`
+	Kind   string `json:"kind"`
+	Begin  int64  `json:"begin"`
+	Dur    int64  `json:"dur"`
+	A      uint64 `json:"a"`
+	B      uint64 `json:"b"`
+}
+
+// SlowOpJSON is the JSON shape of one watchdog slow-op dump.
+type SlowOpJSON struct {
+	Kind  string     `json:"kind"`
+	Nanos int64      `json:"nanos"`
+	Dur   int64      `json:"dur"`
+	Root  uint64     `json:"root"`
+	Spans []SpanJSON `json:"spans"`
+}
+
+// spansJSON converts a span dump to its JSON shape.
+func spansJSON(spans []Span) []SpanJSON {
+	out := make([]SpanJSON, 0, len(spans))
+	for _, s := range spans {
+		out = append(out, SpanJSON{
+			Seq: s.Seq, Parent: uint64(s.Parent), Kind: s.Kind.String(),
+			Begin: s.Begin, Dur: s.Dur, A: s.A, B: s.B,
+		})
+	}
+	return out
+}
+
 // MetricsJSON is the top-level JSON exposition document.
 type MetricsJSON struct {
 	Counters   map[string]float64       `json:"counters"`
 	Gauges     map[string]float64       `json:"gauges"`
 	Histograms map[string]HistogramJSON `json:"histograms"`
 	Events     []EventJSON              `json:"events,omitempty"`
+	Spans      []SpanJSON               `json:"spans,omitempty"`
+	SlowOps    []SlowOpJSON             `json:"slow_ops,omitempty"`
 }
 
 // BuildJSON assembles the JSON exposition document from gathered points
-// and (optionally) dumped trace events.
-func BuildJSON(pts []Point, events []Event) MetricsJSON {
+// and (optionally) dumped trace events, spans, and slow-op dumps.
+func BuildJSON(pts []Point, events []Event, spans []Span, slow []SlowOp) MetricsJSON {
 	doc := MetricsJSON{
 		Counters:   make(map[string]float64),
 		Gauges:     make(map[string]float64),
@@ -145,21 +188,34 @@ func BuildJSON(pts []Point, events []Event) MetricsJSON {
 			Seq: e.Seq, Nanos: e.Nanos, Kind: e.Kind.String(), A: e.A, B: e.B, C: e.C,
 		})
 	}
+	if len(spans) > 0 {
+		doc.Spans = spansJSON(spans)
+	}
+	for _, op := range slow {
+		doc.SlowOps = append(doc.SlowOps, SlowOpJSON{
+			Kind: op.Kind.String(), Nanos: op.Nanos, Dur: op.Dur,
+			Root: uint64(op.Root), Spans: spansJSON(op.Spans),
+		})
+	}
 	return doc
 }
 
 // WriteJSON writes the JSON exposition document (indented, sorted keys —
 // encoding/json sorts map keys).
-func WriteJSON(w io.Writer, pts []Point, events []Event) error {
+func WriteJSON(w io.Writer, pts []Point, events []Event, spans []Span, slow []SlowOp) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(BuildJSON(pts, events))
+	return enc.Encode(BuildJSON(pts, events, spans, slow))
 }
 
-// Handler serves the registry (and the tracer's events, when JSON is
-// requested with ?events=1) over HTTP. ?format=prom (default) selects
-// Prometheus text; ?format=json selects JSON.
-func Handler(reg *Registry, tracer *Tracer) http.Handler {
+// Handler serves the registry (and the flight recorder: the tracer's
+// events with ?events=1, the span ring with ?spans=1, and watchdog
+// slow-op dumps with ?slow=1, all under JSON) over HTTP. ?format=prom
+// (default) selects Prometheus text; ?format=json selects JSON;
+// ?format=chrome serves the flight-recorder contents as Chrome
+// trace-event JSON for chrome://tracing or Perfetto. The spans tracer
+// and watchdog may be nil.
+func Handler(reg *Registry, tracer *Tracer, spans *SpanTracer, wd *Watchdog) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		pts := reg.Gather()
 		format := r.URL.Query().Get("format")
@@ -177,8 +233,21 @@ func Handler(reg *Registry, tracer *Tracer) http.Handler {
 			if r.URL.Query().Get("events") == "1" {
 				events = tracer.Dump()
 			}
+			var sps []Span
+			if r.URL.Query().Get("spans") == "1" {
+				sps = spans.Dump()
+			}
+			var slow []SlowOp
+			if r.URL.Query().Get("slow") == "1" {
+				slow = wd.SlowOps()
+			}
 			w.Header().Set("Content-Type", "application/json")
-			if err := WriteJSON(w, pts, events); err != nil {
+			if err := WriteJSON(w, pts, events, sps, slow); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			if err := WriteChromeTrace(w, spans.Dump(), tracer.Dump()); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		case "prom":
@@ -187,7 +256,7 @@ func Handler(reg *Registry, tracer *Tracer) http.Handler {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		default:
-			http.Error(w, "unknown format "+format+" (want prom or json)", http.StatusBadRequest)
+			http.Error(w, "unknown format "+format+" (want prom, json, or chrome)", http.StatusBadRequest)
 		}
 	})
 }

@@ -73,7 +73,7 @@ func TestJSONGolden(t *testing.T) {
 		events[i].Nanos = 0
 	}
 	var buf bytes.Buffer
-	if err := WriteJSON(&buf, r.Gather(), events); err != nil {
+	if err := WriteJSON(&buf, r.Gather(), events, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "metrics.json", buf.Bytes())
@@ -108,7 +108,7 @@ func TestPrometheusCumulative(t *testing.T) {
 // TestHandler: format negotiation on the HTTP surface.
 func TestHandler(t *testing.T) {
 	r, tr := goldenFixture()
-	h := Handler(r, tr)
+	h := Handler(r, tr, nil, nil)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
@@ -139,5 +139,95 @@ func TestHandler(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=xml", nil))
 	if rec.Code != 400 {
 		t.Fatalf("unknown format: code=%d, want 400", rec.Code)
+	}
+}
+
+// TestHandlerSpansAndChrome: the span ring and watchdog dumps are served
+// under JSON, and format=chrome emits loadable trace-event JSON.
+func TestHandlerSpansAndChrome(t *testing.T) {
+	r, tr := goldenFixture()
+	st := NewSpanTracer(32, 1)
+	root := st.BeginSampled(SpanCommit, 1, 0)
+	child := st.Begin(SpanWALAppend, root, 1, 0)
+	st.End(child)
+	st.End(root)
+	wd := NewWatchdog(st)
+	wd.SetThresholds(1, 0) // 1ns: everything trips
+	wd.Check(WatchCommit, root, 5_000)
+	h := Handler(r, tr, st, wd)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json&spans=1&slow=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("json: code=%d", rec.Code)
+	}
+	var doc MetricsJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Spans) != 2 {
+		t.Fatalf("json spans = %d, want 2", len(doc.Spans))
+	}
+	if doc.Spans[1].Parent != uint64(root) || doc.Spans[1].Kind != "wal_append" {
+		t.Fatalf("child span JSON = %+v", doc.Spans[1])
+	}
+	if len(doc.SlowOps) != 1 || doc.SlowOps[0].Kind != "commit" || len(doc.SlowOps[0].Spans) != 2 {
+		t.Fatalf("slow ops JSON = %+v", doc.SlowOps)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=chrome", nil))
+	if rec.Code != 200 {
+		t.Fatalf("chrome: code=%d", rec.Code)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil {
+		t.Fatal(err)
+	}
+	// 2 spans (X) + 5 lifecycle events (i) from the golden fixture.
+	if len(chrome.TraceEvents) != 7 {
+		t.Fatalf("chrome events = %d, want 7", len(chrome.TraceEvents))
+	}
+	var xs, is int
+	for _, ev := range chrome.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xs++
+		case "i":
+			is++
+		}
+	}
+	if xs != 2 || is != 5 {
+		t.Fatalf("chrome phases: %d X + %d i, want 2 + 5", xs, is)
+	}
+}
+
+// TestPrometheusHelpEscaping: backslashes and newlines in help text must
+// be escaped so they cannot break the line-oriented text format.
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mmdb_test_escape_total", "Line one.\nLine \\ two.").Add(1)
+	r.Histogram("mmdb_test_escape_seconds", "Hist\nhelp.", ScaleNanosToSeconds).Observe(10)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`# HELP mmdb_test_escape_total Line one.\nLine \\ two.`,
+		`# HELP mmdb_test_escape_seconds Hist\nhelp.`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// No raw (unescaped) newline may survive inside a HELP line: every
+	// line starting with # HELP must be a complete comment line.
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("Line ")) || bytes.HasPrefix(line, []byte("help.")) {
+			t.Fatalf("raw newline leaked into exposition: %q", line)
+		}
 	}
 }

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runtimeRefresh bounds how often the harvester re-reads runtime/metrics:
+// one Gather evaluates several harvester gauges, and a single sample
+// serves them all.
+const runtimeRefresh = 50 * time.Millisecond
+
+// runtimeSampleNames are the runtime/metrics samples the harvester reads.
+var runtimeSampleNames = []string{
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// RuntimeHarvester exposes Go runtime health — GC pause and scheduler
+// latency distributions plus GC cycle and goroutine counts — as obs
+// gauges, so checkpoint interference can be told apart from runtime
+// interference in the same scrape. Samples are read from runtime/metrics
+// at most once per runtimeRefresh across all gauges.
+type RuntimeHarvester struct {
+	mu      sync.Mutex // lockorder:level=96
+	lastRef time.Time  // guarded_by: mu
+	samples []runtimemetrics.Sample
+
+	// The harvested values are atomics (the mutex only serializes the
+	// refresh itself), so gauge funcs read them lock-free.
+	gcPauseP50   atomicFloat
+	gcPauseP99   atomicFloat
+	gcPauseMax   atomicFloat
+	schedLatP50  atomicFloat
+	schedLatP99  atomicFloat
+	schedLatMax  atomicFloat
+	gcCyclesSeen atomic.Uint64
+}
+
+// atomicFloat is a float64 with atomic load/store (math.Float64bits
+// encoding), the same shape as the registry's Gauge.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// NewRuntimeHarvester registers the runtime gauges on reg and returns
+// the harvester backing them.
+func NewRuntimeHarvester(reg *Registry) *RuntimeHarvester {
+	h := &RuntimeHarvester{samples: make([]runtimemetrics.Sample, len(runtimeSampleNames))}
+	for i, name := range runtimeSampleNames {
+		h.samples[i].Name = name
+	}
+	reg.GaugeFunc("mmdb_runtime_gc_pause_p50_seconds", "Median GC stop-the-world pause.", h.gauge(&h.gcPauseP50))
+	reg.GaugeFunc("mmdb_runtime_gc_pause_p99_seconds", "99th-percentile GC stop-the-world pause.", h.gauge(&h.gcPauseP99))
+	reg.GaugeFunc("mmdb_runtime_gc_pause_max_seconds", "Largest observed GC stop-the-world pause bucket.", h.gauge(&h.gcPauseMax))
+	reg.GaugeFunc("mmdb_runtime_sched_latency_p50_seconds", "Median goroutine scheduling latency.", h.gauge(&h.schedLatP50))
+	reg.GaugeFunc("mmdb_runtime_sched_latency_p99_seconds", "99th-percentile goroutine scheduling latency.", h.gauge(&h.schedLatP99))
+	reg.GaugeFunc("mmdb_runtime_sched_latency_max_seconds", "Largest observed goroutine scheduling latency bucket.", h.gauge(&h.schedLatMax))
+	reg.CounterFunc("mmdb_runtime_gc_cycles_total", "Completed GC cycles.", func() uint64 {
+		h.refresh()
+		return h.gcCyclesSeen.Load()
+	})
+	reg.GaugeFunc("mmdb_runtime_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	return h
+}
+
+// gauge returns a GaugeFunc reading one harvested field, refreshing the
+// sample set first when it is stale.
+func (h *RuntimeHarvester) gauge(field *atomicFloat) func() float64 {
+	return func() float64 {
+		h.refresh()
+		return field.load()
+	}
+}
+
+// refresh re-reads runtime/metrics if the cached sample set is older than
+// runtimeRefresh.
+func (h *RuntimeHarvester) refresh() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	if now.Sub(h.lastRef) < runtimeRefresh && !h.lastRef.IsZero() {
+		return
+	}
+	h.lastRef = now
+	runtimemetrics.Read(h.samples)
+	for _, s := range h.samples {
+		switch s.Name {
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == runtimemetrics.KindFloat64Histogram {
+				hist := s.Value.Float64Histogram()
+				h.gcPauseP50.store(histQuantile(hist, 0.50))
+				h.gcPauseP99.store(histQuantile(hist, 0.99))
+				h.gcPauseMax.store(histQuantile(hist, 1.0))
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == runtimemetrics.KindFloat64Histogram {
+				hist := s.Value.Float64Histogram()
+				h.schedLatP50.store(histQuantile(hist, 0.50))
+				h.schedLatP99.store(histQuantile(hist, 0.99))
+				h.schedLatMax.store(histQuantile(hist, 1.0))
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == runtimemetrics.KindUint64 {
+				h.gcCyclesSeen.Store(s.Value.Uint64())
+			}
+		}
+	}
+}
+
+// histQuantile reports the q-quantile of a runtime/metrics histogram as
+// the upper bound of the bucket the quantile falls in (the last finite
+// bound for the +Inf bucket). Returns 0 for an empty histogram.
+func histQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans [Buckets[i], Buckets[i+1]); clamp infinities
+			// to the nearest finite bound.
+			upper := h.Buckets[i+1]
+			if upper > maxFinite(h.Buckets) {
+				upper = maxFinite(h.Buckets)
+			}
+			return upper
+		}
+	}
+	return maxFinite(h.Buckets)
+}
+
+// maxFinite returns the largest finite bucket boundary, or 0.
+func maxFinite(bounds []float64) float64 {
+	for i := len(bounds) - 1; i >= 0; i-- {
+		b := bounds[i]
+		if b == b && b < 1e300 && b > -1e300 { // finite
+			return b
+		}
+	}
+	return 0
+}

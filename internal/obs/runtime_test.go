@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeHarvester: the harvester registers the runtime gauges and
+// gathers sane values after forcing a GC cycle.
+func TestRuntimeHarvester(t *testing.T) {
+	r := NewRegistry()
+	NewRuntimeHarvester(r)
+	runtime.GC() // guarantee at least one cycle and one pause sample
+
+	want := map[string]bool{
+		"mmdb_runtime_gc_pause_p50_seconds":      false,
+		"mmdb_runtime_gc_pause_p99_seconds":      false,
+		"mmdb_runtime_gc_pause_max_seconds":      false,
+		"mmdb_runtime_sched_latency_p50_seconds": false,
+		"mmdb_runtime_sched_latency_p99_seconds": false,
+		"mmdb_runtime_sched_latency_max_seconds": false,
+		"mmdb_runtime_gc_cycles_total":           false,
+		"mmdb_runtime_goroutines":                false,
+	}
+	for _, p := range r.Gather() {
+		if _, ok := want[p.Name]; !ok {
+			continue
+		}
+		want[p.Name] = true
+		if p.Value < 0 {
+			t.Errorf("%s = %v, want ≥ 0", p.Name, p.Value)
+		}
+		switch p.Name {
+		case "mmdb_runtime_goroutines":
+			if p.Value < 1 {
+				t.Errorf("goroutines = %v, want ≥ 1", p.Value)
+			}
+		case "mmdb_runtime_gc_cycles_total":
+			if p.Value < 1 {
+				t.Errorf("gc cycles = %v, want ≥ 1 after runtime.GC", p.Value)
+			}
+		}
+		if strings.HasSuffix(p.Name, "_seconds") && p.Value > 3600 {
+			t.Errorf("%s = %v, implausibly large", p.Name, p.Value)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("gauge %s not gathered", name)
+		}
+	}
+}
+
+// TestHistQuantile: quantiles walk the runtime histogram's cumulative
+// counts and clamp infinite bounds to the last finite one.
+func TestHistQuantile(t *testing.T) {
+	h := &runtimemetrics.Float64Histogram{
+		Counts:  []uint64{5, 4, 1},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if q := histQuantile(h, 0.50); q != 1 {
+		t.Fatalf("p50 = %v, want 1", q)
+	}
+	if q := histQuantile(h, 0.99); q != 3 {
+		t.Fatalf("p99 = %v, want 3", q)
+	}
+	empty := &runtimemetrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if q := histQuantile(empty, 0.5); q != 0 {
+		t.Fatalf("empty p50 = %v, want 0", q)
+	}
+}

@@ -18,6 +18,8 @@ import (
 //	EvCkptEnd       A=ckptID B=segmentsFlushed C=durationNanos
 //	EvCompaction    A=bytesDropped
 //	EvRecoveryPhase A=phase (RecPhase*) B=durationNanos
+//	EvZigzagFlip    A=txnID B=segmentIndex C=bytesCopied
+//	EvHourglassStall A=txnID B=segmentIndex C=waitNanos
 type EventKind uint8
 
 const (
@@ -31,6 +33,8 @@ const (
 	EvCkptEnd
 	EvCompaction
 	EvRecoveryPhase
+	EvZigzagFlip
+	EvHourglassStall
 )
 
 // Recovery phase identifiers carried in EvRecoveryPhase's A word.
@@ -61,6 +65,10 @@ func (k EventKind) String() string {
 		return "compaction"
 	case EvRecoveryPhase:
 		return "recovery_phase"
+	case EvZigzagFlip:
+		return "zigzag_flip"
+	case EvHourglassStall:
+		return "hourglass_stall"
 	default:
 		return "unknown"
 	}

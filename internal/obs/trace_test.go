@@ -137,6 +137,24 @@ func TestTracerSeqPayloadConsistency(t *testing.T) {
 	wg.Wait()
 }
 
+// TestTracerInterferenceEvents: the PR 8 algorithm events round-trip with
+// their per-kind payload words intact.
+func TestTracerInterferenceEvents(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(EvZigzagFlip, 9, 3, 4096)
+	tr.Record(EvHourglassStall, 9, 5, 120000)
+	evs := tr.Dump()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != EvZigzagFlip || evs[0].A != 9 || evs[0].B != 3 || evs[0].C != 4096 {
+		t.Fatalf("zigzag flip event = %+v", evs[0])
+	}
+	if evs[1].Kind != EvHourglassStall || evs[1].B != 5 || evs[1].C != 120000 {
+		t.Fatalf("hourglass stall event = %+v", evs[1])
+	}
+}
+
 // TestNilTracer: nil receivers are safe no-ops.
 func TestNilTracer(t *testing.T) {
 	var tr *Tracer
@@ -149,7 +167,8 @@ func TestNilTracer(t *testing.T) {
 // TestEventKindString: every defined kind has a wire name.
 func TestEventKindString(t *testing.T) {
 	kinds := []EventKind{EvTxnBegin, EvTxnCommit, EvTxnAbort, EvTxnRestart,
-		EvCkptBegin, EvCkptSegment, EvCkptEnd, EvCompaction, EvRecoveryPhase}
+		EvCkptBegin, EvCkptSegment, EvCkptEnd, EvCompaction, EvRecoveryPhase,
+		EvZigzagFlip, EvHourglassStall}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// SlowOpKind names the operation class a watchdog threshold covers.
+type SlowOpKind uint8
+
+const (
+	WatchCommit SlowOpKind = iota + 1
+	WatchCheckpoint
+)
+
+// String returns the slow-op kind's wire name.
+func (k SlowOpKind) String() string {
+	switch k {
+	case WatchCommit:
+		return "commit"
+	case WatchCheckpoint:
+		return "checkpoint"
+	default:
+		return "unknown"
+	}
+}
+
+// SlowOp is one watchdog trip: an operation that exceeded its threshold,
+// with the flight-recorder span tree rooted at the offending operation
+// captured at trip time.
+type SlowOp struct {
+	Kind SlowOpKind
+	// Nanos is the wall-clock time (UnixNano) the trip was recorded.
+	Nanos int64
+	// Dur is the offending operation's duration in nanoseconds.
+	Dur int64
+	// Root is the offending operation's span, or SpanNone when the
+	// operation was not sampled (the dump then carries whatever recent
+	// history the ring holds, with no tree filter).
+	Root SpanID
+	// Spans is the offending span tree (the root and its descendants) in
+	// begin order, or the full retained ring when Root is SpanNone.
+	Spans []Span
+}
+
+// watchdogKeep is how many recent slow-op dumps the watchdog retains.
+const watchdogKeep = 8
+
+// Watchdog watches commit and checkpoint durations against configured
+// thresholds and, on a threshold-exceeded operation, captures a torn-free
+// flight-recorder dump of the offending span tree. Check is hot-path
+// safe: one atomic load and a compare when the operation is under
+// threshold (or the threshold is unset). The dump ring is lock-free —
+// trips publish via atomic pointers, so no lock ordering is involved.
+type Watchdog struct {
+	spans        *SpanTracer
+	commitThresh atomic.Int64
+	ckptThresh   atomic.Int64
+	trips        atomic.Uint64
+	ring         [watchdogKeep]atomic.Pointer[SlowOp]
+}
+
+// NewWatchdog returns a watchdog dumping from spans. Both thresholds
+// start unset (disabled).
+func NewWatchdog(spans *SpanTracer) *Watchdog {
+	return &Watchdog{spans: spans}
+}
+
+// SetThresholds installs the commit and checkpoint duration thresholds;
+// a zero (or negative) threshold disables that class.
+func (w *Watchdog) SetThresholds(commit, checkpoint time.Duration) {
+	if w == nil {
+		return
+	}
+	w.commitThresh.Store(int64(commit))
+	w.ckptThresh.Store(int64(checkpoint))
+}
+
+// Check tests one finished operation against its class threshold and
+// trips the flight recorder if exceeded. Called from the commit and
+// checkpoint paths on every operation, so the under-threshold path is a
+// single atomic load.
+//
+// perf:hotpath(runs at the end of every commit)
+func (w *Watchdog) Check(kind SlowOpKind, root SpanID, durNanos int64) {
+	if w == nil {
+		return
+	}
+	var thresh int64
+	switch kind {
+	case WatchCommit:
+		thresh = w.commitThresh.Load()
+	case WatchCheckpoint:
+		thresh = w.ckptThresh.Load()
+	}
+	if thresh <= 0 || durNanos < thresh {
+		return
+	}
+	w.trip(kind, root, durNanos)
+}
+
+// trip captures the dump and publishes it into the retained ring.
+//
+// alloc:allowed(fires only for threshold-exceeded slow operations, never on the steady-state commit path)
+func (w *Watchdog) trip(kind SlowOpKind, root SpanID, durNanos int64) {
+	dump := w.spans.Dump()
+	if root != SpanNone {
+		dump = SpanTree(dump, root)
+	}
+	op := &SlowOp{
+		Kind:  kind,
+		Nanos: time.Now().UnixNano(),
+		Dur:   durNanos,
+		Root:  root,
+		Spans: dump,
+	}
+	i := w.trips.Add(1) - 1
+	w.ring[i%watchdogKeep].Store(op)
+}
+
+// Trips returns how many slow operations have tripped the watchdog.
+func (w *Watchdog) Trips() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.trips.Load()
+}
+
+// SlowOps returns the retained slow-op dumps, oldest first.
+func (w *Watchdog) SlowOps() []SlowOp {
+	if w == nil {
+		return nil
+	}
+	var ops []SlowOp
+	for i := range w.ring {
+		if op := w.ring[i].Load(); op != nil {
+			ops = append(ops, *op)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Nanos < ops[j].Nanos })
+	return ops
+}
+
+// SpanTree filters a span dump down to the tree rooted at root: the root
+// span itself plus every span whose parent chain reaches it, in begin
+// order. Parent links always point at earlier tickets, so chains
+// terminate.
+//
+// alloc:allowed(diagnostic filter; runs on watchdog trips and exposition, never on the steady-state commit path)
+func SpanTree(spans []Span, root SpanID) []Span {
+	if root == SpanNone {
+		return nil
+	}
+	parent := make(map[SpanID]SpanID, len(spans))
+	for _, s := range spans {
+		parent[s.ID()] = s.Parent
+	}
+	var keep []Span
+	for _, s := range spans {
+		for id := s.ID(); id != SpanNone; id = parent[id] {
+			if id == root {
+				keep = append(keep, s)
+				break
+			}
+		}
+	}
+	return keep
+}

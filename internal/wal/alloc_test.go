@@ -3,6 +3,8 @@ package wal
 import (
 	"path/filepath"
 	"testing"
+
+	"mmdb/internal/obs"
 )
 
 // TestAppendAllocationFree pins Log.Append at zero heap allocations per
@@ -38,5 +40,56 @@ func TestAppendAllocationFree(t *testing.T) {
 	allocs := testing.AllocsPerRun(1024, appendOne)
 	if allocs != 0 {
 		t.Errorf("Append: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestAppendAllocationFreeTraced re-pins the zero-allocation contract
+// with the full metrics hookup armed, including the commit-attribution
+// histogram: the dual observation reuses a single pair of clock reads
+// and both Observe calls are lock-free atomics.
+func TestAppendAllocationFreeTraced(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		AppendSeconds:       reg.Histogram("mmdb_wal_append_seconds", "", obs.ScaleNanosToSeconds),
+		CommitAppendSeconds: reg.Histogram("mmdb_commit_attr_wal_append_seconds", "", obs.ScaleNanosToSeconds),
+		FlushSeconds:        reg.Histogram("mmdb_wal_flush_seconds", "", obs.ScaleNanosToSeconds),
+		FlushBatchBytes:     reg.Histogram("mmdb_wal_flush_batch_bytes", "", 1),
+	}
+	l, err := Open(filepath.Join(t.TempDir(), "alloc_traced.log"), Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	upd := &Record{Type: TypeUpdate, TxnID: 1, RecordID: 42, Data: make([]byte, 128)}
+	com := &Record{Type: TypeCommit, TxnID: 1}
+	flushEvery := 0
+	appendOne := func() {
+		if _, _, err := l.Append(upd); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := l.Append(com); err != nil {
+			t.Fatal(err)
+		}
+		if flushEvery++; flushEvery == 32 {
+			flushEvery = 0
+			if err := l.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 128; i++ {
+		appendOne()
+	}
+	allocs := testing.AllocsPerRun(1024, appendOne)
+	if allocs != 0 {
+		t.Errorf("Append with metrics: %v allocs/op, want 0", allocs)
+	}
+	if m.CommitAppendSeconds.Count() == 0 {
+		t.Error("commit-attribution histogram observed nothing")
+	}
+	if m.AppendSeconds.Count() < 2*m.CommitAppendSeconds.Count() {
+		t.Errorf("AppendSeconds count %d < 2× CommitAppendSeconds count %d; commit records must feed both",
+			m.AppendSeconds.Count(), m.CommitAppendSeconds.Count())
 	}
 }

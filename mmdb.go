@@ -249,19 +249,36 @@ func (db *DB) Stats() Stats { return db.e.Stats() }
 
 // Observability types, re-exported from the internal obs package: the
 // per-database metrics registry (atomic counters, gauges, and lock-free
-// latency histograms) and the lifecycle-event records its tracer dumps.
+// latency histograms), the lifecycle-event records its tracer dumps, the
+// causal latency-attribution spans, and the watchdog's slow-op captures.
 type (
 	MetricsRegistry = obs.Registry
 	TraceEvent      = obs.Event
+	Span            = obs.Span
+	SlowOp          = obs.SlowOp
 )
 
 // Metrics returns an http.Handler serving the database's metrics:
 // Prometheus text format by default, JSON with ?format=json (add
-// &events=1 to include the lifecycle-event ring buffer). Mount it on any
-// mux, e.g. http.Handle("/metrics", db.Metrics()).
+// &events=1 for the lifecycle-event ring, &spans=1 for the span ring,
+// &slow=1 for watchdog captures), and Chrome trace-event JSON with
+// ?format=chrome (load it in chrome://tracing or Perfetto). Mount it on
+// any mux, e.g. http.Handle("/metrics", db.Metrics()).
 func (db *DB) Metrics() http.Handler {
-	return obs.Handler(db.e.MetricsRegistry(), db.e.Tracer())
+	return obs.Handler(db.e.MetricsRegistry(), db.e.Tracer(), db.e.Spans(), db.e.Watchdog())
 }
+
+// Spans dumps the completed latency-attribution spans currently retained
+// by the engine's span ring: sampled commit trees (lock-wait, WAL-append,
+// group-commit-flush, and checkpoint-interference phases) plus every
+// checkpoint and recovery tree, oldest first.
+func (db *DB) Spans() []Span { return db.e.SpanEvents() }
+
+// SlowOps returns the slow-op watchdog's retained captures — operations
+// that exceeded their configured threshold, each with the offending span
+// tree — slowest first. Empty unless SlowOpCommitThreshold or
+// SlowOpCheckpointThreshold is set.
+func (db *DB) SlowOps() []SlowOp { return db.e.SlowOps() }
 
 // MetricsRegistry returns the database's metrics registry. Callers may
 // register their own mmdb_-prefixed metrics alongside the engine's
