@@ -4,7 +4,7 @@
 GO ?= go
 MMDBLINT := bin/mmdblint
 
-.PHONY: all build test race vet mmdblint lint lint-concurrency fmt clean crashmatrix fuzz bench trace
+.PHONY: all build test race vet mmdblint lint lint-concurrency fmt clean crashmatrix fuzz bench trace mmdbd-smoke
 
 all: build test
 
@@ -39,8 +39,10 @@ crashmatrix:
 # longer run, BENCH_PARALLEL for other pool widths.
 BENCH_TXNS ?= 20000
 BENCH_PARALLEL ?= 1,4
+BENCH_SHARDS ?= 4
 bench:
 	$(GO) run ./cmd/ckptbench -matrix -crash -txns $(BENCH_TXNS) -parallel $(BENCH_PARALLEL) -json BENCH_ckpt.json
+	$(GO) run ./cmd/ckptbench -shards $(BENCH_SHARDS) -crash -txns $(BENCH_TXNS) -append -json BENCH_ckpt.json
 
 # A traced run: one synchronous-commit workload with every commit traced
 # (SpanSampleEvery=1), exporting the flight recorder's span ring and
@@ -55,9 +57,17 @@ TRACE_TXNS ?= 5000
 trace:
 	$(GO) run ./cmd/ckptbench -alg $(TRACE_ALG) -sync -txns $(TRACE_TXNS) -trace $(TRACE_OUT)
 
+# End-to-end smoke of the server binary: build cmd/mmdbd, boot it on an
+# ephemeral port, drive traffic through the network client (mmdb/client
+# over the netproto frame protocol), then SIGTERM it and require a
+# clean exit. CI runs this on every push.
+mmdbd-smoke:
+	$(GO) test -v -run TestMmdbdSmoke ./cmd/mmdbd/
+
 # Short fuzz runs of the WAL reader targets; the checked-in corpus and
 # seeds alone also run as part of `make test`.
 fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFrame -fuzztime 15s ./internal/netproto/
 	$(GO) test -run '^$$' -fuzz FuzzReadRecord -fuzztime 15s ./internal/wal/
 	$(GO) test -run '^$$' -fuzz FuzzRecover -fuzztime 15s ./internal/wal/
 

@@ -1,0 +1,288 @@
+// Package client is the mmdbd network client. A Client implements
+// kvstore.Store over one TCP connection, so code written against the
+// in-process store — including the shared conformance suite and
+// ckptbench — drives a remote sharded server unchanged.
+//
+// The connection is fully pipelined: every request carries a
+// client-chosen request ID, many may be in flight at once from any
+// number of goroutines, and the server may complete them out of order.
+// A background reader demultiplexes responses back to their waiters by
+// ID. Sentinel errors (kvstore.ErrFull, ErrEmptyKey, context.Canceled,
+// ...) survive the wire: errors.Is works on errors a Client returns
+// exactly as it does in-process.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"context"
+
+	"mmdb/internal/netproto"
+	"mmdb/kvstore"
+)
+
+// ErrClosed is returned by operations on a closed client, and by
+// requests in flight when the connection drops.
+var ErrClosed = errors.New("client: connection closed")
+
+// response is one demultiplexed server frame; Pay is owned by the
+// waiter (the reader copies it out of its reusable buffer).
+type response struct {
+	typ byte
+	pay []byte
+}
+
+// Client is a kvstore.Store backed by one pipelined mmdbd connection.
+// It is safe for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	// wmu serializes frame writes so concurrent requests interleave at
+	// frame granularity, never mid-frame.
+	wmu sync.Mutex // lockorder:level=2
+
+	seq atomic.Uint64
+
+	mu sync.Mutex // lockorder:level=3
+	// pending maps in-flight request IDs to their waiters' channels
+	// (buffered, capacity 1). guarded_by:mu
+	pending map[uint64]chan response
+	// err is the sticky connection error once the reader exits.
+	// guarded_by:mu
+	err error
+	// closed is set by Close; distinguishes deliberate shutdown from a
+	// dropped connection. guarded_by:mu
+	closed bool
+
+	readerDone chan struct{}
+}
+
+// Dial connects to an mmdbd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return New(conn), nil
+}
+
+// New wraps an established connection (ownership transfers to the
+// Client).
+func New(conn net.Conn) *Client {
+	c := &Client{
+		conn:       conn,
+		pending:    make(map[uint64]chan response),
+		readerDone: make(chan struct{}),
+	}
+	// goleak:joins Close waits on c.readerDone
+	go c.readLoop()
+	return c
+}
+
+// readLoop demultiplexes response frames to waiters until the
+// connection dies, then fails everything still pending.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	var buf []byte
+	for {
+		frame, b, err := netproto.ReadFrame(c.conn, buf)
+		buf = b
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[frame.ReqID]
+		if ok {
+			delete(c.pending, frame.ReqID)
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue // waiter gave up (context cancelled); drop the late response
+		}
+		// The payload aliases buf, which the next ReadFrame overwrites;
+		// the waiter owns a copy.
+		ch <- response{typ: frame.Type, pay: append([]byte(nil), frame.Pay...)}
+	}
+}
+
+// fail marks the connection dead and releases every waiter.
+func (c *Client) fail(cause error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if c.closed {
+			c.err = ErrClosed
+		} else {
+			c.err = fmt.Errorf("%w: %v", ErrClosed, cause)
+		}
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan response)
+	err := c.err
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- response{typ: netproto.TErrResp, pay: netproto.AppendErrResp(nil, err)}
+	}
+}
+
+// Close shuts the connection down and joins the reader. In-flight
+// requests fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if already {
+		<-c.readerDone
+		return nil
+	}
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// roundTrip sends one frame and waits for its response (or ctx).
+func (c *Client) roundTrip(ctx context.Context, typ byte, pay []byte) (response, error) {
+	if err := ctx.Err(); err != nil {
+		return response{}, err
+	}
+	id := c.seq.Add(1)
+	ch := make(chan response, 1)
+
+	c.mu.Lock()
+	if c.err != nil || c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return response{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	werr := netproto.WriteFrame(c.conn, typ, id, pay)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return response{}, fmt.Errorf("client: send: %w", werr)
+	}
+
+	select {
+	case resp := <-ch:
+		if resp.typ == netproto.TErrResp {
+			return response{}, netproto.DecodeErrResp(resp.pay)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		// Deregister so the reader drops the eventual late response. The
+		// server may still apply the operation: cancellation here is
+		// "stop waiting", not "undo".
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return response{}, ctx.Err()
+	}
+}
+
+// checkKey rejects keys the wire format cannot carry, mirroring the
+// store's own error contract without a round trip.
+func checkKey(key []byte) error {
+	if len(key) == 0 {
+		return kvstore.ErrEmptyKey
+	}
+	if len(key) > 1<<16-1 {
+		return fmt.Errorf("%w: %d bytes exceeds the wire format's 64 KiB key limit", kvstore.ErrKeyTooLarge, len(key))
+	}
+	return nil
+}
+
+// Get fetches a key. The returned value is owned by the caller.
+func (c *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	if err := checkKey(key); err != nil {
+		return nil, false, err
+	}
+	resp, err := c.roundTrip(ctx, netproto.TGet, netproto.AppendKey(nil, key))
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.typ != netproto.TValueResp {
+		return nil, false, fmt.Errorf("client: unexpected response type 0x%02x to Get", resp.typ)
+	}
+	return netproto.DecodeValueResp(resp.pay)
+}
+
+// Put stores a key/value pair.
+func (c *Client) Put(ctx context.Context, key, val []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	resp, err := c.roundTrip(ctx, netproto.TPut, netproto.AppendPut(nil, key, val))
+	if err != nil {
+		return err
+	}
+	if resp.typ != netproto.TOKResp {
+		return fmt.Errorf("client: unexpected response type 0x%02x to Put", resp.typ)
+	}
+	return nil
+}
+
+// Delete removes a key, reporting whether it existed.
+func (c *Client) Delete(ctx context.Context, key []byte) (bool, error) {
+	if err := checkKey(key); err != nil {
+		return false, err
+	}
+	resp, err := c.roundTrip(ctx, netproto.TDelete, netproto.AppendKey(nil, key))
+	if err != nil {
+		return false, err
+	}
+	if resp.typ != netproto.TOKResp {
+		return false, fmt.Errorf("client: unexpected response type 0x%02x to Delete", resp.typ)
+	}
+	return netproto.DecodeOKResp(resp.pay)
+}
+
+// Batch applies ops with the server's batch semantics: atomic per
+// shard, best-effort across shards (see shard.Router.Batch).
+func (c *Client) Batch(ctx context.Context, ops []kvstore.Op) error {
+	for i, op := range ops {
+		if err := checkKey(op.Key); err != nil {
+			return fmt.Errorf("client: batch op %d: %w", i, err)
+		}
+	}
+	resp, err := c.roundTrip(ctx, netproto.TBatch, netproto.AppendBatch(nil, ops))
+	if err != nil {
+		return err
+	}
+	if resp.typ != netproto.TOKResp {
+		return fmt.Errorf("client: unexpected response type 0x%02x to Batch", resp.typ)
+	}
+	return nil
+}
+
+// Stats reports the server's per-shard statistics.
+func (c *Client) Stats(ctx context.Context) (kvstore.StoreStats, error) {
+	resp, err := c.roundTrip(ctx, netproto.TStats, nil)
+	if err != nil {
+		return kvstore.StoreStats{}, err
+	}
+	if resp.typ != netproto.TStatsResp {
+		return kvstore.StoreStats{}, fmt.Errorf("client: unexpected response type 0x%02x to Stats", resp.typ)
+	}
+	var st kvstore.StoreStats
+	if err := json.Unmarshal(resp.pay, &st); err != nil {
+		return kvstore.StoreStats{}, fmt.Errorf("client: decoding stats: %w", err)
+	}
+	return st, nil
+}
+
+// Client implements the transport-agnostic store API.
+var _ kvstore.Store = (*Client)(nil)

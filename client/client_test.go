@@ -1,0 +1,421 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mmdb"
+	"mmdb/client"
+	"mmdb/internal/faultfs"
+	"mmdb/internal/server"
+	"mmdb/internal/shard"
+	"mmdb/kvstore"
+	"mmdb/kvstore/storetest"
+)
+
+func testConfig(t *testing.T, shards int) mmdb.Config {
+	t.Helper()
+	return mmdb.Config{
+		Dir:         t.TempDir(),
+		NumRecords:  1024,
+		RecordBytes: 128,
+		Algorithm:   mmdb.COUCopy,
+		SyncCommit:  true,
+		Shards:      shards,
+	}
+}
+
+// harness is one live stack: router -> server -> TCP -> client.
+type harness struct {
+	router *shard.Router
+	srv    *server.Server
+	addr   string
+	cli    *client.Client
+}
+
+// start brings up a server on a fresh loopback port over an existing
+// router and dials one client. Cleanup tears the whole stack down.
+func start(t *testing.T, router *shard.Router) *harness {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := server.New(router)
+	done := make(chan struct{})
+	// goleak:joins t.Cleanup below waits on done after Shutdown
+	go func() {
+		defer close(done)
+		srv.Serve(ln) //nolint:errcheck // exits with a closed-listener error on Shutdown
+	}()
+	cli, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	h := &harness{router: router, srv: srv, addr: ln.Addr().String(), cli: cli}
+	t.Cleanup(func() {
+		cli.Close() //nolint:errcheck // double-closes are fine in teardown
+		srv.Shutdown()
+		<-done
+		router.Close() //nolint:errcheck // router may have been crashed by the test
+	})
+	return h
+}
+
+func openRouter(t *testing.T, cfg mmdb.Config) (*shard.Router, []*mmdb.RecoveryReport) {
+	t.Helper()
+	r, reps, err := shard.Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("shard.Open: %v", err)
+	}
+	return r, reps
+}
+
+// TestClientConformance: the network client against a live 4-shard
+// server passes the identical interface suite as the in-process store —
+// the transport is invisible to the contract.
+func TestClientConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kvstore.Store {
+		r, _ := openRouter(t, testConfig(t, 4))
+		return start(t, r).cli
+	})
+}
+
+// TestClientServerAllAlgorithms round-trips writes through the network
+// stack for every checkpoint algorithm, checkpoints, crashes, recovers,
+// and reads the data back through a fresh server.
+func TestClientServerAllAlgorithms(t *testing.T) {
+	ctx := context.Background()
+	for _, alg := range mmdb.Algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(t, 2)
+			cfg.Algorithm = alg
+			cfg.StableLogTail = alg.RequiresStableTail()
+			r, _ := openRouter(t, cfg)
+			h := start(t, r)
+
+			val := func(i int, gen string) []byte { return []byte(fmt.Sprintf("%s-%04d", gen, i)) }
+			for i := 0; i < 64; i++ {
+				if err := h.cli.Put(ctx, val(i, "key"), val(i, "old")); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+			}
+			if err := r.Checkpoint(ctx); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+			for i := 0; i < 32; i++ {
+				if err := h.cli.Put(ctx, val(i, "key"), val(i, "new")); err != nil {
+					t.Fatalf("post-ckpt Put: %v", err)
+				}
+			}
+			st, err := h.cli.Stats(ctx)
+			if err != nil {
+				t.Fatalf("Stats: %v", err)
+			}
+			if len(st.Shards) != 2 || st.Len() != 64 {
+				t.Fatalf("stats over the wire: %d shards, Len %d; want 2, 64", len(st.Shards), st.Len())
+			}
+
+			h.cli.Close() //nolint:errcheck // tearing the stack down mid-test
+			h.srv.Shutdown()
+			if err := r.Crash(); err != nil {
+				t.Fatalf("Crash: %v", err)
+			}
+
+			r2, reps := openRouter(t, cfg)
+			for i, rep := range reps {
+				if rep == nil || !rep.UsedCheckpoint {
+					t.Fatalf("shard %d: recovery did not use the %v checkpoint (report %+v)", i, alg, rep)
+				}
+			}
+			h2 := start(t, r2)
+			for i := 0; i < 64; i++ {
+				want := val(i, "old")
+				if i < 32 {
+					want = val(i, "new")
+				}
+				got, ok, err := h2.cli.Get(ctx, val(i, "key"))
+				if err != nil || !ok || !bytes.Equal(got, want) {
+					t.Fatalf("key %d after recovery = %q ok %v err %v, want %q", i, got, ok, err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestKillServerPerShardRecovery reuses the faultfs crash machinery
+// under a live network stack: a client-driven workload runs until an
+// injected WAL-write crash halts the store mid-operation, the server is
+// torn down hard, and each shard must then recover every acknowledged
+// write from its own log and checkpoint.
+func TestKillServerPerShardRecovery(t *testing.T) {
+	ctx := context.Background()
+	const seed = 47
+	rng := rand.New(rand.NewSource(seed))
+
+	inj := faultfs.New(seed)
+	inj.Arm(faultfs.Rule{Point: "wal.write", Kind: faultfs.Crash, AtHit: 40})
+	cfg := testConfig(t, 4)
+	cfg.FS = inj.FS(nil)
+
+	r, _ := openRouter(t, cfg)
+	h := start(t, r)
+
+	// oracle maps key -> value for every acknowledged network write.
+	oracle := map[string]string{}
+	for i := 0; i < 600 && !inj.Halted(); i++ {
+		key := fmt.Sprintf("key-%03d", rng.Intn(120))
+		val := fmt.Sprintf("val-%d-%d", i, rng.Int63())
+		if err := h.cli.Put(ctx, []byte(key), []byte(val)); err == nil {
+			oracle[key] = val
+		} else if !inj.Halted() {
+			// Before the fault fires, every network write must succeed;
+			// after it, errors of any shape are the crash surfacing
+			// (ErrCommitInDoubt and ErrStopped keep their identity even
+			// across the wire).
+			t.Fatalf("Put %s failed before the injected crash: %v", key, err)
+		} else if !errors.Is(err, mmdb.ErrStopped) && !errors.Is(err, mmdb.ErrCommitInDoubt) &&
+			!errors.Is(err, client.ErrClosed) {
+			t.Logf("post-crash Put %s: %v", key, err)
+		}
+		if i == 100 {
+			if err := r.Checkpoint(ctx); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+		}
+	}
+	if !inj.Halted() {
+		t.Fatal("injected wal.write crash never fired")
+	}
+
+	// Kill the server: close the socket out from under the client, shut
+	// the front end down, and drop the engines' volatile state.
+	h.cli.Close() //nolint:errcheck // simulating a killed process
+	h.srv.Shutdown()
+	_ = r.Crash() // the halted injector makes teardown itself error; that's the point
+
+	rcfg := cfg
+	rcfg.FS = nil
+	r2, reps := openRouter(t, rcfg)
+	if len(reps) != 4 {
+		t.Fatalf("got %d recovery reports, want 4", len(reps))
+	}
+	for i, rep := range reps {
+		if rep == nil {
+			t.Fatalf("shard %d produced no recovery report after the crash", i)
+		}
+	}
+	h2 := start(t, r2)
+	for key, want := range oracle {
+		got, found, err := h2.cli.Get(ctx, []byte(key))
+		if err != nil {
+			t.Fatalf("Get %s after recovery: %v", key, err)
+		}
+		if !found || string(got) != want {
+			t.Fatalf("acknowledged write lost: %s = %q (found=%v), want %q", key, got, found, want)
+		}
+	}
+}
+
+// TestNetworkSingleShardEquivalence extends the byte-level upgrade
+// guarantee across the transport: the same ops through a network client
+// against a Shards=1 server recover to the identical primary image as a
+// plain in-process kvstore.Local.
+func TestNetworkSingleShardEquivalence(t *testing.T) {
+	ctx := context.Background()
+	plainCfg := testConfig(t, 0)
+	routedCfg := testConfig(t, 1)
+
+	apply := func(s kvstore.Store) {
+		t.Helper()
+		for i := 0; i < 200; i++ {
+			k := []byte(fmt.Sprintf("key-%04d", i))
+			if err := s.Put(ctx, k, []byte(fmt.Sprintf("val-%04d", i))); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+		if err := s.Batch(ctx, []kvstore.Op{
+			{Key: []byte("key-0000"), Delete: true},
+			{Key: []byte("key-0001"), Val: []byte("rewritten")},
+		}); err != nil {
+			t.Fatalf("Batch: %v", err)
+		}
+	}
+
+	plain, _, err := kvstore.Open(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(plain)
+	if _, err := plain.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	plain2, rep, err := kvstore.Open(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain2.Close()
+	if rep == nil {
+		t.Fatal("plain store did not recover")
+	}
+
+	r, _ := openRouter(t, routedCfg)
+	h := start(t, r)
+	apply(h.cli) // the only difference: every op crosses the wire
+	if err := r.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h.cli.Close() //nolint:errcheck // simulating a killed process
+	h.srv.Shutdown()
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r2, reps := openRouter(t, routedCfg)
+	defer r2.Close()
+	if len(reps) != 1 || reps[0] == nil {
+		t.Fatal("routed store did not recover")
+	}
+
+	dbA, dbB := plain2.DB(), r2.Shard(0).DB()
+	if dbA.NumRecords() != dbB.NumRecords() {
+		t.Fatalf("record counts differ: %d vs %d", dbA.NumRecords(), dbB.NumRecords())
+	}
+	for rid := uint64(0); rid < uint64(dbA.NumRecords()); rid++ {
+		a, err := dbA.ReadRecord(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dbB.ReadRecord(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("record %d differs between in-process and network-written images", rid)
+		}
+	}
+}
+
+// TestClientPipelining issues many concurrent requests over one
+// connection; request IDs must demultiplex every response back to its
+// caller intact.
+func TestClientPipelining(t *testing.T) {
+	ctx := context.Background()
+	r, _ := openRouter(t, testConfig(t, 4))
+	h := start(t, r)
+
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// goleak:joins wg.Wait below
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := []byte(fmt.Sprintf("w%d-k%03d", w, i))
+				v := []byte(fmt.Sprintf("w%d-v%03d", w, i))
+				if err := h.cli.Put(ctx, k, v); err != nil {
+					errs <- fmt.Errorf("put %s: %w", k, err)
+					return
+				}
+				got, ok, err := h.cli.Get(ctx, k)
+				if err != nil || !ok || !bytes.Equal(got, v) {
+					errs <- fmt.Errorf("get %s = %q ok %v err %v", k, got, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st, err := h.cli.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", st.Len(), workers*perWorker)
+	}
+}
+
+// TestClientErrorsAcrossWire: the store's sentinel errors survive the
+// network and in-flight requests fail cleanly when the client closes.
+func TestClientErrorsAcrossWire(t *testing.T) {
+	ctx := context.Background()
+	r, _ := openRouter(t, testConfig(t, 2))
+	h := start(t, r)
+
+	if err := h.cli.Put(ctx, nil, []byte("v")); !errors.Is(err, kvstore.ErrEmptyKey) {
+		t.Errorf("empty key err = %v, want ErrEmptyKey", err)
+	}
+	if err := h.cli.Put(ctx, []byte("k"), bytes.Repeat([]byte("v"), 64<<10)); !errors.Is(err, kvstore.ErrValueTooLarge) {
+		t.Errorf("oversized value err = %v, want ErrValueTooLarge", err)
+	}
+	if err := h.cli.Put(ctx, bytes.Repeat([]byte("k"), 1<<16), []byte("v")); !errors.Is(err, kvstore.ErrKeyTooLarge) {
+		t.Errorf("oversized key err = %v, want ErrKeyTooLarge", err)
+	}
+
+	if err := h.cli.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := h.cli.Put(ctx, []byte("k"), []byte("v")); !errors.Is(err, client.ErrClosed) {
+		t.Errorf("post-close Put err = %v, want ErrClosed", err)
+	}
+}
+
+// TestClientContextTimeout: a server that accepts but never answers
+// must not hang a request past its deadline.
+func TestClientContextTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	// goleak:joins the deferred drain below joins via the accepted channel
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn // hold the conn open, answer nothing
+	}()
+	defer func() {
+		select {
+		case conn := <-accepted:
+			conn.Close() //nolint:errcheckwal // test teardown
+		default:
+		}
+	}()
+
+	cli, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, gerr := cli.Get(ctx, []byte("k"))
+	if !errors.Is(gerr, context.DeadlineExceeded) {
+		t.Fatalf("Get against mute server = %v, want DeadlineExceeded", gerr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}

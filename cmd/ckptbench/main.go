@@ -14,6 +14,12 @@
 //	ckptbench -matrix -crash -json BENCH_ckpt.json   # all eight algorithms
 //	ckptbench -alg COUCOPY -parallel 1,4 -throttle -crash   # serial vs 4-worker pipeline
 //	ckptbench -alg COUCOPY -metrics :6060            # mmdbctl stats -addr http://localhost:6060/metrics
+//	ckptbench -shards 4 -crash -append -json BENCH_ckpt.json  # sharded, through a loopback mmdbd
+//	ckptbench -shards 4 -addr db0:7070               # against an already-running mmdbd
+//
+// With -shards the workload runs through the transport-agnostic store
+// API against a live network stack (see sharded.go); the -json report
+// gains a per-shard + aggregate block under "sharded_runs".
 package main
 
 import (
@@ -57,20 +63,24 @@ var (
 	throttle = flag.Bool("throttle", false, "pace checkpoint segment writes with the paper's disk model, one stream per worker")
 	speedup  = flag.Float64("speedup", 0, "divide the modeled throttle delays by this factor (0 = engine default)")
 	jsonPath = flag.String("json", "", "write the machine-readable result file here")
+	appendTo = flag.Bool("append", false, "with -json: keep the existing file's runs and append this invocation's (the schema is upgraded in place)")
 	metrics  = flag.String("metrics", "", "serve live metrics on this address during the run (e.g. :6060)")
 	traceOut = flag.String("trace", "", "write each run's span ring as Chrome trace-event JSON here (matrix/parallel runs get per-run suffixes)")
 )
 
 // ResultSchema identifies the -json file layout. v2 added the
-// "parallelism" config echo and "avg_checkpoint_seconds"; v3 adds the
-// per-phase commit "attribution" breakdown from the
-// mmdb_commit_attr_* histograms.
-const ResultSchema = "mmdb/ckptbench/v3"
+// "parallelism" config echo and "avg_checkpoint_seconds"; v3 added the
+// per-phase commit "attribution" breakdown from the mmdb_commit_attr_*
+// histograms; v4 adds the "sharded_runs" block (-shards: per-shard
+// engine stats, an aggregate, and fleet recovery times) — "runs"
+// entries are unchanged from v3.
+const ResultSchema = "mmdb/ckptbench/v4"
 
 // BenchFile is the top-level -json document.
 type BenchFile struct {
-	Schema string         `json:"schema"`
-	Runs   []*BenchResult `json:"runs"`
+	Schema      string           `json:"schema"`
+	Runs        []*BenchResult   `json:"runs"`
+	ShardedRuns []*ShardedResult `json:"sharded_runs,omitempty"`
 }
 
 // BenchResult is one algorithm's run: configuration, totals, latency
@@ -220,20 +230,39 @@ func main() {
 	}
 
 	file := &BenchFile{Schema: ResultSchema}
-	for i, name := range algs {
-		for j, par := range pars {
-			if i+j > 0 {
-				fmt.Println()
-			}
-			res, err := run(name, par)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ckptbench:", err)
-				os.Exit(1)
-			}
-			file.Runs = append(file.Runs, res)
+	if *jsonPath != "" && *appendTo {
+		if prev, err := loadBenchFile(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "ckptbench: -append:", err)
+			os.Exit(1)
+		} else if prev != nil {
+			file.Runs = prev.Runs
+			file.ShardedRuns = prev.ShardedRuns
 		}
 	}
-	printSpeedups(file.Runs)
+
+	if *shardsFlag > 0 {
+		res, err := runSharded()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ckptbench:", err)
+			os.Exit(1)
+		}
+		file.ShardedRuns = append(file.ShardedRuns, res)
+	} else {
+		for i, name := range algs {
+			for j, par := range pars {
+				if i+j > 0 {
+					fmt.Println()
+				}
+				res, err := run(name, par)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ckptbench:", err)
+					os.Exit(1)
+				}
+				file.Runs = append(file.Runs, res)
+			}
+		}
+		printSpeedups(file.Runs)
+	}
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(file, "", "  ")
@@ -244,8 +273,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ckptbench: write -json:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nwrote %s (%d runs)\n", *jsonPath, len(file.Runs))
+		fmt.Printf("\nwrote %s (%d runs, %d sharded)\n", *jsonPath, len(file.Runs), len(file.ShardedRuns))
 	}
+}
+
+// loadBenchFile reads an existing -json file for -append. A missing
+// file is fine (nil, nil); any ckptbench schema is accepted — the
+// rewrite stamps the current one.
+func loadBenchFile(path string) (*BenchFile, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var file BenchFile
+	if err := json.Unmarshal(buf, &file); err != nil {
+		return nil, fmt.Errorf("%s is not a ckptbench result file: %w", path, err)
+	}
+	if !strings.HasPrefix(file.Schema, "mmdb/ckptbench/") {
+		return nil, fmt.Errorf("%s has schema %q, not a ckptbench result file", path, file.Schema)
+	}
+	return &file, nil
 }
 
 // parseParallelList parses the -parallel flag: a comma-separated list of

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mmdb/client"
+)
+
+// TestMmdbdSmoke is the end-to-end binary test: build mmdbd, start it
+// on an ephemeral port, parse the "listening on" line from stdout, run
+// real traffic through the network client, then SIGTERM it and require
+// a clean (exit 0) shutdown. `make mmdbd-smoke` runs exactly this.
+func TestMmdbdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	ctx := context.Background()
+	bin := filepath.Join(t.TempDir(), "mmdbd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building mmdbd: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(bin,
+		"-dir", dir, "-addr", "127.0.0.1:0",
+		"-records", "4096", "-recbytes", "128", "-shards", "4",
+		"-interval", "50ms")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting mmdbd: %v", err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // backstop; the happy path SIGTERMs first
+
+	// Scan stdout for the ready line; tooling contracts on its shape.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	lines := make(chan string, 16)
+	// goleak:joins the scanner exits when the process does; cmd.Wait below
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	deadline := time.After(30 * time.Second)
+scan:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("mmdbd exited before listening; stderr:\n%s", stderr.String())
+			}
+			if rest, found := strings.CutPrefix(line, "mmdbd: listening on "); found {
+				addr = strings.Fields(rest)[0]
+				break scan
+			}
+		case <-deadline:
+			t.Fatal("mmdbd never printed its listening line")
+		}
+	}
+
+	cli, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dialing mmdbd at %s: %v", addr, err)
+	}
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("smoke-%03d", i))
+		if err := cli.Put(ctx, k, k); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	st, err := cli.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if len(st.Shards) != 4 || st.Len() != 100 {
+		t.Fatalf("stats = %d shards, Len %d; want 4 shards, 100 entries", len(st.Shards), st.Len())
+	}
+	got, ok, err := cli.Get(ctx, []byte("smoke-042"))
+	if err != nil || !ok || string(got) != "smoke-042" {
+		t.Fatalf("Get = %q ok %v err %v", got, ok, err)
+	}
+	cli.Close() //nolint:errcheck // the server is about to be killed anyway
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("mmdbd exited uncleanly: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("mmdbd did not exit within 30s of SIGTERM")
+	}
+	var sawClean bool
+	for line := range lines {
+		if strings.Contains(line, "clean shutdown") {
+			sawClean = true
+		}
+	}
+	if !sawClean {
+		t.Error("mmdbd never printed its clean-shutdown line")
+	}
+}

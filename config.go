@@ -2,6 +2,7 @@ package mmdb
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"mmdb/analytic"
@@ -176,6 +177,23 @@ type Config struct {
 	// SlowOpCheckpointThreshold is the watchdog threshold for whole
 	// checkpoints. Zero disables the checkpoint watchdog.
 	SlowOpCheckpointThreshold time.Duration
+
+	// Shards hash-partitions the keyspace across this many independent
+	// engines, each with its own subdirectory (shard-000, shard-001, ...),
+	// WAL, lock manager, and staggered checkpoint loop. 0 and 1 both mean
+	// a single unsharded engine with the exact on-disk layout of earlier
+	// versions (no subdirectory). Values above 1 are driven by the shard
+	// router (internal/shard, served by cmd/mmdbd); DB.Open itself runs
+	// one engine and rejects them. NumRecords must divide evenly across
+	// the shards. Derive each shard's engine config with ShardConfig.
+	Shards int
+
+	// CheckpointStagger delays the checkpoint loop's first checkpoint,
+	// phase-shifting otherwise identical schedules. The shard router
+	// derives it per shard as shard*CheckpointInterval/Shards so N
+	// shards hit the backup device at evenly spaced offsets;
+	// single-engine configs rarely set it.
+	CheckpointStagger time.Duration
 }
 
 // FS is the filesystem abstraction the storage layer writes through,
@@ -195,12 +213,59 @@ func (c Config) withDefaults() Config {
 
 // Validate checks the configuration without opening anything: geometry,
 // algorithm (including the FASTFUZZY stable-tail requirement), intervals,
-// parallelism, throttle, and operation registrations. Open and Recover
-// run the same checks; calling Validate first lets callers fail fast on
-// assembled configs before touching the directory.
+// parallelism, throttle, sharding, and operation registrations. Open and
+// Recover run the same checks; calling Validate first lets callers fail
+// fast on assembled configs before touching the directory.
 func (c Config) Validate() error {
+	if c.Shards > 1 {
+		// A sharded config is valid iff each derived per-shard config
+		// is; shard 0 stands for all of them (they differ only in Dir
+		// and stagger).
+		sc, err := c.ShardConfig(0)
+		if err != nil {
+			return err
+		}
+		_, err = sc.engineParams()
+		return err
+	}
 	_, err := c.engineParams()
 	return err
+}
+
+// ShardDirName is the subdirectory of Config.Dir holding one shard's
+// engine state (log + backup copies) when Shards > 1.
+func ShardDirName(shard int) string { return fmt.Sprintf("shard-%03d", shard) }
+
+// ShardConfig derives the single-engine configuration of one shard: its
+// own subdirectory, an even slice of the records, and a checkpoint
+// schedule phase-shifted by shard*CheckpointInterval/Shards. With
+// Shards <= 1 it returns c unchanged (same Dir, same layout), so a
+// sharded caller over a Shards:1 config is byte-compatible with the
+// plain single-engine database.
+func (c Config) ShardConfig(shard int) (Config, error) {
+	if c.Shards < 0 {
+		return Config{}, fmt.Errorf("mmdb: negative Shards %d", c.Shards)
+	}
+	n := c.Shards
+	if n <= 1 {
+		if shard != 0 {
+			return Config{}, fmt.Errorf("mmdb: shard %d of an unsharded config", shard)
+		}
+		c.Shards = 0
+		return c, nil
+	}
+	if shard < 0 || shard >= n {
+		return Config{}, fmt.Errorf("mmdb: shard %d out of range [0,%d)", shard, n)
+	}
+	if c.NumRecords%n != 0 {
+		return Config{}, fmt.Errorf("mmdb: NumRecords %d does not divide across %d shards", c.NumRecords, n)
+	}
+	sc := c
+	sc.Shards = 0
+	sc.Dir = filepath.Join(c.Dir, ShardDirName(shard))
+	sc.NumRecords = c.NumRecords / n
+	sc.CheckpointStagger = time.Duration(shard) * c.CheckpointInterval / time.Duration(n)
+	return sc, nil
 }
 
 // engineAlgorithm maps the public algorithm enumeration to the engine's.
@@ -230,6 +295,12 @@ func engineAlgorithm(a Algorithm) (engine.Algorithm, error) {
 // engineParams converts the public configuration to engine parameters.
 func (c Config) engineParams() (engine.Params, error) {
 	c = c.withDefaults()
+	if c.Shards < 0 {
+		return engine.Params{}, fmt.Errorf("mmdb: negative Shards %d", c.Shards)
+	}
+	if c.Shards > 1 {
+		return engine.Params{}, fmt.Errorf("mmdb: Shards %d: a DB is one engine; open sharded configs through the shard router (cmd/mmdbd or ShardConfig per shard)", c.Shards)
+	}
 	alg, err := engineAlgorithm(c.Algorithm)
 	if err != nil {
 		return engine.Params{}, err
@@ -262,6 +333,7 @@ func (c Config) engineParams() (engine.Params, error) {
 		SpanSampleEvery:           c.SpanSampleEvery,
 		SlowOpCommitThreshold:     c.SlowOpCommitThreshold,
 		SlowOpCheckpointThreshold: c.SlowOpCheckpointThreshold,
+		CheckpointStagger:         c.CheckpointStagger,
 	}
 	if c.ThrottleCheckpointIO {
 		speedup := c.ThrottleSpeedup

@@ -1,0 +1,111 @@
+package mmdb
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func shardedConfig(t *testing.T, shards int) Config {
+	t.Helper()
+	return Config{
+		Dir:                t.TempDir(),
+		NumRecords:         1024,
+		RecordBytes:        64,
+		Algorithm:          COUCopy,
+		Shards:             shards,
+		CheckpointInterval: 400 * time.Millisecond,
+	}
+}
+
+func TestShardConfigDerivation(t *testing.T) {
+	cfg := shardedConfig(t, 4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate(sharded): %v", err)
+	}
+	for shard := 0; shard < 4; shard++ {
+		sc, err := cfg.ShardConfig(shard)
+		if err != nil {
+			t.Fatalf("ShardConfig(%d): %v", shard, err)
+		}
+		if want := filepath.Join(cfg.Dir, ShardDirName(shard)); sc.Dir != want {
+			t.Errorf("shard %d Dir = %q, want %q", shard, sc.Dir, want)
+		}
+		if sc.NumRecords != 256 {
+			t.Errorf("shard %d NumRecords = %d, want 256", shard, sc.NumRecords)
+		}
+		if sc.Shards != 0 {
+			t.Errorf("shard %d Shards = %d, want 0 (single engine)", shard, sc.Shards)
+		}
+		if want := time.Duration(shard) * 100 * time.Millisecond; sc.CheckpointStagger != want {
+			t.Errorf("shard %d CheckpointStagger = %v, want %v", shard, sc.CheckpointStagger, want)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("shard %d config invalid: %v", shard, err)
+		}
+	}
+}
+
+// TestShardConfigUnshardedIdentity pins the upgrade path: Shards 0 and 1
+// must both derive a config identical to the original (same Dir, no
+// subdirectory, same geometry), so existing databases open unchanged.
+func TestShardConfigUnshardedIdentity(t *testing.T) {
+	for _, shards := range []int{0, 1} {
+		cfg := shardedConfig(t, shards)
+		sc, err := cfg.ShardConfig(0)
+		if err != nil {
+			t.Fatalf("Shards=%d ShardConfig(0): %v", shards, err)
+		}
+		want := cfg
+		want.Shards = 0 // 1 normalizes to 0; the layout is the same
+		if !reflect.DeepEqual(sc, want) {
+			t.Errorf("Shards=%d ShardConfig(0) = %+v, want original config", shards, sc)
+		}
+		if _, err := cfg.ShardConfig(1); err == nil {
+			t.Errorf("Shards=%d ShardConfig(1) succeeded, want error", shards)
+		}
+	}
+}
+
+func TestShardConfigErrors(t *testing.T) {
+	cfg := shardedConfig(t, 4)
+
+	neg := cfg
+	neg.Shards = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("Validate(Shards=-1) succeeded")
+	}
+	if _, err := neg.ShardConfig(0); err == nil {
+		t.Error("ShardConfig on negative Shards succeeded")
+	}
+
+	if _, err := cfg.ShardConfig(-1); err == nil {
+		t.Error("ShardConfig(-1) succeeded")
+	}
+	if _, err := cfg.ShardConfig(4); err == nil {
+		t.Error("ShardConfig(4) of 4 shards succeeded")
+	}
+
+	odd := cfg
+	odd.Shards = 3 // 1024 % 3 != 0
+	if err := odd.Validate(); err == nil {
+		t.Error("Validate(1024 records / 3 shards) succeeded")
+	}
+}
+
+// TestOpenRejectsShardedConfig: a DB is one engine; sharded configs are
+// the router's job. Open must say so rather than silently serving 1/N
+// of the keyspace.
+func TestOpenRejectsShardedConfig(t *testing.T) {
+	cfg := shardedConfig(t, 4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("Open(Shards=4) succeeded, want error")
+	}
+	if _, _, err := Recover(cfg); err == nil {
+		t.Fatal("Recover(Shards=4) succeeded, want error")
+	}
+}

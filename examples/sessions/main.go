@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 		SyncCommit:     true,
 		AutoCheckpoint: true,
 	}
+	ctx := context.Background()
 	store, _, err := kvstore.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -38,7 +40,7 @@ func main() {
 	// to evict first.
 	put := func(expiry int, id, user string) {
 		key := fmt.Sprintf("%08d/%s", expiry, id)
-		if err := store.Put([]byte(key), []byte(user)); err != nil {
+		if err := store.Put(ctx, []byte(key), []byte(user)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -61,7 +63,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, k := range evict {
-		if _, err := store.Delete(k); err != nil {
+		if _, err := store.Delete(ctx, k); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("evicted %s\n", k)

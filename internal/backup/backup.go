@@ -81,8 +81,9 @@ type metaFile struct {
 	Copies       [storage.NumBackupCopies]CheckpointInfo `json:"copies"`
 }
 
-// Store manages the two backup database copies in a directory.
-type Store struct {
+// FileStore is the file-backed Store: two backup copy files plus a
+// metadata file in a directory, written through a faultfs.FS seam.
+type FileStore struct {
 	dir          string
 	fsys         faultfs.FS
 	numSegments  int
@@ -104,20 +105,20 @@ type Store struct {
 
 // SetMetrics installs the segment-write latency histogram. Call it after
 // OpenFS and before the store is shared with the checkpointer.
-func (s *Store) SetMetrics(segmentWriteSeconds *obs.Histogram) {
+func (s *FileStore) SetMetrics(segmentWriteSeconds *obs.Histogram) {
 	s.segWriteH = segmentWriteSeconds
 }
 
 // Open creates or opens the backup store in dir for a database of
 // numSegments segments of segmentBytes each. Existing metadata must match
 // the geometry.
-func Open(dir string, numSegments, segmentBytes int) (*Store, error) {
+func Open(dir string, numSegments, segmentBytes int) (*FileStore, error) {
 	return OpenFS(nil, dir, numSegments, segmentBytes)
 }
 
 // OpenFS is Open writing through fsys (nil means the OS directly); tests
 // inject a faultfs.Injector here.
-func OpenFS(fsys faultfs.FS, dir string, numSegments, segmentBytes int) (*Store, error) {
+func OpenFS(fsys faultfs.FS, dir string, numSegments, segmentBytes int) (*FileStore, error) {
 	if numSegments <= 0 || segmentBytes <= 0 {
 		return nil, fmt.Errorf("backup: invalid geometry %d segments × %d bytes", numSegments, segmentBytes)
 	}
@@ -125,7 +126,7 @@ func OpenFS(fsys faultfs.FS, dir string, numSegments, segmentBytes int) (*Store,
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("backup: mkdir: %w", err)
 	}
-	s := &Store{
+	s := &FileStore{
 		dir:          dir,
 		fsys:         fsys,
 		numSegments:  numSegments,
@@ -180,7 +181,7 @@ func OpenFS(fsys faultfs.FS, dir string, numSegments, segmentBytes int) (*Store,
 	return s, nil
 }
 
-func (s *Store) closeFiles() {
+func (s *FileStore) closeFiles() {
 	for _, f := range s.files {
 		if f != nil {
 			f.Close()
@@ -189,7 +190,7 @@ func (s *Store) closeFiles() {
 }
 
 // Close releases the store.
-func (s *Store) Close() error {
+func (s *FileStore) Close() error {
 	var err error
 	for _, f := range s.files {
 		if f != nil {
@@ -202,7 +203,7 @@ func (s *Store) Close() error {
 }
 
 // writeMeta atomically replaces the metadata file.
-func (s *Store) writeMeta() error {
+func (s *FileStore) writeMeta() error {
 	raw, err := json.MarshalIndent(&s.meta, "", "  ")
 	if err != nil {
 		return fmt.Errorf("backup: marshal metadata: %w", err)
@@ -221,7 +222,7 @@ func (s *Store) writeMeta() error {
 // NextTarget returns the ping-pong copy the next checkpoint should write:
 // successive checkpoints alternate, so the copy holding the older (or no)
 // complete checkpoint is the target.
-func (s *Store) NextTarget() int {
+func (s *FileStore) NextTarget() int {
 	a, b := s.meta.Copies[0], s.meta.Copies[1]
 	switch {
 	case !a.Complete:
@@ -236,7 +237,7 @@ func (s *Store) NextTarget() int {
 }
 
 // Latest returns the most recent complete checkpoint and its copy index.
-func (s *Store) Latest() (copyIdx int, info CheckpointInfo, err error) {
+func (s *FileStore) Latest() (copyIdx int, info CheckpointInfo, err error) {
 	best := -1
 	for c := 0; c < storage.NumBackupCopies; c++ {
 		ci := s.meta.Copies[c]
@@ -251,12 +252,12 @@ func (s *Store) Latest() (copyIdx int, info CheckpointInfo, err error) {
 }
 
 // CopyInfo returns the checkpoint status of one copy.
-func (s *Store) CopyInfo(copyIdx int) CheckpointInfo { return s.meta.Copies[copyIdx] }
+func (s *FileStore) CopyInfo(copyIdx int) CheckpointInfo { return s.meta.Copies[copyIdx] }
 
 // BeginCheckpoint marks copyIdx as being overwritten by the checkpoint
 // described in info (Complete is forced false) and persists the metadata.
 // After a crash mid-checkpoint the copy is ignored by recovery.
-func (s *Store) BeginCheckpoint(copyIdx int, info CheckpointInfo) error {
+func (s *FileStore) BeginCheckpoint(copyIdx int, info CheckpointInfo) error {
 	if copyIdx < 0 || copyIdx >= storage.NumBackupCopies {
 		return fmt.Errorf("backup: copy %d out of range", copyIdx)
 	}
@@ -269,7 +270,7 @@ func (s *Store) BeginCheckpoint(copyIdx int, info CheckpointInfo) error {
 // into copyIdx, stamped with the writing checkpoint's ID.
 //
 // walorder:write
-func (s *Store) WriteSegment(copyIdx, idx int, checkpointID uint64, data []byte) error {
+func (s *FileStore) WriteSegment(copyIdx, idx int, checkpointID uint64, data []byte) error {
 	if copyIdx < 0 || copyIdx >= storage.NumBackupCopies {
 		return fmt.Errorf("backup: copy %d out of range", copyIdx)
 	}
@@ -303,7 +304,7 @@ func (s *Store) WriteSegment(copyIdx, idx int, checkpointID uint64, data []byte)
 // FinishCheckpoint durably completes the checkpoint on copyIdx: the data
 // file is synced, then the metadata flips Complete — the checkpoint's
 // atomic commit point.
-func (s *Store) FinishCheckpoint(copyIdx int, endLSN wal.LSN, segmentsWritten int, bytesWritten int64) error {
+func (s *FileStore) FinishCheckpoint(copyIdx int, endLSN wal.LSN, segmentsWritten int, bytesWritten int64) error {
 	if copyIdx < 0 || copyIdx >= storage.NumBackupCopies {
 		return fmt.Errorf("backup: copy %d out of range", copyIdx)
 	}
@@ -323,7 +324,7 @@ func (s *Store) FinishCheckpoint(copyIdx int, endLSN wal.LSN, segmentsWritten in
 // It returns the ID of the checkpoint that wrote the slot; 0 means the
 // slot was never written and dst is zero-filled (the initial database
 // state).
-func (s *Store) ReadSegment(copyIdx, idx int, dst []byte) (writtenBy uint64, err error) {
+func (s *FileStore) ReadSegment(copyIdx, idx int, dst []byte) (writtenBy uint64, err error) {
 	if copyIdx < 0 || copyIdx >= storage.NumBackupCopies {
 		return 0, fmt.Errorf("backup: copy %d out of range", copyIdx)
 	}
@@ -355,7 +356,7 @@ func (s *Store) ReadSegment(copyIdx, idx int, dst []byte) (writtenBy uint64, err
 
 // ReadAll streams every segment of copyIdx through fn in index order,
 // re-using one buffer. fn must not retain data.
-func (s *Store) ReadAll(copyIdx int, fn func(idx int, writtenBy uint64, data []byte) error) error {
+func (s *FileStore) ReadAll(copyIdx int, fn func(idx int, writtenBy uint64, data []byte) error) error {
 	buf := make([]byte, s.segmentBytes)
 	for i := 0; i < s.numSegments; i++ {
 		writtenBy, err := s.ReadSegment(copyIdx, i, buf)
@@ -371,7 +372,7 @@ func (s *Store) ReadAll(copyIdx int, fn func(idx int, writtenBy uint64, data []b
 
 // Verify checks every written slot of copyIdx against its checksum and
 // returns the number of valid written slots.
-func (s *Store) Verify(copyIdx int) (written int, err error) {
+func (s *FileStore) Verify(copyIdx int) (written int, err error) {
 	err = s.ReadAll(copyIdx, func(_ int, writtenBy uint64, _ []byte) error {
 		if writtenBy != 0 {
 			written++
@@ -388,12 +389,12 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of I/O counters.
-func (s *Store) Stats() Stats {
+func (s *FileStore) Stats() Stats {
 	return Stats{SegmentWrites: s.segWrites.Load(), SegmentReads: s.segReads.Load()}
 }
 
 // NumSegments returns the configured segment count.
-func (s *Store) NumSegments() int { return s.numSegments }
+func (s *FileStore) NumSegments() int { return s.numSegments }
 
 // SegmentBytes returns the configured segment size.
-func (s *Store) SegmentBytes() int { return s.segmentBytes }
+func (s *FileStore) SegmentBytes() int { return s.segmentBytes }

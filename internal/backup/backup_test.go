@@ -13,7 +13,7 @@ const (
 	testSegBytes = 128
 )
 
-func openTest(t *testing.T, dir string) *Store {
+func openTest(t *testing.T, dir string) *FileStore {
 	t.Helper()
 	s, err := Open(dir, testSegs, testSegBytes)
 	if err != nil {

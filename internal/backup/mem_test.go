@@ -1,0 +1,178 @@
+package backup
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMemStoreGeometryValidation(t *testing.T) {
+	if _, err := NewMemStore(0, 64); err == nil {
+		t.Error("NewMemStore(0, 64) succeeded, want error")
+	}
+	if _, err := NewMemStore(4, 0); err == nil {
+		t.Error("NewMemStore(4, 0) succeeded, want error")
+	}
+	s, err := NewMemStore(4, 64)
+	if err != nil {
+		t.Fatalf("NewMemStore: %v", err)
+	}
+	if s.NumSegments() != 4 || s.SegmentBytes() != 64 {
+		t.Errorf("geometry = %d×%d, want 4×64", s.NumSegments(), s.SegmentBytes())
+	}
+}
+
+func TestMemStorePingPong(t *testing.T) {
+	s, err := NewMemStore(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("fresh Latest err = %v, want ErrNoCheckpoint", err)
+	}
+	if got := s.NextTarget(); got != 0 {
+		t.Fatalf("fresh NextTarget = %d, want 0", got)
+	}
+
+	seg := make([]byte, 16)
+	ckpt := func(copyIdx int, id uint64) {
+		t.Helper()
+		if err := s.BeginCheckpoint(copyIdx, CheckpointInfo{ID: id}); err != nil {
+			t.Fatalf("BeginCheckpoint(%d, %d): %v", copyIdx, id, err)
+		}
+		// Mid-checkpoint the copy must not be offered to recovery.
+		if ci := s.CopyInfo(copyIdx); ci.Complete {
+			t.Fatalf("copy %d Complete mid-checkpoint", copyIdx)
+		}
+		for i := 0; i < 2; i++ {
+			if err := s.WriteSegment(copyIdx, i, id, seg); err != nil {
+				t.Fatalf("WriteSegment: %v", err)
+			}
+		}
+		if err := s.FinishCheckpoint(copyIdx, 0, 2, 32); err != nil {
+			t.Fatalf("FinishCheckpoint: %v", err)
+		}
+	}
+
+	ckpt(0, 1)
+	if c, ci, err := s.Latest(); err != nil || c != 0 || ci.ID != 1 {
+		t.Fatalf("Latest = copy %d id %d err %v, want copy 0 id 1", c, ci.ID, err)
+	}
+	if got := s.NextTarget(); got != 1 {
+		t.Fatalf("NextTarget after ckpt 1 = %d, want 1", got)
+	}
+
+	ckpt(1, 2)
+	if c, ci, err := s.Latest(); err != nil || c != 1 || ci.ID != 2 {
+		t.Fatalf("Latest = copy %d id %d err %v, want copy 1 id 2", c, ci.ID, err)
+	}
+	// The older copy is the next overwrite target.
+	if got := s.NextTarget(); got != 0 {
+		t.Fatalf("NextTarget after ckpt 2 = %d, want 0", got)
+	}
+}
+
+func TestMemStoreSegmentRoundTrip(t *testing.T) {
+	s, err := NewMemStore(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := s.WriteSegment(0, 1, 7, data); err != nil {
+		t.Fatalf("WriteSegment: %v", err)
+	}
+
+	dst := make([]byte, 8)
+	wb, err := s.ReadSegment(0, 1, dst)
+	if err != nil || wb != 7 || !bytes.Equal(dst, data) {
+		t.Fatalf("ReadSegment = id %d data %v err %v, want id 7 data %v", wb, dst, err, data)
+	}
+
+	// Unwritten slot: writtenBy 0, dst zero-filled.
+	copy(dst, data)
+	wb, err = s.ReadSegment(0, 2, dst)
+	if err != nil || wb != 0 {
+		t.Fatalf("unwritten ReadSegment = id %d err %v, want id 0", wb, err)
+	}
+	if !bytes.Equal(dst, make([]byte, 8)) {
+		t.Fatalf("unwritten slot dst = %v, want zeros", dst)
+	}
+
+	// Contract violations all error.
+	if err := s.WriteSegment(0, 1, 0, data); err == nil {
+		t.Error("WriteSegment with checkpoint ID 0 succeeded")
+	}
+	if err := s.WriteSegment(0, 1, 7, data[:4]); err == nil {
+		t.Error("short WriteSegment succeeded")
+	}
+	if err := s.WriteSegment(0, 3, 7, data); err == nil {
+		t.Error("out-of-range WriteSegment succeeded")
+	}
+	if err := s.WriteSegment(2, 0, 7, data); err == nil {
+		t.Error("out-of-range copy WriteSegment succeeded")
+	}
+	if _, err := s.ReadSegment(0, 0, dst[:4]); err == nil {
+		t.Error("short ReadSegment succeeded")
+	}
+
+	// The store holds its own copy: mutating the caller's buffer after
+	// the write must not change what is stored.
+	data[0] = 99
+	if wb, err := s.ReadSegment(0, 1, dst); err != nil || wb != 7 || dst[0] != 1 {
+		t.Fatalf("stored data aliased the caller's buffer: %v", dst)
+	}
+
+	if st := s.Stats(); st.SegmentWrites != 1 {
+		t.Errorf("SegmentWrites = %d, want 1", st.SegmentWrites)
+	}
+}
+
+func TestMemStoreTornWriteDetection(t *testing.T) {
+	s, err := NewMemStore(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := s.WriteSegment(0, 0, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored bytes behind the checksum's back — the shape of
+	// a torn write on a real device.
+	s.copies[0][0].data[3] ^= 0xff
+	dst := make([]byte, 8)
+	if _, err := s.ReadSegment(0, 0, dst); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("torn ReadSegment err = %v, want ErrBadSegment", err)
+	}
+}
+
+func TestMemStoreSurvivesClose(t *testing.T) {
+	s, err := NewMemStore(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	if err := s.BeginCheckpoint(0, CheckpointInfo{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSegment(0, 0, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishCheckpoint(0, 0, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A durable backend keeps its data across Close: recovery reopens
+	// the store after a crash and must still find the checkpoint.
+	if c, ci, err := s.Latest(); err != nil || c != 0 || ci.ID != 1 {
+		t.Fatalf("Latest after Close = copy %d id %d err %v", c, ci.ID, err)
+	}
+	dst := make([]byte, 8)
+	if wb, err := s.ReadSegment(0, 0, dst); err != nil || wb != 1 || !bytes.Equal(dst, data) {
+		t.Fatalf("ReadSegment after Close = id %d data %v err %v", wb, dst, err)
+	}
+	if n, err := s.Verify(0); err != nil || n != 1 {
+		t.Fatalf("Verify after Close = %d, %v, want 1 written slot", n, err)
+	}
+}

@@ -70,7 +70,7 @@ type Engine struct {
 	store  *storage.Store
 	log    *wal.Log
 	locks  *lockmgr.Manager
-	bstore *backup.Store
+	bstore backup.Store
 
 	clock  atomic.Uint64 // logical timestamps (transactions, checkpoints)
 	txnSeq atomic.Uint64
@@ -132,7 +132,7 @@ func Open(p Params) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	bs, err := backup.OpenFS(p.FS, p.Dir, st.NumSegments(), p.Storage.SegmentBytes)
+	bs, err := p.openBackupStore(st.NumSegments())
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +165,7 @@ func Open(p Params) (*Engine, error) {
 // newEngine assembles an engine around already-initialized components.
 // eo must be the engineObs whose wal.Metrics the log was opened with
 // (nil builds a fresh, unconnected one — tests only).
-func newEngine(p Params, st *storage.Store, lg *wal.Log, bs *backup.Store, nextCkptID, clock0 uint64, eo *engineObs) *Engine {
+func newEngine(p Params, st *storage.Store, lg *wal.Log, bs backup.Store, nextCkptID, clock0 uint64, eo *engineObs) *Engine {
 	if eo == nil {
 		eo = newEngineObs(p.SpanSampleEvery)
 	}
@@ -495,6 +495,16 @@ func (e *Engine) StopCheckpointLoop() {
 
 func (e *Engine) checkpointLoop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
+	if d := e.params.CheckpointStagger; d > 0 {
+		// Phase-shift the schedule before the first checkpoint so N
+		// shards with the same interval hit the backup device at evenly
+		// spaced offsets instead of in lockstep.
+		select {
+		case <-stop:
+			return
+		case <-time.After(d):
+		}
+	}
 	for {
 		select {
 		case <-stop:

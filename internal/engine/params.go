@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"mmdb/internal/backup"
 	"mmdb/internal/faultfs"
 	"mmdb/internal/simdisk"
 	"mmdb/internal/storage"
@@ -178,6 +179,20 @@ type Params struct {
 	// SlowOpCheckpointThreshold arms the watchdog for whole checkpoints.
 	// Zero disables.
 	SlowOpCheckpointThreshold time.Duration
+
+	// OpenBackup, when non-nil, supplies the backup store the engine
+	// checkpoints into, replacing the default file-backed store under
+	// Dir. Recovery must be given the same hook so it reopens the same
+	// backend. The returned store must honor the backup.Store contract
+	// (ping-pong copies, durable Begin/Finish flags, torn-write
+	// detection); its data must survive Close for recovery to work.
+	OpenBackup func(dir string, numSegments, segmentBytes int) (backup.Store, error)
+
+	// CheckpointStagger delays the continuous checkpoint loop's first
+	// checkpoint after StartCheckpointLoop. Shards use it to phase-shift
+	// otherwise identical schedules (shardID*interval/N) so aggregate
+	// backup bandwidth stays bounded instead of spiking N-wide.
+	CheckpointStagger time.Duration
 }
 
 // DefaultSpanSample is the span-tracer sampling rate used when
@@ -200,6 +215,15 @@ func DefaultParallelism() int {
 		p = 1
 	}
 	return p
+}
+
+// openBackupStore opens the engine's backup store through the
+// OpenBackup hook, defaulting to the file-backed store under Dir.
+func (p Params) openBackupStore(numSegments int) (backup.Store, error) {
+	if p.OpenBackup != nil {
+		return p.OpenBackup(p.Dir, numSegments, p.Storage.SegmentBytes)
+	}
+	return backup.OpenFS(p.FS, p.Dir, numSegments, p.Storage.SegmentBytes)
 }
 
 // withDefaults returns p with zero values replaced by defaults.
@@ -255,6 +279,9 @@ func (p Params) Validate() error {
 	}
 	if p.HourglassWindow < 0 {
 		return fmt.Errorf("engine: negative HourglassWindow %d", p.HourglassWindow)
+	}
+	if p.CheckpointStagger < 0 {
+		return errors.New("engine: negative CheckpointStagger")
 	}
 	builtin := builtinOps()
 	for code, fn := range p.Operations {

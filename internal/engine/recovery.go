@@ -108,7 +108,7 @@ func RecoverContext(ctx context.Context, p Params) (*Engine, *RecoveryReport, er
 	if err != nil {
 		return nil, nil, err
 	}
-	bs, err := backup.OpenFS(p.FS, p.Dir, st.NumSegments(), p.Storage.SegmentBytes)
+	bs, err := p.openBackupStore(st.NumSegments())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -405,7 +405,7 @@ func applyRedoRecord(st *storage.Store, ops map[OpCode]OpFunc, rec *wal.Record, 
 // contiguous segment stripe (DESIGN.md §15). Stripes are disjoint, each
 // reader owns its buffer, and LoadSegment targets distinct segments, so
 // the loaded image is byte-identical to the serial ReadAll path.
-func loadBackupStriped(ctx context.Context, bs *backup.Store, st *storage.Store, copyIdx, par, segBytes int, writtenBy []uint64, rep *RecoveryReport) error {
+func loadBackupStriped(ctx context.Context, bs backup.Store, st *storage.Store, copyIdx, par, segBytes int, writtenBy []uint64, rep *RecoveryReport) error {
 	n := st.NumSegments()
 	stripes := min(par, n)
 	type stripeResult struct {

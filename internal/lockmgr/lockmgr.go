@@ -590,6 +590,7 @@ func (m *Manager) Shutdown() {
 		sh.mu.Lock()
 		sh.shutdown = true
 		for _, ls := range sh.locks {
+			// ctxcheck:exempt(ready is buffered(1) and receives exactly one outcome per waiter, so the send never blocks)
 			for _, w := range ls.queue {
 				w.ready <- ErrShutdown
 			}

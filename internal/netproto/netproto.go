@@ -1,0 +1,345 @@
+// Package netproto is the mmdbd wire protocol: length-prefixed binary
+// frames over a byte stream, designed for pipelining.
+//
+// Frame layout (all integers little-endian):
+//
+//	u32 length   — bytes after this field: 1 (type) + 8 (reqID) + payload
+//	u8  type     — TGet..TStats requests, TValue..TErrResp responses
+//	u64 reqID    — client-chosen correlation ID; the server echoes it,
+//	               and may complete requests out of order
+//	payload      — per-type encoding below
+//
+// Request payloads:
+//
+//	TGet, TDelete:  u16 keyLen | key
+//	TPut:           u16 keyLen | key | value (rest of payload)
+//	TBatch:         u32 numOps | ops; each op:
+//	                u8 flags (1 = delete) | u16 keyLen | u32 valLen | key | value
+//	TStats:         empty
+//
+// Response payloads:
+//
+//	TValueResp:     u8 found | value (rest; only when found=1)
+//	TOKResp:        u8 existed (Delete) or empty (Put/Batch)
+//	TStatsResp:     JSON-encoded kvstore.StoreStats
+//	TErrResp:       u8 code | message; code maps well-known sentinels
+//	                (kvstore.ErrFull, ErrEmptyKey, mmdb.ErrCommitInDoubt,
+//	                context.Canceled, ...) back to their identities
+//	                client-side, so errors.Is works across the wire
+//
+// A frame longer than MaxFrame is rejected before any allocation, so a
+// hostile or corrupt length prefix cannot balloon memory. Decoders
+// never panic on garbage: every length is bounds-checked against the
+// bytes actually present.
+package netproto
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mmdb"
+	"mmdb/kvstore"
+)
+
+// Frame types. Requests have the high bit clear, responses set.
+const (
+	TGet    = 0x01
+	TPut    = 0x02
+	TDelete = 0x03
+	TBatch  = 0x04
+	TStats  = 0x05
+
+	TValueResp = 0x81
+	TOKResp    = 0x82
+	TStatsResp = 0x83
+	TErrResp   = 0x84
+)
+
+// MaxFrame bounds one frame's post-length bytes (type + reqID +
+// payload). It is deliberately generous next to the engine's record
+// sizes; a frame claiming more is a protocol error, detected before
+// any buffer is sized by it.
+const MaxFrame = 16 << 20
+
+// frameHdr is the fixed prefix after the length field.
+const frameHdr = 1 + 8
+
+// Protocol-level errors.
+var (
+	ErrFrameTooLarge = errors.New("netproto: frame exceeds MaxFrame")
+	ErrShortFrame    = errors.New("netproto: frame shorter than its header")
+	ErrBadPayload    = errors.New("netproto: malformed payload")
+)
+
+// Frame is one decoded frame. Payload aliases the read buffer passed to
+// ReadFrame and is only valid until the next read.
+type Frame struct {
+	Type  byte
+	ReqID uint64
+	Pay   []byte
+}
+
+// AppendFrame appends a complete frame to dst and returns the extended
+// slice — the writer-side primitive, allocation-free when dst has room.
+func AppendFrame(dst []byte, typ byte, reqID uint64, pay []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameHdr+len(pay)))
+	dst = append(dst, typ)
+	dst = binary.LittleEndian.AppendUint64(dst, reqID)
+	return append(dst, pay...)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ byte, reqID uint64, pay []byte) error {
+	if frameHdr+len(pay) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := AppendFrame(make([]byte, 0, 4+frameHdr+len(pay)), typ, reqID, pay)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r. The returned payload aliases buf
+// (grown as needed and returned) — callers reuse buf across calls and
+// copy out anything they retain.
+func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return Frame{}, buf, err
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n > MaxFrame {
+		return Frame{}, buf, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if n < frameHdr {
+		return Frame{}, buf, fmt.Errorf("%w: %d bytes", ErrShortFrame, n)
+	}
+	if int(n) > cap(buf) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		// A clean EOF mid-frame is a torn frame, not a clean end.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, err
+	}
+	return Frame{
+		Type:  buf[0],
+		ReqID: binary.LittleEndian.Uint64(buf[1:9]),
+		Pay:   buf[frameHdr:],
+	}, buf, nil
+}
+
+// --- request payload codecs ---
+
+// AppendKey encodes a TGet/TDelete payload.
+func AppendKey(dst, key []byte) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+	return append(dst, key...)
+}
+
+// DecodeKey decodes a TGet/TDelete payload.
+func DecodeKey(pay []byte) ([]byte, error) {
+	if len(pay) < 2 {
+		return nil, ErrBadPayload
+	}
+	kl := int(binary.LittleEndian.Uint16(pay))
+	if 2+kl != len(pay) {
+		return nil, ErrBadPayload
+	}
+	return pay[2 : 2+kl], nil
+}
+
+// AppendPut encodes a TPut payload.
+func AppendPut(dst, key, val []byte) []byte {
+	dst = AppendKey(dst, key)
+	return append(dst, val...)
+}
+
+// DecodePut decodes a TPut payload.
+func DecodePut(pay []byte) (key, val []byte, err error) {
+	if len(pay) < 2 {
+		return nil, nil, ErrBadPayload
+	}
+	kl := int(binary.LittleEndian.Uint16(pay))
+	if 2+kl > len(pay) {
+		return nil, nil, ErrBadPayload
+	}
+	return pay[2 : 2+kl], pay[2+kl:], nil
+}
+
+// AppendBatch encodes a TBatch payload.
+func AppendBatch(dst []byte, ops []kvstore.Op) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ops)))
+	for _, op := range ops {
+		var flags byte
+		if op.Delete {
+			flags = 1
+		}
+		dst = append(dst, flags)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(op.Key)))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(op.Val)))
+		dst = append(dst, op.Key...)
+		dst = append(dst, op.Val...)
+	}
+	return dst
+}
+
+// DecodeBatch decodes a TBatch payload. The ops' slices alias pay.
+func DecodeBatch(pay []byte) ([]kvstore.Op, error) {
+	if len(pay) < 4 {
+		return nil, ErrBadPayload
+	}
+	n := int(binary.LittleEndian.Uint32(pay))
+	pay = pay[4:]
+	// Each op needs at least its 7 fixed bytes; a count claiming more
+	// than the payload could hold is rejected before allocating.
+	if n < 0 || n > len(pay)/7 {
+		return nil, ErrBadPayload
+	}
+	ops := make([]kvstore.Op, 0, n)
+	for i := 0; i < n; i++ {
+		if len(pay) < 7 {
+			return nil, ErrBadPayload
+		}
+		flags := pay[0]
+		kl := int(binary.LittleEndian.Uint16(pay[1:]))
+		vl := int(binary.LittleEndian.Uint32(pay[3:]))
+		pay = pay[7:]
+		if kl+vl > len(pay) || flags > 1 {
+			return nil, ErrBadPayload
+		}
+		op := kvstore.Op{Key: pay[:kl], Delete: flags == 1}
+		if !op.Delete {
+			op.Val = pay[kl : kl+vl]
+		}
+		pay = pay[kl+vl:]
+		ops = append(ops, op)
+	}
+	if len(pay) != 0 {
+		return nil, ErrBadPayload
+	}
+	return ops, nil
+}
+
+// --- response payload codecs ---
+
+// AppendValueResp encodes a TValueResp payload.
+func AppendValueResp(dst []byte, found bool, val []byte) []byte {
+	if !found {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return append(dst, val...)
+}
+
+// DecodeValueResp decodes a TValueResp payload.
+func DecodeValueResp(pay []byte) (val []byte, found bool, err error) {
+	if len(pay) < 1 || pay[0] > 1 {
+		return nil, false, ErrBadPayload
+	}
+	if pay[0] == 0 {
+		if len(pay) != 1 {
+			return nil, false, ErrBadPayload
+		}
+		return nil, false, nil
+	}
+	return pay[1:], true, nil
+}
+
+// AppendOKResp encodes a TOKResp payload for Delete (existed flag);
+// Put/Batch send an empty TOKResp.
+func AppendOKResp(dst []byte, existed bool) []byte {
+	if existed {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// DecodeOKResp decodes a TOKResp payload's optional existed flag.
+func DecodeOKResp(pay []byte) (existed bool, err error) {
+	switch {
+	case len(pay) == 0:
+		return false, nil
+	case len(pay) == 1 && pay[0] <= 1:
+		return pay[0] == 1, nil
+	default:
+		return false, ErrBadPayload
+	}
+}
+
+// --- error transport ---
+
+// Wire error codes: stable numbers for the sentinels a Store client
+// must be able to errors.Is against.
+const (
+	codeGeneric = iota
+	codeFull
+	codeKeyTooLarge
+	codeValueTooLarge
+	codeEmptyKey
+	codeCanceled
+	codeDeadlineExceeded
+	codeCommitInDoubt
+	codeStopped
+)
+
+// AppendErrResp encodes a TErrResp payload.
+func AppendErrResp(dst []byte, err error) []byte {
+	var code byte
+	switch {
+	case errors.Is(err, kvstore.ErrFull):
+		code = codeFull
+	case errors.Is(err, kvstore.ErrKeyTooLarge):
+		code = codeKeyTooLarge
+	case errors.Is(err, kvstore.ErrValueTooLarge):
+		code = codeValueTooLarge
+	case errors.Is(err, kvstore.ErrEmptyKey):
+		code = codeEmptyKey
+	case errors.Is(err, context.Canceled):
+		code = codeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		code = codeDeadlineExceeded
+	case errors.Is(err, mmdb.ErrCommitInDoubt):
+		code = codeCommitInDoubt
+	case errors.Is(err, mmdb.ErrStopped):
+		code = codeStopped
+	}
+	dst = append(dst, code)
+	return append(dst, err.Error()...)
+}
+
+// DecodeErrResp decodes a TErrResp payload into an error that wraps the
+// matching sentinel, so errors.Is holds across the wire.
+func DecodeErrResp(pay []byte) error {
+	if len(pay) < 1 {
+		return ErrBadPayload
+	}
+	msg := string(pay[1:])
+	var sentinel error
+	switch pay[0] {
+	case codeFull:
+		sentinel = kvstore.ErrFull
+	case codeKeyTooLarge:
+		sentinel = kvstore.ErrKeyTooLarge
+	case codeValueTooLarge:
+		sentinel = kvstore.ErrValueTooLarge
+	case codeEmptyKey:
+		sentinel = kvstore.ErrEmptyKey
+	case codeCanceled:
+		sentinel = context.Canceled
+	case codeDeadlineExceeded:
+		sentinel = context.DeadlineExceeded
+	case codeCommitInDoubt:
+		sentinel = mmdb.ErrCommitInDoubt
+	case codeStopped:
+		sentinel = mmdb.ErrStopped
+	default:
+		return fmt.Errorf("mmdbd: %s", msg)
+	}
+	return fmt.Errorf("mmdbd: %w (%s)", sentinel, msg)
+}

@@ -1,0 +1,207 @@
+package netproto
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"mmdb"
+	"mmdb/kvstore"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var wire bytes.Buffer
+	frames := []struct {
+		typ   byte
+		reqID uint64
+		pay   []byte
+	}{
+		{TGet, 1, AppendKey(nil, []byte("key"))},
+		{TPut, 1 << 60, AppendPut(nil, []byte("k"), bytes.Repeat([]byte("v"), 4096))},
+		{TStats, 0, nil},
+		{TOKResp, 7, AppendOKResp(nil, true)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&wire, f.typ, f.reqID, f.pay); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	var buf []byte
+	for i, want := range frames {
+		var got Frame
+		var err error
+		got, buf, err = ReadFrame(&wire, buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if got.Type != want.typ || got.ReqID != want.reqID || !bytes.Equal(got.Pay, want.pay) {
+			t.Fatalf("frame #%d = %+v, want type %d reqID %d", i, got, want.typ, want.reqID)
+		}
+	}
+	if _, _, err := ReadFrame(&wire, buf); err != io.EOF {
+		t.Fatalf("trailing ReadFrame err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var wire bytes.Buffer
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], MaxFrame+1)
+	wire.Write(lenb[:])
+	wire.Write(bytes.Repeat([]byte("x"), 64))
+	if _, _, err := ReadFrame(&wire, nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameRejectsShort(t *testing.T) {
+	var wire bytes.Buffer
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], 3) // < type+reqID
+	wire.Write(lenb[:])
+	wire.Write([]byte("abc"))
+	if _, _, err := ReadFrame(&wire, nil); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("short frame err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestReadFrameTornFrame(t *testing.T) {
+	// A frame that promises more bytes than the stream holds: the read
+	// must report a torn frame, not a clean EOF.
+	var wire bytes.Buffer
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], 100)
+	wire.Write(lenb[:])
+	wire.Write(bytes.Repeat([]byte("x"), 20))
+	if _, _, err := ReadFrame(&wire, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn frame err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	ops := []kvstore.Op{
+		{Key: []byte("a"), Val: []byte("1")},
+		{Key: []byte("delete-me"), Delete: true},
+		{Key: []byte("b"), Val: nil},
+		{Key: bytes.Repeat([]byte("k"), 1000), Val: bytes.Repeat([]byte("v"), 10000)},
+	}
+	got, err := DecodeBatch(AppendBatch(nil, ops))
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if !bytes.Equal(got[i].Key, ops[i].Key) || !bytes.Equal(got[i].Val, ops[i].Val) || got[i].Delete != ops[i].Delete {
+			t.Errorf("op %d = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestDecodeBatchHostileCount(t *testing.T) {
+	// An op count far beyond what the payload could hold must be
+	// rejected up front, not drive a huge allocation.
+	pay := binary.LittleEndian.AppendUint32(nil, 1<<31-1)
+	pay = append(pay, bytes.Repeat([]byte("x"), 32)...)
+	if _, err := DecodeBatch(pay); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("hostile count err = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestErrRespRoundTrip(t *testing.T) {
+	for _, sentinel := range []error{
+		kvstore.ErrFull,
+		kvstore.ErrKeyTooLarge,
+		kvstore.ErrValueTooLarge,
+		kvstore.ErrEmptyKey,
+		context.Canceled,
+		context.DeadlineExceeded,
+		mmdb.ErrCommitInDoubt,
+		mmdb.ErrStopped,
+	} {
+		wrapped := DecodeErrResp(AppendErrResp(nil, sentinel))
+		if !errors.Is(wrapped, sentinel) {
+			t.Errorf("sentinel %v lost across the wire: %v", sentinel, wrapped)
+		}
+	}
+	plain := DecodeErrResp(AppendErrResp(nil, errors.New("boom")))
+	if plain == nil || plain.Error() != "mmdbd: boom" {
+		t.Errorf("generic error = %v, want mmdbd: boom", plain)
+	}
+}
+
+func TestValueRespRoundTrip(t *testing.T) {
+	if v, found, err := DecodeValueResp(AppendValueResp(nil, true, []byte("x"))); err != nil || !found || string(v) != "x" {
+		t.Fatalf("found round-trip = %q %v %v", v, found, err)
+	}
+	if _, found, err := DecodeValueResp(AppendValueResp(nil, false, nil)); err != nil || found {
+		t.Fatalf("missing round-trip = %v %v", found, err)
+	}
+	if _, _, err := DecodeValueResp(nil); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("empty payload err = %v", err)
+	}
+}
+
+// FuzzFrame feeds arbitrary bytes through the frame reader and every
+// payload decoder: torn, oversized, and garbage input must error
+// cleanly — never panic, never allocate beyond the frame cap.
+func FuzzFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(AppendFrame(nil, TGet, 42, AppendKey(nil, []byte("seed-key"))))
+	f.Add(AppendFrame(nil, TBatch, 1, AppendBatch(nil, []kvstore.Op{
+		{Key: []byte("a"), Val: []byte("b")}, {Key: []byte("c"), Delete: true},
+	})))
+	huge := binary.LittleEndian.AppendUint32(nil, 1<<30)
+	f.Add(append(huge, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			frame, b, err := ReadFrame(r, buf)
+			buf = b
+			if err != nil {
+				return // any malformed input must land here, not panic
+			}
+			if len(frame.Pay) > MaxFrame {
+				t.Fatalf("payload %d escaped the MaxFrame cap", len(frame.Pay))
+			}
+			// Feed every decoder regardless of the frame's claimed type:
+			// decoders must be safe on any payload.
+			DecodeKey(frame.Pay)       //nolint:errcheck // fuzz probes for panics; decode errors are expected on arbitrary payloads
+			DecodePut(frame.Pay)       //nolint:errcheck // fuzz probes for panics; decode errors are expected on arbitrary payloads
+			DecodeBatch(frame.Pay)     //nolint:errcheck // fuzz probes for panics; decode errors are expected on arbitrary payloads
+			DecodeValueResp(frame.Pay) //nolint:errcheck // fuzz probes for panics; decode errors are expected on arbitrary payloads
+			DecodeOKResp(frame.Pay)    //nolint:errcheck // fuzz probes for panics; decode errors are expected on arbitrary payloads
+			DecodeErrResp(frame.Pay)   //nolint:errcheck // fuzz probes for panics; decode errors are expected on arbitrary payloads
+		}
+	})
+}
+
+// FuzzBatchRoundTrip: any batch the encoder produces, the decoder
+// reproduces exactly.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add([]byte("key"), []byte("val"), false)
+	f.Add([]byte(""), []byte(""), true)
+	f.Fuzz(func(t *testing.T, key, val []byte, del bool) {
+		if len(key) > 1<<16-1 {
+			key = key[:1<<16-1]
+		}
+		op := kvstore.Op{Key: key, Delete: del}
+		if !del {
+			op.Val = val
+		}
+		got, err := DecodeBatch(AppendBatch(nil, []kvstore.Op{op}))
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if len(got) != 1 || !bytes.Equal(got[0].Key, op.Key) || !bytes.Equal(got[0].Val, op.Val) || got[0].Delete != op.Delete {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", got[0], op)
+		}
+	})
+}

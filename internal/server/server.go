@@ -1,0 +1,301 @@
+// Package server is the mmdbd network front end: it serves the
+// netproto frame protocol over TCP against any kvstore.Store — in
+// production the shard router, in tests sometimes a bare Local.
+//
+// Per connection, three roles cooperate:
+//
+//   - a reader decodes request frames and dispatches each to a worker
+//     drawn from a bounded per-connection pool, so pipelined requests
+//     execute concurrently and complete out of order;
+//   - workers run the store operation and hand the encoded response to
+//     the writer;
+//   - a single writer owns the socket's write side and coalesces: it
+//     keeps writing queued responses into one buffered stream and
+//     flushes only when the queue goes momentarily empty, so a burst
+//     of pipelined commits costs one syscall, mirroring the engine's
+//     group commit.
+//
+// Request IDs are echoed verbatim; ordering guarantees are per-request,
+// not per-connection.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mmdb/internal/netproto"
+	"mmdb/kvstore"
+)
+
+// maxInflight bounds concurrently executing requests per connection;
+// further pipelined frames queue in the kernel socket buffer.
+const maxInflight = 64
+
+// writeBufBytes sizes the per-connection coalescing write buffer.
+const writeBufBytes = 64 << 10
+
+// Server serves the mmdbd protocol against a Store.
+type Server struct {
+	store kvstore.Store
+
+	// ctx is cancelled by Shutdown; per-connection workers pass it to
+	// store operations.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// wg joins every connection handler goroutine.
+	wg sync.WaitGroup
+
+	mu sync.Mutex // lockorder:level=7
+	// ln is the accept listener, nil until Serve. guarded_by:mu
+	ln net.Listener
+	// conns tracks live connections so Shutdown can force-close them.
+	// guarded_by:mu
+	conns map[net.Conn]struct{}
+	// shutdown marks a server that is closing: accept errors become a
+	// clean exit and new conns are refused. guarded_by:mu
+	shutdown bool
+}
+
+// New builds a server around store. The caller retains ownership of the
+// store (Shutdown does not close it).
+//
+// ctxcheck:root(the server is a goroutine root; per-request contexts descend from its lifetime context)
+func New(store kvstore.Store) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		store:  store,
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error; after Shutdown the error is net.ErrClosed-wrapped and
+// expected.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.shutdown
+			s.mu.Unlock()
+			if closing {
+				return fmt.Errorf("server: closed: %w", err)
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close() //nolint:errcheckwal // refusing a conn during shutdown
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		// goleak:joins Shutdown waits on s.wg
+		go s.handle(conn)
+	}
+}
+
+// Shutdown stops accepting, force-closes live connections, cancels
+// in-flight request contexts, and waits for the handlers to drain.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.shutdown = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.cancel()
+	if ln != nil {
+		ln.Close() //nolint:errcheckwal // shutdown path; accept loop reports the close
+	}
+	for _, c := range conns {
+		c.Close() //nolint:errcheckwal // force-closing live conns on shutdown
+	}
+	s.wg.Wait()
+}
+
+// response is one encoded frame headed for a connection's writer.
+type response struct {
+	buf []byte
+}
+
+// handle runs one connection: reader here, writer + workers spawned.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close() //nolint:errcheckwal // socket teardown; the read loop already saw the error
+	}()
+
+	respCh := make(chan response, maxInflight)
+	writerDone := make(chan struct{})
+	s.wg.Add(1)
+	// goleak:joins Shutdown waits on s.wg (and handle on writerDone)
+	go func() {
+		defer s.wg.Done()
+		defer close(writerDone)
+		s.writeLoop(conn, respCh)
+	}()
+
+	var workers sync.WaitGroup
+	sem := make(chan struct{}, maxInflight)
+	r := bufio.NewReaderSize(conn, writeBufBytes)
+	var buf []byte
+	for {
+		frame, b, err := netproto.ReadFrame(r, buf)
+		buf = b
+		if err != nil {
+			break // clean EOF, torn frame, or forced close — all end the conn
+		}
+		// The frame payload aliases buf, which the next ReadFrame
+		// overwrites; the worker owns a copy.
+		req := frame
+		req.Pay = append([]byte(nil), frame.Pay...)
+		sem <- struct{}{}
+		workers.Add(1)
+		// goleak:joins workers.Wait below
+		go func() {
+			defer workers.Done()
+			defer func() { <-sem }()
+			s.serveOne(req, respCh)
+		}()
+	}
+	workers.Wait()
+	close(respCh)
+	<-writerDone
+}
+
+// writeLoop is the connection's single writer: it drains respCh into a
+// buffered stream and flushes only when the queue goes empty, so
+// pipelined responses coalesce into few syscalls.
+func (s *Server) writeLoop(conn net.Conn, respCh <-chan response) {
+	w := bufio.NewWriterSize(conn, writeBufBytes)
+	for resp := range respCh {
+		if _, err := w.Write(resp.buf); err != nil {
+			// The socket is gone; drain the channel so workers never
+			// block, then exit when it closes.
+			for range respCh {
+			}
+			return
+		}
+	coalesce:
+		for {
+			select {
+			case more, ok := <-respCh:
+				if !ok {
+					w.Flush() //nolint:errcheckwal // conn teardown follows either way
+					return
+				}
+				if _, err := w.Write(more.buf); err != nil {
+					for range respCh {
+					}
+					return
+				}
+			default:
+				break coalesce
+			}
+		}
+		if err := w.Flush(); err != nil {
+			for range respCh {
+			}
+			return
+		}
+	}
+	w.Flush() //nolint:errcheckwal // conn teardown follows either way
+}
+
+// serveOne executes one request and queues its response.
+func (s *Server) serveOne(req netproto.Frame, respCh chan<- response) {
+	typ, pay := s.execute(req)
+	respCh <- response{buf: netproto.AppendFrame(nil, typ, req.ReqID, pay)}
+}
+
+// execute runs the store operation for one request frame.
+func (s *Server) execute(req netproto.Frame) (respType byte, pay []byte) {
+	ctx := s.ctx
+	switch req.Type {
+	case netproto.TGet:
+		key, err := netproto.DecodeKey(req.Pay)
+		if err != nil {
+			return netproto.TErrResp, netproto.AppendErrResp(nil, err)
+		}
+		val, found, err := s.store.Get(ctx, key)
+		if err != nil {
+			return netproto.TErrResp, netproto.AppendErrResp(nil, err)
+		}
+		return netproto.TValueResp, netproto.AppendValueResp(nil, found, val)
+
+	case netproto.TPut:
+		key, val, err := netproto.DecodePut(req.Pay)
+		if err != nil {
+			return netproto.TErrResp, netproto.AppendErrResp(nil, err)
+		}
+		if err := s.store.Put(ctx, key, val); err != nil {
+			return netproto.TErrResp, netproto.AppendErrResp(nil, err)
+		}
+		return netproto.TOKResp, nil
+
+	case netproto.TDelete:
+		key, err := netproto.DecodeKey(req.Pay)
+		if err != nil {
+			return netproto.TErrResp, netproto.AppendErrResp(nil, err)
+		}
+		existed, err := s.store.Delete(ctx, key)
+		if err != nil {
+			return netproto.TErrResp, netproto.AppendErrResp(nil, err)
+		}
+		return netproto.TOKResp, netproto.AppendOKResp(nil, existed)
+
+	case netproto.TBatch:
+		ops, err := netproto.DecodeBatch(req.Pay)
+		if err != nil {
+			return netproto.TErrResp, netproto.AppendErrResp(nil, err)
+		}
+		if err := s.store.Batch(ctx, ops); err != nil {
+			return netproto.TErrResp, netproto.AppendErrResp(nil, err)
+		}
+		return netproto.TOKResp, nil
+
+	case netproto.TStats:
+		st, err := s.store.Stats(ctx)
+		if err != nil {
+			return netproto.TErrResp, netproto.AppendErrResp(nil, err)
+		}
+		js, err := json.Marshal(st)
+		if err != nil {
+			return netproto.TErrResp, netproto.AppendErrResp(nil, err)
+		}
+		return netproto.TStatsResp, js
+
+	default:
+		return netproto.TErrResp, netproto.AppendErrResp(nil,
+			fmt.Errorf("unknown request type 0x%02x", req.Type))
+	}
+}

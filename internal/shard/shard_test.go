@@ -1,0 +1,311 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"mmdb"
+	"mmdb/kvstore"
+	"mmdb/kvstore/storetest"
+)
+
+func testConfig(t *testing.T, shards int) mmdb.Config {
+	t.Helper()
+	return mmdb.Config{
+		Dir:         t.TempDir(),
+		NumRecords:  1024,
+		RecordBytes: 128,
+		Algorithm:   mmdb.COUCopy,
+		SyncCommit:  true,
+		Shards:      shards,
+	}
+}
+
+func mustOpen(t *testing.T, cfg mmdb.Config) (*Router, []*mmdb.RecoveryReport) {
+	t.Helper()
+	r, reps, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("shard.Open: %v", err)
+	}
+	return r, reps
+}
+
+// TestRouterConformance: a 4-shard router passes the identical
+// interface suite as the in-process store.
+func TestRouterConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kvstore.Store {
+		r, _ := mustOpen(t, testConfig(t, 4))
+		return r
+	})
+}
+
+func TestIndexDeterministicAndSpread(t *testing.T) {
+	counts := make([]int, 4)
+	for i := 0; i < 4096; i++ {
+		key := []byte(fmt.Sprintf("user/%d/profile", i))
+		a, b := Index(key, 4), Index(key, 4)
+		if a != b {
+			t.Fatalf("Index(%q) unstable: %d vs %d", key, a, b)
+		}
+		counts[a]++
+	}
+	for sh, n := range counts {
+		// FNV-1a over varied keys should land far from empty on every
+		// shard; the bound is loose (an even split is 1024 each).
+		if n < 512 {
+			t.Errorf("shard %d got %d/4096 keys — routing badly skewed", sh, n)
+		}
+	}
+}
+
+// TestRouterPlacementAndIsolation checks that keys actually live where
+// the router says: each key is present in exactly its shard's Local
+// store and in no other.
+func TestRouterPlacementAndIsolation(t *testing.T) {
+	ctx := context.Background()
+	r, _ := mustOpen(t, testConfig(t, 4))
+	defer r.Close()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		if err := r.Put(ctx, key, key); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		home := Index(key, r.NumShards())
+		for sh := 0; sh < r.NumShards(); sh++ {
+			_, ok, err := r.Shard(sh).Get(ctx, key)
+			if err != nil {
+				t.Fatalf("shard %d Get: %v", sh, err)
+			}
+			if want := sh == home; ok != want {
+				t.Errorf("key %q present=%v on shard %d, want %v", key, ok, sh, want)
+			}
+		}
+	}
+	st, err := r.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != n {
+		t.Errorf("total Len = %d, want %d", st.Len(), n)
+	}
+}
+
+// TestRouterCrashRecovery: per-shard checkpoints + per-shard WALs must
+// recover the full keyspace after a whole-process crash — including
+// keys written after the checkpoints, which survive only in each
+// shard's own log.
+func TestRouterCrashRecovery(t *testing.T) {
+	ctx := context.Background()
+	cfg := testConfig(t, 4)
+	r, _ := mustOpen(t, cfg)
+
+	val := func(i int, gen string) []byte { return []byte(fmt.Sprintf("%s-%06d", gen, i)) }
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := r.Put(ctx, val(i, "key"), val(i, "old")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := r.Checkpoint(ctx); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Overwrite a prefix after the checkpoint: redo-log-only state.
+	for i := 0; i < n/3; i++ {
+		if err := r.Put(ctx, val(i, "key"), val(i, "new")); err != nil {
+			t.Fatalf("post-ckpt Put: %v", err)
+		}
+	}
+	if err := r.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+
+	r2, reps := mustOpen(t, cfg)
+	defer r2.Close()
+	for i, rep := range reps {
+		if rep == nil {
+			t.Fatalf("shard %d: no recovery report after crash", i)
+		}
+		if !rep.UsedCheckpoint {
+			t.Errorf("shard %d recovered without its checkpoint", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := val(i, "old")
+		if i < n/3 {
+			want = val(i, "new")
+		}
+		got, ok, err := r2.Get(ctx, val(i, "key"))
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("key %d after recovery = %q ok %v err %v, want %q", i, got, ok, err, want)
+		}
+	}
+}
+
+// TestSingleShardEquivalence pins the upgrade path at the byte level: a
+// Shards=1 router is the same database as a plain kvstore.Local — the
+// same ops produce the same recovered primary image, record for
+// record, and either side can reopen state the other wrote.
+func TestSingleShardEquivalence(t *testing.T) {
+	ctx := context.Background()
+	plainCfg := testConfig(t, 0)
+	routedCfg := testConfig(t, 1)
+
+	apply := func(s kvstore.Store) {
+		t.Helper()
+		for i := 0; i < 200; i++ {
+			k := []byte(fmt.Sprintf("key-%04d", i))
+			if err := s.Put(ctx, k, []byte(fmt.Sprintf("val-%04d", i))); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+		if err := s.Batch(ctx, []kvstore.Op{
+			{Key: []byte("key-0000"), Delete: true},
+			{Key: []byte("key-0001"), Val: []byte("rewritten")},
+		}); err != nil {
+			t.Fatalf("Batch: %v", err)
+		}
+	}
+
+	plain, _, err := kvstore.Open(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(plain)
+	if _, err := plain.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	plain2, rep, err := kvstore.Open(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain2.Close()
+	if rep == nil {
+		t.Fatal("plain store did not recover")
+	}
+
+	routed, _ := mustOpen(t, routedCfg)
+	apply(routed)
+	if err := routed.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := routed.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	routed2, reps := mustOpen(t, routedCfg)
+	defer routed2.Close()
+	if len(reps) != 1 || reps[0] == nil {
+		t.Fatal("routed store did not recover")
+	}
+
+	// Byte-level: identical primary images after recovery.
+	dbA, dbB := plain2.DB(), routed2.Shard(0).DB()
+	if dbA.NumRecords() != dbB.NumRecords() {
+		t.Fatalf("record counts differ: %d vs %d", dbA.NumRecords(), dbB.NumRecords())
+	}
+	for rid := uint64(0); rid < uint64(dbA.NumRecords()); rid++ {
+		a, err := dbA.ReadRecord(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dbB.ReadRecord(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("record %d differs between plain and 1-shard router images", rid)
+		}
+	}
+}
+
+// TestRouterStaggeredCheckpointLoops: with AutoCheckpoint on, every
+// shard runs its own loop and all of them complete checkpoints despite
+// the phase-shifted starts.
+func TestRouterStaggeredCheckpointLoops(t *testing.T) {
+	ctx := context.Background()
+	cfg := testConfig(t, 4)
+	cfg.AutoCheckpoint = true
+	cfg.CheckpointInterval = 20 * time.Millisecond
+	r, _ := mustOpen(t, cfg)
+	defer r.Close()
+
+	for i := 0; i < 100; i++ {
+		if err := r.Put(ctx, []byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		st, err := r.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := 0
+		for _, sh := range st.Shards {
+			if sh.Engine.Checkpoints > 0 {
+				done++
+			}
+		}
+		if done == r.NumShards() {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d shards checkpointed in 10s", done, r.NumShards())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestRouterMetrics(t *testing.T) {
+	ctx := context.Background()
+	r, _ := mustOpen(t, testConfig(t, 2))
+	defer r.Close()
+
+	// Split batch: keys that hash to different shards.
+	var ops []kvstore.Op
+	seen := map[int]bool{}
+	for i := 0; len(seen) < 2; i++ {
+		k := []byte(fmt.Sprintf("spread-%d", i))
+		seen[Index(k, 2)] = true
+		ops = append(ops, kvstore.Op{Key: k, Val: []byte("v")})
+	}
+	if err := r.Batch(ctx, ops); err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+
+	names := map[string]bool{}
+	for _, n := range r.Registry().Names() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"mmdb_shard_000_ops_total",
+		"mmdb_shard_001_ops_total",
+		"mmdb_shard_000_errors_total",
+		"mmdb_shard_000_entries",
+		"mmdb_shard_001_txns_committed_total",
+		"mmdb_shard_000_checkpoints_total",
+		"mmdb_router_batch_splits_total",
+	} {
+		if !names[want] {
+			t.Errorf("registry missing %s (have %v)", want, r.Registry().Names())
+		}
+	}
+	if got := r.batchSplits.Value(); got != 1 {
+		t.Errorf("batch splits counter = %d, want 1", got)
+	}
+	total := r.obs[0].ops.Value() + r.obs[1].ops.Value()
+	if total == 0 {
+		t.Error("no routed ops counted")
+	}
+}

@@ -13,12 +13,12 @@ func TestPutAllocationFree(t *testing.T) {
 
 	key, val := []byte("alloc-key"), []byte("alloc-value")
 	for i := 0; i < 64; i++ {
-		if err := s.Put(key, val); err != nil {
+		if err := s.Put(bg, key, val); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(512, func() {
-		if err := s.Put(key, val); err != nil {
+		if err := s.Put(bg, key, val); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -35,16 +35,16 @@ func TestGetAllocationBudget(t *testing.T) {
 	defer s.Close()
 
 	key, val := []byte("alloc-key"), []byte("alloc-value")
-	if err := s.Put(key, val); err != nil {
+	if err := s.Put(bg, key, val); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 64; i++ {
-		if _, _, err := s.Get(key); err != nil {
+		if _, _, err := s.Get(bg, key); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(512, func() {
-		if _, _, err := s.Get(key); err != nil {
+		if _, _, err := s.Get(bg, key); err != nil {
 			t.Fatal(err)
 		}
 	})

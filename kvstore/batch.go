@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -8,52 +9,23 @@ import (
 	"mmdb"
 )
 
-// Batch stages multiple Put/Delete operations to be applied as one atomic
-// mmdb transaction: after a crash either all of the batch's effects are
-// recovered or none are.
-type Batch struct {
-	s   *Store
-	ops []batchOp
-}
-
-type batchOp struct {
-	key    []byte
-	val    []byte
-	delete bool
-}
-
-// Put stages an insert or replace.
-func (b *Batch) Put(key, val []byte) error {
-	if err := b.s.capacityCheck(key, val); err != nil {
-		return err
+// Batch applies ops as one atomic mmdb transaction: after a crash
+// either all of the batch's effects are recovered or none are. Each op
+// is validated up front (capacity, empty keys) before anything is
+// staged; later ops on the same key win.
+func (s *Local) Batch(ctx context.Context, ops []Op) error {
+	for i, op := range ops {
+		if op.Delete {
+			if len(op.Key) == 0 {
+				return fmt.Errorf("kvstore: batch op %d: %w", i, ErrEmptyKey)
+			}
+			continue
+		}
+		if err := s.capacityCheck(op.Key, op.Val); err != nil {
+			return fmt.Errorf("kvstore: batch op %d: %w", i, err)
+		}
 	}
-	b.ops = append(b.ops, batchOp{
-		key: append([]byte(nil), key...),
-		val: append([]byte(nil), val...),
-	})
-	return nil
-}
-
-// Delete stages a removal (absent keys are ignored at apply time).
-func (b *Batch) Delete(key []byte) error {
-	if len(key) == 0 {
-		return ErrEmptyKey
-	}
-	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), delete: true})
-	return nil
-}
-
-// Len returns the number of staged operations.
-func (b *Batch) Len() int { return len(b.ops) }
-
-// Update builds a batch with fn and applies it atomically. An error from
-// fn (or from the underlying transaction) applies nothing.
-func (s *Store) Update(fn func(b *Batch) error) error {
-	b := &Batch{s: s}
-	if err := fn(b); err != nil {
-		return err
-	}
-	if len(b.ops) == 0 {
+	if len(ops) == 0 {
 		return nil
 	}
 	defer s.batchH.ObserveSince(time.Now())
@@ -67,10 +39,10 @@ func (s *Store) Update(fn func(b *Batch) error) error {
 	// available only after the batch — reusing them inside the batch
 	// would write the same record twice in one transaction with an
 	// order-dependent outcome.
-	final := map[string]batchOp{}
+	final := map[string]Op{}
 	var order []string
-	for _, op := range b.ops {
-		k := string(op.key)
+	for _, op := range ops {
+		k := string(op.Key)
 		if _, seen := final[k]; !seen {
 			order = append(order, k)
 		}
@@ -79,7 +51,7 @@ func (s *Store) Update(fn func(b *Batch) error) error {
 	sort.Strings(order) // deterministic slot assignment
 
 	type plannedOp struct {
-		op    batchOp
+		op    Op
 		rid   uint64
 		fresh bool // newly allocated slot (index insert on success)
 		drop  bool // existing key deleted (index delete on success)
@@ -88,11 +60,11 @@ func (s *Store) Update(fn func(b *Batch) error) error {
 	freeTop := len(s.free)
 	for _, k := range order {
 		op := final[k]
-		rid, exists := s.idx.Get(op.key)
+		rid, exists := s.idx.Get(op.Key)
 		switch {
-		case op.delete && !exists:
+		case op.Delete && !exists:
 			continue
-		case op.delete:
+		case op.Delete:
 			plan = append(plan, plannedOp{op: op, rid: rid, drop: true})
 		case exists:
 			plan = append(plan, plannedOp{op: op, rid: rid})
@@ -107,15 +79,15 @@ func (s *Store) Update(fn func(b *Batch) error) error {
 
 	// One transaction applies every record image.
 	rec := make([]byte, s.db.RecordBytes())
-	err := s.db.Exec(func(tx *mmdb.Txn) error {
+	err := s.db.ExecContext(ctx, func(tx *mmdb.Txn) error {
 		for _, p := range plan {
-			if p.op.delete {
+			if p.op.Delete {
 				if err := tx.Write(p.rid, nil); err != nil {
 					return err
 				}
 				continue
 			}
-			encode(rec, p.op.key, p.op.val)
+			encode(rec, p.op.Key, p.op.Val)
 			if err := tx.Write(p.rid, rec); err != nil {
 				return err
 			}
@@ -131,11 +103,54 @@ func (s *Store) Update(fn func(b *Batch) error) error {
 	for _, p := range plan {
 		switch {
 		case p.drop:
-			s.idx.Delete(p.op.key)
+			s.idx.Delete(p.op.Key)
 			s.free = append(s.free, p.rid)
 		case p.fresh:
-			s.idx.Insert(p.op.key, p.rid)
+			s.idx.Insert(p.op.Key, p.rid)
 		}
 	}
 	return nil
+}
+
+// BatchBuilder stages Put/Delete operations for Local.Update: the
+// ergonomic way to build a Batch incrementally, with per-op validation
+// at stage time.
+type BatchBuilder struct {
+	s   *Local
+	ops []Op
+}
+
+// Put stages an insert or replace.
+func (b *BatchBuilder) Put(key, val []byte) error {
+	if err := b.s.capacityCheck(key, val); err != nil {
+		return err
+	}
+	b.ops = append(b.ops, Op{
+		Key: append([]byte(nil), key...),
+		Val: append([]byte(nil), val...),
+	})
+	return nil
+}
+
+// Delete stages a removal (absent keys are ignored at apply time).
+func (b *BatchBuilder) Delete(key []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	b.ops = append(b.ops, Op{Key: append([]byte(nil), key...), Delete: true})
+	return nil
+}
+
+// Len returns the number of staged operations.
+func (b *BatchBuilder) Len() int { return len(b.ops) }
+
+// Update builds a batch with fn and applies it atomically through
+// Batch. An error from fn (or from the underlying transaction) applies
+// nothing.
+func (s *Local) Update(ctx context.Context, fn func(b *BatchBuilder) error) error {
+	b := &BatchBuilder{s: s}
+	if err := fn(b); err != nil {
+		return err
+	}
+	return s.Batch(ctx, b.ops)
 }

@@ -9,10 +9,10 @@ import (
 func TestBatchBasics(t *testing.T) {
 	s := mustOpen(t, testConfig(t))
 	defer s.Close()
-	if err := s.Put([]byte("old"), []byte("1")); err != nil {
+	if err := s.Put(bg, []byte("old"), []byte("1")); err != nil {
 		t.Fatal(err)
 	}
-	err := s.Update(func(b *Batch) error {
+	err := s.Update(bg, func(b *BatchBuilder) error {
 		if err := b.Put([]byte("a"), []byte("A")); err != nil {
 			return err
 		}
@@ -34,7 +34,7 @@ func TestBatchBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k, want := range map[string]string{"a": "A", "b": "B", "old": "2"} {
-		v, ok, err := s.Get([]byte(k))
+		v, ok, err := s.Get(bg, []byte(k))
 		if err != nil || !ok || string(v) != want {
 			t.Errorf("Get(%q) = %q %v %v", k, v, ok, err)
 		}
@@ -47,7 +47,7 @@ func TestBatchBasics(t *testing.T) {
 func TestBatchLastOperationWins(t *testing.T) {
 	s := mustOpen(t, testConfig(t))
 	defer s.Close()
-	err := s.Update(func(b *Batch) error {
+	err := s.Update(bg, func(b *BatchBuilder) error {
 		_ = b.Put([]byte("k"), []byte("first"))
 		_ = b.Delete([]byte("k"))
 		return b.Put([]byte("k"), []byte("last"))
@@ -55,19 +55,19 @@ func TestBatchLastOperationWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, ok, _ := s.Get([]byte("k"))
+	v, ok, _ := s.Get(bg, []byte("k"))
 	if !ok || string(v) != "last" {
 		t.Errorf("final value = %q %v", v, ok)
 	}
 	// And the other way: ending in delete.
-	err = s.Update(func(b *Batch) error {
+	err = s.Update(bg, func(b *BatchBuilder) error {
 		_ = b.Put([]byte("k"), []byte("again"))
 		return b.Delete([]byte("k"))
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := s.Get([]byte("k")); ok {
+	if _, ok, _ := s.Get(bg, []byte("k")); ok {
 		t.Error("key survived final delete")
 	}
 }
@@ -76,18 +76,18 @@ func TestBatchErrorAppliesNothing(t *testing.T) {
 	s := mustOpen(t, testConfig(t))
 	defer s.Close()
 	boom := errors.New("boom")
-	err := s.Update(func(b *Batch) error {
+	err := s.Update(bg, func(b *BatchBuilder) error {
 		_ = b.Put([]byte("x"), []byte("1"))
 		return boom
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, ok, _ := s.Get([]byte("x")); ok {
+	if _, ok, _ := s.Get(bg, []byte("x")); ok {
 		t.Error("failed batch applied a put")
 	}
 	// Validation failures surface immediately.
-	err = s.Update(func(b *Batch) error { return b.Put(nil, nil) })
+	err = s.Update(bg, func(b *BatchBuilder) error { return b.Put(nil, nil) })
 	if !errors.Is(err, ErrEmptyKey) {
 		t.Errorf("err = %v", err)
 	}
@@ -99,13 +99,13 @@ func TestBatchFullStore(t *testing.T) {
 	s := mustOpen(t, cfg)
 	defer s.Close()
 	for i := 0; i < 3; i++ {
-		if err := s.Put([]byte{byte('a' + i)}, nil); err != nil {
+		if err := s.Put(bg, []byte{byte('a' + i)}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// One slot left: a batch needing two fresh slots fails entirely, even
 	// though it also deletes (freed slots are post-batch).
-	err := s.Update(func(b *Batch) error {
+	err := s.Update(bg, func(b *BatchBuilder) error {
 		_ = b.Delete([]byte("a"))
 		_ = b.Put([]byte("x"), nil)
 		return b.Put([]byte("y"), nil)
@@ -113,11 +113,11 @@ func TestBatchFullStore(t *testing.T) {
 	if !errors.Is(err, ErrFull) {
 		t.Fatalf("err = %v, want ErrFull", err)
 	}
-	if _, ok, _ := s.Get([]byte("a")); !ok {
+	if _, ok, _ := s.Get(bg, []byte("a")); !ok {
 		t.Error("failed batch deleted a key")
 	}
 	// A batch that fits succeeds.
-	err = s.Update(func(b *Batch) error {
+	err = s.Update(bg, func(b *BatchBuilder) error {
 		_ = b.Delete([]byte("a"))
 		return b.Put([]byte("x"), nil)
 	})
@@ -134,10 +134,10 @@ func TestBatchFullStore(t *testing.T) {
 func TestBatchCrashAtomicity(t *testing.T) {
 	cfg := testConfig(t)
 	s := mustOpen(t, cfg)
-	if err := s.Put([]byte("seed"), []byte("v")); err != nil {
+	if err := s.Put(bg, []byte("seed"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	err := s.Update(func(b *Batch) error {
+	err := s.Update(bg, func(b *BatchBuilder) error {
 		for i := 0; i < 10; i++ {
 			if err := b.Put([]byte(fmt.Sprintf("batch-%02d", i)), []byte("v")); err != nil {
 				return err
@@ -159,11 +159,11 @@ func TestBatchCrashAtomicity(t *testing.T) {
 	if s2.Len() != 10 {
 		t.Fatalf("recovered Len = %d, want 10 (batch must be all-or-nothing)", s2.Len())
 	}
-	if _, ok, _ := s2.Get([]byte("seed")); ok {
+	if _, ok, _ := s2.Get(bg, []byte("seed")); ok {
 		t.Error("batched delete lost")
 	}
 	for i := 0; i < 10; i++ {
-		if _, ok, _ := s2.Get([]byte(fmt.Sprintf("batch-%02d", i))); !ok {
+		if _, ok, _ := s2.Get(bg, []byte(fmt.Sprintf("batch-%02d", i))); !ok {
 			t.Errorf("batched put %d lost", i)
 		}
 	}
@@ -172,11 +172,11 @@ func TestBatchCrashAtomicity(t *testing.T) {
 func TestEmptyBatchIsNoop(t *testing.T) {
 	s := mustOpen(t, testConfig(t))
 	defer s.Close()
-	before := s.Stats().TxnsCommitted
-	if err := s.Update(func(b *Batch) error { return nil }); err != nil {
+	before := s.EngineStats().TxnsCommitted
+	if err := s.Update(bg, func(b *BatchBuilder) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if s.Stats().TxnsCommitted != before {
+	if s.EngineStats().TxnsCommitted != before {
 		t.Error("empty batch ran a transaction")
 	}
 }

@@ -7,7 +7,7 @@ import (
 	"mmdb"
 )
 
-func benchStore(b *testing.B) *Store {
+func benchStore(b *testing.B) *Local {
 	b.Helper()
 	s, _, err := Open(mmdb.Config{
 		Dir:         b.TempDir(),
@@ -28,7 +28,7 @@ func BenchmarkPut(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := fmt.Sprintf("key-%08d", i%(1<<15))
-		if err := s.Put([]byte(key), val); err != nil {
+		if err := s.Put(bg, []byte(key), val); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -39,13 +39,13 @@ func BenchmarkGet(b *testing.B) {
 	val := make([]byte, 64)
 	const n = 1 << 12
 	for i := 0; i < n; i++ {
-		if err := s.Put([]byte(fmt.Sprintf("key-%08d", i)), val); err != nil {
+		if err := s.Put(bg, []byte(fmt.Sprintf("key-%08d", i)), val); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, ok, err := s.Get([]byte(fmt.Sprintf("key-%08d", i%n)))
+		_, ok, err := s.Get(bg, []byte(fmt.Sprintf("key-%08d", i%n)))
 		if err != nil || !ok {
 			b.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func BenchmarkIndexRebuild(b *testing.B) {
 	val := make([]byte, 64)
 	const n = 1 << 13
 	for i := 0; i < n; i++ {
-		if err := s.Put([]byte(fmt.Sprintf("key-%08d", i)), val); err != nil {
+		if err := s.Put(bg, []byte(fmt.Sprintf("key-%08d", i)), val); err != nil {
 			b.Fatal(err)
 		}
 	}

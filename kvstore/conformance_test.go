@@ -1,0 +1,28 @@
+package kvstore_test
+
+import (
+	"testing"
+
+	"mmdb"
+	"mmdb/kvstore"
+	"mmdb/kvstore/storetest"
+)
+
+// TestLocalConformance runs the shared Store interface suite against
+// the in-process implementation. The network client and the sharded
+// router run the identical suite in their own packages.
+func TestLocalConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kvstore.Store {
+		s, _, err := kvstore.Open(mmdb.Config{
+			Dir:         t.TempDir(),
+			NumRecords:  1024,
+			RecordBytes: 128,
+			Algorithm:   mmdb.COUCopy,
+			SyncCommit:  true,
+		})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		return s
+	})
+}

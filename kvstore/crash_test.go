@@ -47,14 +47,14 @@ func TestCrashRecoverEndToEnd(t *testing.T) {
 			for i := 0; i < 400 && !inj.Halted(); i++ {
 				key := fmt.Sprintf("key-%03d", rng.Intn(60))
 				if rng.Intn(5) == 0 {
-					ok, derr := kv.Delete([]byte(key))
+					ok, derr := kv.Delete(bg, []byte(key))
 					if derr == nil && ok {
 						delete(oracle, key)
 					}
 					continue
 				}
 				val := fmt.Sprintf("val-%d-%d", i, rng.Int63())
-				if perr := kv.Put([]byte(key), []byte(val)); perr == nil {
+				if perr := kv.Put(bg, []byte(key), []byte(val)); perr == nil {
 					oracle[key] = val
 				} else if !errors.Is(perr, faultfs.ErrInjectedCrash) &&
 					!errors.Is(perr, mmdb.ErrStopped) && !errors.Is(perr, mmdb.ErrCommitInDoubt) {
@@ -80,7 +80,7 @@ func TestCrashRecoverEndToEnd(t *testing.T) {
 				t.Fatalf("seed %d: reopen after crash did not recover", seed)
 			}
 			for key, want := range oracle {
-				got, found, gerr := rkv.Get([]byte(key))
+				got, found, gerr := rkv.Get(bg, []byte(key))
 				if gerr != nil {
 					t.Fatalf("seed %d: Get %s: %v", seed, key, gerr)
 				}

@@ -1,0 +1,6 @@
+package kvstore
+
+import "context"
+
+// bg is the context test call sites thread through the Store API.
+var bg = context.Background()

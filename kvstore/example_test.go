@@ -1,6 +1,7 @@
 package kvstore_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -26,16 +27,17 @@ func Example() {
 		Algorithm:   mmdb.COUCopy,
 		SyncCommit:  true,
 	}
+	ctx := context.Background()
 	store, _, err := kvstore.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if err := store.Put([]byte("user/ada"), []byte("analyst")); err != nil {
+	if err := store.Put(ctx, []byte("user/ada"), []byte("analyst")); err != nil {
 		log.Fatal(err)
 	}
 	// An atomic multi-key batch: all-or-nothing across crashes.
-	err = store.Update(func(b *kvstore.Batch) error {
+	err = store.Update(ctx, func(b *kvstore.BatchBuilder) error {
 		if err := b.Put([]byte("user/bob"), []byte("builder")); err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@
 package kvstore
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -52,8 +53,15 @@ var (
 	ErrEmptyKey = errors.New("kvstore: empty key")
 )
 
-// Store is an ordered, crash-recoverable key-value store.
-type Store struct {
+// Local is the in-process implementation of Store: an ordered,
+// crash-recoverable key-value store embedded in the calling process.
+// The network client (package client) implements the same interface
+// over TCP, so callers written against Store run on either.
+//
+// Beyond the Store interface, Local offers ordered Scans, direct
+// engine access (DB), and crash simulation — capabilities that don't
+// survive a network hop.
+type Local struct {
 	db *mmdb.DB
 
 	// Operation latency histograms, registered on the database's metrics
@@ -88,12 +96,12 @@ const MaxKeyBytes = 1 << 16 / 2 // bounded well below the u16 length field
 // Open opens (or recovers) the key-value store described by cfg and
 // rebuilds its index from the primary data. The recovery report is nil
 // for a fresh store.
-func Open(cfg mmdb.Config) (*Store, *mmdb.RecoveryReport, error) {
+func Open(cfg mmdb.Config) (*Local, *mmdb.RecoveryReport, error) {
 	db, rep, err := mmdb.OpenOrRecover(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	s := &Store{db: db}
+	s := &Local{db: db}
 	s.putBuf = make([]byte, db.RecordBytes()) //nolint:lockcheck // s is not shared until Open returns
 	rb := make([]byte, db.RecordBytes())
 	s.getBuf.Store(&rb)
@@ -115,7 +123,7 @@ func Open(cfg mmdb.Config) (*Store, *mmdb.RecoveryReport, error) {
 // rebuild scans every record and reconstructs the index and free list —
 // the post-recovery index build of a main-memory database.
 // lockcheck:held s.mu
-func (s *Store) rebuild() error {
+func (s *Local) rebuild() error {
 	s.idx = index.New(0)
 	s.free = s.free[:0]
 	n := s.db.NumRecords()
@@ -170,7 +178,7 @@ func decode(rec []byte) (key, val []byte, used bool, err error) {
 }
 
 // capacity checks that key/val fit one record.
-func (s *Store) capacityCheck(key, val []byte) error {
+func (s *Local) capacityCheck(key, val []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
@@ -188,8 +196,15 @@ func (s *Store) capacityCheck(key, val []byte) error {
 // reusable putBuf and committed through the engine's closure-free
 // ExecWrite, so a Put that replaces an existing key allocates nothing.
 //
+// ctx is honored at entry only: the commit itself is a single
+// already-bounded engine transaction, and checking between lock and
+// commit would tear the operation's atomicity guarantees for nothing.
+//
 // perf:hotpath(write path: encode into the shared buffer, one transaction per Put)
-func (s *Store) Put(key, val []byte) error {
+func (s *Local) Put(ctx context.Context, key, val []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := s.capacityCheck(key, val); err != nil {
 		return err
 	}
@@ -223,7 +238,10 @@ func (s *Store) Put(key, val []byte) error {
 // which the API contract requires.
 //
 // perf:hotpath(read fast path: index probe + one record copy)
-func (s *Store) Get(key []byte) ([]byte, bool, error) {
+func (s *Local) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	var began time.Time
 	sampled := s.getTick.Add(1)&(getSampleEvery-1) == 0
 	if sampled {
@@ -275,7 +293,10 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 // Delete removes key, reporting whether it was present. The slot is
 // zeroed in one atomic transaction (through the closure-free ExecWrite;
 // a zero record is a free slot) and returned to the free list.
-func (s *Store) Delete(key []byte) (bool, error) {
+func (s *Local) Delete(ctx context.Context, key []byte) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if len(key) == 0 {
 		return false, ErrEmptyKey
 	}
@@ -298,7 +319,7 @@ func (s *Store) Delete(key []byte) (bool, error) {
 // nil) in ascending key order until fn returns false. The key and value
 // slices are only valid during the call. Mutating the store from fn
 // deadlocks.
-func (s *Store) Scan(from []byte, fn func(key, val []byte) bool) error {
+func (s *Local) Scan(from []byte, fn func(key, val []byte) bool) error {
 	defer s.scanH.ObserveSince(time.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -321,7 +342,7 @@ func (s *Store) Scan(from []byte, fn func(key, val []byte) bool) error {
 
 // ScanReverse calls fn for each entry with key <= from (all entries when
 // from is nil) in descending key order until fn returns false.
-func (s *Store) ScanReverse(from []byte, fn func(key, val []byte) bool) error {
+func (s *Local) ScanReverse(from []byte, fn func(key, val []byte) bool) error {
 	defer s.scanH.ObserveSince(time.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -343,32 +364,46 @@ func (s *Store) ScanReverse(from []byte, fn func(key, val []byte) bool) error {
 }
 
 // Len returns the number of stored entries.
-func (s *Store) Len() int {
+func (s *Local) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.idx.Len()
 }
 
 // Free returns the number of free record slots.
-func (s *Store) Free() int {
+func (s *Local) Free() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.free)
 }
 
 // Checkpoint forces one checkpoint of the underlying database.
-func (s *Store) Checkpoint() (*mmdb.CheckpointResult, error) { return s.db.Checkpoint() }
+func (s *Local) Checkpoint() (*mmdb.CheckpointResult, error) { return s.db.Checkpoint() }
 
-// Stats exposes the underlying engine counters.
-func (s *Store) Stats() mmdb.Stats { return s.db.Stats() }
+// EngineStats exposes the underlying engine counters (Local only; the
+// interface-level Stats carries them inside a ShardStats).
+func (s *Local) EngineStats() mmdb.Stats { return s.db.Stats() }
+
+// Stats reports the store's shape as a single-shard StoreStats.
+func (s *Local) Stats(ctx context.Context) (StoreStats, error) {
+	if err := ctx.Err(); err != nil {
+		return StoreStats{}, err
+	}
+	return StoreStats{Shards: []ShardStats{{
+		Shard:  0,
+		Len:    s.Len(),
+		Free:   s.Free(),
+		Engine: s.db.Stats(),
+	}}}, nil
+}
 
 // DB exposes the underlying database (e.g., for raw record access or the
 // checkpoint loop controls).
-func (s *Store) DB() *mmdb.DB { return s.db }
+func (s *Local) DB() *mmdb.DB { return s.db }
 
 // Close closes the underlying database.
-func (s *Store) Close() error { return s.db.Close() }
+func (s *Local) Close() error { return s.db.Close() }
 
 // Crash simulates a system failure of the underlying database (the index
 // is volatile and simply discarded); reopen with Open.
-func (s *Store) Crash() error { return s.db.Crash() }
+func (s *Local) Crash() error { return s.db.Crash() }

@@ -22,7 +22,7 @@ func testConfig(t *testing.T) mmdb.Config {
 	}
 }
 
-func mustOpen(t *testing.T, cfg mmdb.Config) *Store {
+func mustOpen(t *testing.T, cfg mmdb.Config) *Local {
 	t.Helper()
 	s, _, err := Open(cfg)
 	if err != nil {
@@ -35,24 +35,24 @@ func TestPutGetDelete(t *testing.T) {
 	s := mustOpen(t, testConfig(t))
 	defer s.Close()
 
-	if err := s.Put([]byte("alpha"), []byte("one")); err != nil {
+	if err := s.Put(bg, []byte("alpha"), []byte("one")); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put([]byte("beta"), []byte("two")); err != nil {
+	if err := s.Put(bg, []byte("beta"), []byte("two")); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := s.Get([]byte("alpha"))
+	v, ok, err := s.Get(bg, []byte("alpha"))
 	if err != nil || !ok || string(v) != "one" {
 		t.Fatalf("Get alpha = %q %v %v", v, ok, err)
 	}
-	if _, ok, _ := s.Get([]byte("gamma")); ok {
+	if _, ok, _ := s.Get(bg, []byte("gamma")); ok {
 		t.Error("absent key found")
 	}
 	// Replace.
-	if err := s.Put([]byte("alpha"), []byte("uno")); err != nil {
+	if err := s.Put(bg, []byte("alpha"), []byte("uno")); err != nil {
 		t.Fatal(err)
 	}
-	v, _, _ = s.Get([]byte("alpha"))
+	v, _, _ = s.Get(bg, []byte("alpha"))
 	if string(v) != "uno" {
 		t.Errorf("replaced value = %q", v)
 	}
@@ -60,14 +60,14 @@ func TestPutGetDelete(t *testing.T) {
 		t.Errorf("Len = %d", s.Len())
 	}
 	// Delete.
-	deleted, err := s.Delete([]byte("alpha"))
+	deleted, err := s.Delete(bg, []byte("alpha"))
 	if err != nil || !deleted {
 		t.Fatalf("Delete = %v %v", deleted, err)
 	}
-	if deleted, _ := s.Delete([]byte("alpha")); deleted {
+	if deleted, _ := s.Delete(bg, []byte("alpha")); deleted {
 		t.Error("double delete")
 	}
-	if _, ok, _ := s.Get([]byte("alpha")); ok {
+	if _, ok, _ := s.Get(bg, []byte("alpha")); ok {
 		t.Error("deleted key still visible")
 	}
 	if s.Len() != 1 {
@@ -78,21 +78,21 @@ func TestPutGetDelete(t *testing.T) {
 func TestValidation(t *testing.T) {
 	s := mustOpen(t, testConfig(t))
 	defer s.Close()
-	if err := s.Put(nil, []byte("x")); !errors.Is(err, ErrEmptyKey) {
+	if err := s.Put(bg, nil, []byte("x")); !errors.Is(err, ErrEmptyKey) {
 		t.Errorf("empty key: %v", err)
 	}
 	big := bytes.Repeat([]byte("k"), 64)
-	if err := s.Put(big, nil); !errors.Is(err, ErrValueTooLarge) {
+	if err := s.Put(bg, big, nil); !errors.Is(err, ErrValueTooLarge) {
 		t.Errorf("oversized entry: %v", err)
 	}
-	if err := s.Put([]byte("k"), bytes.Repeat([]byte("v"), 60)); !errors.Is(err, ErrValueTooLarge) {
+	if err := s.Put(bg, []byte("k"), bytes.Repeat([]byte("v"), 60)); !errors.Is(err, ErrValueTooLarge) {
 		t.Errorf("oversized value: %v", err)
 	}
-	if _, err := s.Delete(nil); !errors.Is(err, ErrEmptyKey) {
+	if _, err := s.Delete(bg, nil); !errors.Is(err, ErrEmptyKey) {
 		t.Errorf("delete empty key: %v", err)
 	}
 	// Exactly-fitting entry works (64 - 5 header = 59).
-	if err := s.Put([]byte("kk"), bytes.Repeat([]byte("v"), 57)); err != nil {
+	if err := s.Put(bg, []byte("kk"), bytes.Repeat([]byte("v"), 57)); err != nil {
 		t.Errorf("exact fit rejected: %v", err)
 	}
 }
@@ -103,22 +103,22 @@ func TestFullStore(t *testing.T) {
 	s := mustOpen(t, cfg)
 	defer s.Close()
 	for i := 0; i < 8; i++ {
-		if err := s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+		if err := s.Put(bg, []byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Put([]byte("overflow"), []byte("v")); !errors.Is(err, ErrFull) {
+	if err := s.Put(bg, []byte("overflow"), []byte("v")); !errors.Is(err, ErrFull) {
 		t.Fatalf("overflow err = %v", err)
 	}
 	// Replacing an existing key still works at capacity.
-	if err := s.Put([]byte("k03"), []byte("w")); err != nil {
+	if err := s.Put(bg, []byte("k03"), []byte("w")); err != nil {
 		t.Errorf("replace at capacity: %v", err)
 	}
 	// Deleting frees a slot.
-	if _, err := s.Delete([]byte("k00")); err != nil {
+	if _, err := s.Delete(bg, []byte("k00")); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put([]byte("reborn"), []byte("v")); err != nil {
+	if err := s.Put(bg, []byte("reborn"), []byte("v")); err != nil {
 		t.Errorf("put after delete: %v", err)
 	}
 	if s.Free() != 0 {
@@ -131,7 +131,7 @@ func TestScanOrderAndBounds(t *testing.T) {
 	defer s.Close()
 	keys := []string{"ant", "bee", "cat", "dog", "eel", "fox"}
 	for i, k := range keys {
-		if err := s.Put([]byte(k), []byte{byte(i)}); err != nil {
+		if err := s.Put(bg, []byte(k), []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -162,7 +162,7 @@ func TestScanReverse(t *testing.T) {
 	defer s.Close()
 	keys := []string{"ant", "bee", "cat", "dog"}
 	for i, k := range keys {
-		if err := s.Put([]byte(k), []byte{byte(i)}); err != nil {
+		if err := s.Put(bg, []byte(k), []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -209,7 +209,7 @@ func TestKVRandomizedSoak(t *testing.T) {
 		switch r := rng.Intn(100); {
 		case r < 45: // put
 			k, v := keyOf(), fmt.Sprintf("v%d", rng.Int63())
-			err := s.Put([]byte(k), []byte(v))
+			err := s.Put(bg, []byte(k), []byte(v))
 			if errors.Is(err, ErrFull) {
 				continue
 			}
@@ -219,7 +219,7 @@ func TestKVRandomizedSoak(t *testing.T) {
 			oracle[k] = v
 		case r < 60: // delete
 			k := keyOf()
-			if _, err := s.Delete([]byte(k)); err != nil {
+			if _, err := s.Delete(bg, []byte(k)); err != nil {
 				t.Fatalf("step %d delete: %v", step, err)
 			}
 			delete(oracle, k)
@@ -227,7 +227,7 @@ func TestKVRandomizedSoak(t *testing.T) {
 			type kv struct{ k, v string }
 			var puts []kv
 			var dels []string
-			err := s.Update(func(b *Batch) error {
+			err := s.Update(bg, func(b *BatchBuilder) error {
 				for j := 0; j < 1+rng.Intn(4); j++ {
 					if rng.Intn(3) == 0 {
 						k := keyOf()
@@ -283,7 +283,7 @@ func TestKVRandomizedSoak(t *testing.T) {
 					touched[d] = true
 				}
 				for k := range touched {
-					v, ok, err := s.Get([]byte(k))
+					v, ok, err := s.Get(bg, []byte(k))
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -296,7 +296,7 @@ func TestKVRandomizedSoak(t *testing.T) {
 			}
 		case r < 92: // get
 			k := keyOf()
-			v, ok, err := s.Get([]byte(k))
+			v, ok, err := s.Get(bg, []byte(k))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -323,7 +323,7 @@ func TestKVRandomizedSoak(t *testing.T) {
 		t.Fatalf("final Len %d, oracle %d", s.Len(), len(oracle))
 	}
 	for k, want := range oracle {
-		v, ok, err := s.Get([]byte(k))
+		v, ok, err := s.Get(bg, []byte(k))
 		if err != nil || !ok || string(v) != want {
 			t.Fatalf("final Get(%q) = %q/%v/%v", k, v, ok, err)
 		}
@@ -344,13 +344,13 @@ func TestCrashRecoveryRebuildsIndex(t *testing.T) {
 		for i := 0; i < n; i++ {
 			k := fmt.Sprintf("key-%03d", rng.Intn(200))
 			if rng.Intn(4) == 0 {
-				if _, err := s.Delete([]byte(k)); err != nil {
+				if _, err := s.Delete(bg, []byte(k)); err != nil {
 					t.Fatal(err)
 				}
 				delete(oracle, k)
 			} else {
 				v := fmt.Sprintf("val-%d", rng.Int63())
-				if err := s.Put([]byte(k), []byte(v)); err != nil {
+				if err := s.Put(bg, []byte(k), []byte(v)); err != nil {
 					t.Fatal(err)
 				}
 				oracle[k] = v
@@ -362,7 +362,7 @@ func TestCrashRecoveryRebuildsIndex(t *testing.T) {
 			t.Fatalf("Len = %d, oracle %d", s.Len(), len(oracle))
 		}
 		for k, want := range oracle {
-			v, ok, err := s.Get([]byte(k))
+			v, ok, err := s.Get(bg, []byte(k))
 			if err != nil || !ok || string(v) != want {
 				t.Fatalf("Get(%q) = %q %v %v, want %q", k, v, ok, err, want)
 			}
@@ -416,7 +416,7 @@ func TestCrashRecoveryRebuildsIndex(t *testing.T) {
 func TestGracefulReopen(t *testing.T) {
 	cfg := testConfig(t)
 	s := mustOpen(t, cfg)
-	if err := s.Put([]byte("persist"), []byte("yes")); err != nil {
+	if err := s.Put(bg, []byte("persist"), []byte("yes")); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -427,7 +427,7 @@ func TestGracefulReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	v, ok, err := s2.Get([]byte("persist"))
+	v, ok, err := s2.Get(bg, []byte("persist"))
 	if err != nil || !ok || string(v) != "yes" {
 		t.Fatalf("after reopen: %q %v %v", v, ok, err)
 	}
@@ -436,12 +436,12 @@ func TestGracefulReopen(t *testing.T) {
 func TestGetCopiesValue(t *testing.T) {
 	s := mustOpen(t, testConfig(t))
 	defer s.Close()
-	if err := s.Put([]byte("k"), []byte("value")); err != nil {
+	if err := s.Put(bg, []byte("k"), []byte("value")); err != nil {
 		t.Fatal(err)
 	}
-	v, _, _ := s.Get([]byte("k"))
+	v, _, _ := s.Get(bg, []byte("k"))
 	v[0] = 'X'
-	v2, _, _ := s.Get([]byte("k"))
+	v2, _, _ := s.Get(bg, []byte("k"))
 	if string(v2) != "value" {
 		t.Error("store corrupted through returned value")
 	}
@@ -452,18 +452,18 @@ func TestBinaryKeysAndValues(t *testing.T) {
 	defer s.Close()
 	key := []byte{0x00, 0xFF, 0x10, 0x00}
 	val := []byte{0x00, 0x01, 0x02, 0x00, 0xFF}
-	if err := s.Put(key, val); err != nil {
+	if err := s.Put(bg, key, val); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, err := s.Get(key)
+	got, ok, err := s.Get(bg, key)
 	if err != nil || !ok || !bytes.Equal(got, val) {
 		t.Fatalf("binary round trip: %v %v %v", got, ok, err)
 	}
 	// Empty value is legal.
-	if err := s.Put([]byte("emptyval"), nil); err != nil {
+	if err := s.Put(bg, []byte("emptyval"), nil); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, _ = s.Get([]byte("emptyval"))
+	got, ok, _ = s.Get(bg, []byte("emptyval"))
 	if !ok || len(got) != 0 {
 		t.Errorf("empty value round trip: %v %v", got, ok)
 	}
@@ -472,10 +472,10 @@ func TestBinaryKeysAndValues(t *testing.T) {
 func TestStatsAndDBPassthrough(t *testing.T) {
 	s := mustOpen(t, testConfig(t))
 	defer s.Close()
-	if err := s.Put([]byte("a"), []byte("b")); err != nil {
+	if err := s.Put(bg, []byte("a"), []byte("b")); err != nil {
 		t.Fatal(err)
 	}
-	if s.Stats().TxnsCommitted == 0 {
+	if s.EngineStats().TxnsCommitted == 0 {
 		t.Error("no transactions recorded")
 	}
 	if s.DB() == nil || s.DB().NumRecords() != 512 {

@@ -12,23 +12,23 @@ func TestOpLatencyMetrics(t *testing.T) {
 	s := mustOpen(t, testConfig(t))
 	defer s.Close()
 
-	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+	if err := s.Put(bg, []byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	// Get latency is sampled every getSampleEvery-th call, so issue a full
 	// sampling period to guarantee at least one recorded sample.
 	for i := 0; i < getSampleEvery; i++ {
-		if _, _, err := s.Get([]byte("k")); err != nil {
+		if _, _, err := s.Get(bg, []byte("k")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := s.Scan(nil, func(_, _ []byte) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Update(func(b *Batch) error { return b.Put([]byte("k2"), []byte("v2")) }); err != nil {
+	if err := s.Update(bg, func(b *BatchBuilder) error { return b.Put([]byte("k2"), []byte("v2")) }); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Delete([]byte("k")); err != nil {
+	if _, err := s.Delete(bg, []byte("k")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -64,11 +64,11 @@ func TestStatsRaceWithOps(t *testing.T) {
 		defer close(done)
 		for i := 0; i < 100; i++ {
 			key := []byte(fmt.Sprintf("key-%03d", i%20))
-			if err := s.Put(key, []byte("v")); err != nil {
+			if err := s.Put(bg, key, []byte("v")); err != nil {
 				t.Errorf("Put: %v", err)
 				return
 			}
-			if _, _, err := s.Get(key); err != nil {
+			if _, _, err := s.Get(bg, key); err != nil {
 				t.Errorf("Get: %v", err)
 				return
 			}
@@ -80,7 +80,7 @@ func TestStatsRaceWithOps(t *testing.T) {
 			return
 		default:
 		}
-		_ = s.Stats()
+		_ = s.EngineStats()
 		_ = s.DB().MetricsRegistry().Gather()
 		_ = s.DB().TraceEvents()
 	}

@@ -1,0 +1,83 @@
+package kvstore
+
+import (
+	"context"
+
+	"mmdb"
+)
+
+// Op is one operation of a Store.Batch: a Put of Val under Key, or —
+// when Delete is set — a removal of Key (Val is ignored). Within one
+// batch, later operations on the same key win.
+type Op struct {
+	Key    []byte
+	Val    []byte
+	Delete bool
+}
+
+// ShardStats describes one shard of a Store: its keyspace occupancy and
+// the underlying engine's counters. A Local store is one shard; a
+// sharded router or a network client reports one entry per shard.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	// Len is the number of stored entries; Free the remaining slots.
+	Len  int `json:"len"`
+	Free int `json:"free"`
+	// Engine carries the shard's engine counters (commits, checkpoints,
+	// WAL bytes, recovery timings, ...).
+	Engine mmdb.Stats `json:"engine"`
+}
+
+// StoreStats is the Stats result of any Store implementation: one
+// ShardStats per shard, in shard order.
+type StoreStats struct {
+	Shards []ShardStats `json:"shards"`
+}
+
+// Len totals the stored entries across shards.
+func (st StoreStats) Len() int {
+	n := 0
+	for _, sh := range st.Shards {
+		n += sh.Len
+	}
+	return n
+}
+
+// Free totals the free slots across shards.
+func (st StoreStats) Free() int {
+	n := 0
+	for _, sh := range st.Shards {
+		n += sh.Free
+	}
+	return n
+}
+
+// Store is the transport-agnostic key-value API: the same contract is
+// served by the in-process Local store, the sharded Router, and the
+// mmdbd network client, so callers, tests, and benchmarks written
+// against it run on any of the three unchanged.
+//
+// Contract, beyond the method docs:
+//
+//   - Get returns a caller-owned copy; ok=false with nil error means
+//     the key is absent.
+//   - Put and Delete are each one atomic, durable operation.
+//   - Batch applies its operations atomically per shard; whether the
+//     batch is atomic ACROSS shards depends on the implementation
+//     (Local: fully atomic; Router/client: per-shard atomic only — see
+//     the Router docs). Later ops on the same key win.
+//   - Empty keys are rejected with ErrEmptyKey; oversized entries with
+//     ErrKeyTooLarge/ErrValueTooLarge; a full keyspace with ErrFull.
+//   - ctx cancellation makes an operation return early with ctx's
+//     error; an operation that already committed is not undone.
+type Store interface {
+	Get(ctx context.Context, key []byte) (val []byte, ok bool, err error)
+	Put(ctx context.Context, key, val []byte) error
+	Delete(ctx context.Context, key []byte) (existed bool, err error)
+	Batch(ctx context.Context, ops []Op) error
+	Stats(ctx context.Context) (StoreStats, error)
+	Close() error
+}
+
+// Local is the reference Store implementation.
+var _ Store = (*Local)(nil)

@@ -1,0 +1,307 @@
+// Package storetest is the interface-level conformance suite for
+// kvstore.Store: one set of behavioral tests every implementation —
+// the in-process Local store, the sharded Router, the mmdbd network
+// client — must pass. An implementation wires itself in with one line:
+//
+//	storetest.Run(t, func(t *testing.T) kvstore.Store { ... })
+//
+// The factory is called once per subtest and must return an empty
+// store with capacity for at least a few hundred small entries; the
+// suite closes each store itself. Record capacity must be at least
+// 64 bytes and at most 32 KiB so the size-limit probes behave.
+package storetest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mmdb/kvstore"
+)
+
+// Run exercises the full Store contract against stores built by open.
+func Run(t *testing.T, open func(t *testing.T) kvstore.Store) {
+	t.Run("PutGetDelete", func(t *testing.T) { testPutGetDelete(t, open(t)) })
+	t.Run("Overwrite", func(t *testing.T) { testOverwrite(t, open(t)) })
+	t.Run("ErrorContract", func(t *testing.T) { testErrorContract(t, open(t)) })
+	t.Run("Batch", func(t *testing.T) { testBatch(t, open(t)) })
+	t.Run("BatchLastWins", func(t *testing.T) { testBatchLastWins(t, open(t)) })
+	t.Run("Stats", func(t *testing.T) { testStats(t, open(t)) })
+	t.Run("ValueOwnership", func(t *testing.T) { testValueOwnership(t, open(t)) })
+	t.Run("Concurrent", func(t *testing.T) { testConcurrent(t, open(t)) })
+	t.Run("ContextCancelled", func(t *testing.T) { testContextCancelled(t, open(t)) })
+}
+
+func closeStore(t *testing.T, s kvstore.Store) {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func testPutGetDelete(t *testing.T, s kvstore.Store) {
+	defer closeStore(t, s)
+	ctx := context.Background()
+
+	if _, ok, err := s.Get(ctx, []byte("absent")); err != nil || ok {
+		t.Fatalf("Get(absent) = ok %v err %v, want false nil", ok, err)
+	}
+	if err := s.Put(ctx, []byte("k1"), []byte("v1")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, ok, err := s.Get(ctx, []byte("k1"))
+	if err != nil || !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("Get(k1) = %q ok %v err %v, want v1 true nil", v, ok, err)
+	}
+
+	// Empty (nil) values are legal and distinct from absence.
+	if err := s.Put(ctx, []byte("k2"), nil); err != nil {
+		t.Fatalf("Put(k2, nil): %v", err)
+	}
+	if v, ok, err := s.Get(ctx, []byte("k2")); err != nil || !ok || len(v) != 0 {
+		t.Fatalf("Get(k2) = %q ok %v err %v, want empty true nil", v, ok, err)
+	}
+
+	existed, err := s.Delete(ctx, []byte("k1"))
+	if err != nil || !existed {
+		t.Fatalf("Delete(k1) = %v, %v, want true nil", existed, err)
+	}
+	if _, ok, err := s.Get(ctx, []byte("k1")); err != nil || ok {
+		t.Fatalf("Get(k1) after Delete = ok %v err %v, want absent", ok, err)
+	}
+	if existed, err := s.Delete(ctx, []byte("k1")); err != nil || existed {
+		t.Fatalf("second Delete(k1) = %v, %v, want false nil", existed, err)
+	}
+}
+
+func testOverwrite(t *testing.T, s kvstore.Store) {
+	defer closeStore(t, s)
+	ctx := context.Background()
+	key := []byte("key")
+	for i := 0; i < 10; i++ {
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if err := s.Put(ctx, key, val); err != nil {
+			t.Fatalf("Put #%d: %v", i, err)
+		}
+		got, ok, err := s.Get(ctx, key)
+		if err != nil || !ok || !bytes.Equal(got, val) {
+			t.Fatalf("Get after Put #%d = %q ok %v err %v", i, got, ok, err)
+		}
+	}
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len after overwrites = %d, want 1", st.Len())
+	}
+}
+
+func testErrorContract(t *testing.T, s kvstore.Store) {
+	defer closeStore(t, s)
+	ctx := context.Background()
+
+	if err := s.Put(ctx, nil, []byte("v")); !errors.Is(err, kvstore.ErrEmptyKey) {
+		t.Errorf("Put(nil key) err = %v, want ErrEmptyKey", err)
+	}
+	if _, err := s.Delete(ctx, nil); !errors.Is(err, kvstore.ErrEmptyKey) {
+		t.Errorf("Delete(nil key) err = %v, want ErrEmptyKey", err)
+	}
+	if err := s.Batch(ctx, []kvstore.Op{{Key: nil, Delete: true}}); !errors.Is(err, kvstore.ErrEmptyKey) {
+		t.Errorf("Batch(delete nil key) err = %v, want ErrEmptyKey", err)
+	}
+	// A value no supported record size can hold must be rejected, and
+	// must not destroy the store.
+	huge := bytes.Repeat([]byte("x"), 64<<10)
+	if err := s.Put(ctx, []byte("k"), huge); !errors.Is(err, kvstore.ErrValueTooLarge) {
+		t.Errorf("Put(64KiB val) err = %v, want ErrValueTooLarge", err)
+	}
+	if err := s.Put(ctx, []byte("k"), []byte("fits")); err != nil {
+		t.Fatalf("Put after rejected Put: %v", err)
+	}
+	if v, ok, err := s.Get(ctx, []byte("k")); err != nil || !ok || !bytes.Equal(v, []byte("fits")) {
+		t.Fatalf("Get after rejected Put = %q ok %v err %v", v, ok, err)
+	}
+}
+
+func testBatch(t *testing.T, s kvstore.Store) {
+	defer closeStore(t, s)
+	ctx := context.Background()
+
+	if err := s.Batch(ctx, nil); err != nil {
+		t.Fatalf("empty Batch: %v", err)
+	}
+
+	if err := s.Put(ctx, []byte("old"), []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	ops := []kvstore.Op{
+		{Key: []byte("a"), Val: []byte("1")},
+		{Key: []byte("b"), Val: []byte("2")},
+		{Key: []byte("old"), Delete: true},
+		{Key: []byte("never-there"), Delete: true}, // absent: ignored
+	}
+	if err := s.Batch(ctx, ops); err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	for _, want := range []struct{ k, v string }{{"a", "1"}, {"b", "2"}} {
+		v, ok, err := s.Get(ctx, []byte(want.k))
+		if err != nil || !ok || string(v) != want.v {
+			t.Errorf("Get(%s) = %q ok %v err %v, want %q", want.k, v, ok, err, want.v)
+		}
+	}
+	if _, ok, err := s.Get(ctx, []byte("old")); err != nil || ok {
+		t.Errorf("Get(old) after batched delete = ok %v err %v, want absent", ok, err)
+	}
+}
+
+func testBatchLastWins(t *testing.T, s kvstore.Store) {
+	defer closeStore(t, s)
+	ctx := context.Background()
+	ops := []kvstore.Op{
+		{Key: []byte("k"), Val: []byte("first")},
+		{Key: []byte("k"), Delete: true},
+		{Key: []byte("k"), Val: []byte("last")},
+	}
+	if err := s.Batch(ctx, ops); err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	v, ok, err := s.Get(ctx, []byte("k"))
+	if err != nil || !ok || string(v) != "last" {
+		t.Fatalf("Get(k) = %q ok %v err %v, want \"last\"", v, ok, err)
+	}
+
+	// ... and a trailing delete wins over earlier puts.
+	ops = []kvstore.Op{
+		{Key: []byte("k"), Val: []byte("resurrected")},
+		{Key: []byte("k"), Delete: true},
+	}
+	if err := s.Batch(ctx, ops); err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if _, ok, err := s.Get(ctx, []byte("k")); err != nil || ok {
+		t.Fatalf("Get(k) after trailing delete = ok %v err %v, want absent", ok, err)
+	}
+}
+
+func testStats(t *testing.T, s kvstore.Store) {
+	defer closeStore(t, s)
+	ctx := context.Background()
+
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if len(st.Shards) == 0 {
+		t.Fatal("Stats reports no shards")
+	}
+	if st.Len() != 0 {
+		t.Errorf("fresh store Len = %d, want 0", st.Len())
+	}
+	free0 := st.Free()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := s.Put(ctx, []byte(fmt.Sprintf("key-%03d", i)), []byte("v")); err != nil {
+			t.Fatalf("Put #%d: %v", i, err)
+		}
+	}
+	st, err = s.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Len() != n {
+		t.Errorf("Len = %d, want %d", st.Len(), n)
+	}
+	if got := free0 - st.Free(); got != n {
+		t.Errorf("Free dropped by %d, want %d", got, n)
+	}
+	for i, sh := range st.Shards {
+		if sh.Shard != i {
+			t.Errorf("Shards[%d].Shard = %d, want shard order", i, sh.Shard)
+		}
+	}
+}
+
+func testValueOwnership(t *testing.T, s kvstore.Store) {
+	defer closeStore(t, s)
+	ctx := context.Background()
+
+	// The store must not alias the caller's buffers: mutating them after
+	// the call must not change stored data...
+	key := []byte("owned")
+	val := []byte("immutable")
+	if err := s.Put(ctx, key, val); err != nil {
+		t.Fatal(err)
+	}
+	val[0] = 'X'
+	got, _, err := s.Get(ctx, key)
+	if err != nil || string(got) != "immutable" {
+		t.Fatalf("stored value aliased the caller's buffer: %q (%v)", got, err)
+	}
+	// ...and the returned copy is caller-owned: mutating it must not
+	// change what a second Get sees.
+	got[0] = 'Y'
+	again, _, err := s.Get(ctx, key)
+	if err != nil || string(again) != "immutable" {
+		t.Fatalf("returned value aliases store memory: %q (%v)", again, err)
+	}
+}
+
+func testConcurrent(t *testing.T, s kvstore.Store) {
+	defer closeStore(t, s)
+	ctx := context.Background()
+
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		// goleak:joins wg.Wait below
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := []byte(fmt.Sprintf("w%d-%03d", w, i))
+				if err := s.Put(ctx, k, k); err != nil {
+					errs <- fmt.Errorf("Put %s: %w", k, err)
+					return
+				}
+				if _, _, err := s.Get(ctx, k); err != nil {
+					errs <- fmt.Errorf("Get %s: %w", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Len() != writers*perWriter {
+		t.Errorf("Len = %d, want %d", st.Len(), writers*perWriter)
+	}
+}
+
+func testContextCancelled(t *testing.T, s kvstore.Store) {
+	defer closeStore(t, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Put(ctx, []byte("k"), []byte("v")); !errors.Is(err, context.Canceled) {
+		t.Errorf("Put(cancelled ctx) err = %v, want context.Canceled", err)
+	}
+	if _, _, err := s.Get(ctx, []byte("k")); !errors.Is(err, context.Canceled) {
+		t.Errorf("Get(cancelled ctx) err = %v, want context.Canceled", err)
+	}
+	// The store stays usable with a live context.
+	if err := s.Put(context.Background(), []byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put after cancelled op: %v", err)
+	}
+}

@@ -69,8 +69,8 @@ func TestRepoRootsAnnotated(t *testing.T) {
 		"mmdb/internal/obs.Tracer.Record",
 		"mmdb.DB.ExecWrite",
 		"mmdb.DB.ReadRecordInto",
-		"mmdb/kvstore.Store.Get",
-		"mmdb/kvstore.Store.Put",
+		"mmdb/kvstore.Local.Get",
+		"mmdb/kvstore.Local.Put",
 	}
 	roots := make(map[string]bool)
 	for pkg, fns := range scanAnnotations(t) {
